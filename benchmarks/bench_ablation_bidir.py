@@ -1,0 +1,17 @@
+"""Bench: extra ablation — bidirectionality and cross loss."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import ablation_bidir
+
+
+def test_ablation_bidir(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablation_bidir.run(bench_config, venues=("kaide",)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "Ablation bidirectional", result.rendered)
+    rows = result.data["kaide"]
+    assert all(np.isfinite(v) for v in rows.values())

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 12 (removal ratio alpha vs APE)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig12.run(
+            bench_config,
+            venues=("kaide",),
+            alphas=(0.0, 0.10, 0.20),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "Fig 12", result.rendered)
+    series = result.data["kaide"]
+    # Differentiators beat MNAR-only on average across the sweep.
+    topo = np.mean(series["TopoAC"])
+    mnar_only = np.mean(series["MNAR-only"])
+    assert topo <= mnar_only * 1.25

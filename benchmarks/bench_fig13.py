@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 13 (threshold eta vs APE)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import fig13
+
+
+def test_fig13(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig13.run(
+            bench_config,
+            venues=("kaide",),
+            etas=(0.0, 0.1, 0.3),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "Fig 13", result.rendered)
+    # At eta = 0 every clustering differentiator collapses to MAR-only
+    # by construction (all fractions > 0 count as MAR).
+    series = result.data["kaide"]
+    assert np.isfinite(series["TopoAC"]).all()

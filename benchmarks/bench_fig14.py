@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 14 (beta vs fingerprint MAE)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import fig14
+
+
+def test_fig14(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig14.run(
+            bench_config,
+            venues=("kaide",),
+            betas=(0.10, 0.30, 0.50),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "Fig 14", result.rendered)
+    series = result.data["kaide"]
+    # MAE grows (weakly) with beta for autocorrelation methods.
+    assert series["MICE"][-1] >= series["MICE"][0] * 0.8
+    # BiSIM variants stay competitive within the neural family.  (Our
+    # regularised ALS makes MF stronger than the paper's — documented
+    # as Deviation 2 in EXPERIMENTS.md — so the cross-family gap is
+    # not asserted.)
+    neural_final = np.mean(
+        [series[k][-1] for k in ("D-BiSIM", "SSGAN", "BRITS")]
+    )
+    assert series["T-BiSIM"][-1] <= 1.5 * neural_final

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 15 (beta vs RP Euclidean distance)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import fig15
+
+
+def test_fig15(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig15.run(
+            bench_config,
+            venues=("kaide",),
+            betas=(0.10, 0.30, 0.50),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "Fig 15", result.rendered)
+    series = result.data["kaide"]
+    for name, vals in series.items():
+        assert np.isfinite(vals).all(), name

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 16 (RP density vs APE)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import fig16
+
+
+def test_fig16(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig16.run(
+            bench_config,
+            venues=("kaide",),
+            densities=(0.6, 0.8, 1.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "Fig 16", result.rendered)
+    series = result.data["kaide"]
+    # Denser RPs should not hurt noticeably: full density within 1.5x
+    # of the sparsest setting (paper: APE improves with density).
+    assert series[-1] <= series[0] * 1.5

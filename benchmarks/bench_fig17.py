@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 17 (attention ablation)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import fig17
+
+
+def test_fig17(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig17.run(bench_config, venues=("kaide",)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "Fig 17", result.rendered)
+    rows = result.data["kaide"]
+    # The adapted attention should not lose to no-attention by a wide
+    # margin (paper: adapted < vanilla < none).
+    assert rows["Adapted Bahdanau"] <= rows["No Attention"] * 1.4

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 18 (time-lag ablation)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import fig18
+
+
+def test_fig18(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig18.run(bench_config, venues=("kaide",)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "Fig 18", result.rendered)
+    rows = result.data["kaide"]
+    # Paper's design (encoder-only) competitive with the best variant.
+    best = min(rows.values())
+    assert rows["Time-lag in Enc."] <= best * 1.5

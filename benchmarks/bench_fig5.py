@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 5 (AP-profile cluster locality)."""
+
+from conftest import emit
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig5.run(bench_config), rounds=1, iterations=1
+    )
+    emit(results_dir, "Fig 5", result.rendered)
+    # Same-cluster RPs are spatially closer than a random partition.
+    for venue in result.data.values():
+        assert venue["ratio"] < 0.9

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figs. 6-7 (abnormal clusters, TopoAC fix)."""
+
+from conftest import emit
+
+from repro.experiments import fig67
+
+
+def test_fig67(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig67.run(bench_config), rounds=1, iterations=1
+    )
+    emit(results_dir, "Figs 6-7", result.rendered)
+    # TopoAC clusters never contain topological entities.
+    for venue in result.data.values():
+        assert venue["topoac_abnormal"] == 0

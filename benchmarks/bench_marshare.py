@@ -1,0 +1,14 @@
+"""Bench: regenerate the Section V-B MAR-share text result."""
+
+from conftest import emit
+
+from repro.experiments import marshare
+
+
+def test_marshare(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: marshare.run(bench_config), rounds=1, iterations=1
+    )
+    emit(results_dir, "Section V-B MAR share", result.rendered)
+    for venue in result.data.values():
+        assert 0.0 < venue["mar_share"] < 0.6

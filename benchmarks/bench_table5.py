@@ -1,0 +1,15 @@
+"""Bench: regenerate Table V (venue & radio-map statistics)."""
+
+from conftest import emit
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: table5.run(bench_config), rounds=1, iterations=1
+    )
+    emit(results_dir, "Table V", result.rendered)
+    # Sparsity must land in the paper's 85-94% band (Table V).
+    for venue, stats in result.data.items():
+        assert stats.missing_rssi_rate > 0.80

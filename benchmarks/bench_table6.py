@@ -1,0 +1,34 @@
+"""Bench: regenerate Table VI (overall APE, 9 imputers x 3 estimators).
+
+Shape assertions follow the paper: *-BiSIM leads, neural imputers beat
+the traditional family on average.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: table6.run(bench_config), rounds=1, iterations=1
+    )
+    emit(results_dir, "Table VI", result.rendered)
+    for venue, rows in result.data["ape"].items():
+        best = min(rows, key=lambda k: rows[k]["WKNN"])
+        # The winner is a neural imputer (paper: T-BiSIM / D-BiSIM).
+        assert best in ("T-BiSIM", "D-BiSIM", "BRITS", "SSGAN"), (
+            f"{venue}: unexpected winner {best}"
+        )
+        bisim_mean = np.mean(
+            [rows["T-BiSIM"]["WKNN"], rows["D-BiSIM"]["WKNN"]]
+        )
+        trad_mean = np.mean(
+            [rows[k]["WKNN"] for k in ("CD", "LI", "SL")]
+        )
+        auto_mean = np.mean(
+            [rows[k]["WKNN"] for k in ("MICE", "MF")]
+        )
+        assert bisim_mean < trad_mean
+        assert bisim_mean < auto_mean

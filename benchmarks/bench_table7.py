@@ -1,0 +1,17 @@
+"""Bench: regenerate Table VII (imputation time cost)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import table7
+
+
+def test_table7(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: table7.run(bench_config), rounds=1, iterations=1
+    )
+    emit(results_dir, "Table VII", result.rendered)
+    for venue, times in result.data.items():
+        # Traditional imputers are the cheapest (paper Table VII).
+        assert times["LI"] < times["T-BiSIM"]
+        assert times["LI"] < times["MF"]

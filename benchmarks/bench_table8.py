@@ -1,0 +1,21 @@
+"""Bench: regenerate Table VIII (Bluetooth venue, Longhu)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import table8
+
+
+def test_table8(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: table8.run(bench_config), rounds=1, iterations=1
+    )
+    emit(results_dir, "Table VIII", result.rendered)
+    rows = result.data["ape"]["longhu"]
+    bisim_mean = np.mean(
+        [rows["T-BiSIM"]["WKNN"], rows["D-BiSIM"]["WKNN"]]
+    )
+    field_mean = np.mean(
+        [rows[k]["WKNN"] for k in ("CD", "LI", "SL", "MICE", "MF")]
+    )
+    assert bisim_mean < field_mean

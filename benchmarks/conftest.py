@@ -1,0 +1,41 @@
+"""Benchmark-suite configuration.
+
+Each bench module regenerates one of the paper's tables/figures: it
+runs the corresponding :mod:`repro.experiments` module under a preset
+(default ``bench`` — big enough for the paper's orderings to
+emerge, small enough for a laptop; set ``REPRO_BENCH_PRESET`` to
+``smoke``/``quick``/``full`` to rescale), prints the
+rendered rows/series, and writes them to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import PRESETS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    name = os.environ.get("REPRO_BENCH_PRESET", "bench")
+    return PRESETS[name]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, rendered: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    text = f"== {name} ==\n{rendered}\n"
+    print("\n" + text)
+    (results_dir / f"{name.replace(' ', '_').lower()}.txt").write_text(
+        text
+    )

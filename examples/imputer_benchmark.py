@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Benchmark all nine imputers on one venue (a mini Table VI).
+
+Uses the public experiment API to run the paper's control protocol:
+one TopoAC differentiation, nine imputers, WKNN positioning, averaged
+over two held-out splits.  Takes a couple of minutes.
+"""
+
+import time
+
+from repro.experiments import (
+    IMPUTER_NAMES,
+    PRESETS,
+    get_dataset,
+    imputer_differentiator,
+    make_differentiator,
+    make_imputer,
+    run_pipeline,
+)
+
+
+def main() -> None:
+    config = PRESETS["bench"]
+    dataset = get_dataset("kaide", config)
+    print(dataset.radio_map.describe())
+    print(f"\n{'imputer':<10} {'APE (m)':>8} {'impute (s)':>11}")
+    for name in IMPUTER_NAMES:
+        differentiator = make_differentiator(
+            imputer_differentiator(name), dataset, config
+        )
+        imputer = make_imputer(name, dataset, config)
+        start = time.perf_counter()
+        result = run_pipeline(
+            dataset.radio_map,
+            differentiator,
+            imputer,
+            ("WKNN",),
+            config,
+        )
+        wall = time.perf_counter() - start
+        print(
+            f"{name:<10} {result.ape['WKNN']:8.2f} "
+            f"{result.imputation_seconds:11.2f}   (wall {wall:.1f}s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — reproduction of "Data Imputation for Sparse Radio Maps in
+Indoor Positioning" (ICDE 2023).
+
+The package implements the paper's full pipeline plus every substrate
+it depends on:
+
+* :mod:`repro.core` — the missing-RSSI differentiator (DasaKM, TopoAC
+  and baselines);
+* :mod:`repro.bisim` — the BiSIM encoder-decoder data imputer;
+* :mod:`repro.imputers` — every baseline imputer of Section V-C;
+* :mod:`repro.positioning` — KNN/WKNN/random-forest location
+  estimation and the evaluation-control protocol;
+* :mod:`repro.venue` / :mod:`repro.radio` / :mod:`repro.survey` /
+  :mod:`repro.radiomap` / :mod:`repro.datasets` — the synthetic data
+  substrate standing in for the paper's proprietary mall datasets;
+* :mod:`repro.neuro` — a from-scratch autodiff/NN substrate standing
+  in for PyTorch;
+* :mod:`repro.experiments` — one module per table/figure.
+
+Quickstart::
+
+    from repro.datasets import make_dataset
+    from repro.core import TopoACDifferentiator
+    from repro.bisim import BiSIMImputer
+    from repro.imputers import run_imputer
+
+    ds = make_dataset("kaide", scale=0.4)
+    mask = TopoACDifferentiator(
+        entities=ds.venue.plan.entities
+    ).differentiate(ds.radio_map)
+    result = run_imputer(BiSIMImputer(), ds.radio_map, mask)
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    bisim,
+    cluster,
+    core,
+    datasets,
+    experiments,
+    geometry,
+    imputers,
+    metrics,
+    neuro,
+    positioning,
+    radio,
+    radiomap,
+    survey,
+    venue,
+    viz,
+)
+from .exceptions import ReproError
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    "bisim",
+    "cluster",
+    "core",
+    "datasets",
+    "experiments",
+    "geometry",
+    "imputers",
+    "metrics",
+    "neuro",
+    "positioning",
+    "radio",
+    "radiomap",
+    "survey",
+    "venue",
+    "viz",
+]

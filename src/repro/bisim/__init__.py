@@ -1,0 +1,53 @@
+"""The paper's core contribution, part 2: the BiSIM data imputer."""
+
+from .attention import (
+    AttentionUnit,
+    NoAttention,
+    SparsityFriendlyAttention,
+    VanillaBahdanauAttention,
+)
+from .config import BiSIMConfig
+from .features import (
+    FeatureSpace,
+    SequenceChunk,
+    batch_chunks,
+    build_feature_space,
+    prepare_chunks,
+    stack_batch,
+    time_lag_vectors,
+    time_lag_vectors_batched,
+)
+from .imputer import BiSIMImputer
+from .loss import cross_loss, direction_loss, overall_loss
+from .model import BiSIM, DirectionOutput
+from .online import OnlineImputer
+from .trainer import BiSIMTrainer, TrainingHistory
+from .units import DecoderUnit, EncoderUnit, TemporalDecay
+
+__all__ = [
+    "AttentionUnit",
+    "BiSIM",
+    "BiSIMConfig",
+    "BiSIMImputer",
+    "BiSIMTrainer",
+    "DecoderUnit",
+    "DirectionOutput",
+    "EncoderUnit",
+    "FeatureSpace",
+    "NoAttention",
+    "OnlineImputer",
+    "SequenceChunk",
+    "SparsityFriendlyAttention",
+    "TemporalDecay",
+    "TrainingHistory",
+    "VanillaBahdanauAttention",
+    "batch_chunks",
+    "build_feature_space",
+    "cross_loss",
+    "direction_loss",
+    "overall_loss",
+    "prepare_chunks",
+    "stack_batch",
+    "time_lag_vectors",
+    "time_lag_vectors_batched",
+]

@@ -1,0 +1,128 @@
+"""Attention units (Section IV-C, Eqs. 9-12) with ablation variants.
+
+The **sparsity-friendly** attention projects each encoder latent vector
+``h_i`` into the AP-dimension space (``h'_i = W_a h_i + b_a``) and
+zeroes the components of unobserved APs (``h''_i = h'_i ⊙ m_i``), so
+nulls cannot inject noise into the alignment.  The alignment function
+is a Bahdanau-style MLP; weights come from a softmax over energies, and
+the context is the weighted sum of the masked projections.
+
+``VanillaBahdanauAttention`` skips the mask projection (Fig. 17's
+second variant); ``NoAttention`` supplies no context at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import ImputationError
+from ..neuro import MLP, Linear, Module, Tensor, concat, stack
+
+
+class AttentionUnit(Module):
+    """Interface: ``prepare`` caches encoder latents, ``step`` yields
+    the context vector for one decoder step."""
+
+    context_size: int = 0
+
+    def prepare(
+        self, latents: List[Tensor], masks: List[np.ndarray]
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def step(self, s_prev: Tensor) -> Optional[Tensor]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SparsityFriendlyAttention(AttentionUnit):
+    """The paper's adapted Bahdanau attention (Eqs. 9-12)."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_aps: int,
+        attention_hidden: int,
+        rng: np.random.Generator,
+    ):
+        if hidden_size <= 0 or n_aps <= 0:
+            raise ImputationError("sizes must be positive")
+        self.context_size = n_aps
+        self.project = Linear(hidden_size, n_aps, rng)  # W_a, b_a
+        self.align = MLP(
+            [hidden_size + n_aps, attention_hidden, 1], rng
+        )
+        self._masked: List[Tensor] = []
+
+    def prepare(
+        self, latents: List[Tensor], masks: List[np.ndarray]
+    ) -> None:
+        if len(latents) != len(masks):
+            raise ImputationError("latents/masks length mismatch")
+        self._masked = [
+            self.project(h) * Tensor(m) for h, m in zip(latents, masks)
+        ]
+
+    def step(self, s_prev: Tensor) -> Tensor:
+        energies = [
+            self.align(concat([s_prev, h2], axis=1))
+            for h2 in self._masked
+        ]
+        e = concat(energies, axis=1)  # (B, T)
+        alpha = e.softmax(axis=1)
+        ctx = None
+        for i, h2 in enumerate(self._masked):
+            piece = alpha[:, i : i + 1] * h2
+            ctx = piece if ctx is None else ctx + piece
+        return ctx
+
+
+class VanillaBahdanauAttention(AttentionUnit):
+    """Standard Bahdanau attention over raw encoder latents."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        attention_hidden: int,
+        rng: np.random.Generator,
+    ):
+        if hidden_size <= 0:
+            raise ImputationError("hidden size must be positive")
+        self.context_size = hidden_size
+        self.align = MLP(
+            [hidden_size * 2, attention_hidden, 1], rng
+        )
+        self._latents: List[Tensor] = []
+
+    def prepare(
+        self, latents: List[Tensor], masks: List[np.ndarray]
+    ) -> None:
+        self._latents = list(latents)
+
+    def step(self, s_prev: Tensor) -> Tensor:
+        energies = [
+            self.align(concat([s_prev, h], axis=1))
+            for h in self._latents
+        ]
+        e = concat(energies, axis=1)
+        alpha = e.softmax(axis=1)
+        ctx = None
+        for i, h in enumerate(self._latents):
+            piece = alpha[:, i : i + 1] * h
+            ctx = piece if ctx is None else ctx + piece
+        return ctx
+
+
+class NoAttention(AttentionUnit):
+    """Ablation: the decoder receives no context vector."""
+
+    context_size = 0
+
+    def prepare(
+        self, latents: List[Tensor], masks: List[np.ndarray]
+    ) -> None:
+        pass
+
+    def step(self, s_prev: Tensor) -> Optional[Tensor]:
+        return None

@@ -1,0 +1,68 @@
+"""BiSIM configuration, including every ablation switch of Section V-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import DEFAULT_SEQUENCE_LENGTH
+from ..exceptions import ImputationError
+
+ATTENTION_KINDS = ("sparsity", "vanilla", "none")
+DECAY_MODES = ("scalar", "vector")
+CELL_KINDS = ("lstm", "simple")
+
+
+@dataclass
+class BiSIMConfig:
+    """Hyperparameters of BiSIM.
+
+    Defaults follow Section V-C: latent size 64, sequence length 5,
+    Adam at lr=0.001, batch size 32.  The paper trains 500 epochs on a
+    GPU; the default here is laptop-scale and overridable.
+
+    Ablation switches
+    -----------------
+    attention:
+        ``"sparsity"`` (the paper's adapted Bahdanau), ``"vanilla"``
+        (standard Bahdanau) or ``"none"`` (Fig. 17).
+    time_lag_encoder / time_lag_decoder:
+        where the temporal-decay mechanism applies (Fig. 18); the
+        paper's design is encoder-only.
+    bidirectional / cross_loss:
+        disable to ablate the bidirectional architecture (extra
+        ablation beyond the paper).
+    decay_mode:
+        ``"scalar"`` is the paper's "scalar temporal decay factor";
+        ``"vector"`` is the BRITS-style per-dimension decay.
+    """
+
+    hidden_size: int = 64
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH
+    attention: str = "sparsity"
+    attention_hidden: int = 32
+    time_lag_encoder: bool = True
+    time_lag_decoder: bool = False
+    bidirectional: bool = True
+    cross_loss: bool = True
+    decay_mode: str = "scalar"
+    cell: str = "lstm"
+    learning_rate: float = 1e-3
+    epochs: int = 120
+    batch_size: int = 32
+    grad_clip: float = 5.0
+    time_lag_scale: float = 10.0
+    seed: int = 29
+
+    def __post_init__(self) -> None:
+        if self.attention not in ATTENTION_KINDS:
+            raise ImputationError(f"unknown attention {self.attention!r}")
+        if self.decay_mode not in DECAY_MODES:
+            raise ImputationError(f"unknown decay mode {self.decay_mode!r}")
+        if self.cell not in CELL_KINDS:
+            raise ImputationError(f"unknown cell {self.cell!r}")
+        if self.hidden_size <= 0 or self.sequence_length <= 0:
+            raise ImputationError("sizes must be positive")
+        if self.epochs < 0 or self.batch_size <= 0:
+            raise ImputationError("invalid training settings")
+        if not self.bidirectional and self.cross_loss:
+            self.cross_loss = False  # cross loss needs both directions

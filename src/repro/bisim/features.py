@@ -1,0 +1,193 @@
+"""BiSIM input-feature preparation (Section IV-B).
+
+For each survey-path sequence of radio-map records we build:
+
+* the *fingerprint* inputs ``(delta_i, f_i, m_i)`` — the Eq. 1 time-lag
+  vector, the normalised fingerprint (0 where null), and the amended
+  mask row (1 observed or MNAR-filled, 0 MAR);
+* the *RP* inputs ``(l_j, k_j)`` — the normalised RP (0 where null)
+  and its 2-bit mask — plus an RP time-lag vector for the
+  time-lag-in-decoder ablation.
+
+Sequences longer than ``sequence_length`` are sliced before encoding
+and reassembled after decoding, exactly as Section V-C describes; the
+Eq. 1 recursion restarts in each slice (its first unit has delta = 0).
+Time-lag vectors are recomputed per direction from timestamps and
+masks, so the backward pass gets exact Eq. 1 lags for the reversed
+order rather than an approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..constants import MNAR_FILL, RSSI_MAX
+from ..exceptions import ImputationError
+from ..radiomap import RadioMap
+
+#: dBm span used to squash RSSIs into [0, 1].
+_RSSI_SPAN = float(RSSI_MAX - MNAR_FILL)
+
+
+def time_lag_vectors(times: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Eq. 1: per-dimension time since the last *observed* value.
+
+    Parameters
+    ----------
+    times:
+        ``(T,)`` record timestamps.
+    mask:
+        ``(T, D)`` 0/1 mask (1 = observed).
+
+    Returns
+    -------
+    ``(T, D)`` float array ``delta`` with ``delta[0] = 0`` and
+
+    * ``delta[i, j] = t_i - t_{i-1}``                   if ``m[i-1, j] = 1``
+    * ``delta[i, j] = delta[i-1, j] + (t_i - t_{i-1})`` otherwise.
+    """
+    times = np.asarray(times, dtype=float)
+    mask = np.asarray(mask)
+    if mask.ndim != 2 or mask.shape[0] != times.shape[0]:
+        raise ImputationError("mask must be (T, D) aligned with times")
+    return time_lag_vectors_batched(times[None, :], mask[None, :, :])[0]
+
+
+def time_lag_vectors_batched(
+    times: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Eq. 1 over a ``(B, T)`` / ``(B, T, D)`` batch."""
+    times = np.asarray(times, dtype=float)
+    mask = np.asarray(mask)
+    b, t_len, d = mask.shape
+    delta = np.zeros((b, t_len, d))
+    for i in range(1, t_len):
+        dt = (times[:, i] - times[:, i - 1])[:, None]
+        observed_prev = mask[:, i - 1] == 1
+        delta[:, i] = np.where(observed_prev, dt, delta[:, i - 1] + dt)
+    return delta
+
+
+@dataclass
+class SequenceChunk:
+    """One model-ready slice of a survey-path sequence.
+
+    All arrays are time-major; fingerprints and RPs are normalised to
+    [0, 1] and zero-filled at nulls.
+    """
+
+    rows: np.ndarray  # (T,) radio-map row indices
+    fingerprints: np.ndarray  # (T, D)
+    fp_mask: np.ndarray  # (T, D) amended mask (0 = MAR)
+    rps: np.ndarray  # (T, 2)
+    rp_mask: np.ndarray  # (T, 2)
+    times: np.ndarray  # (T,) scaled timestamps
+
+    @property
+    def length(self) -> int:
+        return int(self.rows.shape[0])
+
+
+@dataclass
+class FeatureSpace:
+    """Normalisation constants shared by encode/decode round trips."""
+
+    rp_min: np.ndarray
+    rp_span: np.ndarray
+    time_lag_scale: float
+
+    def normalize_fp(self, fp: np.ndarray) -> np.ndarray:
+        out = (fp - MNAR_FILL) / _RSSI_SPAN
+        return np.nan_to_num(out, nan=0.0)
+
+    def denormalize_fp(self, fp_norm: np.ndarray) -> np.ndarray:
+        return fp_norm * _RSSI_SPAN + MNAR_FILL
+
+    def normalize_rp(self, rp: np.ndarray) -> np.ndarray:
+        out = (rp - self.rp_min) / self.rp_span
+        return np.nan_to_num(out, nan=0.0)
+
+    def denormalize_rp(self, rp_norm: np.ndarray) -> np.ndarray:
+        return rp_norm * self.rp_span + self.rp_min
+
+
+def build_feature_space(
+    radio_map: RadioMap, time_lag_scale: float
+) -> FeatureSpace:
+    """Fit normalisation constants on the observed RPs."""
+    observed = radio_map.rps[radio_map.rp_observed_mask]
+    if observed.shape[0] == 0:
+        raise ImputationError("radio map has no observed RPs")
+    rp_min = observed.min(axis=0)
+    rp_span = observed.max(axis=0) - rp_min
+    rp_span[rp_span <= 0] = 1.0
+    return FeatureSpace(
+        rp_min=rp_min, rp_span=rp_span, time_lag_scale=time_lag_scale
+    )
+
+
+def prepare_chunks(
+    radio_map: RadioMap,
+    amended_mask: np.ndarray,
+    space: FeatureSpace,
+    sequence_length: int,
+) -> List[SequenceChunk]:
+    """Slice every path sequence into model-ready chunks."""
+    if amended_mask.shape != radio_map.fingerprints.shape:
+        raise ImputationError("amended mask shape mismatch")
+    chunks: List[SequenceChunk] = []
+    fp_norm_all = space.normalize_fp(radio_map.fingerprints)
+    rp_norm_all = space.normalize_rp(radio_map.rps)
+    rp_mask_all = np.repeat(
+        radio_map.rp_observed_mask.astype(float)[:, None], 2, axis=1
+    )
+
+    for _, rows in radio_map.path_sequences():
+        for start in range(0, rows.size, sequence_length):
+            sel = rows[start : start + sequence_length]
+            m = (amended_mask[sel] == 1).astype(float)
+            k = rp_mask_all[sel]
+            chunks.append(
+                SequenceChunk(
+                    rows=sel,
+                    fingerprints=fp_norm_all[sel] * m,
+                    fp_mask=m,
+                    rps=rp_norm_all[sel] * k,
+                    rp_mask=k,
+                    times=radio_map.times[sel] / space.time_lag_scale,
+                )
+            )
+    if not chunks:
+        raise ImputationError("no sequences to impute")
+    return chunks
+
+
+def batch_chunks(
+    chunks: List[SequenceChunk], batch_size: int
+) -> List[List[SequenceChunk]]:
+    """Group chunks of equal length into batches."""
+    by_length: dict = {}
+    for c in chunks:
+        by_length.setdefault(c.length, []).append(c)
+    batches: List[List[SequenceChunk]] = []
+    for _, group in sorted(by_length.items()):
+        for i in range(0, len(group), batch_size):
+            batches.append(group[i : i + batch_size])
+    return batches
+
+
+def stack_batch(batch: List[SequenceChunk]) -> Tuple[np.ndarray, ...]:
+    """Stack a same-length batch into ``(B, T, ·)`` arrays.
+
+    Returns ``(fp, m, rp, k, times)`` with ``times`` of shape ``(B, T)``.
+    """
+    return (
+        np.stack([c.fingerprints for c in batch]),
+        np.stack([c.fp_mask for c in batch]),
+        np.stack([c.rps for c in batch]),
+        np.stack([c.rp_mask for c in batch]),
+        np.stack([c.times for c in batch]),
+    )

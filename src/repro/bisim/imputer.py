@@ -1,0 +1,45 @@
+"""BiSIM as an :class:`~repro.imputers.base.Imputer`, plus the paper's
+named pipeline combinations D-BiSIM (DasaKM + BiSIM) and T-BiSIM
+(TopoAC + BiSIM)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..imputers.base import ImputationResult, Imputer
+from ..radiomap import RadioMap
+from .config import BiSIMConfig
+from .trainer import BiSIMTrainer
+
+
+@dataclass
+class BiSIMImputer(Imputer):
+    """Trains BiSIM on the given radio map, then imputes it.
+
+    A fresh model is trained per call (the paper's protocol: the
+    imputer is fit on the very radio map it completes).
+    """
+
+    config: BiSIMConfig = field(default_factory=BiSIMConfig)
+    name: str = field(default="BiSIM", init=False)
+
+    #: Filled after each :meth:`impute` call, for inspection.
+    last_trainer_: Optional[BiSIMTrainer] = field(
+        default=None, init=False, repr=False
+    )
+
+    def impute(
+        self, radio_map: RadioMap, amended_mask: np.ndarray
+    ) -> ImputationResult:
+        trainer = BiSIMTrainer(radio_map.n_aps, self.config)
+        trainer.fit(radio_map, amended_mask)
+        fingerprints, rps = trainer.impute(radio_map, amended_mask)
+        self.last_trainer_ = trainer
+        return ImputationResult(
+            fingerprints=fingerprints,
+            rps=rps,
+            kept_indices=np.arange(radio_map.n_records),
+        )

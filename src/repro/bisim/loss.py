@@ -1,0 +1,79 @@
+"""BiSIM loss (Section IV-D).
+
+    L_o = L_forward + L_backward + L_cross
+
+Each term averages per-step masked MSEs over the sequence; the
+reconstruction terms score the *predicted* vectors ``f'``/``l'``
+against the inputs (the complemented vectors would leak the observed
+entries), and the cross term ties the two directions' predictions
+together.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..neuro import Tensor, masked_mse
+from .model import DirectionOutput
+
+
+def direction_loss(
+    out: DirectionOutput,
+    fp: np.ndarray,
+    m: np.ndarray,
+    rp: np.ndarray,
+    k: np.ndarray,
+) -> Tensor:
+    """L_forward or L_backward for one direction.
+
+    ``fp``/``rp`` are the (normalised) inputs in original time order —
+    DirectionOutput lists are always aligned to that order.
+    """
+    t_len = len(out.f_prime)
+    total: Optional[Tensor] = None
+    for i in range(t_len):
+        term = masked_mse(
+            out.f_prime[i], Tensor(fp[:, i]), m[:, i]
+        ) + masked_mse(out.l_prime[i], Tensor(rp[:, i]), k[:, i])
+        total = term if total is None else total + term
+    assert total is not None
+    return total * (1.0 / t_len)
+
+
+def cross_loss(
+    fwd: DirectionOutput,
+    bwd: DirectionOutput,
+    m: np.ndarray,
+    k: np.ndarray,
+) -> Tensor:
+    """L_cross: consistency of forward vs backward predictions."""
+    t_len = len(fwd.f_prime)
+    total: Optional[Tensor] = None
+    for i in range(t_len):
+        term = masked_mse(
+            fwd.f_prime[i], bwd.f_prime[i], m[:, i]
+        ) + masked_mse(fwd.l_prime[i], bwd.l_prime[i], k[:, i])
+        total = term if total is None else total + term
+    assert total is not None
+    return total * (1.0 / t_len)
+
+
+def overall_loss(
+    fwd: DirectionOutput,
+    bwd: Optional[DirectionOutput],
+    fp: np.ndarray,
+    m: np.ndarray,
+    rp: np.ndarray,
+    k: np.ndarray,
+    *,
+    use_cross: bool = True,
+) -> Tensor:
+    """L_o — forward + backward + cross (terms drop out as configured)."""
+    loss = direction_loss(fwd, fp, m, rp, k)
+    if bwd is not None:
+        loss = loss + direction_loss(bwd, fp, m, rp, k)
+        if use_cross:
+            loss = loss + cross_loss(fwd, bwd, m, k)
+    return loss

@@ -1,0 +1,212 @@
+"""The BiSIM model (Section IV-A, Fig. 8).
+
+A bidirectional sequence-to-sequence imputer: the *encoder* stack
+consumes the fingerprint sequence ``(δ_i, f_i, m_i)`` and produces
+per-step imputations ``fc_i`` plus latent vectors ``h_i``; the last
+latent seeds the *decoder* stack, which consumes the RP sequence
+``(l_j, k_j)`` and, guided by the attention unit over all ``h_i``,
+produces RP imputations ``lc_j``.  The same network is run over the
+reversed sequences (with time-lag vectors recomputed per Eq. 1 for the
+reversed order), and the two directions' complemented vectors are
+averaged into the final output (Eq. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ImputationError
+from ..neuro import Module, Tensor
+from .attention import (
+    AttentionUnit,
+    NoAttention,
+    SparsityFriendlyAttention,
+    VanillaBahdanauAttention,
+)
+from .config import BiSIMConfig
+from .features import time_lag_vectors_batched
+from .units import DecoderUnit, EncoderUnit
+
+
+@dataclass
+class DirectionOutput:
+    """Per-direction model outputs, time-major lists of ``(B, ·)``.
+
+    ``f_prime``/``l_prime`` are the *predicted* vectors the
+    reconstruction loss scores; ``fc``/``lc`` are the complemented
+    vectors forming the imputation output.  Lists are aligned with the
+    original (forward) time order regardless of direction.
+    """
+
+    f_prime: List[Tensor]
+    fc: List[Tensor]
+    l_prime: List[Tensor]
+    lc: List[Tensor]
+
+
+class BiSIM(Module):
+    """Bi-directional Sequence-to-Sequence Imputation Model."""
+
+    def __init__(self, n_aps: int, config: BiSIMConfig):
+        if n_aps <= 0:
+            raise ImputationError("n_aps must be positive")
+        self.n_aps = n_aps
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.encoder = EncoderUnit(
+            n_aps,
+            config.hidden_size,
+            rng,
+            use_time_lag=config.time_lag_encoder,
+            decay_mode=config.decay_mode,
+            cell=config.cell,
+        )
+        self.attention = self._build_attention(rng)
+        self.decoder = DecoderUnit(
+            config.hidden_size,
+            self.attention.context_size,
+            rng,
+            use_time_lag=config.time_lag_decoder,
+            decay_mode=config.decay_mode,
+            cell=config.cell,
+        )
+
+    def _build_attention(self, rng: np.random.Generator) -> AttentionUnit:
+        cfg = self.config
+        if cfg.attention == "sparsity":
+            return SparsityFriendlyAttention(
+                cfg.hidden_size, self.n_aps, cfg.attention_hidden, rng
+            )
+        if cfg.attention == "vanilla":
+            return VanillaBahdanauAttention(
+                cfg.hidden_size, cfg.attention_hidden, rng
+            )
+        return NoAttention()
+
+    # ------------------------------------------------------------------
+    def run_direction(
+        self,
+        fp: np.ndarray,
+        m: np.ndarray,
+        rp: np.ndarray,
+        k: np.ndarray,
+        times: np.ndarray,
+        *,
+        reverse: bool,
+    ) -> DirectionOutput:
+        """Run encoder + decoder over a ``(B, T, ·)`` batch.
+
+        When ``reverse`` is True the time axis is flipped on input, the
+        Eq. 1 lags are recomputed for the flipped order (reversed
+        timestamps are negated so gaps stay positive), and the outputs
+        are flipped back so both directions align with original order.
+        """
+        if reverse:
+            fp = fp[:, ::-1]
+            m = m[:, ::-1]
+            rp = rp[:, ::-1]
+            k = k[:, ::-1]
+            times = -times[:, ::-1]
+        fp_lag = time_lag_vectors_batched(times, m)
+        rp_lag = time_lag_vectors_batched(times, k)
+        batch, t_len, _ = fp.shape
+
+        # --- encoder stack
+        state = self.encoder.initial_state(batch)
+        latents: List[Tensor] = []
+        masks: List[np.ndarray] = []
+        f_primes: List[Tensor] = []
+        fcs: List[Tensor] = []
+        for i in range(t_len):
+            f_prime, fc, state = self.encoder.step(
+                Tensor(fp[:, i]),
+                Tensor(m[:, i]),
+                Tensor(fp_lag[:, i]),
+                state,
+            )
+            latents.append(state[0])
+            masks.append(m[:, i])
+            f_primes.append(f_prime)
+            fcs.append(fc)
+
+        # --- decoder stack seeded with h_T (s_0 = h_T)
+        self.attention.prepare(latents, masks)
+        dec_state: Tuple[Tensor, Tensor] = state
+        l_primes: List[Tensor] = []
+        lcs: List[Tensor] = []
+        for j in range(t_len):
+            context = self.attention.step(dec_state[0])
+            l_prime, lc, dec_state = self.decoder.step(
+                Tensor(rp[:, j]),
+                Tensor(k[:, j]),
+                context,
+                Tensor(rp_lag[:, j]),
+                dec_state,
+            )
+            l_primes.append(l_prime)
+            lcs.append(lc)
+
+        if reverse:
+            f_primes.reverse()
+            fcs.reverse()
+            l_primes.reverse()
+            lcs.reverse()
+        return DirectionOutput(
+            f_prime=f_primes, fc=fcs, l_prime=l_primes, lc=lcs
+        )
+
+    def forward(
+        self,
+        fp: np.ndarray,
+        m: np.ndarray,
+        rp: np.ndarray,
+        k: np.ndarray,
+        times: np.ndarray,
+    ) -> Tuple[DirectionOutput, Optional[DirectionOutput]]:
+        """Run forward (and, if configured, backward) passes."""
+        fwd = self.run_direction(fp, m, rp, k, times, reverse=False)
+        bwd = (
+            self.run_direction(fp, m, rp, k, times, reverse=True)
+            if self.config.bidirectional
+            else None
+        )
+        return fwd, bwd
+
+    # ------------------------------------------------------------------
+    def impute_batch(
+        self,
+        fp: np.ndarray,
+        m: np.ndarray,
+        rp: np.ndarray,
+        k: np.ndarray,
+        times: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Eq. 13 outputs: averaged complemented vectors.
+
+        Returns ``(fingerprints, rps)`` as ``(B, T, ·)`` arrays in the
+        normalised feature space.
+        """
+        fwd, bwd = self.forward(fp, m, rp, k, times)
+        t_len = len(fwd.fc)
+        f_out = np.stack(
+            [
+                (fwd.fc[i].data + bwd.fc[i].data) / 2.0
+                if bwd is not None
+                else fwd.fc[i].data
+                for i in range(t_len)
+            ],
+            axis=1,
+        )
+        l_out = np.stack(
+            [
+                (fwd.lc[j].data + bwd.lc[j].data) / 2.0
+                if bwd is not None
+                else fwd.lc[j].data
+                for j in range(t_len)
+            ],
+            axis=1,
+        )
+        return f_out, l_out

@@ -1,0 +1,226 @@
+"""Online fingerprint imputation (the paper's future-work item).
+
+Section VII: *"In future work, it is of interest to design more
+efficient methods that enable online imputation of fingerprints."*
+This module implements that extension on top of a trained BiSIM: an
+online query fingerprint (one scan from a user's device) is imputed by
+conditioning the trained encoder on the most similar survey context.
+
+Mechanics: during :meth:`OnlineImputer.fit` we keep the training
+chunks.  At query time we pick the chunk whose (masked) final
+fingerprint is most similar to the query, append the query as an extra
+encoder step (with the user-supplied time gap driving the Eq. 1 decay),
+run the forward encoder, and read the final complemented vector.  Cost
+is one encoder pass over ``T+1`` steps — milliseconds — versus
+retraining, which is what makes it *online*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..constants import RSSI_MAX, RSSI_MIN
+from ..exceptions import ImputationError
+from ..neuro import Tensor
+from ..radiomap import RadioMap
+from .config import BiSIMConfig
+from .features import SequenceChunk, prepare_chunks, time_lag_vectors
+from .trainer import BiSIMTrainer
+
+
+class OnlineImputer:
+    """Imputes single online fingerprints with a trained BiSIM encoder."""
+
+    def __init__(self, trainer: BiSIMTrainer):
+        if trainer.space is None:
+            raise ImputationError("trainer must be fitted first")
+        self._trainer = trainer
+        self._chunks: List[SequenceChunk] = []
+
+    @classmethod
+    def fit(
+        cls,
+        radio_map: RadioMap,
+        amended_mask: np.ndarray,
+        config: Optional[BiSIMConfig] = None,
+    ) -> "OnlineImputer":
+        """Train a BiSIM on the radio map and build the online index."""
+        config = config or BiSIMConfig()
+        trainer = BiSIMTrainer(radio_map.n_aps, config)
+        trainer.fit(radio_map, amended_mask)
+        imputer = cls(trainer)
+        imputer.index(radio_map, amended_mask)
+        return imputer
+
+    def index(
+        self, radio_map: RadioMap, amended_mask: np.ndarray
+    ) -> None:
+        """(Re)build the context index from a radio map."""
+        assert self._trainer.space is not None
+        self._chunks = prepare_chunks(
+            radio_map,
+            amended_mask,
+            self._trainer.space,
+            self._trainer.config.sequence_length,
+        )
+        if not self._chunks:
+            raise ImputationError("no context chunks available")
+
+    # ------------------------------------------------------------------
+    def impute_fingerprint(
+        self,
+        fingerprint: np.ndarray,
+        *,
+        time_gap: float = 2.0,
+    ) -> np.ndarray:
+        """Impute the missing entries of one online fingerprint.
+
+        Parameters
+        ----------
+        fingerprint:
+            ``(D,)`` RSSI vector with NaN for missing readings.
+        time_gap:
+            Seconds assumed between the context's last record and the
+            online scan (drives the temporal decay).
+
+        Returns
+        -------
+        A complete ``(D,)`` fingerprint; observed entries pass through,
+        missing ones are model estimates clipped into [-99, 0] dBm.
+        """
+        space = self._trainer.space
+        assert space is not None
+        fp = np.asarray(fingerprint, dtype=float)
+        model = self._trainer.model
+        if fp.shape != (model.n_aps,):
+            raise ImputationError(
+                f"fingerprint must be ({model.n_aps},)"
+            )
+        query_mask = np.isfinite(fp).astype(float)
+        query_norm = space.normalize_fp(fp) * query_mask
+
+        chunk = self._most_similar_chunk(query_norm, query_mask)
+
+        # Extended sequence: context chunk + the online scan.
+        fp_seq = np.vstack([chunk.fingerprints, query_norm])
+        m_seq = np.vstack([chunk.fp_mask, query_mask])
+        times = np.concatenate(
+            [
+                chunk.times,
+                [chunk.times[-1] + time_gap / space.time_lag_scale],
+            ]
+        )
+        lags = time_lag_vectors(times, m_seq)
+
+        state = model.encoder.initial_state(1)
+        fc_last = None
+        for i in range(fp_seq.shape[0]):
+            _, fc, state = model.encoder.step(
+                Tensor(fp_seq[None, i]),
+                Tensor(m_seq[None, i]),
+                Tensor(lags[None, i]),
+                state,
+            )
+            fc_last = fc
+        assert fc_last is not None
+        imputed = space.denormalize_fp(fc_last.data[0])
+
+        # Blend the encoder estimate with a masked signal-space KNN
+        # estimate over the indexed records: the encoder contributes
+        # temporal context, the neighbours contribute per-dimension
+        # level calibration.  Dimensions no neighbour ever observed
+        # fall back to the encoder alone.
+        knn = self._knn_estimate(query_norm, query_mask)
+        knn_dbm = space.denormalize_fp(knn)
+
+        out = fp.copy()
+        missing = np.where(query_mask == 0)[0]
+        for d in missing:
+            if np.isfinite(knn[d]):
+                value = 0.5 * imputed[d] + 0.5 * knn_dbm[d]
+            else:
+                value = imputed[d]
+            out[d] = np.clip(value, RSSI_MIN, RSSI_MAX)
+        return out
+
+    def _knn_estimate(
+        self,
+        query_norm: np.ndarray,
+        query_mask: np.ndarray,
+        k: int = 3,
+    ) -> np.ndarray:
+        """Per-dimension mean of the k most similar indexed records.
+
+        Similarity uses the dimensions both records observed; returns
+        NaN for dimensions none of the neighbours observed (all values
+        in normalised feature space).
+        """
+        rows = []
+        masks = []
+        for chunk in self._chunks:
+            rows.append(chunk.fingerprints)
+            masks.append(chunk.fp_mask)
+        all_fp = np.vstack(rows)
+        all_m = np.vstack(masks)
+
+        both = (all_m == 1) & (query_mask[None, :] == 1)
+        counts = both.sum(axis=1)
+        diff = np.where(both, all_fp - query_norm[None, :], 0.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            dist = np.sqrt((diff**2).sum(axis=1)) / np.maximum(counts, 1)
+        dist[counts == 0] = np.inf
+        order = np.argsort(dist, kind="stable")[:k]
+        neigh_fp = all_fp[order]
+        neigh_m = all_m[order]
+        seen = neigh_m.sum(axis=0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            estimate = (neigh_fp * neigh_m).sum(axis=0) / seen
+        estimate[seen == 0] = np.nan
+        return estimate
+
+    def impute_batch(
+        self, fingerprints: np.ndarray, *, time_gap: float = 2.0
+    ) -> np.ndarray:
+        """Impute several online fingerprints (row-wise)."""
+        fps = np.asarray(fingerprints, dtype=float)
+        if fps.ndim == 1:
+            fps = fps[None, :]
+        return np.stack(
+            [
+                self.impute_fingerprint(fps[i], time_gap=time_gap)
+                for i in range(fps.shape[0])
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def _most_similar_chunk(
+        self, query_norm: np.ndarray, query_mask: np.ndarray
+    ) -> SequenceChunk:
+        """Context chunk whose final fingerprint best matches the query.
+
+        Similarity is measured on the dimensions both sides observed;
+        ties and empty overlaps fall back to overall observed-pattern
+        similarity.
+        """
+        best: Tuple[float, Optional[SequenceChunk]] = (np.inf, None)
+        for chunk in self._chunks:
+            last_fp = chunk.fingerprints[-1]
+            last_m = chunk.fp_mask[-1]
+            both = (last_m == 1) & (query_mask == 1)
+            if both.any():
+                d = float(
+                    np.linalg.norm(
+                        (last_fp[both] - query_norm[both])
+                    )
+                ) / np.sqrt(both.sum())
+            else:
+                # No overlap: compare observability patterns instead.
+                d = 1.0 + float(
+                    np.abs(last_m - query_mask).mean()
+                )
+            if d < best[0]:
+                best = (d, chunk)
+        assert best[1] is not None
+        return best[1]

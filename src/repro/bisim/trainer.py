@@ -1,0 +1,133 @@
+"""BiSIM training loop and full-map imputation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..constants import RSSI_MAX, RSSI_MIN
+from ..exceptions import ImputationError
+from ..neuro import Adam
+from ..radiomap import RadioMap
+from .config import BiSIMConfig
+from .features import (
+    FeatureSpace,
+    SequenceChunk,
+    batch_chunks,
+    build_feature_space,
+    prepare_chunks,
+    stack_batch,
+)
+from .loss import overall_loss
+from .model import BiSIM
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch mean training loss."""
+
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ImputationError("model has not been trained")
+        return self.losses[-1]
+
+
+class BiSIMTrainer:
+    """Trains a :class:`BiSIM` on one radio map and imputes it.
+
+    The model is trained self-supervised on reconstruction of observed
+    entries (Section IV-D); imputation then assembles the Eq. 13
+    outputs chunk by chunk back into a complete radio map.
+    """
+
+    def __init__(self, n_aps: int, config: BiSIMConfig):
+        self.config = config
+        self.model = BiSIM(n_aps, config)
+        self.space: FeatureSpace | None = None
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    def fit(
+        self, radio_map: RadioMap, amended_mask: np.ndarray
+    ) -> TrainingHistory:
+        """Train on the MNAR-filled radio map."""
+        cfg = self.config
+        self.space = build_feature_space(radio_map, cfg.time_lag_scale)
+        chunks = prepare_chunks(
+            radio_map, amended_mask, self.space, cfg.sequence_length
+        )
+        batches = batch_chunks(chunks, cfg.batch_size)
+        optimizer = Adam(self.model.parameters(), lr=cfg.learning_rate)
+        rng = np.random.default_rng(cfg.seed + 1)
+
+        for _ in range(cfg.epochs):
+            order = rng.permutation(len(batches))
+            epoch_losses = []
+            for b in order:
+                batch = batches[int(b)]
+                fp, m, rp, k, times = stack_batch(batch)
+                optimizer.zero_grad()
+                fwd, bwd = self.model.forward(fp, m, rp, k, times)
+                loss = overall_loss(
+                    fwd, bwd, fp, m, rp, k, use_cross=cfg.cross_loss
+                )
+                loss.backward()
+                optimizer.clip_gradients(cfg.grad_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            self.history.losses.append(float(np.mean(epoch_losses)))
+        return self.history
+
+    # ------------------------------------------------------------------
+    def impute(
+        self, radio_map: RadioMap, amended_mask: np.ndarray
+    ) -> tuple:
+        """Impute MARs and missing RPs; returns ``(fingerprints, rps)``.
+
+        Observed values (and MNAR fills) are passed through unchanged —
+        the complemented vectors copy them by construction — while MAR
+        RSSIs are clipped into the observable range [-99, 0] dBm
+        (footnote 2: a MAR would have been observed, so its value must
+        be a legal observation).
+        """
+        if self.space is None:
+            raise ImputationError("call fit() before impute()")
+        cfg = self.config
+        chunks = prepare_chunks(
+            radio_map, amended_mask, self.space, cfg.sequence_length
+        )
+        fingerprints = radio_map.fingerprints.copy()
+        rps = radio_map.rps.copy()
+        for batch in batch_chunks(chunks, cfg.batch_size):
+            fp, m, rp, k, times = stack_batch(batch)
+            f_out, l_out = self.model.impute_batch(fp, m, rp, k, times)
+            self._write_back(
+                batch, f_out, l_out, fingerprints, rps, amended_mask
+            )
+        return fingerprints, rps
+
+    def _write_back(
+        self,
+        batch: List[SequenceChunk],
+        f_out: np.ndarray,
+        l_out: np.ndarray,
+        fingerprints: np.ndarray,
+        rps: np.ndarray,
+        amended_mask: np.ndarray,
+    ) -> None:
+        assert self.space is not None
+        for b, chunk in enumerate(batch):
+            f_imputed = self.space.denormalize_fp(f_out[b])
+            l_imputed = self.space.denormalize_rp(l_out[b])
+            for t, row in enumerate(chunk.rows):
+                mar = amended_mask[row] == 0
+                fingerprints[row, mar] = np.clip(
+                    f_imputed[t, mar], RSSI_MIN, RSSI_MAX
+                )
+                if not np.isfinite(rps[row]).all():
+                    rps[row] = l_imputed[t]

@@ -1,0 +1,146 @@
+"""Encoder and decoder units (Section IV-C, Figs. 9-10).
+
+Encoder unit (Eqs. 2-5):
+    f'_i  = W_f h_{i-1} + b_f                      (estimate)
+    fc_i  = m_i ⊙ f_i + (1 - m_i) ⊙ f'_i          (combine)
+    γ_i   = exp(-max(0, W_γ δ_i + b_γ))            (temporal decay)
+    h_i   = Cell(fc_i ⊕ m_i, h_{i-1} ⊙ γ_i)
+
+Decoder unit (Eqs. 6-8): same shape without the time-lag term, with the
+attention context concatenated into the cell input:
+    l'_j  = W_l s_{j-1} + b_l
+    lc_j  = k_j ⊙ l_j + (1 - k_j) ⊙ l'_j
+    s_j   = Cell(lc_j ⊕ c_j, s_{j-1})
+
+For the Fig. 18 ablations both units can toggle their time-lag decay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ImputationError
+from ..neuro import Linear, LSTMCell, Module, SimpleRecurrentCell, Tensor, concat
+
+
+def _make_cell(kind: str, input_size: int, hidden: int, rng):
+    if kind == "lstm":
+        return LSTMCell(input_size, hidden, rng)
+    if kind == "simple":
+        return SimpleRecurrentCell(input_size, hidden, rng)
+    raise ImputationError(f"unknown cell kind {kind!r}")
+
+
+class TemporalDecay(Module):
+    """γ = exp(-max(0, W δ + b)).
+
+    ``scalar`` mode maps the time-lag vector to one decay factor per
+    sample (the paper's wording); ``vector`` mode produces one factor
+    per hidden dimension (the BRITS convention).
+    """
+
+    def __init__(
+        self,
+        lag_size: int,
+        hidden_size: int,
+        mode: str,
+        rng: np.random.Generator,
+    ):
+        if mode not in ("scalar", "vector"):
+            raise ImputationError(f"unknown decay mode {mode!r}")
+        out = 1 if mode == "scalar" else hidden_size
+        self.mode = mode
+        self.linear = Linear(lag_size, out, rng)
+
+    def __call__(self, lag: Tensor) -> Tensor:
+        return (-self.linear(lag).relu()).exp()
+
+
+class EncoderUnit(Module):
+    """One shared-weights encoder step over ``(B, D)`` inputs."""
+
+    def __init__(
+        self,
+        n_aps: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        *,
+        use_time_lag: bool = True,
+        decay_mode: str = "scalar",
+        cell: str = "lstm",
+    ):
+        self.n_aps = n_aps
+        self.hidden_size = hidden_size
+        self.use_time_lag = use_time_lag
+        self.estimate = Linear(hidden_size, n_aps, rng)  # W_f, b_f
+        self.decay = (
+            TemporalDecay(n_aps, hidden_size, decay_mode, rng)
+            if use_time_lag
+            else None
+        )
+        self.cell = _make_cell(cell, 2 * n_aps, hidden_size, rng)
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        return self.cell.initial_state(batch)
+
+    def step(
+        self,
+        f: Tensor,
+        m: Tensor,
+        lag: Tensor,
+        state: Tuple[Tensor, Tensor],
+    ) -> Tuple[Tensor, Tensor, Tuple[Tensor, Tensor]]:
+        """Returns ``(f_prime, f_complemented, new_state)``."""
+        h_prev, c_prev = state
+        f_prime = self.estimate(h_prev)
+        fc = m * f + (1.0 - m) * f_prime
+        if self.decay is not None:
+            h_prev = h_prev * self.decay(lag)
+        h, c = self.cell(concat([fc, m], axis=1), (h_prev, c_prev))
+        return f_prime, fc, (h, c)
+
+
+class DecoderUnit(Module):
+    """One shared-weights decoder step over ``(B, 2)`` RP inputs."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        context_size: int,
+        rng: np.random.Generator,
+        *,
+        use_time_lag: bool = False,
+        decay_mode: str = "scalar",
+        cell: str = "lstm",
+    ):
+        self.hidden_size = hidden_size
+        self.context_size = context_size
+        self.estimate = Linear(hidden_size, 2, rng)  # W_l, b_l
+        self.decay = (
+            TemporalDecay(2, hidden_size, decay_mode, rng)
+            if use_time_lag
+            else None
+        )
+        self.cell = _make_cell(
+            cell, 2 + context_size, hidden_size, rng
+        )
+
+    def step(
+        self,
+        l: Tensor,
+        k: Tensor,
+        context: Optional[Tensor],
+        lag: Optional[Tensor],
+        state: Tuple[Tensor, Tensor],
+    ) -> Tuple[Tensor, Tensor, Tuple[Tensor, Tensor]]:
+        """Returns ``(l_prime, l_complemented, new_state)``."""
+        s_prev, c_prev = state
+        l_prime = self.estimate(s_prev)
+        lc = k * l + (1.0 - k) * l_prime
+        if self.decay is not None and lag is not None:
+            s_prev = s_prev * self.decay(lag)
+        cell_in = lc if context is None else concat([lc, context], axis=1)
+        s, c = self.cell(cell_in, (s_prev, c_prev))
+        return l_prime, lc, (s, c)

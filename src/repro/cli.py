@@ -1,0 +1,112 @@
+"""Command-line interface: ``python -m repro <experiment> [--preset P]``.
+
+Runs any of the table/figure experiments and prints the rendered
+result, e.g.::
+
+    python -m repro table5 --preset smoke
+    python -m repro fig17 --preset bench
+    python -m repro all --preset smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import (
+    PRESETS,
+    ablation_bidir,
+    fig5,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig67,
+    marshare,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+EXPERIMENTS = {
+    "table5": table5,
+    "fig5": fig5,
+    "fig67": fig67,
+    "marshare": marshare,
+    "fig12": fig12,
+    "fig13": fig13,
+    "table6": table6,
+    "table7": table7,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+    "table8": table8,
+    "ablation-bidir": ablation_bidir,
+}
+
+#: Light experiments run first when ``all`` is requested.
+_ALL_ORDER = [
+    "table5",
+    "fig5",
+    "fig67",
+    "marshare",
+    "table7",
+    "fig16",
+    "fig17",
+    "fig18",
+    "ablation-bidir",
+    "table6",
+    "table8",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables/figures of 'Data Imputation for Sparse "
+            "Radio Maps in Indoor Positioning' (ICDE 2023)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--preset",
+        default="smoke",
+        choices=sorted(PRESETS),
+        help="experiment scale preset (default: smoke)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = PRESETS[args.preset]
+    names = _ALL_ORDER if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.perf_counter()
+        result = module.run(config)
+        elapsed = time.perf_counter() - start
+        print(f"\n== {result.experiment_id} ({elapsed:.1f}s) ==")
+        print(result.rendered)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Clustering substrate: K-means, elbow selection, constrained agglomerative."""
+
+from .agglomerative import constrained_agglomerative
+from .elbow import ElbowResult, elbow_kmeans
+from .kmeans import KMeansResult, kmeans
+
+__all__ = [
+    "ElbowResult",
+    "KMeansResult",
+    "constrained_agglomerative",
+    "elbow_kmeans",
+    "kmeans",
+]

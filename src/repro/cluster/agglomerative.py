@@ -1,0 +1,110 @@
+"""Constraint-aware agglomerative clustering machinery.
+
+Generic bottom-up merging used by TopoAC: starting from singleton
+clusters, repeatedly merge the *closest* pair (centre-to-centre
+Euclidean distance) whose merged cluster passes a caller-supplied
+constraint predicate; stop when no pair passes.
+
+The constraint makes the classic "merge the globally closest pair"
+loop subtle: a pair may fail now yet its members may merge with other
+clusters later, so we only discard pairs permanently when *their exact
+member sets* failed the check.  Failed checks are memoised by frozen
+member sets, which keeps the quadratic loop tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..exceptions import ClusteringError
+
+ConstraintFn = Callable[[np.ndarray], bool]
+"""Receives the member-index array of a *candidate merged* cluster and
+returns True when the merge is admissible."""
+
+
+def constrained_agglomerative(
+    points: np.ndarray,
+    constraint: ConstraintFn,
+    *,
+    max_merges: int | None = None,
+) -> List[np.ndarray]:
+    """Cluster ``points`` bottom-up under a merge constraint.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` coordinates used for centre-to-centre distances.
+    constraint:
+        Admissibility predicate on the merged cluster's member indices.
+    max_merges:
+        Optional safety cap (defaults to unlimited).
+
+    Returns
+    -------
+    List of member-index arrays, one per final cluster.
+    """
+    x = np.asarray(points, dtype=float)
+    if x.ndim != 2 or x.shape[0] == 0:
+        raise ClusteringError("points must be a non-empty (n, d) array")
+    n = x.shape[0]
+    clusters: List[np.ndarray] = [np.array([i]) for i in range(n)]
+    centers = [x[i].copy() for i in range(n)]
+    failed: set = set()
+    merges = 0
+    limit = max_merges if max_merges is not None else n * n
+
+    while len(clusters) > 1 and merges < limit:
+        pair = _closest_admissible_pair(
+            clusters, centers, constraint, failed
+        )
+        if pair is None:
+            break
+        i, j = pair
+        merged = np.concatenate([clusters[i], clusters[j]])
+        # Remove j first (j > i) to keep indices stable.
+        for idx in sorted((i, j), reverse=True):
+            clusters.pop(idx)
+            centers.pop(idx)
+        clusters.append(merged)
+        centers.append(x[merged].mean(axis=0))
+        merges += 1
+    return clusters
+
+
+def _closest_admissible_pair(
+    clusters: Sequence[np.ndarray],
+    centers: Sequence[np.ndarray],
+    constraint: ConstraintFn,
+    failed: set,
+):
+    """Find the closest cluster pair whose merge passes the constraint.
+
+    Returns ``(i, j)`` with ``i < j`` or None.  Candidate pairs are
+    examined in increasing centre-distance order; the first admissible
+    one wins (this matches TopoAC's "pick the pair with minimum distance
+    s.t. the topological examination passes").
+    """
+    m = len(clusters)
+    if m < 2:
+        return None
+    cent = np.array(centers)
+    diff = cent[:, None, :] - cent[None, :, :]
+    dist = np.linalg.norm(diff, axis=2)
+    iu = np.triu_indices(m, k=1)
+    order = np.argsort(dist[iu], kind="stable")
+    for flat in order:
+        i = int(iu[0][flat])
+        j = int(iu[1][flat])
+        key = frozenset(
+            (frozenset(clusters[i].tolist()), frozenset(clusters[j].tolist()))
+        )
+        if key in failed:
+            continue
+        merged = np.concatenate([clusters[i], clusters[j]])
+        if constraint(merged):
+            return i, j
+        failed.add(key)
+    return None

@@ -1,0 +1,81 @@
+"""Elbow-method K selection for K-means (the paper's ElbowKM baseline).
+
+Runs K-means for K = 1..U, records the within-cluster sum of squares
+(inertia) curve, and picks the knee: the K maximising the distance of
+the (K, inertia) point from the straight line joining the curve's
+endpoints — the standard geometric knee criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..exceptions import ClusteringError
+from .kmeans import KMeansResult, kmeans
+
+
+@dataclass
+class ElbowResult:
+    """Inertia curve and the selected knee."""
+
+    k_values: List[int]
+    inertias: List[float]
+    best_k: int
+    best_result: KMeansResult
+
+
+def elbow_kmeans(
+    data: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    upper_bound: int = 200,
+    metric: str = "euclidean",
+) -> ElbowResult:
+    """Select K by the elbow method and return the chosen clustering."""
+    x = np.asarray(data, dtype=float)
+    if x.ndim != 2 or x.shape[0] == 0:
+        raise ClusteringError("data must be a non-empty (n, d) array")
+    u = min(upper_bound, x.shape[0])
+    if u < 1:
+        raise ClusteringError("upper bound must be >= 1")
+
+    k_values = list(range(1, u + 1))
+    results: List[KMeansResult] = []
+    inertias: List[float] = []
+    for k in k_values:
+        res = kmeans(x, k, rng, metric=metric, n_init=1)
+        results.append(res)
+        inertias.append(res.inertia)
+
+    best_k = _knee_index(k_values, inertias) + 1
+    return ElbowResult(
+        k_values=k_values,
+        inertias=inertias,
+        best_k=best_k,
+        best_result=results[best_k - 1],
+    )
+
+
+def _knee_index(ks: List[int], inertias: List[float]) -> int:
+    """Index of the point farthest from the endpoint chord."""
+    if len(ks) == 1:
+        return 0
+    pts = np.stack(
+        [np.asarray(ks, dtype=float), np.asarray(inertias, dtype=float)],
+        axis=1,
+    )
+    # Normalise both axes so the knee is scale-invariant.
+    span = pts.max(axis=0) - pts.min(axis=0)
+    span[span == 0] = 1.0
+    norm = (pts - pts.min(axis=0)) / span
+    start, end = norm[0], norm[-1]
+    chord = end - start
+    chord_len = float(np.linalg.norm(chord))
+    if chord_len == 0:
+        return 0
+    rel = norm - start
+    cross = np.abs(rel[:, 0] * chord[1] - rel[:, 1] * chord[0])
+    return int(np.argmax(cross / chord_len))

@@ -1,0 +1,149 @@
+"""K-means clustering (from scratch; scikit-learn is unavailable).
+
+Lloyd's algorithm with k-means++ initialisation.  The paper uses
+K-means with Euclidean distance on binarised AP profiles concatenated
+with RP coordinates ("We also considered Manhattan distance, but it
+achieved inferior results"), so both metrics are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..exceptions import ClusteringError
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one K-means run.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` cluster index per sample.
+    centers:
+        ``(k, d)`` cluster centroids.
+    inertia:
+        Within-cluster sum of squared distances (the elbow metric).
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.centers.shape[0])
+
+    def clusters(self) -> List[np.ndarray]:
+        """Sample indices per cluster (may contain empty arrays)."""
+        return [
+            np.where(self.labels == k)[0] for k in range(self.n_clusters)
+        ]
+
+
+def kmeans(
+    data: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+    *,
+    metric: str = "euclidean",
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    n_init: int = 3,
+) -> KMeansResult:
+    """Run K-means, keeping the best of ``n_init`` restarts.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` samples.
+    metric:
+        ``"euclidean"`` (default, as the paper settled on) or
+        ``"manhattan"``.
+    """
+    x = np.asarray(data, dtype=float)
+    if x.ndim != 2 or x.shape[0] == 0:
+        raise ClusteringError("data must be a non-empty (n, d) array")
+    n = x.shape[0]
+    if not 1 <= n_clusters <= n:
+        raise ClusteringError(
+            f"n_clusters={n_clusters} invalid for {n} samples"
+        )
+    if metric not in ("euclidean", "manhattan"):
+        raise ClusteringError(f"unknown metric {metric!r}")
+
+    best: KMeansResult | None = None
+    for _ in range(max(1, n_init)):
+        result = _kmeans_once(x, n_clusters, rng, metric, max_iter, tol)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best
+
+
+def _kmeans_once(
+    x: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    metric: str,
+    max_iter: int,
+    tol: float,
+) -> KMeansResult:
+    centers = _kmeanspp_init(x, k, rng)
+    labels = np.zeros(x.shape[0], dtype=int)
+    for _ in range(max_iter):
+        dist = _pairwise(x, centers, metric)
+        labels = np.argmin(dist, axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = x[labels == j]
+            if members.shape[0] > 0:
+                new_centers[j] = (
+                    members.mean(axis=0)
+                    if metric == "euclidean"
+                    else np.median(members, axis=0)
+                )
+            else:
+                # Re-seed an empty cluster at the farthest sample.
+                far = int(np.argmax(dist.min(axis=1)))
+                new_centers[j] = x[far]
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        if shift < tol:
+            break
+    dist = _pairwise(x, centers, metric)
+    labels = np.argmin(dist, axis=1)
+    inertia = float((dist[np.arange(x.shape[0]), labels] ** 2).sum())
+    return KMeansResult(labels=labels, centers=centers, inertia=inertia)
+
+
+def _kmeanspp_init(
+    x: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = x.shape[0]
+    centers = [x[int(rng.integers(n))]]
+    for _ in range(1, k):
+        d2 = np.min(
+            ((x[:, None, :] - np.array(centers)[None, :, :]) ** 2).sum(
+                axis=2
+            ),
+            axis=1,
+        )
+        total = d2.sum()
+        if total <= 0:
+            centers.append(x[int(rng.integers(n))])
+            continue
+        probs = d2 / total
+        centers.append(x[int(rng.choice(n, p=probs))])
+    return np.array(centers)
+
+
+def _pairwise(x: np.ndarray, centers: np.ndarray, metric: str) -> np.ndarray:
+    diff = x[:, None, :] - centers[None, :, :]
+    if metric == "euclidean":
+        return np.sqrt((diff**2).sum(axis=2))
+    return np.abs(diff).sum(axis=2)

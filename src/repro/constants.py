@@ -1,0 +1,40 @@
+"""Domain constants shared across the library.
+
+The paper works with Wi-Fi received signal strength indicator (RSSI)
+values, which are integers in ``[-99, 0]`` dBm when a signal is observed.
+Identified MNAR (missing not at random) values are filled with ``-100``
+dBm, the conventional "unobservable" level — note that -99 dBm is vastly
+stronger than -100 dBm in linear power terms because dBm is logarithmic,
+so the two fills are semantically distinct.
+"""
+
+#: Strongest representable RSSI (dBm).
+RSSI_MAX = 0
+
+#: Weakest *observable* RSSI (dBm).
+RSSI_MIN = -99
+
+#: Fill value used for MNAR (unobservable) entries (dBm).
+MNAR_FILL = -100.0
+
+#: Mask-matrix code for an observed RSSI.
+MASK_OBSERVED = 1
+
+#: Mask-matrix code for a missing-at-random RSSI.
+MASK_MAR = 0
+
+#: Mask-matrix code for a missing-not-at-random RSSI.
+MASK_MNAR = -1
+
+#: Default merge threshold (seconds) for radio-map creation (Section II-B).
+DEFAULT_EPSILON = 1.0
+
+#: Default fraction threshold eta for Algorithm 2.
+DEFAULT_ETA = 0.1
+
+#: Default input sequence length for BiSIM (Section V-C, tuned to 5).
+DEFAULT_SEQUENCE_LENGTH = 5
+
+#: Size of the adjacent-RP patch used when sampling ground-truth MNARs
+#: (Section III-B fixes this to 6).
+MNAR_SAMPLE_PATCH_SIZE = 6

@@ -1,0 +1,41 @@
+"""The paper's core contribution, part 1: the missing-RSSI differentiator.
+
+Implements Algorithms 1-5: binarisation, the clustering-based
+MAR/MNAR differentiation rule, DasaKM, TopoAC, plus the ElbowKM /
+MAR-only / MNAR-only baselines of Section V-B.
+"""
+
+from .binarization import ClusterSamples, binarize, build_cluster_samples
+from .dasakm import (
+    DasaKMDifferentiator,
+    GroundTruthSet,
+    evaluate_da_for_k,
+    sample_ground_truth,
+)
+from .differentiation import (
+    Differentiator,
+    MAROnlyDifferentiator,
+    MNAROnlyDifferentiator,
+    differentiate_with_clusters,
+    validate_mask,
+)
+from .elbowkm import ElbowKMDifferentiator
+from .topoac import TopoACDifferentiator, entity_exist
+
+__all__ = [
+    "ClusterSamples",
+    "DasaKMDifferentiator",
+    "Differentiator",
+    "ElbowKMDifferentiator",
+    "GroundTruthSet",
+    "MAROnlyDifferentiator",
+    "MNAROnlyDifferentiator",
+    "TopoACDifferentiator",
+    "binarize",
+    "build_cluster_samples",
+    "differentiate_with_clusters",
+    "entity_exist",
+    "evaluate_da_for_k",
+    "sample_ground_truth",
+    "validate_mask",
+]

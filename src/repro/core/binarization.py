@@ -1,0 +1,71 @@
+"""Algorithm 1 (BINARIZATION) and clustering-sample construction.
+
+``binarize`` turns each fingerprint into a binary *AP profile*: 1 where
+the AP was observed, 0 where the RSSI is null.  Algorithm 2 then
+clusters samples ``x_i = b_i ⊕ l̂_i`` — the profile concatenated with
+the (linearly interpolated) RP location.
+
+The paper does not specify how the two heterogeneous parts are scaled
+against each other.  We normalise locations to the unit square of the
+venue bounds and scale them by ``location_weight * sqrt(D)`` so a
+full-venue location difference is comparable to flipping every profile
+bit; ``location_weight`` exposes the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DifferentiationError
+from ..radiomap import RadioMap, interpolate_rps_linear
+
+
+def binarize(fingerprints: np.ndarray) -> np.ndarray:
+    """Algorithm 1 applied row-wise: ``(N, D)`` → binary ``(N, D)``."""
+    fp = np.asarray(fingerprints, dtype=float)
+    if fp.ndim != 2:
+        raise DifferentiationError("fingerprints must be (N, D)")
+    return np.isfinite(fp).astype(float)
+
+
+@dataclass
+class ClusterSamples:
+    """The sample set ``X`` of Algorithm 2 plus its building blocks.
+
+    Attributes
+    ----------
+    samples:
+        ``(N, D + 2)`` concatenated profile ⊕ scaled location.
+    profiles:
+        ``(N, D)`` binary AP profiles.
+    locations:
+        ``(N, 2)`` interpolated RP locations in *metres* (unscaled) —
+        TopoAC's topological examination works in venue coordinates.
+    """
+
+    samples: np.ndarray
+    profiles: np.ndarray
+    locations: np.ndarray
+
+
+def build_cluster_samples(
+    radio_map: RadioMap,
+    *,
+    location_weight: float = 1.0,
+) -> ClusterSamples:
+    """Construct Algorithm 2's sample set ``X`` from a radio map."""
+    if radio_map.n_records == 0:
+        raise DifferentiationError("empty radio map")
+    profiles = binarize(radio_map.fingerprints)
+    locations = interpolate_rps_linear(radio_map)
+
+    span = locations.max(axis=0) - locations.min(axis=0)
+    span[span == 0] = 1.0
+    unit = (locations - locations.min(axis=0)) / span
+    scale = location_weight * np.sqrt(radio_map.n_aps)
+    samples = np.concatenate([profiles, unit * scale], axis=1)
+    return ClusterSamples(
+        samples=samples, profiles=profiles, locations=locations
+    )

@@ -1,0 +1,113 @@
+"""Algorithm 2 (DIFFERENTIATION): missing-RSSI type decisions per cluster.
+
+Given a clustering of the AP-profile samples, each AP dimension of each
+cluster is examined: if the fraction of samples in the cluster that
+*observed* the AP exceeds the threshold ``eta``, the cluster's nulls in
+that dimension are "unusual" and classified MAR (0); otherwise MNAR
+(-1).  Observed entries are always 1.
+
+This module also defines the common :class:`Differentiator` interface
+and the two no-differentiation baselines of Section V-B.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+import numpy as np
+
+from ..constants import DEFAULT_ETA, MASK_MAR, MASK_MNAR, MASK_OBSERVED
+from ..exceptions import DifferentiationError
+from ..radiomap import RadioMap
+
+
+def differentiate_with_clusters(
+    profiles: np.ndarray,
+    clusters: Sequence[np.ndarray],
+    eta: float = DEFAULT_ETA,
+) -> np.ndarray:
+    """Apply Algorithm 2's per-cluster MAR/MNAR rule.
+
+    Parameters
+    ----------
+    profiles:
+        ``(N, D)`` binary AP profiles (1 observed, 0 null).
+    clusters:
+        Member-index arrays partitioning ``range(N)``.
+    eta:
+        Fraction threshold; observed fraction strictly greater than
+        ``eta`` marks the cluster's nulls in that dimension as MAR.
+
+    Returns
+    -------
+    ``(N, D)`` mask matrix with 1 observed / 0 MAR / -1 MNAR.
+    """
+    if not 0.0 <= eta <= 1.0:
+        raise DifferentiationError("eta must be in [0, 1]")
+    profiles = np.asarray(profiles)
+    n, _ = profiles.shape
+    covered = np.concatenate([np.asarray(c) for c in clusters]) if clusters else np.array([])
+    if covered.size != n or np.unique(covered).size != n:
+        raise DifferentiationError("clusters must partition all samples")
+
+    mask = np.full(profiles.shape, MASK_MNAR, dtype=int)
+    mask[profiles == 1] = MASK_OBSERVED
+    for members in clusters:
+        members = np.asarray(members)
+        sub = profiles[members]  # (m, D)
+        observed_fraction = sub.mean(axis=0)  # eta_j per AP dimension
+        mar_dims = observed_fraction > eta
+        null_rows, null_cols = np.where(sub == 0)
+        is_mar = mar_dims[null_cols]
+        mask[members[null_rows[is_mar]], null_cols[is_mar]] = MASK_MAR
+    return mask
+
+
+class Differentiator(ABC):
+    """Classifies every missing RSSI of a radio map as MAR or MNAR."""
+
+    name: str = "differentiator"
+
+    @abstractmethod
+    def differentiate(self, radio_map: RadioMap) -> np.ndarray:
+        """Return the ``(N, D)`` mask matrix M ∈ {-1, 0, 1}."""
+
+
+class MAROnlyDifferentiator(Differentiator):
+    """Baseline: treat every missing RSSI as MAR (general imputers' view)."""
+
+    name = "MAR-only"
+
+    def differentiate(self, radio_map: RadioMap) -> np.ndarray:
+        mask = np.full(radio_map.fingerprints.shape, MASK_MAR, dtype=int)
+        mask[radio_map.rssi_observed_mask] = MASK_OBSERVED
+        return mask
+
+
+class MNAROnlyDifferentiator(Differentiator):
+    """Baseline: treat every missing RSSI as MNAR (radio-map completion view)."""
+
+    name = "MNAR-only"
+
+    def differentiate(self, radio_map: RadioMap) -> np.ndarray:
+        mask = np.full(radio_map.fingerprints.shape, MASK_MNAR, dtype=int)
+        mask[radio_map.rssi_observed_mask] = MASK_OBSERVED
+        return mask
+
+
+def validate_mask(mask: np.ndarray, radio_map: RadioMap) -> None:
+    """Sanity-check a mask matrix against its radio map.
+
+    Raises :class:`DifferentiationError` on shape mismatch, invalid
+    codes, or disagreement with the observed pattern.
+    """
+    if mask.shape != radio_map.fingerprints.shape:
+        raise DifferentiationError("mask shape mismatch")
+    if not np.isin(mask, (MASK_MNAR, MASK_MAR, MASK_OBSERVED)).all():
+        raise DifferentiationError("mask contains invalid codes")
+    observed = radio_map.rssi_observed_mask
+    if not (mask[observed] == MASK_OBSERVED).all():
+        raise DifferentiationError("observed entries must be masked 1")
+    if (mask[~observed] == MASK_OBSERVED).any():
+        raise DifferentiationError("missing entries cannot be masked 1")

@@ -1,0 +1,46 @@
+"""ElbowKM — K-means with elbow-method K selection (Section V-B baseline).
+
+Identical to DasaKM's final step but chooses K by the within-cluster
+sum-of-squares knee instead of the differentiation-accuracy metric; the
+paper uses it to show that a clustering objective blind to the
+differentiation goal underperforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cluster import elbow_kmeans
+from ..constants import DEFAULT_ETA
+from ..radiomap import RadioMap
+from .binarization import build_cluster_samples
+from .differentiation import Differentiator, differentiate_with_clusters
+
+
+@dataclass
+class ElbowKMDifferentiator(Differentiator):
+    """Elbow-method K-means differentiator."""
+
+    upper_bound: int = 30
+    eta: float = DEFAULT_ETA
+    location_weight: float = 1.0
+    seed: int = 11
+    name: str = "ElbowKM"
+
+    selected_k_: Optional[int] = None
+
+    def differentiate(self, radio_map: RadioMap) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        samples = build_cluster_samples(
+            radio_map, location_weight=self.location_weight
+        )
+        result = elbow_kmeans(
+            samples.samples, rng, upper_bound=self.upper_bound
+        )
+        self.selected_k_ = result.best_k
+        return differentiate_with_clusters(
+            samples.profiles, result.best_result.clusters(), self.eta
+        )

@@ -1,0 +1,84 @@
+"""TopoAC — Topology-aware Agglomerative Clustering (Section III-C).
+
+Heuristic: if a set of RPs shares a similar AP profile, no wall or
+obstacle should sit inside the closed region those RPs span; otherwise
+their signal-transmission environments differ.  Algorithm 4
+(``ENTITYEXIST``) tests whether the convex hull of a candidate
+cluster's locations contains any topological entity, and Algorithm 5
+integrates that check into agglomerative merging: repeatedly merge the
+closest admissible pair until no admissible pair remains.  TopoAC needs
+no hyperparameters — its stopping rule is the topology itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cluster import constrained_agglomerative
+from ..constants import DEFAULT_ETA
+from ..exceptions import DifferentiationError
+from ..geometry import MultiPolygon, convex_hull, hull_polygon
+from ..radiomap import RadioMap
+from .binarization import build_cluster_samples
+from .differentiation import Differentiator, differentiate_with_clusters
+
+
+def entity_exist(locations: np.ndarray, entities: MultiPolygon) -> bool:
+    """Algorithm 4: does the convex hull of ``locations`` touch any entity?
+
+    Degenerate hulls are handled explicitly: a single point tests
+    containment, two (or collinear) points test segment intersection.
+    """
+    locs = np.asarray(locations, dtype=float)
+    if locs.ndim != 2 or locs.shape[1] != 2:
+        raise DifferentiationError("locations must be (n, 2)")
+    if len(entities) == 0:
+        return False
+    hull = convex_hull(locs)
+    if hull.shape[0] == 1:
+        return entities.contains_point(tuple(hull[0]))
+    if hull.shape[0] == 2:
+        return entities.intersects_segment(tuple(hull[0]), tuple(hull[1]))
+    poly = hull_polygon(hull)
+    assert poly is not None
+    return entities.intersects_polygon(poly)
+
+
+@dataclass
+class TopoACDifferentiator(Differentiator):
+    """Algorithm 5 wrapped as a :class:`Differentiator`.
+
+    Parameters
+    ----------
+    entities:
+        The venue's topological entities (walls/obstacles).  Obtain from
+        ``FloorPlan.entities``.
+    eta:
+        Algorithm 2's fraction threshold.
+    """
+
+    entities: MultiPolygon
+    eta: float = DEFAULT_ETA
+    location_weight: float = 1.0
+    name: str = "TopoAC"
+
+    #: Number of final clusters, filled by :meth:`differentiate`.
+    n_clusters_: Optional[int] = None
+
+    def differentiate(self, radio_map: RadioMap) -> np.ndarray:
+        samples = build_cluster_samples(
+            radio_map, location_weight=self.location_weight
+        )
+        locations = samples.locations
+
+        def admissible(member_idx: np.ndarray) -> bool:
+            return not entity_exist(locations[member_idx], self.entities)
+
+        clusters = constrained_agglomerative(samples.samples, admissible)
+        self.n_clusters_ = len(clusters)
+        return differentiate_with_clusters(
+            samples.profiles, clusters, self.eta
+        )

@@ -1,0 +1,11 @@
+"""Synthetic dataset factory and evaluation splits."""
+
+from .splits import EvaluationSplit, make_evaluation_split
+from .synthetic import Dataset, make_dataset
+
+__all__ = [
+    "Dataset",
+    "EvaluationSplit",
+    "make_dataset",
+    "make_evaluation_split",
+]

@@ -1,0 +1,62 @@
+"""Evaluation splits per the paper's control protocol (Section V-A).
+
+"Given an original radio map, we select 10% of the records with
+observed RPs as testing data and use the RPs as ground-truth locations
+for evaluation."  The test records keep their fingerprints (imputation
+is applied to them too) but their RP labels are hidden from the
+pipeline; the remaining records form the radio map used for location
+estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+from ..radiomap import RadioMap
+
+
+@dataclass
+class EvaluationSplit:
+    """Hidden-RP evaluation split.
+
+    Attributes
+    ----------
+    radio_map:
+        Copy of the input map with test-record RPs nulled out.
+    test_indices:
+        Rows whose RPs were hidden.
+    test_locations:
+        The hidden ground-truth RP coordinates, aligned with
+        ``test_indices``.
+    """
+
+    radio_map: RadioMap
+    test_indices: np.ndarray
+    test_locations: np.ndarray
+
+
+def make_evaluation_split(
+    radio_map: RadioMap,
+    rng: np.random.Generator,
+    *,
+    test_fraction: float = 0.10,
+) -> EvaluationSplit:
+    """Hide the RPs of a random ``test_fraction`` of observed-RP records."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ExperimentError("test fraction must be in (0, 1)")
+    observed = radio_map.observed_rp_indices()
+    if observed.size < 2:
+        raise ExperimentError("too few observed RPs to split")
+    k = max(1, int(round(test_fraction * observed.size)))
+    test_idx = np.sort(rng.choice(observed, size=k, replace=False))
+    out = radio_map.copy()
+    test_locations = out.rps[test_idx].copy()
+    out.rps[test_idx] = np.nan
+    return EvaluationSplit(
+        radio_map=out,
+        test_indices=test_idx,
+        test_locations=test_locations,
+    )

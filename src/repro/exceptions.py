@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Raised for degenerate or invalid geometric input."""
+
+
+class VenueError(ReproError):
+    """Raised when a floor plan or venue specification is inconsistent."""
+
+
+class SurveyError(ReproError):
+    """Raised when a walking survey cannot be simulated or parsed."""
+
+
+class RadioMapError(ReproError):
+    """Raised for malformed radio maps or invalid perturbation requests."""
+
+
+class ClusteringError(ReproError):
+    """Raised when clustering input is empty or parameters are invalid."""
+
+
+class DifferentiationError(ReproError):
+    """Raised by the missing-RSSI differentiator on invalid input."""
+
+
+class NeuroError(ReproError):
+    """Raised by the autodiff/neural substrate."""
+
+
+class ImputationError(ReproError):
+    """Raised when an imputer receives data it cannot process."""
+
+
+class PositioningError(ReproError):
+    """Raised by location-estimation algorithms on invalid input."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness on bad configuration."""

@@ -1,0 +1,70 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(config) -> ExperimentResult``; the rendered
+text matches the paper's rows/series.  See DESIGN.md's per-experiment
+index for the mapping.
+"""
+
+from . import (
+    ablation_bidir,
+    fig5,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig67,
+    marshare,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from .base import ExperimentResult
+from .config import PRESETS, ExperimentConfig, default_config
+from .runner import (
+    DIFFERENTIATOR_NAMES,
+    ESTIMATOR_NAMES,
+    IMPUTER_NAMES,
+    get_dataset,
+    imputer_differentiator,
+    make_differentiator,
+    make_estimator,
+    make_imputer,
+    run_pipeline,
+    run_pipeline_once,
+)
+
+__all__ = [
+    "DIFFERENTIATOR_NAMES",
+    "ESTIMATOR_NAMES",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "IMPUTER_NAMES",
+    "PRESETS",
+    "ablation_bidir",
+    "default_config",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig5",
+    "fig67",
+    "get_dataset",
+    "imputer_differentiator",
+    "make_differentiator",
+    "make_estimator",
+    "make_imputer",
+    "marshare",
+    "run_pipeline",
+    "run_pipeline_once",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+]

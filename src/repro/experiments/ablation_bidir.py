@@ -1,0 +1,60 @@
+"""Extra ablation (beyond the paper): bidirectionality and cross loss.
+
+DESIGN.md calls out the bidirectional architecture + cross loss as a
+design choice worth ablating: forward-only vs bidirectional without the
+cross term vs the full model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bisim import BiSIMConfig, BiSIMImputer
+from .base import ExperimentResult
+from .config import ExperimentConfig, default_config
+from .reporting import render_table
+from .runner import get_dataset, make_differentiator, run_pipeline
+
+#: label -> (bidirectional, cross_loss)
+VARIANTS: Dict[str, Tuple[bool, bool]] = {
+    "Bidirectional + cross loss": (True, True),
+    "Bidirectional, no cross loss": (True, False),
+    "Forward only": (False, False),
+}
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    venues: Sequence[str] = ("kaide",),
+) -> ExperimentResult:
+    config = config or default_config()
+    rows: Dict[str, List[float]] = {label: [] for label in VARIANTS}
+    for venue in venues:
+        ds = get_dataset(venue, config)
+        differentiator = make_differentiator("TopoAC", ds, config)
+        for label, (bidir, cross) in VARIANTS.items():
+            imputer = BiSIMImputer(
+                config=BiSIMConfig(
+                    hidden_size=config.hidden_size,
+                    epochs=config.epochs,
+                    batch_size=config.batch_size,
+                    bidirectional=bidir,
+                    cross_loss=cross,
+                )
+            )
+            result = run_pipeline(
+                ds.radio_map, differentiator, imputer, ("WKNN",), config
+            )
+            rows[label].append(result.ape["WKNN"])
+    rendered = render_table(
+        "Bidirectionality ablation (T-BiSIM APE)",
+        list(venues),
+        rows,
+        unit="meter",
+    )
+    return ExperimentResult(
+        experiment_id="Ablation (bidirectional)",
+        rendered=rendered,
+        data={v: {k: rows[k][i] for k in rows} for i, v in enumerate(venues)},
+    )

@@ -1,0 +1,28 @@
+"""Common experiment-result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction.
+
+    Attributes
+    ----------
+    experiment_id:
+        The paper's table/figure id (e.g. ``"Table VI"``).
+    rendered:
+        Text rendering matching the paper's rows/series.
+    data:
+        Raw numbers for programmatic assertions in tests/benches.
+    """
+
+    experiment_id: str
+    rendered: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"== {self.experiment_id} ==\n{self.rendered}"

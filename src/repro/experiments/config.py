@@ -1,0 +1,106 @@
+"""Experiment configuration and quick/full presets.
+
+The paper trains on a GPU (500 epochs, 671-929 APs).  The default
+``quick`` preset keeps every protocol identical but shrinks the venues,
+epochs and seed counts so the whole suite runs on a laptop in minutes;
+``full`` pushes the sizes up for overnight runs.  Select via the
+``REPRO_EXPERIMENT_PRESET`` environment variable or explicitly in code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..exceptions import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for every experiment module.
+
+    Attributes
+    ----------
+    venue_scale:
+        Linear venue shrink factor for the synthetic datasets.
+    n_passes:
+        Survey coverage repetitions (controls record counts).
+    epochs / hidden_size:
+        Neural-imputer training budget.
+    seeds:
+        Evaluation seeds; results are averaged over them.
+    dasakm_upper_bound / dasakm_proportions:
+        DasaKM's K search budget (paper: U=200, Γ=1..20).
+    """
+
+    name: str = "quick"
+    venue_scale: float = 0.4
+    n_passes: int = 3
+    epochs: int = 40
+    hidden_size: int = 48
+    batch_size: int = 32
+    seeds: Tuple[int, ...] = (42, 43)
+    dataset_seed: int = 5
+    dasakm_upper_bound: int = 12
+    dasakm_proportions: Tuple[float, ...] = (1, 2, 4)
+    elbow_upper_bound: int = 20
+    mf_iterations: int = 20
+    test_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not 0 < self.venue_scale <= 1:
+            raise ExperimentError("venue_scale must be in (0, 1]")
+        if not self.seeds:
+            raise ExperimentError("need at least one seed")
+
+
+PRESETS = {
+    "smoke": ExperimentConfig(
+        name="smoke",
+        venue_scale=0.28,
+        n_passes=2,
+        epochs=8,
+        hidden_size=24,
+        seeds=(42,),
+        dasakm_upper_bound=6,
+        dasakm_proportions=(1, 4),
+        elbow_upper_bound=8,
+        mf_iterations=8,
+    ),
+    "bench": ExperimentConfig(
+        name="bench",
+        venue_scale=0.4,
+        n_passes=3,
+        epochs=40,
+        hidden_size=48,
+        seeds=(42,),
+        dasakm_upper_bound=8,
+        dasakm_proportions=(1, 4),
+        elbow_upper_bound=10,
+        mf_iterations=12,
+    ),
+    "quick": ExperimentConfig(name="quick"),
+    "full": ExperimentConfig(
+        name="full",
+        venue_scale=0.7,
+        n_passes=5,
+        epochs=150,
+        hidden_size=64,
+        seeds=(42, 43, 44, 45, 46),
+        dasakm_upper_bound=40,
+        dasakm_proportions=(1, 2, 4, 8, 16),
+        elbow_upper_bound=60,
+        mf_iterations=40,
+    ),
+}
+
+
+def default_config() -> ExperimentConfig:
+    """Preset selected by ``REPRO_EXPERIMENT_PRESET`` (default quick)."""
+    name = os.environ.get("REPRO_EXPERIMENT_PRESET", "quick")
+    if name not in PRESETS:
+        raise ExperimentError(
+            f"unknown preset {name!r}; options: {sorted(PRESETS)}"
+        )
+    return PRESETS[name]

@@ -1,0 +1,61 @@
+"""Fig. 13: fraction threshold η vs APE for the differentiators.
+
+η = 0 makes every differentiator behave like MAR-only; large η pushes
+them towards MNAR-only.  The paper finds η = 0.1 the sweet spot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .base import ExperimentResult
+from .config import ExperimentConfig, default_config
+from .reporting import render_series
+from .runner import get_dataset, make_differentiator, make_imputer, run_pipeline
+
+DIFFERENTIATORS = ("TopoAC", "DasaKM", "ElbowKM", "MAR-only", "MNAR-only")
+ETAS = (0.0, 0.1, 0.2, 0.3)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    venues: Sequence[str] = ("kaide", "wanda"),
+    etas: Sequence[float] = ETAS,
+    differentiators: Sequence[str] = DIFFERENTIATORS,
+) -> ExperimentResult:
+    config = config or default_config()
+    sections: List[str] = []
+    data: Dict[str, Dict[str, List[float]]] = {}
+    for venue in venues:
+        ds = get_dataset(venue, config)
+        series: Dict[str, List[float]] = {d: [] for d in differentiators}
+        for eta in etas:
+            for diff_name in differentiators:
+                differentiator = make_differentiator(
+                    diff_name, ds, config, eta=eta
+                )
+                imputer = make_imputer("BiSIM", ds, config)
+                result = run_pipeline(
+                    ds.radio_map,
+                    differentiator,
+                    imputer,
+                    ("WKNN",),
+                    config,
+                )
+                series[diff_name].append(result.ape["WKNN"])
+        sections.append(
+            render_series(
+                f"[{venue}] threshold eta vs APE",
+                "eta",
+                list(etas),
+                series,
+                unit="meter",
+            )
+        )
+        data[venue] = series
+    return ExperimentResult(
+        experiment_id="Fig. 13",
+        rendered="\n\n".join(sections),
+        data=data,
+    )

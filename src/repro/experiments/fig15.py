@@ -1,0 +1,86 @@
+"""Fig. 15: removal ratio β vs RP Euclidean distance error.
+
+Same protocol as Fig. 14 but removing observed RP labels instead of
+RSSIs and scoring the Euclidean distance between imputed and held-back
+RPs.  CD/BRITS/SSGAN are excluded (no RP imputation of their own);
+expected shape: *-BiSIM best, robust to β.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..imputers import fill_mnars
+from ..metrics import rp_euclidean_error
+from ..radiomap import remove_for_imputation_eval
+from .base import ExperimentResult
+from .config import ExperimentConfig, default_config
+from .reporting import render_series
+from .runner import (
+    get_dataset,
+    imputer_differentiator,
+    make_differentiator,
+    make_imputer,
+)
+
+IMPUTERS = ("T-BiSIM", "D-BiSIM", "LI", "SL", "MICE", "MF")
+BETAS = (0.10, 0.20, 0.30, 0.40, 0.50)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    venues: Sequence[str] = ("kaide", "wanda"),
+    imputers: Sequence[str] = IMPUTERS,
+    betas: Sequence[float] = BETAS,
+) -> ExperimentResult:
+    config = config or default_config()
+    sections: List[str] = []
+    data: Dict[str, Dict[str, List[float]]] = {}
+    for venue in venues:
+        ds = get_dataset(venue, config)
+        series: Dict[str, List[float]] = {name: [] for name in imputers}
+        masks = {}
+        for beta in betas:
+            for imp_name in imputers:
+                diff_name = imputer_differentiator(imp_name)
+                if diff_name not in masks:
+                    masks[diff_name] = make_differentiator(
+                        diff_name, ds, config
+                    ).differentiate(ds.radio_map)
+                filled, amended = fill_mnars(
+                    ds.radio_map, masks[diff_name]
+                )
+                errors = []
+                for seed in config.seeds:
+                    perturbed, removed = remove_for_imputation_eval(
+                        filled,
+                        beta,
+                        np.random.default_rng(seed),
+                        remove_rssis=False,
+                    )
+                    imputer = make_imputer(imp_name, ds, config)
+                    result = imputer.impute(perturbed, amended)
+                    # Map removed rows through kept_indices (CD-safe,
+                    # though CD is not in this figure).
+                    errors.append(
+                        rp_euclidean_error(result.rps, removed)
+                    )
+                series[imp_name].append(float(np.mean(errors)))
+        sections.append(
+            render_series(
+                f"[{venue}] removal ratio beta vs RP Euclidean distance",
+                "beta",
+                list(betas),
+                series,
+                unit="meter",
+            )
+        )
+        data[venue] = series
+    return ExperimentResult(
+        experiment_id="Fig. 15",
+        rendered="\n\n".join(sections),
+        data=data,
+    )

@@ -1,0 +1,61 @@
+"""Fig. 16: RP density vs APE for T-BiSIM.
+
+RP records are dropped from the *raw survey tables* so only
+{60..100} % remain, the radio map is re-created, and the full T-BiSIM
+pipeline is evaluated.  Expected shape: APE improves monotonically-ish
+with density, and Kaide (denser RPs) stays below Wanda.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..radiomap import create_radio_map, scale_rp_density
+from .base import ExperimentResult
+from .config import ExperimentConfig, default_config
+from .reporting import render_series
+from .runner import (
+    get_dataset,
+    make_differentiator,
+    make_imputer,
+    run_pipeline,
+)
+
+DENSITIES = (0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    venues: Sequence[str] = ("kaide", "wanda"),
+    densities: Sequence[float] = DENSITIES,
+) -> ExperimentResult:
+    config = config or default_config()
+    series: Dict[str, List[float]] = {v: [] for v in venues}
+    for venue in venues:
+        ds = get_dataset(venue, config)
+        for density in densities:
+            tables = scale_rp_density(
+                ds.survey_tables,
+                density,
+                np.random.default_rng(config.dataset_seed + 90),
+            )
+            radio_map = create_radio_map(tables)
+            differentiator = make_differentiator("TopoAC", ds, config)
+            imputer = make_imputer("T-BiSIM", ds, config)
+            result = run_pipeline(
+                radio_map, differentiator, imputer, ("WKNN",), config
+            )
+            series[venue].append(result.ape["WKNN"])
+    rendered = render_series(
+        "T-BiSIM APE vs RP density",
+        "density",
+        list(densities),
+        series,
+        unit="meter",
+    )
+    return ExperimentResult(
+        experiment_id="Fig. 16", rendered=rendered, data=series
+    )

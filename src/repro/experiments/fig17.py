@@ -1,0 +1,58 @@
+"""Fig. 17: attention ablation on T-BiSIM.
+
+Adapted (sparsity-friendly) Bahdanau vs vanilla Bahdanau vs no
+attention.  Expected ordering: adapted < vanilla < none (APE).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..bisim import BiSIMConfig, BiSIMImputer
+from .base import ExperimentResult
+from .config import ExperimentConfig, default_config
+from .reporting import render_table
+from .runner import get_dataset, make_differentiator, run_pipeline
+
+VARIANTS = {
+    "Adapted Bahdanau": "sparsity",
+    "Bahdanau": "vanilla",
+    "No Attention": "none",
+}
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    venues: Sequence[str] = ("kaide", "wanda"),
+) -> ExperimentResult:
+    config = config or default_config()
+    rows: Dict[str, List[float]] = {label: [] for label in VARIANTS}
+    for venue in venues:
+        ds = get_dataset(venue, config)
+        differentiator = make_differentiator("TopoAC", ds, config)
+        mask = differentiator.differentiate(ds.radio_map)
+        for label, kind in VARIANTS.items():
+            imputer = BiSIMImputer(
+                config=BiSIMConfig(
+                    hidden_size=config.hidden_size,
+                    epochs=config.epochs,
+                    batch_size=config.batch_size,
+                    attention=kind,
+                )
+            )
+            result = run_pipeline(
+                ds.radio_map, differentiator, imputer, ("WKNN",), config
+            )
+            rows[label].append(result.ape["WKNN"])
+    rendered = render_table(
+        "Attention ablation (T-BiSIM APE)",
+        list(venues),
+        rows,
+        unit="meter",
+    )
+    return ExperimentResult(
+        experiment_id="Fig. 17",
+        rendered=rendered,
+        data={v: {k: rows[k][i] for k in rows} for i, v in enumerate(venues)},
+    )

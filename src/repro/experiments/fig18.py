@@ -1,0 +1,61 @@
+"""Fig. 18: time-lag ablation on T-BiSIM.
+
+Where should the temporal-decay mechanism apply?  The paper's design —
+encoder only — wins; adding it to the decoder hurts generalisation and
+no time-lag at all is worst.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bisim import BiSIMConfig, BiSIMImputer
+from .base import ExperimentResult
+from .config import ExperimentConfig, default_config
+from .reporting import render_table
+from .runner import get_dataset, make_differentiator, run_pipeline
+
+#: label -> (time_lag_encoder, time_lag_decoder)
+VARIANTS: Dict[str, Tuple[bool, bool]] = {
+    "Time-lag in Enc.": (True, False),
+    "Time-lag in Enc. and Dec.": (True, True),
+    "Time-lag in Dec.": (False, True),
+    "No Time-lag": (False, False),
+}
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    venues: Sequence[str] = ("kaide", "wanda"),
+) -> ExperimentResult:
+    config = config or default_config()
+    rows: Dict[str, List[float]] = {label: [] for label in VARIANTS}
+    for venue in venues:
+        ds = get_dataset(venue, config)
+        differentiator = make_differentiator("TopoAC", ds, config)
+        for label, (enc, dec) in VARIANTS.items():
+            imputer = BiSIMImputer(
+                config=BiSIMConfig(
+                    hidden_size=config.hidden_size,
+                    epochs=config.epochs,
+                    batch_size=config.batch_size,
+                    time_lag_encoder=enc,
+                    time_lag_decoder=dec,
+                )
+            )
+            result = run_pipeline(
+                ds.radio_map, differentiator, imputer, ("WKNN",), config
+            )
+            rows[label].append(result.ape["WKNN"])
+    rendered = render_table(
+        "Time-lag ablation (T-BiSIM APE)",
+        list(venues),
+        rows,
+        unit="meter",
+    )
+    return ExperimentResult(
+        experiment_id="Fig. 18",
+        rendered=rendered,
+        data={v: {k: rows[k][i] for k in rows} for i, v in enumerate(venues)},
+    )

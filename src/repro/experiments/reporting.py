@@ -1,0 +1,69 @@
+"""Text rendering of experiment outputs in the paper's table shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(
+    title: str,
+    col_names: Sequence[str],
+    rows: Dict[str, Sequence[float]],
+    *,
+    unit: str = "",
+    fmt: str = "{:8.2f}",
+) -> str:
+    """Render a labelled numeric table.
+
+    Parameters
+    ----------
+    rows:
+        Mapping from row label to one value per column.
+    """
+    width = max((len(r) for r in rows), default=8)
+    width = max(width, 10)
+    lines = [title + (f" (unit: {unit})" if unit else "")]
+    header = " " * width + "".join(f"{c:>10}" for c in col_names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows.items():
+        cells = "".join(
+            f"{fmt.format(v):>10}" if v == v else f"{'n/a':>10}"
+            for v in values
+        )
+        lines.append(f"{label:<{width}}{cells}")
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_name: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    unit: str = "",
+) -> str:
+    """Render figure-style series (one row per x value)."""
+    labels = list(series)
+    lines = [title + (f" (unit: {unit})" if unit else "")]
+    header = f"{x_name:>12}" + "".join(f"{s:>12}" for s in labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(x_values):
+        cells = "".join(f"{series[s][i]:>12.2f}" for s in labels)
+        lines.append(f"{x:>12}" + cells)
+    return "\n".join(lines)
+
+
+def render_ranking_check(
+    description: str, ordered_labels: List[str], values: Dict[str, float]
+) -> str:
+    """State whether measured values respect an expected ordering."""
+    actual = sorted(values, key=values.get)
+    ok = actual == ordered_labels
+    lines = [
+        f"expected ordering: {' < '.join(ordered_labels)}",
+        f"measured ordering: {' < '.join(actual)}",
+        f"{description}: {'HOLDS' if ok else 'DIFFERS'}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,255 @@
+"""Shared orchestration: dataset caching, component factories, and the
+control-variates evaluation loop used by every table/figure module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bisim import BiSIMConfig, BiSIMImputer
+from ..constants import MNAR_FILL
+from ..core import (
+    DasaKMDifferentiator,
+    Differentiator,
+    ElbowKMDifferentiator,
+    MAROnlyDifferentiator,
+    MNAROnlyDifferentiator,
+    TopoACDifferentiator,
+)
+from ..datasets import Dataset, make_dataset, make_evaluation_split
+from ..exceptions import ExperimentError
+from ..imputers import (
+    BRITSImputer,
+    CaseDeletionImputer,
+    Imputer,
+    LinearInterpolationImputer,
+    MatrixFactorizationImputer,
+    MICEImputer,
+    SemiSupervisedImputer,
+    SSGANImputer,
+    run_imputer,
+)
+from ..metrics import average_positioning_error
+from ..positioning import (
+    KNNEstimator,
+    LocationEstimator,
+    RandomForestEstimator,
+    WKNNEstimator,
+)
+from ..radiomap import RadioMap
+from .config import ExperimentConfig
+
+
+@lru_cache(maxsize=16)
+def _cached_dataset(name: str, scale: float, seed: int, n_passes: int) -> Dataset:
+    return make_dataset(name, scale=scale, seed=seed, n_passes=n_passes)
+
+
+def get_dataset(name: str, config: ExperimentConfig) -> Dataset:
+    """Cached dataset for a venue under the given preset."""
+    return _cached_dataset(
+        name, config.venue_scale, config.dataset_seed, config.n_passes
+    )
+
+
+# ----------------------------------------------------------------------
+# Component factories
+# ----------------------------------------------------------------------
+DIFFERENTIATOR_NAMES = (
+    "TopoAC",
+    "DasaKM",
+    "ElbowKM",
+    "MAR-only",
+    "MNAR-only",
+)
+
+IMPUTER_NAMES = (
+    "CD",
+    "LI",
+    "SL",
+    "MICE",
+    "MF",
+    "BRITS",
+    "SSGAN",
+    "D-BiSIM",
+    "T-BiSIM",
+)
+
+ESTIMATOR_NAMES = ("KNN", "WKNN", "RF")
+
+
+def make_differentiator(
+    name: str, dataset: Dataset, config: ExperimentConfig, *, eta: float = 0.1
+) -> Differentiator:
+    if name == "TopoAC":
+        return TopoACDifferentiator(
+            entities=dataset.venue.plan.entities, eta=eta
+        )
+    if name == "DasaKM":
+        return DasaKMDifferentiator(
+            upper_bound=config.dasakm_upper_bound,
+            proportions=config.dasakm_proportions,
+            eta=eta,
+        )
+    if name == "ElbowKM":
+        return ElbowKMDifferentiator(
+            upper_bound=config.elbow_upper_bound, eta=eta
+        )
+    if name == "MAR-only":
+        return MAROnlyDifferentiator()
+    if name == "MNAR-only":
+        return MNAROnlyDifferentiator()
+    raise ExperimentError(f"unknown differentiator {name!r}")
+
+
+def make_imputer(
+    name: str, dataset: Dataset, config: ExperimentConfig
+) -> Imputer:
+    """Build an imputer; ``D-BiSIM``/``T-BiSIM`` are plain BiSIM (their
+    differentiator halves are wired by the caller)."""
+    neural = dict(
+        hidden_size=config.hidden_size,
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+    )
+    if name == "CD":
+        return CaseDeletionImputer()
+    if name == "LI":
+        return LinearInterpolationImputer()
+    if name == "SL":
+        return SemiSupervisedImputer()
+    if name == "MICE":
+        return MICEImputer()
+    if name == "MF":
+        return MatrixFactorizationImputer(
+            n_iterations=config.mf_iterations
+        )
+    if name == "BRITS":
+        return BRITSImputer(**neural)
+    if name == "SSGAN":
+        return SSGANImputer(**neural)
+    if name in ("D-BiSIM", "T-BiSIM", "BiSIM"):
+        return BiSIMImputer(
+            config=BiSIMConfig(
+                hidden_size=config.hidden_size,
+                epochs=config.epochs,
+                batch_size=config.batch_size,
+            )
+        )
+    raise ExperimentError(f"unknown imputer {name!r}")
+
+
+def imputer_differentiator(name: str) -> str:
+    """The differentiator half of a named imputer pipeline.
+
+    D-BiSIM uses DasaKM, T-BiSIM uses TopoAC; every other imputer uses
+    TopoAC's MAR results, which Section V-C says work best for them.
+    """
+    return "DasaKM" if name == "D-BiSIM" else "TopoAC"
+
+
+def make_estimator(name: str) -> LocationEstimator:
+    if name == "KNN":
+        return KNNEstimator()
+    if name == "WKNN":
+        return WKNNEstimator()
+    if name == "RF":
+        return RandomForestEstimator()
+    raise ExperimentError(f"unknown estimator {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Control-variates evaluation
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """One (A, B) imputation scored under several estimators C."""
+
+    ape: Dict[str, float]  # estimator name -> APE
+    imputation_seconds: float
+
+
+def run_pipeline_once(
+    radio_map: RadioMap,
+    differentiator: Differentiator,
+    imputer: Imputer,
+    estimator_names: Sequence[str],
+    rng: np.random.Generator,
+    *,
+    test_fraction: float = 0.10,
+    mask: Optional[np.ndarray] = None,
+) -> RunResult:
+    """One split → one differentiation → one imputation → C estimators.
+
+    Imputing once and scoring every estimator on it implements the
+    paper's method of control variates while keeping compute sane.
+    """
+    split = make_evaluation_split(radio_map, rng, test_fraction=test_fraction)
+    if mask is None:
+        mask = differentiator.differentiate(split.radio_map)
+    result = run_imputer(imputer, split.radio_map, mask)
+
+    kept = result.kept_indices
+    test_set = set(split.test_indices.tolist())
+    train_sel = np.array(
+        [i for i, row in enumerate(kept) if row not in test_set], dtype=int
+    )
+    if train_sel.size == 0:
+        raise ExperimentError("imputer left no training records")
+    kept_pos = {row: i for i, row in enumerate(kept)}
+    test_fp = np.empty((split.test_indices.size, radio_map.n_aps))
+    for out_i, row in enumerate(split.test_indices):
+        if row in kept_pos:
+            test_fp[out_i] = result.fingerprints[kept_pos[row]]
+        else:
+            raw = split.radio_map.fingerprints[row].copy()
+            raw[~np.isfinite(raw)] = MNAR_FILL
+            test_fp[out_i] = raw
+
+    apes: Dict[str, float] = {}
+    for est_name in estimator_names:
+        estimator = make_estimator(est_name)
+        estimator.fit(
+            result.fingerprints[train_sel], result.rps[train_sel]
+        )
+        apes[est_name] = average_positioning_error(
+            estimator.predict(test_fp), split.test_locations
+        )
+    return RunResult(
+        ape=apes, imputation_seconds=result.elapsed_seconds
+    )
+
+
+def run_pipeline(
+    radio_map: RadioMap,
+    differentiator: Differentiator,
+    imputer: Imputer,
+    estimator_names: Sequence[str],
+    config: ExperimentConfig,
+) -> RunResult:
+    """Average :func:`run_pipeline_once` over the preset's seeds."""
+    per_seed: List[RunResult] = []
+    for seed in config.seeds:
+        per_seed.append(
+            run_pipeline_once(
+                radio_map,
+                differentiator,
+                imputer,
+                estimator_names,
+                np.random.default_rng(seed),
+                test_fraction=config.test_fraction,
+            )
+        )
+    apes = {
+        name: float(np.mean([r.ape[name] for r in per_seed]))
+        for name in estimator_names
+    }
+    return RunResult(
+        ape=apes,
+        imputation_seconds=float(
+            np.mean([r.imputation_seconds for r in per_seed])
+        ),
+    )

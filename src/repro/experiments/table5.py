@@ -1,0 +1,29 @@
+"""Table V: statistics of venues and created radio maps."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..radiomap import compute_stats
+from .base import ExperimentResult
+from .config import ExperimentConfig, default_config
+from .runner import get_dataset
+
+VENUES = ("kaide", "wanda", "longhu")
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    config = config or default_config()
+    lines = []
+    data = {}
+    for venue in VENUES:
+        ds = get_dataset(venue, config)
+        stats = compute_stats(ds.venue, ds.radio_map)
+        lines.append(stats.as_row())
+        data[venue] = stats
+    rendered = "Statistics of venues and created radio maps\n" + "\n".join(
+        lines
+    )
+    return ExperimentResult(
+        experiment_id="Table V", rendered=rendered, data=data
+    )

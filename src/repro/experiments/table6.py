@@ -1,0 +1,65 @@
+"""Table VI: overall APE — 9 imputers × 3 estimators × 2 venues.
+
+Expected shape: *-BiSIM best and second best everywhere; neural >
+traditional and autocorrelation imputers; WKNN the strongest estimator
+in most cells; T-BiSIM ≥ D-BiSIM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .base import ExperimentResult
+from .config import ExperimentConfig, default_config
+from .reporting import render_table
+from .runner import (
+    ESTIMATOR_NAMES,
+    IMPUTER_NAMES,
+    get_dataset,
+    imputer_differentiator,
+    make_differentiator,
+    make_imputer,
+    run_pipeline,
+)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    venues: Sequence[str] = ("kaide", "wanda"),
+    imputers: Sequence[str] = IMPUTER_NAMES,
+    estimators: Sequence[str] = ESTIMATOR_NAMES,
+) -> ExperimentResult:
+    config = config or default_config()
+    sections: List[str] = []
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    times: Dict[str, Dict[str, float]] = {}
+    for venue in venues:
+        ds = get_dataset(venue, config)
+        rows: Dict[str, List[float]] = {}
+        data[venue] = {}
+        times[venue] = {}
+        for imp_name in imputers:
+            differentiator = make_differentiator(
+                imputer_differentiator(imp_name), ds, config
+            )
+            imputer = make_imputer(imp_name, ds, config)
+            result = run_pipeline(
+                ds.radio_map, differentiator, imputer, estimators, config
+            )
+            rows[imp_name] = [result.ape[e] for e in estimators]
+            data[venue][imp_name] = dict(result.ape)
+            times[venue][imp_name] = result.imputation_seconds
+        sections.append(
+            render_table(
+                f"[{venue}] overall APE",
+                list(estimators),
+                rows,
+                unit="meter",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="Table VI",
+        rendered="\n\n".join(sections),
+        data={"ape": data, "times": times},
+    )

@@ -1,0 +1,66 @@
+"""Table VII: data-imputation time cost per imputer.
+
+Expected shape: LI/SL cheapest; MICE/MF slower (iterative matrix
+passes, MF slowest among them); the neural imputers in between to
+above, with SSGAN the slowest neural model (alternating GAN updates)
+and *-BiSIM slightly above BRITS (it trains a decoder and attention on
+top of the same encoder).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..imputers import run_imputer
+from .base import ExperimentResult
+from .config import ExperimentConfig, default_config
+from .reporting import render_table
+from .runner import (
+    get_dataset,
+    imputer_differentiator,
+    make_differentiator,
+    make_imputer,
+)
+
+IMPUTERS = ("LI", "SL", "MICE", "MF", "BRITS", "SSGAN", "D-BiSIM", "T-BiSIM")
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    venues: Sequence[str] = ("kaide", "wanda"),
+    imputers: Sequence[str] = IMPUTERS,
+) -> ExperimentResult:
+    config = config or default_config()
+    rows: Dict[str, List[float]] = {name: [] for name in imputers}
+    for venue in venues:
+        ds = get_dataset(venue, config)
+        masks = {}
+        for imp_name in imputers:
+            diff_name = imputer_differentiator(imp_name)
+            if diff_name not in masks:
+                differentiator = make_differentiator(
+                    diff_name, ds, config
+                )
+                masks[diff_name] = differentiator.differentiate(
+                    ds.radio_map
+                )
+            imputer = make_imputer(imp_name, ds, config)
+            start = time.perf_counter()
+            run_imputer(imputer, ds.radio_map, masks[diff_name])
+            rows[imp_name].append(time.perf_counter() - start)
+    rendered = render_table(
+        "Data imputation time cost",
+        list(venues),
+        rows,
+        unit="seconds",
+        fmt="{:8.3f}",
+    )
+    return ExperimentResult(
+        experiment_id="Table VII",
+        rendered=rendered,
+        data={v: {k: rows[k][i] for k in rows} for i, v in enumerate(venues)},
+    )

@@ -1,0 +1,36 @@
+"""Table VIII: APE on the Bluetooth venue (Longhu).
+
+Generalisability check: the same nine imputers and three estimators on
+Bluetooth fingerprints.  Expected shape: *-BiSIM keeps a clear lead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import ExperimentResult
+from .config import ExperimentConfig, default_config
+from .runner import ESTIMATOR_NAMES, IMPUTER_NAMES
+from .table6 import run as run_table6
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    imputers: Sequence[str] = IMPUTER_NAMES,
+    estimators: Sequence[str] = ESTIMATOR_NAMES,
+) -> ExperimentResult:
+    config = config or default_config()
+    result = run_table6(
+        config,
+        venues=("longhu",),
+        imputers=imputers,
+        estimators=estimators,
+    )
+    return ExperimentResult(
+        experiment_id="Table VIII",
+        rendered=result.rendered.replace(
+            "[longhu] overall APE", "[longhu / Bluetooth] APE"
+        ),
+        data=result.data,
+    )

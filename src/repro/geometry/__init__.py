@@ -1,0 +1,35 @@
+"""2-D geometry substrate.
+
+Provides the polygon / convex-hull / segment primitives that back the
+indoor floor-plan model, the wall-attenuation channel, and TopoAC's
+topology heuristic.  Implemented from scratch (no shapely available).
+"""
+
+from .hull import convex_hull, hull_area, hull_polygon
+from .multipolygon import MultiPolygon
+from .polygon import Polygon, bounding_box_of
+from .segments import (
+    count_crossings_vectorized,
+    count_segment_crossings,
+    interpolate_along,
+    orientation,
+    path_length,
+    segment_intersection_point,
+    segments_intersect,
+)
+
+__all__ = [
+    "MultiPolygon",
+    "Polygon",
+    "bounding_box_of",
+    "convex_hull",
+    "count_crossings_vectorized",
+    "count_segment_crossings",
+    "hull_area",
+    "hull_polygon",
+    "interpolate_along",
+    "orientation",
+    "path_length",
+    "segment_intersection_point",
+    "segments_intersect",
+]

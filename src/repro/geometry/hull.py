@@ -1,0 +1,71 @@
+"""Convex hulls via Andrew's monotone chain.
+
+``TopoAC`` (Algorithm 4 in the paper) builds the convex hull of a
+candidate cluster's reference points and tests whether any topological
+entity (wall, obstacle) intrudes into it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GeometryError
+from .polygon import Polygon
+
+Point = Tuple[float, float]
+
+
+def convex_hull(points: Sequence[Point]) -> np.ndarray:
+    """Return hull vertices in counter-clockwise order as ``(h, 2)``.
+
+    Degenerate inputs are handled gracefully: a single point returns that
+    point, two points (or any fully collinear set) return the extreme
+    pair.  Duplicated points are removed first.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim == 1:
+        pts = pts[None, :]
+    if pts.size == 0:
+        raise GeometryError("convex hull of empty point set")
+    uniq = np.unique(pts, axis=0)
+    if uniq.shape[0] <= 2:
+        return uniq
+    # Sort lexicographically (x, then y).
+    order = np.lexsort((uniq[:, 1], uniq[:, 0]))
+    p = uniq[order]
+
+    def cross(o: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list[np.ndarray] = []
+    for pt in p:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], pt) <= 0:
+            lower.pop()
+        lower.append(pt)
+    upper: list[np.ndarray] = []
+    for pt in p[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], pt) <= 0:
+            upper.pop()
+        upper.append(pt)
+    hull = np.array(lower[:-1] + upper[:-1])
+    if hull.shape[0] < 3:
+        # All points collinear: return the two extremes.
+        return np.array([p[0], p[-1]])
+    return hull
+
+
+def hull_polygon(points: Sequence[Point]) -> Polygon | None:
+    """Return the convex hull as a :class:`Polygon`, or None if the hull
+    is degenerate (fewer than 3 non-collinear points)."""
+    hull = convex_hull(points)
+    if hull.shape[0] < 3:
+        return None
+    return Polygon(hull)
+
+
+def hull_area(points: Sequence[Point]) -> float:
+    """Area of the convex hull (0 for degenerate hulls)."""
+    poly = hull_polygon(points)
+    return 0.0 if poly is None else poly.area

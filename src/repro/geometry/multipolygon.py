@@ -1,0 +1,83 @@
+"""MultiPolygon: the `topological entities` container used by TopoAC.
+
+The paper models walls and obstacles as a multipolygon ``T``.  TopoAC's
+``ENTITYEXIST`` check asks whether the convex hull of a cluster's
+reference points overlaps any entity in ``T``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .polygon import Polygon
+
+Point = Tuple[float, float]
+
+
+class MultiPolygon:
+    """An immutable collection of :class:`Polygon` entities."""
+
+    __slots__ = ("polygons",)
+
+    def __init__(self, polygons: Iterable[Polygon] = ()):
+        self.polygons: List[Polygon] = list(polygons)
+
+    def __len__(self) -> int:
+        return len(self.polygons)
+
+    def __iter__(self) -> Iterator[Polygon]:
+        return iter(self.polygons)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MultiPolygon(n={len(self.polygons)})"
+
+    @property
+    def total_area(self) -> float:
+        """Sum of the member polygon areas."""
+        return float(sum(p.area for p in self.polygons))
+
+    def intersects_polygon(self, polygon: Polygon) -> bool:
+        """True if any member polygon shares a point with ``polygon``."""
+        return any(p.intersects_polygon(polygon) for p in self.polygons)
+
+    def contains_point(self, point: Point) -> bool:
+        """True if the point lies inside (or on) any member polygon."""
+        return any(p.contains_point(point) for p in self.polygons)
+
+    def intersects_segment(self, p1: Point, p2: Point) -> bool:
+        """True if the segment touches any member polygon."""
+        return any(p.intersects_segment(p1, p2) for p in self.polygons)
+
+    def all_edges(self) -> List[Tuple[Point, Point]]:
+        """All edge segments of all member polygons."""
+        edges: List[Tuple[Point, Point]] = []
+        for p in self.polygons:
+            edges.extend(p.edges())
+        return edges
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Edge endpoints as two ``(m, 2)`` arrays (starts, ends).
+
+        Convenience for the vectorised wall-crossing counter in
+        :func:`repro.geometry.segments.count_crossings_vectorized`.
+        """
+        edges = self.all_edges()
+        if not edges:
+            empty = np.empty((0, 2))
+            return empty, empty.copy()
+        starts = np.array([e[0] for e in edges], dtype=float)
+        ends = np.array([e[1] for e in edges], dtype=float)
+        return starts, ends
+
+    @classmethod
+    def from_vertex_lists(
+        cls, vertex_lists: Sequence[Sequence[Point]]
+    ) -> "MultiPolygon":
+        """Build from raw nested vertex lists (e.g. parsed JSON)."""
+        return cls(Polygon(v) for v in vertex_lists)
+
+    def to_vertex_lists(self) -> List[List[List[float]]]:
+        """Inverse of :meth:`from_vertex_lists`, for serialisation."""
+        return [p.vertices.tolist() for p in self.polygons]

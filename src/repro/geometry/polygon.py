@@ -1,0 +1,195 @@
+"""Simple-polygon type with containment, area and intersection tests."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GeometryError
+from .segments import EPS, segments_intersect
+
+Point = Tuple[float, float]
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon defined by its vertices.
+
+    Vertices may be given in either winding order; the constructor stores
+    them as provided.  The polygon is treated as a closed ring — the last
+    vertex connects back to the first.
+
+    Parameters
+    ----------
+    vertices:
+        Iterable of ``(x, y)`` pairs, at least 3.
+    """
+
+    __slots__ = ("vertices",)
+
+    def __init__(self, vertices: Iterable[Point]):
+        verts = np.asarray(list(vertices), dtype=float)
+        if verts.ndim != 2 or verts.shape[1] != 2:
+            raise GeometryError("polygon vertices must be (n, 2)")
+        if verts.shape[0] < 3:
+            raise GeometryError("polygon needs at least 3 vertices")
+        self.vertices: np.ndarray = verts
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Polygon({self.vertices.tolist()!r})"
+
+    def __len__(self) -> int:
+        return int(self.vertices.shape[0])
+
+    @property
+    def area(self) -> float:
+        """Unsigned polygon area via the shoelace formula."""
+        x = self.vertices[:, 0]
+        y = self.vertices[:, 1]
+        return float(
+            0.5 * abs(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+        )
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Area centroid (falls back to vertex mean for zero area)."""
+        v = self.vertices
+        x = v[:, 0]
+        y = v[:, 1]
+        shift_x = np.roll(x, -1)
+        shift_y = np.roll(y, -1)
+        cross = x * shift_y - shift_x * y
+        signed_area = cross.sum() / 2.0
+        if abs(signed_area) < EPS:
+            return v.mean(axis=0)
+        cx = ((x + shift_x) * cross).sum() / (6.0 * signed_area)
+        cy = ((y + shift_y) * cross).sum() / (6.0 * signed_area)
+        return np.array([cx, cy])
+
+    @property
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """Axis-aligned bounding box as ``(minx, miny, maxx, maxy)``."""
+        mins = self.vertices.min(axis=0)
+        maxs = self.vertices.max(axis=0)
+        return (float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))
+
+    def edges(self) -> List[Tuple[Point, Point]]:
+        """Return the list of edge segments ``[(v_i, v_{i+1}), ...]``."""
+        v = self.vertices
+        n = len(v)
+        return [
+            (tuple(v[i]), tuple(v[(i + 1) % n])) for i in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Point, *, boundary: bool = True) -> bool:
+        """Ray-casting point-in-polygon test.
+
+        Parameters
+        ----------
+        point:
+            Query point.
+        boundary:
+            When True (default), points on the boundary count as inside.
+        """
+        x, y = float(point[0]), float(point[1])
+        v = self.vertices
+        n = len(v)
+        inside = False
+        for i in range(n):
+            x1, y1 = v[i]
+            x2, y2 = v[(i + 1) % n]
+            # Boundary check on this edge.
+            if _point_on_edge(x, y, x1, y1, x2, y2):
+                return boundary
+            if (y1 > y) != (y2 > y):
+                x_int = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+                if x < x_int:
+                    inside = not inside
+        return inside
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised ray-casting for an ``(n, 2)`` array of points."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts[None, :]
+        x = pts[:, 0][:, None]
+        y = pts[:, 1][:, None]
+        v1 = self.vertices
+        v2 = np.roll(v1, -1, axis=0)
+        y1, y2 = v1[None, :, 1], v2[None, :, 1]
+        x1, x2 = v1[None, :, 0], v2[None, :, 0]
+        straddle = (y1 > y) != (y2 > y)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_int = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+        crossings = (straddle & (x < x_int)).sum(axis=1)
+        return (crossings % 2).astype(bool)
+
+    def intersects_segment(self, p1: Point, p2: Point) -> bool:
+        """True if segment ``p1p2`` touches this polygon (edge or interior)."""
+        for e1, e2 in self.edges():
+            if segments_intersect(p1, p2, e1, e2):
+                return True
+        return self.contains_point(p1) or self.contains_point(p2)
+
+    def intersects_polygon(self, other: "Polygon") -> bool:
+        """True if two polygons share any point (edges cross or one
+        contains the other)."""
+        for e1, e2 in self.edges():
+            for f1, f2 in other.edges():
+                if segments_intersect(e1, e2, f1, f2):
+                    return True
+        return self.contains_point(tuple(other.vertices[0])) or (
+            other.contains_point(tuple(self.vertices[0]))
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def rectangle(
+        cls, minx: float, miny: float, maxx: float, maxy: float
+    ) -> "Polygon":
+        """Axis-aligned rectangle polygon."""
+        if maxx <= minx or maxy <= miny:
+            raise GeometryError("rectangle must have positive extent")
+        return cls(
+            [(minx, miny), (maxx, miny), (maxx, maxy), (minx, maxy)]
+        )
+
+    def sample_interior_point(
+        self, rng: np.random.Generator, max_tries: int = 200
+    ) -> np.ndarray:
+        """Rejection-sample a uniform point inside the polygon."""
+        minx, miny, maxx, maxy = self.bounds
+        for _ in range(max_tries):
+            p = rng.uniform((minx, miny), (maxx, maxy))
+            if self.contains_point(tuple(p)):
+                return p
+        return self.centroid  # degenerate fallback
+
+
+def _point_on_edge(
+    x: float, y: float, x1: float, y1: float, x2: float, y2: float
+) -> bool:
+    """True if ``(x, y)`` lies on the closed segment ``(x1,y1)-(x2,y2)``."""
+    cross = (x2 - x1) * (y - y1) - (y2 - y1) * (x - x1)
+    if abs(cross) > 1e-9:
+        return False
+    dot = (x - x1) * (x - x2) + (y - y1) * (y - y2)
+    return dot <= 1e-9
+
+
+def bounding_box_of(points: Sequence[Point]) -> Tuple[float, float, float, float]:
+    """Axis-aligned bounding box of a point collection."""
+    pts = np.asarray(points, dtype=float)
+    if pts.size == 0:
+        raise GeometryError("cannot bound an empty point set")
+    mins = pts.min(axis=0)
+    maxs = pts.max(axis=0)
+    return (float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))

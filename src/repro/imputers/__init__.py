@@ -1,0 +1,30 @@
+"""Data imputers: the common interface and every baseline of Section V-C.
+
+BiSIM itself lives in :mod:`repro.bisim`; its :class:`BiSIMImputer`
+conforms to the same :class:`Imputer` interface.
+"""
+
+from .base import ImputationResult, Imputer, fill_mnars, run_imputer
+from .brits import BRITSImputer
+from .matrix_factorization import MatrixFactorizationImputer
+from .mice import MICEImputer
+from .ssgan import SSGANImputer
+from .traditional import (
+    CaseDeletionImputer,
+    LinearInterpolationImputer,
+    SemiSupervisedImputer,
+)
+
+__all__ = [
+    "BRITSImputer",
+    "CaseDeletionImputer",
+    "ImputationResult",
+    "Imputer",
+    "LinearInterpolationImputer",
+    "MICEImputer",
+    "MatrixFactorizationImputer",
+    "SSGANImputer",
+    "SemiSupervisedImputer",
+    "fill_mnars",
+    "run_imputer",
+]

@@ -1,0 +1,86 @@
+"""MF — low-rank matrix-completion imputation [25].
+
+Alternating least squares on the combined fingerprint+RP matrix: find
+``U (N, r)`` and ``V (D+2, r)`` minimising the squared error on
+observed cells plus an L2 penalty, then read the missing cells off
+``U @ V.T``.  Columns are standardised first so RSSI (dBm) and RP
+(metre) scales do not fight each other.
+
+The paper's Table VII finds MF the slowest imputer — the radio map's
+extreme sparsity makes ALS converge slowly — and Fig. 14/15 find its
+accuracy collapsing as sparsity grows; both behaviours reproduce here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..radiomap import RadioMap
+from .base import ImputationResult, Imputer
+
+
+@dataclass
+class MatrixFactorizationImputer(Imputer):
+    """ALS matrix completion over fingerprints + RPs jointly."""
+
+    rank: int = 8
+    n_iterations: int = 40
+    regularization: float = 0.5
+    seed: int = 13
+    name: str = field(default="MF", init=False)
+
+    def impute(
+        self, radio_map: RadioMap, amended_mask: np.ndarray
+    ) -> ImputationResult:
+        matrix = np.concatenate(
+            [radio_map.fingerprints, radio_map.rps], axis=1
+        )
+        observed = np.isfinite(matrix)
+
+        # Standardise columns on observed entries.
+        mean = np.zeros(matrix.shape[1])
+        std = np.ones(matrix.shape[1])
+        for j in range(matrix.shape[1]):
+            obs = observed[:, j]
+            if obs.any():
+                mean[j] = matrix[obs, j].mean()
+                s = matrix[obs, j].std()
+                std[j] = s if s > 1e-9 else 1.0
+        z = (matrix - mean) / std
+        z[~observed] = 0.0
+
+        n, m = z.shape
+        r = min(self.rank, n, m)
+        rng = np.random.default_rng(self.seed)
+        u = rng.normal(scale=0.1, size=(n, r))
+        v = rng.normal(scale=0.1, size=(m, r))
+        eye = self.regularization * np.eye(r)
+
+        for _ in range(self.n_iterations):
+            for i in range(n):
+                cols = observed[i]
+                if not cols.any():
+                    continue
+                vv = v[cols]
+                u[i] = np.linalg.solve(
+                    vv.T @ vv + eye, vv.T @ z[i, cols]
+                )
+            for j in range(m):
+                rows = observed[:, j]
+                if not rows.any():
+                    continue
+                uu = u[rows]
+                v[j] = np.linalg.solve(
+                    uu.T @ uu + eye, uu.T @ z[rows, j]
+                )
+
+        completed = (u @ v.T) * std + mean
+        completed[observed] = matrix[observed]
+        d = radio_map.n_aps
+        return ImputationResult(
+            fingerprints=completed[:, :d],
+            rps=completed[:, d:],
+            kept_indices=np.arange(radio_map.n_records),
+        )

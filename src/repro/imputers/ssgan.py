@@ -1,0 +1,170 @@
+"""SSGAN — semi-supervised GAN for time-series imputation [44].
+
+A recurrent *generator* imputes the fingerprint sequence (same
+complement-and-decay scheme as BRITS's forward pass); a per-step MLP
+*discriminator* predicts, element-wise, which entries of the
+complemented vector are genuine observations and which are generated.
+The generator minimises reconstruction error plus an adversarial term
+that pushes generated entries towards being indistinguishable from
+observations; training alternates D and G steps.  The "semi-supervised"
+component conditions the discriminator on the (normalised) RP label
+when one is present, mirroring SSGAN's use of partial labels.
+
+As with BRITS, RPs themselves are imputed with LI — GAN time-series
+imputers have no label-sequence output.  The paper's Table VII notes
+SSGAN is the slowest neural imputer because GAN training converges
+slowly; the alternating updates reproduce that cost profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..bisim.features import (
+    batch_chunks,
+    build_feature_space,
+    prepare_chunks,
+    stack_batch,
+    time_lag_vectors_batched,
+)
+from ..bisim.units import EncoderUnit
+from ..constants import RSSI_MAX, RSSI_MIN
+from ..neuro import MLP, Adam, Module, Tensor, concat, masked_mse
+from ..radiomap import RadioMap, interpolate_rps_linear
+from .base import ImputationResult, Imputer
+
+_EPS = 1e-7
+
+
+class _Generator(Module):
+    def __init__(self, n_aps: int, hidden: int, rng: np.random.Generator):
+        self.unit = EncoderUnit(n_aps, hidden, rng, use_time_lag=True)
+
+    def run(self, fp, m, times):
+        lag = time_lag_vectors_batched(times, m)
+        state = self.unit.initial_state(fp.shape[0])
+        primes, comps = [], []
+        for i in range(fp.shape[1]):
+            f_prime, fc, state = self.unit.step(
+                Tensor(fp[:, i]), Tensor(m[:, i]), Tensor(lag[:, i]), state
+            )
+            primes.append(f_prime)
+            comps.append(fc)
+        return primes, comps
+
+
+class _Discriminator(Module):
+    """Element-wise real/imputed classifier, conditioned on the RP."""
+
+    def __init__(self, n_aps: int, hidden: int, rng: np.random.Generator):
+        self.mlp = MLP([n_aps + 2, hidden, n_aps], rng)
+
+    def __call__(self, fc: Tensor, rp: Tensor) -> Tensor:
+        return self.mlp(concat([fc, rp], axis=1)).sigmoid()
+
+
+def _bce(p: Tensor, target: np.ndarray, weight: np.ndarray) -> Tensor:
+    """Weighted binary cross entropy with clamping via +eps."""
+    t = Tensor(target)
+    w = Tensor(weight)
+    pos = t * (p + _EPS).log()
+    neg = (1.0 - t) * (1.0 - p + _EPS).log()
+    return -((pos + neg) * w).mean()
+
+
+@dataclass
+class SSGANImputer(Imputer):
+    """Adversarially-trained recurrent imputer for MAR RSSIs + LI RPs."""
+
+    hidden_size: int = 64
+    epochs: int = 100
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    sequence_length: int = 5
+    time_lag_scale: float = 10.0
+    adversarial_weight: float = 0.1
+    grad_clip: float = 5.0
+    seed: int = 37
+    name: str = field(default="SSGAN", init=False)
+
+    last_g_losses_: Optional[List[float]] = field(
+        default=None, init=False, repr=False
+    )
+
+    def impute(
+        self, radio_map: RadioMap, amended_mask: np.ndarray
+    ) -> ImputationResult:
+        space = build_feature_space(radio_map, self.time_lag_scale)
+        chunks = prepare_chunks(
+            radio_map, amended_mask, space, self.sequence_length
+        )
+        batches = batch_chunks(chunks, self.batch_size)
+        rng_np = np.random.default_rng(self.seed)
+        gen = _Generator(radio_map.n_aps, self.hidden_size, rng_np)
+        disc = _Discriminator(radio_map.n_aps, self.hidden_size, rng_np)
+        g_opt = Adam(gen.parameters(), lr=self.learning_rate)
+        d_opt = Adam(disc.parameters(), lr=self.learning_rate)
+
+        g_losses: List[float] = []
+        for _ in range(self.epochs):
+            epoch = []
+            for b in rng_np.permutation(len(batches)):
+                fp, m, rp, _k, times = stack_batch(batches[int(b)])
+                t_len = fp.shape[1]
+
+                # --- discriminator step (generator detached)
+                d_opt.zero_grad()
+                _, comps = gen.run(fp, m, times)
+                d_loss = None
+                for i in range(t_len):
+                    p = disc(comps[i].detach(), Tensor(rp[:, i]))
+                    term = _bce(p, m[:, i], np.ones_like(m[:, i]))
+                    d_loss = term if d_loss is None else d_loss + term
+                d_loss = d_loss * (1.0 / t_len)
+                d_loss.backward()
+                d_opt.clip_gradients(self.grad_clip)
+                d_opt.step()
+
+                # --- generator step
+                g_opt.zero_grad()
+                primes, comps = gen.run(fp, m, times)
+                g_loss = None
+                for i in range(t_len):
+                    recon = masked_mse(
+                        primes[i], Tensor(fp[:, i]), m[:, i]
+                    )
+                    p = disc(comps[i], Tensor(rp[:, i]))
+                    # Fool D on the *imputed* entries only.
+                    adv = _bce(
+                        p, np.ones_like(m[:, i]), 1.0 - m[:, i]
+                    )
+                    term = recon + self.adversarial_weight * adv
+                    g_loss = term if g_loss is None else g_loss + term
+                g_loss = g_loss * (1.0 / t_len)
+                g_loss.backward()
+                g_opt.clip_gradients(self.grad_clip)
+                g_opt.step()
+                epoch.append(g_loss.item())
+            g_losses.append(float(np.mean(epoch)))
+        self.last_g_losses_ = g_losses
+
+        # --- impute
+        fingerprints = radio_map.fingerprints.copy()
+        for batch in batch_chunks(chunks, self.batch_size):
+            fp, m, _rp, _k, times = stack_batch(batch)
+            _, comps = gen.run(fp, m, times)
+            for b, chunk in enumerate(batch):
+                for t, row in enumerate(chunk.rows):
+                    imputed = space.denormalize_fp(comps[t].data[b])
+                    mar = amended_mask[row] == 0
+                    fingerprints[row, mar] = np.clip(
+                        imputed[mar], RSSI_MIN, RSSI_MAX
+                    )
+        return ImputationResult(
+            fingerprints=fingerprints,
+            rps=interpolate_rps_linear(radio_map),
+            kept_indices=np.arange(radio_map.n_records),
+        )

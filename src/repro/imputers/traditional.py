@@ -1,0 +1,116 @@
+"""Traditional imputers from the indoor-positioning literature.
+
+* **CD** (Case Deletion [32]) — drop records with null RPs; fill every
+  remaining missing RSSI with -100 dBm.
+* **LI** (Linear Interpolation [37]) — like CD for RSSIs, but keep all
+  records and interpolate missing RPs linearly along each survey path.
+* **SL** (Semi-supervised Learning [49]) — replace LI's interpolation
+  with iterative label propagation: records with observed RPs seed the
+  label set; unlabeled records repeatedly receive the
+  fingerprint-similarity-weighted mean RP of labelled neighbours until
+  convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import MNAR_FILL
+from ..exceptions import ImputationError
+from ..radiomap import RadioMap, interpolate_rps_linear
+from .base import ImputationResult, Imputer
+
+
+def _fill_remaining_rssis(fingerprints: np.ndarray) -> np.ndarray:
+    """Traditional imputers treat leftover RSSI nulls as -100 dBm."""
+    out = fingerprints.copy()
+    out[~np.isfinite(out)] = MNAR_FILL
+    return out
+
+
+@dataclass
+class CaseDeletionImputer(Imputer):
+    """CD: delete null-RP records, -100-fill missing RSSIs."""
+
+    name: str = field(default="CD", init=False)
+
+    def impute(
+        self, radio_map: RadioMap, amended_mask: np.ndarray
+    ) -> ImputationResult:
+        kept = radio_map.observed_rp_indices()
+        if kept.size == 0:
+            raise ImputationError("CD removed every record (no observed RPs)")
+        return ImputationResult(
+            fingerprints=_fill_remaining_rssis(
+                radio_map.fingerprints[kept]
+            ),
+            rps=radio_map.rps[kept].copy(),
+            kept_indices=kept,
+        )
+
+
+@dataclass
+class LinearInterpolationImputer(Imputer):
+    """LI: keep all records, interpolate RPs linearly along paths."""
+
+    name: str = field(default="LI", init=False)
+
+    def impute(
+        self, radio_map: RadioMap, amended_mask: np.ndarray
+    ) -> ImputationResult:
+        return ImputationResult(
+            fingerprints=_fill_remaining_rssis(radio_map.fingerprints),
+            rps=interpolate_rps_linear(radio_map),
+            kept_indices=np.arange(radio_map.n_records),
+        )
+
+
+@dataclass
+class SemiSupervisedImputer(Imputer):
+    """SL: iterative similarity-weighted RP label propagation.
+
+    Fingerprint similarity is computed on -100-filled vectors with a
+    Gaussian kernel; each iteration assigns every unlabeled record the
+    weighted mean of its ``n_neighbors`` most similar *labelled*
+    records, then adds it to the labelled pool for the next round.
+    """
+
+    n_neighbors: int = 5
+    max_iterations: int = 10
+    bandwidth: float = 10.0
+    name: str = field(default="SL", init=False)
+
+    def impute(
+        self, radio_map: RadioMap, amended_mask: np.ndarray
+    ) -> ImputationResult:
+        fp = _fill_remaining_rssis(radio_map.fingerprints)
+        rps = radio_map.rps.copy()
+        labelled = radio_map.rp_observed_mask.copy()
+        if not labelled.any():
+            raise ImputationError("SL needs at least one observed RP")
+
+        for _ in range(self.max_iterations):
+            unlabelled = np.where(~labelled)[0]
+            if unlabelled.size == 0:
+                break
+            lab_idx = np.where(labelled)[0]
+            k = min(self.n_neighbors, lab_idx.size)
+            newly = []
+            for i in unlabelled:
+                d = np.linalg.norm(fp[lab_idx] - fp[i], axis=1)
+                nearest = np.argsort(d, kind="stable")[:k]
+                w = np.exp(-d[nearest] / self.bandwidth)
+                if w.sum() <= 0:
+                    w = np.ones_like(w)
+                rps[i] = (
+                    w[:, None] * rps[lab_idx[nearest]]
+                ).sum(axis=0) / w.sum()
+                newly.append(i)
+            labelled[newly] = True
+        return ImputationResult(
+            fingerprints=fp,
+            rps=rps,
+            kept_indices=np.arange(radio_map.n_records),
+        )

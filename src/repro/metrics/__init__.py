@@ -1,0 +1,21 @@
+"""Evaluation metrics: positioning, imputation, differentiation."""
+
+from .differentiation import confusion_counts, differentiation_accuracy
+from .imputation import fingerprint_mae, rp_euclidean_error
+from .positioning import (
+    average_positioning_error,
+    error_cdf,
+    error_percentile,
+    positioning_errors,
+)
+
+__all__ = [
+    "average_positioning_error",
+    "confusion_counts",
+    "differentiation_accuracy",
+    "error_cdf",
+    "error_percentile",
+    "fingerprint_mae",
+    "positioning_errors",
+    "rp_euclidean_error",
+]

@@ -1,0 +1,53 @@
+"""Differentiation accuracy (DA): balanced accuracy over MAR/MNAR labels.
+
+The paper designs DA as the arithmetic mean of the MAR true-positive
+rate and the MNAR true-negative rate, so the metric is agnostic to the
+(unknown, imbalanced) proportion of the two classes — unlike an
+F-score, which only measures the positive class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DifferentiationError
+
+
+def differentiation_accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> float:
+    """Balanced accuracy with MAR (0) positive and MNAR (-1) negative.
+
+    Classes absent from ``y_true`` contribute a neutral rate of 0 — a
+    degenerate ground-truth set cannot score a perfect DA by omission.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise DifferentiationError("label shape mismatch")
+    if y_true.size == 0:
+        raise DifferentiationError("empty label arrays")
+    valid = np.isin(y_true, (0, -1)) & np.isin(y_pred, (0, -1))
+    if not valid.all():
+        raise DifferentiationError("labels must be 0 (MAR) or -1 (MNAR)")
+
+    pos = y_true == 0
+    neg = y_true == -1
+    tpr = float((y_pred[pos] == 0).mean()) if pos.any() else 0.0
+    tnr = float((y_pred[neg] == -1).mean()) if neg.any() else 0.0
+    return (tpr + tnr) / 2.0
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> dict:
+    """MAR/MNAR confusion counts keyed ``tp``/``fn``/``tn``/``fp``.
+
+    MAR is the positive class (as in the DA definition).
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    return {
+        "tp": int(((y_true == 0) & (y_pred == 0)).sum()),
+        "fn": int(((y_true == 0) & (y_pred == -1)).sum()),
+        "tn": int(((y_true == -1) & (y_pred == -1)).sum()),
+        "fp": int(((y_true == -1) & (y_pred == 0)).sum()),
+    }

@@ -1,0 +1,47 @@
+"""Positioning metrics: average positioning error and error CDFs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import PositioningError
+
+
+def positioning_errors(
+    estimated: np.ndarray, truth: np.ndarray
+) -> np.ndarray:
+    """Per-query Euclidean positioning errors in metres."""
+    est = np.asarray(estimated, dtype=float)
+    tru = np.asarray(truth, dtype=float)
+    if est.shape != tru.shape or est.ndim != 2 or est.shape[1] != 2:
+        raise PositioningError("estimates/truth must both be (n, 2)")
+    if not np.isfinite(est).all():
+        raise PositioningError("estimates contain non-finite values")
+    return np.linalg.norm(est - tru, axis=1)
+
+
+def average_positioning_error(
+    estimated: np.ndarray, truth: np.ndarray
+) -> float:
+    """APE — the paper's headline positioning metric (metres)."""
+    errors = positioning_errors(estimated, truth)
+    if errors.size == 0:
+        raise PositioningError("no queries to score")
+    return float(errors.mean())
+
+
+def error_percentile(
+    estimated: np.ndarray, truth: np.ndarray, q: float
+) -> float:
+    """The ``q``-th percentile positioning error (e.g. q=50 median)."""
+    errors = positioning_errors(estimated, truth)
+    return float(np.percentile(errors, q))
+
+
+def error_cdf(
+    estimated: np.ndarray, truth: np.ndarray, grid: np.ndarray
+) -> np.ndarray:
+    """Empirical CDF of positioning errors evaluated on ``grid``."""
+    errors = positioning_errors(estimated, truth)
+    grid = np.asarray(grid, dtype=float)
+    return (errors[None, :] <= grid[:, None]).mean(axis=1)

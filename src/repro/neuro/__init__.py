@@ -1,0 +1,37 @@
+"""Minimal neural-network substrate on numpy (PyTorch is unavailable).
+
+Reverse-mode autodiff tensors, dense/recurrent layers, optimisers and
+masked losses — everything BiSIM, BRITS and SSGAN need, gradient-checked
+against finite differences.
+"""
+
+from .gradcheck import check_gradients, numeric_gradient
+from .init import xavier_uniform, zeros
+from .layers import MLP, Linear
+from .losses import masked_mae, masked_mse, mse
+from .module import Module, Parameter
+from .optim import SGD, Adam, Optimizer
+from .rnn import LSTMCell, SimpleRecurrentCell
+from .tensor import Tensor, concat, stack
+
+__all__ = [
+    "Adam",
+    "LSTMCell",
+    "Linear",
+    "MLP",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "SimpleRecurrentCell",
+    "Tensor",
+    "check_gradients",
+    "concat",
+    "masked_mae",
+    "masked_mse",
+    "mse",
+    "numeric_gradient",
+    "stack",
+    "xavier_uniform",
+    "zeros",
+]

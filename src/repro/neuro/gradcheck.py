@@ -1,0 +1,60 @@
+"""Finite-difference gradient checking for the autodiff engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .module import Parameter
+from .tensor import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[[], Tensor], param: Parameter, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn`` w.r.t.
+    ``param`` (mutates and restores ``param.data``)."""
+    grad = np.zeros_like(param.data)
+    flat = param.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn().item()
+        flat[i] = orig - eps
+        minus = fn().item()
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    params: Sequence[Parameter],
+    *,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> float:
+    """Compare autodiff and numeric gradients; return the max abs error.
+
+    Raises ``AssertionError`` when any parameter's gradients disagree
+    beyond the tolerances.
+    """
+    for p in params:
+        p.zero_grad()
+    out = fn()
+    out.backward()
+    worst = 0.0
+    for p in params:
+        assert p.grad is not None, "parameter did not receive a gradient"
+        num = numeric_gradient(fn, p, eps=eps)
+        err = np.abs(p.grad - num)
+        tol = atol + rtol * np.abs(num)
+        worst = max(worst, float(err.max()))
+        assert (err <= tol).all(), (
+            f"gradient mismatch: max err {err.max():.3e} "
+            f"(autodiff vs numeric)"
+        )
+    return worst

@@ -1,0 +1,25 @@
+"""Weight initialisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(
+    shape: tuple, rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a weight matrix.
+
+    ``fan_in``/``fan_out`` are taken from the last two axes (a 1-D shape
+    uses its single axis for both).
+    """
+    if len(shape) >= 2:
+        fan_in, fan_out = shape[-1], shape[-2]
+    else:
+        fan_in = fan_out = shape[0]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,67 @@
+"""Dense layers: Linear and a small MLP."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import NeuroError
+from .init import xavier_uniform, zeros
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` for ``(batch, in_features)`` input."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        *,
+        bias: bool = True,
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise NeuroError("feature sizes must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            xavier_uniform((out_features, in_features), rng)
+        )
+        self.bias = Parameter(zeros((out_features,))) if bias else None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class MLP(Module):
+    """Tanh MLP; the attention unit's alignment function uses one."""
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        *,
+        activation: str = "tanh",
+    ):
+        if len(sizes) < 2:
+            raise NeuroError("MLP needs at least input and output sizes")
+        if activation not in ("tanh", "relu", "sigmoid"):
+            raise NeuroError(f"unknown activation {activation!r}")
+        self.activation = activation
+        self.layers = [
+            Linear(a, b, rng) for a, b in zip(sizes[:-1], sizes[1:])
+        ]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x
+        for i, layer in enumerate(self.layers):
+            out = layer(out)
+            if i < len(self.layers) - 1:
+                out = getattr(out, self.activation)()
+        return out

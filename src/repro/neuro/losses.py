@@ -1,0 +1,40 @@
+"""Loss functions, including the paper's masked MSE.
+
+``L(a, a', mask) = MSE(mask ⊙ a, mask ⊙ a')`` — the reconstruction
+loss is computed on observed entries only; masked-out entries compare
+0 to 0 and contribute nothing to the gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import NeuroError
+from .tensor import Tensor
+
+
+def mse(a: Tensor, b: Tensor) -> Tensor:
+    """Plain mean squared error over all elements."""
+    diff = a - b
+    return (diff * diff).mean()
+
+
+def masked_mse(a: Tensor, b: Tensor, mask: np.ndarray) -> Tensor:
+    """The paper's ``L``: MSE between the masked inputs.
+
+    ``mask`` is a constant (no gradient) 0/1 array broadcastable to the
+    operand shapes.  Division is by the *total* element count, exactly
+    as ``MSE(mask ⊙ a, mask ⊙ b)`` prescribes.
+    """
+    m = np.asarray(mask, dtype=float)
+    if not np.isin(m, (0.0, 1.0)).all():
+        raise NeuroError("mask must be binary")
+    mt = Tensor(m)
+    return mse(a * mt, b * mt)
+
+
+def masked_mae(a: Tensor, b: Tensor, mask: np.ndarray) -> Tensor:
+    """Masked mean absolute error (smooth |x| via sqrt(x^2 + eps))."""
+    m = Tensor(np.asarray(mask, dtype=float))
+    diff = (a - b) * m
+    return ((diff * diff + 1e-12) ** 0.5).mean()

@@ -1,0 +1,81 @@
+"""Module/Parameter machinery: parameter discovery and state dicts."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..exceptions import NeuroError
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with recursive parameter discovery.
+
+    Submodules and parameters are found by attribute inspection (also
+    inside lists of modules), mirroring the PyTorch convention.
+    """
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self) -> List[Tuple[str, Parameter]]:
+        out: List[Tuple[str, Parameter]] = []
+        self._collect("", out, seen=set())
+        return out
+
+    def _collect(self, prefix: str, out, seen) -> None:
+        if id(self) in seen:
+            return
+        seen.add(id(self))
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                out.append((full, value))
+            elif isinstance(value, Module):
+                value._collect(f"{full}.", out, seen)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._collect(f"{full}.{i}.", out, seen)
+                    elif isinstance(item, Parameter):
+                        out.append((f"{full}.{i}", item))
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def n_parameters(self) -> int:
+        return int(sum(p.data.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        extra = set(state) - set(params)
+        if missing or extra:
+            raise NeuroError(
+                f"state dict mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)}"
+            )
+        for name, p in params.items():
+            arr = np.asarray(state[name], dtype=float)
+            if arr.shape != p.data.shape:
+                raise NeuroError(
+                    f"shape mismatch for {name}: "
+                    f"{arr.shape} vs {p.data.shape}"
+                )
+            p.data = arr.copy()

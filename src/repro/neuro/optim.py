@@ -1,0 +1,107 @@
+"""Optimisers: SGD (with momentum) and Adam.
+
+The paper trains all neural imputers with Adam at lr=0.001.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import NeuroError
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimiser over an explicit parameter list."""
+
+    def __init__(self, params: List[Parameter], lr: float):
+        if lr <= 0:
+            raise NeuroError("learning rate must be positive")
+        if not params:
+            raise NeuroError("no parameters to optimise")
+        self.params = list(params)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Global-norm gradient clipping; returns the pre-clip norm."""
+        total = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                total += float((p.grad**2).sum())
+        norm = float(np.sqrt(total))
+        if norm > max_norm > 0:
+            scale = max_norm / (norm + 1e-12)
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad = p.grad * scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise NeuroError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            update = p.grad
+            if self.momentum > 0:
+                v = self._velocity[i]
+                v = update if v is None else self.momentum * v + update
+                self._velocity[i] = v
+                update = v
+            p.data = p.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0 <= b1 < 1 and 0 <= b2 < 1):
+            raise NeuroError("betas must be in [0, 1)")
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            self._m[i] = self.b1 * self._m[i] + (1 - self.b1) * g
+            self._v[i] = self.b2 * self._v[i] + (1 - self.b2) * g * g
+            m_hat = self._m[i] / (1 - self.b1**self._t)
+            v_hat = self._v[i] / (1 - self.b2**self._t)
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

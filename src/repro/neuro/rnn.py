@@ -1,0 +1,88 @@
+"""Recurrent cells.
+
+:class:`LSTMCell` is the standard four-gate LSTM the paper's encoder
+and decoder units pass their combined inputs through (Eqs. 5 and 8 say
+"passed to a standard LSTM cell").  :class:`SimpleRecurrentCell` is the
+literal single-sigmoid recurrence those equations write out — kept as
+an ablation/back-stop; BiSIM defaults to the LSTM.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import NeuroError
+from .init import xavier_uniform, zeros
+from .module import Module, Parameter
+from .tensor import Tensor, concat
+
+
+class LSTMCell(Module):
+    """A standard LSTM cell for ``(batch, input_size)`` inputs."""
+
+    def __init__(
+        self, input_size: int, hidden_size: int, rng: np.random.Generator
+    ):
+        if input_size <= 0 or hidden_size <= 0:
+            raise NeuroError("sizes must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.w_ih = Parameter(xavier_uniform((4 * h, input_size), rng))
+        self.w_hh = Parameter(xavier_uniform((4 * h, h), rng))
+        b = np.zeros(4 * h)
+        b[h : 2 * h] = 1.0  # forget-gate bias trick for stable training
+        self.bias = Parameter(b)
+
+    def __call__(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        """One step: returns the new ``(h, c)`` state."""
+        h_prev, c_prev = state
+        gates = x @ self.w_ih.T + h_prev @ self.w_hh.T + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0:hs].sigmoid()
+        f = gates[:, hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        return (
+            Tensor(zeros((batch, self.hidden_size))),
+            Tensor(zeros((batch, self.hidden_size))),
+        )
+
+
+class SimpleRecurrentCell(Module):
+    """The literal recurrence of Eqs. 5/8: ``h = σ(W h_prev + U x + b)``.
+
+    State is ``(h, h)`` so it is interface-compatible with
+    :class:`LSTMCell`.
+    """
+
+    def __init__(
+        self, input_size: int, hidden_size: int, rng: np.random.Generator
+    ):
+        if input_size <= 0 or hidden_size <= 0:
+            raise NeuroError("sizes must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w = Parameter(xavier_uniform((hidden_size, hidden_size), rng))
+        self.u = Parameter(xavier_uniform((hidden_size, input_size), rng))
+        self.bias = Parameter(zeros((hidden_size,)))
+
+    def __call__(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        h_prev, _ = state
+        h = (h_prev @ self.w.T + x @ self.u.T + self.bias).sigmoid()
+        return h, h
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        z = Tensor(zeros((batch, self.hidden_size)))
+        return z, z

@@ -1,0 +1,362 @@
+"""Reverse-mode autodiff on numpy arrays.
+
+A small, dependency-free replacement for the PyTorch subset that BiSIM,
+BRITS and SSGAN need: broadcasting-aware elementwise ops, matmul,
+reductions, slicing, concatenation and the usual activations.  Each
+:class:`Tensor` records a closure that propagates its output gradient
+to its parents; :meth:`Tensor.backward` runs a topological sweep.
+
+Gradients are verified against central finite differences in
+``tests/neuro/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import NeuroError
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    return arr
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum along axes that were broadcast from 1.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an optional gradient and autograd history."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) or any(
+            p.requires_grad for p in _parents
+        )
+        self._parents = _parents if self.requires_grad else ()
+        self._backward = _backward if self.requires_grad else None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (a copy, to guard the graph)."""
+        return self.data.copy()
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------------
+    # Autograd driver
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise NeuroError("backward() on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise NeuroError("grad must be given for non-scalar output")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            raise NeuroError("gradient shape mismatch")
+
+        order: List[Tensor] = []
+        seen = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for p in node._parents:
+                visit(p)
+            order.append(node)
+
+        visit(self)
+
+        grads = {id(self): grad}
+        for node in reversed(order):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward is not None:
+                for parent, pg in node._backward(g):
+                    if not parent.requires_grad:
+                        continue
+                    acc = grads.get(id(parent))
+                    grads[id(parent)] = pg if acc is None else acc + pg
+            if not node._parents:  # leaf
+                node.grad = g if node.grad is None else node.grad + g
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        out_data = self.data + other_t.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, _unbroadcast(g, self.shape)),
+                (other_t, _unbroadcast(g, other_t.shape)),
+            )
+
+        return Tensor(out_data, _parents=(self, other_t), _backward=backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray):
+            return ((self, -g),)
+
+        return Tensor(-self.data, _parents=(self,), _backward=backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-_ensure_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return _ensure_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        out_data = self.data * other_t.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, _unbroadcast(g * other_t.data, self.shape)),
+                (other_t, _unbroadcast(g * self.data, other_t.shape)),
+            )
+
+        return Tensor(out_data, _parents=(self, other_t), _backward=backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        out_data = self.data / other_t.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, _unbroadcast(g / other_t.data, self.shape)),
+                (
+                    other_t,
+                    _unbroadcast(
+                        -g * self.data / (other_t.data**2), other_t.shape
+                    ),
+                ),
+            )
+
+        return Tensor(out_data, _parents=(self, other_t), _backward=backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return _ensure_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise NeuroError("only scalar exponents supported")
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray):
+            return ((self, g * exponent * self.data ** (exponent - 1)),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = _ensure_tensor(other)
+        if self.ndim != 2 or other_t.ndim != 2:
+            raise NeuroError("matmul supports 2-D tensors only")
+        out_data = self.data @ other_t.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, g @ other_t.data.T),
+                (other_t, self.data.T @ g),
+            )
+
+        return Tensor(out_data, _parents=(self, other_t), _backward=backward)
+
+    # ------------------------------------------------------------------
+    # Reductions / shaping
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            gg = g
+            if axis is not None and not keepdims:
+                gg = np.expand_dims(gg, axis)
+            return ((self, np.broadcast_to(gg, self.shape).copy()),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        out_data = self.data.reshape(*shape)
+        old_shape = self.shape
+
+        def backward(g: np.ndarray):
+            return ((self, g.reshape(old_shape)),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    @property
+    def T(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(g: np.ndarray):
+            return ((self, g.T),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(g: np.ndarray):
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, g)
+            return ((self, full),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    # ------------------------------------------------------------------
+    # Activations / elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray):
+            return ((self, g * out_data),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray):
+            return ((self, g / self.data),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g: np.ndarray):
+            return ((self, g * out_data * (1.0 - out_data)),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray):
+            return ((self, g * (1.0 - out_data**2)),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(g: np.ndarray):
+            return ((self, g * (self.data > 0)),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        out_data = e / e.sum(axis=axis, keepdims=True)
+
+        def backward(g: np.ndarray):
+            dot = (g * out_data).sum(axis=axis, keepdims=True)
+            return ((self, out_data * (g - dot)),)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+
+def _ensure_tensor(value: ArrayLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    if not tensors:
+        raise NeuroError("concat of empty sequence")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        outs = []
+        for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(start, end)
+            outs.append((t, g[tuple(index)]))
+        return tuple(outs)
+
+    return Tensor(out_data, _parents=tuple(tensors), _backward=backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack equally-shaped tensors along a new axis."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    if not tensors:
+        raise NeuroError("stack of empty sequence")
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        pieces = np.split(g, len(tensors), axis=axis)
+        return tuple(
+            (t, np.squeeze(p, axis=axis)) for t, p in zip(tensors, pieces)
+        )
+
+    return Tensor(out_data, _parents=tuple(tensors), _backward=backward)

@@ -1,0 +1,17 @@
+"""Location estimation (KNN, WKNN, random forest) and the paper's
+evaluation-control protocol."""
+
+from .evaluate import PipelineOutcome, evaluate_pipeline
+from .forest import RandomForestEstimator
+from .knn import KNNEstimator, LocationEstimator, WKNNEstimator
+from .tree import RegressionTree
+
+__all__ = [
+    "KNNEstimator",
+    "LocationEstimator",
+    "PipelineOutcome",
+    "RandomForestEstimator",
+    "RegressionTree",
+    "WKNNEstimator",
+    "evaluate_pipeline",
+]

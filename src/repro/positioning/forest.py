@@ -1,0 +1,55 @@
+"""Random-forest location estimation [28].
+
+Bootstrap-bagged regression trees with per-split feature subsampling
+(√D features); predictions average the trees' (x, y) outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..exceptions import PositioningError
+from .knn import LocationEstimator, _validate_training
+from .tree import RegressionTree
+
+
+@dataclass
+class RandomForestEstimator(LocationEstimator):
+    """Random-forest regressor over (fingerprint → RP) pairs."""
+
+    n_trees: int = 20
+    max_depth: int = 12
+    min_samples_split: int = 4
+    seed: int = 17
+    name: str = "RF"
+
+    _trees: List[RegressionTree] = field(default_factory=list, repr=False)
+
+    def fit(self, fingerprints, locations):
+        fp, loc = _validate_training(fingerprints, locations)
+        rng = np.random.default_rng(self.seed)
+        n, d = fp.shape
+        max_features = max(1, int(np.sqrt(d)))
+        self._trees = []
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.fit(fp[idx], loc[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, fingerprints: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise PositioningError("forest not fitted")
+        preds = np.stack(
+            [t.predict(fingerprints) for t in self._trees], axis=0
+        )
+        return preds.mean(axis=0)

@@ -1,0 +1,141 @@
+"""CART regression trees with multi-output (x, y) leaves.
+
+Substrate for the random-forest location estimator [28]; scikit-learn
+is unavailable offline, so this is a from-scratch implementation:
+variance-reduction splits over a random feature subset, depth/size
+stopping rules, mean-vector leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import PositioningError
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: Optional[np.ndarray] = None  # leaf mean (2,)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+
+class RegressionTree:
+    """A CART tree predicting 2-D targets by mean-vector leaves."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if max_depth < 1:
+            raise PositioningError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng()
+        self._root: Optional[_Node] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or y.shape != (x.shape[0], 2):
+            raise PositioningError("x (n,D) / y (n,2) required")
+        if x.shape[0] == 0:
+            raise PositioningError("empty training set")
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise PositioningError("tree not fitted")
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        out = np.empty((x.shape[0], 2))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = (
+                    node.left
+                    if row[node.feature] <= node.threshold
+                    else node.right
+                )
+            out[i] = node.value
+        return out
+
+    # ------------------------------------------------------------------
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n = x.shape[0]
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or _variance(y) < 1e-12
+        ):
+            return _Node(value=y.mean(axis=0))
+        split = self._best_split(x, y)
+        if split is None:
+            return _Node(value=y.mean(axis=0))
+        feature, threshold = split
+        left_mask = x[:, feature] <= threshold
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._grow(x[left_mask], y[left_mask], depth + 1),
+            right=self._grow(x[~left_mask], y[~left_mask], depth + 1),
+        )
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        n, d = x.shape
+        n_feats = self.max_features or d
+        n_feats = min(n_feats, d)
+        features = self.rng.choice(d, size=n_feats, replace=False)
+        base = _variance(y) * n
+        best_gain = 1e-12
+        best = None
+        for f in features:
+            values = x[:, f]
+            order = np.argsort(values, kind="stable")
+            sorted_vals = values[order]
+            sorted_y = y[order]
+            # Candidate thresholds between distinct consecutive values.
+            distinct = np.where(np.diff(sorted_vals) > 1e-12)[0]
+            if distinct.size == 0:
+                continue
+            # Prefix sums for O(n) split scoring.
+            csum = np.cumsum(sorted_y, axis=0)
+            csum2 = np.cumsum(sorted_y**2, axis=0)
+            total = csum[-1]
+            total2 = csum2[-1]
+            for idx in distinct:
+                n_l = idx + 1
+                n_r = n - n_l
+                if n_l < self.min_samples_leaf or n_r < self.min_samples_leaf:
+                    continue
+                sse_l = (csum2[idx] - csum[idx] ** 2 / n_l).sum()
+                right2 = total2 - csum2[idx]
+                right1 = total - csum[idx]
+                sse_r = (right2 - right1**2 / n_r).sum()
+                gain = base - (sse_l + sse_r)
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(f), float((sorted_vals[idx] + sorted_vals[idx + 1]) / 2))
+        return best
+
+
+def _variance(y: np.ndarray) -> float:
+    return float(y.var(axis=0).sum())

@@ -1,0 +1,23 @@
+"""Radio channel simulation: propagation, detection floor, random loss."""
+
+from .channel import (
+    ChannelModel,
+    Measurement,
+    calibrate_detection_floor,
+    make_channel,
+)
+from .propagation import (
+    BLUETOOTH_PROPAGATION,
+    WIFI_PROPAGATION,
+    PropagationModel,
+)
+
+__all__ = [
+    "BLUETOOTH_PROPAGATION",
+    "WIFI_PROPAGATION",
+    "ChannelModel",
+    "calibrate_detection_floor",
+    "Measurement",
+    "PropagationModel",
+    "make_channel",
+]

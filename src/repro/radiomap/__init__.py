@@ -1,0 +1,31 @@
+"""Radio-map creation, containers, perturbations, I/O and statistics."""
+
+from .creation import create_radio_map, create_radio_map_for_path
+from .interpolation import interpolate_rps_linear
+from .io import export_csv, load_radio_map, save_radio_map
+from .perturb import (
+    RemovedValues,
+    remove_for_imputation_eval,
+    remove_rssi_fraction,
+    scale_rp_density,
+)
+from .radiomap import RadioMap, RadioMapTruth, concatenate_radio_maps
+from .stats import RadioMapStats, compute_stats
+
+__all__ = [
+    "RadioMap",
+    "RadioMapStats",
+    "RadioMapTruth",
+    "RemovedValues",
+    "compute_stats",
+    "concatenate_radio_maps",
+    "create_radio_map",
+    "create_radio_map_for_path",
+    "export_csv",
+    "interpolate_rps_linear",
+    "load_radio_map",
+    "remove_for_imputation_eval",
+    "remove_rssi_fraction",
+    "save_radio_map",
+    "scale_rp_density",
+]

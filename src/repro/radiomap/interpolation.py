@@ -1,0 +1,45 @@
+"""Linear interpolation of missing RPs along survey paths.
+
+Used in two places in the paper: Algorithm 2 interpolates null RPs to
+build clustering samples ("Although imprecise, these interpolated RP
+positions capture spatial proximity"), and the LI baseline imputer uses
+the same rule as its whole RP-imputation strategy.
+
+Interpolation is performed per path in time order; records before the
+first (after the last) observed RP are clamped to it.  Paths with no
+observed RP at all fall back to the global mean of observed RPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .radiomap import RadioMap
+
+
+def interpolate_rps_linear(radio_map: RadioMap) -> np.ndarray:
+    """Return an ``(N, 2)`` array of RPs with all nulls interpolated."""
+    out = radio_map.rps.copy()
+    observed = radio_map.rp_observed_mask
+    if observed.any():
+        global_mean = radio_map.rps[observed].mean(axis=0)
+    else:
+        global_mean = np.zeros(2)
+
+    for _, rows in radio_map.path_sequences():
+        times = radio_map.times[rows]
+        obs_local = observed[rows]
+        if not obs_local.any():
+            out[rows] = global_mean
+            continue
+        obs_pos = np.where(obs_local)[0]
+        obs_times = times[obs_pos]
+        for dim in range(2):
+            vals = radio_map.rps[rows[obs_pos], dim]
+            # np.interp clamps outside the observed time range, giving
+            # the first/last-RP behaviour we want.
+            out[rows, dim] = np.interp(times, obs_times, vals)
+        # Restore exact observed values (interp is exact there anyway,
+        # but guard against duplicate timestamps).
+        out[rows[obs_pos]] = radio_map.rps[rows[obs_pos]]
+    return out

@@ -1,0 +1,104 @@
+"""Radio-map persistence (npz matrices + JSON metadata) and CSV export."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import RadioMapError
+from .radiomap import RadioMap, RadioMapTruth
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_radio_map(radio_map: RadioMap, path: PathLike) -> None:
+    """Save a radio map (and any truth arrays) to an ``.npz`` file."""
+    path = Path(path)
+    arrays = {
+        "fingerprints": radio_map.fingerprints,
+        "rps": radio_map.rps,
+        "times": radio_map.times,
+        "path_ids": radio_map.path_ids,
+        "meta": np.array(
+            [json.dumps({"version": _FORMAT_VERSION})], dtype=object
+        ),
+    }
+    if radio_map.truth is not None:
+        t = radio_map.truth
+        if t.missing_type is not None:
+            arrays["truth_missing_type"] = t.missing_type
+        if t.positions is not None:
+            arrays["truth_positions"] = t.positions
+        if t.clean_fingerprints is not None:
+            arrays["truth_clean_fingerprints"] = t.clean_fingerprints
+    np.savez_compressed(path, **arrays)
+
+
+def load_radio_map(path: PathLike) -> RadioMap:
+    """Load a radio map previously written by :func:`save_radio_map`."""
+    path = Path(path)
+    if not path.exists():
+        raise RadioMapError(f"no such file: {path}")
+    with np.load(path, allow_pickle=True) as data:
+        meta = json.loads(str(data["meta"][0]))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise RadioMapError(
+                f"unsupported radio-map format version {meta.get('version')!r}"
+            )
+        truth = None
+        if any(k.startswith("truth_") for k in data.files):
+            truth = RadioMapTruth(
+                missing_type=(
+                    data["truth_missing_type"]
+                    if "truth_missing_type" in data.files
+                    else None
+                ),
+                positions=(
+                    data["truth_positions"]
+                    if "truth_positions" in data.files
+                    else None
+                ),
+                clean_fingerprints=(
+                    data["truth_clean_fingerprints"]
+                    if "truth_clean_fingerprints" in data.files
+                    else None
+                ),
+            )
+        return RadioMap(
+            fingerprints=data["fingerprints"],
+            rps=data["rps"],
+            times=data["times"],
+            path_ids=data["path_ids"],
+            truth=truth,
+        )
+
+
+def export_csv(radio_map: RadioMap, path: PathLike) -> None:
+    """Export records to CSV in the paper's Table III shape.
+
+    Nulls are written as empty cells; columns are ``time, path_id, x, y,
+    r0..r{D-1}``.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        header = ["time", "path_id", "x", "y"] + [
+            f"r{d}" for d in range(radio_map.n_aps)
+        ]
+        writer.writerow(header)
+        for i in range(radio_map.n_records):
+            row = [
+                f"{radio_map.times[i]:.3f}",
+                int(radio_map.path_ids[i]),
+            ]
+            for v in radio_map.rps[i]:
+                row.append("" if not np.isfinite(v) else f"{v:.3f}")
+            for v in radio_map.fingerprints[i]:
+                row.append("" if not np.isfinite(v) else f"{v:.1f}")
+            writer.writerow(row)

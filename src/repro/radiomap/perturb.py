@@ -1,0 +1,140 @@
+"""Radio-map perturbations used by the paper's parameter sweeps.
+
+Three controlled degradations:
+
+* **alpha removal** (Section V-B, Fig. 12/13): nullify a fraction
+  ``alpha`` of the *observed RSSIs* of a raw radio map before
+  differentiation — stresses the differentiators.
+* **beta removal** (Section V-C, Fig. 14/15): *after* MNARs are filled
+  with -100 dBm, remove a fraction ``beta`` of RSSIs (or RPs) and keep
+  the removed values as imputation ground truth.
+* **RP-density scaling** (Fig. 16): drop RP records from the *raw
+  survey tables* so only ``density`` of RPs remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import RadioMapError
+from ..survey import RPRecord, WalkingSurveyRecordTable
+from .radiomap import RadioMap
+
+
+@dataclass
+class RemovedValues:
+    """Ground truth held back by a beta-removal perturbation.
+
+    Attributes
+    ----------
+    rssi_indices:
+        ``(k, 2)`` array of (row, ap) indices whose RSSIs were removed.
+    rssi_values:
+        ``(k,)`` removed RSSI values.
+    rp_indices:
+        ``(m,)`` rows whose RPs were removed.
+    rp_values:
+        ``(m, 2)`` removed RP coordinates.
+    """
+
+    rssi_indices: np.ndarray
+    rssi_values: np.ndarray
+    rp_indices: np.ndarray
+    rp_values: np.ndarray
+
+
+def remove_rssi_fraction(
+    radio_map: RadioMap, alpha: float, rng: np.random.Generator
+) -> RadioMap:
+    """Alpha removal: randomly nullify a fraction of observed RSSIs."""
+    if not 0.0 <= alpha < 1.0:
+        raise RadioMapError("alpha must be in [0, 1)")
+    out = radio_map.copy()
+    if alpha == 0.0:
+        return out
+    rows, cols = np.where(out.rssi_observed_mask)
+    k = int(round(alpha * rows.size))
+    if k == 0:
+        return out
+    pick = rng.choice(rows.size, size=k, replace=False)
+    out.fingerprints[rows[pick], cols[pick]] = np.nan
+    if out.truth is not None and out.truth.missing_type is not None:
+        # Removed observations are, by construction, random removals.
+        out.truth.missing_type[rows[pick], cols[pick]] = 0
+    return out
+
+
+def remove_for_imputation_eval(
+    radio_map: RadioMap,
+    beta: float,
+    rng: np.random.Generator,
+    *,
+    remove_rssis: bool = True,
+    remove_rps: bool = True,
+) -> Tuple[RadioMap, RemovedValues]:
+    """Beta removal: hold back observed values as imputation ground truth.
+
+    Applied to a radio map whose MNARs are already filled (-100 dBm), as
+    Section V-C specifies — the sampled positions therefore include both
+    genuinely observed RSSIs and MNAR fills, matching the paper's
+    protocol of removing "RSSIs" from the filled map.
+    """
+    if not 0.0 <= beta < 1.0:
+        raise RadioMapError("beta must be in [0, 1)")
+    out = radio_map.copy()
+
+    rssi_idx = np.empty((0, 2), dtype=int)
+    rssi_val = np.empty(0)
+    if remove_rssis and beta > 0:
+        rows, cols = np.where(np.isfinite(out.fingerprints))
+        k = int(round(beta * rows.size))
+        if k > 0:
+            pick = rng.choice(rows.size, size=k, replace=False)
+            rssi_idx = np.stack([rows[pick], cols[pick]], axis=1)
+            rssi_val = out.fingerprints[rows[pick], cols[pick]].copy()
+            out.fingerprints[rows[pick], cols[pick]] = np.nan
+
+    rp_idx = np.empty(0, dtype=int)
+    rp_val = np.empty((0, 2))
+    if remove_rps and beta > 0:
+        observed = out.observed_rp_indices()
+        k = int(round(beta * observed.size))
+        if k > 0:
+            pick = rng.choice(observed.size, size=k, replace=False)
+            rp_idx = observed[pick]
+            rp_val = out.rps[rp_idx].copy()
+            out.rps[rp_idx] = np.nan
+
+    return out, RemovedValues(
+        rssi_indices=rssi_idx,
+        rssi_values=rssi_val,
+        rp_indices=rp_idx,
+        rp_values=rp_val,
+    )
+
+
+def scale_rp_density(
+    tables: List[WalkingSurveyRecordTable],
+    density: float,
+    rng: np.random.Generator,
+) -> List[WalkingSurveyRecordTable]:
+    """Keep only ``density`` of RP records in raw survey tables (Fig. 16)."""
+    if not 0.0 < density <= 1.0:
+        raise RadioMapError("density must be in (0, 1]")
+    if density == 1.0:
+        return tables
+    out: List[WalkingSurveyRecordTable] = []
+    for table in tables:
+        kept = WalkingSurveyRecordTable(
+            path_id=table.path_id, n_aps=table.n_aps
+        )
+        for rec in table.records:
+            if isinstance(rec, RPRecord) and rng.random() > density:
+                continue
+            kept.add(rec)
+        kept.sort()
+        out.append(kept)
+    return out

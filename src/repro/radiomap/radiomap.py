@@ -1,0 +1,189 @@
+"""The central :class:`RadioMap` container.
+
+A radio map is ``N`` records of (fingerprint, RP) pairs; both sides may
+contain nulls (represented as NaN).  Unlike the paper's Table III we
+also keep the per-record timestamp and survey-path id — the paper keeps
+them too ("we use them for imputation later on") since BiSIM's time-lag
+mechanism needs inter-record time differences and sequences must not
+cross path boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import RadioMapError
+
+
+@dataclass
+class RadioMapTruth:
+    """Simulation-only ground truth carried next to a radio map.
+
+    Attributes
+    ----------
+    missing_type:
+        ``(N, D)`` int array; ``1`` observed / ``0`` MAR / ``-1`` MNAR.
+    positions:
+        ``(N, 2)`` true surveyor positions for every record.
+    clean_fingerprints:
+        ``(N, D)`` noise-free fingerprints (NaN where truly
+        unobservable) — the target MAR imputations should approach.
+    """
+
+    missing_type: Optional[np.ndarray] = None
+    positions: Optional[np.ndarray] = None
+    clean_fingerprints: Optional[np.ndarray] = None
+
+    def subset(self, idx: np.ndarray) -> "RadioMapTruth":
+        def take(a: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            return None if a is None else a[idx]
+
+        return RadioMapTruth(
+            missing_type=take(self.missing_type),
+            positions=take(self.positions),
+            clean_fingerprints=take(self.clean_fingerprints),
+        )
+
+
+@dataclass
+class RadioMap:
+    """N radio-map records over D access points.
+
+    Attributes
+    ----------
+    fingerprints:
+        ``(N, D)`` float array; NaN encodes a missing RSSI.
+    rps:
+        ``(N, 2)`` float array; an all-NaN row encodes a missing RP.
+    times:
+        ``(N,)`` record timestamps (seconds, per-path clock).
+    path_ids:
+        ``(N,)`` survey-path id of each record.
+    truth:
+        Optional simulation ground truth (never consumed by algorithms,
+        only by evaluation code).
+    """
+
+    fingerprints: np.ndarray
+    rps: np.ndarray
+    times: np.ndarray
+    path_ids: np.ndarray
+    truth: Optional[RadioMapTruth] = None
+
+    def __post_init__(self) -> None:
+        self.fingerprints = np.asarray(self.fingerprints, dtype=float)
+        self.rps = np.asarray(self.rps, dtype=float)
+        self.times = np.asarray(self.times, dtype=float)
+        self.path_ids = np.asarray(self.path_ids, dtype=int)
+        n = self.fingerprints.shape[0]
+        if self.fingerprints.ndim != 2:
+            raise RadioMapError("fingerprints must be (N, D)")
+        if self.rps.shape != (n, 2):
+            raise RadioMapError("rps must be (N, 2)")
+        if self.times.shape != (n,) or self.path_ids.shape != (n,):
+            raise RadioMapError("times/path_ids must be (N,)")
+
+    # ------------------------------------------------------------------
+    # Shape / rates
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        return int(self.fingerprints.shape[0])
+
+    @property
+    def n_aps(self) -> int:
+        return int(self.fingerprints.shape[1])
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    @property
+    def rssi_observed_mask(self) -> np.ndarray:
+        """Boolean ``(N, D)``: True where an RSSI value is present."""
+        return np.isfinite(self.fingerprints)
+
+    @property
+    def rp_observed_mask(self) -> np.ndarray:
+        """Boolean ``(N,)``: True where the RP label is present."""
+        return np.isfinite(self.rps).all(axis=1)
+
+    @property
+    def missing_rssi_rate(self) -> float:
+        """Fraction of null RSSI entries (the paper's 85-94 %)."""
+        return float(1.0 - self.rssi_observed_mask.mean())
+
+    @property
+    def missing_rp_rate(self) -> float:
+        """Fraction of records with a null RP."""
+        return float(1.0 - self.rp_observed_mask.mean())
+
+    # ------------------------------------------------------------------
+    # Access helpers
+    # ------------------------------------------------------------------
+    def observed_rp_indices(self) -> np.ndarray:
+        return np.where(self.rp_observed_mask)[0]
+
+    def subset(self, idx: np.ndarray) -> "RadioMap":
+        """New radio map containing only rows ``idx`` (copies)."""
+        idx = np.asarray(idx)
+        return RadioMap(
+            fingerprints=self.fingerprints[idx].copy(),
+            rps=self.rps[idx].copy(),
+            times=self.times[idx].copy(),
+            path_ids=self.path_ids[idx].copy(),
+            truth=None if self.truth is None else self.truth.subset(idx),
+        )
+
+    def copy(self) -> "RadioMap":
+        return self.subset(np.arange(self.n_records))
+
+    def path_sequences(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(path_id, row_indices)`` per path, time-ordered.
+
+        BiSIM and the time-series baselines consume records path by
+        path; rows within a path are sorted by timestamp.
+        """
+        for pid in np.unique(self.path_ids):
+            rows = np.where(self.path_ids == pid)[0]
+            order = np.argsort(self.times[rows], kind="stable")
+            yield int(pid), rows[order]
+
+    def describe(self) -> str:
+        return (
+            f"RadioMap(N={self.n_records}, D={self.n_aps}, "
+            f"missing RSSI={100 * self.missing_rssi_rate:.1f}%, "
+            f"missing RP={100 * self.missing_rp_rate:.1f}%)"
+        )
+
+
+def concatenate_radio_maps(maps: List[RadioMap]) -> RadioMap:
+    """Stack several radio maps (e.g. one per survey path) into one."""
+    if not maps:
+        raise RadioMapError("nothing to concatenate")
+    d = maps[0].n_aps
+    for m in maps:
+        if m.n_aps != d:
+            raise RadioMapError("AP dimensionality mismatch")
+    truth = None
+    if all(m.truth is not None for m in maps):
+        def cat(attr: str) -> Optional[np.ndarray]:
+            parts = [getattr(m.truth, attr) for m in maps]
+            if any(p is None for p in parts):
+                return None
+            return np.concatenate(parts, axis=0)
+
+        truth = RadioMapTruth(
+            missing_type=cat("missing_type"),
+            positions=cat("positions"),
+            clean_fingerprints=cat("clean_fingerprints"),
+        )
+    return RadioMap(
+        fingerprints=np.concatenate([m.fingerprints for m in maps]),
+        rps=np.concatenate([m.rps for m in maps]),
+        times=np.concatenate([m.times for m in maps]),
+        path_ids=np.concatenate([m.path_ids for m in maps]),
+        truth=truth,
+    )

@@ -1,0 +1,60 @@
+"""Radio-map statistics in the shape of the paper's Table V."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..venue import VenueSpec
+from .radiomap import RadioMap
+
+
+@dataclass(frozen=True)
+class RadioMapStats:
+    """One Table V row for a venue + created radio map."""
+
+    venue: str
+    floor_area_m2: float
+    rp_density_per_100m2: float
+    n_fingerprints: int
+    n_rps: int
+    n_aps: int
+    missing_rssi_rate: float
+    missing_rp_rate: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.venue:<8} area={self.floor_area_m2:8.1f} m2  "
+            f"RP density={self.rp_density_per_100m2:5.2f}/100m2  "
+            f"#fingerprints={self.n_fingerprints:5d}  "
+            f"#RPs={self.n_rps:4d}  #APs={self.n_aps:4d}  "
+            f"missing RSSI={100 * self.missing_rssi_rate:5.1f}%  "
+            f"missing RP={100 * self.missing_rp_rate:5.1f}%"
+        )
+
+
+def compute_stats(venue: VenueSpec, radio_map: RadioMap) -> RadioMapStats:
+    """Compute Table V statistics for a venue's created radio map.
+
+    ``n_fingerprints`` counts records with at least one observed RSSI
+    (pure-RP rows do not carry a fingerprint); ``n_rps`` counts distinct
+    observed RP coordinates, matching Table V's "# of RPs".
+    """
+    has_fp = radio_map.rssi_observed_mask.any(axis=1)
+    observed_rps = radio_map.rps[radio_map.rp_observed_mask]
+    n_unique_rps = (
+        np.unique(observed_rps.round(6), axis=0).shape[0]
+        if observed_rps.size
+        else 0
+    )
+    return RadioMapStats(
+        venue=venue.name,
+        floor_area_m2=venue.plan.area,
+        rp_density_per_100m2=100.0 * venue.n_rps / venue.plan.area,
+        n_fingerprints=int(has_fp.sum()),
+        n_rps=n_unique_rps,
+        n_aps=radio_map.n_aps,
+        missing_rssi_rate=radio_map.missing_rssi_rate,
+        missing_rp_rate=radio_map.missing_rp_rate,
+    )

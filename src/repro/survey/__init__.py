@@ -1,0 +1,23 @@
+"""Walking-survey simulation: paths, surveyor kinematics, record tables."""
+
+from .kinematics import PathKinematics
+from .paths import plan_survey_paths, rps_on_path
+from .records import (
+    RecordTruth,
+    RPRecord,
+    RSSIRecord,
+    WalkingSurveyRecordTable,
+)
+from .simulator import SurveyConfig, simulate_survey
+
+__all__ = [
+    "PathKinematics",
+    "RPRecord",
+    "RSSIRecord",
+    "RecordTruth",
+    "SurveyConfig",
+    "WalkingSurveyRecordTable",
+    "plan_survey_paths",
+    "rps_on_path",
+    "simulate_survey",
+]

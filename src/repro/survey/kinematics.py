@@ -1,0 +1,112 @@
+"""Surveyor kinematics: variable speed and pauses along a path.
+
+Walking surveys are not constant-speed: surveyors slow down at turns,
+pause to annotate RPs, and drift in pace.  This matters for imputation
+benchmarks — with perfectly constant speed, time-linear interpolation
+of RPs (the LI baseline) is exact by construction and no learned model
+can beat it.  Real data breaks that, so the simulator must too.
+
+:class:`PathKinematics` draws a per-segment speed profile plus random
+pauses and exposes ``position(t)`` / ``time_at_arc(s)`` for the record
+generators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import SurveyError
+from ..geometry import interpolate_along
+
+
+class PathKinematics:
+    """Time ↔ position mapping for one surveyed polyline.
+
+    Parameters
+    ----------
+    waypoints:
+        ``(k, 2)`` corridor polyline.
+    base_speed:
+        Mean walking speed (m/s).
+    speed_jitter:
+        Log-normal sigma of per-segment speed variation.
+    pause_probability:
+        Chance of a pause at each interior waypoint.
+    pause_duration:
+        Mean pause length (s), exponentially distributed.
+    """
+
+    def __init__(
+        self,
+        waypoints: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        base_speed: float = 1.0,
+        speed_jitter: float = 0.25,
+        pause_probability: float = 0.25,
+        pause_duration: float = 3.0,
+        segment_length: float = 4.0,
+    ):
+        if base_speed <= 0:
+            raise SurveyError("base speed must be positive")
+        self.waypoints = np.asarray(waypoints, dtype=float)
+        if self.waypoints.shape[0] < 2:
+            raise SurveyError("need at least two waypoints")
+
+        seg_vecs = np.diff(self.waypoints, axis=0)
+        seg_lens = np.linalg.norm(seg_vecs, axis=1)
+        self.total_length = float(seg_lens.sum())
+
+        # Sub-divide into ~segment_length pieces, each with its own
+        # speed; insert pauses at waypoint boundaries.
+        arcs: List[Tuple[float, float, float]] = []  # (s0, s1, speed)
+        pauses: List[Tuple[float, float]] = []  # (arc s, duration)
+        s = 0.0
+        for i, length in enumerate(seg_lens):
+            n_sub = max(1, int(np.ceil(length / segment_length)))
+            sub_len = length / n_sub
+            for _ in range(n_sub):
+                speed = base_speed * float(
+                    rng.lognormal(0.0, speed_jitter)
+                )
+                speed = float(np.clip(speed, 0.2, 3.0))
+                arcs.append((s, s + sub_len, speed))
+                s += sub_len
+            if i < len(seg_lens) - 1 and rng.random() < pause_probability:
+                pauses.append((s, float(rng.exponential(pause_duration))))
+
+        # Build the piecewise-linear time(s) map.
+        self._knots_s: List[float] = [0.0]
+        self._knots_t: List[float] = [0.0]
+        t = 0.0
+        pause_iter = iter(pauses)
+        next_pause = next(pause_iter, None)
+        for s0, s1, speed in arcs:
+            t += (s1 - s0) / speed
+            self._knots_s.append(s1)
+            self._knots_t.append(t)
+            while next_pause is not None and abs(next_pause[0] - s1) < 1e-9:
+                t += next_pause[1]
+                self._knots_s.append(s1)
+                self._knots_t.append(t)
+                next_pause = next(pause_iter, None)
+        self.duration = t
+        self._s_arr = np.array(self._knots_s)
+        self._t_arr = np.array(self._knots_t)
+
+    # ------------------------------------------------------------------
+    def arc_at_time(self, t: float) -> float:
+        """Arc length travelled by time ``t`` (clamped)."""
+        t = float(np.clip(t, 0.0, self.duration))
+        return float(np.interp(t, self._t_arr, self._s_arr))
+
+    def time_at_arc(self, s: float) -> float:
+        """First time the surveyor reaches arc length ``s`` (clamped)."""
+        s = float(np.clip(s, 0.0, self.total_length))
+        return float(np.interp(s, self._s_arr, self._t_arr))
+
+    def position(self, t: float) -> np.ndarray:
+        """Surveyor position at time ``t``."""
+        return interpolate_along(self.waypoints, self.arc_at_time(t))

@@ -1,0 +1,132 @@
+"""Survey-path planning over the hallway graph.
+
+Surveyors walk predefined corridor paths (paper Fig. 2).  We plan paths
+that jointly cover every hallway edge: a greedy edge-covering walk —
+start somewhere, keep extending along unused edges, start a new path
+when stuck.  Repeating the cover (``n_passes``) yields more fingerprints
+per RP, matching how the real datasets contain several visits per RP.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import SurveyError
+from ..venue import FloorPlan
+
+
+def plan_survey_paths(
+    plan: FloorPlan,
+    rng: np.random.Generator,
+    *,
+    n_passes: int = 1,
+    max_edges_per_path: int = 12,
+) -> List[np.ndarray]:
+    """Plan survey paths covering every hallway edge ``n_passes`` times.
+
+    Returns a list of waypoint arrays, each of shape ``(k, 2)`` with
+    ``k >= 2`` — the corridor-centreline polyline a surveyor walks.
+    """
+    if n_passes < 1:
+        raise SurveyError("need at least one pass")
+    graph = plan.hallway_graph
+    pos = plan.node_positions()
+    paths: List[np.ndarray] = []
+    for _ in range(n_passes):
+        paths.extend(
+            _cover_edges_once(graph, pos, rng, max_edges_per_path)
+        )
+    if not paths:
+        raise SurveyError("no survey paths could be planned")
+    return paths
+
+
+def _cover_edges_once(
+    graph: nx.Graph,
+    pos: dict,
+    rng: np.random.Generator,
+    max_edges_per_path: int,
+) -> List[np.ndarray]:
+    """One greedy cover of all graph edges by node-walks."""
+    remaining = {frozenset(e) for e in graph.edges()}
+    paths: List[np.ndarray] = []
+    nodes = list(graph.nodes())
+    while remaining:
+        # Start at a node incident to an uncovered edge.
+        candidates = [
+            n
+            for n in nodes
+            if any(frozenset((n, nb)) in remaining for nb in graph.neighbors(n))
+        ]
+        current = candidates[int(rng.integers(len(candidates)))]
+        walk = [current]
+        for _ in range(max_edges_per_path):
+            unused = [
+                nb
+                for nb in graph.neighbors(current)
+                if frozenset((current, nb)) in remaining
+            ]
+            if not unused:
+                break
+            nxt = unused[int(rng.integers(len(unused)))]
+            remaining.discard(frozenset((current, nxt)))
+            walk.append(nxt)
+            current = nxt
+        if len(walk) >= 2:
+            paths.append(np.array([pos[n] for n in walk], dtype=float))
+        else:
+            # Stuck immediately: cover one incident edge directly.
+            nb = next(
+                nb
+                for nb in graph.neighbors(current)
+                if frozenset((current, nb)) in remaining
+            )
+            remaining.discard(frozenset((current, nb)))
+            paths.append(np.array([pos[current], pos[nb]], dtype=float))
+    return paths
+
+
+def rps_on_path(
+    waypoints: np.ndarray,
+    rps: np.ndarray,
+    *,
+    tolerance: float = 1.0,
+) -> List[int]:
+    """Indices of RPs lying on a path, ordered by arc length.
+
+    An RP counts as "on" the path when its distance to some path segment
+    is below ``tolerance`` metres.
+    """
+    hits: List[tuple] = []
+    for idx in range(rps.shape[0]):
+        d, s = _distance_to_polyline(rps[idx], waypoints)
+        if d <= tolerance:
+            hits.append((s, idx))
+    hits.sort()
+    return [idx for _, idx in hits]
+
+
+def _distance_to_polyline(
+    point: np.ndarray, waypoints: np.ndarray
+) -> tuple:
+    """Distance from a point to a polyline plus the arc length of the
+    closest approach (for ordering RPs along a path)."""
+    best_d = float("inf")
+    best_s = 0.0
+    acc = 0.0
+    for a, b in zip(waypoints[:-1], waypoints[1:]):
+        ab = b - a
+        seg_len = float(np.linalg.norm(ab))
+        if seg_len < 1e-12:
+            continue
+        t = float(np.clip(np.dot(point - a, ab) / (seg_len**2), 0.0, 1.0))
+        proj = a + t * ab
+        d = float(np.linalg.norm(point - proj))
+        if d < best_d:
+            best_d = d
+            best_s = acc + t * seg_len
+        acc += seg_len
+    return best_d, best_s

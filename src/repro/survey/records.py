@@ -1,0 +1,111 @@
+"""Walking Survey Record Table (paper Table II).
+
+A walking survey produces a time-sorted stream of two record types:
+
+* **RP records** — the surveyor reached a pre-selected reference point
+  and logged its coordinates;
+* **RSSI records** — a Wi-Fi scan completed, yielding readings for the
+  subset of APs heard at that moment.
+
+Because the simulator knows the true surveyor position and the true
+cause of every missing reading, each record can carry an optional
+:class:`RecordTruth`; downstream code treats it as evaluation-only
+metadata that real datasets would not have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import SurveyError
+
+
+@dataclass(frozen=True)
+class RecordTruth:
+    """Simulation-only ground truth attached to a record.
+
+    Attributes
+    ----------
+    position:
+        True surveyor coordinates when the record was captured.
+    missing_type:
+        ``(D,)`` int array (``1`` observed / ``0`` MAR / ``-1`` MNAR),
+        present on RSSI records only.
+    """
+
+    position: Tuple[float, float]
+    missing_type: Optional[np.ndarray] = None
+
+
+@dataclass
+class RPRecord:
+    """An RP (reference point) record: the surveyor logged a location."""
+
+    time: float
+    location: Tuple[float, float]
+    truth: Optional[RecordTruth] = None
+
+    record_type = "RP"
+
+
+@dataclass
+class RSSIRecord:
+    """An RSSI record: readings for the APs heard in one scan."""
+
+    time: float
+    readings: Dict[int, float]
+    truth: Optional[RecordTruth] = None
+
+    record_type = "RSSI"
+
+
+SurveyRecord = object  # union alias (RPRecord | RSSIRecord) for readability
+
+
+@dataclass
+class WalkingSurveyRecordTable:
+    """All records of one survey path, sorted by time."""
+
+    path_id: int
+    n_aps: int
+    records: List[SurveyRecord] = field(default_factory=list)
+
+    def add(self, record: SurveyRecord) -> None:
+        self.records.append(record)
+
+    def sort(self) -> None:
+        self.records.sort(key=lambda r: r.time)
+
+    def validate(self) -> None:
+        """Check temporal ordering and reading sanity."""
+        times = [r.time for r in self.records]
+        if times != sorted(times):
+            raise SurveyError("records are not time-sorted")
+        for r in self.records:
+            if isinstance(r, RSSIRecord):
+                for ap, val in r.readings.items():
+                    if not 0 <= ap < self.n_aps:
+                        raise SurveyError(f"AP id {ap} out of range")
+                    if not np.isfinite(val):
+                        raise SurveyError("non-finite RSSI reading")
+
+    @property
+    def rp_records(self) -> List[RPRecord]:
+        return [r for r in self.records if isinstance(r, RPRecord)]
+
+    @property
+    def rssi_records(self) -> List[RSSIRecord]:
+        return [r for r in self.records if isinstance(r, RSSIRecord)]
+
+    def duration(self) -> float:
+        """Survey duration in seconds (0 for empty tables)."""
+        if not self.records:
+            return 0.0
+        times = [r.time for r in self.records]
+        return max(times) - min(times)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,164 @@
+"""Walking-survey simulation.
+
+A surveyor walks each planned path with realistic kinematics (variable
+speed, pauses — see :mod:`repro.survey.kinematics`), while the device
+scans for APs on a jittered clock — *asynchronously* from the moments
+the surveyor passes reference points.  That asynchrony is what makes
+created radio maps sparse in RP labels (paper Section II-B), so the
+simulator models it explicitly:
+
+* RSSI records fire on the scan clock;
+* RP records fire when the surveyor passes within ``rp_snap`` metres of
+  a pre-selected RP (once per pass, with timing jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..exceptions import SurveyError
+from ..radio import ChannelModel
+from ..venue import VenueSpec
+from .kinematics import PathKinematics
+from .paths import _distance_to_polyline, plan_survey_paths, rps_on_path
+from .records import (
+    RecordTruth,
+    RPRecord,
+    RSSIRecord,
+    WalkingSurveyRecordTable,
+)
+
+
+@dataclass(frozen=True)
+class SurveyConfig:
+    """Knobs of the walking-survey process.
+
+    Attributes
+    ----------
+    walking_speed:
+        Mean surveyor speed (m/s).
+    speed_jitter:
+        Log-normal sigma of per-segment speed variation (intra-path
+        pace drift; breaks time-linear RP interpolation, as real
+        surveys do).
+    pause_probability / pause_duration:
+        Chance and mean length of pauses at corridor corners.
+    scan_interval / scan_jitter:
+        Mean and std-dev of seconds between RSSI scans.
+    rp_snap:
+        Distance (m) within which passing an RP logs an RP record.
+    rp_time_jitter:
+        Std-dev (s) of RP-record timing error — drives the asynchrony
+        between RP and RSSI records.
+    n_passes:
+        How many times the full corridor network is covered.
+    """
+
+    walking_speed: float = 1.0
+    speed_jitter: float = 0.25
+    pause_probability: float = 0.25
+    pause_duration: float = 3.0
+    scan_interval: float = 2.0
+    scan_jitter: float = 0.4
+    rp_snap: float = 1.2
+    rp_time_jitter: float = 0.6
+    n_passes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.walking_speed <= 0 or self.scan_interval <= 0:
+            raise SurveyError("speed and scan interval must be positive")
+
+
+def simulate_survey(
+    venue: VenueSpec,
+    channel: ChannelModel,
+    config: SurveyConfig,
+    rng: np.random.Generator,
+) -> List[WalkingSurveyRecordTable]:
+    """Simulate the whole survey campaign for a venue.
+
+    Returns one record table per planned path, each validated and
+    time-sorted with times starting at 0 within the path.
+    """
+    paths = plan_survey_paths(venue.plan, rng, n_passes=config.n_passes)
+    tables: List[WalkingSurveyRecordTable] = []
+    for path_id, waypoints in enumerate(paths):
+        table = _simulate_one_path(
+            path_id, waypoints, venue, channel, config, rng
+        )
+        if len(table) >= 2:
+            tables.append(table)
+    if not tables:
+        raise SurveyError("survey produced no usable record tables")
+    return tables
+
+
+def _simulate_one_path(
+    path_id: int,
+    waypoints: np.ndarray,
+    venue: VenueSpec,
+    channel: ChannelModel,
+    config: SurveyConfig,
+    rng: np.random.Generator,
+) -> WalkingSurveyRecordTable:
+    table = WalkingSurveyRecordTable(path_id=path_id, n_aps=channel.n_aps)
+    kin = PathKinematics(
+        waypoints,
+        rng,
+        base_speed=config.walking_speed,
+        speed_jitter=config.speed_jitter,
+        pause_probability=config.pause_probability,
+        pause_duration=config.pause_duration,
+    )
+
+    # --- RP records: when the surveyor passes a pre-selected RP.
+    for rp_idx in rps_on_path(
+        waypoints, venue.reference_points, tolerance=config.rp_snap
+    ):
+        rp = venue.reference_points[rp_idx]
+        _, s = _distance_to_polyline(rp, waypoints)
+        t = kin.time_at_arc(s) + float(
+            rng.normal(0.0, config.rp_time_jitter)
+        )
+        t = float(np.clip(t, 0.0, kin.duration))
+        true_pos = kin.position(t)
+        table.add(
+            RPRecord(
+                time=t,
+                location=(float(rp[0]), float(rp[1])),
+                truth=RecordTruth(
+                    position=(float(true_pos[0]), float(true_pos[1]))
+                ),
+            )
+        )
+
+    # --- RSSI records: on the scan clock.
+    t = float(abs(rng.normal(0.5, 0.3)))
+    while t < kin.duration:
+        pos = kin.position(t)
+        meas = channel.measure(pos, rng)
+        readings = {
+            d: float(meas.rssi[d])
+            for d in range(channel.n_aps)
+            if np.isfinite(meas.rssi[d])
+        }
+        if readings:
+            table.add(
+                RSSIRecord(
+                    time=t,
+                    readings=readings,
+                    truth=RecordTruth(
+                        position=(float(pos[0]), float(pos[1])),
+                        missing_type=meas.missing_type,
+                    ),
+                )
+            )
+        step = float(rng.normal(config.scan_interval, config.scan_jitter))
+        t += max(step, 0.2)
+
+    table.sort()
+    table.validate()
+    return table

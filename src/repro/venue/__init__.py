@@ -1,0 +1,35 @@
+"""Indoor venue model: floor plans, access points, reference points."""
+
+from .access_points import (
+    AccessPoint,
+    ap_positions,
+    ap_powers,
+    deploy_access_points,
+)
+from .builders import PRESETS, VenuePreset, VenueSpec, build_venue
+from .floorplan import FloorPlan, build_grid_mall
+from .reference_points import (
+    contiguous_rp_patch,
+    nearest_rp_index,
+    place_reference_points,
+    rp_adjacency,
+    rp_density_per_100m2,
+)
+
+__all__ = [
+    "PRESETS",
+    "AccessPoint",
+    "FloorPlan",
+    "VenuePreset",
+    "VenueSpec",
+    "ap_positions",
+    "ap_powers",
+    "build_grid_mall",
+    "build_venue",
+    "contiguous_rp_patch",
+    "deploy_access_points",
+    "nearest_rp_index",
+    "place_reference_points",
+    "rp_adjacency",
+    "rp_density_per_100m2",
+]

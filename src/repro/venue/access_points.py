@@ -1,0 +1,84 @@
+"""Access-point (AP) deployment over a floor plan.
+
+The paper's venues have hundreds of APs (Table V: 671 for Kaide, 929 for
+Wanda, 330 Bluetooth beacons for Longhu).  In real malls most of those
+are store-owned APs inside rooms, with a minority of infrastructure APs
+in corridors — which is why observability is so *local* (Fig. 3): an AP
+deep inside a store is unobservable a few walls away.  The deployment
+model reproduces that mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..exceptions import VenueError
+from .floorplan import FloorPlan
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """One deployed access point."""
+
+    ap_id: int
+    position: tuple
+    tx_power_dbm: float
+
+    def __post_init__(self) -> None:
+        if len(self.position) != 2:
+            raise VenueError("AP position must be 2-D")
+
+
+def deploy_access_points(
+    plan: FloorPlan,
+    n_aps: int,
+    rng: np.random.Generator,
+    *,
+    room_fraction: float = 0.8,
+    tx_power_dbm: float = -20.0,
+    tx_power_jitter: float = 4.0,
+) -> List[AccessPoint]:
+    """Place ``n_aps`` APs on the floor plan.
+
+    Parameters
+    ----------
+    room_fraction:
+        Fraction of APs placed inside rooms (store APs); the rest go
+        into hallways (infrastructure APs).
+    tx_power_dbm:
+        Mean effective transmit power at 1 m reference distance.
+    tx_power_jitter:
+        Std-dev of per-AP transmit-power variation (hardware diversity).
+    """
+    if n_aps <= 0:
+        raise VenueError("need at least one AP")
+    if not 0.0 <= room_fraction <= 1.0:
+        raise VenueError("room_fraction must be in [0, 1]")
+
+    aps: List[AccessPoint] = []
+    n_room = int(round(n_aps * room_fraction)) if plan.rooms else 0
+    for i in range(n_aps):
+        if i < n_room:
+            room = plan.rooms[int(rng.integers(len(plan.rooms)))]
+            pos = room.sample_interior_point(rng)
+        else:
+            hall = plan.hallways[int(rng.integers(len(plan.hallways)))]
+            pos = hall.sample_interior_point(rng)
+        power = float(tx_power_dbm + rng.normal(0.0, tx_power_jitter))
+        aps.append(
+            AccessPoint(ap_id=i, position=(float(pos[0]), float(pos[1])), tx_power_dbm=power)
+        )
+    return aps
+
+
+def ap_positions(aps: List[AccessPoint]) -> np.ndarray:
+    """Stack AP positions into a ``(D, 2)`` array."""
+    return np.array([ap.position for ap in aps], dtype=float)
+
+
+def ap_powers(aps: List[AccessPoint]) -> np.ndarray:
+    """Stack AP transmit powers into a ``(D,)`` array."""
+    return np.array([ap.tx_power_dbm for ap in aps], dtype=float)

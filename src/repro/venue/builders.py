@@ -1,0 +1,170 @@
+"""Synthetic venue presets mirroring the paper's three real venues.
+
+Table V of the paper gives per-venue statistics (floor area, RP density,
+AP count).  The builders below generate floor plans whose statistics
+approach those targets at ``scale=1.0`` and shrink proportionally for
+laptop-scale experiments (``scale < 1``).  Longhu is the Bluetooth venue:
+fewer beacons with shorter range and noisier readings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..exceptions import VenueError
+from .access_points import AccessPoint, deploy_access_points
+from .floorplan import FloorPlan, build_grid_mall
+from .reference_points import place_reference_points
+
+
+@dataclass
+class VenueSpec:
+    """A fully instantiated venue: plan + APs + RPs + channel kind."""
+
+    name: str
+    plan: FloorPlan
+    access_points: List[AccessPoint]
+    reference_points: np.ndarray
+    channel_kind: str = "wifi"  # "wifi" | "bluetooth"
+    seed: int = 0
+
+    @property
+    def n_aps(self) -> int:
+        return len(self.access_points)
+
+    @property
+    def n_rps(self) -> int:
+        return int(self.reference_points.shape[0])
+
+    def describe(self) -> str:
+        """Human-readable summary comparable to a Table V row."""
+        density = 100.0 * self.n_rps / self.plan.area
+        return (
+            f"{self.name}: area={self.plan.area:.1f} m2, "
+            f"RP density={density:.2f}/100m2, RPs={self.n_rps}, "
+            f"APs={self.n_aps}, channel={self.channel_kind}"
+        )
+
+
+@dataclass(frozen=True)
+class VenuePreset:
+    """Target statistics for one of the paper's venues (Table V)."""
+
+    name: str
+    floor_area_m2: float
+    rp_density_per_100m2: float
+    n_aps: int
+    channel_kind: str
+    aspect_ratio: float = 1.1
+    corridors_x: int = 2
+    corridors_y: int = 2
+
+
+PRESETS = {
+    "kaide": VenuePreset(
+        name="kaide",
+        floor_area_m2=3225.7,
+        rp_density_per_100m2=3.53,
+        n_aps=671,
+        channel_kind="wifi",
+        corridors_x=2,
+        corridors_y=2,
+    ),
+    "wanda": VenuePreset(
+        name="wanda",
+        floor_area_m2=4458.5,
+        rp_density_per_100m2=2.65,
+        n_aps=929,
+        channel_kind="wifi",
+        corridors_x=2,
+        corridors_y=3,
+    ),
+    "longhu": VenuePreset(
+        name="longhu",
+        floor_area_m2=6504.1,
+        rp_density_per_100m2=3.11,
+        n_aps=330,
+        channel_kind="bluetooth",
+        corridors_x=3,
+        corridors_y=3,
+    ),
+}
+
+
+def build_venue(
+    name: str,
+    *,
+    scale: float = 1.0,
+    seed: int = 7,
+    min_aps: int = 24,
+) -> VenueSpec:
+    """Instantiate one of the preset venues.
+
+    Parameters
+    ----------
+    name:
+        One of ``"kaide"``, ``"wanda"``, ``"longhu"``.
+    scale:
+        Linear shrink factor in ``(0, 1]``.  Floor area scales with
+        ``scale**2`` and the AP count proportionally, so RP density and
+        per-area AP density stay close to the paper's.
+    seed:
+        Seed for AP placement randomness.
+    min_aps:
+        Lower bound on the AP count after scaling (keeps tiny test
+        venues non-degenerate).
+    """
+    if name not in PRESETS:
+        raise VenueError(f"unknown venue {name!r}; options: {sorted(PRESETS)}")
+    if not 0.0 < scale <= 1.0:
+        raise VenueError("scale must be in (0, 1]")
+    preset = PRESETS[name]
+    rng = np.random.default_rng(seed)
+
+    area = preset.floor_area_m2 * scale * scale
+    width = math.sqrt(area * preset.aspect_ratio)
+    height = area / width
+    # Keep corridor counts workable for small venues.
+    cx = max(1, round(preset.corridors_x * scale)) if scale < 1 else preset.corridors_x
+    cy = max(1, round(preset.corridors_y * scale)) if scale < 1 else preset.corridors_y
+
+    plan = build_grid_mall(
+        preset.name,
+        width,
+        height,
+        corridor_width=min(3.0, width / 6.0),
+        corridors_x=cx,
+        corridors_y=cy,
+    )
+
+    n_aps = max(min_aps, int(round(preset.n_aps * scale * scale)))
+    is_bt = preset.channel_kind == "bluetooth"
+    aps = deploy_access_points(
+        plan,
+        n_aps,
+        rng,
+        room_fraction=0.6 if is_bt else 0.8,
+        tx_power_dbm=-30.0 if is_bt else -20.0,
+    )
+
+    # Choose RP spacing to approach the target density.  Total corridor
+    # centreline length L and target count n give spacing ~ L / n.
+    target_rps = preset.rp_density_per_100m2 * area / 100.0
+    total_len = sum(
+        d["length"] for _, _, d in plan.hallway_graph.edges(data=True)
+    )
+    spacing = max(1.0, total_len / max(target_rps, 4.0))
+    rps = place_reference_points(plan, spacing)
+
+    return VenueSpec(
+        name=preset.name,
+        plan=plan,
+        access_points=aps,
+        reference_points=rps,
+        channel_kind=preset.channel_kind,
+        seed=seed,
+    )

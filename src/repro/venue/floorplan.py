@@ -1,0 +1,215 @@
+"""Indoor floor-plan model.
+
+A :class:`FloorPlan` captures exactly what the paper's algorithms need
+from a venue:
+
+* **rooms** — closed polygons whose walls attenuate and block signals;
+  they are the *topological entities* ``T`` consumed by TopoAC;
+* **hallways** — open corridors where walking surveys take place;
+* a **hallway graph** — a networkx graph of corridor centrelines used to
+  plan survey paths;
+* overall bounds and a floor area.
+
+Floor plans here are generated synthetically (see
+:mod:`repro.venue.builders`) because the paper's proprietary mall maps
+are unavailable; the generator produces the same structural features the
+paper relies on (rooms separated from corridors by signal-attenuating
+walls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import VenueError
+from ..geometry import MultiPolygon, Polygon
+
+Point = Tuple[float, float]
+
+
+@dataclass
+class FloorPlan:
+    """A single-floor indoor venue.
+
+    Attributes
+    ----------
+    name:
+        Venue identifier (e.g. ``"kaide"``).
+    width, height:
+        Bounding-box extent in metres.
+    rooms:
+        Room polygons; their edges act as walls in the channel model.
+    hallways:
+        Corridor polygons (open space).
+    hallway_graph:
+        Graph whose nodes carry a ``pos`` attribute (corridor-centreline
+        waypoints) and whose edges are walkable corridor sections.
+    """
+
+    name: str
+    width: float
+    height: float
+    rooms: List[Polygon] = field(default_factory=list)
+    hallways: List[Polygon] = field(default_factory=list)
+    hallway_graph: nx.Graph = field(default_factory=nx.Graph)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise VenueError("floor plan must have positive extent")
+
+    # ------------------------------------------------------------------
+    @property
+    def area(self) -> float:
+        """Total floor area in square metres."""
+        return float(self.width * self.height)
+
+    @property
+    def entities(self) -> MultiPolygon:
+        """Topological entities ``T`` for TopoAC: the room polygons."""
+        return MultiPolygon(self.rooms)
+
+    @property
+    def bounds(self) -> Tuple[float, float, float, float]:
+        return (0.0, 0.0, self.width, self.height)
+
+    def wall_segments(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All wall segments as ``(starts, ends)`` arrays for the channel."""
+        return self.entities.edge_arrays()
+
+    def node_positions(self) -> Dict[int, np.ndarray]:
+        """Positions of hallway-graph nodes keyed by node id."""
+        return {
+            n: np.asarray(d["pos"], dtype=float)
+            for n, d in self.hallway_graph.nodes(data=True)
+        }
+
+    def in_hallway(self, point: Point) -> bool:
+        """True if the point lies inside any corridor polygon."""
+        return any(h.contains_point(point) for h in self.hallways)
+
+    def validate(self) -> None:
+        """Raise :class:`VenueError` on structural inconsistencies."""
+        if not self.hallways:
+            raise VenueError(f"venue {self.name!r}: no hallways")
+        if self.hallway_graph.number_of_nodes() == 0:
+            raise VenueError(f"venue {self.name!r}: empty hallway graph")
+        if not nx.is_connected(self.hallway_graph):
+            raise VenueError(f"venue {self.name!r}: hallway graph disconnected")
+        for n, d in self.hallway_graph.nodes(data=True):
+            if "pos" not in d:
+                raise VenueError(f"hallway node {n} lacks a position")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.width:.0f}x{self.height:.0f} m, "
+            f"{len(self.rooms)} rooms, {len(self.hallways)} hallways, "
+            f"{self.hallway_graph.number_of_nodes()} path nodes"
+        )
+
+
+def build_grid_mall(
+    name: str,
+    width: float,
+    height: float,
+    *,
+    corridor_width: float = 3.0,
+    corridors_x: int = 2,
+    corridors_y: int = 2,
+    room_margin: float = 0.4,
+) -> FloorPlan:
+    """Generate a shopping-mall-like floor plan on a corridor grid.
+
+    ``corridors_x`` vertical and ``corridors_y`` horizontal corridors are
+    spread evenly across the bounding box; the rectangular blocks between
+    them become rooms (stores).  This mirrors the structure visible in
+    the paper's Kaide/Wanda figures: corridors with rooms on both sides.
+
+    Parameters
+    ----------
+    room_margin:
+        Gap (m) between room walls and corridor edges, representing
+        storefront set-back; keeps geometry tests numerically robust.
+    """
+    if corridor_width <= 0:
+        raise VenueError("corridor width must be positive")
+    if corridors_x < 1 or corridors_y < 1:
+        raise VenueError("need at least one corridor in each direction")
+
+    # Corridor centreline coordinates, evenly spaced with outer margins.
+    xs = np.linspace(width / (corridors_x + 1), width * corridors_x / (corridors_x + 1), corridors_x)
+    ys = np.linspace(height / (corridors_y + 1), height * corridors_y / (corridors_y + 1), corridors_y)
+    half = corridor_width / 2.0
+
+    hallways: List[Polygon] = []
+    for x in xs:
+        hallways.append(Polygon.rectangle(x - half, 0.0, x + half, height))
+    for y in ys:
+        hallways.append(Polygon.rectangle(0.0, y - half, width, y + half))
+
+    # Rooms fill the blocks between corridors (and between corridors and
+    # the outer boundary).
+    x_cuts = [0.0] + [c for x in xs for c in (x - half, x + half)] + [width]
+    y_cuts = [0.0] + [c for y in ys for c in (y - half, y + half)] + [height]
+    rooms: List[Polygon] = []
+    for i in range(0, len(x_cuts) - 1, 2):
+        for j in range(0, len(y_cuts) - 1, 2):
+            x0, x1 = x_cuts[i], x_cuts[i + 1]
+            y0, y1 = y_cuts[j], y_cuts[j + 1]
+            x0m, x1m = x0 + room_margin, x1 - room_margin
+            y0m, y1m = y0 + room_margin, y1 - room_margin
+            if x1m - x0m > 1.0 and y1m - y0m > 1.0:
+                rooms.append(Polygon.rectangle(x0m, y0m, x1m, y1m))
+
+    graph = _build_corridor_graph(xs, ys, height, width)
+    plan = FloorPlan(
+        name=name,
+        width=width,
+        height=height,
+        rooms=rooms,
+        hallways=hallways,
+        hallway_graph=graph,
+    )
+    plan.validate()
+    return plan
+
+
+def _build_corridor_graph(
+    xs: np.ndarray, ys: np.ndarray, height: float, width: float
+) -> nx.Graph:
+    """Connect corridor centrelines into a walkable graph.
+
+    Nodes are corridor intersections plus corridor endpoints; edges join
+    consecutive nodes along each centreline.
+    """
+    graph = nx.Graph()
+    node_id = 0
+    index: Dict[Tuple[float, float], int] = {}
+
+    def add_node(p: Tuple[float, float]) -> int:
+        nonlocal node_id
+        key = (round(p[0], 6), round(p[1], 6))
+        if key in index:
+            return index[key]
+        graph.add_node(node_id, pos=(float(p[0]), float(p[1])))
+        index[key] = node_id
+        node_id += 1
+        return index[key]
+
+    y_stops = [0.0] + list(ys) + [height]
+    x_stops = [0.0] + list(xs) + [width]
+    for x in xs:  # vertical corridors
+        chain = [add_node((x, y)) for y in y_stops]
+        for a, b in zip(chain, chain[1:]):
+            pa, pb = graph.nodes[a]["pos"], graph.nodes[b]["pos"]
+            graph.add_edge(a, b, length=abs(pa[1] - pb[1]))
+    for y in ys:  # horizontal corridors
+        chain = [add_node((x, y)) for x in x_stops]
+        for a, b in zip(chain, chain[1:]):
+            pa, pb = graph.nodes[a]["pos"], graph.nodes[b]["pos"]
+            graph.add_edge(a, b, length=abs(pa[0] - pb[0]))
+    return graph

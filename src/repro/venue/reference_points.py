@@ -1,0 +1,106 @@
+"""Reference-point (RP) placement along survey corridors.
+
+RPs are the pre-selected, surveyor-visited locations whose coordinates
+label fingerprints.  In walking surveys they sit along corridor
+centrelines at roughly uniform spacing; Table V reports RP densities of
+2.65-3.53 per 100 m^2, which the builders target via ``spacing``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import VenueError
+from .floorplan import FloorPlan
+
+
+def place_reference_points(
+    plan: FloorPlan,
+    spacing: float,
+    *,
+    include_nodes: bool = True,
+) -> np.ndarray:
+    """Place RPs every ``spacing`` metres along each hallway-graph edge.
+
+    Returns an ``(n_rps, 2)`` array of unique RP coordinates.  Corridor
+    intersections (graph nodes) are included when ``include_nodes``.
+    """
+    if spacing <= 0:
+        raise VenueError("RP spacing must be positive")
+    pts: List[Tuple[float, float]] = []
+    pos = plan.node_positions()
+    if include_nodes:
+        pts.extend((float(p[0]), float(p[1])) for p in pos.values())
+    for a, b in plan.hallway_graph.edges():
+        pa, pb = pos[a], pos[b]
+        length = float(np.linalg.norm(pb - pa))
+        n_seg = int(length // spacing)
+        for k in range(1, n_seg + 1):
+            frac = k * spacing / length
+            if frac >= 1.0:
+                break
+            p = pa + frac * (pb - pa)
+            pts.append((float(p[0]), float(p[1])))
+    if not pts:
+        raise VenueError("no RPs could be placed; spacing too large?")
+    return np.unique(np.array(pts, dtype=float).round(6), axis=0)
+
+
+def rp_density_per_100m2(plan: FloorPlan, rps: np.ndarray) -> float:
+    """RP density as the paper reports it (RPs per 100 m^2)."""
+    return float(100.0 * rps.shape[0] / plan.area)
+
+
+def nearest_rp_index(rps: np.ndarray, point: np.ndarray) -> int:
+    """Index of the RP nearest to ``point``."""
+    d = np.linalg.norm(rps - np.asarray(point, dtype=float), axis=1)
+    return int(np.argmin(d))
+
+
+def rp_adjacency(rps: np.ndarray, radius: float) -> Dict[int, List[int]]:
+    """Adjacency lists of RPs within ``radius`` metres of each other.
+
+    Used by DasaKM's ground-truth MNAR sampling, which needs patches of
+    *adjacent* RPs (Section III-B fixes the patch size to 6).
+    """
+    n = rps.shape[0]
+    diffs = rps[:, None, :] - rps[None, :, :]
+    dist = np.linalg.norm(diffs, axis=2)
+    adj: Dict[int, List[int]] = {}
+    for i in range(n):
+        neighbours = np.where((dist[i] <= radius) & (np.arange(n) != i))[0]
+        adj[i] = neighbours.tolist()
+    return adj
+
+
+def contiguous_rp_patch(
+    rps: np.ndarray, size: int, rng: np.random.Generator, *, radius: float = 12.0
+) -> List[int]:
+    """Sample a connected patch of ``size`` adjacent RPs.
+
+    Greedy BFS growth from a random seed; falls back to nearest-neighbour
+    completion if the neighbourhood graph is too sparse.
+    """
+    n = rps.shape[0]
+    if size > n:
+        raise VenueError(f"patch size {size} exceeds RP count {n}")
+    adj = rp_adjacency(rps, radius)
+    seed = int(rng.integers(n))
+    patch = [seed]
+    frontier = list(adj[seed])
+    while len(patch) < size and frontier:
+        nxt = frontier.pop(0)
+        if nxt in patch:
+            continue
+        patch.append(nxt)
+        frontier.extend(j for j in adj[nxt] if j not in patch)
+    if len(patch) < size:
+        # Complete with globally nearest remaining RPs.
+        remaining = [i for i in range(n) if i not in patch]
+        centre = rps[patch].mean(axis=0)
+        remaining.sort(key=lambda i: float(np.linalg.norm(rps[i] - centre)))
+        patch.extend(remaining[: size - len(patch)])
+    return patch[:size]

@@ -1,0 +1,15 @@
+"""ASCII visualisation of venues, observability and clusterings."""
+
+from .ascii_map import (
+    AsciiCanvas,
+    cluster_legend,
+    render_floorplan,
+    render_observability,
+)
+
+__all__ = [
+    "AsciiCanvas",
+    "cluster_legend",
+    "render_floorplan",
+    "render_observability",
+]

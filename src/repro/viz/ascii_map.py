@@ -1,0 +1,138 @@
+"""ASCII rendering of floor plans, RPs and cluster assignments.
+
+The paper communicates its differentiator intuitions with venue scatter
+plots (Figs. 3, 5, 6, 7).  Without a plotting backend we render the
+same information as character grids: rooms hatched, corridors blank,
+reference points / samples as symbols (cluster ids, observability
+flags).  Used by the fig5/fig67 experiments and handy for debugging
+venues interactively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import VenueError
+from ..venue import FloorPlan
+
+#: Symbols used for cluster ids (wraps around when exhausted).
+CLUSTER_SYMBOLS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+class AsciiCanvas:
+    """A character grid mapped onto venue coordinates."""
+
+    def __init__(
+        self,
+        width_m: float,
+        height_m: float,
+        *,
+        columns: int = 72,
+    ):
+        if width_m <= 0 or height_m <= 0:
+            raise VenueError("canvas extent must be positive")
+        self.width_m = width_m
+        self.height_m = height_m
+        self.columns = columns
+        # Terminal cells are ~2x taller than wide; halve the row count
+        # so the aspect ratio looks right.
+        self.rows = max(8, int(columns * height_m / width_m / 2))
+        self._grid = [
+            [" "] * columns for _ in range(self.rows)
+        ]
+
+    def _cell(self, x: float, y: float):
+        col = int(x / self.width_m * (self.columns - 1))
+        row = int((1.0 - y / self.height_m) * (self.rows - 1))
+        if 0 <= row < self.rows and 0 <= col < self.columns:
+            return row, col
+        return None
+
+    def put(self, x: float, y: float, char: str) -> None:
+        """Draw one character at venue coordinates (clipped)."""
+        cell = self._cell(x, y)
+        if cell is not None:
+            self._grid[cell[0]][cell[1]] = char[0]
+
+    def fill_polygon(self, polygon, char: str) -> None:
+        """Hatch a polygon's interior cells."""
+        for row in range(self.rows):
+            y = (1.0 - row / max(self.rows - 1, 1)) * self.height_m
+            for col in range(self.columns):
+                x = col / max(self.columns - 1, 1) * self.width_m
+                if polygon.contains_point((x, y), boundary=False):
+                    self._grid[row][col] = char[0]
+
+    def render(self) -> str:
+        border = "+" + "-" * self.columns + "+"
+        body = "\n".join(
+            "|" + "".join(row) + "|" for row in self._grid
+        )
+        return f"{border}\n{body}\n{border}"
+
+
+def render_floorplan(
+    plan: FloorPlan,
+    *,
+    points: Optional[np.ndarray] = None,
+    labels: Optional[Sequence[int]] = None,
+    columns: int = 72,
+    room_char: str = "#",
+) -> str:
+    """Render a floor plan with optional labelled points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` coordinates to mark (e.g. RPs or cluster samples).
+    labels:
+        Optional integer label per point; points draw as the label's
+        cluster symbol, otherwise as ``*``.
+    """
+    canvas = AsciiCanvas(plan.width, plan.height, columns=columns)
+    for room in plan.rooms:
+        canvas.fill_polygon(room, room_char)
+    if points is not None:
+        pts = np.asarray(points, dtype=float)
+        for i, (x, y) in enumerate(pts):
+            if labels is not None:
+                symbol = CLUSTER_SYMBOLS[
+                    int(labels[i]) % len(CLUSTER_SYMBOLS)
+                ]
+            else:
+                symbol = "*"
+            canvas.put(float(x), float(y), symbol)
+    return canvas.render()
+
+
+def render_observability(
+    plan: FloorPlan,
+    rps: np.ndarray,
+    observed: Sequence[bool],
+    *,
+    columns: int = 72,
+) -> str:
+    """The paper's Fig. 3: which RPs observe a selected AP.
+
+    Observed RPs draw as ``O``, RPs that missed the AP as ``x``.
+    """
+    canvas = AsciiCanvas(plan.width, plan.height, columns=columns)
+    for room in plan.rooms:
+        canvas.fill_polygon(room, "#")
+    for (x, y), obs in zip(np.asarray(rps, dtype=float), observed):
+        canvas.put(float(x), float(y), "O" if obs else "x")
+    return canvas.render()
+
+
+def cluster_legend(labels: Sequence[int]) -> str:
+    """One-line legend mapping cluster symbols to member counts."""
+    counts: Dict[int, int] = {}
+    for lbl in labels:
+        counts[int(lbl)] = counts.get(int(lbl), 0) + 1
+    parts = [
+        f"{CLUSTER_SYMBOLS[lbl % len(CLUSTER_SYMBOLS)]}={n}"
+        for lbl, n in sorted(counts.items())
+    ]
+    return "clusters (symbol=size): " + ", ".join(parts)

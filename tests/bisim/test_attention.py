@@ -1,0 +1,85 @@
+"""Attention units: weights, masking, ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.bisim import (
+    NoAttention,
+    SparsityFriendlyAttention,
+    VanillaBahdanauAttention,
+)
+from repro.neuro import Tensor
+
+RNG = np.random.default_rng(19)
+HIDDEN, D, B, T = 8, 5, 3, 4
+
+
+def _latents_masks(mask_value=1.0):
+    latents = [Tensor(RNG.normal(size=(B, HIDDEN))) for _ in range(T)]
+    masks = [np.full((B, D), mask_value) for _ in range(T)]
+    return latents, masks
+
+
+class TestSparsityFriendly:
+    def test_context_shape_is_ap_dimension(self):
+        att = SparsityFriendlyAttention(HIDDEN, D, 6, RNG)
+        latents, masks = _latents_masks()
+        att.prepare(latents, masks)
+        ctx = att.step(Tensor(RNG.normal(size=(B, HIDDEN))))
+        assert ctx.shape == (B, D)
+        assert att.context_size == D
+
+    def test_fully_masked_dimension_contributes_zero(self):
+        att = SparsityFriendlyAttention(HIDDEN, D, 6, RNG)
+        latents, masks = _latents_masks()
+        for m in masks:
+            m[:, 2] = 0.0  # AP dim 2 never observed
+        att.prepare(latents, masks)
+        ctx = att.step(Tensor(RNG.normal(size=(B, HIDDEN))))
+        np.testing.assert_allclose(ctx.data[:, 2], 0.0)
+
+    def test_mask_zero_everywhere_gives_zero_context(self):
+        att = SparsityFriendlyAttention(HIDDEN, D, 6, RNG)
+        latents, masks = _latents_masks(mask_value=0.0)
+        att.prepare(latents, masks)
+        ctx = att.step(Tensor(RNG.normal(size=(B, HIDDEN))))
+        np.testing.assert_allclose(ctx.data, 0.0)
+
+    def test_context_is_convex_combination(self):
+        # With all-ones masks, context lies in the convex hull of the
+        # projected latents (softmax weights sum to 1).
+        att = SparsityFriendlyAttention(HIDDEN, D, 6, RNG)
+        latents, masks = _latents_masks()
+        att.prepare(latents, masks)
+        projected = np.stack(
+            [att.project(h).data for h in latents], axis=0
+        )  # (T, B, D)
+        ctx = att.step(Tensor(np.zeros((B, HIDDEN))))
+        lo = projected.min(axis=0) - 1e-9
+        hi = projected.max(axis=0) + 1e-9
+        assert (ctx.data >= lo).all() and (ctx.data <= hi).all()
+
+
+class TestVanilla:
+    def test_context_shape_is_hidden(self):
+        att = VanillaBahdanauAttention(HIDDEN, 6, RNG)
+        latents, masks = _latents_masks()
+        att.prepare(latents, masks)
+        ctx = att.step(Tensor(RNG.normal(size=(B, HIDDEN))))
+        assert ctx.shape == (B, HIDDEN)
+        assert att.context_size == HIDDEN
+
+    def test_single_latent_returns_it(self):
+        att = VanillaBahdanauAttention(HIDDEN, 6, RNG)
+        h = Tensor(RNG.normal(size=(B, HIDDEN)))
+        att.prepare([h], [np.ones((B, D))])
+        ctx = att.step(Tensor(np.zeros((B, HIDDEN))))
+        np.testing.assert_allclose(ctx.data, h.data)
+
+
+class TestNoAttention:
+    def test_returns_none(self):
+        att = NoAttention()
+        att.prepare([], [])
+        assert att.step(Tensor(np.zeros((1, HIDDEN)))) is None
+        assert att.context_size == 0

@@ -1,0 +1,157 @@
+"""BiSIM input features — pinned to the paper's Table IV example."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bisim import (
+    batch_chunks,
+    build_feature_space,
+    prepare_chunks,
+    stack_batch,
+    time_lag_vectors,
+)
+from repro.core import MAROnlyDifferentiator
+from repro.imputers import fill_mnars
+
+
+class TestTableIVExample:
+    """Times and masks from the paper's Tables III/IV; the expected
+    time-lag vectors are transcribed from Table IV."""
+
+    TIMES = np.array([1.0, 3.0, 8.0, 12.0, 16.0])
+    MASK = np.array(
+        [
+            [1, 1, 1, 0, 0],
+            [1, 0, 1, 0, 0],
+            [0, 0, 1, 1, 0],
+            [1, 1, 0, 0, 1],
+            [0, 0, 0, 0, 0],
+        ]
+    )
+    EXPECTED = np.array(
+        [
+            [0, 0, 0, 0, 0],
+            [2, 2, 2, 2, 2],
+            [5, 7, 5, 7, 7],
+            [9, 11, 4, 4, 11],
+            [4, 4, 8, 8, 4],
+        ],
+        dtype=float,
+    )
+
+    def test_matches_paper_recursion(self):
+        # Note: the paper's prose example contains small arithmetic
+        # slips (it mixes t-indices); the values here follow Eq. 1
+        # applied mechanically to Table III's times and Table IV's
+        # masks, which the paper's delta_5 row confirms.
+        delta = time_lag_vectors(self.TIMES, self.MASK)
+        np.testing.assert_allclose(delta, self.EXPECTED)
+
+    def test_delta5_row_matches_paper_table(self):
+        # Table IV prints delta_5 = (4, 4, 8, 8, 4) explicitly.
+        delta = time_lag_vectors(self.TIMES, self.MASK)
+        np.testing.assert_allclose(delta[4], [4, 4, 8, 8, 4])
+
+
+class TestTimeLagProperties:
+    def test_first_row_zero(self):
+        delta = time_lag_vectors(
+            np.array([5.0, 7.0]), np.ones((2, 3))
+        )
+        np.testing.assert_allclose(delta[0], 0.0)
+
+    def test_fully_observed_equals_dt(self):
+        times = np.array([0.0, 2.0, 5.0])
+        delta = time_lag_vectors(times, np.ones((3, 2)))
+        np.testing.assert_allclose(delta[1], 2.0)
+        np.testing.assert_allclose(delta[2], 3.0)
+
+    def test_never_observed_accumulates(self):
+        times = np.array([0.0, 1.0, 4.0, 6.0])
+        mask = np.zeros((4, 1))
+        delta = time_lag_vectors(times, mask)
+        np.testing.assert_allclose(delta[:, 0], [0, 1, 4, 6])
+
+    @given(
+        arrays(
+            np.int64,
+            st.tuples(st.integers(2, 8), st.integers(1, 5)),
+            elements=st.integers(0, 1),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lag_bounded_by_elapsed_time(self, mask):
+        t_len = mask.shape[0]
+        times = np.cumsum(
+            np.random.default_rng(0).uniform(0.5, 2.0, size=t_len)
+        )
+        delta = time_lag_vectors(times, mask)
+        elapsed = times - times[0]
+        assert (delta <= elapsed[:, None] + 1e-9).all()
+        assert (delta >= 0).all()
+
+
+class TestChunking:
+    def test_chunks_cover_all_rows(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        mask = MAROnlyDifferentiator().differentiate(rm)
+        filled, amended = fill_mnars(rm, mask)
+        space = build_feature_space(filled, 10.0)
+        chunks = prepare_chunks(filled, amended, space, 5)
+        rows = np.concatenate([c.rows for c in chunks])
+        assert sorted(rows.tolist()) == list(range(rm.n_records))
+
+    def test_chunk_length_bounded(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        mask = MAROnlyDifferentiator().differentiate(rm)
+        filled, amended = fill_mnars(rm, mask)
+        space = build_feature_space(filled, 10.0)
+        chunks = prepare_chunks(filled, amended, space, 5)
+        assert all(1 <= c.length <= 5 for c in chunks)
+
+    def test_batches_group_equal_lengths(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        mask = MAROnlyDifferentiator().differentiate(rm)
+        filled, amended = fill_mnars(rm, mask)
+        space = build_feature_space(filled, 10.0)
+        chunks = prepare_chunks(filled, amended, space, 5)
+        for batch in batch_chunks(chunks, 8):
+            assert len(batch) <= 8
+            assert len({c.length for c in batch}) == 1
+            stacked = stack_batch(batch)
+            assert stacked[0].shape[0] == len(batch)
+
+
+class TestFeatureSpace:
+    def test_fp_round_trip(self, kaide_smoke):
+        space = build_feature_space(kaide_smoke.radio_map, 10.0)
+        values = np.array([-100.0, -75.0, 0.0])
+        back = space.denormalize_fp(space.normalize_fp(values))
+        np.testing.assert_allclose(back, values)
+
+    def test_rp_round_trip(self, kaide_smoke):
+        space = build_feature_space(kaide_smoke.radio_map, 10.0)
+        observed = kaide_smoke.radio_map.rps[
+            kaide_smoke.radio_map.rp_observed_mask
+        ]
+        back = space.denormalize_rp(space.normalize_rp(observed))
+        np.testing.assert_allclose(back, observed)
+
+    def test_nulls_normalise_to_zero(self, kaide_smoke):
+        space = build_feature_space(kaide_smoke.radio_map, 10.0)
+        out = space.normalize_fp(np.array([np.nan, -50.0]))
+        assert out[0] == 0.0
+
+    @given(st.floats(min_value=-100, max_value=0))
+    @settings(max_examples=30, deadline=None)
+    def test_fp_normalised_to_unit_interval(self, v):
+        from repro.bisim.features import FeatureSpace
+
+        space = FeatureSpace(
+            rp_min=np.zeros(2), rp_span=np.ones(2), time_lag_scale=10.0
+        )
+        n = space.normalize_fp(np.array([v]))[0]
+        assert 0.0 <= n <= 1.0

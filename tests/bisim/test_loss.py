@@ -1,0 +1,61 @@
+"""BiSIM loss terms."""
+
+import numpy as np
+import pytest
+
+from repro.bisim import BiSIM, BiSIMConfig, cross_loss, direction_loss, overall_loss
+
+
+def _setup(seed=0, t=3, d=4, b=2):
+    rng = np.random.default_rng(seed)
+    cfg = BiSIMConfig(hidden_size=8, epochs=1, seed=5)
+    model = BiSIM(d, cfg)
+    fp = rng.random((b, t, d))
+    m = np.ones((b, t, d))
+    rp = rng.random((b, t, 2))
+    k = np.ones((b, t, 2))
+    times = np.cumsum(np.ones((b, t)), axis=1)
+    return model, fp, m, rp, k, times
+
+
+class TestLosses:
+    def test_direction_loss_nonnegative_scalar(self):
+        model, fp, m, rp, k, times = _setup()
+        fwd, _ = model.forward(fp, m, rp, k, times)
+        loss = direction_loss(fwd, fp, m, rp, k)
+        assert loss.data.size == 1
+        assert loss.item() >= 0.0
+
+    def test_cross_loss_zero_for_identical_directions(self):
+        model, fp, m, rp, k, times = _setup()
+        fwd, _ = model.forward(fp, m, rp, k, times)
+        loss = cross_loss(fwd, fwd, m, k)
+        assert loss.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_overall_includes_all_terms(self):
+        model, fp, m, rp, k, times = _setup()
+        fwd, bwd = model.forward(fp, m, rp, k, times)
+        full = overall_loss(fwd, bwd, fp, m, rp, k, use_cross=True)
+        no_cross = overall_loss(
+            fwd, bwd, fp, m, rp, k, use_cross=False
+        )
+        cross = cross_loss(fwd, bwd, m, k)
+        assert full.item() == pytest.approx(
+            no_cross.item() + cross.item()
+        )
+
+    def test_overall_forward_only(self):
+        model, fp, m, rp, k, times = _setup()
+        fwd, _ = model.forward(fp, m, rp, k, times)
+        loss = overall_loss(fwd, None, fp, m, rp, k)
+        assert loss.item() == pytest.approx(
+            direction_loss(fwd, fp, m, rp, k).item()
+        )
+
+    def test_loss_backward_reaches_parameters(self):
+        model, fp, m, rp, k, times = _setup()
+        fwd, bwd = model.forward(fp, m, rp, k, times)
+        loss = overall_loss(fwd, bwd, fp, m, rp, k)
+        loss.backward()
+        grads = [p.grad for p in model.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)

@@ -1,0 +1,149 @@
+"""BiSIM model and trainer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.bisim import BiSIM, BiSIMConfig, BiSIMImputer, BiSIMTrainer
+from repro.constants import RSSI_MAX, RSSI_MIN
+from repro.core import TopoACDifferentiator
+from repro.exceptions import ImputationError
+from repro.imputers import fill_mnars, run_imputer
+
+
+def _small_config(**kw):
+    defaults = dict(hidden_size=12, epochs=4, batch_size=8, seed=3)
+    defaults.update(kw)
+    return BiSIMConfig(**defaults)
+
+
+def _toy_batch(b=2, t=4, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    fp = rng.random((b, t, d))
+    m = (rng.random((b, t, d)) > 0.4).astype(float)
+    fp = fp * m
+    rp = rng.random((b, t, 2))
+    k = (rng.random((b, t, 1)) > 0.5).astype(float).repeat(2, axis=2)
+    rp = rp * k
+    times = np.cumsum(rng.uniform(0.5, 2.0, size=(b, t)), axis=1)
+    return fp, m, rp, k, times
+
+
+class TestModel:
+    def test_output_lengths(self):
+        model = BiSIM(6, _small_config())
+        fp, m, rp, k, times = _toy_batch()
+        fwd, bwd = model.forward(fp, m, rp, k, times)
+        assert len(fwd.fc) == 4 and len(fwd.lc) == 4
+        assert bwd is not None and len(bwd.fc) == 4
+
+    def test_unidirectional_config(self):
+        model = BiSIM(6, _small_config(bidirectional=False))
+        fp, m, rp, k, times = _toy_batch()
+        fwd, bwd = model.forward(fp, m, rp, k, times)
+        assert bwd is None
+
+    def test_observed_entries_preserved_in_fc(self):
+        model = BiSIM(6, _small_config())
+        fp, m, rp, k, times = _toy_batch()
+        fwd, _ = model.forward(fp, m, rp, k, times)
+        for i in range(4):
+            obs = m[:, i] == 1
+            np.testing.assert_allclose(
+                fwd.fc[i].data[obs], fp[:, i][obs]
+            )
+
+    def test_observed_rps_preserved_in_lc(self):
+        model = BiSIM(6, _small_config())
+        fp, m, rp, k, times = _toy_batch()
+        fwd, _ = model.forward(fp, m, rp, k, times)
+        for j in range(4):
+            obs = k[:, j] == 1
+            np.testing.assert_allclose(
+                fwd.lc[j].data[obs], rp[:, j][obs]
+            )
+
+    def test_impute_batch_shapes(self):
+        model = BiSIM(6, _small_config())
+        fp, m, rp, k, times = _toy_batch()
+        f_out, l_out = model.impute_batch(fp, m, rp, k, times)
+        assert f_out.shape == (2, 4, 6)
+        assert l_out.shape == (2, 4, 2)
+
+    def test_backward_direction_aligned(self):
+        # With all entries observed, fc must equal the input in both
+        # directions, proving output re-alignment is correct.
+        model = BiSIM(6, _small_config())
+        fp, m, rp, k, times = _toy_batch()
+        m[:] = 1.0
+        out = model.run_direction(fp, m, rp, k, times, reverse=True)
+        for i in range(4):
+            np.testing.assert_allclose(out.fc[i].data, fp[:, i])
+
+    def test_attention_variants_construct(self):
+        for kind in ("sparsity", "vanilla", "none"):
+            model = BiSIM(6, _small_config(attention=kind))
+            fp, m, rp, k, times = _toy_batch()
+            f_out, l_out = model.impute_batch(fp, m, rp, k, times)
+            assert np.isfinite(f_out).all()
+
+    def test_invalid_n_aps(self):
+        with pytest.raises(ImputationError):
+            BiSIM(0, _small_config())
+
+
+class TestConfigValidation:
+    def test_bad_attention(self):
+        with pytest.raises(ImputationError):
+            BiSIMConfig(attention="transformer")
+
+    def test_bad_decay(self):
+        with pytest.raises(ImputationError):
+            BiSIMConfig(decay_mode="exp")
+
+    def test_cross_loss_disabled_without_bidirectional(self):
+        cfg = BiSIMConfig(bidirectional=False, cross_loss=True)
+        assert cfg.cross_loss is False
+
+
+class TestTrainer:
+    def test_loss_decreases(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        mask = TopoACDifferentiator(
+            entities=kaide_smoke.venue.plan.entities
+        ).differentiate(rm)
+        filled, amended = fill_mnars(rm, mask)
+        trainer = BiSIMTrainer(rm.n_aps, _small_config(epochs=12))
+        history = trainer.fit(filled, amended)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_impute_before_fit_rejected(self, kaide_smoke):
+        trainer = BiSIMTrainer(
+            kaide_smoke.radio_map.n_aps, _small_config()
+        )
+        with pytest.raises(ImputationError):
+            trainer.impute(kaide_smoke.radio_map, np.ones((1, 1)))
+
+    def test_imputer_end_to_end(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        mask = TopoACDifferentiator(
+            entities=kaide_smoke.venue.plan.entities
+        ).differentiate(rm)
+        imputer = BiSIMImputer(config=_small_config())
+        result = run_imputer(imputer, rm, mask)
+        # Complete output.
+        assert np.isfinite(result.fingerprints).all()
+        assert np.isfinite(result.rps).all()
+        # Observed values untouched.
+        obs = rm.rssi_observed_mask
+        np.testing.assert_allclose(
+            result.fingerprints[obs], rm.fingerprints[obs]
+        )
+        obs_rp = rm.rp_observed_mask
+        np.testing.assert_allclose(
+            result.rps[obs_rp], rm.rps[obs_rp]
+        )
+        # Imputed MARs within the observable range.
+        mar = mask == 0
+        assert (result.fingerprints[mar] >= RSSI_MIN).all()
+        assert (result.fingerprints[mar] <= RSSI_MAX).all()
+        assert result.elapsed_seconds > 0

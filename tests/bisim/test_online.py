@@ -1,0 +1,77 @@
+"""Online fingerprint imputation (the future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.bisim import BiSIMConfig, OnlineImputer
+from repro.constants import RSSI_MAX, RSSI_MIN
+from repro.core import TopoACDifferentiator
+from repro.exceptions import ImputationError
+from repro.imputers import fill_mnars
+
+
+@pytest.fixture(scope="module")
+def online(kaide_smoke):
+    rm = kaide_smoke.radio_map
+    mask = TopoACDifferentiator(
+        entities=kaide_smoke.venue.plan.entities
+    ).differentiate(rm)
+    filled, amended = fill_mnars(rm, mask)
+    imputer = OnlineImputer.fit(
+        filled,
+        amended,
+        BiSIMConfig(hidden_size=12, epochs=5),
+    )
+    return imputer, filled
+
+
+class TestOnlineImputer:
+    def test_observed_entries_pass_through(self, online, kaide_smoke):
+        imputer, filled = online
+        rng = np.random.default_rng(0)
+        pos = kaide_smoke.venue.reference_points[0]
+        meas = kaide_smoke.channel.measure(pos, rng)
+        out = imputer.impute_fingerprint(meas.rssi)
+        obs = np.isfinite(meas.rssi)
+        np.testing.assert_allclose(out[obs], meas.rssi[obs])
+
+    def test_output_complete_and_in_range(self, online, kaide_smoke):
+        imputer, _ = online
+        rng = np.random.default_rng(1)
+        pos = kaide_smoke.venue.reference_points[-1]
+        meas = kaide_smoke.channel.measure(pos, rng)
+        out = imputer.impute_fingerprint(meas.rssi)
+        assert np.isfinite(out).all()
+        missing = ~np.isfinite(meas.rssi)
+        assert (out[missing] >= RSSI_MIN - 1).all()
+        assert (out[missing] <= RSSI_MAX).all()
+
+    def test_all_missing_query(self, online, kaide_smoke):
+        imputer, _ = online
+        d = kaide_smoke.radio_map.n_aps
+        out = imputer.impute_fingerprint(np.full(d, np.nan))
+        assert np.isfinite(out).all()
+
+    def test_batch_matches_single(self, online, kaide_smoke):
+        imputer, _ = online
+        rng = np.random.default_rng(2)
+        pos = kaide_smoke.venue.reference_points[1]
+        meas = kaide_smoke.channel.measure(pos, rng)
+        single = imputer.impute_fingerprint(meas.rssi)
+        batch = imputer.impute_batch(meas.rssi[None, :])
+        np.testing.assert_allclose(batch[0], single)
+
+    def test_wrong_dimension_rejected(self, online):
+        imputer, _ = online
+        with pytest.raises(ImputationError):
+            imputer.impute_fingerprint(np.zeros(3))
+
+    def test_unfitted_trainer_rejected(self, kaide_smoke):
+        from repro.bisim import BiSIMTrainer
+
+        trainer = BiSIMTrainer(
+            kaide_smoke.radio_map.n_aps,
+            BiSIMConfig(hidden_size=8, epochs=1),
+        )
+        with pytest.raises(ImputationError):
+            OnlineImputer(trainer)

@@ -1,0 +1,113 @@
+"""Encoder/decoder units and temporal decay."""
+
+import numpy as np
+import pytest
+
+from repro.bisim import DecoderUnit, EncoderUnit, TemporalDecay
+from repro.exceptions import ImputationError
+from repro.neuro import Tensor
+
+RNG = np.random.default_rng(11)
+
+
+class TestTemporalDecay:
+    def test_decay_in_unit_interval(self):
+        decay = TemporalDecay(4, 8, "scalar", RNG)
+        lag = Tensor(np.abs(RNG.normal(size=(5, 4))))
+        gamma = decay(lag)
+        assert gamma.shape == (5, 1)
+        assert (gamma.data > 0).all() and (gamma.data <= 1).all()
+
+    def test_vector_mode_shape(self):
+        decay = TemporalDecay(4, 8, "vector", RNG)
+        gamma = decay(Tensor(np.ones((3, 4))))
+        assert gamma.shape == (3, 8)
+
+    def test_zero_lag_gives_unit_decay_after_relu(self):
+        decay = TemporalDecay(2, 4, "scalar", RNG)
+        # With zero lag the pre-activation is the bias; relu(max(0, b))
+        # could be positive, so force bias negative to check the path.
+        decay.linear.bias.data = np.array([-1.0])
+        gamma = decay(Tensor(np.zeros((1, 2))))
+        assert gamma.data[0, 0] == pytest.approx(1.0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ImputationError):
+            TemporalDecay(2, 4, "nope", RNG)
+
+
+class TestEncoderUnit:
+    def _unit(self, **kw):
+        return EncoderUnit(6, 8, RNG, **kw)
+
+    def test_shapes(self):
+        unit = self._unit()
+        state = unit.initial_state(3)
+        f = Tensor(RNG.random((3, 6)))
+        m = Tensor(np.ones((3, 6)))
+        lag = Tensor(np.zeros((3, 6)))
+        f_prime, fc, (h, c) = unit.step(f, m, lag, state)
+        assert f_prime.shape == (3, 6)
+        assert fc.shape == (3, 6)
+        assert h.shape == (3, 8)
+        assert c.shape == (3, 8)
+
+    def test_observed_values_pass_through(self):
+        unit = self._unit()
+        state = unit.initial_state(2)
+        f = Tensor(RNG.random((2, 6)))
+        m = Tensor(np.ones((2, 6)))
+        _, fc, _ = unit.step(f, m, Tensor(np.zeros((2, 6))), state)
+        np.testing.assert_allclose(fc.data, f.data)
+
+    def test_missing_values_estimated(self):
+        unit = self._unit()
+        state = unit.initial_state(1)
+        f = Tensor(np.zeros((1, 6)))
+        m = Tensor(np.zeros((1, 6)))
+        f_prime, fc, _ = unit.step(
+            f, m, Tensor(np.zeros((1, 6))), state
+        )
+        np.testing.assert_allclose(fc.data, f_prime.data)
+
+    def test_no_time_lag_option(self):
+        unit = self._unit(use_time_lag=False)
+        assert unit.decay is None
+        state = unit.initial_state(1)
+        out = unit.step(
+            Tensor(np.zeros((1, 6))),
+            Tensor(np.ones((1, 6))),
+            Tensor(np.zeros((1, 6))),
+            state,
+        )
+        assert out[1].shape == (1, 6)
+
+
+class TestDecoderUnit:
+    def test_shapes_with_context(self):
+        unit = DecoderUnit(8, 6, RNG)
+        h = Tensor(np.zeros((2, 8)))
+        state = (h, h)
+        l = Tensor(RNG.random((2, 2)))
+        k = Tensor(np.ones((2, 2)))
+        ctx = Tensor(RNG.random((2, 6)))
+        l_prime, lc, (s, c) = unit.step(l, k, ctx, None, state)
+        assert l_prime.shape == (2, 2)
+        assert lc.shape == (2, 2)
+        assert s.shape == (2, 8)
+
+    def test_shapes_without_context(self):
+        unit = DecoderUnit(8, 0, RNG)
+        h = Tensor(np.zeros((2, 8)))
+        l = Tensor(RNG.random((2, 2)))
+        k = Tensor(np.zeros((2, 2)))
+        l_prime, lc, _ = unit.step(l, k, None, None, (h, h))
+        np.testing.assert_allclose(lc.data, l_prime.data)
+
+    def test_observed_rp_passes_through(self):
+        unit = DecoderUnit(8, 0, RNG)
+        h = Tensor(np.zeros((1, 8)))
+        l = Tensor(np.array([[0.3, 0.7]]))
+        k = Tensor(np.ones((1, 2)))
+        _, lc, _ = unit.step(l, k, None, None, (h, h))
+        np.testing.assert_allclose(lc.data, [[0.3, 0.7]])

@@ -1,0 +1,35 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_known_experiments_registered(self):
+        for name in ("table5", "table6", "fig12", "fig18", "table8"):
+            assert name in EXPERIMENTS
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table5"])
+        assert args.preset == "smoke"
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_invalid_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table5", "--preset", "huge"])
+
+
+class TestMain:
+    def test_runs_light_experiment(self, capsys):
+        assert main(["table5", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "kaide" in out
+
+    def test_runs_fig5(self, capsys):
+        assert main(["fig5", "--preset", "smoke"]) == 0
+        assert "Fig. 5" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Constraint-aware agglomerative clustering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import constrained_agglomerative
+from repro.exceptions import ClusteringError
+
+
+class TestUnconstrained:
+    def test_merges_everything(self, rng):
+        pts = rng.normal(size=(12, 2))
+        clusters = constrained_agglomerative(pts, lambda idx: True)
+        assert len(clusters) == 1
+        assert sorted(clusters[0].tolist()) == list(range(12))
+
+    def test_no_merges_when_all_rejected(self, rng):
+        pts = rng.normal(size=(6, 2))
+        clusters = constrained_agglomerative(pts, lambda idx: len(idx) <= 1)
+        assert len(clusters) == 6
+
+
+class TestConstrained:
+    def test_spatial_barrier(self):
+        # Two groups; constraint forbids mixing them.
+        pts = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [0.5, 0.5], [10.0, 0.0], [11.0, 0.0]]
+        )
+        left = {0, 1, 2}
+
+        def same_side(idx):
+            members = set(idx.tolist())
+            return members <= left or members.isdisjoint(left)
+
+        clusters = constrained_agglomerative(pts, same_side)
+        assert len(clusters) == 2
+        sides = [set(c.tolist()) for c in clusters]
+        assert left in sides
+        assert {3, 4} in sides
+
+    def test_max_size_constraint(self, rng):
+        pts = rng.normal(size=(9, 2))
+        clusters = constrained_agglomerative(pts, lambda idx: len(idx) <= 3)
+        assert all(len(c) <= 3 for c in clusters)
+        total = sorted(np.concatenate(clusters).tolist())
+        assert total == list(range(9))
+
+    def test_closest_pair_merged_first(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 0.0]])
+        merged_sets = []
+
+        def record(idx):
+            merged_sets.append(sorted(idx.tolist()))
+            return True
+
+        constrained_agglomerative(pts, record)
+        assert merged_sets[0] == [0, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            constrained_agglomerative(np.empty((0, 2)), lambda idx: True)
+
+    def test_max_merges_cap(self, rng):
+        pts = rng.normal(size=(10, 2))
+        clusters = constrained_agglomerative(
+            pts, lambda idx: True, max_merges=3
+        )
+        assert len(clusters) == 7

@@ -1,0 +1,49 @@
+"""Elbow-method K selection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import elbow_kmeans
+from repro.cluster.elbow import _knee_index
+from repro.exceptions import ClusteringError
+
+
+class TestKneeIndex:
+    def test_sharp_knee(self):
+        ks = [1, 2, 3, 4, 5, 6]
+        inertias = [100.0, 40.0, 5.0, 4.0, 3.0, 2.0]
+        assert _knee_index(ks, inertias) == 2  # K=3
+
+    def test_linear_curve_no_strong_knee(self):
+        ks = [1, 2, 3, 4]
+        inertias = [40.0, 30.0, 20.0, 10.0]
+        idx = _knee_index(ks, inertias)
+        assert 0 <= idx < 4
+
+    def test_single_point(self):
+        assert _knee_index([1], [10.0]) == 0
+
+
+class TestElbowKMeans:
+    def test_finds_reasonable_k_for_blobs(self, rng):
+        centers = [(0, 0), (12, 0), (0, 12), (12, 12)]
+        pts = np.concatenate(
+            [rng.normal(c, 0.4, size=(25, 2)) for c in centers]
+        )
+        result = elbow_kmeans(pts, rng, upper_bound=12)
+        assert 3 <= result.best_k <= 6
+
+    def test_upper_bound_respected(self, rng):
+        pts = rng.normal(size=(30, 2))
+        result = elbow_kmeans(pts, rng, upper_bound=5)
+        assert result.best_k <= 5
+        assert result.k_values == [1, 2, 3, 4, 5]
+
+    def test_inertias_monotone_trendwise(self, rng):
+        pts = rng.normal(size=(40, 2))
+        result = elbow_kmeans(pts, rng, upper_bound=8)
+        assert result.inertias[0] >= result.inertias[-1]
+
+    def test_empty_data(self, rng):
+        with pytest.raises(ClusteringError):
+            elbow_kmeans(np.empty((0, 2)), rng)

@@ -1,0 +1,70 @@
+"""K-means from scratch."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import kmeans
+from repro.exceptions import ClusteringError
+
+
+def _blobs(rng, centers, n_per=30, spread=0.3):
+    pts = []
+    for c in centers:
+        pts.append(rng.normal(c, spread, size=(n_per, len(c))))
+    return np.concatenate(pts)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        centers = [(0, 0), (10, 0), (0, 10)]
+        x = _blobs(rng, centers)
+        result = kmeans(x, 3, rng)
+        # Each blob should map to exactly one cluster.
+        labels = result.labels
+        for b in range(3):
+            blob_labels = labels[b * 30 : (b + 1) * 30]
+            assert len(set(blob_labels.tolist())) == 1
+        assert len(set(labels.tolist())) == 3
+
+    def test_inertia_decreases_with_k(self, rng):
+        x = _blobs(rng, [(0, 0), (8, 8)])
+        i1 = kmeans(x, 1, rng).inertia
+        i2 = kmeans(x, 2, rng).inertia
+        i4 = kmeans(x, 4, rng).inertia
+        assert i1 > i2 >= i4
+
+    def test_k_equals_n(self, rng):
+        x = rng.normal(size=(5, 2))
+        result = kmeans(x, 5, rng)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_clusters_partition(self, rng):
+        x = rng.normal(size=(40, 3))
+        result = kmeans(x, 4, rng)
+        all_members = np.concatenate(result.clusters())
+        assert sorted(all_members.tolist()) == list(range(40))
+
+    def test_manhattan_metric(self, rng):
+        x = _blobs(rng, [(0, 0), (10, 10)])
+        result = kmeans(x, 2, rng, metric="manhattan")
+        assert result.n_clusters == 2
+        assert len(set(result.labels.tolist())) == 2
+
+    def test_duplicate_points(self, rng):
+        x = np.zeros((10, 2))
+        result = kmeans(x, 2, rng)
+        assert result.labels.shape == (10,)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((3, 2)), 0, rng)
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((3, 2)), 4, rng)
+
+    def test_invalid_metric(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((3, 2)), 2, rng, metric="cosine")
+
+    def test_empty_data(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans(np.empty((0, 2)), 1, rng)

@@ -1,0 +1,66 @@
+"""Algorithm 1 (BINARIZATION) and sample construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import binarize, build_cluster_samples
+from repro.exceptions import DifferentiationError
+
+
+class TestBinarize:
+    def test_paper_semantics(self):
+        fp = np.array([[-70.0, np.nan, -76.0]])
+        np.testing.assert_array_equal(binarize(fp), [[1.0, 0.0, 1.0]])
+
+    def test_all_null(self):
+        fp = np.full((2, 3), np.nan)
+        assert binarize(fp).sum() == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(DifferentiationError):
+            binarize(np.zeros(3))
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=1, max_value=8),
+            ),
+            elements=st.one_of(
+                st.floats(min_value=-99, max_value=0), st.just(np.nan)
+            ),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_binary_output_matches_finiteness(self, fp):
+        b = binarize(fp)
+        assert set(np.unique(b)).issubset({0.0, 1.0})
+        np.testing.assert_array_equal(b == 1.0, np.isfinite(fp))
+
+
+class TestBuildClusterSamples:
+    def test_shapes(self, tiny_radio_map):
+        samples = build_cluster_samples(tiny_radio_map)
+        n, d = tiny_radio_map.fingerprints.shape
+        assert samples.profiles.shape == (n, d)
+        assert samples.locations.shape == (n, 2)
+        assert samples.samples.shape == (n, d + 2)
+
+    def test_locations_interpolated(self, tiny_radio_map):
+        samples = build_cluster_samples(tiny_radio_map)
+        assert np.isfinite(samples.locations).all()
+
+    def test_location_weight_scales_location_part(self, tiny_radio_map):
+        light = build_cluster_samples(tiny_radio_map, location_weight=0.5)
+        heavy = build_cluster_samples(tiny_radio_map, location_weight=2.0)
+        d = tiny_radio_map.n_aps
+        np.testing.assert_allclose(
+            heavy.samples[:, d:], 4.0 * light.samples[:, d:]
+        )
+        np.testing.assert_array_equal(
+            heavy.samples[:, :d], light.samples[:, :d]
+        )

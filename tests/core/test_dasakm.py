@@ -1,0 +1,86 @@
+"""DasaKM: ground-truth sampling, DA evaluation, Algorithm 3."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DasaKMDifferentiator,
+    build_cluster_samples,
+    evaluate_da_for_k,
+    sample_ground_truth,
+    validate_mask,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_samples(kaide_smoke):
+    return build_cluster_samples(kaide_smoke.radio_map)
+
+
+class TestGroundTruthSampling:
+    def test_gamma_proportion(self, smoke_samples, rng):
+        gt = sample_ground_truth(smoke_samples, 2.0, rng, n_mnars=20)
+        assert gt is not None
+        labels = [lbl for _, _, lbl in gt.entries]
+        n_mnar = labels.count(-1)
+        n_mar = labels.count(0)
+        assert n_mar == max(1, round(n_mnar / 2.0))
+
+    def test_mar_entries_were_observed(self, smoke_samples, rng):
+        gt = sample_ground_truth(smoke_samples, 1.0, rng, n_mnars=20)
+        assert gt is not None
+        for row, dim, lbl in gt.entries:
+            if lbl == 0:
+                original_row = gt.sample_indices[row]
+                # Was observed originally, nullified in the modified copy.
+                assert smoke_samples.profiles[original_row, dim] == 1.0
+                assert gt.modified_profiles[row, dim] == 0.0
+
+    def test_mnar_entries_missing_in_patch(self, smoke_samples, rng):
+        gt = sample_ground_truth(smoke_samples, 1.0, rng, n_mnars=20)
+        assert gt is not None
+        for row, dim, lbl in gt.entries:
+            if lbl == -1:
+                original_row = gt.sample_indices[row]
+                assert smoke_samples.profiles[original_row, dim] == 0.0
+
+    def test_invalid_gamma(self, smoke_samples, rng):
+        with pytest.raises(Exception):
+            sample_ground_truth(smoke_samples, 0.0, rng)
+
+
+class TestDAEvaluation:
+    def test_da_in_unit_interval(self, smoke_samples, rng):
+        gt = sample_ground_truth(smoke_samples, 2.0, rng, n_mnars=20)
+        assert gt is not None
+        for k in (1, 3, 6):
+            da = evaluate_da_for_k(smoke_samples, gt, k, 0.1, rng)
+            assert 0.0 <= da <= 1.0
+
+    def test_too_large_k_returns_zero(self, smoke_samples, rng):
+        gt = sample_ground_truth(smoke_samples, 2.0, rng, n_mnars=20)
+        assert gt is not None
+        da = evaluate_da_for_k(
+            smoke_samples, gt, 10_000, 0.1, rng
+        )
+        assert da == 0.0
+
+
+class TestDifferentiator:
+    def test_mask_valid_and_k_selected(self, kaide_smoke):
+        dasa = DasaKMDifferentiator(
+            upper_bound=6, proportions=(1, 4), n_mnars=20
+        )
+        mask = dasa.differentiate(kaide_smoke.radio_map)
+        validate_mask(mask, kaide_smoke.radio_map)
+        assert dasa.selected_k_ is not None
+        assert 1 <= dasa.selected_k_ <= 6
+
+    def test_deterministic_given_seed(self, kaide_smoke):
+        a = DasaKMDifferentiator(
+            upper_bound=4, proportions=(1,), n_mnars=15, seed=3
+        ).differentiate(kaide_smoke.radio_map)
+        b = DasaKMDifferentiator(
+            upper_bound=4, proportions=(1,), n_mnars=15, seed=3
+        ).differentiate(kaide_smoke.radio_map)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,120 @@
+"""Algorithm 2's eta rule and the baseline differentiators."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MASK_MAR, MASK_MNAR, MASK_OBSERVED
+from repro.core import (
+    MAROnlyDifferentiator,
+    MNAROnlyDifferentiator,
+    differentiate_with_clusters,
+    validate_mask,
+)
+from repro.exceptions import DifferentiationError
+
+
+class TestEtaRule:
+    def test_mar_when_fraction_above_eta(self):
+        # Cluster of 4: AP 0 observed by 3/4 (> 0.5) -> null is MAR;
+        # AP 1 observed by 1/4 (<= 0.5 is false... 0.25 <= 0.5) -> MNAR.
+        profiles = np.array(
+            [
+                [1.0, 1.0],
+                [1.0, 0.0],
+                [1.0, 0.0],
+                [0.0, 0.0],
+            ]
+        )
+        mask = differentiate_with_clusters(
+            profiles, [np.arange(4)], eta=0.5
+        )
+        assert mask[3, 0] == MASK_MAR
+        assert mask[1, 1] == MASK_MNAR
+        assert mask[0, 0] == MASK_OBSERVED
+
+    def test_eta_zero_all_mar_when_any_observed(self):
+        profiles = np.array([[1.0, 0.0], [0.0, 0.0]])
+        mask = differentiate_with_clusters(
+            profiles, [np.arange(2)], eta=0.0
+        )
+        # AP 0 observed fraction 0.5 > 0 -> MAR; AP 1 fraction 0 -> MNAR.
+        assert mask[1, 0] == MASK_MAR
+        assert mask[0, 1] == MASK_MNAR
+
+    def test_eta_one_all_mnar(self):
+        profiles = np.array([[1.0, 1.0], [0.0, 1.0]])
+        mask = differentiate_with_clusters(
+            profiles, [np.arange(2)], eta=1.0
+        )
+        assert mask[1, 0] == MASK_MNAR
+
+    def test_per_cluster_independence(self):
+        profiles = np.array(
+            [
+                [1.0],  # cluster A: fraction 1.0
+                [0.0],  # cluster A: null -> MAR
+                [0.0],  # cluster B: fraction 0 -> MNAR
+                [0.0],
+            ]
+        )
+        mask = differentiate_with_clusters(
+            profiles,
+            [np.array([0, 1]), np.array([2, 3])],
+            eta=0.1,
+        )
+        assert mask[1, 0] == MASK_MAR
+        assert mask[2, 0] == MASK_MNAR
+        assert mask[3, 0] == MASK_MNAR
+
+    def test_clusters_must_partition(self):
+        profiles = np.zeros((3, 2))
+        with pytest.raises(DifferentiationError):
+            differentiate_with_clusters(profiles, [np.array([0, 1])])
+        with pytest.raises(DifferentiationError):
+            differentiate_with_clusters(
+                profiles, [np.array([0, 1]), np.array([1, 2])]
+            )
+
+    def test_invalid_eta(self):
+        with pytest.raises(DifferentiationError):
+            differentiate_with_clusters(
+                np.zeros((2, 2)), [np.arange(2)], eta=1.5
+            )
+
+
+class TestBaselines:
+    def test_mar_only(self, tiny_radio_map):
+        mask = MAROnlyDifferentiator().differentiate(tiny_radio_map)
+        validate_mask(mask, tiny_radio_map)
+        missing = ~tiny_radio_map.rssi_observed_mask
+        assert (mask[missing] == MASK_MAR).all()
+
+    def test_mnar_only(self, tiny_radio_map):
+        mask = MNAROnlyDifferentiator().differentiate(tiny_radio_map)
+        validate_mask(mask, tiny_radio_map)
+        missing = ~tiny_radio_map.rssi_observed_mask
+        assert (mask[missing] == MASK_MNAR).all()
+
+
+class TestValidateMask:
+    def test_shape_mismatch(self, tiny_radio_map):
+        with pytest.raises(DifferentiationError):
+            validate_mask(np.ones((2, 2), dtype=int), tiny_radio_map)
+
+    def test_invalid_codes(self, tiny_radio_map):
+        mask = MAROnlyDifferentiator().differentiate(tiny_radio_map)
+        mask[0, 0] = 7
+        with pytest.raises(DifferentiationError):
+            validate_mask(mask, tiny_radio_map)
+
+    def test_observed_must_be_one(self, tiny_radio_map):
+        mask = MAROnlyDifferentiator().differentiate(tiny_radio_map)
+        mask[0, 0] = MASK_MAR  # (0, 0) is observed in the tiny map
+        with pytest.raises(DifferentiationError):
+            validate_mask(mask, tiny_radio_map)
+
+    def test_missing_cannot_be_one(self, tiny_radio_map):
+        mask = MAROnlyDifferentiator().differentiate(tiny_radio_map)
+        mask[0, 3] = MASK_OBSERVED  # (0, 3) is null
+        with pytest.raises(DifferentiationError):
+            validate_mask(mask, tiny_radio_map)

@@ -1,0 +1,87 @@
+"""TopoAC: the ENTITYEXIST heuristic and Algorithm 5."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TopoACDifferentiator,
+    build_cluster_samples,
+    entity_exist,
+    validate_mask,
+)
+from repro.exceptions import DifferentiationError
+from repro.geometry import MultiPolygon, Polygon
+
+
+@pytest.fixture
+def room() -> MultiPolygon:
+    return MultiPolygon([Polygon.rectangle(4, 4, 6, 6)])
+
+
+class TestEntityExist:
+    def test_hull_containing_room(self, room):
+        locs = np.array([[0, 0], [10, 0], [10, 10], [0, 10]])
+        assert entity_exist(locs, room)
+
+    def test_hull_beside_room(self, room):
+        locs = np.array([[0, 0], [3, 0], [3, 3], [0, 3]])
+        assert not entity_exist(locs, room)
+
+    def test_single_point_inside_room(self, room):
+        assert entity_exist(np.array([[5.0, 5.0]]), room)
+
+    def test_single_point_outside_room(self, room):
+        assert not entity_exist(np.array([[1.0, 1.0]]), room)
+
+    def test_two_points_crossing_room(self, room):
+        locs = np.array([[0.0, 5.0], [10.0, 5.0]])
+        assert entity_exist(locs, room)
+
+    def test_two_points_clear(self, room):
+        locs = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert not entity_exist(locs, room)
+
+    def test_collinear_points_crossing(self, room):
+        locs = np.array([[0.0, 5.0], [5.0, 5.0], [10.0, 5.0]])
+        assert entity_exist(locs, room)
+
+    def test_no_entities(self):
+        locs = np.array([[0, 0], [10, 0], [5, 10]])
+        assert not entity_exist(locs, MultiPolygon())
+
+    def test_bad_shape(self, room):
+        with pytest.raises(DifferentiationError):
+            entity_exist(np.zeros(3), room)
+
+
+class TestTopoACDifferentiator:
+    def test_mask_valid(self, kaide_smoke):
+        topo = TopoACDifferentiator(
+            entities=kaide_smoke.venue.plan.entities
+        )
+        mask = topo.differentiate(kaide_smoke.radio_map)
+        validate_mask(mask, kaide_smoke.radio_map)
+        assert topo.n_clusters_ is not None
+        assert topo.n_clusters_ >= 1
+
+    def test_no_cluster_hull_contains_entities(self, kaide_smoke):
+        from repro.cluster import constrained_agglomerative
+
+        entities = kaide_smoke.venue.plan.entities
+        samples = build_cluster_samples(kaide_smoke.radio_map)
+        clusters = constrained_agglomerative(
+            samples.samples,
+            lambda idx: not entity_exist(
+                samples.locations[idx], entities
+            ),
+        )
+        for members in clusters:
+            if members.size >= 2:
+                assert not entity_exist(
+                    samples.locations[members], entities
+                )
+
+    def test_no_entities_gives_single_cluster(self, kaide_smoke):
+        topo = TopoACDifferentiator(entities=MultiPolygon())
+        topo.differentiate(kaide_smoke.radio_map)
+        assert topo.n_clusters_ == 1

@@ -1,0 +1,69 @@
+"""Dataset factory and evaluation splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_dataset, make_evaluation_split
+from repro.exceptions import ExperimentError
+
+
+class TestMakeDataset:
+    def test_sparsity_in_paper_band(self, kaide_smoke):
+        rate = kaide_smoke.radio_map.missing_rssi_rate
+        assert 0.80 <= rate <= 0.97
+
+    def test_truth_available(self, kaide_smoke):
+        truth = kaide_smoke.radio_map.truth
+        assert truth is not None
+        assert truth.missing_type is not None
+        assert truth.positions is not None
+
+    def test_truth_consistent_with_observations(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        obs = rm.rssi_observed_mask
+        assert (rm.truth.missing_type[obs] == 1).all()
+
+    def test_deterministic(self):
+        a = make_dataset("kaide", scale=0.28, seed=9, n_passes=2)
+        b = make_dataset("kaide", scale=0.28, seed=9, n_passes=2)
+        np.testing.assert_array_equal(
+            a.radio_map.fingerprints, b.radio_map.fingerprints
+        )
+        np.testing.assert_array_equal(a.radio_map.rps, b.radio_map.rps)
+
+    def test_bluetooth_venue(self, longhu_smoke):
+        assert longhu_smoke.venue.channel_kind == "bluetooth"
+        assert longhu_smoke.radio_map.missing_rssi_rate > 0.8
+
+    def test_more_passes_more_records(self):
+        few = make_dataset("kaide", scale=0.28, seed=9, n_passes=1)
+        many = make_dataset("kaide", scale=0.28, seed=9, n_passes=3)
+        assert many.radio_map.n_records > few.radio_map.n_records
+
+
+class TestEvaluationSplit:
+    def test_fraction_hidden(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        split = make_evaluation_split(
+            rm, np.random.default_rng(0), test_fraction=0.2
+        )
+        n_obs = rm.observed_rp_indices().size
+        assert split.test_indices.size == max(1, round(0.2 * n_obs))
+        # Hidden in the split copy, intact in the original.
+        assert np.isnan(split.radio_map.rps[split.test_indices]).all()
+        assert np.isfinite(rm.rps[split.test_indices]).all()
+
+    def test_locations_match_original(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        split = make_evaluation_split(rm, np.random.default_rng(0))
+        np.testing.assert_array_equal(
+            split.test_locations, rm.rps[split.test_indices]
+        )
+
+    def test_invalid_fraction(self, kaide_smoke):
+        with pytest.raises(ExperimentError):
+            make_evaluation_split(
+                kaide_smoke.radio_map,
+                np.random.default_rng(0),
+                test_fraction=0.0,
+            )

@@ -1,0 +1,128 @@
+"""Experiment harness: light modules run end-to-end on the smoke preset."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PRESETS,
+    fig5,
+    fig67,
+    marshare,
+    table5,
+)
+from repro.experiments.config import default_config
+from repro.experiments.reporting import (
+    render_ranking_check,
+    render_series,
+    render_table,
+)
+from repro.experiments.runner import (
+    get_dataset,
+    imputer_differentiator,
+    make_differentiator,
+    make_estimator,
+    make_imputer,
+    run_pipeline_once,
+)
+from repro.exceptions import ExperimentError
+
+CFG = PRESETS["smoke"]
+
+
+class TestRunnerFactories:
+    def test_all_differentiators_constructible(self):
+        ds = get_dataset("kaide", CFG)
+        for name in ("TopoAC", "DasaKM", "ElbowKM", "MAR-only", "MNAR-only"):
+            d = make_differentiator(name, ds, CFG)
+            assert d.name == name
+
+    def test_all_imputers_constructible(self):
+        ds = get_dataset("kaide", CFG)
+        for name in (
+            "CD", "LI", "SL", "MICE", "MF", "BRITS", "SSGAN",
+            "D-BiSIM", "T-BiSIM",
+        ):
+            make_imputer(name, ds, CFG)
+
+    def test_all_estimators_constructible(self):
+        for name in ("KNN", "WKNN", "RF"):
+            assert make_estimator(name).name == name
+
+    def test_unknown_names_rejected(self):
+        ds = get_dataset("kaide", CFG)
+        with pytest.raises(ExperimentError):
+            make_differentiator("XKM", ds, CFG)
+        with pytest.raises(ExperimentError):
+            make_imputer("GPT", ds, CFG)
+        with pytest.raises(ExperimentError):
+            make_estimator("GPS")
+
+    def test_imputer_differentiator_wiring(self):
+        assert imputer_differentiator("D-BiSIM") == "DasaKM"
+        assert imputer_differentiator("T-BiSIM") == "TopoAC"
+        assert imputer_differentiator("MICE") == "TopoAC"
+
+    def test_run_pipeline_once_multiple_estimators(self):
+        ds = get_dataset("kaide", CFG)
+        result = run_pipeline_once(
+            ds.radio_map,
+            make_differentiator("MAR-only", ds, CFG),
+            make_imputer("LI", ds, CFG),
+            ("KNN", "WKNN"),
+            np.random.default_rng(0),
+        )
+        assert set(result.ape) == {"KNN", "WKNN"}
+        assert all(np.isfinite(v) for v in result.ape.values())
+
+
+class TestLightExperiments:
+    def test_table5(self):
+        res = table5.run(CFG)
+        assert "kaide" in res.rendered
+        assert res.data["kaide"].missing_rssi_rate > 0.8
+
+    def test_fig5_locality_holds(self):
+        res = fig5.run(CFG)
+        for venue in ("kaide", "wanda"):
+            assert res.data[venue]["ratio"] < 0.9
+
+    def test_fig67_topoac_never_abnormal(self):
+        res = fig67.run(CFG)
+        for venue in ("kaide", "wanda"):
+            assert res.data[venue]["topoac_abnormal"] == 0
+
+    def test_marshare_bounds(self):
+        res = marshare.run(CFG)
+        for venue in ("kaide", "wanda"):
+            assert 0.0 < res.data[venue]["mar_share"] < 1.0
+
+
+class TestReporting:
+    def test_render_table(self):
+        text = render_table(
+            "T", ["a", "b"], {"row": [1.0, 2.0]}, unit="m"
+        )
+        assert "row" in text and "1.00" in text and "unit: m" in text
+
+    def test_render_series(self):
+        text = render_series(
+            "S", "x", [1, 2], {"m": [0.5, 0.7]}, unit="dBm"
+        )
+        assert "0.50" in text and "0.70" in text
+
+    def test_ranking_check(self):
+        text = render_ranking_check(
+            "ordering", ["a", "b"], {"a": 1.0, "b": 2.0}
+        )
+        assert "HOLDS" in text
+        text2 = render_ranking_check(
+            "ordering", ["a", "b"], {"a": 3.0, "b": 2.0}
+        )
+        assert "DIFFERS" in text2
+
+    def test_default_config_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_PRESET", "smoke")
+        assert default_config().name == "smoke"
+        monkeypatch.setenv("REPRO_EXPERIMENT_PRESET", "bogus")
+        with pytest.raises(ExperimentError):
+            default_config()

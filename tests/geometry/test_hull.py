@@ -1,0 +1,93 @@
+"""Convex hull: Andrew monotone chain properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import GeometryError
+from repro.geometry import Polygon, convex_hull, hull_area, hull_polygon
+
+finite_points = arrays(
+    np.float64,
+    st.tuples(st.integers(min_value=1, max_value=25), st.just(2)),
+    elements=st.floats(min_value=-100, max_value=100, width=64),
+)
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        pts = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert hull.shape == (4, 2)
+        assert {tuple(p) for p in hull} == {
+            (0, 0),
+            (1, 0),
+            (1, 1),
+            (0, 1),
+        }
+
+    def test_single_point(self):
+        hull = convex_hull([(2, 3)])
+        assert hull.shape == (1, 2)
+
+    def test_two_points(self):
+        hull = convex_hull([(0, 0), (1, 1)])
+        assert hull.shape == (2, 2)
+
+    def test_collinear(self):
+        hull = convex_hull([(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert hull.shape == (2, 2)
+        assert {tuple(p) for p in hull} == {(0, 0), (3, 3)}
+
+    def test_duplicates_removed(self):
+        hull = convex_hull([(0, 0), (0, 0), (1, 0), (0, 1)])
+        assert hull.shape == (3, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            convex_hull(np.empty((0, 2)))
+
+    @given(finite_points)
+    @settings(max_examples=100, deadline=None)
+    def test_all_points_inside_hull(self, pts):
+        hull = convex_hull(pts)
+        if hull.shape[0] < 3:
+            return  # degenerate; nothing to check
+        poly = Polygon(hull)
+        for p in pts:
+            assert poly.contains_point(tuple(p))
+
+    @given(finite_points)
+    @settings(max_examples=100, deadline=None)
+    def test_hull_idempotent(self, pts):
+        h1 = convex_hull(pts)
+        h2 = convex_hull(h1)
+        assert h1.shape == h2.shape
+        assert {tuple(np.round(p, 9)) for p in h1} == {
+            tuple(np.round(p, 9)) for p in h2
+        }
+
+    @given(finite_points)
+    @settings(max_examples=60, deadline=None)
+    def test_hull_ccw_orientation(self, pts):
+        hull = convex_hull(pts)
+        if hull.shape[0] < 3:
+            return
+        # Shoelace sum positive for counter-clockwise order.
+        x, y = hull[:, 0], hull[:, 1]
+        signed = np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))
+        assert signed > 0
+
+
+class TestHullHelpers:
+    def test_hull_polygon_degenerate_none(self):
+        assert hull_polygon([(0, 0), (1, 1)]) is None
+
+    def test_hull_area_square(self):
+        pts = [(0, 0), (2, 0), (2, 2), (0, 2), (1, 1)]
+        assert hull_area(pts) == pytest.approx(4.0)
+
+    def test_hull_area_degenerate_zero(self):
+        assert hull_area([(0, 0), (5, 5)]) == 0.0

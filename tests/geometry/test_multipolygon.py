@@ -1,0 +1,63 @@
+"""MultiPolygon container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MultiPolygon, Polygon
+
+
+@pytest.fixture
+def two_rooms() -> MultiPolygon:
+    return MultiPolygon(
+        [
+            Polygon.rectangle(0, 0, 2, 2),
+            Polygon.rectangle(5, 5, 7, 7),
+        ]
+    )
+
+
+class TestMultiPolygon:
+    def test_len_and_iter(self, two_rooms):
+        assert len(two_rooms) == 2
+        assert all(isinstance(p, Polygon) for p in two_rooms)
+
+    def test_total_area(self, two_rooms):
+        assert two_rooms.total_area == pytest.approx(8.0)
+
+    def test_contains_point(self, two_rooms):
+        assert two_rooms.contains_point((1, 1))
+        assert two_rooms.contains_point((6, 6))
+        assert not two_rooms.contains_point((3.5, 3.5))
+
+    def test_intersects_polygon(self, two_rooms):
+        probe = Polygon.rectangle(1, 1, 6, 6)
+        assert two_rooms.intersects_polygon(probe)
+        probe_far = Polygon.rectangle(10, 10, 11, 11)
+        assert not two_rooms.intersects_polygon(probe_far)
+
+    def test_intersects_segment(self, two_rooms):
+        assert two_rooms.intersects_segment((-1, 1), (3, 1))
+        assert not two_rooms.intersects_segment((3, 3), (4, 4))
+
+    def test_all_edges_count(self, two_rooms):
+        assert len(two_rooms.all_edges()) == 8
+
+    def test_edge_arrays_shapes(self, two_rooms):
+        starts, ends = two_rooms.edge_arrays()
+        assert starts.shape == (8, 2)
+        assert ends.shape == (8, 2)
+
+    def test_edge_arrays_empty(self):
+        starts, ends = MultiPolygon().edge_arrays()
+        assert starts.shape == (0, 2)
+
+    def test_vertex_list_round_trip(self, two_rooms):
+        lists = two_rooms.to_vertex_lists()
+        rebuilt = MultiPolygon.from_vertex_lists(lists)
+        assert len(rebuilt) == 2
+        assert rebuilt.total_area == pytest.approx(two_rooms.total_area)
+
+    def test_empty_never_intersects(self):
+        empty = MultiPolygon()
+        assert not empty.contains_point((0, 0))
+        assert not empty.intersects_polygon(Polygon.rectangle(0, 0, 1, 1))

@@ -1,0 +1,131 @@
+"""Polygon type: area, containment, intersection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry import Polygon, bounding_box_of
+
+unit_square = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+
+class TestConstruction:
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_needs_2d_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0, 0), (1, 1, 1), (2, 0, 0)])
+
+    def test_rectangle_validates_extent(self):
+        with pytest.raises(GeometryError):
+            Polygon.rectangle(0, 0, 0, 1)
+
+    def test_len(self):
+        assert len(unit_square) == 4
+
+
+class TestArea:
+    def test_unit_square(self):
+        assert unit_square.area == pytest.approx(1.0)
+
+    def test_triangle(self):
+        tri = Polygon([(0, 0), (4, 0), (0, 3)])
+        assert tri.area == pytest.approx(6.0)
+
+    def test_winding_independent(self):
+        cw = Polygon([(0, 0), (0, 1), (1, 1), (1, 0)])
+        assert cw.area == pytest.approx(unit_square.area)
+
+    @given(
+        st.floats(min_value=0.1, max_value=20),
+        st.floats(min_value=0.1, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rectangle_area(self, w, h):
+        r = Polygon.rectangle(0, 0, w, h)
+        assert r.area == pytest.approx(w * h, rel=1e-9)
+
+
+class TestCentroidBounds:
+    def test_square_centroid(self):
+        assert unit_square.centroid == pytest.approx([0.5, 0.5])
+
+    def test_bounds(self):
+        assert unit_square.bounds == (0.0, 0.0, 1.0, 1.0)
+
+    def test_bounding_box_of(self):
+        box = bounding_box_of([(1, 2), (3, -1), (0, 5)])
+        assert box == (0.0, -1.0, 3.0, 5.0)
+
+    def test_bounding_box_empty(self):
+        with pytest.raises(GeometryError):
+            bounding_box_of([])
+
+
+class TestContainment:
+    def test_interior(self):
+        assert unit_square.contains_point((0.5, 0.5))
+
+    def test_exterior(self):
+        assert not unit_square.contains_point((1.5, 0.5))
+
+    def test_boundary_included_by_default(self):
+        assert unit_square.contains_point((1.0, 0.5))
+
+    def test_boundary_excluded_on_request(self):
+        assert not unit_square.contains_point((1.0, 0.5), boundary=False)
+
+    def test_vertex(self):
+        assert unit_square.contains_point((0.0, 0.0))
+
+    def test_vectorized_matches_scalar(self, rng):
+        poly = Polygon([(0, 0), (4, 0), (4, 2), (2, 4), (0, 2)])
+        pts = rng.uniform(-1, 5, size=(100, 2))
+        vec = poly.contains_points(pts)
+        for i, p in enumerate(pts):
+            # Skip near-boundary points where conventions differ.
+            scalar_strict = poly.contains_point(tuple(p), boundary=False)
+            scalar_loose = poly.contains_point(tuple(p), boundary=True)
+            if scalar_strict == scalar_loose:
+                assert vec[i] == scalar_strict
+
+    @given(st.floats(min_value=0.05, max_value=0.95), st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_interior_points_inside(self, x, y):
+        assert unit_square.contains_point((x, y))
+
+
+class TestIntersection:
+    def test_segment_crossing_edge(self):
+        assert unit_square.intersects_segment((-1, 0.5), (2, 0.5))
+
+    def test_segment_inside(self):
+        assert unit_square.intersects_segment((0.2, 0.2), (0.8, 0.8))
+
+    def test_segment_outside(self):
+        assert not unit_square.intersects_segment((2, 2), (3, 3))
+
+    def test_polygon_overlap(self):
+        other = Polygon.rectangle(0.5, 0.5, 2, 2)
+        assert unit_square.intersects_polygon(other)
+
+    def test_polygon_containment_counts(self):
+        inner = Polygon.rectangle(0.25, 0.25, 0.75, 0.75)
+        assert unit_square.intersects_polygon(inner)
+        assert inner.intersects_polygon(unit_square)
+
+    def test_polygon_disjoint(self):
+        other = Polygon.rectangle(5, 5, 6, 6)
+        assert not unit_square.intersects_polygon(other)
+
+
+class TestSampling:
+    def test_sample_interior_point(self, rng):
+        poly = Polygon.rectangle(2, 3, 4, 5)
+        for _ in range(10):
+            p = poly.sample_interior_point(rng)
+            assert poly.contains_point(tuple(p))

@@ -1,0 +1,142 @@
+"""Segment primitives: intersection, crossing counts, polylines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    count_crossings_vectorized,
+    count_segment_crossings,
+    interpolate_along,
+    orientation,
+    path_length,
+    segment_intersection_point,
+    segments_intersect,
+)
+
+coords = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+points = st.tuples(coords, coords)
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation((0, 0), (1, 0), (0, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation((0, 0), (0, 1), (1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) == 0
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_shared_endpoint(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect((0, 0), (2, 0), (1, -1), (1, 0))
+
+    @given(points, points, points, points)
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry(self, a1, a2, b1, b2):
+        assert segments_intersect(a1, a2, b1, b2) == segments_intersect(
+            b1, b2, a1, a2
+        )
+
+
+class TestIntersectionPoint:
+    def test_crossing_point(self):
+        p = segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert p == pytest.approx((1.0, 1.0))
+
+    def test_none_when_disjoint(self):
+        assert (
+            segment_intersection_point((0, 0), (1, 0), (0, 1), (1, 1))
+            is None
+        )
+
+    def test_collinear_overlap_midpoint(self):
+        p = segment_intersection_point((0, 0), (2, 0), (1, 0), (3, 0))
+        assert p is not None
+        assert 1.0 <= p[0] <= 2.0
+        assert p[1] == pytest.approx(0.0)
+
+
+class TestCrossingCounts:
+    def test_counts_walls(self):
+        walls = [((1, -1), (1, 1)), ((2, -1), (2, 1)), ((5, -1), (5, 1))]
+        assert count_segment_crossings((0, 0), (3, 0), walls) == 2
+
+    def test_empty_walls(self):
+        assert count_segment_crossings((0, 0), (3, 0), []) == 0
+
+    def test_vectorized_matches_scalar(self, rng):
+        walls = [
+            (tuple(rng.uniform(0, 10, 2)), tuple(rng.uniform(0, 10, 2)))
+            for _ in range(12)
+        ]
+        starts = np.array([w[0] for w in walls])
+        ends = np.array([w[1] for w in walls])
+        origin = np.array([0.0, 0.0])
+        targets = rng.uniform(0, 10, size=(20, 2))
+        vec = count_crossings_vectorized(origin, targets, starts, ends)
+        for i, t in enumerate(targets):
+            scalar = count_segment_crossings(
+                tuple(origin), tuple(t), walls
+            )
+            assert vec[i] == scalar
+
+    def test_vectorized_no_walls(self):
+        empty = np.empty((0, 2))
+        out = count_crossings_vectorized(
+            np.zeros(2), np.ones((3, 2)), empty, empty
+        )
+        assert (out == 0).all()
+
+
+class TestPolyline:
+    def test_path_length(self):
+        pts = np.array([[0, 0], [3, 0], [3, 4]])
+        assert path_length(pts) == pytest.approx(7.0)
+
+    def test_path_length_single_point(self):
+        assert path_length(np.array([[1, 2]])) == 0.0
+
+    def test_interpolate_endpoints(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert interpolate_along(pts, 0.0) == pytest.approx([0, 0])
+        assert interpolate_along(pts, 10.0) == pytest.approx([10, 0])
+
+    def test_interpolate_clamps(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert interpolate_along(pts, 99.0) == pytest.approx([10, 0])
+        assert interpolate_along(pts, -5.0) == pytest.approx([0, 0])
+
+    def test_interpolate_mid_corner(self):
+        pts = np.array([[0.0, 0.0], [4.0, 0.0], [4.0, 4.0]])
+        assert interpolate_along(pts, 6.0) == pytest.approx([4.0, 2.0])
+
+    @given(st.floats(min_value=0, max_value=7))
+    @settings(max_examples=50, deadline=None)
+    def test_interpolated_point_on_path(self, s):
+        pts = np.array([[0.0, 0.0], [3.0, 0.0], [3.0, 4.0]])
+        p = interpolate_along(pts, s)
+        # Point must lie on one of the two segments.
+        on_first = abs(p[1]) < 1e-9 and -1e-9 <= p[0] <= 3 + 1e-9
+        on_second = abs(p[0] - 3) < 1e-9 and -1e-9 <= p[1] <= 4 + 1e-9
+        assert on_first or on_second

@@ -1,0 +1,102 @@
+"""MICE and MF: recovery of structured missing data."""
+
+import numpy as np
+import pytest
+
+from repro.imputers import MatrixFactorizationImputer, MICEImputer
+from repro.radiomap import RadioMap
+
+
+def _structured_map(n=40, seed=0):
+    """Radio map whose columns are linearly related (MICE-friendly)
+    and low-rank (MF-friendly)."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(-90, -40, size=(n, 2))
+    # 4 AP columns as linear combinations of 2 factors + tiny noise.
+    weights = rng.uniform(0.3, 1.0, size=(2, 4))
+    fingerprints = base @ weights + rng.normal(0, 0.1, size=(n, 4))
+    rps = base * 0.1 + 10
+    return RadioMap(
+        fingerprints=fingerprints,
+        rps=rps,
+        times=np.arange(n, dtype=float),
+        path_ids=np.zeros(n, dtype=int),
+    )
+
+
+def _hide(rm, frac, seed=1):
+    rng = np.random.default_rng(seed)
+    out = rm.copy()
+    rows, cols = np.where(np.isfinite(out.fingerprints))
+    k = int(frac * rows.size)
+    pick = rng.choice(rows.size, size=k, replace=False)
+    held = [(rows[i], cols[i], out.fingerprints[rows[i], cols[i]]) for i in pick]
+    out.fingerprints[rows[pick], cols[pick]] = np.nan
+    return out, held
+
+
+class TestMICE:
+    def test_recovers_linear_structure(self):
+        rm = _structured_map()
+        hidden, held = _hide(rm, 0.2)
+        mask = np.ones(rm.fingerprints.shape, dtype=int)
+        result = MICEImputer(n_rounds=4).impute(hidden, mask)
+        errors = [
+            abs(result.fingerprints[r, c] - v) for r, c, v in held
+        ]
+        assert np.mean(errors) < 3.0  # far better than mean fill (~10+)
+
+    def test_complete_output(self):
+        rm = _structured_map()
+        hidden, _ = _hide(rm, 0.4)
+        hidden.rps[3] = np.nan
+        result = MICEImputer().impute(
+            hidden, np.ones(rm.fingerprints.shape, dtype=int)
+        )
+        assert np.isfinite(result.fingerprints).all()
+        assert np.isfinite(result.rps).all()
+
+    def test_observed_values_untouched(self):
+        rm = _structured_map()
+        hidden, _ = _hide(rm, 0.2)
+        result = MICEImputer().impute(
+            hidden, np.ones(rm.fingerprints.shape, dtype=int)
+        )
+        obs = np.isfinite(hidden.fingerprints)
+        np.testing.assert_allclose(
+            result.fingerprints[obs], hidden.fingerprints[obs]
+        )
+
+
+class TestMF:
+    def test_recovers_low_rank(self):
+        rm = _structured_map()
+        hidden, held = _hide(rm, 0.2)
+        mask = np.ones(rm.fingerprints.shape, dtype=int)
+        result = MatrixFactorizationImputer(
+            rank=3, n_iterations=30
+        ).impute(hidden, mask)
+        errors = [
+            abs(result.fingerprints[r, c] - v) for r, c, v in held
+        ]
+        assert np.mean(errors) < 4.0
+
+    def test_observed_values_untouched(self):
+        rm = _structured_map()
+        hidden, _ = _hide(rm, 0.3)
+        result = MatrixFactorizationImputer(n_iterations=5).impute(
+            hidden, np.ones(rm.fingerprints.shape, dtype=int)
+        )
+        obs = np.isfinite(hidden.fingerprints)
+        np.testing.assert_allclose(
+            result.fingerprints[obs], hidden.fingerprints[obs]
+        )
+
+    def test_handles_empty_rows(self):
+        rm = _structured_map(n=10)
+        hidden = rm.copy()
+        hidden.fingerprints[0] = np.nan  # a fully-missing row
+        result = MatrixFactorizationImputer(n_iterations=5).impute(
+            hidden, np.ones(rm.fingerprints.shape, dtype=int)
+        )
+        assert np.isfinite(result.fingerprints).all()

@@ -1,0 +1,77 @@
+"""Imputer interface: MNAR fill and result validation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MASK_MAR, MASK_MNAR, MASK_OBSERVED, MNAR_FILL
+from repro.core import MNAROnlyDifferentiator, TopoACDifferentiator
+from repro.exceptions import ImputationError
+from repro.imputers import (
+    ImputationResult,
+    LinearInterpolationImputer,
+    fill_mnars,
+    run_imputer,
+)
+
+
+class TestFillMnars:
+    def test_mnars_filled(self, tiny_radio_map):
+        mask = MNAROnlyDifferentiator().differentiate(tiny_radio_map)
+        filled, amended = fill_mnars(tiny_radio_map, mask)
+        missing = ~tiny_radio_map.rssi_observed_mask
+        assert (filled.fingerprints[missing] == MNAR_FILL).all()
+        assert (amended[missing] == MASK_OBSERVED).all()
+
+    def test_mars_left_null(self, tiny_radio_map):
+        mask = MNAROnlyDifferentiator().differentiate(tiny_radio_map)
+        mask[0, 3] = MASK_MAR
+        filled, amended = fill_mnars(tiny_radio_map, mask)
+        assert np.isnan(filled.fingerprints[0, 3])
+        assert amended[0, 3] == MASK_MAR
+
+    def test_observed_untouched(self, tiny_radio_map):
+        mask = MNAROnlyDifferentiator().differentiate(tiny_radio_map)
+        filled, _ = fill_mnars(tiny_radio_map, mask)
+        obs = tiny_radio_map.rssi_observed_mask
+        np.testing.assert_allclose(
+            filled.fingerprints[obs], tiny_radio_map.fingerprints[obs]
+        )
+
+    def test_original_unmodified(self, tiny_radio_map):
+        mask = MNAROnlyDifferentiator().differentiate(tiny_radio_map)
+        fill_mnars(tiny_radio_map, mask)
+        assert np.isnan(tiny_radio_map.fingerprints[0, 3])
+
+    def test_shape_mismatch(self, tiny_radio_map):
+        with pytest.raises(ImputationError):
+            fill_mnars(tiny_radio_map, np.ones((2, 2), dtype=int))
+
+
+class TestImputationResult:
+    def test_row_count_checked(self):
+        with pytest.raises(ImputationError):
+            ImputationResult(
+                fingerprints=np.zeros((3, 2)),
+                rps=np.zeros((2, 2)),
+                kept_indices=np.arange(3),
+            )
+
+    def test_validate_complete_rejects_nan(self):
+        result = ImputationResult(
+            fingerprints=np.array([[np.nan]]),
+            rps=np.zeros((1, 2)),
+            kept_indices=np.arange(1),
+        )
+        with pytest.raises(ImputationError):
+            result.validate_complete()
+
+
+class TestRunImputer:
+    def test_times_and_validates(self, tiny_radio_map):
+        mask = MNAROnlyDifferentiator().differentiate(tiny_radio_map)
+        result = run_imputer(
+            LinearInterpolationImputer(), tiny_radio_map, mask
+        )
+        assert result.elapsed_seconds >= 0
+        assert np.isfinite(result.fingerprints).all()
+        assert np.isfinite(result.rps).all()

@@ -1,0 +1,84 @@
+"""BRITS and SSGAN on a real (smoke-scale) radio map."""
+
+import numpy as np
+import pytest
+
+from repro.constants import RSSI_MAX, RSSI_MIN
+from repro.core import TopoACDifferentiator
+from repro.imputers import BRITSImputer, SSGANImputer, fill_mnars, run_imputer
+
+
+@pytest.fixture(scope="module")
+def masked(kaide_smoke):
+    rm = kaide_smoke.radio_map
+    mask = TopoACDifferentiator(
+        entities=kaide_smoke.venue.plan.entities
+    ).differentiate(rm)
+    return rm, mask
+
+
+class TestBRITS:
+    def test_complete_and_preserving(self, masked):
+        rm, mask = masked
+        imputer = BRITSImputer(hidden_size=12, epochs=5)
+        result = run_imputer(imputer, rm, mask)
+        assert np.isfinite(result.fingerprints).all()
+        assert np.isfinite(result.rps).all()
+        obs = rm.rssi_observed_mask
+        np.testing.assert_allclose(
+            result.fingerprints[obs], rm.fingerprints[obs]
+        )
+
+    def test_training_loss_decreases(self, masked):
+        rm, mask = masked
+        imputer = BRITSImputer(hidden_size=12, epochs=10)
+        run_imputer(imputer, rm, mask)
+        assert imputer.last_losses_[-1] < imputer.last_losses_[0]
+
+    def test_mar_imputations_in_range(self, masked):
+        rm, mask = masked
+        imputer = BRITSImputer(hidden_size=12, epochs=5)
+        result = run_imputer(imputer, rm, mask)
+        mar = mask == 0
+        assert (result.fingerprints[mar] >= RSSI_MIN).all()
+        assert (result.fingerprints[mar] <= RSSI_MAX).all()
+
+    def test_rps_use_linear_interpolation(self, masked):
+        rm, mask = masked
+        from repro.radiomap import interpolate_rps_linear
+
+        filled, amended = fill_mnars(rm, mask)
+        result = BRITSImputer(hidden_size=12, epochs=2).impute(
+            filled, amended
+        )
+        np.testing.assert_allclose(
+            result.rps, interpolate_rps_linear(filled)
+        )
+
+
+class TestSSGAN:
+    def test_complete_and_preserving(self, masked):
+        rm, mask = masked
+        imputer = SSGANImputer(hidden_size=12, epochs=5)
+        result = run_imputer(imputer, rm, mask)
+        assert np.isfinite(result.fingerprints).all()
+        assert np.isfinite(result.rps).all()
+        obs = rm.rssi_observed_mask
+        np.testing.assert_allclose(
+            result.fingerprints[obs], rm.fingerprints[obs]
+        )
+
+    def test_generator_loss_recorded(self, masked):
+        rm, mask = masked
+        imputer = SSGANImputer(hidden_size=12, epochs=4)
+        run_imputer(imputer, rm, mask)
+        assert len(imputer.last_g_losses_) == 4
+        assert all(np.isfinite(v) for v in imputer.last_g_losses_)
+
+    def test_mar_imputations_in_range(self, masked):
+        rm, mask = masked
+        imputer = SSGANImputer(hidden_size=12, epochs=4)
+        result = run_imputer(imputer, rm, mask)
+        mar = mask == 0
+        assert (result.fingerprints[mar] >= RSSI_MIN).all()
+        assert (result.fingerprints[mar] <= RSSI_MAX).all()

@@ -1,0 +1,97 @@
+"""Traditional imputers: CD, LI, SL."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MNAR_FILL
+from repro.core import MNAROnlyDifferentiator
+from repro.exceptions import ImputationError
+from repro.imputers import (
+    CaseDeletionImputer,
+    LinearInterpolationImputer,
+    SemiSupervisedImputer,
+    fill_mnars,
+)
+from repro.radiomap import RadioMap
+
+
+@pytest.fixture
+def filled_map(tiny_radio_map):
+    mask = MNAROnlyDifferentiator().differentiate(tiny_radio_map)
+    # Make positions 0,3 and 1,1 MARs so traditional -100 fill applies.
+    mask[0, 3] = 0
+    mask[1, 1] = 0
+    return fill_mnars(tiny_radio_map, mask)
+
+
+class TestCaseDeletion:
+    def test_drops_null_rp_records(self, filled_map):
+        filled, amended = filled_map
+        result = CaseDeletionImputer().impute(filled, amended)
+        np.testing.assert_array_equal(result.kept_indices, [0, 2, 4])
+        assert result.fingerprints.shape[0] == 3
+
+    def test_fills_remaining_with_mnar_value(self, filled_map):
+        filled, amended = filled_map
+        result = CaseDeletionImputer().impute(filled, amended)
+        assert (result.fingerprints[np.isnan(filled.fingerprints[[0, 2, 4]])] == MNAR_FILL).all()
+
+    def test_raises_when_no_rps(self):
+        rm = RadioMap(
+            fingerprints=np.zeros((2, 2)),
+            rps=np.full((2, 2), np.nan),
+            times=np.arange(2, dtype=float),
+            path_ids=np.zeros(2, dtype=int),
+        )
+        with pytest.raises(ImputationError):
+            CaseDeletionImputer().impute(rm, np.ones((2, 2), dtype=int))
+
+
+class TestLinearInterpolation:
+    def test_keeps_all_records(self, filled_map):
+        filled, amended = filled_map
+        result = LinearInterpolationImputer().impute(filled, amended)
+        assert result.fingerprints.shape[0] == 5
+        assert np.isfinite(result.rps).all()
+
+    def test_interpolated_rp_matches_paper_example(self, filled_map):
+        filled, amended = filled_map
+        result = LinearInterpolationImputer().impute(filled, amended)
+        # Record 4 at t=12 between (5,5)@t=8 and (8,8)@t=16 -> (6.5, 6.5)
+        np.testing.assert_allclose(result.rps[3], [6.5, 6.5])
+
+
+class TestSemiSupervised:
+    def test_propagates_all_labels(self, filled_map):
+        filled, amended = filled_map
+        result = SemiSupervisedImputer().impute(filled, amended)
+        assert np.isfinite(result.rps).all()
+
+    def test_observed_rps_unchanged(self, filled_map):
+        filled, amended = filled_map
+        result = SemiSupervisedImputer().impute(filled, amended)
+        obs = filled.rp_observed_mask
+        np.testing.assert_allclose(
+            result.rps[obs], filled.rps[obs]
+        )
+
+    def test_propagated_rp_in_convex_hull_of_labels(self, filled_map):
+        filled, amended = filled_map
+        result = SemiSupervisedImputer().impute(filled, amended)
+        obs_rps = filled.rps[filled.rp_observed_mask]
+        lo, hi = obs_rps.min(axis=0), obs_rps.max(axis=0)
+        for i in np.where(~filled.rp_observed_mask)[0]:
+            assert (result.rps[i] >= lo - 1e-9).all()
+            assert (result.rps[i] <= hi + 1e-9).all()
+
+    def test_needs_at_least_one_label(self):
+        rm = RadioMap(
+            fingerprints=np.zeros((2, 2)),
+            rps=np.full((2, 2), np.nan),
+            times=np.arange(2, dtype=float),
+            path_ids=np.zeros(2, dtype=int),
+        )
+        with pytest.raises(ImputationError):
+            SemiSupervisedImputer().impute(
+                rm, np.ones((2, 2), dtype=int)
+            )

@@ -1,0 +1,89 @@
+"""Integration: the paper's full pipeline on realistic synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.bisim import BiSIMConfig, BiSIMImputer
+from repro.core import (
+    MAROnlyDifferentiator,
+    TopoACDifferentiator,
+    validate_mask,
+)
+from repro.imputers import LinearInterpolationImputer, run_imputer
+from repro.metrics import differentiation_accuracy
+from repro.positioning import WKNNEstimator, evaluate_pipeline
+
+
+class TestFullPipeline:
+    def test_t_bisim_end_to_end(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        topo = TopoACDifferentiator(
+            entities=kaide_smoke.venue.plan.entities
+        )
+        out = evaluate_pipeline(
+            rm,
+            topo,
+            BiSIMImputer(
+                config=BiSIMConfig(hidden_size=16, epochs=8)
+            ),
+            WKNNEstimator(),
+            np.random.default_rng(0),
+        )
+        diagonal = np.hypot(
+            kaide_smoke.venue.plan.width,
+            kaide_smoke.venue.plan.height,
+        )
+        assert 0 < out.ape < diagonal
+
+    def test_differentiator_beats_coin_flip_on_truth(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        mask = TopoACDifferentiator(
+            entities=kaide_smoke.venue.plan.entities
+        ).differentiate(rm)
+        validate_mask(mask, rm)
+        truth = rm.truth.missing_type
+        sel = (truth != 1) & (mask != 1)
+        da = differentiation_accuracy(truth[sel], mask[sel])
+        assert da > 0.6  # clearly better than random (0.5)
+
+    def test_imputed_map_improves_over_sparse_positioning(
+        self, kaide_smoke
+    ):
+        # Sanity: the imputation pipeline produces a usable radio map;
+        # APE must be small relative to the venue scale.
+        rm = kaide_smoke.radio_map
+        out = evaluate_pipeline(
+            rm,
+            MAROnlyDifferentiator(),
+            LinearInterpolationImputer(),
+            WKNNEstimator(),
+            np.random.default_rng(3),
+        )
+        assert out.ape < 0.5 * np.hypot(
+            kaide_smoke.venue.plan.width,
+            kaide_smoke.venue.plan.height,
+        )
+
+    def test_bluetooth_pipeline(self, longhu_smoke):
+        rm = longhu_smoke.radio_map
+        out = evaluate_pipeline(
+            rm,
+            TopoACDifferentiator(
+                entities=longhu_smoke.venue.plan.entities
+            ),
+            LinearInterpolationImputer(),
+            WKNNEstimator(),
+            np.random.default_rng(0),
+        )
+        assert np.isfinite(out.ape)
+
+    def test_run_imputer_full_consistency(self, kaide_smoke):
+        rm = kaide_smoke.radio_map
+        mask = MAROnlyDifferentiator().differentiate(rm)
+        result = run_imputer(LinearInterpolationImputer(), rm, mask)
+        assert result.fingerprints.shape == rm.fingerprints.shape
+        # Every originally observed value survived the whole stage.
+        obs = rm.rssi_observed_mask
+        np.testing.assert_allclose(
+            result.fingerprints[obs], rm.fingerprints[obs]
+        )

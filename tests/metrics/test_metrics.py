@@ -1,0 +1,138 @@
+"""Metrics: DA, APE, imputation errors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    DifferentiationError,
+    ImputationError,
+    PositioningError,
+)
+from repro.metrics import (
+    average_positioning_error,
+    confusion_counts,
+    differentiation_accuracy,
+    error_cdf,
+    error_percentile,
+    fingerprint_mae,
+    positioning_errors,
+    rp_euclidean_error,
+)
+from repro.radiomap import RemovedValues
+
+
+class TestDifferentiationAccuracy:
+    def test_perfect(self):
+        y = np.array([0, 0, -1, -1])
+        assert differentiation_accuracy(y, y) == 1.0
+
+    def test_all_wrong(self):
+        y_true = np.array([0, -1])
+        y_pred = np.array([-1, 0])
+        assert differentiation_accuracy(y_true, y_pred) == 0.0
+
+    def test_balanced_under_imbalance(self):
+        # 9 MNARs correct, 1 MAR wrong: plain accuracy 0.9, DA 0.5.
+        y_true = np.array([-1] * 9 + [0])
+        y_pred = np.array([-1] * 10)
+        assert differentiation_accuracy(y_true, y_pred) == 0.5
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_invariant_to_class_duplication(self, dup):
+        y_true = np.array([0, 0, -1, -1, -1])
+        y_pred = np.array([0, -1, -1, -1, 0])
+        base = differentiation_accuracy(y_true, y_pred)
+        duplicated = differentiation_accuracy(
+            np.tile(y_true, dup), np.tile(y_pred, dup)
+        )
+        assert duplicated == pytest.approx(base)
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(DifferentiationError):
+            differentiation_accuracy(np.array([1]), np.array([0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DifferentiationError):
+            differentiation_accuracy(np.array([]), np.array([]))
+
+    def test_confusion_counts(self):
+        y_true = np.array([0, 0, -1, -1])
+        y_pred = np.array([0, -1, -1, 0])
+        c = confusion_counts(y_true, y_pred)
+        assert c == {"tp": 1, "fn": 1, "tn": 1, "fp": 1}
+
+
+class TestPositioningMetrics:
+    def test_zero_error(self):
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert average_positioning_error(pts, pts) == 0.0
+
+    def test_known_errors(self):
+        est = np.array([[0.0, 0.0], [0.0, 0.0]])
+        tru = np.array([[3.0, 4.0], [0.0, 0.0]])
+        np.testing.assert_allclose(
+            positioning_errors(est, tru), [5.0, 0.0]
+        )
+        assert average_positioning_error(est, tru) == 2.5
+
+    def test_percentile(self):
+        est = np.zeros((4, 2))
+        tru = np.array([[1, 0], [2, 0], [3, 0], [4, 0]], dtype=float)
+        assert error_percentile(est, tru, 50) == pytest.approx(2.5)
+
+    def test_cdf_monotone(self):
+        est = np.zeros((10, 2))
+        tru = np.random.default_rng(0).uniform(0, 5, size=(10, 2))
+        grid = np.linspace(0, 10, 21)
+        cdf = error_cdf(est, tru, grid)
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PositioningError):
+            positioning_errors(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_nonfinite_estimates_rejected(self):
+        est = np.array([[np.nan, 0.0]])
+        with pytest.raises(PositioningError):
+            positioning_errors(est, np.zeros((1, 2)))
+
+
+class TestImputationMetrics:
+    def _removed(self):
+        return RemovedValues(
+            rssi_indices=np.array([[0, 1], [1, 0]]),
+            rssi_values=np.array([-70.0, -80.0]),
+            rp_indices=np.array([0]),
+            rp_values=np.array([[3.0, 4.0]]),
+        )
+
+    def test_fingerprint_mae(self):
+        fp = np.array([[0.0, -72.0], [-77.0, 0.0]])
+        mae = fingerprint_mae(fp, self._removed())
+        assert mae == pytest.approx((2.0 + 3.0) / 2)
+
+    def test_rp_euclidean(self):
+        rps = np.array([[0.0, 0.0], [9.9, 9.9]])
+        err = rp_euclidean_error(rps, self._removed())
+        assert err == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        empty = RemovedValues(
+            rssi_indices=np.empty((0, 2), dtype=int),
+            rssi_values=np.empty(0),
+            rp_indices=np.empty(0, dtype=int),
+            rp_values=np.empty((0, 2)),
+        )
+        with pytest.raises(ImputationError):
+            fingerprint_mae(np.zeros((1, 1)), empty)
+        with pytest.raises(ImputationError):
+            rp_euclidean_error(np.zeros((1, 2)), empty)
+
+    def test_null_predictions_rejected(self):
+        fp = np.full((2, 2), np.nan)
+        with pytest.raises(ImputationError):
+            fingerprint_mae(fp, self._removed())

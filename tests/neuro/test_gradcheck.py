@@ -1,0 +1,154 @@
+"""Finite-difference verification of every op used by the models."""
+
+import numpy as np
+import pytest
+
+from repro.neuro import (
+    MLP,
+    Linear,
+    LSTMCell,
+    Parameter,
+    SimpleRecurrentCell,
+    Tensor,
+    check_gradients,
+    concat,
+    masked_mae,
+    masked_mse,
+    mse,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def _p(*shape) -> Parameter:
+    return Parameter(RNG.normal(scale=0.5, size=shape))
+
+
+class TestElementwiseGrads:
+    def test_add_mul_div(self):
+        a, b = _p(3, 4), _p(3, 4)
+        check_gradients(
+            lambda: ((a + b) * a / (b + 5.0)).sum(), [a, b]
+        )
+
+    def test_broadcasting(self):
+        a, b = _p(3, 4), _p(1, 4)
+        check_gradients(lambda: (a * b + b).sum(), [a, b])
+
+    def test_pow(self):
+        a = Parameter(np.abs(RNG.normal(size=(4,))) + 0.5)
+        check_gradients(lambda: (a**3).sum(), [a])
+
+    def test_exp_log(self):
+        a = Parameter(np.abs(RNG.normal(size=(4,))) + 0.5)
+        check_gradients(lambda: (a.exp() + a.log()).sum(), [a])
+
+    def test_activations(self):
+        a = _p(5)
+        check_gradients(
+            lambda: (a.sigmoid() + a.tanh()).sum(), [a]
+        )
+
+    def test_relu_away_from_kink(self):
+        a = Parameter(np.array([-2.0, -0.5, 0.7, 3.0]))
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_softmax(self):
+        a = _p(3, 5)
+        w = Tensor(RNG.normal(size=(3, 5)))
+        check_gradients(
+            lambda: (a.softmax(axis=1) * w).sum(), [a]
+        )
+
+
+class TestShapeOpGrads:
+    def test_matmul(self):
+        a, b = _p(3, 4), _p(4, 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_getitem(self):
+        a = _p(4, 6)
+        check_gradients(lambda: (a[:, 1:4] * 2.0).sum(), [a])
+
+    def test_concat(self):
+        a, b = _p(2, 3), _p(2, 2)
+        w = Tensor(RNG.normal(size=(2, 5)))
+        check_gradients(
+            lambda: (concat([a, b], axis=1) * w).sum(), [a, b]
+        )
+
+    def test_reshape_transpose(self):
+        a = _p(3, 4)
+        check_gradients(lambda: (a.reshape(4, 3).T * 2.0).sum(), [a])
+
+    def test_mean_axis(self):
+        a = _p(3, 4)
+        check_gradients(lambda: a.mean(axis=0).sum(), [a])
+
+
+class TestLayerGrads:
+    def test_linear(self):
+        lin = Linear(4, 3, RNG)
+        x = Tensor(RNG.normal(size=(5, 4)))
+        check_gradients(lambda: lin(x).sum(), lin.parameters())
+
+    def test_mlp(self):
+        mlp = MLP([4, 6, 1], RNG)
+        x = Tensor(RNG.normal(size=(3, 4)))
+        check_gradients(lambda: mlp(x).sum(), mlp.parameters())
+
+    def test_lstm_cell(self):
+        cell = LSTMCell(3, 4, RNG)
+        x = Tensor(RNG.normal(size=(2, 3)))
+
+        def fn():
+            h, c = cell.initial_state(2)
+            h, c = cell(x, (h, c))
+            h, c = cell(x, (h, c))  # two steps to test recurrence
+            return h.sum()
+
+        check_gradients(fn, cell.parameters())
+
+    def test_simple_cell(self):
+        cell = SimpleRecurrentCell(3, 4, RNG)
+        x = Tensor(RNG.normal(size=(2, 3)))
+
+        def fn():
+            state = cell.initial_state(2)
+            h, _ = cell(x, state)
+            return h.sum()
+
+        check_gradients(fn, cell.parameters())
+
+
+class TestLossGrads:
+    def test_mse(self):
+        a = _p(3, 4)
+        t = Tensor(RNG.normal(size=(3, 4)))
+        check_gradients(lambda: mse(a, t), [a])
+
+    def test_masked_mse(self):
+        a = _p(3, 4)
+        t = Tensor(RNG.normal(size=(3, 4)))
+        mask = (RNG.random((3, 4)) > 0.4).astype(float)
+        check_gradients(lambda: masked_mse(a, t, mask), [a])
+
+    def test_masked_mse_ignores_masked_entries(self):
+        a = Parameter(np.zeros((1, 2)))
+        t = Tensor(np.array([[1.0, 100.0]]))
+        mask = np.array([[1.0, 0.0]])
+        loss = masked_mse(a, t, mask)
+        loss.backward()
+        assert a.grad[0, 1] == 0.0
+        assert a.grad[0, 0] != 0.0
+
+    def test_masked_mae(self):
+        a = _p(2, 3)
+        t = Tensor(RNG.normal(size=(2, 3)))
+        mask = np.ones((2, 3))
+        check_gradients(lambda: masked_mae(a, t, mask), [a])
+
+    def test_mask_must_be_binary(self):
+        a = _p(1, 2)
+        with pytest.raises(Exception):
+            masked_mse(a, a, np.array([[0.5, 1.0]]))

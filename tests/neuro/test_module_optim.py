@@ -1,0 +1,133 @@
+"""Module machinery and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NeuroError
+from repro.neuro import (
+    MLP,
+    Adam,
+    Linear,
+    Module,
+    Parameter,
+    SGD,
+    Tensor,
+)
+
+RNG = np.random.default_rng(3)
+
+
+class TestModule:
+    def test_named_parameters_nested(self):
+        mlp = MLP([2, 3, 1], RNG)
+        names = [n for n, _ in mlp.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+        assert len(names) == 4
+
+    def test_n_parameters(self):
+        lin = Linear(4, 3, RNG)
+        assert lin.n_parameters() == 4 * 3 + 3
+
+    def test_zero_grad(self):
+        lin = Linear(2, 2, RNG)
+        out = lin(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_state_dict_round_trip(self):
+        a = MLP([2, 4, 1], RNG)
+        b = MLP([2, 4, 1], RNG)
+        b.load_state_dict(a.state_dict())
+        x = Tensor(RNG.normal(size=(3, 2)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_mismatch(self):
+        a = MLP([2, 4, 1], RNG)
+        state = a.state_dict()
+        del state["layers.0.weight"]
+        with pytest.raises(NeuroError):
+            a.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch(self):
+        a = Linear(2, 2, RNG)
+        state = a.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(NeuroError):
+            a.load_state_dict(state)
+
+    def test_bias_optional(self):
+        lin = Linear(3, 2, RNG, bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+
+def _quadratic_problem():
+    target = np.array([3.0, -2.0])
+    p = Parameter(np.zeros(2))
+
+    def loss():
+        diff = p - Tensor(target)
+        return (diff * diff).sum()
+
+    return p, loss, target
+
+
+class TestOptimisers:
+    def test_sgd_converges(self):
+        p, loss, target = _quadratic_problem()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        p, loss, target = _quadratic_problem()
+        opt = SGD([p], lr=0.02, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_adam_converges(self):
+        p, loss, target = _quadratic_problem()
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_clip_gradients(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.full(4, 100.0)
+        norm = opt.clip_gradients(1.0)
+        assert norm == pytest.approx(200.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([0.1, 0.1])
+        opt.clip_gradients(10.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+    def test_invalid_lr(self):
+        with pytest.raises(NeuroError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params(self):
+        with pytest.raises(NeuroError):
+            Adam([], lr=0.1)
+
+    def test_step_skips_gradless_params(self):
+        p = Parameter(np.ones(2))
+        opt = Adam([p], lr=0.1)
+        opt.step()  # no grad set; must not crash or move
+        np.testing.assert_allclose(p.data, [1.0, 1.0])

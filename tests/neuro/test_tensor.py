@@ -1,0 +1,144 @@
+"""Tensor ops: forward correctness and basic gradient flow."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NeuroError
+from repro.neuro import Tensor, concat, stack
+
+
+class TestForward:
+    def test_arithmetic(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4, 6])
+        np.testing.assert_allclose((a - b).data, [-2, -2])
+        np.testing.assert_allclose((a * b).data, [3, 8])
+        np.testing.assert_allclose((a / b).data, [1 / 3, 0.5])
+        np.testing.assert_allclose((-a).data, [-1, -2])
+        np.testing.assert_allclose((a**2).data, [1, 4])
+
+    def test_scalar_broadcasting(self):
+        a = Tensor([[1.0, 2.0]])
+        np.testing.assert_allclose((1.0 - a).data, [[0, -1]])
+        np.testing.assert_allclose((2.0 * a).data, [[2, 4]])
+        np.testing.assert_allclose((a + 1).data, [[2, 3]])
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        b = Tensor(np.ones((3, 2)))
+        np.testing.assert_allclose((a @ b).data, [[3, 3], [12, 12]])
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(NeuroError):
+            Tensor([1.0]) @ Tensor([1.0])
+
+    def test_reductions(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert a.sum().item() == 10.0
+        assert a.mean().item() == 2.5
+        np.testing.assert_allclose(a.sum(axis=0).data, [4, 6])
+        np.testing.assert_allclose(
+            a.mean(axis=1, keepdims=True).data, [[1.5], [3.5]]
+        )
+
+    def test_activations(self):
+        a = Tensor([-1.0, 0.0, 1.0])
+        np.testing.assert_allclose(
+            a.sigmoid().data, 1 / (1 + np.exp([1, 0, -1]))
+        )
+        np.testing.assert_allclose(a.tanh().data, np.tanh([-1, 0, 1]))
+        np.testing.assert_allclose(a.relu().data, [0, 0, 1])
+        np.testing.assert_allclose(a.exp().data, np.exp([-1, 0, 1]))
+
+    def test_softmax_rows_sum_to_one(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        s = a.softmax(axis=1)
+        np.testing.assert_allclose(s.data.sum(axis=1), np.ones(4))
+
+    def test_softmax_stable_for_large_inputs(self):
+        a = Tensor([[1000.0, 1000.0]])
+        np.testing.assert_allclose(a.softmax(axis=1).data, [[0.5, 0.5]])
+
+    def test_getitem_slice(self):
+        a = Tensor(np.arange(12, dtype=float).reshape(3, 4))
+        np.testing.assert_allclose(
+            a[:, 1:3].data, [[1, 2], [5, 6], [9, 10]]
+        )
+
+    def test_reshape_and_transpose(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert a.reshape(3, 2).shape == (3, 2)
+        assert a.T.shape == (3, 2)
+
+    def test_concat_and_stack(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((2, 3)))
+        assert concat([a, b], axis=1).shape == (2, 5)
+        assert stack([a, Tensor(np.zeros((2, 2)))], axis=0).shape == (
+            2,
+            2,
+            2,
+        )
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(NeuroError):
+            concat([])
+
+
+class TestBackwardBasics:
+    def test_leaf_grad_accumulates(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [3.0])
+        z = x * 2.0
+        z.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [5.0])  # accumulated
+
+    def test_diamond_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        y = a + b
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_reuse_in_same_expression(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x  # d/dx = 2x
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_broadcast_grad_reduction(self):
+        x = Tensor(np.ones((1, 3)), requires_grad=True)
+        y = Tensor(np.ones((4, 3))) * x
+        y.sum().backward()
+        assert x.grad.shape == (1, 3)
+        np.testing.assert_allclose(x.grad, [[4.0, 4.0, 4.0]])
+
+    def test_bias_broadcast_grad(self):
+        b = Tensor(np.zeros(3), requires_grad=True)
+        y = Tensor(np.ones((5, 3))) + b
+        y.sum().backward()
+        np.testing.assert_allclose(b.grad, [5.0, 5.0, 5.0])
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(NeuroError):
+            (x * 2).backward()
+
+    def test_backward_without_grad_flag(self):
+        x = Tensor([1.0])
+        with pytest.raises(NeuroError):
+            x.backward()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2.0).detach() * 3.0
+        assert not y.requires_grad
+
+    def test_no_grad_tracking_for_plain_tensors(self):
+        a = Tensor([1.0]) + Tensor([2.0])
+        assert not a.requires_grad
+        assert a._parents == ()

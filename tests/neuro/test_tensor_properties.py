@@ -1,0 +1,107 @@
+"""Property-based tests of autodiff broadcasting and reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neuro import Parameter, Tensor
+
+shapes = st.sampled_from(
+    [
+        ((3, 4), (3, 4)),
+        ((3, 4), (1, 4)),
+        ((3, 4), (3, 1)),
+        ((3, 4), (4,)),
+        ((1, 5), (4, 5)),
+        ((2, 1), (2, 6)),
+    ]
+)
+ops = st.sampled_from(["add", "mul", "sub"])
+
+
+def _apply(op, a, b):
+    if op == "add":
+        return a + b
+    if op == "mul":
+        return a * b
+    return a - b
+
+
+class TestBroadcastingGrads:
+    @given(shapes, ops)
+    @settings(max_examples=60, deadline=None)
+    def test_grad_shapes_match_parameters(self, shape_pair, op):
+        sa, sb = shape_pair
+        rng = np.random.default_rng(0)
+        a = Parameter(rng.normal(size=sa))
+        b = Parameter(rng.normal(size=sb))
+        out = _apply(op, a, b).sum()
+        out.backward()
+        assert a.grad.shape == sa
+        assert b.grad.shape == sb
+
+    @given(shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_sum_gradient_is_count_of_broadcasts(self, shape_pair):
+        sa, sb = shape_pair
+        a = Parameter(np.zeros(sa))
+        b = Parameter(np.zeros(sb))
+        (a + b).sum().backward()
+        # d(sum)/da = 1 broadcast over the output shape, reduced back.
+        out_shape = np.broadcast_shapes(sa, sb)
+        expected_a = np.ones(out_shape).sum() / np.ones(sa).sum()
+        assert np.allclose(a.grad, expected_a)
+
+
+class TestReductionConsistency:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mean_equals_sum_over_count(self, n, m):
+        rng = np.random.default_rng(n * 10 + m)
+        x = Tensor(rng.normal(size=(n, m)))
+        assert x.mean().item() == pytest.approx(
+            x.sum().item() / (n * m)
+        )
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_axis_sums_compose(self, n):
+        rng = np.random.default_rng(n)
+        x = Tensor(rng.normal(size=(n, 3)))
+        assert x.sum(axis=0).sum().item() == pytest.approx(
+            x.sum().item()
+        )
+
+
+class TestSoftmaxProperties:
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_rows_are_distributions(self, m):
+        rng = np.random.default_rng(m)
+        x = Tensor(rng.normal(scale=3.0, size=(4, m)))
+        s = x.softmax(axis=1).data
+        assert (s > 0).all()
+        np.testing.assert_allclose(s.sum(axis=1), 1.0)
+
+    @given(st.floats(min_value=-50, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_invariance(self, c):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 5))
+        a = Tensor(x).softmax(axis=1).data
+        b = Tensor(x + c).softmax(axis=1).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_softmax_grad_sums_to_zero(self):
+        # Softmax outputs are constrained to a simplex, so gradients
+        # along the constraint direction vanish.
+        p = Parameter(np.random.default_rng(0).normal(size=(3, 4)))
+        w = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        (p.softmax(axis=1) * w).sum().backward()
+        np.testing.assert_allclose(
+            p.grad.sum(axis=1), 0.0, atol=1e-12
+        )

@@ -1,0 +1,138 @@
+"""KNN, WKNN and random-forest location estimation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PositioningError
+from repro.positioning import (
+    KNNEstimator,
+    RandomForestEstimator,
+    RegressionTree,
+    WKNNEstimator,
+)
+
+
+@pytest.fixture
+def simple_map():
+    """Four RPs with well-separated fingerprints."""
+    fingerprints = np.array(
+        [
+            [-40.0, -90.0, -90.0],
+            [-90.0, -40.0, -90.0],
+            [-90.0, -90.0, -40.0],
+            [-60.0, -60.0, -60.0],
+        ]
+    )
+    locations = np.array(
+        [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [5.0, 5.0]]
+    )
+    return fingerprints, locations
+
+
+class TestKNN:
+    def test_k1_exact_match(self, simple_map):
+        fp, loc = simple_map
+        est = KNNEstimator(k=1).fit(fp, loc)
+        np.testing.assert_allclose(est.predict(fp), loc)
+
+    def test_k2_averages(self):
+        fp = np.array([[-40.0, -90.0], [-90.0, -40.0]])
+        loc = np.array([[0.0, 0.0], [10.0, 0.0]])
+        est = KNNEstimator(k=2).fit(fp, loc)
+        q = (fp[0] + fp[1]) / 2
+        pred = est.predict(q[None, :])[0]
+        np.testing.assert_allclose(pred, [5.0, 0.0])
+
+    def test_k_capped_at_n(self, simple_map):
+        fp, loc = simple_map
+        est = KNNEstimator(k=100).fit(fp, loc)
+        pred = est.predict(fp[:1])[0]
+        np.testing.assert_allclose(pred, loc.mean(axis=0))
+
+    def test_rejects_incomplete_map(self):
+        fp = np.array([[np.nan, -50.0]])
+        with pytest.raises(PositioningError):
+            KNNEstimator().fit(fp, np.zeros((1, 2)))
+
+    def test_rejects_empty_map(self):
+        with pytest.raises(PositioningError):
+            KNNEstimator().fit(np.empty((0, 3)), np.empty((0, 2)))
+
+
+class TestWKNN:
+    def test_exact_match_dominates(self, simple_map):
+        fp, loc = simple_map
+        est = WKNNEstimator(k=3).fit(fp, loc)
+        pred = est.predict(fp[:1])[0]
+        # Distance ~0 -> weight ~1/eps overwhelms the others.
+        np.testing.assert_allclose(pred, loc[0], atol=1e-3)
+
+    def test_weighting_pulls_towards_closer(self, simple_map):
+        fp, loc = simple_map
+        est = WKNNEstimator(k=2).fit(fp, loc)
+        q = 0.8 * fp[0] + 0.2 * fp[1]
+        pred = est.predict(q[None, :])[0]
+        # Closer to RP0 than to RP1.
+        assert np.linalg.norm(pred - loc[0]) < np.linalg.norm(
+            pred - loc[1]
+        )
+
+
+class TestRegressionTree:
+    def test_fits_axis_aligned_partition(self, rng):
+        x = rng.uniform(0, 10, size=(200, 1))
+        y = np.where(x[:, :1] < 5, 0.0, 10.0).repeat(2, axis=1)
+        tree = RegressionTree(max_depth=3).fit(x, y)
+        pred = tree.predict(np.array([[2.0], [8.0]]))
+        np.testing.assert_allclose(pred[0], [0.0, 0.0], atol=0.5)
+        np.testing.assert_allclose(pred[1], [10.0, 10.0], atol=0.5)
+
+    def test_leaf_is_mean(self, rng):
+        x = np.ones((10, 2))
+        y = rng.normal(size=(10, 2))
+        tree = RegressionTree().fit(x, y)
+        np.testing.assert_allclose(
+            tree.predict(x[:1])[0], y.mean(axis=0)
+        )
+
+    def test_predict_before_fit(self):
+        with pytest.raises(PositioningError):
+            RegressionTree().predict(np.ones((1, 2)))
+
+    def test_depth_limit_respected(self, rng):
+        x = rng.uniform(size=(50, 2))
+        y = rng.uniform(size=(50, 2))
+        tree = RegressionTree(max_depth=1).fit(x, y)
+
+        def depth(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        assert depth(tree._root) <= 1
+
+
+class TestRandomForest:
+    def test_positions_from_fingerprints(self, simple_map, rng):
+        fp, loc = simple_map
+        # Add noisy replicas so the forest has data to learn from.
+        fps = np.concatenate(
+            [fp + rng.normal(0, 1.0, size=fp.shape) for _ in range(20)]
+        )
+        locs = np.tile(loc, (20, 1))
+        est = RandomForestEstimator(n_trees=10).fit(fps, locs)
+        pred = est.predict(fp)
+        errors = np.linalg.norm(pred - loc, axis=1)
+        assert errors.mean() < 3.0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(PositioningError):
+            RandomForestEstimator().predict(np.ones((1, 3)))
+
+    def test_deterministic_given_seed(self, simple_map):
+        fp, loc = simple_map
+        a = RandomForestEstimator(n_trees=5, seed=3).fit(fp, loc)
+        b = RandomForestEstimator(n_trees=5, seed=3).fit(fp, loc)
+        np.testing.assert_allclose(
+            a.predict(fp), b.predict(fp)
+        )

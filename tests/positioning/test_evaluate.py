@@ -1,0 +1,75 @@
+"""The Section V-A evaluation-control protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import MAROnlyDifferentiator, TopoACDifferentiator
+from repro.imputers import CaseDeletionImputer, LinearInterpolationImputer
+from repro.positioning import WKNNEstimator, evaluate_pipeline
+
+
+class TestEvaluatePipeline:
+    def test_li_pipeline(self, kaide_smoke):
+        out = evaluate_pipeline(
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            LinearInterpolationImputer(),
+            WKNNEstimator(),
+            np.random.default_rng(0),
+        )
+        assert np.isfinite(out.ape)
+        diagonal = np.hypot(
+            kaide_smoke.venue.plan.width, kaide_smoke.venue.plan.height
+        )
+        assert 0 < out.ape < diagonal
+        assert out.n_test_records >= 1
+        assert out.estimated.shape == out.truth.shape
+
+    def test_cd_pipeline_handles_dropped_test_rows(self, kaide_smoke):
+        out = evaluate_pipeline(
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            CaseDeletionImputer(),
+            WKNNEstimator(),
+            np.random.default_rng(0),
+        )
+        assert np.isfinite(out.ape)
+        # CD trains on fewer records than LI.
+        out_li = evaluate_pipeline(
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            LinearInterpolationImputer(),
+            WKNNEstimator(),
+            np.random.default_rng(0),
+        )
+        assert out.n_train_records < out_li.n_train_records
+
+    def test_precomputed_mask_shortcut(self, kaide_smoke):
+        mask = MAROnlyDifferentiator().differentiate(
+            kaide_smoke.radio_map
+        )
+        # The mask is computed on the split map inside; passing one
+        # computed on the full map is allowed for control-variates runs
+        # as long as shapes agree.
+        out = evaluate_pipeline(
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            LinearInterpolationImputer(),
+            WKNNEstimator(),
+            np.random.default_rng(1),
+            mask=mask,
+        )
+        assert np.isfinite(out.ape)
+
+    def test_deterministic_given_rng(self, kaide_smoke):
+        outs = [
+            evaluate_pipeline(
+                kaide_smoke.radio_map,
+                MAROnlyDifferentiator(),
+                LinearInterpolationImputer(),
+                WKNNEstimator(),
+                np.random.default_rng(7),
+            ).ape
+            for _ in range(2)
+        ]
+        assert outs[0] == outs[1]

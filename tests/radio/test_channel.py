@@ -1,0 +1,103 @@
+"""Channel model: the two missing mechanisms and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.constants import RSSI_MAX, RSSI_MIN
+from repro.exceptions import VenueError
+from repro.radio import ChannelModel, calibrate_detection_floor, make_channel
+from repro.venue import build_grid_mall, deploy_access_points
+
+
+@pytest.fixture
+def channel(rng):
+    plan = build_grid_mall("t", 40.0, 30.0)
+    aps = deploy_access_points(plan, 30, rng)
+    return make_channel(plan, aps, "wifi")
+
+
+class TestMeasure:
+    def test_mnar_below_floor(self, channel, rng):
+        point = np.array([20.0, 15.0])
+        meas = channel.measure(point, rng)
+        mean = channel.mean_rssi_matrix(point[None, :])[0]
+        below = mean < channel.detection_floor_dbm
+        assert (meas.missing_type[below] == -1).all()
+
+    def test_mar_only_on_observable(self, channel, rng):
+        point = np.array([20.0, 15.0])
+        for _ in range(5):
+            meas = channel.measure(point, rng)
+            mean = channel.mean_rssi_matrix(point[None, :])[0]
+            mars = meas.missing_type == 0
+            assert (mean[mars] >= channel.detection_floor_dbm).all()
+
+    def test_observed_values_in_range(self, channel, rng):
+        meas = channel.measure(np.array([20.0, 15.0]), rng)
+        observed = np.isfinite(meas.rssi)
+        assert (meas.rssi[observed] >= RSSI_MIN).all()
+        assert (meas.rssi[observed] <= RSSI_MAX).all()
+        assert (meas.rssi[observed] == np.rint(meas.rssi[observed])).all()
+
+    def test_missing_entries_are_nan(self, channel, rng):
+        meas = channel.measure(np.array([20.0, 15.0]), rng)
+        assert np.isnan(meas.rssi[meas.missing_type != 1]).all()
+        assert np.isfinite(meas.rssi[meas.missing_type == 1]).all()
+
+    def test_mar_rate_statistics(self, channel, rng):
+        point = np.array([20.0, 15.0])
+        observable = channel.observable_mask(point[None, :])[0]
+        if observable.sum() < 3:
+            pytest.skip("too few observable APs at probe point")
+        losses = []
+        for _ in range(200):
+            meas = channel.measure(point, rng)
+            losses.append((meas.missing_type[observable] == 0).mean())
+        assert abs(np.mean(losses) - channel.mar_rate) < 0.1
+
+
+class TestGroundTruth:
+    def test_ground_truth_nan_matches_observability(self, channel):
+        point = np.array([20.0, 15.0])
+        gt = channel.ground_truth_fingerprint(point)
+        observable = channel.observable_mask(point[None, :])[0]
+        assert np.isfinite(gt[observable]).all()
+        assert np.isnan(gt[~observable]).all()
+
+
+class TestCalibration:
+    def test_target_fraction_achieved(self, channel):
+        pts = np.random.default_rng(0).uniform(
+            0, 30, size=(40, 2)
+        )
+        calibrated = calibrate_detection_floor(channel, pts, 0.12)
+        frac = calibrated.observable_mask(pts).mean()
+        assert abs(frac - 0.12) < 0.03
+
+    def test_invalid_fraction(self, channel):
+        with pytest.raises(VenueError):
+            calibrate_detection_floor(channel, np.zeros((3, 2)), 1.5)
+
+
+class TestFactory:
+    def test_unknown_kind(self, channel):
+        with pytest.raises(VenueError):
+            make_channel(channel.plan, channel.access_points, "lte")
+
+    def test_override(self, channel):
+        ch = make_channel(
+            channel.plan, channel.access_points, "wifi", mar_rate=0.01
+        )
+        assert ch.mar_rate == 0.01
+
+    def test_needs_aps(self, channel):
+        with pytest.raises(VenueError):
+            ChannelModel(plan=channel.plan, access_points=[])
+
+    def test_invalid_mar_rate(self, channel):
+        with pytest.raises(VenueError):
+            ChannelModel(
+                plan=channel.plan,
+                access_points=channel.access_points,
+                mar_rate=1.0,
+            )

@@ -1,0 +1,97 @@
+"""Path-loss law properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import VenueError
+from repro.radio import (
+    BLUETOOTH_PROPAGATION,
+    WIFI_PROPAGATION,
+    PropagationModel,
+)
+
+_EMPTY = (np.empty((0, 2)), np.empty((0, 2)))
+
+
+class TestMeanRSSI:
+    def test_decays_with_distance(self):
+        model = PropagationModel(shadowing_sigma_db=0.0)
+        pts = np.array([[1.0, 0.0], [10.0, 0.0], [50.0, 0.0]])
+        rssi = model.mean_rssi(np.zeros(2), -20.0, pts, *_EMPTY)
+        assert rssi[0] > rssi[1] > rssi[2]
+
+    def test_reference_distance_clamp(self):
+        model = PropagationModel()
+        pts = np.array([[0.01, 0.0], [1.0, 0.0]])
+        rssi = model.mean_rssi(np.zeros(2), -20.0, pts, *_EMPTY)
+        assert rssi[0] == pytest.approx(rssi[1])
+
+    def test_wall_attenuation(self):
+        model = PropagationModel(wall_loss_db=6.0)
+        wall_s = np.array([[5.0, -1.0]])
+        wall_e = np.array([[5.0, 1.0]])
+        pts = np.array([[10.0, 0.0]])
+        with_wall = model.mean_rssi(
+            np.zeros(2), -20.0, pts, wall_s, wall_e
+        )
+        without = model.mean_rssi(np.zeros(2), -20.0, pts, *_EMPTY)
+        assert with_wall[0] == pytest.approx(without[0] - 6.0)
+
+    def test_two_walls_double_loss(self):
+        model = PropagationModel(wall_loss_db=6.0)
+        ws = np.array([[3.0, -1.0], [6.0, -1.0]])
+        we = np.array([[3.0, 1.0], [6.0, 1.0]])
+        pts = np.array([[10.0, 0.0]])
+        with_walls = model.mean_rssi(np.zeros(2), -20.0, pts, ws, we)
+        without = model.mean_rssi(np.zeros(2), -20.0, pts, *_EMPTY)
+        assert with_walls[0] == pytest.approx(without[0] - 12.0)
+
+    @given(
+        st.floats(min_value=2.0, max_value=4.0),
+        st.floats(min_value=2.0, max_value=80.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_textbook_formula(self, n, d):
+        model = PropagationModel(
+            path_loss_exponent=n, shadowing_sigma_db=0.0, wall_loss_db=0.0
+        )
+        rssi = model.mean_rssi(
+            np.zeros(2), -20.0, np.array([[d, 0.0]]), *_EMPTY
+        )
+        expected = -20.0 - 10 * n * np.log10(d)
+        assert rssi[0] == pytest.approx(expected, rel=1e-9)
+
+
+class TestSampling:
+    def test_shadowing_adds_noise(self, rng):
+        model = PropagationModel(shadowing_sigma_db=3.0)
+        pts = np.tile([[10.0, 0.0]], (200, 1))
+        samples = model.sample_rssi(
+            np.zeros(2), -20.0, pts, *_EMPTY, rng=rng
+        )
+        assert 1.5 < samples.std() < 4.5
+
+    def test_zero_sigma_deterministic(self, rng):
+        model = PropagationModel(shadowing_sigma_db=0.0)
+        pts = np.array([[10.0, 0.0]])
+        a = model.sample_rssi(np.zeros(2), -20.0, pts, *_EMPTY, rng=rng)
+        b = model.mean_rssi(np.zeros(2), -20.0, pts, *_EMPTY)
+        assert a[0] == b[0]
+
+
+class TestValidation:
+    def test_bad_exponent(self):
+        with pytest.raises(VenueError):
+            PropagationModel(path_loss_exponent=0.0)
+
+    def test_negative_losses(self):
+        with pytest.raises(VenueError):
+            PropagationModel(wall_loss_db=-1.0)
+
+    def test_presets_sane(self):
+        assert (
+            BLUETOOTH_PROPAGATION.path_loss_exponent
+            > WIFI_PROPAGATION.path_loss_exponent
+        )

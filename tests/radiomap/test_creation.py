@@ -1,0 +1,141 @@
+"""Radio-map creation: the paper's Table II → Table III example.
+
+This transcribes the paper's worked example verbatim and asserts the
+merge produces exactly the five records of Table III.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RadioMapError
+from repro.radiomap import create_radio_map, create_radio_map_for_path
+from repro.survey import RPRecord, RSSIRecord, WalkingSurveyRecordTable
+
+
+@pytest.fixture
+def table_ii() -> WalkingSurveyRecordTable:
+    """The paper's Table II walking-survey record table (5 APs)."""
+    t = WalkingSurveyRecordTable(path_id=0, n_aps=5)
+    t.add(RPRecord(time=0.0, location=(1.0, 1.0)))  # t1, (x1, y1)
+    t.add(RSSIRecord(time=1.0, readings={0: -70, 1: -83, 2: -76}))  # t2
+    t.add(RSSIRecord(time=3.0, readings={0: -71, 2: -78}))  # t3
+    t.add(RSSIRecord(time=8.0, readings={2: -80, 3: -68}))  # t4
+    t.add(RPRecord(time=9.0, location=(5.0, 5.0)))  # t5, (x5, y5)
+    t.add(RSSIRecord(time=12.0, readings={0: -74, 4: -80}))  # t6
+    t.add(RSSIRecord(time=13.0, readings={1: -77, 4: -82}))  # t7
+    t.add(RPRecord(time=16.0, location=(8.0, 8.0)))  # t8, (x8, y8)
+    return t
+
+
+class TestPaperExample:
+    def test_produces_five_records(self, table_ii):
+        rm = create_radio_map_for_path(table_ii, epsilon=1.0)
+        assert rm.n_records == 5
+
+    def test_record_1_rp_merged_with_rssi(self, table_ii):
+        rm = create_radio_map_for_path(table_ii, epsilon=1.0)
+        np.testing.assert_array_equal(
+            rm.fingerprints[0],
+            [-70.0, -83.0, -76.0, np.nan, np.nan],
+        )
+        assert tuple(rm.rps[0]) == (1.0, 1.0)
+        # Table III reports the merged record at time t2.
+        assert rm.times[0] == 1.0
+
+    def test_record_2_unmerged_rssi(self, table_ii):
+        rm = create_radio_map_for_path(table_ii, epsilon=1.0)
+        np.testing.assert_array_equal(
+            rm.fingerprints[1],
+            [-71.0, np.nan, -78.0, np.nan, np.nan],
+        )
+        assert np.isnan(rm.rps[1]).all()
+        assert rm.times[1] == 3.0
+
+    def test_record_3_rssi_merged_with_rp(self, table_ii):
+        rm = create_radio_map_for_path(table_ii, epsilon=1.0)
+        np.testing.assert_array_equal(
+            rm.fingerprints[2],
+            [np.nan, np.nan, -80.0, -68.0, np.nan],
+        )
+        assert tuple(rm.rps[2]) == (5.0, 5.0)
+        assert rm.times[2] == 8.0
+
+    def test_record_4_step1_merge_of_t6_t7(self, table_ii):
+        rm = create_radio_map_for_path(table_ii, epsilon=1.0)
+        # Records at t6 and t7 merge (dt = 1 < ... wait, epsilon = 1
+        # means dt < 1 is required; 13 - 12 = 1 is NOT below epsilon).
+        # The paper's Table III shows them merged, i.e. it treats the
+        # threshold as inclusive at 1 s; we match the paper's output by
+        # merging dt < epsilon strictly but the example uses dt = 1, so
+        # this test pins the paper-compatible behaviour.
+        np.testing.assert_array_equal(
+            rm.fingerprints[3],
+            [-74.0, -77.0, np.nan, np.nan, -81.0],
+        )
+        assert np.isnan(rm.rps[3]).all()
+        assert rm.times[3] == 12.0
+
+    def test_record_5_lone_rp(self, table_ii):
+        rm = create_radio_map_for_path(table_ii, epsilon=1.0)
+        assert np.isnan(rm.fingerprints[4]).all()
+        assert tuple(rm.rps[4]) == (8.0, 8.0)
+        assert rm.times[4] == 16.0
+
+
+class TestMergeRules:
+    def test_overlapping_aps_averaged(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=2)
+        t.add(RSSIRecord(time=0.0, readings={0: -70.0, 1: -80.0}))
+        t.add(RSSIRecord(time=0.5, readings={0: -74.0}))
+        rm = create_radio_map_for_path(t, epsilon=1.0)
+        assert rm.n_records == 1
+        assert rm.fingerprints[0, 0] == pytest.approx(-72.0)
+        assert rm.fingerprints[0, 1] == pytest.approx(-80.0)
+
+    def test_chain_merge_keeps_earliest_time(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=1)
+        t.add(RSSIRecord(time=0.0, readings={0: -70.0}))
+        t.add(RSSIRecord(time=0.5, readings={0: -72.0}))
+        t.add(RSSIRecord(time=0.9, readings={0: -74.0}))
+        rm = create_radio_map_for_path(t, epsilon=1.0)
+        assert rm.n_records == 1
+        assert rm.times[0] == 0.0
+
+    def test_no_merge_beyond_epsilon(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=1)
+        t.add(RSSIRecord(time=0.0, readings={0: -70.0}))
+        t.add(RSSIRecord(time=5.0, readings={0: -72.0}))
+        rm = create_radio_map_for_path(t, epsilon=1.0)
+        assert rm.n_records == 2
+
+    def test_rp_before_rssi_merges(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=1)
+        t.add(RPRecord(time=0.0, location=(1.0, 2.0)))
+        t.add(RSSIRecord(time=0.5, readings={0: -70.0}))
+        rm = create_radio_map_for_path(t, epsilon=1.0)
+        assert rm.n_records == 1
+        assert tuple(rm.rps[0]) == (1.0, 2.0)
+
+    def test_two_rps_do_not_merge(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=1)
+        t.add(RPRecord(time=0.0, location=(1.0, 2.0)))
+        t.add(RPRecord(time=0.5, location=(3.0, 4.0)))
+        rm = create_radio_map_for_path(t, epsilon=1.0)
+        assert rm.n_records == 2
+
+    def test_negative_epsilon_rejected(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=1)
+        with pytest.raises(RadioMapError):
+            create_radio_map_for_path(t, epsilon=-1.0)
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(RadioMapError):
+            create_radio_map([])
+
+    def test_multi_path_concatenation(self, table_ii):
+        other = WalkingSurveyRecordTable(path_id=1, n_aps=5)
+        other.add(RSSIRecord(time=0.0, readings={0: -60.0}))
+        other.add(RSSIRecord(time=5.0, readings={1: -65.0}))
+        rm = create_radio_map([table_ii, other])
+        assert rm.n_records == 7
+        assert set(np.unique(rm.path_ids)) == {0, 1}

@@ -1,0 +1,107 @@
+"""Property-based invariants of the Section II-B merge."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radiomap import create_radio_map_for_path
+from repro.survey import RPRecord, RSSIRecord, WalkingSurveyRecordTable
+
+N_APS = 4
+
+
+@st.composite
+def record_tables(draw):
+    """Random time-sorted walking-survey tables."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    table = WalkingSurveyRecordTable(path_id=0, n_aps=N_APS)
+    t = 0.0
+    for _ in range(n):
+        t += draw(
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False)
+        )
+        if draw(st.booleans()):
+            aps = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=N_APS - 1),
+                    min_size=1,
+                    max_size=N_APS,
+                    unique=True,
+                )
+            )
+            readings = {
+                ap: float(
+                    draw(st.integers(min_value=-99, max_value=0))
+                )
+                for ap in aps
+            }
+            table.add(RSSIRecord(time=t, readings=readings))
+        else:
+            table.add(
+                RPRecord(
+                    time=t,
+                    location=(
+                        float(draw(st.integers(0, 50))),
+                        float(draw(st.integers(0, 50))),
+                    ),
+                )
+            )
+    return table
+
+
+class TestMergeInvariants:
+    @given(record_tables())
+    @settings(max_examples=80, deadline=None)
+    def test_no_observation_dimension_lost(self, table):
+        """Every AP observed in the raw table stays observed somewhere."""
+        rm = create_radio_map_for_path(table, epsilon=1.0)
+        observed_input = {
+            ap for r in table.rssi_records for ap in r.readings
+        }
+        observed_output = set(
+            np.where(np.isfinite(rm.fingerprints).any(axis=0))[0]
+        )
+        assert observed_input == observed_output
+
+    @given(record_tables())
+    @settings(max_examples=80, deadline=None)
+    def test_record_count_never_grows(self, table):
+        rm = create_radio_map_for_path(table, epsilon=1.0)
+        assert 1 <= rm.n_records <= len(table)
+
+    @given(record_tables())
+    @settings(max_examples=80, deadline=None)
+    def test_times_sorted(self, table):
+        rm = create_radio_map_for_path(table, epsilon=1.0)
+        assert (np.diff(rm.times) >= 0).all()
+
+    @given(record_tables())
+    @settings(max_examples=80, deadline=None)
+    def test_values_within_observed_range(self, table):
+        """Merged values are averages, so they stay inside the per-AP
+        min/max of the raw readings."""
+        rm = create_radio_map_for_path(table, epsilon=1.0)
+        for ap in range(N_APS):
+            raw = [
+                r.readings[ap]
+                for r in table.rssi_records
+                if ap in r.readings
+            ]
+            if not raw:
+                continue
+            col = rm.fingerprints[:, ap]
+            col = col[np.isfinite(col)]
+            assert (col >= min(raw) - 1e-9).all()
+            assert (col <= max(raw) + 1e-9).all()
+
+    @given(record_tables())
+    @settings(max_examples=80, deadline=None)
+    def test_rp_count_preserved_or_merged(self, table):
+        """Observed RPs in the map never exceed raw RP records, and at
+        least one survives whenever the table has any."""
+        rm = create_radio_map_for_path(table, epsilon=1.0)
+        n_raw_rps = len(table.rp_records)
+        n_map_rps = int(rm.rp_observed_mask.sum())
+        assert n_map_rps <= n_raw_rps
+        if n_raw_rps:
+            assert n_map_rps >= 1

@@ -1,0 +1,96 @@
+"""Linear RP interpolation along paths."""
+
+import numpy as np
+import pytest
+
+from repro.radiomap import RadioMap, interpolate_rps_linear
+
+
+def _map_with_rps(times, rps, path_ids=None):
+    n = len(times)
+    return RadioMap(
+        fingerprints=np.zeros((n, 3)),
+        rps=np.asarray(rps, dtype=float),
+        times=np.asarray(times, dtype=float),
+        path_ids=np.asarray(
+            path_ids if path_ids is not None else [0] * n, dtype=int
+        ),
+    )
+
+
+nan = np.nan
+
+
+class TestInterpolation:
+    def test_midpoint(self):
+        rm = _map_with_rps(
+            [0.0, 5.0, 10.0],
+            [[0, 0], [nan, nan], [10, 20]],
+        )
+        out = interpolate_rps_linear(rm)
+        np.testing.assert_allclose(out[1], [5.0, 10.0])
+
+    def test_time_weighted(self):
+        rm = _map_with_rps(
+            [0.0, 2.0, 10.0],
+            [[0, 0], [nan, nan], [10, 0]],
+        )
+        out = interpolate_rps_linear(rm)
+        np.testing.assert_allclose(out[1], [2.0, 0.0])
+
+    def test_clamps_before_first(self):
+        rm = _map_with_rps(
+            [0.0, 5.0], [[nan, nan], [3, 4]]
+        )
+        out = interpolate_rps_linear(rm)
+        np.testing.assert_allclose(out[0], [3.0, 4.0])
+
+    def test_clamps_after_last(self):
+        rm = _map_with_rps(
+            [0.0, 5.0], [[3, 4], [nan, nan]]
+        )
+        out = interpolate_rps_linear(rm)
+        np.testing.assert_allclose(out[1], [3.0, 4.0])
+
+    def test_observed_unchanged(self):
+        rm = _map_with_rps(
+            [0.0, 5.0, 10.0],
+            [[1, 2], [nan, nan], [3, 4]],
+        )
+        out = interpolate_rps_linear(rm)
+        np.testing.assert_allclose(out[0], [1.0, 2.0])
+        np.testing.assert_allclose(out[2], [3.0, 4.0])
+
+    def test_paths_independent(self):
+        rm = _map_with_rps(
+            [0.0, 5.0, 0.0, 5.0],
+            [[0, 0], [nan, nan], [100, 100], [nan, nan]],
+            path_ids=[0, 0, 1, 1],
+        )
+        out = interpolate_rps_linear(rm)
+        np.testing.assert_allclose(out[1], [0.0, 0.0])
+        np.testing.assert_allclose(out[3], [100.0, 100.0])
+
+    def test_pathless_fallback_to_global_mean(self):
+        rm = _map_with_rps(
+            [0.0, 1.0, 0.0],
+            [[2, 4], [6, 8], [nan, nan]],
+            path_ids=[0, 0, 1],
+        )
+        out = interpolate_rps_linear(rm)
+        np.testing.assert_allclose(out[2], [4.0, 6.0])
+
+    def test_all_null_map(self):
+        rm = _map_with_rps([0.0, 1.0], [[nan, nan], [nan, nan]])
+        out = interpolate_rps_linear(rm)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_paper_table_iii_interpolation(self, tiny_radio_map):
+        out = interpolate_rps_linear(tiny_radio_map)
+        # Record 2 at t=3 between (1,1)@t=1 and (5,5)@t=8.
+        frac = (3 - 1) / (8 - 1)
+        np.testing.assert_allclose(
+            out[1], [1 + 4 * frac, 1 + 4 * frac]
+        )
+        # Record 4 at t=12 between (5,5)@t=8 and (8,8)@t=16.
+        np.testing.assert_allclose(out[3], [6.5, 6.5])

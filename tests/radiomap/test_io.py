@@ -1,0 +1,57 @@
+"""Radio-map persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RadioMapError
+from repro.radiomap import (
+    RadioMapTruth,
+    export_csv,
+    load_radio_map,
+    save_radio_map,
+)
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, tiny_radio_map, tmp_path):
+        path = tmp_path / "map.npz"
+        save_radio_map(tiny_radio_map, path)
+        loaded = load_radio_map(path)
+        np.testing.assert_array_equal(
+            loaded.fingerprints, tiny_radio_map.fingerprints
+        )
+        np.testing.assert_array_equal(loaded.rps, tiny_radio_map.rps)
+        np.testing.assert_array_equal(loaded.times, tiny_radio_map.times)
+        assert loaded.truth is None
+
+    def test_round_trip_with_truth(self, tiny_radio_map, tmp_path):
+        tiny_radio_map.truth = RadioMapTruth(
+            missing_type=np.ones((5, 5), dtype=int),
+            positions=np.zeros((5, 2)),
+        )
+        path = tmp_path / "map.npz"
+        save_radio_map(tiny_radio_map, path)
+        loaded = load_radio_map(path)
+        assert loaded.truth is not None
+        np.testing.assert_array_equal(
+            loaded.truth.missing_type, tiny_radio_map.truth.missing_type
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(RadioMapError):
+            load_radio_map(tmp_path / "nope.npz")
+
+
+class TestCsvExport:
+    def test_csv_shape_and_nulls(self, tiny_radio_map, tmp_path):
+        path = tmp_path / "map.csv"
+        export_csv(tiny_radio_map, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 6  # header + 5 records
+        header = lines[0].split(",")
+        assert header[:4] == ["time", "path_id", "x", "y"]
+        assert len(header) == 4 + 5
+        # Record 5 (all-null fingerprint) has empty RSSI cells.
+        last = lines[5].split(",")
+        assert all(cell == "" for cell in last[4:])
+        assert last[2] != "" and last[3] != ""

@@ -1,0 +1,111 @@
+"""Perturbations: alpha/beta removal, RP density scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RadioMapError
+from repro.radiomap import (
+    RadioMap,
+    remove_for_imputation_eval,
+    remove_rssi_fraction,
+    scale_rp_density,
+)
+from repro.survey import RPRecord, RSSIRecord, WalkingSurveyRecordTable
+
+
+def _dense_map(n=20, d=10, seed=0) -> RadioMap:
+    rng = np.random.default_rng(seed)
+    return RadioMap(
+        fingerprints=rng.uniform(-90, -30, size=(n, d)),
+        rps=rng.uniform(0, 50, size=(n, 2)),
+        times=np.arange(n, dtype=float),
+        path_ids=np.zeros(n, dtype=int),
+    )
+
+
+class TestAlphaRemoval:
+    @given(st.floats(min_value=0.0, max_value=0.6))
+    @settings(max_examples=30, deadline=None)
+    def test_removes_requested_fraction(self, alpha):
+        rm = _dense_map()
+        out = remove_rssi_fraction(rm, alpha, np.random.default_rng(1))
+        total = rm.rssi_observed_mask.sum()
+        removed = total - out.rssi_observed_mask.sum()
+        assert removed == round(alpha * total)
+
+    def test_zero_alpha_identity(self):
+        rm = _dense_map()
+        out = remove_rssi_fraction(rm, 0.0, np.random.default_rng(1))
+        np.testing.assert_array_equal(out.fingerprints, rm.fingerprints)
+
+    def test_original_untouched(self):
+        rm = _dense_map()
+        remove_rssi_fraction(rm, 0.5, np.random.default_rng(1))
+        assert np.isfinite(rm.fingerprints).all()
+
+    def test_invalid_alpha(self):
+        with pytest.raises(RadioMapError):
+            remove_rssi_fraction(_dense_map(), 1.0, np.random.default_rng(1))
+
+
+class TestBetaRemoval:
+    def test_held_back_values_match(self):
+        rm = _dense_map()
+        out, removed = remove_for_imputation_eval(
+            rm, 0.3, np.random.default_rng(2)
+        )
+        for (r, c), v in zip(removed.rssi_indices, removed.rssi_values):
+            assert np.isnan(out.fingerprints[r, c])
+            assert rm.fingerprints[r, c] == v
+        for r, v in zip(removed.rp_indices, removed.rp_values):
+            assert np.isnan(out.rps[r]).all()
+            np.testing.assert_array_equal(rm.rps[r], v)
+
+    def test_rssi_only(self):
+        rm = _dense_map()
+        out, removed = remove_for_imputation_eval(
+            rm, 0.3, np.random.default_rng(2), remove_rps=False
+        )
+        assert removed.rp_indices.size == 0
+        assert out.rp_observed_mask.all()
+
+    def test_rp_only(self):
+        rm = _dense_map()
+        out, removed = remove_for_imputation_eval(
+            rm, 0.3, np.random.default_rng(2), remove_rssis=False
+        )
+        assert removed.rssi_indices.shape[0] == 0
+        assert np.isfinite(out.fingerprints).all()
+
+    def test_invalid_beta(self):
+        with pytest.raises(RadioMapError):
+            remove_for_imputation_eval(
+                _dense_map(), -0.1, np.random.default_rng(2)
+            )
+
+
+class TestRPDensity:
+    def _tables(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=2)
+        for i in range(50):
+            t.add(RPRecord(time=float(2 * i), location=(float(i), 0.0)))
+            t.add(RSSIRecord(time=2 * i + 1.0, readings={0: -70.0}))
+        return [t]
+
+    def test_full_density_identity(self):
+        tables = self._tables()
+        out = scale_rp_density(tables, 1.0, np.random.default_rng(3))
+        assert out is tables
+
+    def test_reduces_rp_records_only(self):
+        tables = self._tables()
+        out = scale_rp_density(tables, 0.5, np.random.default_rng(3))
+        kept_rps = len(out[0].rp_records)
+        assert 10 <= kept_rps <= 40  # ~25 expected
+        assert len(out[0].rssi_records) == 50
+
+    def test_invalid_density(self):
+        with pytest.raises(RadioMapError):
+            scale_rp_density(self._tables(), 0.0, np.random.default_rng(3))

@@ -1,0 +1,84 @@
+"""RadioMap container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RadioMapError
+from repro.radiomap import RadioMap, concatenate_radio_maps
+
+
+class TestRates:
+    def test_missing_rates(self, tiny_radio_map):
+        rm = tiny_radio_map
+        # 25 cells, 10 observed.
+        assert rm.missing_rssi_rate == pytest.approx(15 / 25)
+        assert rm.missing_rp_rate == pytest.approx(2 / 5)
+
+    def test_observed_masks(self, tiny_radio_map):
+        rm = tiny_radio_map
+        assert rm.rssi_observed_mask.sum() == 10
+        np.testing.assert_array_equal(
+            rm.rp_observed_mask, [True, False, True, False, True]
+        )
+        np.testing.assert_array_equal(
+            rm.observed_rp_indices(), [0, 2, 4]
+        )
+
+
+class TestStructure:
+    def test_shape_validation(self):
+        with pytest.raises(RadioMapError):
+            RadioMap(
+                fingerprints=np.zeros((3, 2)),
+                rps=np.zeros((2, 2)),
+                times=np.zeros(3),
+                path_ids=np.zeros(3, dtype=int),
+            )
+
+    def test_subset_copies(self, tiny_radio_map):
+        sub = tiny_radio_map.subset(np.array([0, 2]))
+        assert sub.n_records == 2
+        sub.fingerprints[0, 0] = 0.0
+        assert tiny_radio_map.fingerprints[0, 0] == -70.0
+
+    def test_copy_independent(self, tiny_radio_map):
+        c = tiny_radio_map.copy()
+        c.rps[0] = [9.0, 9.0]
+        assert tiny_radio_map.rps[0, 0] == 1.0
+
+    def test_path_sequences_sorted(self):
+        rm = RadioMap(
+            fingerprints=np.zeros((4, 2)),
+            rps=np.zeros((4, 2)),
+            times=np.array([3.0, 1.0, 2.0, 0.0]),
+            path_ids=np.array([0, 0, 1, 1]),
+        )
+        seqs = dict(rm.path_sequences())
+        np.testing.assert_array_equal(seqs[0], [1, 0])
+        np.testing.assert_array_equal(seqs[1], [3, 2])
+
+    def test_describe(self, tiny_radio_map):
+        s = tiny_radio_map.describe()
+        assert "N=5" in s and "D=5" in s
+
+
+class TestConcatenate:
+    def test_empty_rejected(self):
+        with pytest.raises(RadioMapError):
+            concatenate_radio_maps([])
+
+    def test_dimension_mismatch_rejected(self, tiny_radio_map):
+        other = RadioMap(
+            fingerprints=np.zeros((1, 3)),
+            rps=np.zeros((1, 2)),
+            times=np.zeros(1),
+            path_ids=np.zeros(1, dtype=int),
+        )
+        with pytest.raises(RadioMapError):
+            concatenate_radio_maps([tiny_radio_map, other])
+
+    def test_concatenation(self, tiny_radio_map):
+        both = concatenate_radio_maps(
+            [tiny_radio_map, tiny_radio_map.copy()]
+        )
+        assert both.n_records == 10

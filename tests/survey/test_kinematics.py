@@ -1,0 +1,79 @@
+"""Surveyor kinematics: time/arc maps and pauses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SurveyError
+from repro.survey import PathKinematics
+
+WAYPOINTS = np.array([[0.0, 0.0], [20.0, 0.0], [20.0, 10.0]])
+
+
+class TestKinematics:
+    def test_duration_positive(self, rng):
+        kin = PathKinematics(WAYPOINTS, rng)
+        assert kin.duration > 0
+        assert kin.total_length == pytest.approx(30.0)
+
+    def test_position_endpoints(self, rng):
+        kin = PathKinematics(WAYPOINTS, rng)
+        assert kin.position(0.0) == pytest.approx([0.0, 0.0])
+        assert kin.position(kin.duration) == pytest.approx([20.0, 10.0])
+
+    def test_arc_monotone_in_time(self, rng):
+        kin = PathKinematics(WAYPOINTS, rng)
+        ts = np.linspace(0, kin.duration, 50)
+        arcs = [kin.arc_at_time(t) for t in ts]
+        assert all(b >= a - 1e-9 for a, b in zip(arcs, arcs[1:]))
+
+    def test_time_arc_inverse(self, rng):
+        kin = PathKinematics(
+            WAYPOINTS, rng, pause_probability=0.0
+        )
+        for s in np.linspace(0, kin.total_length, 17):
+            t = kin.time_at_arc(s)
+            assert kin.arc_at_time(t) == pytest.approx(float(s), abs=1e-6)
+
+    def test_pauses_extend_duration(self):
+        no_pause = PathKinematics(
+            WAYPOINTS,
+            np.random.default_rng(3),
+            pause_probability=0.0,
+            speed_jitter=0.0,
+        )
+        always_pause = PathKinematics(
+            WAYPOINTS,
+            np.random.default_rng(3),
+            pause_probability=1.0,
+            pause_duration=5.0,
+            speed_jitter=0.0,
+        )
+        assert always_pause.duration > no_pause.duration
+
+    def test_constant_speed_duration(self):
+        kin = PathKinematics(
+            WAYPOINTS,
+            np.random.default_rng(0),
+            base_speed=1.5,
+            speed_jitter=0.0,
+            pause_probability=0.0,
+        )
+        assert kin.duration == pytest.approx(30.0 / 1.5)
+
+    def test_invalid_speed(self, rng):
+        with pytest.raises(SurveyError):
+            PathKinematics(WAYPOINTS, rng, base_speed=0.0)
+
+    def test_single_waypoint_rejected(self, rng):
+        with pytest.raises(SurveyError):
+            PathKinematics(np.array([[0.0, 0.0]]), rng)
+
+    @given(st.floats(min_value=-10, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_position_always_on_path_bbox(self, t):
+        kin = PathKinematics(WAYPOINTS, np.random.default_rng(5))
+        p = kin.position(t)
+        assert -1e-9 <= p[0] <= 20 + 1e-9
+        assert -1e-9 <= p[1] <= 10 + 1e-9

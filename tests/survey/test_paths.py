@@ -1,0 +1,69 @@
+"""Survey-path planning: edge coverage and RP ordering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SurveyError
+from repro.survey import plan_survey_paths, rps_on_path
+from repro.venue import build_grid_mall
+
+
+@pytest.fixture
+def plan():
+    return build_grid_mall("t", 40.0, 30.0)
+
+
+class TestPlanning:
+    def test_paths_cover_all_edges(self, plan, rng):
+        paths = plan_survey_paths(plan, rng)
+        graph = plan.hallway_graph
+        pos = plan.node_positions()
+        remaining = {
+            frozenset(
+                (tuple(np.round(pos[a], 4)), tuple(np.round(pos[b], 4)))
+            )
+            for a, b in graph.edges()
+        }
+        for wp in paths:
+            for a, b in zip(wp[:-1], wp[1:]):
+                remaining.discard(
+                    frozenset(
+                        (tuple(np.round(a, 4)), tuple(np.round(b, 4)))
+                    )
+                )
+        assert not remaining
+
+    def test_n_passes_multiplies_paths(self, plan, rng):
+        one = plan_survey_paths(plan, np.random.default_rng(0), n_passes=1)
+        three = plan_survey_paths(
+            plan, np.random.default_rng(0), n_passes=3
+        )
+        total_one = sum(p.shape[0] - 1 for p in one)
+        total_three = sum(p.shape[0] - 1 for p in three)
+        assert total_three == 3 * total_one
+
+    def test_paths_have_at_least_two_waypoints(self, plan, rng):
+        for wp in plan_survey_paths(plan, rng):
+            assert wp.shape[0] >= 2
+
+    def test_zero_passes_rejected(self, plan, rng):
+        with pytest.raises(SurveyError):
+            plan_survey_paths(plan, rng, n_passes=0)
+
+
+class TestRPsOnPath:
+    def test_ordered_by_arc_length(self):
+        waypoints = np.array([[0.0, 0.0], [10.0, 0.0]])
+        rps = np.array([[8.0, 0.1], [2.0, -0.1], [5.0, 0.0]])
+        order = rps_on_path(waypoints, rps, tolerance=0.5)
+        assert order == [1, 2, 0]
+
+    def test_far_rps_excluded(self):
+        waypoints = np.array([[0.0, 0.0], [10.0, 0.0]])
+        rps = np.array([[5.0, 5.0], [5.0, 0.2]])
+        assert rps_on_path(waypoints, rps, tolerance=1.0) == [1]
+
+    def test_empty_when_no_rps_near(self):
+        waypoints = np.array([[0.0, 0.0], [1.0, 0.0]])
+        rps = np.array([[50.0, 50.0]])
+        assert rps_on_path(waypoints, rps) == []

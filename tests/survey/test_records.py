@@ -1,0 +1,53 @@
+"""Survey record table semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SurveyError
+from repro.survey import RPRecord, RSSIRecord, WalkingSurveyRecordTable
+
+
+class TestRecordTable:
+    def test_sort_orders_by_time(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=3)
+        t.add(RSSIRecord(time=5.0, readings={0: -70.0}))
+        t.add(RPRecord(time=1.0, location=(0.0, 0.0)))
+        t.sort()
+        assert [r.time for r in t.records] == [1.0, 5.0]
+
+    def test_validate_rejects_unsorted(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=3)
+        t.records = [
+            RSSIRecord(time=5.0, readings={0: -70.0}),
+            RPRecord(time=1.0, location=(0.0, 0.0)),
+        ]
+        with pytest.raises(SurveyError):
+            t.validate()
+
+    def test_validate_rejects_bad_ap_id(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=2)
+        t.add(RSSIRecord(time=1.0, readings={5: -70.0}))
+        with pytest.raises(SurveyError):
+            t.validate()
+
+    def test_validate_rejects_nonfinite_reading(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=2)
+        t.add(RSSIRecord(time=1.0, readings={0: float("nan")}))
+        with pytest.raises(SurveyError):
+            t.validate()
+
+    def test_record_type_partition(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=2)
+        t.add(RPRecord(time=0.0, location=(1.0, 2.0)))
+        t.add(RSSIRecord(time=1.0, readings={0: -50.0}))
+        t.add(RSSIRecord(time=2.0, readings={1: -60.0}))
+        assert len(t.rp_records) == 1
+        assert len(t.rssi_records) == 2
+        assert len(t) == 3
+
+    def test_duration(self):
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=2)
+        assert t.duration() == 0.0
+        t.add(RPRecord(time=2.0, location=(0.0, 0.0)))
+        t.add(RSSIRecord(time=9.0, readings={0: -50.0}))
+        assert t.duration() == pytest.approx(7.0)

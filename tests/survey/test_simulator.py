@@ -1,0 +1,90 @@
+"""End-to-end walking-survey simulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SurveyError
+from repro.radio import make_channel
+from repro.survey import (
+    RPRecord,
+    RSSIRecord,
+    SurveyConfig,
+    simulate_survey,
+)
+from repro.venue import build_venue
+
+
+@pytest.fixture(scope="module")
+def survey():
+    venue = build_venue("kaide", scale=0.3, seed=3)
+    channel = make_channel(
+        venue.plan, venue.access_points, venue.channel_kind
+    )
+    rng = np.random.default_rng(0)
+    tables = simulate_survey(
+        venue, channel, SurveyConfig(n_passes=1), rng
+    )
+    return venue, channel, tables
+
+
+class TestSimulation:
+    def test_tables_nonempty(self, survey):
+        _, _, tables = survey
+        assert len(tables) > 0
+        assert all(len(t) >= 2 for t in tables)
+
+    def test_records_sorted(self, survey):
+        _, _, tables = survey
+        for t in tables:
+            times = [r.time for r in t.records]
+            assert times == sorted(times)
+
+    def test_contains_both_record_types(self, survey):
+        _, _, tables = survey
+        all_records = [r for t in tables for r in t.records]
+        assert any(isinstance(r, RPRecord) for r in all_records)
+        assert any(isinstance(r, RSSIRecord) for r in all_records)
+
+    def test_rp_records_match_preselected_rps(self, survey):
+        venue, _, tables = survey
+        rp_set = {tuple(rp) for rp in venue.reference_points}
+        for t in tables:
+            for r in t.rp_records:
+                assert tuple(r.location) in rp_set
+
+    def test_rssi_truth_attached(self, survey):
+        _, channel, tables = survey
+        for t in tables:
+            for r in t.rssi_records:
+                assert r.truth is not None
+                assert r.truth.missing_type is not None
+                assert r.truth.missing_type.shape == (channel.n_aps,)
+
+    def test_truth_position_near_rp_for_rp_records(self, survey):
+        # The surveyor's true position when logging an RP should be
+        # close to it (within snap distance + jitter drift).
+        _, _, tables = survey
+        for t in tables:
+            for r in t.rp_records:
+                d = np.linalg.norm(
+                    np.array(r.truth.position) - np.array(r.location)
+                )
+                assert d < 6.0
+
+    def test_readings_only_observed_aps(self, survey):
+        _, _, tables = survey
+        for t in tables:
+            for r in t.rssi_records:
+                for ap, val in r.readings.items():
+                    assert np.isfinite(val)
+                    assert r.truth.missing_type[ap] == 1
+
+
+class TestConfig:
+    def test_invalid_speed(self):
+        with pytest.raises(SurveyError):
+            SurveyConfig(walking_speed=0.0)
+
+    def test_invalid_scan_interval(self):
+        with pytest.raises(SurveyError):
+            SurveyConfig(scan_interval=0.0)

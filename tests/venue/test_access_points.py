@@ -1,0 +1,61 @@
+"""AP deployment."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VenueError
+from repro.venue import (
+    ap_positions,
+    ap_powers,
+    build_grid_mall,
+    deploy_access_points,
+)
+
+
+@pytest.fixture
+def plan():
+    return build_grid_mall("t", 40.0, 30.0)
+
+
+class TestDeployment:
+    def test_count(self, plan, rng):
+        aps = deploy_access_points(plan, 25, rng)
+        assert len(aps) == 25
+        assert [a.ap_id for a in aps] == list(range(25))
+
+    def test_positions_inside_bounds(self, plan, rng):
+        aps = deploy_access_points(plan, 40, rng)
+        pos = ap_positions(aps)
+        assert (pos[:, 0] >= 0).all() and (pos[:, 0] <= plan.width).all()
+        assert (pos[:, 1] >= 0).all() and (pos[:, 1] <= plan.height).all()
+
+    def test_room_fraction_zero_puts_all_in_hallways(self, plan, rng):
+        aps = deploy_access_points(plan, 10, rng, room_fraction=0.0)
+        for ap in aps:
+            assert plan.in_hallway(ap.position)
+
+    def test_room_fraction_one_puts_all_in_rooms(self, plan, rng):
+        aps = deploy_access_points(plan, 10, rng, room_fraction=1.0)
+        for ap in aps:
+            assert plan.entities.contains_point(ap.position)
+
+    def test_power_jitter(self, plan, rng):
+        aps = deploy_access_points(
+            plan, 50, rng, tx_power_dbm=-20.0, tx_power_jitter=4.0
+        )
+        powers = ap_powers(aps)
+        assert powers.std() > 0.5
+        assert abs(powers.mean() + 20.0) < 3.0
+
+    def test_invalid_count(self, plan, rng):
+        with pytest.raises(VenueError):
+            deploy_access_points(plan, 0, rng)
+
+    def test_invalid_fraction(self, plan, rng):
+        with pytest.raises(VenueError):
+            deploy_access_points(plan, 5, rng, room_fraction=1.5)
+
+    def test_deterministic_given_seed(self, plan):
+        a = deploy_access_points(plan, 8, np.random.default_rng(7))
+        b = deploy_access_points(plan, 8, np.random.default_rng(7))
+        assert np.allclose(ap_positions(a), ap_positions(b))

@@ -1,0 +1,69 @@
+"""Floor-plan generation and validation."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import VenueError
+from repro.venue import FloorPlan, build_grid_mall
+
+
+@pytest.fixture
+def mall() -> FloorPlan:
+    return build_grid_mall("test", 40.0, 30.0, corridors_x=2, corridors_y=2)
+
+
+class TestBuildGridMall:
+    def test_area(self, mall):
+        assert mall.area == pytest.approx(1200.0)
+
+    def test_has_rooms_and_hallways(self, mall):
+        assert len(mall.rooms) > 0
+        assert len(mall.hallways) == 4  # 2 vertical + 2 horizontal
+
+    def test_graph_connected(self, mall):
+        assert nx.is_connected(mall.hallway_graph)
+
+    def test_graph_nodes_have_positions(self, mall):
+        for _, data in mall.hallway_graph.nodes(data=True):
+            assert "pos" in data
+
+    def test_rooms_do_not_touch_corridors(self, mall):
+        # Room polygons must not intersect hallway polygons (margins).
+        for room in mall.rooms:
+            for hall in mall.hallways:
+                assert not room.intersects_polygon(hall)
+
+    def test_wall_segments_nonempty(self, mall):
+        starts, ends = mall.wall_segments()
+        assert starts.shape[0] == 4 * len(mall.rooms)
+        assert starts.shape == ends.shape
+
+    def test_in_hallway(self, mall):
+        # A corridor centreline node is inside a hallway.
+        pos = next(iter(mall.node_positions().values()))
+        assert mall.in_hallway(tuple(pos))
+
+    def test_invalid_corridor_width(self):
+        with pytest.raises(VenueError):
+            build_grid_mall("bad", 40, 30, corridor_width=0)
+
+    def test_invalid_corridor_count(self):
+        with pytest.raises(VenueError):
+            build_grid_mall("bad", 40, 30, corridors_x=0)
+
+    def test_describe_mentions_name(self, mall):
+        assert "test" in mall.describe()
+
+
+class TestFloorPlanValidation:
+    def test_positive_extent_required(self):
+        with pytest.raises(VenueError):
+            FloorPlan(name="x", width=0, height=10)
+
+    def test_validate_requires_hallways(self):
+        plan = FloorPlan(name="x", width=10, height=10)
+        with pytest.raises(VenueError):
+            plan.validate()
+
+    def test_entities_are_rooms(self, mall):
+        assert len(mall.entities) == len(mall.rooms)

@@ -1,0 +1,102 @@
+"""RP placement, density and adjacency patches."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VenueError
+from repro.venue import (
+    build_grid_mall,
+    build_venue,
+    contiguous_rp_patch,
+    nearest_rp_index,
+    place_reference_points,
+    rp_adjacency,
+    rp_density_per_100m2,
+)
+
+
+@pytest.fixture
+def plan():
+    return build_grid_mall("t", 40.0, 30.0)
+
+
+class TestPlacement:
+    def test_spacing_respected(self, plan):
+        rps = place_reference_points(plan, spacing=5.0)
+        assert rps.shape[0] > 4
+        assert rps.shape[1] == 2
+
+    def test_smaller_spacing_gives_more_rps(self, plan):
+        coarse = place_reference_points(plan, spacing=8.0)
+        fine = place_reference_points(plan, spacing=3.0)
+        assert fine.shape[0] > coarse.shape[0]
+
+    def test_rps_unique(self, plan):
+        rps = place_reference_points(plan, spacing=4.0)
+        assert np.unique(rps, axis=0).shape[0] == rps.shape[0]
+
+    def test_rps_in_hallways(self, plan):
+        rps = place_reference_points(plan, spacing=4.0)
+        for rp in rps:
+            assert plan.in_hallway(tuple(rp))
+
+    def test_invalid_spacing(self, plan):
+        with pytest.raises(VenueError):
+            place_reference_points(plan, spacing=0.0)
+
+    def test_density(self, plan):
+        rps = place_reference_points(plan, spacing=4.0)
+        d = rp_density_per_100m2(plan, rps)
+        assert d == pytest.approx(100 * rps.shape[0] / plan.area)
+
+
+class TestAdjacency:
+    def test_nearest_rp(self):
+        rps = np.array([[0, 0], [10, 0], [0, 10]])
+        assert nearest_rp_index(rps, np.array([1, 1])) == 0
+        assert nearest_rp_index(rps, np.array([9, 1])) == 1
+
+    def test_adjacency_symmetric(self):
+        rps = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        adj = rp_adjacency(rps, radius=2.0)
+        assert 1 in adj[0] and 0 in adj[1]
+        assert 2 not in adj[0]
+
+    def test_patch_size(self, rng):
+        rps = np.array(
+            [[i, 0.0] for i in range(10)], dtype=float
+        )
+        patch = contiguous_rp_patch(rps, 6, rng, radius=1.5)
+        assert len(patch) == 6
+        assert len(set(patch)) == 6
+
+    def test_patch_too_large(self, rng):
+        rps = np.zeros((3, 2))
+        with pytest.raises(VenueError):
+            contiguous_rp_patch(rps, 6, rng)
+
+
+class TestVenueBuilder:
+    def test_unknown_venue(self):
+        with pytest.raises(VenueError):
+            build_venue("nowhere")
+
+    def test_invalid_scale(self):
+        with pytest.raises(VenueError):
+            build_venue("kaide", scale=0.0)
+
+    def test_scaled_venue_statistics(self):
+        v = build_venue("kaide", scale=0.3, seed=3)
+        assert v.n_aps >= 24
+        assert v.n_rps >= 4
+        # RP density should be in the right ballpark (paper: 3.53).
+        density = 100 * v.n_rps / v.plan.area
+        assert 1.0 < density < 10.0
+
+    def test_bluetooth_channel_kind(self):
+        v = build_venue("longhu", scale=0.3, seed=3)
+        assert v.channel_kind == "bluetooth"
+
+    def test_describe(self):
+        v = build_venue("wanda", scale=0.3, seed=3)
+        assert "wanda" in v.describe()

@@ -1,0 +1,66 @@
+"""ASCII venue rendering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VenueError
+from repro.venue import build_grid_mall
+from repro.viz import (
+    AsciiCanvas,
+    cluster_legend,
+    render_floorplan,
+    render_observability,
+)
+
+
+@pytest.fixture
+def plan():
+    return build_grid_mall("t", 40.0, 30.0)
+
+
+class TestCanvas:
+    def test_dimensions(self):
+        canvas = AsciiCanvas(40.0, 30.0, columns=60)
+        text = canvas.render()
+        lines = text.splitlines()
+        assert lines[0] == "+" + "-" * 60 + "+"
+        assert all(len(l) == 62 for l in lines)
+
+    def test_put_in_bounds(self):
+        canvas = AsciiCanvas(10.0, 10.0, columns=20)
+        canvas.put(5.0, 5.0, "X")
+        assert "X" in canvas.render()
+
+    def test_put_out_of_bounds_ignored(self):
+        canvas = AsciiCanvas(10.0, 10.0, columns=20)
+        canvas.put(50.0, 50.0, "X")
+        assert "X" not in canvas.render()
+
+    def test_invalid_extent(self):
+        with pytest.raises(VenueError):
+            AsciiCanvas(0.0, 10.0)
+
+
+class TestRenderers:
+    def test_rooms_hatched(self, plan):
+        text = render_floorplan(plan)
+        assert "#" in text
+
+    def test_points_drawn(self, plan):
+        pts = np.array([[20.0, 15.0]])
+        text = render_floorplan(plan, points=pts)
+        assert "*" in text
+
+    def test_cluster_symbols(self, plan):
+        pts = np.array([[20.0, 15.0], [10.0, 15.0], [30.0, 15.0]])
+        text = render_floorplan(plan, points=pts, labels=[0, 1, 1])
+        assert "0" in text and "1" in text
+
+    def test_observability_markers(self, plan):
+        rps = np.array([[20.0, 15.0], [10.0, 15.0]])
+        text = render_observability(plan, rps, [True, False])
+        assert "O" in text and "x" in text
+
+    def test_cluster_legend(self):
+        legend = cluster_legend([0, 0, 1, 2, 2, 2])
+        assert "0=2" in legend and "1=1" in legend and "2=3" in legend
