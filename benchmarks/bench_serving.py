@@ -1,0 +1,17 @@
+"""Bench: serving throughput — batched query path vs per-query loop."""
+
+from conftest import emit
+
+from repro.serving import bench as serve_bench
+
+
+def test_serving_throughput(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: serve_bench.run(bench_config), rounds=1, iterations=1
+    )
+    emit(results_dir, "Serving bench", result.rendered)
+    # The batched estimator path must dominate the per-query loop at
+    # the largest batch size (acceptance: >= 5x at 256).
+    assert result.data["estimator_speedup"][256] >= 5.0
+    # Batching the service beats calling it one query at a time.
+    assert result.data["service_speedup"][256] > 1.0

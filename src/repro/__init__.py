@@ -15,7 +15,10 @@ it depends on:
   substrate standing in for the paper's proprietary mall datasets;
 * :mod:`repro.neuro` — a from-scratch autodiff/NN substrate standing
   in for PyTorch;
-* :mod:`repro.experiments` — one module per table/figure.
+* :mod:`repro.experiments` — one module per table/figure;
+* :mod:`repro.serving` — the serving subsystem: per-venue shards,
+  batched mixed-venue query routing, LRU caching and
+  latency/throughput stats (see its "Serving API" docstring).
 
 Quickstart::
 
@@ -46,6 +49,7 @@ from . import (
     positioning,
     radio,
     radiomap,
+    serving,
     survey,
     venue,
     viz,
@@ -67,6 +71,7 @@ __all__ = [
     "positioning",
     "radio",
     "radiomap",
+    "serving",
     "survey",
     "venue",
     "viz",

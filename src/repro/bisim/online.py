@@ -13,6 +13,20 @@ encoder step (with the user-supplied time gap driving the Eq. 1 decay),
 run the forward encoder, and read the final complemented vector.  Cost
 is one encoder pass over ``T+1`` steps — milliseconds — versus
 retraining, which is what makes it *online*.
+
+Serving API
+-----------
+:meth:`OnlineImputer.impute_batch` is the production entry point: it
+selects context chunks for *all* queries with a handful of matmuls
+(the ``‖a‖²+‖b‖²−2a·b`` expansion over the chunk index), groups the
+queries by selected-chunk length, and runs **one batched forward
+encoder pass per group** — the :class:`~repro.neuro.LSTMCell` already
+takes ``(batch, input)`` inputs, so stacking queries replaces the
+per-query Python loop.  :meth:`OnlineImputer.impute_fingerprint` stays
+as the single-scan reference implementation the parity tests compare
+against.  Shape contract mirrors the positioning layer: ``(n, D)`` in
+→ ``(n, D)`` out, ``(D,)`` in → ``(D,)`` out (``squeeze=False`` forces
+``(1, D)``).
 """
 
 from __future__ import annotations
@@ -26,7 +40,12 @@ from ..exceptions import ImputationError
 from ..neuro import Tensor
 from ..radiomap import RadioMap
 from .config import BiSIMConfig
-from .features import SequenceChunk, prepare_chunks, time_lag_vectors
+from .features import (
+    SequenceChunk,
+    prepare_chunks,
+    time_lag_vectors,
+    time_lag_vectors_batched,
+)
 from .trainer import BiSIMTrainer
 
 
@@ -38,6 +57,11 @@ class OnlineImputer:
             raise ImputationError("trainer must be fitted first")
         self._trainer = trainer
         self._chunks: List[SequenceChunk] = []
+
+    @property
+    def trainer(self) -> BiSIMTrainer:
+        """The fitted trainer backing this imputer (for map imputation)."""
+        return self._trainer
 
     @classmethod
     def fit(
@@ -67,6 +91,15 @@ class OnlineImputer:
         )
         if not self._chunks:
             raise ImputationError("no context chunks available")
+        # Stacked views over the index, precomputed once so the batched
+        # query path is pure matmuls at serve time.
+        self._last_fp = np.stack([c.fingerprints[-1] for c in self._chunks])
+        self._last_m = np.stack([c.fp_mask[-1] for c in self._chunks])
+        self._all_fp = np.vstack([c.fingerprints for c in self._chunks])
+        self._all_m = np.vstack([c.fp_mask for c in self._chunks])
+        self._chunk_lengths = np.array(
+            [c.length for c in self._chunks], dtype=int
+        )
 
     # ------------------------------------------------------------------
     def impute_fingerprint(
@@ -76,6 +109,10 @@ class OnlineImputer:
         time_gap: float = 2.0,
     ) -> np.ndarray:
         """Impute the missing entries of one online fingerprint.
+
+        This is the per-query *reference* implementation; production
+        batches should go through :meth:`impute_batch`, which computes
+        the same values vectorized.
 
         Parameters
         ----------
@@ -157,13 +194,8 @@ class OnlineImputer:
         NaN for dimensions none of the neighbours observed (all values
         in normalised feature space).
         """
-        rows = []
-        masks = []
-        for chunk in self._chunks:
-            rows.append(chunk.fingerprints)
-            masks.append(chunk.fp_mask)
-        all_fp = np.vstack(rows)
-        all_m = np.vstack(masks)
+        all_fp = self._all_fp
+        all_m = self._all_m
 
         both = (all_m == 1) & (query_mask[None, :] == 1)
         counts = both.sum(axis=1)
@@ -181,18 +213,162 @@ class OnlineImputer:
         return estimate
 
     def impute_batch(
-        self, fingerprints: np.ndarray, *, time_gap: float = 2.0
+        self,
+        fingerprints: np.ndarray,
+        *,
+        time_gap: float = 2.0,
+        squeeze: bool = True,
     ) -> np.ndarray:
-        """Impute several online fingerprints (row-wise)."""
+        """Impute a batch of online fingerprints, fully vectorized.
+
+        Context selection runs as matmuls over the whole batch; the
+        encoder then runs once per selected-chunk length with all the
+        group's extended sequences stacked into one ``(G, D)`` batch
+        per time step.  Numerically equivalent to calling
+        :meth:`impute_fingerprint` per row (the parity tests assert
+        agreement to ``atol=1e-8``).
+
+        Parameters
+        ----------
+        fingerprints:
+            ``(n, D)`` RSSI batch (NaN = missing) or one ``(D,)`` scan.
+        time_gap:
+            Seconds assumed between each context's last record and the
+            online scan.
+        squeeze:
+            When True (default) a ``(D,)`` query returns ``(D,)``;
+            with ``squeeze=False`` the output is always ``(n, D)``.
+        """
+        space = self._trainer.space
+        assert space is not None
+        model = self._trainer.model
         fps = np.asarray(fingerprints, dtype=float)
-        if fps.ndim == 1:
+        single = fps.ndim == 1
+        if single:
             fps = fps[None, :]
-        return np.stack(
-            [
-                self.impute_fingerprint(fps[i], time_gap=time_gap)
-                for i in range(fps.shape[0])
-            ]
+        if fps.ndim != 2 or fps.shape[1] != model.n_aps:
+            raise ImputationError(
+                f"fingerprints must be (n, {model.n_aps})"
+            )
+        if fps.shape[0] == 0:
+            return np.empty((0, model.n_aps))
+        query_mask = np.isfinite(fps).astype(float)
+        query_norm = space.normalize_fp(fps) * query_mask
+
+        chunk_idx = self._select_chunks(query_norm, query_mask)
+        imputed = np.empty_like(fps)
+        lengths = self._chunk_lengths[chunk_idx]
+        for t_len in np.unique(lengths):
+            group = np.where(lengths == t_len)[0]
+            imputed[group] = self._encode_group(
+                query_norm[group],
+                query_mask[group],
+                chunk_idx[group],
+                time_gap,
+            )
+
+        knn = self._knn_estimate_batch(query_norm, query_mask)
+        knn_dbm = space.denormalize_fp(knn)
+        blended = np.where(
+            np.isfinite(knn), 0.5 * imputed + 0.5 * knn_dbm, imputed
         )
+        blended = np.clip(blended, RSSI_MIN, RSSI_MAX)
+        out = fps.copy()
+        missing = query_mask == 0
+        out[missing] = blended[missing]
+        return out[0] if single and squeeze else out
+
+    def _select_chunks(
+        self, query_norm: np.ndarray, query_mask: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`_most_similar_chunk` over ``(B, D)`` queries.
+
+        The masked distance ``Σ_d m·(f−q)²`` expands into three matmuls
+        against the precomputed chunk index; ``argmin`` keeps the
+        loop's first-strict-minimum tie-break.
+        """
+        ml, fl = self._last_m, self._last_fp
+        counts = query_mask @ ml.T  # (B, C) overlap sizes
+        sq = (
+            query_mask @ (ml * fl**2).T
+            - 2.0 * (query_norm @ (ml * fl).T)
+            + (query_norm**2) @ ml.T
+        )
+        dist = np.sqrt(np.maximum(sq, 0.0)) / np.sqrt(
+            np.maximum(counts, 1.0)
+        )
+        # No overlap: compare observability patterns instead
+        # (|a−b| = a+b−2ab for 0/1 masks).
+        mismatch = (
+            query_mask.sum(axis=1)[:, None]
+            + ml.sum(axis=1)[None, :]
+            - 2.0 * counts
+        ) / ml.shape[1]
+        dist = np.where(counts > 0, dist, 1.0 + mismatch)
+        return np.argmin(dist, axis=1)
+
+    def _encode_group(
+        self,
+        query_norm: np.ndarray,
+        query_mask: np.ndarray,
+        chunk_idx: np.ndarray,
+        time_gap: float,
+    ) -> np.ndarray:
+        """One batched encoder pass over same-length extended sequences.
+
+        Returns the ``(G, D)`` denormalised final complemented vectors.
+        """
+        space = self._trainer.space
+        assert space is not None
+        model = self._trainer.model
+        chunks = [self._chunks[i] for i in chunk_idx]
+        ctx_fp = np.stack([c.fingerprints for c in chunks])
+        ctx_m = np.stack([c.fp_mask for c in chunks])
+        ctx_t = np.stack([c.times for c in chunks])
+        fp_seq = np.concatenate([ctx_fp, query_norm[:, None, :]], axis=1)
+        m_seq = np.concatenate([ctx_m, query_mask[:, None, :]], axis=1)
+        times = np.concatenate(
+            [ctx_t, ctx_t[:, -1:] + time_gap / space.time_lag_scale],
+            axis=1,
+        )
+        lags = time_lag_vectors_batched(times, m_seq)
+
+        state = model.encoder.initial_state(fp_seq.shape[0])
+        fc_last = None
+        for i in range(fp_seq.shape[1]):
+            _, fc_last, state = model.encoder.step(
+                Tensor(fp_seq[:, i]),
+                Tensor(m_seq[:, i]),
+                Tensor(lags[:, i]),
+                state,
+            )
+        assert fc_last is not None
+        return space.denormalize_fp(fc_last.data)
+
+    def _knn_estimate_batch(
+        self,
+        query_norm: np.ndarray,
+        query_mask: np.ndarray,
+        k: int = 3,
+    ) -> np.ndarray:
+        """Vectorized :meth:`_knn_estimate` over ``(B, D)`` queries."""
+        all_fp, all_m = self._all_fp, self._all_m
+        counts = query_mask @ all_m.T  # (B, R)
+        sq = (
+            query_mask @ (all_m * all_fp**2).T
+            - 2.0 * (query_norm @ (all_m * all_fp).T)
+            + (query_norm**2) @ all_m.T
+        )
+        dist = np.sqrt(np.maximum(sq, 0.0)) / np.maximum(counts, 1.0)
+        dist[counts == 0] = np.inf
+        order = np.argsort(dist, axis=1, kind="stable")[:, :k]
+        neigh_fp = all_fp[order]  # (B, k, D)
+        neigh_m = all_m[order]
+        seen = neigh_m.sum(axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            estimate = (neigh_fp * neigh_m).sum(axis=1) / seen
+        estimate[seen == 0] = np.nan
+        return estimate
 
     # ------------------------------------------------------------------
     def _most_similar_chunk(

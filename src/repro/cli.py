@@ -6,6 +6,10 @@ result, e.g.::
     python -m repro table5 --preset smoke
     python -m repro fig17 --preset bench
     python -m repro all --preset smoke
+
+``serve-bench`` exercises the serving subsystem instead of a paper
+table: it times the batched online query path against the old
+per-query loop (see :mod:`repro.serving.bench`).
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from .experiments import (
     table7,
     table8,
 )
+from .serving import bench as serve_bench
 
 EXPERIMENTS = {
     "table5": table5,
@@ -50,6 +55,7 @@ EXPERIMENTS = {
     "fig18": fig18,
     "table8": table8,
     "ablation-bidir": ablation_bidir,
+    "serve-bench": serve_bench,
 }
 
 #: Light experiments run first when ``all`` is requested.

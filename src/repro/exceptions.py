@@ -47,3 +47,7 @@ class PositioningError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness on bad configuration."""
+
+
+class ServingError(ReproError):
+    """Raised by the serving layer on bad deployments or queries."""

@@ -10,7 +10,6 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..bisim import BiSIMConfig, BiSIMImputer
-from ..constants import MNAR_FILL
 from ..core import (
     DasaKMDifferentiator,
     Differentiator,
@@ -38,6 +37,7 @@ from ..positioning import (
     LocationEstimator,
     RandomForestEstimator,
     WKNNEstimator,
+    imputed_test_fingerprints,
 )
 from ..radiomap import RadioMap
 from .config import ExperimentConfig
@@ -199,15 +199,9 @@ def run_pipeline_once(
     )
     if train_sel.size == 0:
         raise ExperimentError("imputer left no training records")
-    kept_pos = {row: i for i, row in enumerate(kept)}
-    test_fp = np.empty((split.test_indices.size, radio_map.n_aps))
-    for out_i, row in enumerate(split.test_indices):
-        if row in kept_pos:
-            test_fp[out_i] = result.fingerprints[kept_pos[row]]
-        else:
-            raw = split.radio_map.fingerprints[row].copy()
-            raw[~np.isfinite(raw)] = MNAR_FILL
-            test_fp[out_i] = raw
+    # The whole test set goes through the batched query path — the same
+    # vectorized predict the serving layer uses, one call per estimator.
+    test_fp = imputed_test_fingerprints(result, split)
 
     apes: Dict[str, float] = {}
     for est_name in estimator_names:
@@ -216,7 +210,8 @@ def run_pipeline_once(
             result.fingerprints[train_sel], result.rps[train_sel]
         )
         apes[est_name] = average_positioning_error(
-            estimator.predict(test_fp), split.test_locations
+            estimator.predict(test_fp, squeeze=False),
+            split.test_locations,
         )
     return RunResult(
         ape=apes, imputation_seconds=result.elapsed_seconds

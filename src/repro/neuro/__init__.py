@@ -12,7 +12,7 @@ from .losses import masked_mae, masked_mse, mse
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer
 from .rnn import LSTMCell, SimpleRecurrentCell
-from .tensor import Tensor, concat, stack
+from .tensor import Tensor, concat, stack, take
 
 __all__ = [
     "Adam",
@@ -32,6 +32,7 @@ __all__ = [
     "mse",
     "numeric_gradient",
     "stack",
+    "take",
     "xavier_uniform",
     "zeros",
 ]

@@ -346,6 +346,28 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     return Tensor(out_data, _parents=tuple(tensors), _backward=backward)
 
 
+def take(tensor: Tensor, indices: ArrayLike, axis: int = 0) -> Tensor:
+    """Batched gather: select ``indices`` along ``axis`` with gradient.
+
+    The gradient scatter-adds back into the source, so repeated indices
+    accumulate — the semantics batched lookups (e.g. per-query context
+    selection) need.
+    """
+    tensor = _ensure_tensor(tensor)
+    idx = np.asarray(indices, dtype=int)
+    if idx.ndim > 1:
+        raise NeuroError("take supports scalar or 1-D indices")
+    out_data = np.take(tensor.data, idx, axis=axis)
+
+    def backward(g: np.ndarray):
+        full = np.zeros_like(tensor.data)
+        moved = np.moveaxis(full, axis, 0)
+        np.add.at(moved, idx, np.moveaxis(g, axis, 0) if idx.ndim else g)
+        return ((tensor, full),)
+
+    return Tensor(out_data, _parents=(tensor,), _backward=backward)
+
+
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack equally-shaped tensors along a new axis."""
     tensors = [_ensure_tensor(t) for t in tensors]

@@ -1,17 +1,36 @@
 """Location estimation (KNN, WKNN, random forest) and the paper's
-evaluation-control protocol."""
+evaluation-control protocol.
 
-from .evaluate import PipelineOutcome, evaluate_pipeline
+Serving API: every estimator shares the batch-first
+:meth:`~repro.positioning.base.LocationEstimator.predict` contract —
+``(n, D)`` queries in, ``(n, 2)`` locations out (a single ``(D,)``
+query returns ``(2,)``) — with the vectorized nearest-neighbour search
+living in :mod:`repro.positioning.base`.
+"""
+
+from .base import (
+    LocationEstimator,
+    NearestNeighbourEstimator,
+    pairwise_sq_dists,
+)
+from .evaluate import (
+    PipelineOutcome,
+    evaluate_pipeline,
+    imputed_test_fingerprints,
+)
 from .forest import RandomForestEstimator
-from .knn import KNNEstimator, LocationEstimator, WKNNEstimator
+from .knn import KNNEstimator, WKNNEstimator
 from .tree import RegressionTree
 
 __all__ = [
     "KNNEstimator",
     "LocationEstimator",
+    "NearestNeighbourEstimator",
     "PipelineOutcome",
     "RandomForestEstimator",
     "RegressionTree",
     "WKNNEstimator",
     "evaluate_pipeline",
+    "imputed_test_fingerprints",
+    "pairwise_sq_dists",
 ]

@@ -1,0 +1,151 @@
+"""Shared location-estimator machinery (the batched query path).
+
+Serving API
+-----------
+Every estimator follows one contract, enforced here so KNN, WKNN and
+the random forest cannot drift apart:
+
+* :meth:`LocationEstimator.fit` validates and stores the radio map and
+  then calls the subclass hook :meth:`LocationEstimator._fit`;
+* :meth:`LocationEstimator.predict` is *batch-first*: it accepts
+  ``(n, D)`` queries (or a single ``(D,)`` query), raises
+  :class:`~repro.exceptions.PositioningError` with ``"estimator not
+  fitted"`` before :meth:`fit`, validates the AP dimensionality, and
+  delegates to the vectorized subclass hook
+  :meth:`LocationEstimator._predict_batch`.
+
+Return-shape contract: ``(n, D)`` in → ``(n, 2)`` out; a ``(D,)``
+query returns ``(2,)`` by default, or ``(1, 2)`` with
+``squeeze=False``.  An empty ``(0, D)`` batch returns ``(0, 2)``.
+
+:class:`NearestNeighbourEstimator` adds the shared vectorized
+neighbour search both KNN variants build on: the full pairwise
+squared-distance matrix is computed with the
+``‖a‖² + ‖b‖² − 2·a·b`` expansion (two reductions and one matmul
+instead of a per-query Python loop) and the k nearest records are
+selected with a single :func:`numpy.argpartition` call per batch.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import PositioningError
+
+
+def _validate_training(fingerprints: np.ndarray, locations: np.ndarray):
+    fp = np.asarray(fingerprints, dtype=float)
+    loc = np.asarray(locations, dtype=float)
+    if fp.ndim != 2 or loc.shape != (fp.shape[0], 2):
+        raise PositioningError("fingerprints (n,D) / locations (n,2) required")
+    if fp.shape[0] == 0:
+        raise PositioningError("empty radio map")
+    if not np.isfinite(fp).all() or not np.isfinite(loc).all():
+        raise PositioningError("radio map must be fully imputed first")
+    return fp, loc
+
+
+def pairwise_sq_dists(queries: np.ndarray, refs: np.ndarray) -> np.ndarray:
+    """``(n, m)`` squared Euclidean distances via ``‖a‖²+‖b‖²−2a·b``.
+
+    One matmul replaces ``n`` row-wise norm computations; the result is
+    clipped at zero because the expansion can go slightly negative for
+    near-identical rows.
+    """
+    q2 = (queries**2).sum(axis=1)[:, None]
+    r2 = (refs**2).sum(axis=1)[None, :]
+    d2 = q2 + r2 - 2.0 * (queries @ refs.T)
+    return np.maximum(d2, 0.0)
+
+
+class LocationEstimator(ABC):
+    """fit(radio map) → predict(online fingerprints), batch-first."""
+
+    name: str = "estimator"
+
+    def fit(
+        self, fingerprints: np.ndarray, locations: np.ndarray
+    ) -> "LocationEstimator":
+        """Store/learn from a complete radio map."""
+        self._fp, self._loc = _validate_training(fingerprints, locations)
+        self._fit(self._fp, self._loc)
+        return self
+
+    def _fit(self, fingerprints: np.ndarray, locations: np.ndarray) -> None:
+        """Subclass hook; the validated arrays are already stored."""
+
+    def predict(
+        self, fingerprints: np.ndarray, *, squeeze: bool = True
+    ) -> np.ndarray:
+        """Estimate locations for a batch of online fingerprints.
+
+        Parameters
+        ----------
+        fingerprints:
+            ``(n, D)`` query batch or a single ``(D,)`` query.
+        squeeze:
+            When True (default) a ``(D,)`` query returns ``(2,)``;
+            with ``squeeze=False`` the output is always ``(n, 2)``.
+        """
+        if not hasattr(self, "_fp"):
+            raise PositioningError("estimator not fitted")
+        queries = np.asarray(fingerprints, dtype=float)
+        single = queries.ndim == 1
+        if single:
+            queries = queries[None, :]
+        if queries.ndim != 2 or queries.shape[1] != self._fp.shape[1]:
+            raise PositioningError(
+                f"queries must be (n, {self._fp.shape[1]})"
+            )
+        if queries.shape[0] == 0:
+            return np.empty((0, 2))
+        out = self._predict_batch(queries)
+        return out[0] if single and squeeze else out
+
+    @abstractmethod
+    def _predict_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized ``(n, D)`` → ``(n, 2)`` prediction."""
+
+
+class NearestNeighbourEstimator(LocationEstimator):
+    """Base for estimators that aggregate the k nearest radio-map records.
+
+    Subclasses set ``k`` (a dataclass field) and implement
+    :meth:`_combine`, which turns the selected neighbours' distances
+    and locations into position estimates.
+    """
+
+    k: int = 3
+
+    def _neighbours(
+        self, queries: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(dists, locs)`` of the k nearest records per query.
+
+        ``dists`` is ``(n, k)`` Euclidean distances, ``locs`` is
+        ``(n, k, 2)``; neighbours are unordered within the k-subset
+        (argpartition semantics), which every aggregation here is
+        invariant to.
+        """
+        k = min(self.k, self._fp.shape[0])
+        d2 = pairwise_sq_dists(queries, self._fp)
+        if k < self._fp.shape[0]:
+            idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        else:
+            idx = np.broadcast_to(
+                np.arange(k), (queries.shape[0], k)
+            ).copy()
+        dists = np.sqrt(np.take_along_axis(d2, idx, axis=1))
+        return dists, self._loc[idx]
+
+    def _predict_batch(self, queries: np.ndarray) -> np.ndarray:
+        return self._combine(*self._neighbours(queries))
+
+    @abstractmethod
+    def _combine(
+        self, dists: np.ndarray, locs: np.ndarray
+    ) -> np.ndarray:
+        """Aggregate ``(n, k)`` distances / ``(n, k, 2)`` RPs."""

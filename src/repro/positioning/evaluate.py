@@ -21,12 +21,31 @@ import numpy as np
 
 from ..constants import MNAR_FILL
 from ..core import Differentiator
-from ..datasets import make_evaluation_split
+from ..datasets import EvaluationSplit, make_evaluation_split
 from ..exceptions import ExperimentError
-from ..imputers.base import Imputer, run_imputer
+from ..imputers.base import ImputationResult, Imputer, run_imputer
 from ..metrics import average_positioning_error
 from ..radiomap import RadioMap
-from .knn import LocationEstimator
+from .base import LocationEstimator
+
+
+def imputed_test_fingerprints(
+    result: ImputationResult, split: EvaluationSplit
+) -> np.ndarray:
+    """Gather the imputed test-record fingerprints, vectorized.
+
+    Records an imputer dropped (Case Deletion) fall back to the
+    -100-filled raw fingerprint, the traditional online treatment.
+    """
+    rm = split.radio_map
+    test_fp = rm.fingerprints[split.test_indices].copy()
+    test_fp[~np.isfinite(test_fp)] = MNAR_FILL
+    pos = np.full(rm.n_records, -1, dtype=int)
+    pos[result.kept_indices] = np.arange(result.kept_indices.size)
+    sel = pos[split.test_indices]
+    kept = sel >= 0
+    test_fp[kept] = result.fingerprints[sel[kept]]
+    return test_fp
 
 
 @dataclass
@@ -76,21 +95,10 @@ def evaluate_pipeline(
     train_fp = result.fingerprints[train_sel]
     train_loc = result.rps[train_sel]
 
-    # Imputed test fingerprints; records an imputer dropped (CD) fall
-    # back to the -100-filled raw fingerprint, the traditional online
-    # treatment.
-    kept_pos = {row: i for i, row in enumerate(kept)}
-    test_fp = np.empty((split.test_indices.size, radio_map.n_aps))
-    for out_i, row in enumerate(split.test_indices):
-        if row in kept_pos:
-            test_fp[out_i] = result.fingerprints[kept_pos[row]]
-        else:
-            raw = split.radio_map.fingerprints[row].copy()
-            raw[~np.isfinite(raw)] = MNAR_FILL
-            test_fp[out_i] = raw
+    test_fp = imputed_test_fingerprints(result, split)
 
     estimator.fit(train_fp, train_loc)
-    estimated = estimator.predict(test_fp)
+    estimated = estimator.predict(test_fp, squeeze=False)
     ape = average_positioning_error(estimated, split.test_locations)
     return PipelineOutcome(
         ape=ape,

@@ -11,8 +11,7 @@ from typing import List
 
 import numpy as np
 
-from ..exceptions import PositioningError
-from .knn import LocationEstimator, _validate_training
+from .base import LocationEstimator
 from .tree import RegressionTree
 
 
@@ -28,8 +27,7 @@ class RandomForestEstimator(LocationEstimator):
 
     _trees: List[RegressionTree] = field(default_factory=list, repr=False)
 
-    def fit(self, fingerprints, locations):
-        fp, loc = _validate_training(fingerprints, locations)
+    def _fit(self, fp, loc):
         rng = np.random.default_rng(self.seed)
         n, d = fp.shape
         max_features = max(1, int(np.sqrt(d)))
@@ -44,12 +42,9 @@ class RandomForestEstimator(LocationEstimator):
             )
             tree.fit(fp[idx], loc[idx])
             self._trees.append(tree)
-        return self
 
-    def predict(self, fingerprints: np.ndarray) -> np.ndarray:
-        if not self._trees:
-            raise PositioningError("forest not fitted")
+    def _predict_batch(self, queries: np.ndarray) -> np.ndarray:
         preds = np.stack(
-            [t.predict(fingerprints) for t in self._trees], axis=0
+            [t.predict(queries) for t in self._trees], axis=0
         )
         return preds.mean(axis=0)

@@ -3,91 +3,56 @@
 Both estimators compare an online fingerprint against the radio map in
 signal space; KNN averages the K nearest records' RPs, WKNN weights
 them inversely to fingerprint distance.
+
+Serving API: ``predict`` is fully vectorized over the query batch —
+the pairwise-distance matrix and a single ``argpartition`` come from
+:class:`~repro.positioning.base.NearestNeighbourEstimator`, so a batch
+of ``n`` queries costs one matmul rather than ``n`` Python-loop
+iterations.  See :mod:`repro.positioning.base` for the shared
+return-shape contract (``(n, D)`` → ``(n, 2)``; ``(D,)`` → ``(2,)``).
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import PositioningError
+from .base import (
+    LocationEstimator,
+    NearestNeighbourEstimator,
+    _validate_training,
+)
 
-
-class LocationEstimator(ABC):
-    """fit(radio map) → predict(online fingerprints)."""
-
-    name: str = "estimator"
-
-    @abstractmethod
-    def fit(
-        self, fingerprints: np.ndarray, locations: np.ndarray
-    ) -> "LocationEstimator":
-        """Store/learn from a complete radio map."""
-
-    @abstractmethod
-    def predict(self, fingerprints: np.ndarray) -> np.ndarray:
-        """Estimate ``(n, 2)`` locations for online fingerprints."""
-
-
-def _validate_training(fingerprints: np.ndarray, locations: np.ndarray):
-    fp = np.asarray(fingerprints, dtype=float)
-    loc = np.asarray(locations, dtype=float)
-    if fp.ndim != 2 or loc.shape != (fp.shape[0], 2):
-        raise PositioningError("fingerprints (n,D) / locations (n,2) required")
-    if fp.shape[0] == 0:
-        raise PositioningError("empty radio map")
-    if not np.isfinite(fp).all() or not np.isfinite(loc).all():
-        raise PositioningError("radio map must be fully imputed first")
-    return fp, loc
+__all__ = [
+    "KNNEstimator",
+    "LocationEstimator",
+    "WKNNEstimator",
+    "_validate_training",
+]
 
 
 @dataclass
-class KNNEstimator(LocationEstimator):
+class KNNEstimator(NearestNeighbourEstimator):
     """Unweighted K-nearest-neighbour positioning."""
 
     k: int = 3
     name: str = "KNN"
 
-    def fit(self, fingerprints, locations):
-        self._fp, self._loc = _validate_training(fingerprints, locations)
-        return self
-
-    def predict(self, fingerprints: np.ndarray) -> np.ndarray:
-        queries = np.asarray(fingerprints, dtype=float)
-        if queries.ndim == 1:
-            queries = queries[None, :]
-        k = min(self.k, self._fp.shape[0])
-        out = np.empty((queries.shape[0], 2))
-        for i, q in enumerate(queries):
-            d = np.linalg.norm(self._fp - q, axis=1)
-            nearest = np.argpartition(d, k - 1)[:k]
-            out[i] = self._loc[nearest].mean(axis=0)
-        return out
+    def _combine(self, dists: np.ndarray, locs: np.ndarray) -> np.ndarray:
+        return locs.mean(axis=1)
 
 
 @dataclass
-class WKNNEstimator(LocationEstimator):
+class WKNNEstimator(NearestNeighbourEstimator):
     """Weighted KNN: weights ∝ 1 / (fingerprint distance + eps)."""
 
     k: int = 3
     eps: float = 1e-6
     name: str = "WKNN"
 
-    def fit(self, fingerprints, locations):
-        self._fp, self._loc = _validate_training(fingerprints, locations)
-        return self
-
-    def predict(self, fingerprints: np.ndarray) -> np.ndarray:
-        queries = np.asarray(fingerprints, dtype=float)
-        if queries.ndim == 1:
-            queries = queries[None, :]
-        k = min(self.k, self._fp.shape[0])
-        out = np.empty((queries.shape[0], 2))
-        for i, q in enumerate(queries):
-            d = np.linalg.norm(self._fp - q, axis=1)
-            nearest = np.argpartition(d, k - 1)[:k]
-            w = 1.0 / (d[nearest] + self.eps)
-            out[i] = (w[:, None] * self._loc[nearest]).sum(axis=0) / w.sum()
-        return out
+    def _combine(self, dists: np.ndarray, locs: np.ndarray) -> np.ndarray:
+        w = 1.0 / (dists + self.eps)
+        return (w[:, :, None] * locs).sum(axis=1) / w.sum(
+            axis=1, keepdims=True
+        )

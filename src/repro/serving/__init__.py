@@ -1,0 +1,26 @@
+"""Serving subsystem: deployable multi-venue positioning on the
+batched query path.
+
+Serving API
+-----------
+* :class:`VenueShard` — one venue/floor deployment; built from a raw
+  radio map by running differentiate → impute → fit-estimator offline,
+  then serving online queries through the batched impute→estimate path.
+* :class:`PositioningService` — the shard registry; routes mixed-venue
+  fingerprint batches, caches answers in an LRU keyed on quantized
+  fingerprints, and tracks latency/throughput in
+  :class:`ServiceStats`.
+* :mod:`repro.serving.bench` — the ``python -m repro serve-bench``
+  throughput benchmark comparing the batched path against the old
+  per-query loop.
+
+See ``examples/serving_demo.py`` for an end-to-end mixed-venue demo.
+"""
+
+from .service import PositioningService, ServiceStats, VenueShard
+
+__all__ = [
+    "PositioningService",
+    "ServiceStats",
+    "VenueShard",
+]

@@ -1,0 +1,126 @@
+"""Serving-throughput benchmark (``python -m repro serve-bench``).
+
+Measures the batched online query path against the old per-query
+serving pattern (one ``predict`` call per fingerprint) at batch sizes
+1/64/256, at two layers:
+
+* **estimator** — the vectorized nearest-neighbour ``predict`` versus
+  a per-row loop over the same queries;
+* **service** — :meth:`PositioningService.query_batch` versus a loop
+  of single :meth:`PositioningService.query` calls (cache disabled),
+  plus the warm-cache throughput of an identical repeated batch.
+
+Timing is best-of-``rounds`` wall clock; results render as a table and
+land in :attr:`ExperimentResult.data` for assertions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..core import TopoACDifferentiator
+from ..datasets import Dataset
+from ..experiments.base import ExperimentResult
+from ..experiments.config import ExperimentConfig
+from ..experiments.runner import get_dataset
+from ..positioning import WKNNEstimator
+from .service import PositioningService
+
+BATCH_SIZES = (1, 64, 256)
+
+
+def _best_of(fn: Callable[[], None], rounds: int) -> float:
+    best = np.inf
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _online_queries(
+    dataset: Dataset, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Simulate ``n`` raw device scans across the venue's RPs."""
+    rps = dataset.venue.reference_points
+    picks = rng.integers(0, len(rps), size=n)
+    return np.stack(
+        [dataset.channel.measure(rps[i], rng).rssi for i in picks]
+    )
+
+
+def run(config: ExperimentConfig, *, rounds: int = 3) -> ExperimentResult:
+    """Benchmark the serving path on the preset's kaide venue."""
+    dataset = get_dataset("kaide", config)
+    rng = np.random.default_rng(config.dataset_seed)
+    queries = _online_queries(dataset, max(BATCH_SIZES), rng)
+
+    service = PositioningService(cache_size=0)
+    shard = service.deploy(
+        "kaide",
+        dataset.radio_map,
+        TopoACDifferentiator(entities=dataset.venue.plan.entities),
+        estimator=WKNNEstimator(),
+    )
+    imputed = shard.impute(queries)
+
+    estimator_speedup: Dict[int, float] = {}
+    service_speedup: Dict[int, float] = {}
+    batched_throughput: Dict[int, float] = {}
+    lines: List[str] = [
+        f"{'batch':>6} {'loop (ms)':>10} {'batched (ms)':>13} "
+        f"{'speedup':>8} {'queries/s':>10}"
+    ]
+    for size in BATCH_SIZES:
+        q = imputed[:size]
+        loop_s = _best_of(
+            lambda: [shard.estimator.predict(row) for row in q], rounds
+        )
+        batched_s = _best_of(
+            lambda: shard.estimator.predict(q, squeeze=False), rounds
+        )
+        estimator_speedup[size] = loop_s / batched_s
+
+        raw = queries[:size]
+        keys = ["kaide"] * size
+        svc_loop_s = _best_of(
+            lambda: [service.query("kaide", row) for row in raw], rounds
+        )
+        svc_batched_s = _best_of(
+            lambda: service.query_batch(keys, raw), rounds
+        )
+        service_speedup[size] = svc_loop_s / svc_batched_s
+        batched_throughput[size] = size / svc_batched_s
+        lines.append(
+            f"{size:>6} {1e3 * loop_s:>10.2f} {1e3 * batched_s:>13.2f} "
+            f"{estimator_speedup[size]:>7.1f}x "
+            f"{batched_throughput[size]:>10.0f}"
+        )
+
+    # Warm-cache throughput: the same batch served twice.
+    cached = PositioningService(cache_size=4096)
+    cached.register(shard)
+    keys = ["kaide"] * max(BATCH_SIZES)
+    cached.query_batch(keys, queries)
+    warm_s = _best_of(lambda: cached.query_batch(keys, queries), rounds)
+    warm_throughput = max(BATCH_SIZES) / warm_s
+    lines.append(
+        f"warm cache, batch {max(BATCH_SIZES)}: "
+        f"{warm_throughput:.0f} queries/s "
+        f"(hit rate {100 * cached.stats.hit_rate:.0f}%)"
+    )
+
+    return ExperimentResult(
+        experiment_id="Serving bench",
+        rendered="\n".join(lines),
+        data={
+            "batch_sizes": list(BATCH_SIZES),
+            "estimator_speedup": estimator_speedup,
+            "service_speedup": service_speedup,
+            "batched_throughput": batched_throughput,
+            "warm_cache_throughput": warm_throughput,
+        },
+    )

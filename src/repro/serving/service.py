@@ -1,0 +1,332 @@
+"""The positioning service: batched, cached, multi-venue serving.
+
+Serving API
+-----------
+A deployment is a registry of :class:`VenueShard` objects, one per
+venue/floor radio map.  Each shard owns the full online pipeline for
+its map — differentiate (offline, at build time) → impute (online,
+batched) → estimate (online, batched) — so routing a request is a
+dictionary lookup and everything after it is vectorized.
+
+:class:`PositioningService` accepts batches of *raw* online
+fingerprints (NaN = unheard AP) tagged with venue keys, groups them by
+shard, answers repeats from an LRU cache keyed on quantized
+fingerprints, and keeps latency/throughput counters::
+
+    service = PositioningService()
+    service.deploy("kaide/f1", radio_map, differentiator)
+    locations = service.query_batch(keys, fingerprints)  # (n, 2)
+    print(service.stats.render())
+
+Shards built with a :class:`~repro.bisim.BiSIMConfig` run the trained
+BiSIM encoder over each query batch
+(:meth:`~repro.bisim.OnlineImputer.impute_batch`); shards built
+without one fall back to per-AP mean imputation, which keeps
+deployment instant for venues that cannot afford training.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bisim import BiSIMConfig, OnlineImputer
+from ..constants import MNAR_FILL
+from ..core import Differentiator
+from ..exceptions import ServingError
+from ..imputers import fill_mnars
+from ..positioning import LocationEstimator, WKNNEstimator
+from ..radiomap import RadioMap
+
+
+@dataclass
+class ServiceStats:
+    """Latency/throughput counters of one :class:`PositioningService`.
+
+    ``seconds`` accumulates wall-clock time spent inside
+    :meth:`PositioningService.query_batch`; ``per_venue`` counts
+    queries routed to each shard.
+    """
+
+    queries: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    seconds: float = 0.0
+    per_venue: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Served queries per second of service time."""
+        return self.queries / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"queries={self.queries} batches={self.batches} "
+            f"throughput={self.throughput:.0f}/s "
+            f"cache hit rate={100 * self.hit_rate:.0f}%",
+        ]
+        for venue in sorted(self.per_venue):
+            lines.append(f"  {venue}: {self.per_venue[venue]} queries")
+        return "\n".join(lines)
+
+
+class VenueShard:
+    """One venue's deployed pipeline: imputer + fitted estimator."""
+
+    def __init__(
+        self,
+        key: str,
+        n_aps: int,
+        estimator: LocationEstimator,
+        online_imputer: Optional[OnlineImputer] = None,
+        fill_values: Optional[np.ndarray] = None,
+    ):
+        self.key = key
+        self.n_aps = int(n_aps)
+        self.estimator = estimator
+        self.online_imputer = online_imputer
+        self.fill_values = fill_values
+
+    @classmethod
+    def build(
+        cls,
+        key: str,
+        radio_map: RadioMap,
+        differentiator: Differentiator,
+        *,
+        estimator: Optional[LocationEstimator] = None,
+        bisim_config: Optional[BiSIMConfig] = None,
+    ) -> "VenueShard":
+        """Run the offline half of the pipeline and fit the estimator.
+
+        Differentiates the radio map, MNAR-fills it, then either trains
+        a BiSIM (``bisim_config`` given) — whose encoder both imputes
+        the map the estimator trains on and serves the online queries —
+        or falls back to per-AP mean imputation for instant deploys.
+        """
+        estimator = estimator or WKNNEstimator()
+        mask = differentiator.differentiate(radio_map)
+        filled, amended = fill_mnars(radio_map, mask)
+        observed = np.isfinite(filled.fingerprints)
+        counts = observed.sum(axis=0)
+        sums = np.where(observed, filled.fingerprints, 0.0).sum(axis=0)
+        means = sums / np.maximum(counts, 1)
+        fill_values = np.where(counts > 0, means, MNAR_FILL)
+
+        if bisim_config is not None:
+            online = OnlineImputer.fit(filled, amended, bisim_config)
+            fp_complete, rps_complete = online.trainer.impute(
+                filled, amended
+            )
+            estimator.fit(fp_complete, rps_complete)
+            return cls(
+                key, radio_map.n_aps, estimator, online, fill_values
+            )
+
+        train_fp = np.where(
+            observed, filled.fingerprints, fill_values[None, :]
+        )
+        labelled = radio_map.rp_observed_mask
+        if not labelled.any():
+            raise ServingError(f"venue {key!r} has no labelled records")
+        estimator.fit(train_fp[labelled], radio_map.rps[labelled])
+        return cls(key, radio_map.n_aps, estimator, None, fill_values)
+
+    def impute(self, queries: np.ndarray) -> np.ndarray:
+        """Complete a ``(n, D)`` query batch (NaN = missing)."""
+        if self.online_imputer is not None:
+            return self.online_imputer.impute_batch(
+                queries, squeeze=False
+            )
+        assert self.fill_values is not None
+        return np.where(
+            np.isfinite(queries), queries, self.fill_values[None, :]
+        )
+
+    def locate(self, queries: np.ndarray) -> np.ndarray:
+        """Full online path: impute, then batched estimation → (n, 2)."""
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2 or queries.shape[1] != self.n_aps:
+            raise ServingError(
+                f"venue {self.key!r} expects (n, {self.n_aps}) queries"
+            )
+        return self.estimator.predict(self.impute(queries), squeeze=False)
+
+
+class PositioningService:
+    """Routes mixed-venue fingerprint batches through venue shards.
+
+    Parameters
+    ----------
+    cache_size:
+        Maximum number of cached (venue, quantized fingerprint) →
+        location entries; 0 disables caching.
+    cache_quantum:
+        RSSI quantization step (dBm) for cache keys — readings within
+        the same quantum map to the same entry, which turns device
+        re-scans into cache hits without measurably moving the
+        estimate.
+    """
+
+    def __init__(
+        self, *, cache_size: int = 4096, cache_quantum: float = 1.0
+    ):
+        if cache_quantum <= 0:
+            raise ServingError("cache_quantum must be positive")
+        self._shards: Dict[str, VenueShard] = {}
+        self._cache: "OrderedDict[Tuple[str, bytes], np.ndarray]" = (
+            OrderedDict()
+        )
+        self.cache_size = int(cache_size)
+        self.cache_quantum = float(cache_quantum)
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Registry (sharding by venue/floor key)
+    # ------------------------------------------------------------------
+    @property
+    def venues(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    def register(self, shard: VenueShard) -> VenueShard:
+        if shard.key in self._shards:
+            raise ServingError(f"venue {shard.key!r} already registered")
+        self._shards[shard.key] = shard
+        return shard
+
+    def deploy(
+        self,
+        key: str,
+        radio_map: RadioMap,
+        differentiator: Differentiator,
+        *,
+        estimator: Optional[LocationEstimator] = None,
+        bisim_config: Optional[BiSIMConfig] = None,
+    ) -> VenueShard:
+        """Build a shard from a raw radio map and register it."""
+        return self.register(
+            VenueShard.build(
+                key,
+                radio_map,
+                differentiator,
+                estimator=estimator,
+                bisim_config=bisim_config,
+            )
+        )
+
+    def shard(self, key: str) -> VenueShard:
+        try:
+            return self._shards[key]
+        except KeyError:
+            raise ServingError(
+                f"unknown venue {key!r}; deployed: {list(self.venues)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, venue: str, fingerprint: np.ndarray) -> np.ndarray:
+        """Locate one raw online fingerprint → ``(2,)``."""
+        fp = np.asarray(fingerprint, dtype=float)
+        return self.query_batch([venue], fp[None, :])[0]
+
+    def query_batch(
+        self,
+        venues: Sequence[str],
+        fingerprints: Sequence[np.ndarray],
+    ) -> np.ndarray:
+        """Locate a batch of raw fingerprints → ``(n, 2)``.
+
+        ``venues[i]`` names the shard for ``fingerprints[i]``; rows may
+        mix venues freely (and venues may differ in AP count, so the
+        batch is a sequence of ``(D_venue,)`` vectors — a uniform
+        ``(n, D)`` array works when all rows share a venue).  Cache
+        hits are answered immediately; misses are grouped per venue and
+        go through each shard's batched impute→estimate path in one
+        call.
+        """
+        start = time.perf_counter()
+        n = len(venues)
+        if n != len(fingerprints):
+            raise ServingError("venues/fingerprints length mismatch")
+        # Validate every row before touching stats or the cache, so a
+        # bad row cannot leave the counters half-updated.
+        rows_fp: List[np.ndarray] = []
+        for venue, fingerprint in zip(venues, fingerprints):
+            shard = self.shard(venue)
+            fp = np.asarray(fingerprint, dtype=float)
+            if fp.shape != (shard.n_aps,):
+                raise ServingError(
+                    f"venue {venue!r} expects ({shard.n_aps},) "
+                    "fingerprints"
+                )
+            rows_fp.append(fp)
+
+        out = np.empty((n, 2))
+        keys: List[Optional[Tuple[str, bytes]]] = [None] * n
+        misses: Dict[str, List[int]] = {}
+        for i, venue in enumerate(venues):
+            self.stats.per_venue[venue] = (
+                self.stats.per_venue.get(venue, 0) + 1
+            )
+            if self.cache_size:
+                key = self._cache_key(venue, rows_fp[i])
+                keys[i] = key
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.stats.cache_hits += 1
+                    out[i] = cached
+                    continue
+                self.stats.cache_misses += 1
+            misses.setdefault(venue, []).append(i)
+
+        for venue, rows in misses.items():
+            batch = np.stack([rows_fp[i] for i in rows])
+            located = self._shards[venue].locate(batch)
+            for i, loc in zip(rows, located):
+                out[i] = loc
+                self._cache_put(keys[i], loc)
+
+        self.stats.queries += n
+        self.stats.batches += 1
+        self.stats.seconds += time.perf_counter() - start
+        return out
+
+    def reset_stats(self) -> None:
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # LRU cache on quantized fingerprints
+    # ------------------------------------------------------------------
+    def _cache_key(
+        self, venue: str, fingerprint: np.ndarray
+    ) -> Tuple[str, bytes]:
+        fp = np.asarray(fingerprint, dtype=float)
+        quantized = np.round(fp / self.cache_quantum)
+        # Missing readings get a sentinel far outside the RSSI range so
+        # the observability pattern is part of the key; clipping keeps
+        # tiny quanta from wrapping the integer cast into collisions.
+        quantized = np.where(np.isfinite(quantized), quantized, 1e9)
+        quantized = np.clip(quantized, -(2**31) + 1, 2**31 - 1)
+        return venue, quantized.astype(np.int32).tobytes()
+
+    def _cache_put(
+        self, key: Optional[Tuple[str, bytes]], location: np.ndarray
+    ) -> None:
+        if not self.cache_size or key is None:
+            return
+        self._cache[key] = location.copy()
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)

@@ -66,6 +66,47 @@ class TestOnlineImputer:
         with pytest.raises(ImputationError):
             imputer.impute_fingerprint(np.zeros(3))
 
+    def test_batch_parity_with_reference(self, online, kaide_smoke):
+        """Vectorized impute_batch == per-query reference, mixed masks."""
+        imputer, _ = online
+        rng = np.random.default_rng(7)
+        rps = kaide_smoke.venue.reference_points
+        queries = np.stack(
+            [
+                kaide_smoke.channel.measure(rps[i % len(rps)], rng).rssi
+                for i in range(16)
+            ]
+        )
+        # Include an all-missing scan (pattern-similarity fallback).
+        queries[-1] = np.nan
+        reference = np.stack(
+            [imputer.impute_fingerprint(q) for q in queries]
+        )
+        batched = imputer.impute_batch(queries)
+        np.testing.assert_allclose(batched, reference, atol=1e-8)
+
+    def test_empty_batch(self, online, kaide_smoke):
+        imputer, _ = online
+        d = kaide_smoke.radio_map.n_aps
+        out = imputer.impute_batch(np.empty((0, d)))
+        assert out.shape == (0, d)
+
+    def test_single_query_shape_contract(self, online, kaide_smoke):
+        imputer, _ = online
+        rng = np.random.default_rng(9)
+        pos = kaide_smoke.venue.reference_points[2]
+        scan = kaide_smoke.channel.measure(pos, rng).rssi
+        squeezed = imputer.impute_batch(scan)
+        assert squeezed.shape == scan.shape
+        kept = imputer.impute_batch(scan, squeeze=False)
+        assert kept.shape == (1, scan.size)
+        np.testing.assert_allclose(squeezed, kept[0])
+
+    def test_batch_wrong_width_rejected(self, online):
+        imputer, _ = online
+        with pytest.raises(ImputationError):
+            imputer.impute_batch(np.zeros((2, 3)))
+
     def test_unfitted_trainer_rejected(self, kaide_smoke):
         from repro.bisim import BiSIMTrainer
 

@@ -14,6 +14,11 @@ class TestParser:
         args = build_parser().parse_args(["table5"])
         assert args.preset == "smoke"
 
+    def test_serve_bench_registered(self):
+        assert "serve-bench" in EXPERIMENTS
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.experiment == "serve-bench"
+
     def test_invalid_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table99"])
@@ -33,3 +38,9 @@ class TestMain:
     def test_runs_fig5(self, capsys):
         assert main(["fig5", "--preset", "smoke"]) == 0
         assert "Fig. 5" in capsys.readouterr().out
+
+    def test_runs_serve_bench(self, capsys):
+        assert main(["serve-bench", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving bench" in out
+        assert "speedup" in out

@@ -15,6 +15,7 @@ from repro.neuro import (
     masked_mae,
     masked_mse,
     mse,
+    take,
 )
 
 RNG = np.random.default_rng(7)
@@ -75,6 +76,19 @@ class TestShapeOpGrads:
         w = Tensor(RNG.normal(size=(2, 5)))
         check_gradients(
             lambda: (concat([a, b], axis=1) * w).sum(), [a, b]
+        )
+
+    def test_take_gathers_with_repeats(self):
+        a = _p(5, 3)
+        w = Tensor(RNG.normal(size=(4, 3)))
+        check_gradients(
+            lambda: (take(a, [0, 2, 2, 4], axis=0) * w).sum(), [a]
+        )
+
+    def test_take_along_columns(self):
+        a = _p(3, 6)
+        check_gradients(
+            lambda: (take(a, [5, 0, 1], axis=1) * 2.0).sum(), [a]
         )
 
     def test_reshape_transpose(self):

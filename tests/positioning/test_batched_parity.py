@@ -1,0 +1,104 @@
+"""Batched estimator predictions match the per-query reference loop."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PositioningError
+from repro.positioning import (
+    KNNEstimator,
+    RandomForestEstimator,
+    WKNNEstimator,
+)
+
+
+def knn_reference(est, queries):
+    """The pre-refactor per-query KNN loop."""
+    k = min(est.k, est._fp.shape[0])
+    out = np.empty((queries.shape[0], 2))
+    for i, q in enumerate(queries):
+        d = np.linalg.norm(est._fp - q, axis=1)
+        nearest = np.argpartition(d, k - 1)[:k]
+        out[i] = est._loc[nearest].mean(axis=0)
+    return out
+
+
+def wknn_reference(est, queries):
+    """The pre-refactor per-query WKNN loop."""
+    k = min(est.k, est._fp.shape[0])
+    out = np.empty((queries.shape[0], 2))
+    for i, q in enumerate(queries):
+        d = np.linalg.norm(est._fp - q, axis=1)
+        nearest = np.argpartition(d, k - 1)[:k]
+        w = 1.0 / (d[nearest] + est.eps)
+        out[i] = (w[:, None] * est._loc[nearest]).sum(axis=0) / w.sum()
+    return out
+
+
+def random_venue(rng, n=120, d=25):
+    """A random radio map + online queries in the RSSI range."""
+    fp = rng.uniform(-95.0, -30.0, size=(n, d))
+    loc = rng.uniform(0.0, 60.0, size=(n, 2))
+    queries = rng.uniform(-95.0, -30.0, size=(40, d))
+    return fp, loc, queries
+
+
+class TestBatchedParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_knn_matches_reference(self, seed, k):
+        fp, loc, queries = random_venue(np.random.default_rng(seed))
+        est = KNNEstimator(k=k).fit(fp, loc)
+        np.testing.assert_allclose(
+            est.predict(queries), knn_reference(est, queries), atol=1e-8
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_wknn_matches_reference(self, seed, k):
+        fp, loc, queries = random_venue(np.random.default_rng(seed))
+        est = WKNNEstimator(k=k).fit(fp, loc)
+        np.testing.assert_allclose(
+            est.predict(queries), wknn_reference(est, queries), atol=1e-8
+        )
+
+    def test_k_larger_than_map(self):
+        fp, loc, queries = random_venue(np.random.default_rng(3), n=5)
+        est = KNNEstimator(k=100).fit(fp, loc)
+        np.testing.assert_allclose(
+            est.predict(queries), knn_reference(est, queries), atol=1e-8
+        )
+
+
+class TestShapeContract:
+    @pytest.mark.parametrize(
+        "factory", [KNNEstimator, WKNNEstimator, RandomForestEstimator]
+    )
+    def test_single_query_squeezes(self, factory, rng):
+        fp, loc, queries = random_venue(rng, n=30)
+        est = factory().fit(fp, loc)
+        single = est.predict(queries[0])
+        assert single.shape == (2,)
+        kept = est.predict(queries[0], squeeze=False)
+        assert kept.shape == (1, 2)
+        np.testing.assert_allclose(single, kept[0])
+
+    @pytest.mark.parametrize(
+        "factory", [KNNEstimator, WKNNEstimator, RandomForestEstimator]
+    )
+    def test_empty_batch(self, factory, rng):
+        fp, loc, _ = random_venue(rng, n=30)
+        est = factory().fit(fp, loc)
+        assert est.predict(np.empty((0, fp.shape[1]))).shape == (0, 2)
+
+    @pytest.mark.parametrize(
+        "factory", [KNNEstimator, WKNNEstimator, RandomForestEstimator]
+    )
+    def test_unfitted_raises_clear_error(self, factory):
+        with pytest.raises(PositioningError, match="not fitted"):
+            factory().predict(np.zeros(4))
+
+    def test_dimension_mismatch_rejected(self, rng):
+        fp, loc, _ = random_venue(rng, n=30, d=10)
+        est = KNNEstimator().fit(fp, loc)
+        with pytest.raises(PositioningError):
+            est.predict(np.zeros((2, 11)))

@@ -1,0 +1,163 @@
+"""PositioningService: sharding, routing, caching, stats."""
+
+import numpy as np
+import pytest
+
+from repro.bisim import BiSIMConfig
+from repro.core import MAROnlyDifferentiator, TopoACDifferentiator
+from repro.exceptions import ServingError
+from repro.positioning import KNNEstimator, WKNNEstimator
+from repro.serving import PositioningService
+
+
+@pytest.fixture(scope="module")
+def service(kaide_smoke, longhu_smoke):
+    """Two venues deployed on the instant (mean-fill) path."""
+    svc = PositioningService(cache_size=64)
+    for name, ds in (("kaide", kaide_smoke), ("longhu", longhu_smoke)):
+        svc.deploy(
+            name,
+            ds.radio_map,
+            TopoACDifferentiator(entities=ds.venue.plan.entities),
+            estimator=WKNNEstimator(),
+        )
+    return svc
+
+
+def scans(dataset, n, seed):
+    rng = np.random.default_rng(seed)
+    rps = dataset.venue.reference_points
+    return np.stack(
+        [
+            dataset.channel.measure(rps[i % len(rps)], rng).rssi
+            for i in range(n)
+        ]
+    )
+
+
+class TestRouting:
+    def test_venues_registered(self, service):
+        assert service.venues == ("kaide", "longhu")
+
+    def test_unknown_venue_rejected(self, service, kaide_smoke):
+        with pytest.raises(ServingError, match="unknown venue"):
+            service.query("mall99", scans(kaide_smoke, 1, 0)[0])
+
+    def test_mixed_venue_batch_matches_per_venue(
+        self, service, kaide_smoke, longhu_smoke
+    ):
+        """Interleaved venues route to the right shard, rows aligned."""
+        ka = scans(kaide_smoke, 3, 1)
+        lo = scans(longhu_smoke, 3, 2)
+        venues = ["kaide", "longhu", "kaide", "longhu", "kaide", "longhu"]
+        fps = [ka[0], lo[0], ka[1], lo[1], ka[2], lo[2]]
+        mixed = service.query_batch(venues, fps)
+        direct_ka = service.shard("kaide").locate(ka)
+        direct_lo = service.shard("longhu").locate(lo)
+        np.testing.assert_allclose(mixed[0::2], direct_ka)
+        np.testing.assert_allclose(mixed[1::2], direct_lo)
+
+    def test_single_query_shape(self, service, kaide_smoke):
+        out = service.query("kaide", scans(kaide_smoke, 1, 3)[0])
+        assert out.shape == (2,)
+
+    def test_length_mismatch_rejected(self, service, kaide_smoke):
+        with pytest.raises(ServingError, match="length mismatch"):
+            service.query_batch(["kaide"], scans(kaide_smoke, 2, 4))
+
+    def test_duplicate_registration_rejected(self, service, kaide_smoke):
+        shard = service.shard("kaide")
+        with pytest.raises(ServingError, match="already registered"):
+            service.register(shard)
+
+
+class TestCache:
+    def test_repeat_query_hits_cache(self, kaide_smoke):
+        svc = PositioningService(cache_size=16)
+        svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        fp = scans(kaide_smoke, 1, 5)[0]
+        first = svc.query("kaide", fp)
+        assert svc.stats.cache_hits == 0
+        second = svc.query("kaide", fp)
+        assert svc.stats.cache_hits == 1
+        np.testing.assert_allclose(first, second)
+
+    def test_lru_eviction_bound(self, kaide_smoke):
+        svc = PositioningService(cache_size=4)
+        svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        batch = scans(kaide_smoke, 10, 6)
+        svc.query_batch(["kaide"] * 10, batch)
+        assert len(svc._cache) <= 4
+
+    def test_cache_disabled(self, kaide_smoke):
+        svc = PositioningService(cache_size=0)
+        svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        fp = scans(kaide_smoke, 1, 7)[0]
+        svc.query("kaide", fp)
+        svc.query("kaide", fp)
+        assert svc.stats.cache_hits == 0
+        assert len(svc._cache) == 0
+
+
+class TestStats:
+    def test_counters_accumulate(self, kaide_smoke):
+        svc = PositioningService()
+        svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        batch = scans(kaide_smoke, 5, 8)
+        svc.query_batch(["kaide"] * 5, batch)
+        assert svc.stats.queries == 5
+        assert svc.stats.batches == 1
+        assert svc.stats.per_venue == {"kaide": 5}
+        assert svc.stats.seconds > 0
+        assert svc.stats.throughput > 0
+        assert "kaide" in svc.stats.render()
+        svc.reset_stats()
+        assert svc.stats.queries == 0
+
+
+@pytest.mark.slow
+class TestBiSIMServing:
+    """Full pipeline (differentiate → BiSIM impute → estimate) end to end."""
+
+    def test_bisim_shard_serves_batches(self, kaide_smoke):
+        svc = PositioningService()
+        svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            TopoACDifferentiator(
+                entities=kaide_smoke.venue.plan.entities
+            ),
+            estimator=WKNNEstimator(),
+            bisim_config=BiSIMConfig(hidden_size=12, epochs=3),
+        )
+        shard = svc.shard("kaide")
+        assert shard.online_imputer is not None
+        batch = scans(kaide_smoke, 8, 9)
+        out = svc.query_batch(["kaide"] * 8, batch)
+        assert out.shape == (8, 2)
+        assert np.isfinite(out).all()
+        # Batched service answers == per-query shard answers.
+        singles = np.stack(
+            [svc.shard("kaide").locate(fp[None, :])[0] for fp in batch]
+        )
+        np.testing.assert_allclose(out, singles, atol=1e-8)
