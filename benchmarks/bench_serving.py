@@ -1,4 +1,5 @@
-"""Bench: serving throughput — batched query path vs per-query loop."""
+"""Bench: serving throughput — batched query path vs per-query loop,
+and cold-start (train + deploy) vs warm-start (load artifact)."""
 
 from conftest import emit
 
@@ -15,3 +16,10 @@ def test_serving_throughput(benchmark, bench_config, results_dir):
     assert result.data["estimator_speedup"][256] >= 5.0
     # Batching the service beats calling it one query at a time.
     assert result.data["service_speedup"][256] > 1.0
+    # Warm-starting from the shard artifact beats rebuilding the shard
+    # from the raw radio map, and serves identical locations.
+    assert (
+        result.data["warm_start_seconds"]
+        < result.data["cold_start_seconds"]
+    )
+    assert result.data["warm_start_parity"] <= 1e-8

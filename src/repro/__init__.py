@@ -18,7 +18,9 @@ it depends on:
 * :mod:`repro.experiments` — one module per table/figure;
 * :mod:`repro.serving` — the serving subsystem: per-venue shards,
   batched mixed-venue query routing, LRU caching and
-  latency/throughput stats (see its "Serving API" docstring).
+  latency/throughput stats (see its "Serving API" docstring);
+* :mod:`repro.artifacts` — the versioned on-disk artifact store the
+  pipeline stages communicate through (train once, serve many).
 
 Quickstart::
 
@@ -37,6 +39,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from . import (
+    artifacts,
     bisim,
     cluster,
     core,
@@ -59,6 +62,7 @@ from .exceptions import ReproError
 __all__ = [
     "ReproError",
     "__version__",
+    "artifacts",
     "bisim",
     "cluster",
     "core",

@@ -1,0 +1,43 @@
+"""Artifact persistence: train once, serve many.
+
+The pipeline stages (train → impute → estimate → serve) communicate
+through *artifacts*: versioned ``.npz`` files carrying named tensors
+plus a JSON manifest (schema version, kind, config, metrics, content
+hash).  See :mod:`repro.artifacts.io` for the format and
+:mod:`repro.artifacts.store` for the keyed on-disk store.
+
+Producers/consumers across the library:
+
+* :meth:`repro.neuro.Module.save` / ``load`` — raw weight checkpoints;
+* :mod:`repro.bisim.checkpoint` — trainer/online-imputer checkpoints
+  and the keyed trainer cache used by the experiment harness;
+* :mod:`repro.positioning.io` — fitted estimator state;
+* :meth:`repro.serving.VenueShard.save` / ``load`` — full warm-start
+  shard bundles consumed by ``python -m repro serve-bench``.
+"""
+
+from .io import (
+    SCHEMA_VERSION,
+    Artifact,
+    content_hash,
+    load_artifact,
+    merge_prefixed,
+    pack_ragged,
+    save_artifact,
+    split_prefixed,
+    unpack_ragged,
+)
+from .store import ArtifactStore
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "SCHEMA_VERSION",
+    "content_hash",
+    "load_artifact",
+    "merge_prefixed",
+    "pack_ragged",
+    "save_artifact",
+    "split_prefixed",
+    "unpack_ragged",
+]

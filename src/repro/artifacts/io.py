@@ -1,0 +1,306 @@
+"""Versioned artifact files: npz tensors + an embedded JSON manifest.
+
+An *artifact* is the unit of persistence between pipeline stages
+(train → impute → estimate → serve): a set of named numpy arrays plus
+a JSON-able ``config`` and ``metrics`` dict, written as one
+``.npz`` file.  The manifest — stored inside the npz under the
+reserved ``__manifest__`` entry — records the schema version, the
+artifact ``kind`` (e.g. ``"bisim.trainer"``), per-array dtype/shape
+specs, and a SHA-256 content hash over the arrays and config.
+
+:func:`load_artifact` refuses anything suspicious with a typed
+:class:`~repro.exceptions.ArtifactError`: unreadable files, unknown
+schema versions, kind mismatches, arrays whose dtype/shape drifted
+from the manifest, and content-hash mismatches (bit rot or tampering).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ArtifactError
+
+PathLike = Union[str, Path]
+
+#: Bump when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: npz entry holding the JSON manifest; array names must not use it.
+_MANIFEST_KEY = "__manifest__"
+
+
+@dataclass
+class Artifact:
+    """One versioned bundle of arrays + config + metrics.
+
+    Attributes
+    ----------
+    kind:
+        Dotted type tag (``"bisim.trainer"``, ``"serving.shard"``, …)
+        consumers assert on before interpreting the payload.
+    arrays:
+        Named numpy arrays (the tensors).
+    config:
+        JSON-able construction parameters needed to rebuild the object.
+    metrics:
+        JSON-able quality/provenance numbers (losses, timings, …);
+        informational only, not hashed.
+    """
+
+    kind: str
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+def _canonical_config(config: Dict[str, Any]) -> str:
+    try:
+        return json.dumps(config, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ArtifactError(
+            f"artifact config is not JSON-serialisable: {exc}"
+        ) from exc
+
+
+def content_hash(
+    arrays: Dict[str, np.ndarray], config: Dict[str, Any]
+) -> str:
+    """SHA-256 over the arrays (name, dtype, shape, bytes) and config."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        a = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(a.dtype).encode())
+        h.update(repr(a.shape).encode())
+        h.update(a.tobytes())
+    h.update(_canonical_config(config).encode())
+    return h.hexdigest()
+
+
+def _validate_arrays(arrays: Dict[str, np.ndarray]) -> None:
+    for name, a in arrays.items():
+        if not name or name == _MANIFEST_KEY or name.startswith("__"):
+            raise ArtifactError(f"illegal artifact array name {name!r}")
+        if a.dtype == object:
+            # Object arrays need pickle, which load_artifact refuses
+            # (a tampered pickle must never execute before validation).
+            raise ArtifactError(
+                f"artifact array {name!r} has object dtype; only "
+                "plain numeric/string tensors are supported"
+            )
+
+
+def save_artifact(artifact: Artifact, path: PathLike) -> Path:
+    """Write an artifact to ``path`` (.npz); returns the path."""
+    path = Path(path)
+    if not artifact.kind:
+        raise ArtifactError("artifact kind must be non-empty")
+    arrays = {
+        name: np.asarray(a) for name, a in artifact.arrays.items()
+    }
+    _validate_arrays(arrays)
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": artifact.kind,
+        "config": artifact.config,
+        "metrics": artifact.metrics,
+        "arrays": {
+            name: {"dtype": str(a.dtype), "shape": list(a.shape)}
+            for name, a in arrays.items()
+        },
+        "content_hash": content_hash(arrays, artifact.config),
+    }
+    payload = json.dumps(manifest)  # fails early on bad metrics
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # The manifest is stored as a plain unicode array so loading never
+    # needs allow_pickle — a tampered file must not get to run pickle
+    # payloads before validation.  Write-to-temp + rename keeps an
+    # interrupted save from leaving a truncated artifact at the final
+    # path.
+    # The temp name ends in .npz so np.savez cannot append its own
+    # extension; the rename then lands on exactly the requested path.
+    tmp = path.with_name(path.name + ".tmp.npz")
+    try:
+        np.savez_compressed(
+            tmp,
+            **{_MANIFEST_KEY: np.array([payload])},
+            **arrays,
+        )
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def load_artifact(
+    path: PathLike, expected_kind: Optional[str] = None
+) -> Artifact:
+    """Load and validate an artifact written by :func:`save_artifact`.
+
+    Raises
+    ------
+    ArtifactError
+        If the file is missing or unreadable, the schema version or
+        ``kind`` does not match, an array's dtype/shape drifted from
+        the manifest, or the content hash does not verify.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"no such artifact: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if _MANIFEST_KEY not in data.files:
+                raise ArtifactError(
+                    f"{path} is not an artifact (no manifest)"
+                )
+            manifest = json.loads(str(data[_MANIFEST_KEY][0]))
+            arrays = {
+                name: data[name]
+                for name in data.files
+                if name != _MANIFEST_KEY
+            }
+    except ArtifactError:
+        raise
+    except Exception as exc:  # zip/json/pickle corruption
+        raise ArtifactError(
+            f"unreadable artifact {path}: {exc}"
+        ) from exc
+
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ArtifactError(
+            f"unsupported artifact schema version {version!r} in {path} "
+            f"(this library reads version {SCHEMA_VERSION})"
+        )
+    kind = manifest.get("kind")
+    if expected_kind is not None and kind != expected_kind:
+        raise ArtifactError(
+            f"artifact kind mismatch in {path}: "
+            f"expected {expected_kind!r}, found {kind!r}"
+        )
+
+    specs = manifest.get("arrays", {})
+    if set(specs) != set(arrays):
+        missing = sorted(set(specs) - set(arrays))
+        extra = sorted(set(arrays) - set(specs))
+        raise ArtifactError(
+            f"artifact {path} array set drifted from manifest; "
+            f"missing={missing}, unexpected={extra}"
+        )
+    for name, spec in specs.items():
+        a = arrays[name]
+        if str(a.dtype) != spec["dtype"] or list(a.shape) != spec["shape"]:
+            raise ArtifactError(
+                f"artifact {path} array {name!r} does not match its "
+                f"manifest spec: dtype {a.dtype}/{spec['dtype']}, "
+                f"shape {list(a.shape)}/{spec['shape']}"
+            )
+
+    config = manifest.get("config", {})
+    digest = content_hash(arrays, config)
+    if digest != manifest.get("content_hash"):
+        raise ArtifactError(
+            f"artifact {path} failed content-hash verification "
+            "(corrupted or tampered)"
+        )
+    return Artifact(
+        kind=kind,
+        arrays=arrays,
+        config=config,
+        metrics=manifest.get("metrics", {}),
+    )
+
+
+def split_prefixed(
+    arrays: Dict[str, np.ndarray], prefix: str
+) -> Dict[str, np.ndarray]:
+    """Sub-dict of ``arrays`` under ``prefix`` with the prefix stripped.
+
+    Composite artifacts (e.g. a serving shard) namespace their members'
+    arrays as ``"<member>.<name>"``; this is the inverse of
+    :func:`merge_prefixed`.
+    """
+    return {
+        name[len(prefix) :]: a
+        for name, a in arrays.items()
+        if name.startswith(prefix)
+    }
+
+
+def merge_prefixed(
+    out: Dict[str, np.ndarray],
+    prefix: str,
+    arrays: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Merge ``arrays`` into ``out`` under ``prefix`` (returns ``out``)."""
+    for name, a in arrays.items():
+        key = prefix + name
+        if key in out:
+            raise ArtifactError(f"duplicate artifact array name {key!r}")
+        out[key] = a
+    return out
+
+
+def pack_ragged(
+    groups: Sequence[Dict[str, np.ndarray]]
+) -> Dict[str, np.ndarray]:
+    """Flatten a list of same-keyed array dicts into fixed tensors.
+
+    Every group's arrays are concatenated along axis 0 and the per-
+    group first-axis sizes recorded under ``"lengths"`` — the artifact
+    representation for variable-length collections (context chunks,
+    forest trees).  Inverse of :func:`unpack_ragged`.
+    """
+    if not groups:
+        raise ArtifactError("nothing to pack")
+    keys = sorted(groups[0])
+    lengths = []
+    for g in groups:
+        if sorted(g) != keys:
+            raise ArtifactError("ragged groups must share key sets")
+        sizes = {np.asarray(a).shape[0] for a in g.values()}
+        if len(sizes) != 1:
+            raise ArtifactError(
+                "arrays within a ragged group must share axis-0 size"
+            )
+        lengths.append(sizes.pop())
+    out: Dict[str, np.ndarray] = {
+        "lengths": np.asarray(lengths, dtype=np.int64)
+    }
+    for k in keys:
+        if k == "lengths":
+            raise ArtifactError('"lengths" is reserved in ragged packs')
+        out[k] = np.concatenate([np.asarray(g[k]) for g in groups])
+    return out
+
+
+def unpack_ragged(
+    arrays: Dict[str, np.ndarray]
+) -> List[Dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_ragged`; validates the recorded lengths."""
+    if "lengths" not in arrays:
+        raise ArtifactError("ragged pack is missing its lengths array")
+    lengths = np.asarray(arrays["lengths"], dtype=int)
+    total = int(lengths.sum())
+    bounds = np.cumsum(lengths)[:-1]
+    parts: Dict[str, List[np.ndarray]] = {}
+    for name, a in arrays.items():
+        if name == "lengths":
+            continue
+        if np.asarray(a).shape[0] != total:
+            raise ArtifactError(
+                f"ragged array {name!r} does not sum to the recorded "
+                "lengths"
+            )
+        parts[name] = np.split(a, bounds)
+    return [
+        {name: parts[name][i] for name in parts}
+        for i in range(lengths.shape[0])
+    ]

@@ -1,0 +1,65 @@
+"""A keyed on-disk artifact store.
+
+Maps string keys (slash-separated, e.g. ``"kaide/bisim-smoke"``) to
+artifact files under one root directory, so pipeline stages and the
+experiment cache can exchange artifacts by name rather than by path::
+
+    store = ArtifactStore("~/artifacts")
+    store.save("kaide/shard", artifact)
+    artifact = store.load("kaide/shard", expected_kind="serving.shard")
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional
+
+from ..exceptions import ArtifactError
+from .io import Artifact, PathLike, load_artifact, save_artifact
+
+_SEGMENT = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+class ArtifactStore:
+    """Directory-backed mapping from keys to artifact files."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of ``key`` (no existence check)."""
+        segments = key.split("/") if key else [""]
+        for seg in segments:
+            if not _SEGMENT.match(seg) or seg in (".", ".."):
+                raise ArtifactError(f"illegal artifact key {key!r}")
+        # Append rather than with_suffix(): dotted keys like "model.v2"
+        # must not lose their tail.
+        return self.root.joinpath(*segments[:-1], segments[-1] + ".npz")
+
+    def exists(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def save(self, key: str, artifact: Artifact) -> Path:
+        return save_artifact(artifact, self.path_for(key))
+
+    def load(
+        self, key: str, expected_kind: Optional[str] = None
+    ) -> Artifact:
+        return load_artifact(self.path_for(key), expected_kind)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key`` if present; returns whether it existed."""
+        path = self.path_for(key)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def keys(self) -> List[str]:
+        """All stored keys, sorted."""
+        return sorted(
+            str(p.relative_to(self.root).with_suffix(""))
+            for p in self.root.rglob("*.npz")
+        )

@@ -6,6 +6,13 @@ from .attention import (
     SparsityFriendlyAttention,
     VanillaBahdanauAttention,
 )
+from .checkpoint import (
+    BiSIMTrainerCache,
+    load_online_imputer,
+    load_trainer,
+    save_online_imputer,
+    save_trainer,
+)
 from .config import BiSIMConfig
 from .features import (
     FeatureSpace,
@@ -30,6 +37,7 @@ __all__ = [
     "BiSIMConfig",
     "BiSIMImputer",
     "BiSIMTrainer",
+    "BiSIMTrainerCache",
     "DecoderUnit",
     "DirectionOutput",
     "EncoderUnit",
@@ -45,8 +53,12 @@ __all__ = [
     "build_feature_space",
     "cross_loss",
     "direction_loss",
+    "load_online_imputer",
+    "load_trainer",
     "overall_loss",
     "prepare_chunks",
+    "save_online_imputer",
+    "save_trainer",
     "stack_batch",
     "time_lag_vectors",
     "time_lag_vectors_batched",

@@ -1,0 +1,307 @@
+"""BiSIM checkpointing: trainers and online imputers as artifacts.
+
+Two artifact kinds live here:
+
+* ``"bisim.trainer"`` — a fitted :class:`BiSIMTrainer`: model weights,
+  the fitted :class:`FeatureSpace`, the :class:`BiSIMConfig`, and the
+  training history.  Enough to impute radio maps in a fresh process.
+* ``"bisim.online"`` — a :class:`OnlineImputer`: the trainer payload
+  plus the serialized context-chunk index, so the online serving path
+  boots without a radio map or any retraining.
+
+:class:`BiSIMTrainerCache` keys fitted trainers on a content hash of
+(radio map, amended mask, config); the experiment harness wires one
+instance into every :class:`~repro.bisim.imputer.BiSIMImputer` so
+figures sharing a (config, seed, radio map) triple train once and
+reuse the model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..artifacts import (
+    Artifact,
+    ArtifactStore,
+    content_hash,
+    load_artifact,
+    merge_prefixed,
+    pack_ragged,
+    save_artifact,
+    split_prefixed,
+    unpack_ragged,
+)
+from ..exceptions import ArtifactError, ImputationError
+from ..radiomap import RadioMap
+from .config import BiSIMConfig
+from .features import FeatureSpace, SequenceChunk
+from .online import OnlineImputer
+from .trainer import BiSIMTrainer, TrainingHistory
+
+TRAINER_KIND = "bisim.trainer"
+ONLINE_KIND = "bisim.online"
+
+Payload = Tuple[Dict[str, Any], Dict[str, np.ndarray], Dict[str, Any]]
+
+
+# ----------------------------------------------------------------------
+# Trainer payloads
+# ----------------------------------------------------------------------
+def trainer_payload(trainer: BiSIMTrainer) -> Payload:
+    """``(config, arrays, metrics)`` of a fitted trainer.
+
+    Exposed separately from :func:`save_trainer` so composite
+    artifacts (online imputer, serving shard) can embed a trainer
+    under a name prefix.
+    """
+    if trainer.space is None:
+        raise ImputationError("cannot checkpoint an unfitted trainer")
+    config = {
+        "n_aps": int(trainer.model.n_aps),
+        "bisim": trainer.config.to_dict(),
+        "time_lag_scale": float(trainer.space.time_lag_scale),
+    }
+    arrays: Dict[str, np.ndarray] = {}
+    merge_prefixed(arrays, "model.", trainer.model.state_dict())
+    arrays["space.rp_min"] = np.asarray(trainer.space.rp_min, dtype=float)
+    arrays["space.rp_span"] = np.asarray(
+        trainer.space.rp_span, dtype=float
+    )
+    arrays["history.losses"] = np.asarray(
+        trainer.history.losses, dtype=float
+    )
+    arrays["history.epoch_seconds"] = np.asarray(
+        trainer.history.epoch_seconds, dtype=float
+    )
+    metrics: Dict[str, Any] = {}
+    if trainer.history.losses:
+        metrics = {
+            "final_loss": trainer.history.final_loss,
+            "best_loss": trainer.history.best_loss,
+            "best_epoch": trainer.history.best_epoch,
+            "train_seconds": trainer.history.total_seconds,
+        }
+    return config, arrays, metrics
+
+
+def trainer_from_payload(
+    config: Dict[str, Any], arrays: Dict[str, np.ndarray]
+) -> BiSIMTrainer:
+    """Inverse of :func:`trainer_payload`."""
+    try:
+        n_aps = int(config["n_aps"])
+        bisim_config = BiSIMConfig.from_dict(config["bisim"])
+        time_lag_scale = float(config["time_lag_scale"])
+    except (KeyError, TypeError) as exc:
+        raise ArtifactError(
+            f"malformed trainer checkpoint config: {exc}"
+        ) from exc
+    trainer = BiSIMTrainer(n_aps, bisim_config)
+    trainer.model.load_state_dict(split_prefixed(arrays, "model."))
+    trainer.space = FeatureSpace(
+        rp_min=arrays["space.rp_min"].copy(),
+        rp_span=arrays["space.rp_span"].copy(),
+        time_lag_scale=time_lag_scale,
+    )
+    trainer.history = TrainingHistory(
+        losses=[float(x) for x in arrays["history.losses"]],
+        epoch_seconds=[
+            float(x) for x in arrays["history.epoch_seconds"]
+        ],
+    )
+    return trainer
+
+
+def save_trainer(trainer: BiSIMTrainer, path) -> None:
+    config, arrays, metrics = trainer_payload(trainer)
+    save_artifact(
+        Artifact(
+            kind=TRAINER_KIND,
+            arrays=arrays,
+            config=config,
+            metrics=metrics,
+        ),
+        path,
+    )
+
+
+def load_trainer(path) -> BiSIMTrainer:
+    artifact = load_artifact(path, expected_kind=TRAINER_KIND)
+    return trainer_from_payload(artifact.config, artifact.arrays)
+
+
+# ----------------------------------------------------------------------
+# Online-imputer payloads (trainer + context index)
+# ----------------------------------------------------------------------
+def online_payload(imputer: OnlineImputer) -> Payload:
+    """``(config, arrays, metrics)`` of a serving-ready online imputer."""
+    config, arrays_t, metrics = trainer_payload(imputer.trainer)
+    chunks = imputer._chunks
+    if not chunks:
+        raise ImputationError(
+            "cannot checkpoint an online imputer with no context index"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    merge_prefixed(arrays, "trainer.", arrays_t)
+    packed = pack_ragged(
+        [
+            {
+                "rows": np.asarray(c.rows, dtype=np.int64),
+                "fingerprints": c.fingerprints,
+                "fp_mask": c.fp_mask,
+                "rps": c.rps,
+                "rp_mask": c.rp_mask,
+                "times": c.times,
+            }
+            for c in chunks
+        ]
+    )
+    merge_prefixed(arrays, "chunks.", packed)
+    metrics = dict(metrics, n_context_chunks=len(chunks))
+    return config, arrays, metrics
+
+
+def online_from_payload(
+    config: Dict[str, Any], arrays: Dict[str, np.ndarray]
+) -> OnlineImputer:
+    """Inverse of :func:`online_payload`."""
+    trainer = trainer_from_payload(
+        config, split_prefixed(arrays, "trainer.")
+    )
+    groups = unpack_ragged(split_prefixed(arrays, "chunks."))
+    imputer = OnlineImputer(trainer)
+    imputer._set_chunks([SequenceChunk(**g) for g in groups])
+    return imputer
+
+
+def save_online_imputer(imputer: OnlineImputer, path) -> None:
+    config, arrays, metrics = online_payload(imputer)
+    save_artifact(
+        Artifact(
+            kind=ONLINE_KIND,
+            arrays=arrays,
+            config=config,
+            metrics=metrics,
+        ),
+        path,
+    )
+
+
+def load_online_imputer(path) -> OnlineImputer:
+    artifact = load_artifact(path, expected_kind=ONLINE_KIND)
+    return online_from_payload(artifact.config, artifact.arrays)
+
+
+# ----------------------------------------------------------------------
+# Keyed trainer cache (train once per (map, mask, config))
+# ----------------------------------------------------------------------
+class BiSIMTrainerCache:
+    """Content-addressed cache of fitted :class:`BiSIMTrainer` objects.
+
+    Keys hash the exact training inputs — the MNAR-filled radio map's
+    arrays, the amended mask, and the full config — so two experiments
+    that would train bit-identical models share one.  Entries live in
+    a bounded in-memory LRU and, when a ``store`` is given, are also
+    checkpointed to disk so later *processes* warm-start too (set the
+    ``REPRO_ARTIFACT_CACHE`` environment variable to point the
+    experiment harness at a directory).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        max_memory_entries: int = 8,
+        store_factory: Optional[
+            Callable[[], Optional[ArtifactStore]]
+        ] = None,
+    ):
+        self._memory: "OrderedDict[str, BiSIMTrainer]" = OrderedDict()
+        self._store = store
+        # Resolved lazily on first use, so constructing a cache at
+        # import time has no filesystem side effects and env-var
+        # configuration read by the factory stays live until then.
+        self._store_factory = store_factory if store is None else None
+        self.max_memory_entries = int(max_memory_entries)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        if self._store_factory is not None:
+            factory, self._store_factory = self._store_factory, None
+            self._store = factory()
+        return self._store
+
+    def key_for(
+        self,
+        radio_map: RadioMap,
+        amended_mask: np.ndarray,
+        config: BiSIMConfig,
+    ) -> str:
+        digest = content_hash(
+            {
+                "fingerprints": radio_map.fingerprints,
+                "rps": radio_map.rps,
+                "times": radio_map.times,
+                "path_ids": radio_map.path_ids,
+                "amended_mask": np.asarray(amended_mask),
+            },
+            config.to_dict(),
+        )
+        return f"bisim-{digest[:32]}"
+
+    def get(self, key: str) -> Optional[BiSIMTrainer]:
+        trainer = self._memory.get(key)
+        if trainer is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return trainer
+        if self.store is not None and self.store.exists(key):
+            try:
+                artifact = self.store.load(key, TRAINER_KIND)
+                trainer = trainer_from_payload(
+                    artifact.config, artifact.arrays
+                )
+            except ArtifactError:
+                # A truncated/corrupted cache entry (e.g. from a
+                # killed run) must degrade to a miss — the caller
+                # retrains and put() overwrites the bad file.
+                self.store.delete(key)
+            else:
+                self._remember(key, trainer)
+                self.hits += 1
+                return trainer
+        self.misses += 1
+        return None
+
+    def put(self, key: str, trainer: BiSIMTrainer) -> None:
+        self._remember(key, trainer)
+        if self.store is not None:
+            save_trainer(trainer, self.store.path_for(key))
+
+    def get_or_train(
+        self,
+        radio_map: RadioMap,
+        amended_mask: np.ndarray,
+        config: BiSIMConfig,
+    ) -> BiSIMTrainer:
+        """Cached trainer for the inputs, fitting one on a miss."""
+        key = self.key_for(radio_map, amended_mask, config)
+        trainer = self.get(key)
+        if trainer is None:
+            trainer = BiSIMTrainer(radio_map.n_aps, config)
+            trainer.fit(radio_map, amended_mask)
+            self.put(key, trainer)
+        return trainer
+
+    def clear(self) -> None:
+        self._memory.clear()
+
+    def _remember(self, key: str, trainer: BiSIMTrainer) -> None:
+        self._memory[key] = trainer
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)

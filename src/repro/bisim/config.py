@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict
 
 from ..constants import DEFAULT_SEQUENCE_LENGTH
 from ..exceptions import ImputationError
@@ -66,3 +67,28 @@ class BiSIMConfig:
             raise ImputationError("invalid training settings")
         if not self.bidirectional and self.cross_loss:
             self.cross_loss = False  # cross loss needs both directions
+
+    # ------------------------------------------------------------------
+    # Serialisation (checkpoint manifests)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able field dict; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BiSIMConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        The key set must match the fields exactly — a checkpoint
+        written by a different library version (extra *or* missing
+        fields) must fail loudly, not half-apply with defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        missing = sorted(known - set(data))
+        if unknown or missing:
+            raise ImputationError(
+                f"BiSIMConfig field mismatch; unknown={unknown}, "
+                f"missing={missing}"
+            )
+        return cls(**data)

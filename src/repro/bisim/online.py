@@ -83,16 +83,22 @@ class OnlineImputer:
     ) -> None:
         """(Re)build the context index from a radio map."""
         assert self._trainer.space is not None
-        self._chunks = prepare_chunks(
-            radio_map,
-            amended_mask,
-            self._trainer.space,
-            self._trainer.config.sequence_length,
+        self._set_chunks(
+            prepare_chunks(
+                radio_map,
+                amended_mask,
+                self._trainer.space,
+                self._trainer.config.sequence_length,
+            )
         )
-        if not self._chunks:
+
+    def _set_chunks(self, chunks: List[SequenceChunk]) -> None:
+        """Install the context chunks and precompute the stacked views
+        over the index, so the batched query path is pure matmuls at
+        serve time (also the restore path for checkpoint loading)."""
+        if not chunks:
             raise ImputationError("no context chunks available")
-        # Stacked views over the index, precomputed once so the batched
-        # query path is pure matmuls at serve time.
+        self._chunks = chunks
         self._last_fp = np.stack([c.fingerprints[-1] for c in self._chunks])
         self._last_m = np.stack([c.fp_mask[-1] for c in self._chunks])
         self._all_fp = np.vstack([c.fingerprints for c in self._chunks])
@@ -100,6 +106,23 @@ class OnlineImputer:
         self._chunk_lengths = np.array(
             [c.length for c in self._chunks], dtype=int
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see :mod:`repro.bisim.checkpoint`)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Checkpoint trainer + context index as a ``"bisim.online"``
+        artifact, so a fresh process can serve without retraining."""
+        from .checkpoint import save_online_imputer
+
+        save_online_imputer(self, path)
+
+    @classmethod
+    def load(cls, path) -> "OnlineImputer":
+        """Rebuild a serving-ready imputer from a :meth:`save` artifact."""
+        from .checkpoint import load_online_imputer
+
+        return load_online_imputer(path)
 
     # ------------------------------------------------------------------
     def impute_fingerprint(

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -26,15 +27,46 @@ from .model import BiSIM
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch mean training loss."""
+    """Per-epoch training record: mean loss and wall-clock seconds.
+
+    ``best_epoch`` (0-based index of the lowest mean loss) is what the
+    trainer's best-loss checkpointing keys on, so early-stopping and
+    checkpoint decisions stay inspectable after the fact.
+    """
 
     losses: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+
+    def record(self, loss: float, seconds: float) -> None:
+        self.losses.append(float(loss))
+        self.epoch_seconds.append(float(seconds))
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.losses)
 
     @property
     def final_loss(self) -> float:
         if not self.losses:
             raise ImputationError("model has not been trained")
         return self.losses[-1]
+
+    @property
+    def best_epoch(self) -> int:
+        """Index of the epoch with the lowest mean loss."""
+        if not self.losses:
+            raise ImputationError("model has not been trained")
+        return int(np.argmin(self.losses))
+
+    @property
+    def best_loss(self) -> float:
+        if not self.losses:
+            raise ImputationError("model has not been trained")
+        return float(min(self.losses))
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.epoch_seconds))
 
 
 class BiSIMTrainer:
@@ -53,9 +85,21 @@ class BiSIMTrainer:
 
     # ------------------------------------------------------------------
     def fit(
-        self, radio_map: RadioMap, amended_mask: np.ndarray
+        self,
+        radio_map: RadioMap,
+        amended_mask: np.ndarray,
+        *,
+        keep_best: bool = True,
     ) -> TrainingHistory:
-        """Train on the MNAR-filled radio map."""
+        """Train on the MNAR-filled radio map.
+
+        With ``keep_best`` (the default) the weights are checkpointed
+        in memory whenever an epoch improves on the best mean loss so
+        far, and the best checkpoint is restored after the last epoch —
+        so the model that gets served (or saved) is the best one seen,
+        not whatever the final epoch happened to leave behind.
+        ``history.best_epoch`` records which epoch that was.
+        """
         cfg = self.config
         self.space = build_feature_space(radio_map, cfg.time_lag_scale)
         chunks = prepare_chunks(
@@ -65,7 +109,10 @@ class BiSIMTrainer:
         optimizer = Adam(self.model.parameters(), lr=cfg.learning_rate)
         rng = np.random.default_rng(cfg.seed + 1)
 
+        best_loss = np.inf
+        best_state: Optional[dict] = None
         for _ in range(cfg.epochs):
+            epoch_start = time.perf_counter()
             order = rng.permutation(len(batches))
             epoch_losses = []
             for b in order:
@@ -80,8 +127,33 @@ class BiSIMTrainer:
                 optimizer.clip_gradients(cfg.grad_clip)
                 optimizer.step()
                 epoch_losses.append(loss.item())
-            self.history.losses.append(float(np.mean(epoch_losses)))
+            mean_loss = float(np.mean(epoch_losses))
+            self.history.record(
+                mean_loss, time.perf_counter() - epoch_start
+            )
+            if keep_best and mean_loss < best_loss:
+                best_loss = mean_loss
+                best_state = self.model.state_dict()
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
         return self.history
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see :mod:`repro.bisim.checkpoint`)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Checkpoint the fitted trainer (weights, feature space,
+        config, history) as a ``"bisim.trainer"`` artifact."""
+        from .checkpoint import save_trainer
+
+        save_trainer(self, path)
+
+    @classmethod
+    def load(cls, path) -> "BiSIMTrainer":
+        """Rebuild a fitted trainer from a :meth:`save` artifact."""
+        from .checkpoint import load_trainer
+
+        return load_trainer(path)
 
     # ------------------------------------------------------------------
     def impute(

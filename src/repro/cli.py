@@ -1,15 +1,25 @@
-"""Command-line interface: ``python -m repro <experiment> [--preset P]``.
+"""Command-line interface: experiments plus the artifact pipeline.
 
-Runs any of the table/figure experiments and prints the rendered
-result, e.g.::
+Experiment reproduction (tables/figures)::
 
     python -m repro table5 --preset smoke
     python -m repro fig17 --preset bench
     python -m repro all --preset smoke
 
-``serve-bench`` exercises the serving subsystem instead of a paper
-table: it times the batched online query path against the old
-per-query loop (see :mod:`repro.serving.bench`).
+Artifact pipeline — stages communicate through versioned artifact
+files (train once, serve many)::
+
+    python -m repro train --venue kaide --preset smoke --out shard.npz
+    python -m repro impute --venue kaide --model shard.npz --out map.npz
+    python -m repro serve-bench --preset smoke --artifact shard.npz
+
+``train`` runs the offline half (differentiate → fit BiSIM → fit
+estimator) and writes a warm-start shard bundle;
+:meth:`~repro.serving.PositioningService.deploy_from_artifact` boots
+from it in a fresh process without retraining.  ``impute`` completes a
+venue's radio map with a trained model and writes the imputed map.
+``serve-bench`` benchmarks the serving subsystem, including cold-start
+(train + deploy) versus warm-start (load artifact) timings.
 """
 
 from __future__ import annotations
@@ -19,6 +29,16 @@ import sys
 import time
 from typing import List, Optional
 
+from .artifacts import load_artifact, split_prefixed
+from .bisim import BiSIMConfig, BiSIMTrainer
+from .bisim.checkpoint import (
+    ONLINE_KIND,
+    TRAINER_KIND,
+    online_from_payload,
+    trainer_from_payload,
+)
+from .core import TopoACDifferentiator
+from .exceptions import ArtifactError, ReproError
 from .experiments import (
     PRESETS,
     ablation_bidir,
@@ -31,12 +51,17 @@ from .experiments import (
     fig17,
     fig18,
     fig67,
+    get_dataset,
+    make_estimator,
     marshare,
     table5,
     table6,
     table7,
     table8,
 )
+from .imputers import fill_mnars
+from .radiomap import RadioMap, save_radio_map
+from .serving import SHARD_KIND, VenueShard
 from .serving import bench as serve_bench
 
 EXPERIMENTS = {
@@ -77,19 +102,29 @@ _ALL_ORDER = [
     "fig15",
 ]
 
+#: Artifact-pipeline stages (everything else is an experiment name).
+PIPELINE_COMMANDS = ("train", "impute")
+
+VENUES = ("kaide", "longhu")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduce tables/figures of 'Data Imputation for Sparse "
-            "Radio Maps in Indoor Positioning' (ICDE 2023)."
+            "Radio Maps in Indoor Positioning' (ICDE 2023), and run "
+            "the train/impute/serve artifact pipeline."
         ),
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all"] + list(PIPELINE_COMMANDS),
+        metavar="command",
+        help=(
+            "a table/figure to regenerate (or 'all'), or a pipeline "
+            f"stage: {', '.join(PIPELINE_COMMANDS)}"
+        ),
     )
     parser.add_argument(
         "--preset",
@@ -97,17 +132,202 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PRESETS),
         help="experiment scale preset (default: smoke)",
     )
+    pipeline = parser.add_argument_group(
+        "artifact pipeline (train / impute / serve-bench)"
+    )
+    pipeline.add_argument(
+        "--venue",
+        default="kaide",
+        choices=VENUES,
+        help="venue dataset to train/impute on (default: kaide)",
+    )
+    pipeline.add_argument(
+        "--out",
+        help="output path: shard artifact (train) or radio map (impute)",
+    )
+    pipeline.add_argument(
+        "--model",
+        help="input artifact with a trained BiSIM (impute)",
+    )
+    pipeline.add_argument(
+        "--artifact",
+        help="where serve-bench keeps its warm-start shard bundle",
+    )
+    pipeline.add_argument(
+        "--estimator",
+        default="wknn",
+        choices=("knn", "wknn", "rf"),
+        help="location estimator to fit (train; default: wknn)",
+    )
+    pipeline.add_argument(
+        "--mean-fill",
+        action="store_true",
+        help="train without BiSIM (instant per-AP mean-fill deploy)",
+    )
+    pipeline.add_argument(
+        "--epochs",
+        type=int,
+        help="override the preset's BiSIM epoch count (train)",
+    )
+    pipeline.add_argument(
+        "--hidden-size",
+        type=int,
+        help="override the preset's BiSIM hidden size (train)",
+    )
     return parser
 
 
+# ----------------------------------------------------------------------
+# Pipeline stages
+# ----------------------------------------------------------------------
+def _bisim_config(args, config) -> BiSIMConfig:
+    return BiSIMConfig(
+        hidden_size=(
+            config.hidden_size
+            if args.hidden_size is None
+            else args.hidden_size
+        ),
+        epochs=config.epochs if args.epochs is None else args.epochs,
+        batch_size=config.batch_size,
+    )
+
+
+def build_shard(
+    venue: str,
+    config,
+    *,
+    estimator_name: str = "wknn",
+    bisim_config: Optional[BiSIMConfig] = None,
+) -> VenueShard:
+    """The offline half of the pipeline for one synthetic venue.
+
+    Deterministic in (venue, preset, estimator, BiSIM config) — the
+    artifact round-trip tests rely on rebuilding this bit-identically.
+    """
+    dataset = get_dataset(venue, config)
+    return VenueShard.build(
+        venue,
+        dataset.radio_map,
+        TopoACDifferentiator(entities=dataset.venue.plan.entities),
+        estimator=make_estimator(estimator_name.upper()),
+        bisim_config=bisim_config,
+    )
+
+
+def _cmd_train(args, parser: argparse.ArgumentParser) -> int:
+    if not args.out:
+        parser.error("train requires --out PATH for the shard artifact")
+    config = PRESETS[args.preset]
+    bisim = None if args.mean_fill else _bisim_config(args, config)
+    start = time.perf_counter()
+    shard = build_shard(
+        args.venue,
+        config,
+        estimator_name=args.estimator,
+        bisim_config=bisim,
+    )
+    elapsed = time.perf_counter() - start
+    shard.save(args.out)
+    pipeline = "mean-fill" if bisim is None else (
+        f"BiSIM(h={bisim.hidden_size}, epochs={bisim.epochs})"
+    )
+    print(
+        f"trained {args.venue} [{pipeline} + "
+        f"{shard.estimator.name}] in {elapsed:.1f}s "
+        f"-> {args.out}"
+    )
+    if shard.online_imputer is not None:
+        history = shard.online_imputer.trainer.history
+        print(
+            f"  best loss {history.best_loss:.4f} at epoch "
+            f"{history.best_epoch + 1}/{history.n_epochs}"
+        )
+    return 0
+
+
+def _trainer_from_artifact(path) -> BiSIMTrainer:
+    """Extract a fitted BiSIM trainer from any artifact carrying one."""
+    artifact = load_artifact(path)
+    if artifact.kind == TRAINER_KIND:
+        return trainer_from_payload(artifact.config, artifact.arrays)
+    if artifact.kind == ONLINE_KIND:
+        return online_from_payload(
+            artifact.config, artifact.arrays
+        ).trainer
+    if artifact.kind == SHARD_KIND:
+        if artifact.config.get("imputer") is None:
+            raise ArtifactError(
+                f"shard artifact {path} was trained with --mean-fill "
+                "and carries no BiSIM model"
+            )
+        return online_from_payload(
+            artifact.config["imputer"],
+            split_prefixed(artifact.arrays, "imputer."),
+        ).trainer
+    raise ArtifactError(
+        f"cannot extract a BiSIM trainer from artifact kind "
+        f"{artifact.kind!r}"
+    )
+
+
+def _cmd_impute(args, parser: argparse.ArgumentParser) -> int:
+    if not args.model or not args.out:
+        parser.error("impute requires --model ARTIFACT and --out PATH")
+    config = PRESETS[args.preset]
+    trainer = _trainer_from_artifact(args.model)
+    dataset = get_dataset(args.venue, config)
+    radio_map = dataset.radio_map
+    if trainer.model.n_aps != radio_map.n_aps:
+        raise ArtifactError(
+            f"artifact {args.model} was trained on "
+            f"{trainer.model.n_aps} APs but venue {args.venue!r} "
+            f"under preset {args.preset!r} has {radio_map.n_aps}"
+        )
+    mask = TopoACDifferentiator(
+        entities=dataset.venue.plan.entities
+    ).differentiate(radio_map)
+    filled, amended = fill_mnars(radio_map, mask)
+    start = time.perf_counter()
+    fingerprints, rps = trainer.impute(filled, amended)
+    elapsed = time.perf_counter() - start
+    imputed = RadioMap(
+        fingerprints=fingerprints,
+        rps=rps,
+        times=radio_map.times.copy(),
+        path_ids=radio_map.path_ids.copy(),
+    )
+    save_radio_map(imputed, args.out)
+    print(
+        f"imputed {args.venue} with {args.model} in {elapsed:.1f}s "
+        f"-> {args.out}"
+    )
+    print(f"  {imputed.describe()}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.experiment == "train":
+            return _cmd_train(args, parser)
+        if args.experiment == "impute":
+            return _cmd_impute(args, parser)
+    except ReproError as exc:
+        # Expected pipeline failures (bad artifact kind, AP-count
+        # mismatch, …) are user errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
     config = PRESETS[args.preset]
     names = _ALL_ORDER if args.experiment == "all" else [args.experiment]
     for name in names:
         module = EXPERIMENTS[name]
         start = time.perf_counter()
-        result = module.run(config)
+        if name == "serve-bench" and args.artifact:
+            result = module.run(config, artifact_path=args.artifact)
+        else:
+            result = module.run(config)
         elapsed = time.perf_counter() - start
         print(f"\n== {result.experiment_id} ({elapsed:.1f}s) ==")
         print(result.rendered)

@@ -51,3 +51,8 @@ class ExperimentError(ReproError):
 
 class ServingError(ReproError):
     """Raised by the serving layer on bad deployments or queries."""
+
+
+class ArtifactError(ReproError):
+    """Raised by the artifact store on missing, corrupted or
+    version-mismatched artifacts."""

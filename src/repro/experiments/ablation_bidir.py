@@ -13,7 +13,12 @@ from ..bisim import BiSIMConfig, BiSIMImputer
 from .base import ExperimentResult
 from .config import ExperimentConfig, default_config
 from .reporting import render_table
-from .runner import get_dataset, make_differentiator, run_pipeline
+from .runner import (
+    TRAINER_CACHE,
+    get_dataset,
+    make_differentiator,
+    run_pipeline,
+)
 
 #: label -> (bidirectional, cross_loss)
 VARIANTS: Dict[str, Tuple[bool, bool]] = {
@@ -41,7 +46,8 @@ def run(
                     batch_size=config.batch_size,
                     bidirectional=bidir,
                     cross_loss=cross,
-                )
+                ),
+                trainer_cache=TRAINER_CACHE,
             )
             result = run_pipeline(
                 ds.radio_map, differentiator, imputer, ("WKNN",), config

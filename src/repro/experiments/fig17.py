@@ -12,7 +12,12 @@ from ..bisim import BiSIMConfig, BiSIMImputer
 from .base import ExperimentResult
 from .config import ExperimentConfig, default_config
 from .reporting import render_table
-from .runner import get_dataset, make_differentiator, run_pipeline
+from .runner import (
+    TRAINER_CACHE,
+    get_dataset,
+    make_differentiator,
+    run_pipeline,
+)
 
 VARIANTS = {
     "Adapted Bahdanau": "sparsity",
@@ -39,7 +44,8 @@ def run(
                     epochs=config.epochs,
                     batch_size=config.batch_size,
                     attention=kind,
-                )
+                ),
+                trainer_cache=TRAINER_CACHE,
             )
             result = run_pipeline(
                 ds.radio_map, differentiator, imputer, ("WKNN",), config

@@ -13,7 +13,12 @@ from ..bisim import BiSIMConfig, BiSIMImputer
 from .base import ExperimentResult
 from .config import ExperimentConfig, default_config
 from .reporting import render_table
-from .runner import get_dataset, make_differentiator, run_pipeline
+from .runner import (
+    TRAINER_CACHE,
+    get_dataset,
+    make_differentiator,
+    run_pipeline,
+)
 
 #: label -> (time_lag_encoder, time_lag_decoder)
 VARIANTS: Dict[str, Tuple[bool, bool]] = {
@@ -42,7 +47,8 @@ def run(
                     batch_size=config.batch_size,
                     time_lag_encoder=enc,
                     time_lag_decoder=dec,
-                )
+                ),
+                trainer_cache=TRAINER_CACHE,
             )
             result = run_pipeline(
                 ds.radio_map, differentiator, imputer, ("WKNN",), config

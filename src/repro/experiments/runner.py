@@ -3,13 +3,15 @@ control-variates evaluation loop used by every table/figure module."""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..bisim import BiSIMConfig, BiSIMImputer
+from ..artifacts import ArtifactStore
+from ..bisim import BiSIMConfig, BiSIMImputer, BiSIMTrainerCache
 from ..core import (
     DasaKMDifferentiator,
     Differentiator,
@@ -46,6 +48,24 @@ from .config import ExperimentConfig
 @lru_cache(maxsize=16)
 def _cached_dataset(name: str, scale: float, seed: int, n_passes: int) -> Dataset:
     return make_dataset(name, scale=scale, seed=seed, n_passes=n_passes)
+
+
+def _store_from_env() -> Optional[ArtifactStore]:
+    """Disk store behind the trainer cache, read lazily on first use.
+
+    Point ``REPRO_ARTIFACT_CACHE`` at a directory to also checkpoint
+    trainers to disk and warm-start later runs; leave it unset for a
+    purely in-memory cache.
+    """
+    root = os.environ.get("REPRO_ARTIFACT_CACHE")
+    return ArtifactStore(root) if root else None
+
+
+#: Process-wide cache wired into every BiSIM imputer the experiment
+#: modules build.  Training is deterministic in (radio map, mask,
+#: config), so figures that would fit bit-identical models reuse one
+#: fitted trainer.
+TRAINER_CACHE = BiSIMTrainerCache(store_factory=_store_from_env)
 
 
 def get_dataset(name: str, config: ExperimentConfig) -> Dataset:
@@ -137,7 +157,8 @@ def make_imputer(
                 hidden_size=config.hidden_size,
                 epochs=config.epochs,
                 batch_size=config.batch_size,
-            )
+            ),
+            trainer_cache=TRAINER_CACHE,
         )
     raise ExperimentError(f"unknown imputer {name!r}")
 

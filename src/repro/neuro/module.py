@@ -62,6 +62,44 @@ class Module:
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
+    def save(self, path) -> None:
+        """Checkpoint this module's weights as an artifact file.
+
+        The artifact (kind ``"neuro.module"``) stores the full
+        :meth:`state_dict` plus the concrete class name, which
+        :meth:`load` verifies before loading weights.
+        """
+        from ..artifacts import Artifact, save_artifact
+
+        save_artifact(
+            Artifact(
+                kind="neuro.module",
+                arrays=self.state_dict(),
+                config={"class": type(self).__name__},
+                metrics={"n_parameters": self.n_parameters()},
+            ),
+            path,
+        )
+
+    def load(self, path) -> None:
+        """Load weights saved by :meth:`save` into this module.
+
+        The module must already be constructed with the matching
+        architecture; class name and every parameter's shape are
+        validated (dtype/shape integrity of the file itself is checked
+        by the artifact layer).
+        """
+        from ..artifacts import load_artifact
+
+        artifact = load_artifact(path, expected_kind="neuro.module")
+        saved_class = artifact.config.get("class")
+        if saved_class != type(self).__name__:
+            raise NeuroError(
+                f"checkpoint is for {saved_class!r}, "
+                f"not {type(self).__name__!r}"
+            )
+        self.load_state_dict(artifact.arrays)
+
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         params = dict(self.named_parameters())
         missing = set(params) - set(state)

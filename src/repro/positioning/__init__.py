@@ -19,10 +19,12 @@ from .evaluate import (
     imputed_test_fingerprints,
 )
 from .forest import RandomForestEstimator
+from .io import ESTIMATOR_KINDS, load_estimator, save_estimator
 from .knn import KNNEstimator, WKNNEstimator
 from .tree import RegressionTree
 
 __all__ = [
+    "ESTIMATOR_KINDS",
     "KNNEstimator",
     "LocationEstimator",
     "NearestNeighbourEstimator",
@@ -32,5 +34,7 @@ __all__ = [
     "WKNNEstimator",
     "evaluate_pipeline",
     "imputed_test_fingerprints",
+    "load_estimator",
     "pairwise_sq_dists",
+    "save_estimator",
 ]

@@ -66,6 +66,13 @@ class LocationEstimator(ABC):
 
     name: str = "estimator"
 
+    #: Artifact kind tag for :meth:`save`; set by persistable subclasses.
+    artifact_kind = ""
+
+    @property
+    def fitted(self) -> bool:
+        return hasattr(self, "_fp")
+
     def fit(
         self, fingerprints: np.ndarray, locations: np.ndarray
     ) -> "LocationEstimator":
@@ -108,6 +115,22 @@ class LocationEstimator(ABC):
     @abstractmethod
     def _predict_batch(self, queries: np.ndarray) -> np.ndarray:
         """Vectorized ``(n, D)`` → ``(n, 2)`` prediction."""
+
+    # ------------------------------------------------------------------
+    # Serialisation (see :mod:`repro.positioning.io`)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Checkpoint the fitted estimator as an artifact file."""
+        from .io import save_estimator
+
+        save_estimator(self, path)
+
+    def _extra_state_arrays(self):
+        """Subclass hook: fitted state beyond ``_fp``/``_loc``."""
+        return {}
+
+    def _restore_extra_state(self, arrays) -> None:
+        """Subclass hook: inverse of :meth:`_extra_state_arrays`."""
 
 
 class NearestNeighbourEstimator(LocationEstimator):

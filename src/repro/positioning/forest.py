@@ -7,10 +7,17 @@ Bootstrap-bagged regression trees with per-split feature subsampling
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
+from ..artifacts import (
+    merge_prefixed,
+    pack_ragged,
+    split_prefixed,
+    unpack_ragged,
+)
+from ..exceptions import PositioningError
 from .base import LocationEstimator
 from .tree import RegressionTree
 
@@ -18,6 +25,8 @@ from .tree import RegressionTree
 @dataclass
 class RandomForestEstimator(LocationEstimator):
     """Random-forest regressor over (fingerprint → RP) pairs."""
+
+    artifact_kind = "positioning.rf"
 
     n_trees: int = 20
     max_depth: int = 12
@@ -48,3 +57,17 @@ class RandomForestEstimator(LocationEstimator):
             [t.predict(queries) for t in self._trees], axis=0
         )
         return preds.mean(axis=0)
+
+    # ------------------------------------------------------------------
+    # Serialisation: every tree flattened into one ragged pack of
+    # concatenated node arrays, split again on load via the lengths.
+    # ------------------------------------------------------------------
+    def _extra_state_arrays(self) -> Dict[str, np.ndarray]:
+        if not self._trees:
+            raise PositioningError("forest not fitted")
+        packed = pack_ragged([t.to_arrays() for t in self._trees])
+        return merge_prefixed({}, "trees.", packed)
+
+    def _restore_extra_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        groups = unpack_ragged(split_prefixed(arrays, "trees."))
+        self._trees = [RegressionTree.from_arrays(g) for g in groups]

@@ -36,6 +36,8 @@ __all__ = [
 class KNNEstimator(NearestNeighbourEstimator):
     """Unweighted K-nearest-neighbour positioning."""
 
+    artifact_kind = "positioning.knn"
+
     k: int = 3
     name: str = "KNN"
 
@@ -46,6 +48,8 @@ class KNNEstimator(NearestNeighbourEstimator):
 @dataclass
 class WKNNEstimator(NearestNeighbourEstimator):
     """Weighted KNN: weights ∝ 1 / (fingerprint distance + eps)."""
+
+    artifact_kind = "positioning.wknn"
 
     k: int = 3
     eps: float = 1e-6

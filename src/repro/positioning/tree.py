@@ -9,7 +9,7 @@ stopping rules, mean-vector leaves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -77,6 +77,82 @@ class RegressionTree:
                 )
             out[i] = node.value
         return out
+
+    # ------------------------------------------------------------------
+    # Serialisation: flatten the node graph into parallel arrays
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the fitted tree into preorder parallel arrays.
+
+        ``feature``/``threshold`` describe internal nodes, ``left``/
+        ``right`` hold child node indices (-1 at leaves), ``value``
+        holds leaf means (NaN at internal nodes).  Inverse of
+        :meth:`from_arrays`.
+        """
+        if self._root is None:
+            raise PositioningError("tree not fitted")
+        feature, threshold, left, right, value = [], [], [], [], []
+
+        def visit(node: _Node) -> int:
+            idx = len(feature)
+            feature.append(node.feature)
+            threshold.append(node.threshold)
+            left.append(-1)
+            right.append(-1)
+            value.append(
+                node.value
+                if node.value is not None
+                else np.full(2, np.nan)
+            )
+            if not node.is_leaf:
+                left[idx] = visit(node.left)
+                right[idx] = visit(node.right)
+            return idx
+
+        visit(self._root)
+        return {
+            "feature": np.asarray(feature, dtype=np.int64),
+            "threshold": np.asarray(threshold, dtype=float),
+            "left": np.asarray(left, dtype=np.int64),
+            "right": np.asarray(right, dtype=np.int64),
+            "value": np.asarray(value, dtype=float),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "RegressionTree":
+        """Rebuild a prediction-ready tree from :meth:`to_arrays`."""
+        feature = np.asarray(arrays["feature"], dtype=int)
+        threshold = np.asarray(arrays["threshold"], dtype=float)
+        left = np.asarray(arrays["left"], dtype=int)
+        right = np.asarray(arrays["right"], dtype=int)
+        value = np.asarray(arrays["value"], dtype=float)
+        n = feature.shape[0]
+        if n == 0:
+            raise PositioningError("empty tree arrays")
+        visited = set()
+
+        def build(idx: int) -> _Node:
+            if not 0 <= idx < n:
+                raise PositioningError(
+                    f"tree arrays reference invalid node {idx}"
+                )
+            if idx in visited:  # cycle or shared node: not a tree
+                raise PositioningError(
+                    f"tree arrays revisit node {idx} (cyclic data)"
+                )
+            visited.add(idx)
+            if left[idx] < 0:  # leaf
+                return _Node(value=value[idx].copy())
+            return _Node(
+                feature=int(feature[idx]),
+                threshold=float(threshold[idx]),
+                left=build(int(left[idx])),
+                right=build(int(right[idx])),
+            )
+
+        tree = cls()
+        tree._root = build(0)
+        return tree
 
     # ------------------------------------------------------------------
     def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:

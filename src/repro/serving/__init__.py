@@ -4,8 +4,12 @@ batched query path.
 Serving API
 -----------
 * :class:`VenueShard` — one venue/floor deployment; built from a raw
-  radio map by running differentiate → impute → fit-estimator offline,
-  then serving online queries through the batched impute→estimate path.
+  radio map by running differentiate → impute → fit-estimator offline
+  (cold start), or loaded from a shard artifact written by
+  :meth:`VenueShard.save` / ``python -m repro train`` (warm start,
+  no training); ``reload()`` hot-swaps a live shard from an artifact.
+  Online queries go through the batched impute→estimate path either
+  way.
 * :class:`PositioningService` — the shard registry; routes mixed-venue
   fingerprint batches, caches answers in an LRU keyed on quantized
   fingerprints, and tracks latency/throughput in
@@ -17,10 +21,16 @@ Serving API
 See ``examples/serving_demo.py`` for an end-to-end mixed-venue demo.
 """
 
-from .service import PositioningService, ServiceStats, VenueShard
+from .service import (
+    SHARD_KIND,
+    PositioningService,
+    ServiceStats,
+    VenueShard,
+)
 
 __all__ = [
     "PositioningService",
+    "SHARD_KIND",
     "ServiceStats",
     "VenueShard",
 ]

@@ -10,14 +10,21 @@ serving pattern (one ``predict`` call per fingerprint) at batch sizes
   of single :meth:`PositioningService.query` calls (cache disabled),
   plus the warm-cache throughput of an identical repeated batch.
 
+It also times **cold start** (build the shard from the raw radio map:
+differentiate + fit) against **warm start** (load the same shard from
+a saved artifact) — the train-once/serve-many win.  Pass
+``--artifact PATH`` on the CLI to keep the shard bundle for reuse.
+
 Timing is best-of-``rounds`` wall clock; results render as a table and
 land in :attr:`ExperimentResult.data` for assertions.
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
-from typing import Callable, Dict, List
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -52,19 +59,47 @@ def _online_queries(
     )
 
 
-def run(config: ExperimentConfig, *, rounds: int = 3) -> ExperimentResult:
-    """Benchmark the serving path on the preset's kaide venue."""
+def run(
+    config: ExperimentConfig,
+    *,
+    rounds: int = 3,
+    artifact_path: Optional[str] = None,
+) -> ExperimentResult:
+    """Benchmark the serving path on the preset's kaide venue.
+
+    ``artifact_path`` names where to keep the warm-start shard bundle;
+    by default it lives in a temporary directory for the duration of
+    the benchmark.
+    """
     dataset = get_dataset("kaide", config)
     rng = np.random.default_rng(config.dataset_seed)
     queries = _online_queries(dataset, max(BATCH_SIZES), rng)
 
+    # Cold start: the full offline pipeline (differentiate + fit).
     service = PositioningService(cache_size=0)
+    cold_start = time.perf_counter()
     shard = service.deploy(
         "kaide",
         dataset.radio_map,
         TopoACDifferentiator(entities=dataset.venue.plan.entities),
         estimator=WKNNEstimator(),
     )
+    cold_s = time.perf_counter() - cold_start
+
+    # Warm start: the same shard booted from its saved artifact.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(artifact_path or Path(tmp) / "kaide-shard.npz")
+        shard.save(path)
+        warm_start = time.perf_counter()
+        warm_service = PositioningService(cache_size=0)
+        warm_shard = warm_service.deploy_from_artifact(path)
+        warm_s = time.perf_counter() - warm_start
+    warm_parity = float(
+        np.abs(
+            warm_shard.locate(queries) - shard.locate(queries)
+        ).max()
+    )
+
     imputed = shard.impute(queries)
 
     estimator_speedup: Dict[int, float] = {}
@@ -112,6 +147,11 @@ def run(config: ExperimentConfig, *, rounds: int = 3) -> ExperimentResult:
         f"{warm_throughput:.0f} queries/s "
         f"(hit rate {100 * cached.stats.hit_rate:.0f}%)"
     )
+    lines.append(
+        f"cold start (differentiate+fit): {1e3 * cold_s:.1f} ms | "
+        f"warm start (load artifact): {1e3 * warm_s:.1f} ms "
+        f"({cold_s / warm_s:.1f}x faster, parity {warm_parity:.1e})"
+    )
 
     return ExperimentResult(
         experiment_id="Serving bench",
@@ -122,5 +162,9 @@ def run(config: ExperimentConfig, *, rounds: int = 3) -> ExperimentResult:
             "service_speedup": service_speedup,
             "batched_throughput": batched_throughput,
             "warm_cache_throughput": warm_throughput,
+            "cold_start_seconds": cold_s,
+            "warm_start_seconds": warm_s,
+            "warm_start_speedup": cold_s / warm_s,
+            "warm_start_parity": warm_parity,
         },
     )

@@ -34,13 +34,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..artifacts import (
+    Artifact,
+    load_artifact,
+    merge_prefixed,
+    save_artifact,
+    split_prefixed,
+)
 from ..bisim import BiSIMConfig, OnlineImputer
+from ..bisim.checkpoint import online_from_payload, online_payload
 from ..constants import MNAR_FILL
 from ..core import Differentiator
 from ..exceptions import ServingError
 from ..imputers import fill_mnars
 from ..positioning import LocationEstimator, WKNNEstimator
+from ..positioning.io import estimator_from_payload, estimator_payload
 from ..radiomap import RadioMap
+
+#: Artifact kind of a full warm-start shard bundle.
+SHARD_KIND = "serving.shard"
 
 
 @dataclass
@@ -142,6 +154,99 @@ class VenueShard:
         estimator.fit(train_fp[labelled], radio_map.rps[labelled])
         return cls(key, radio_map.n_aps, estimator, None, fill_values)
 
+    # ------------------------------------------------------------------
+    # Warm start: the whole shard as one artifact file
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the deployed shard as one warm-start artifact.
+
+        The bundle (kind ``"serving.shard"``) embeds the fitted
+        estimator, the trained online imputer (when present) and the
+        per-AP fill values, so :meth:`load` boots an identical shard
+        in a fresh process without touching the radio map or training.
+        """
+        est_kind, est_config, est_arrays = estimator_payload(
+            self.estimator
+        )
+        arrays: Dict[str, np.ndarray] = {}
+        merge_prefixed(arrays, "estimator.", est_arrays)
+        config = {
+            "key": self.key,
+            "n_aps": self.n_aps,
+            "estimator": {"kind": est_kind, "config": est_config},
+            "imputer": None,
+        }
+        metrics: Dict[str, float] = {}
+        if self.online_imputer is not None:
+            imp_config, imp_arrays, imp_metrics = online_payload(
+                self.online_imputer
+            )
+            merge_prefixed(arrays, "imputer.", imp_arrays)
+            config["imputer"] = imp_config
+            metrics.update(imp_metrics)
+        if self.fill_values is not None:
+            arrays["fill_values"] = np.asarray(
+                self.fill_values, dtype=float
+            )
+        save_artifact(
+            Artifact(
+                kind=SHARD_KIND,
+                arrays=arrays,
+                config=config,
+                metrics=metrics,
+            ),
+            path,
+        )
+
+    @classmethod
+    def load(cls, path, *, key: Optional[str] = None) -> "VenueShard":
+        """Rebuild a serving-ready shard from a :meth:`save` artifact.
+
+        ``key`` overrides the venue key stored in the artifact, so one
+        trained bundle can be deployed under several venue names.
+        """
+        artifact = load_artifact(path, expected_kind=SHARD_KIND)
+        config = artifact.config
+        est_spec = config["estimator"]
+        estimator = estimator_from_payload(
+            est_spec["kind"],
+            est_spec["config"],
+            split_prefixed(artifact.arrays, "estimator."),
+        )
+        online = None
+        if config.get("imputer") is not None:
+            online = online_from_payload(
+                config["imputer"],
+                split_prefixed(artifact.arrays, "imputer."),
+            )
+        fill_values = artifact.arrays.get("fill_values")
+        return cls(
+            key or config["key"],
+            int(config["n_aps"]),
+            estimator,
+            online,
+            fill_values,
+        )
+
+    def reload(self, path) -> None:
+        """Hot-swap this shard's pipeline from a shard artifact.
+
+        The venue key is kept; estimator, online imputer and fill
+        values are replaced atomically (the new shard is fully loaded
+        and validated before anything is swapped).  The AP
+        dimensionality must match — a reload cannot silently change
+        the query contract.
+        """
+        fresh = VenueShard.load(path, key=self.key)
+        if fresh.n_aps != self.n_aps:
+            raise ServingError(
+                f"cannot reload venue {self.key!r}: artifact has "
+                f"{fresh.n_aps} APs, shard expects {self.n_aps}"
+            )
+        self.estimator = fresh.estimator
+        self.online_imputer = fresh.online_imputer
+        self.fill_values = fresh.fill_values
+
     def impute(self, queries: np.ndarray) -> np.ndarray:
         """Complete a ``(n, D)`` query batch (NaN = missing)."""
         if self.online_imputer is not None:
@@ -223,6 +328,31 @@ class PositioningService:
                 bisim_config=bisim_config,
             )
         )
+
+    def deploy_from_artifact(
+        self, path, *, key: Optional[str] = None
+    ) -> VenueShard:
+        """Warm-start a venue from a shard artifact and register it.
+
+        No training, no radio map: the shard boots straight from the
+        bundle written by :meth:`VenueShard.save` (or by
+        ``python -m repro train``).
+        """
+        return self.register(VenueShard.load(path, key=key))
+
+    def reload(self, key: str, path) -> VenueShard:
+        """Hot-swap a deployed venue's pipeline from a shard artifact.
+
+        The shard object (and thus any reference held by callers)
+        survives; its estimator/imputer are replaced and every cached
+        answer for the venue is invalidated so stale locations cannot
+        be served.
+        """
+        shard = self.shard(key)
+        shard.reload(path)
+        for cache_key in [k for k in self._cache if k[0] == key]:
+            del self._cache[cache_key]
+        return shard
 
     def shard(self, key: str) -> VenueShard:
         try:

@@ -1,0 +1,298 @@
+"""Artifact format: round trips, validation, and the keyed store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    SCHEMA_VERSION,
+    Artifact,
+    ArtifactStore,
+    content_hash,
+    load_artifact,
+    merge_prefixed,
+    pack_ragged,
+    save_artifact,
+    split_prefixed,
+    unpack_ragged,
+)
+from repro.exceptions import ArtifactError
+
+
+@pytest.fixture
+def artifact():
+    rng = np.random.default_rng(7)
+    return Artifact(
+        kind="test.kind",
+        arrays={
+            "weights": rng.normal(size=(3, 4)),
+            "index": np.arange(5, dtype=np.int64),
+        },
+        config={"alpha": 0.5, "layers": [3, 4]},
+        metrics={"loss": 0.25},
+    )
+
+
+class TestRoundTrip:
+    def test_arrays_config_metrics_survive(self, artifact, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(artifact, path)
+        back = load_artifact(path, expected_kind="test.kind")
+        assert back.kind == "test.kind"
+        assert back.config == artifact.config
+        assert back.metrics == artifact.metrics
+        for name, arr in artifact.arrays.items():
+            np.testing.assert_array_equal(back.arrays[name], arr)
+            assert back.arrays[name].dtype == arr.dtype
+
+    def test_dotted_array_names(self, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(
+            Artifact(
+                kind="t", arrays={"model.enc.0.w": np.ones(2)}
+            ),
+            path,
+        )
+        back = load_artifact(path)
+        assert "model.enc.0.w" in back.arrays
+
+    def test_exact_destination_without_npz_suffix(
+        self, artifact, tmp_path
+    ):
+        """The atomic-rename save lands on exactly the given path."""
+        path = tmp_path / "shard.artifact"
+        save_artifact(artifact, path)
+        assert path.exists()
+        assert not path.with_name("shard.artifact.npz").exists()
+        assert load_artifact(path).kind == "test.kind"
+
+    def test_no_temp_file_left_behind(self, artifact, tmp_path):
+        save_artifact(artifact, tmp_path / "a.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.npz"]
+
+    def test_nan_arrays_hash_stably(self, tmp_path):
+        arr = np.array([1.0, np.nan, 3.0])
+        path = tmp_path / "a.npz"
+        save_artifact(Artifact(kind="t", arrays={"x": arr}), path)
+        back = load_artifact(path)  # hash verification must pass
+        np.testing.assert_array_equal(back.arrays["x"], arr)
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no such artifact"):
+            load_artifact(tmp_path / "nope.npz")
+
+    def test_kind_mismatch(self, artifact, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(artifact, path)
+        with pytest.raises(ArtifactError, match="kind mismatch"):
+            load_artifact(path, expected_kind="other.kind")
+
+    def test_not_an_artifact(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, x=np.ones(3))
+        with pytest.raises(ArtifactError, match="no manifest"):
+            load_artifact(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip file")
+        with pytest.raises(ArtifactError, match="unreadable"):
+            load_artifact(path)
+
+    def test_schema_version_mismatch(self, artifact, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(artifact, path)
+        _rewrite_manifest(
+            path, lambda m: m.update(schema_version=SCHEMA_VERSION + 1)
+        )
+        with pytest.raises(
+            ArtifactError, match="unsupported artifact schema version"
+        ):
+            load_artifact(path)
+
+    def test_tampered_array_fails_hash(self, artifact, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(artifact, path)
+        with np.load(path, allow_pickle=True) as data:
+            arrays = {
+                n: data[n] for n in data.files if n != "__manifest__"
+            }
+            manifest = str(data["__manifest__"][0])
+        arrays["weights"] = arrays["weights"] + 1.0
+        np.savez_compressed(
+            path,
+            **{"__manifest__": np.array([manifest])},
+            **arrays,
+        )
+        with pytest.raises(ArtifactError, match="content-hash"):
+            load_artifact(path)
+
+    def test_shape_drift_detected(self, artifact, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(artifact, path)
+        _rewrite_manifest(
+            path,
+            lambda m: m["arrays"]["weights"].update(shape=[4, 3]),
+        )
+        with pytest.raises(ArtifactError, match="manifest spec"):
+            load_artifact(path)
+
+    def test_unserialisable_config_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="JSON"):
+            save_artifact(
+                Artifact(kind="t", config={"bad": object()}),
+                tmp_path / "a.npz",
+            )
+
+    def test_reserved_array_name_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="illegal"):
+            save_artifact(
+                Artifact(kind="t", arrays={"__manifest__": np.ones(1)}),
+                tmp_path / "a.npz",
+            )
+
+    def test_empty_kind_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="kind"):
+            save_artifact(Artifact(kind=""), tmp_path / "a.npz")
+
+    def test_object_array_rejected_at_save(self, tmp_path):
+        with pytest.raises(ArtifactError, match="object dtype"):
+            save_artifact(
+                Artifact(
+                    kind="t",
+                    arrays={"x": np.array([{"a": 1}], dtype=object)},
+                ),
+                tmp_path / "a.npz",
+            )
+
+    def test_pickle_payload_never_deserialised(self, tmp_path):
+        """A smuggled pickled object array fails loading outright."""
+        path = tmp_path / "evil.npz"
+        np.savez(
+            path,
+            **{
+                "__manifest__": np.array(["{}"]),
+                "payload": np.array([object()], dtype=object),
+            },
+        )
+        with pytest.raises(ArtifactError, match="unreadable"):
+            load_artifact(path)
+
+
+def _rewrite_manifest(path, mutate):
+    """Reload an artifact file, mutate its manifest dict, rewrite."""
+    with np.load(path, allow_pickle=True) as data:
+        arrays = {n: data[n] for n in data.files if n != "__manifest__"}
+        manifest = json.loads(str(data["__manifest__"][0]))
+    mutate(manifest)
+    np.savez_compressed(
+        path,
+        **{
+            "__manifest__": np.array(
+                [json.dumps(manifest)]
+            )
+        },
+        **arrays,
+    )
+
+
+class TestContentHash:
+    def test_sensitive_to_values_and_names(self):
+        a = {"x": np.ones(3)}
+        assert content_hash(a, {}) != content_hash(
+            {"x": np.zeros(3)}, {}
+        )
+        assert content_hash(a, {}) != content_hash(
+            {"y": np.ones(3)}, {}
+        )
+        assert content_hash(a, {}) != content_hash(a, {"k": 1})
+
+    def test_order_independent(self):
+        one = {"a": np.ones(2), "b": np.zeros(2)}
+        two = {"b": np.zeros(2), "a": np.ones(2)}
+        assert content_hash(one, {}) == content_hash(two, {})
+
+
+class TestPrefixHelpers:
+    def test_merge_and_split_inverse(self):
+        out = {}
+        merge_prefixed(out, "m.", {"w": np.ones(2), "b": np.zeros(2)})
+        assert set(out) == {"m.w", "m.b"}
+        back = split_prefixed(out, "m.")
+        assert set(back) == {"w", "b"}
+
+    def test_duplicate_merge_rejected(self):
+        out = {"m.w": np.ones(2)}
+        with pytest.raises(ArtifactError, match="duplicate"):
+            merge_prefixed(out, "m.", {"w": np.zeros(2)})
+
+
+class TestRaggedPack:
+    def test_round_trip(self):
+        rng = np.random.default_rng(2)
+        groups = [
+            {"a": rng.normal(size=(t, 3)), "b": np.arange(t)}
+            for t in (2, 5, 1)
+        ]
+        back = unpack_ragged(pack_ragged(groups))
+        assert len(back) == 3
+        for orig, rebuilt in zip(groups, back):
+            np.testing.assert_array_equal(rebuilt["a"], orig["a"])
+            np.testing.assert_array_equal(rebuilt["b"], orig["b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ArtifactError, match="nothing to pack"):
+            pack_ragged([])
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ArtifactError, match="share key sets"):
+            pack_ragged([{"a": np.ones(2)}, {"b": np.ones(2)}])
+
+    def test_inconsistent_group_sizes_rejected(self):
+        with pytest.raises(ArtifactError, match="axis-0"):
+            pack_ragged([{"a": np.ones(2), "b": np.ones(3)}])
+
+    def test_corrupt_lengths_rejected(self):
+        packed = pack_ragged([{"a": np.ones(2)}, {"a": np.ones(3)}])
+        packed["lengths"] = np.array([2, 4])
+        with pytest.raises(ArtifactError, match="recorded"):
+            unpack_ragged(packed)
+
+    def test_missing_lengths_rejected(self):
+        with pytest.raises(ArtifactError, match="lengths"):
+            unpack_ragged({"a": np.ones(3)})
+
+
+class TestStore:
+    def test_save_load_exists_keys(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert not store.exists("kaide/shard")
+        store.save("kaide/shard", artifact)
+        assert store.exists("kaide/shard")
+        assert store.keys() == ["kaide/shard"]
+        back = store.load("kaide/shard", expected_kind="test.kind")
+        np.testing.assert_array_equal(
+            back.arrays["weights"], artifact.arrays["weights"]
+        )
+
+    def test_delete(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.save("k", artifact)
+        assert store.delete("k") is True
+        assert store.delete("k") is False
+        assert store.keys() == []
+
+    def test_dotted_key_keeps_tail(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.save("model.v2", artifact)
+        assert store.keys() == ["model.v2"]
+        assert store.load("model.v2").kind == "test.kind"
+
+    def test_illegal_keys_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for key in ("../escape", "a//b", "", "a/../b"):
+            with pytest.raises(ArtifactError, match="illegal"):
+                store.path_for(key)

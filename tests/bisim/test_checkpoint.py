@@ -1,0 +1,274 @@
+"""BiSIM checkpointing: config/trainer/online round trips + cache."""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.bisim import (
+    BiSIMConfig,
+    BiSIMImputer,
+    BiSIMTrainer,
+    BiSIMTrainerCache,
+    OnlineImputer,
+    load_trainer,
+)
+from repro.exceptions import ArtifactError, ImputationError
+from repro.imputers import fill_mnars
+from repro.radiomap import RadioMap
+
+
+def small_config(**kw):
+    defaults = dict(hidden_size=8, epochs=3, batch_size=4, seed=3)
+    defaults.update(kw)
+    return BiSIMConfig(**defaults)
+
+
+@pytest.fixture
+def toy_map():
+    """Two survey paths, 20 records, 6 APs, mixed missingness."""
+    rng = np.random.default_rng(0)
+    n, d = 20, 6
+    fp = rng.uniform(-95, -40, size=(n, d))
+    fp[rng.random((n, d)) < 0.5] = np.nan
+    rps = rng.uniform(0, 10, size=(n, 2))
+    rps[rng.random(n) < 0.4] = np.nan
+    times = np.concatenate(
+        [np.sort(rng.uniform(0, 30, 10)), np.sort(rng.uniform(0, 30, 10))]
+    )
+    radio_map = RadioMap(fp, rps, times, np.repeat([0, 1], 10))
+    mask = np.where(
+        np.isfinite(fp), 1, np.where(rng.random((n, d)) < 0.5, 0, -1)
+    )
+    return fill_mnars(radio_map, mask)
+
+
+class TestConfigSerialisation:
+    def test_round_trip(self):
+        cfg = small_config(attention="vanilla", decay_mode="vector")
+        back = BiSIMConfig.from_dict(cfg.to_dict())
+        assert back == cfg
+
+    def test_unknown_field_rejected(self):
+        data = small_config().to_dict()
+        data["dropout"] = 0.5
+        with pytest.raises(ImputationError, match="unknown"):
+            BiSIMConfig.from_dict(data)
+
+    def test_missing_field_rejected(self):
+        """No silent half-apply with defaults for older checkpoints."""
+        data = small_config().to_dict()
+        del data["hidden_size"]
+        with pytest.raises(ImputationError, match="missing"):
+            BiSIMConfig.from_dict(data)
+
+    def test_invalid_values_still_validated(self):
+        data = small_config().to_dict()
+        data["attention"] = "transformer"
+        with pytest.raises(ImputationError):
+            BiSIMConfig.from_dict(data)
+
+
+class TestHistory:
+    def test_epoch_seconds_and_best_epoch(self, toy_map):
+        filled, amended = toy_map
+        trainer = BiSIMTrainer(filled.n_aps, small_config())
+        history = trainer.fit(filled, amended)
+        assert history.n_epochs == 3
+        assert len(history.epoch_seconds) == 3
+        assert all(s > 0 for s in history.epoch_seconds)
+        assert history.best_epoch == int(np.argmin(history.losses))
+        assert history.best_loss == min(history.losses)
+        assert history.total_seconds == pytest.approx(
+            sum(history.epoch_seconds)
+        )
+
+    def test_unfitted_history_raises(self):
+        trainer = BiSIMTrainer(4, small_config())
+        with pytest.raises(ImputationError):
+            trainer.history.best_epoch
+
+    def test_best_weights_restored(self, toy_map):
+        """After fit, the model serves the best epoch's weights."""
+        filled, amended = toy_map
+        cfg = small_config(epochs=4)
+        trainer = BiSIMTrainer(filled.n_aps, cfg)
+        trainer.fit(filled, amended)
+        # Retrain without keep_best and manually replay: both must
+        # agree when the best epoch happens to be the last, and the
+        # checkpointed state must be a valid state dict regardless.
+        state = trainer.model.state_dict()
+        fresh = BiSIMTrainer(filled.n_aps, cfg)
+        fresh.fit(filled, amended, keep_best=False)
+        fresh.model.load_state_dict(state)  # shapes compatible
+
+
+class TestTrainerCheckpoint:
+    def test_round_trip_bit_identical(self, toy_map, tmp_path):
+        filled, amended = toy_map
+        trainer = BiSIMTrainer(filled.n_aps, small_config())
+        trainer.fit(filled, amended)
+        f1, r1 = trainer.impute(filled, amended)
+        path = tmp_path / "trainer.npz"
+        trainer.save(path)
+        loaded = BiSIMTrainer.load(path)
+        assert loaded.config == trainer.config
+        assert loaded.history.losses == trainer.history.losses
+        np.testing.assert_array_equal(
+            loaded.space.rp_min, trainer.space.rp_min
+        )
+        f2, r2 = loaded.impute(filled, amended)
+        np.testing.assert_array_equal(f1, f2)
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        trainer = BiSIMTrainer(4, small_config())
+        with pytest.raises(ImputationError, match="unfitted"):
+            trainer.save(tmp_path / "t.npz")
+
+    def test_wrong_kind_rejected(self, toy_map, tmp_path):
+        filled, amended = toy_map
+        trainer = BiSIMTrainer(filled.n_aps, small_config())
+        trainer.fit(filled, amended)
+        imputer = OnlineImputer(trainer)
+        imputer.index(filled, amended)
+        path = tmp_path / "online.npz"
+        imputer.save(path)
+        with pytest.raises(ArtifactError, match="kind mismatch"):
+            load_trainer(path)
+
+
+class TestOnlineCheckpoint:
+    def test_round_trip_bit_identical(self, toy_map, tmp_path):
+        filled, amended = toy_map
+        trainer = BiSIMTrainer(filled.n_aps, small_config())
+        trainer.fit(filled, amended)
+        imputer = OnlineImputer(trainer)
+        imputer.index(filled, amended)
+        queries = filled.fingerprints[:5].copy()
+        queries[:, :2] = np.nan
+        out1 = imputer.impute_batch(queries)
+
+        path = tmp_path / "online.npz"
+        imputer.save(path)
+        loaded = OnlineImputer.load(path)
+        out2 = loaded.impute_batch(queries)
+        np.testing.assert_array_equal(out1, out2)
+        # The reference per-query path agrees too.
+        np.testing.assert_allclose(
+            loaded.impute_fingerprint(queries[0]),
+            imputer.impute_fingerprint(queries[0]),
+            atol=0,
+        )
+
+
+class TestTrainerCache:
+    def test_memory_hit_returns_same_object(self, toy_map):
+        filled, amended = toy_map
+        cache = BiSIMTrainerCache()
+        cfg = small_config()
+        first = cache.get_or_train(filled, amended, cfg)
+        second = cache.get_or_train(filled, amended, cfg)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_config_changes_key(self, toy_map):
+        filled, amended = toy_map
+        cache = BiSIMTrainerCache()
+        key_a = cache.key_for(filled, amended, small_config())
+        key_b = cache.key_for(filled, amended, small_config(epochs=5))
+        assert key_a != key_b
+
+    def test_mask_changes_key(self, toy_map):
+        filled, amended = toy_map
+        cache = BiSIMTrainerCache()
+        other = amended.copy()
+        other[0, 0] = 1 - other[0, 0]
+        assert cache.key_for(
+            filled, amended, small_config()
+        ) != cache.key_for(filled, other, small_config())
+
+    def test_disk_store_warm_starts_new_cache(self, toy_map, tmp_path):
+        filled, amended = toy_map
+        store = ArtifactStore(tmp_path / "cache")
+        cfg = small_config()
+        first_cache = BiSIMTrainerCache(store=store)
+        trained = first_cache.get_or_train(filled, amended, cfg)
+        f1, r1 = trained.impute(filled, amended)
+
+        # Fresh cache, same store: loads from disk, no training.
+        second_cache = BiSIMTrainerCache(store=store)
+        loaded = second_cache.get_or_train(filled, amended, cfg)
+        assert second_cache.hits == 1 and second_cache.misses == 0
+        f2, r2 = loaded.impute(filled, amended)
+        np.testing.assert_array_equal(f1, f2)
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_corrupt_disk_entry_degrades_to_miss(
+        self, toy_map, tmp_path
+    ):
+        filled, amended = toy_map
+        store = ArtifactStore(tmp_path / "cache")
+        cfg = small_config()
+        cache = BiSIMTrainerCache(store=store)
+        key = cache.key_for(filled, amended, cfg)
+        store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key).write_bytes(b"truncated garbage")
+        # A poisoned entry must retrain, not crash, and be overwritten.
+        trainer = cache.get_or_train(filled, amended, cfg)
+        assert trainer is not None
+        assert cache.misses == 1
+        fresh = BiSIMTrainerCache(store=store)
+        assert fresh.get(key) is not None  # healthy entry now on disk
+
+    def test_store_factory_resolves_lazily(self, toy_map, tmp_path):
+        filled, amended = toy_map
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return ArtifactStore(tmp_path / "lazy")
+
+        cache = BiSIMTrainerCache(store_factory=factory)
+        assert calls == []  # nothing at construction time
+        cache.get_or_train(filled, amended, small_config())
+        assert calls == [1]
+        cache.get_or_train(filled, amended, small_config())
+        assert calls == [1]  # resolved exactly once
+        assert cache.store is not None
+
+    def test_memory_bound(self, toy_map):
+        filled, amended = toy_map
+        cache = BiSIMTrainerCache(max_memory_entries=1)
+        cache.get_or_train(filled, amended, small_config())
+        cache.get_or_train(filled, amended, small_config(epochs=2))
+        assert len(cache._memory) == 1
+
+    def test_imputer_uses_cache(self, toy_map):
+        filled, amended = toy_map
+        cache = BiSIMTrainerCache()
+        imputer = BiSIMImputer(
+            config=small_config(), trainer_cache=cache
+        )
+        first = imputer.impute(filled, amended)
+        second = imputer.impute(filled, amended)
+        assert cache.hits == 1
+        np.testing.assert_array_equal(
+            first.fingerprints, second.fingerprints
+        )
+
+    def test_cached_result_matches_fresh_training(self, toy_map):
+        """The cache must be invisible: same outputs as a cold fit."""
+        filled, amended = toy_map
+        cached = BiSIMImputer(
+            config=small_config(), trainer_cache=BiSIMTrainerCache()
+        )
+        cold = BiSIMImputer(config=small_config())
+        warm = cached.impute(filled, amended)
+        cached_again = cached.impute(filled, amended)
+        fresh = cold.impute(filled, amended)
+        np.testing.assert_array_equal(
+            warm.fingerprints, fresh.fingerprints
+        )
+        np.testing.assert_array_equal(
+            cached_again.fingerprints, fresh.fingerprints
+        )

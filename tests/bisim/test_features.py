@@ -155,3 +155,52 @@ class TestFeatureSpace:
         )
         n = space.normalize_fp(np.array([v]))[0]
         assert 0.0 <= n <= 1.0
+
+
+class TestBatchedTimeLagEdgeCases:
+    """Eq. 1 over degenerate inputs the serving path can produce."""
+
+    def test_single_step_sequences(self):
+        """T=1: no predecessor, so every lag is the zero vector."""
+        from repro.bisim import time_lag_vectors_batched
+
+        times = np.array([[5.0], [9.0]])
+        mask = np.ones((2, 1, 4))
+        delta = time_lag_vectors_batched(times, mask)
+        assert delta.shape == (2, 1, 4)
+        np.testing.assert_array_equal(delta, np.zeros((2, 1, 4)))
+
+    def test_all_missing_column_accumulates(self):
+        """A dimension never observed accumulates t_i − t_0 forever."""
+        from repro.bisim import time_lag_vectors_batched
+
+        times = np.array([[1.0, 3.0, 8.0, 12.0]])
+        mask = np.ones((1, 4, 2))
+        mask[0, :, 1] = 0.0  # dimension 1 never observed
+        delta = time_lag_vectors_batched(times, mask)
+        # Observed dimension resets to the step gap each time.
+        np.testing.assert_allclose(delta[0, :, 0], [0, 2, 5, 4])
+        # Unobserved dimension keeps summing the gaps (Eq. 1 recursion).
+        np.testing.assert_allclose(delta[0, :, 1], [0, 2, 7, 11])
+
+    def test_all_rows_missing(self):
+        """An entirely unobserved batch behaves like one long gap."""
+        from repro.bisim import time_lag_vectors_batched
+
+        times = np.array([[0.0, 1.0, 4.0]])
+        mask = np.zeros((1, 3, 3))
+        delta = time_lag_vectors_batched(times, mask)
+        np.testing.assert_allclose(delta[0, :, 0], [0, 1, 4])
+
+    def test_matches_single_sequence_path(self):
+        """The batched kernel and the (T, D) wrapper agree."""
+        from repro.bisim import time_lag_vectors, time_lag_vectors_batched
+
+        rng = np.random.default_rng(5)
+        times = np.sort(rng.uniform(0, 20, size=(3, 6)), axis=1)
+        mask = (rng.random((3, 6, 4)) > 0.5).astype(float)
+        batched = time_lag_vectors_batched(times, mask)
+        for b in range(3):
+            np.testing.assert_allclose(
+                batched[b], time_lag_vectors(times[b], mask[b])
+            )

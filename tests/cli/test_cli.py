@@ -19,6 +19,24 @@ class TestParser:
         args = build_parser().parse_args(["serve-bench"])
         assert args.experiment == "serve-bench"
 
+    def test_pipeline_commands_registered(self):
+        args = build_parser().parse_args(
+            ["train", "--out", "x.npz", "--venue", "longhu"]
+        )
+        assert args.experiment == "train"
+        assert args.venue == "longhu"
+        args = build_parser().parse_args(
+            ["impute", "--model", "x.npz", "--out", "y.npz"]
+        )
+        assert args.experiment == "impute"
+
+    def test_pipeline_defaults(self):
+        args = build_parser().parse_args(["train", "--out", "x.npz"])
+        assert args.venue == "kaide"
+        assert args.estimator == "wknn"
+        assert args.mean_fill is False
+        assert args.epochs is None
+
     def test_invalid_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table99"])

@@ -131,3 +131,75 @@ class TestOptimisers:
         opt = Adam([p], lr=0.1)
         opt.step()  # no grad set; must not crash or move
         np.testing.assert_allclose(p.data, [1.0, 1.0])
+
+
+class TestClipGradientsReturn:
+    """clip_gradients returns the pre-clip global norm in every case."""
+
+    def test_returns_preclip_norm_when_clipping(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.full(4, 3.0)
+        norm = opt.clip_gradients(1.0)
+        assert norm == pytest.approx(6.0)  # sqrt(4 * 9)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_returns_norm_without_clipping(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([3.0, 4.0])
+        norm = opt.clip_gradients(100.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(p.grad, [3.0, 4.0])
+
+    def test_zero_when_no_gradients(self):
+        p = Parameter(np.zeros(2))  # grad is None
+        opt = SGD([p], lr=0.1)
+        assert opt.clip_gradients(1.0) == 0.0
+
+    def test_global_norm_spans_parameters(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = SGD([a, b], lr=0.1)
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        assert opt.clip_gradients(10.0) == pytest.approx(5.0)
+
+    def test_nonpositive_max_norm_never_clips(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([3.0, 4.0])
+        assert opt.clip_gradients(0.0) == pytest.approx(5.0)
+        np.testing.assert_allclose(p.grad, [3.0, 4.0])
+
+
+class TestModuleCheckpoint:
+    """Module.save/load: weight checkpoints as validated artifacts."""
+
+    def test_round_trip(self, tmp_path):
+        a = MLP([2, 4, 1], RNG)
+        b = MLP([2, 4, 1], RNG)
+        path = tmp_path / "mlp.npz"
+        a.save(path)
+        b.load(path)
+        x = Tensor(RNG.normal(size=(3, 2)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_class_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "lin.npz"
+        Linear(2, 2, RNG).save(path)
+        with pytest.raises(NeuroError, match="checkpoint is for"):
+            MLP([2, 2, 2], RNG).load(path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "lin.npz"
+        Linear(2, 2, RNG).save(path)
+        with pytest.raises(NeuroError, match="shape mismatch"):
+            Linear(3, 3, RNG).load(path)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        from repro.exceptions import ArtifactError
+
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(ArtifactError):
+            Linear(2, 2, RNG).load(path)

@@ -37,6 +37,65 @@ class TestNpzRoundTrip:
             loaded.truth.missing_type, tiny_radio_map.truth.missing_type
         )
 
+    def test_round_trip_all_truth_arrays(self, tiny_radio_map, tmp_path):
+        """All three optional truth arrays survive the round trip."""
+        rng = np.random.default_rng(8)
+        clean = rng.uniform(-95, -40, size=(5, 5))
+        clean[0, 0] = np.nan
+        tiny_radio_map.truth = RadioMapTruth(
+            missing_type=rng.integers(-1, 2, size=(5, 5)),
+            positions=rng.uniform(0, 10, size=(5, 2)),
+            clean_fingerprints=clean,
+        )
+        path = tmp_path / "map.npz"
+        save_radio_map(tiny_radio_map, path)
+        loaded = load_radio_map(path)
+        truth = loaded.truth
+        assert truth is not None
+        np.testing.assert_array_equal(
+            truth.missing_type, tiny_radio_map.truth.missing_type
+        )
+        np.testing.assert_array_equal(
+            truth.positions, tiny_radio_map.truth.positions
+        )
+        np.testing.assert_array_equal(
+            truth.clean_fingerprints,
+            tiny_radio_map.truth.clean_fingerprints,
+        )
+
+    def test_partial_truth_arrays_stay_none(
+        self, tiny_radio_map, tmp_path
+    ):
+        tiny_radio_map.truth = RadioMapTruth(
+            positions=np.zeros((5, 2))
+        )
+        path = tmp_path / "map.npz"
+        save_radio_map(tiny_radio_map, path)
+        loaded = load_radio_map(path)
+        assert loaded.truth.missing_type is None
+        assert loaded.truth.clean_fingerprints is None
+        np.testing.assert_array_equal(
+            loaded.truth.positions, np.zeros((5, 2))
+        )
+
+    def test_unsupported_version_rejected(
+        self, tiny_radio_map, tmp_path
+    ):
+        import json
+
+        path = tmp_path / "map.npz"
+        save_radio_map(tiny_radio_map, path)
+        with np.load(path, allow_pickle=True) as data:
+            arrays = {k: data[k] for k in data.files if k != "meta"}
+        arrays["meta"] = np.array(
+            [json.dumps({"version": 99})], dtype=object
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(
+            RadioMapError, match="unsupported radio-map format"
+        ):
+            load_radio_map(path)
+
     def test_missing_file(self, tmp_path):
         with pytest.raises(RadioMapError):
             load_radio_map(tmp_path / "nope.npz")
