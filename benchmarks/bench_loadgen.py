@@ -1,0 +1,26 @@
+"""Bench: concurrent serving — micro-batched multi-threaded traffic
+vs the single-caller batch-256 path, with latency percentiles."""
+
+from conftest import emit
+
+from repro.serving import loadgen
+
+
+def test_concurrent_load(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: loadgen.run(bench_config), rounds=1, iterations=1
+    )
+    emit(results_dir, "Load test", result.rendered)
+    data = result.data
+    scenarios = data["scenarios"]
+    for name, stats in scenarios.items():
+        assert stats["errors"] == 0, name
+        assert stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+    # Acceptance: 8 worker threads + micro-batching keep up with the
+    # single-caller batched path at its optimal batch size.
+    assert data["threads"] == 8
+    assert data["default_vs_baseline"] >= 1.0
+    # Device re-scans (duplicate rate 0.5 in the default scenario)
+    # are answered from the quantized-fingerprint cache.
+    assert scenarios["default"]["hit_rate"] > 0
+    assert scenarios["rescan-heavy"]["hit_rate"] > 0

@@ -195,14 +195,13 @@ class OnlineImputer:
         knn = self._knn_estimate(query_norm, query_mask)
         knn_dbm = space.denormalize_fp(knn)
 
+        blended = np.where(
+            np.isfinite(knn), 0.5 * imputed + 0.5 * knn_dbm, imputed
+        )
+        blended = np.clip(blended, RSSI_MIN, RSSI_MAX)
         out = fp.copy()
-        missing = np.where(query_mask == 0)[0]
-        for d in missing:
-            if np.isfinite(knn[d]):
-                value = 0.5 * imputed[d] + 0.5 * knn_dbm[d]
-            else:
-                value = imputed[d]
-            out[d] = np.clip(value, RSSI_MIN, RSSI_MAX)
+        missing = query_mask == 0
+        out[missing] = blended[missing]
         return out
 
     def _knn_estimate(

@@ -12,6 +12,13 @@ files (train once, serve many)::
     python -m repro train --venue kaide --preset smoke --out shard.npz
     python -m repro impute --venue kaide --model shard.npz --out map.npz
     python -m repro serve-bench --preset smoke --artifact shard.npz
+    python -m repro load-test --preset smoke --threads 8
+
+``load-test`` deploys two venues, replays a multi-threaded scenario
+mix (Zipf venue skew, device re-scan duplicates, burst vs steady
+arrival) through the micro-batching serving pipeline, and reports
+p50/p95/p99 latency plus throughput against the single-caller
+batch-256 baseline.
 
 ``train`` runs the offline half (differentiate → fit BiSIM → fit
 estimator) and writes a warm-start shard bundle;
@@ -63,6 +70,7 @@ from .imputers import fill_mnars
 from .radiomap import RadioMap, save_radio_map
 from .serving import SHARD_KIND, VenueShard
 from .serving import bench as serve_bench
+from .serving import loadgen
 
 EXPERIMENTS = {
     "table5": table5,
@@ -103,7 +111,7 @@ _ALL_ORDER = [
 ]
 
 #: Artifact-pipeline stages (everything else is an experiment name).
-PIPELINE_COMMANDS = ("train", "impute")
+PIPELINE_COMMANDS = ("train", "impute", "load-test")
 
 VENUES = ("kaide", "longhu")
 
@@ -173,6 +181,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--hidden-size",
         type=int,
         help="override the preset's BiSIM hidden size (train)",
+    )
+    load = parser.add_argument_group(
+        "concurrent load test (load-test)"
+    )
+    load.add_argument(
+        "--threads",
+        type=int,
+        default=8,
+        help="worker threads submitting queries (default: 8)",
+    )
+    load.add_argument(
+        "--requests",
+        type=int,
+        default=1024,
+        help="requests per worker thread (default: 1024)",
+    )
+    load.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="micro-batch flush size (default: 256)",
+    )
+    load.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=0.0,
+        help="micro-batch flush deadline in ms (default: 0, flush\n eagerly; raise to trade latency for bigger batches)",
+    )
+    load.add_argument(
+        "--duplicate-rate",
+        type=float,
+        help="override every scenario's device re-scan rate [0, 1]",
     )
     return parser
 
@@ -305,6 +345,35 @@ def _cmd_impute(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_load_test(args, parser: argparse.ArgumentParser) -> int:
+    if args.threads < 1:
+        parser.error("--threads must be >= 1")
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if args.max_batch < 1:
+        parser.error("--max-batch must be >= 1")
+    if args.max_delay_ms < 0:
+        parser.error("--max-delay-ms must be >= 0")
+    if args.duplicate_rate is not None and not (
+        0.0 <= args.duplicate_rate <= 1.0
+    ):
+        parser.error("--duplicate-rate must be in [0, 1]")
+    config = PRESETS[args.preset]
+    start = time.perf_counter()
+    result = loadgen.run(
+        config,
+        threads=args.threads,
+        requests_per_thread=args.requests,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        duplicate_rate=args.duplicate_rate,
+    )
+    elapsed = time.perf_counter() - start
+    print(f"\n== {result.experiment_id} ({elapsed:.1f}s) ==")
+    print(result.rendered)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -313,6 +382,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_train(args, parser)
         if args.experiment == "impute":
             return _cmd_impute(args, parser)
+        if args.experiment == "load-test":
+            return _cmd_load_test(args, parser)
     except ReproError as exc:
         # Expected pipeline failures (bad artifact kind, AP-count
         # mismatch, …) are user errors, not tracebacks.

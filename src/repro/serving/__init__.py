@@ -14,13 +14,34 @@ Serving API
   fingerprint batches, caches answers in an LRU keyed on quantized
   fingerprints, and tracks latency/throughput in
   :class:`ServiceStats`.
+* :class:`ServingPipeline` — thread-safe micro-batching front end:
+  many worker threads submit individual queries, one flusher thread
+  coalesces them (flush on ``max_batch`` rows or ``max_delay_ms``)
+  and routes them through the batched query path; a submit-time cache
+  fast path answers re-scans without enqueueing.
+* :mod:`repro.serving.loadgen` — the ``python -m repro load-test``
+  concurrent workload generator: replays scenario mixes (Zipf venue
+  skew, device re-scan duplicates, burst vs steady arrival) and
+  reports p50/p95/p99 latency plus aggregate throughput.
 * :mod:`repro.serving.bench` — the ``python -m repro serve-bench``
   throughput benchmark comparing the batched path against the old
   per-query loop.
 
-See ``examples/serving_demo.py`` for an end-to-end mixed-venue demo.
+See ``examples/serving_demo.py`` for an end-to-end mixed-venue demo
+and ``examples/concurrent_serving.py`` for the pipeline under
+multi-threaded load.
 """
 
+from .loadgen import (
+    DEFAULT_MIX,
+    DEFAULT_SCENARIO,
+    LoadReport,
+    Scenario,
+    run_scenario,
+    scan_pool,
+    zipf_weights,
+)
+from .pipeline import PipelineStats, ServingPipeline, Ticket
 from .service import (
     SHARD_KIND,
     PositioningService,
@@ -29,8 +50,18 @@ from .service import (
 )
 
 __all__ = [
+    "DEFAULT_MIX",
+    "DEFAULT_SCENARIO",
+    "LoadReport",
+    "PipelineStats",
     "PositioningService",
+    "Scenario",
+    "ServingPipeline",
     "SHARD_KIND",
     "ServiceStats",
+    "Ticket",
     "VenueShard",
+    "run_scenario",
+    "scan_pool",
+    "zipf_weights",
 ]

@@ -29,11 +29,11 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..core import TopoACDifferentiator
-from ..datasets import Dataset
 from ..experiments.base import ExperimentResult
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import get_dataset
 from ..positioning import WKNNEstimator
+from .loadgen import scan_pool
 from .service import PositioningService
 
 BATCH_SIZES = (1, 64, 256)
@@ -46,17 +46,6 @@ def _best_of(fn: Callable[[], None], rounds: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
-
-
-def _online_queries(
-    dataset: Dataset, n: int, rng: np.random.Generator
-) -> np.ndarray:
-    """Simulate ``n`` raw device scans across the venue's RPs."""
-    rps = dataset.venue.reference_points
-    picks = rng.integers(0, len(rps), size=n)
-    return np.stack(
-        [dataset.channel.measure(rps[i], rng).rssi for i in picks]
-    )
 
 
 def run(
@@ -73,7 +62,7 @@ def run(
     """
     dataset = get_dataset("kaide", config)
     rng = np.random.default_rng(config.dataset_seed)
-    queries = _online_queries(dataset, max(BATCH_SIZES), rng)
+    queries = scan_pool(dataset, max(BATCH_SIZES), rng)
 
     # Cold start: the full offline pipeline (differentiate + fit).
     service = PositioningService(cache_size=0)

@@ -23,10 +23,29 @@ BiSIM encoder over each query batch
 (:meth:`~repro.bisim.OnlineImputer.impute_batch`); shards built
 without one fall back to per-AP mean imputation, which keeps
 deployment instant for venues that cannot afford training.
+
+Thread safety
+-------------
+:class:`PositioningService` may be called from many threads at once
+(the regime :class:`~repro.serving.pipeline.ServingPipeline` creates):
+
+* the LRU cache and :class:`ServiceStats` counters are guarded by one
+  internal lock; shard compute (impute → estimate) runs outside it so
+  concurrent batches only serialize on the cheap bookkeeping;
+* a shard's pipeline (estimator, online imputer, fill values) lives in
+  a single tuple that :meth:`VenueShard.reload` swaps with one
+  reference assignment — an in-flight batch reads the tuple once and
+  can never observe a torn half-old/half-new pipeline;
+* :meth:`PositioningService.reload` swaps the shard and invalidates
+  the venue's cache entries under the same lock that cache reads take,
+  and every shard carries an ``epoch`` counter so a batch computed
+  against the old pipeline cannot re-insert a stale answer after the
+  invalidation.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -54,14 +73,22 @@ from ..radiomap import RadioMap
 #: Artifact kind of a full warm-start shard bundle.
 SHARD_KIND = "serving.shard"
 
+#: Cache key: (venue, quantized-fingerprint bytes).
+CacheKey = Tuple[str, bytes]
+
 
 @dataclass
 class ServiceStats:
     """Latency/throughput counters of one :class:`PositioningService`.
 
     ``seconds`` accumulates wall-clock time spent inside
-    :meth:`PositioningService.query_batch`; ``per_venue`` counts
-    queries routed to each shard.
+    :meth:`PositioningService.query_batch` (and, when a
+    :class:`~repro.serving.pipeline.ServingPipeline` fronts the
+    service, its submit-time cache probes); ``per_venue`` counts
+    queries routed to each shard.  A query is a hit when it is
+    answered from the LRU cache *or* when it repeats an identical
+    ``(venue, cache key)`` row earlier in the same batch — either way
+    the shard computed it once and the repeat was free.
     """
 
     queries: int = 0
@@ -93,7 +120,16 @@ class ServiceStats:
 
 
 class VenueShard:
-    """One venue's deployed pipeline: imputer + fitted estimator."""
+    """One venue's deployed pipeline: imputer + fitted estimator.
+
+    The pipeline components live in one ``(estimator, online_imputer,
+    fill_values)`` tuple so a :meth:`reload` replaces all three with a
+    single reference assignment — concurrent :meth:`locate` calls read
+    the tuple once and always see a consistent pipeline.  ``epoch``
+    increments on every swap; the service uses it to drop cache
+    insertions computed against a pipeline that has since been
+    replaced.
+    """
 
     def __init__(
         self,
@@ -105,9 +141,24 @@ class VenueShard:
     ):
         self.key = key
         self.n_aps = int(n_aps)
-        self.estimator = estimator
-        self.online_imputer = online_imputer
-        self.fill_values = fill_values
+        self._pipeline: Tuple[
+            LocationEstimator,
+            Optional[OnlineImputer],
+            Optional[np.ndarray],
+        ] = (estimator, online_imputer, fill_values)
+        self.epoch = 0
+
+    @property
+    def estimator(self) -> LocationEstimator:
+        return self._pipeline[0]
+
+    @property
+    def online_imputer(self) -> Optional[OnlineImputer]:
+        return self._pipeline[1]
+
+    @property
+    def fill_values(self) -> Optional[np.ndarray]:
+        return self._pipeline[2]
 
     @classmethod
     def build(
@@ -165,9 +216,8 @@ class VenueShard:
         per-AP fill values, so :meth:`load` boots an identical shard
         in a fresh process without touching the radio map or training.
         """
-        est_kind, est_config, est_arrays = estimator_payload(
-            self.estimator
-        )
+        estimator, online_imputer, fill_values = self._pipeline
+        est_kind, est_config, est_arrays = estimator_payload(estimator)
         arrays: Dict[str, np.ndarray] = {}
         merge_prefixed(arrays, "estimator.", est_arrays)
         config = {
@@ -177,17 +227,15 @@ class VenueShard:
             "imputer": None,
         }
         metrics: Dict[str, float] = {}
-        if self.online_imputer is not None:
+        if online_imputer is not None:
             imp_config, imp_arrays, imp_metrics = online_payload(
-                self.online_imputer
+                online_imputer
             )
             merge_prefixed(arrays, "imputer.", imp_arrays)
             config["imputer"] = imp_config
             metrics.update(imp_metrics)
-        if self.fill_values is not None:
-            arrays["fill_values"] = np.asarray(
-                self.fill_values, dtype=float
-            )
+        if fill_values is not None:
+            arrays["fill_values"] = np.asarray(fill_values, dtype=float)
         save_artifact(
             Artifact(
                 kind=SHARD_KIND,
@@ -233,49 +281,80 @@ class VenueShard:
 
         The venue key is kept; estimator, online imputer and fill
         values are replaced atomically (the new shard is fully loaded
-        and validated before anything is swapped).  The AP
+        and validated before anything is swapped, and the swap is a
+        single reference assignment, so a concurrent :meth:`locate`
+        sees either the whole old or the whole new pipeline).  The AP
         dimensionality must match — a reload cannot silently change
         the query contract.
         """
-        fresh = VenueShard.load(path, key=self.key)
+        self._install(VenueShard.load(path, key=self.key))
+
+    def _install(self, fresh: "VenueShard") -> None:
+        """Swap in a fully-built shard's pipeline and bump the epoch."""
         if fresh.n_aps != self.n_aps:
             raise ServingError(
                 f"cannot reload venue {self.key!r}: artifact has "
                 f"{fresh.n_aps} APs, shard expects {self.n_aps}"
             )
-        self.estimator = fresh.estimator
-        self.online_imputer = fresh.online_imputer
-        self.fill_values = fresh.fill_values
+        self._pipeline = fresh._pipeline
+        self.epoch += 1
 
-    def impute(self, queries: np.ndarray) -> np.ndarray:
-        """Complete a ``(n, D)`` query batch (NaN = missing)."""
-        if self.online_imputer is not None:
-            return self.online_imputer.impute_batch(
-                queries, squeeze=False
-            )
-        assert self.fill_values is not None
-        return np.where(
-            np.isfinite(queries), queries, self.fill_values[None, :]
-        )
-
-    def locate(self, queries: np.ndarray) -> np.ndarray:
-        """Full online path: impute, then batched estimation → (n, 2)."""
+    def _validate(self, queries: np.ndarray) -> np.ndarray:
         queries = np.asarray(queries, dtype=float)
         if queries.ndim != 2 or queries.shape[1] != self.n_aps:
             raise ServingError(
-                f"venue {self.key!r} expects (n, {self.n_aps}) queries"
+                f"venue {self.key!r} expects (n, {self.n_aps}) "
+                f"queries, got {queries.shape}"
             )
-        return self.estimator.predict(self.impute(queries), squeeze=False)
+        return queries
+
+    @staticmethod
+    def _impute(
+        queries: np.ndarray,
+        online_imputer: Optional[OnlineImputer],
+        fill_values: Optional[np.ndarray],
+    ) -> np.ndarray:
+        if online_imputer is not None:
+            return online_imputer.impute_batch(queries, squeeze=False)
+        assert fill_values is not None
+        return np.where(
+            np.isfinite(queries), queries, fill_values[None, :]
+        )
+
+    def impute(self, queries: np.ndarray) -> np.ndarray:
+        """Complete a ``(n, D)`` query batch (NaN = missing).
+
+        Wrong-width batches fail with a :class:`ServingError` naming
+        the venue contract, the same check :meth:`locate` performs —
+        not a deep imputer/broadcast error.
+        """
+        queries = self._validate(queries)
+        _, online_imputer, fill_values = self._pipeline
+        return self._impute(queries, online_imputer, fill_values)
+
+    def locate(self, queries: np.ndarray) -> np.ndarray:
+        """Full online path: impute, then batched estimation → (n, 2)."""
+        queries = self._validate(queries)
+        # One tuple read = one consistent pipeline, even mid-reload.
+        estimator, online_imputer, fill_values = self._pipeline
+        imputed = self._impute(queries, online_imputer, fill_values)
+        return estimator.predict(imputed, squeeze=False)
 
 
 class PositioningService:
     """Routes mixed-venue fingerprint batches through venue shards.
 
+    Safe to call from many threads at once: cache and stats mutations
+    take an internal lock, shard compute does not (see the module
+    docstring for the full guarantees).
+
     Parameters
     ----------
     cache_size:
         Maximum number of cached (venue, quantized fingerprint) →
-        location entries; 0 disables caching.
+        location entries; 0 disables caching (and with it the
+        duplicate-row coalescing inside a batch, which is keyed on the
+        quantized fingerprints).
     cache_quantum:
         RSSI quantization step (dBm) for cache keys — readings within
         the same quantum map to the same entry, which turns device
@@ -289,9 +368,8 @@ class PositioningService:
         if cache_quantum <= 0:
             raise ServingError("cache_quantum must be positive")
         self._shards: Dict[str, VenueShard] = {}
-        self._cache: "OrderedDict[Tuple[str, bytes], np.ndarray]" = (
-            OrderedDict()
-        )
+        self._cache: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
+        self._lock = threading.RLock()
         self.cache_size = int(cache_size)
         self.cache_quantum = float(cache_quantum)
         self.stats = ServiceStats()
@@ -301,12 +379,16 @@ class PositioningService:
     # ------------------------------------------------------------------
     @property
     def venues(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._shards))
+        with self._lock:
+            return tuple(sorted(self._shards))
 
     def register(self, shard: VenueShard) -> VenueShard:
-        if shard.key in self._shards:
-            raise ServingError(f"venue {shard.key!r} already registered")
-        self._shards[shard.key] = shard
+        with self._lock:
+            if shard.key in self._shards:
+                raise ServingError(
+                    f"venue {shard.key!r} already registered"
+                )
+            self._shards[shard.key] = shard
         return shard
 
     def deploy(
@@ -346,12 +428,19 @@ class PositioningService:
         The shard object (and thus any reference held by callers)
         survives; its estimator/imputer are replaced and every cached
         answer for the venue is invalidated so stale locations cannot
-        be served.
+        be served.  Atomic with respect to in-flight
+        :meth:`query_batch` calls: the artifact is loaded and
+        validated outside the lock, then the swap and the cache
+        invalidation happen under the same lock cache reads take, and
+        the shard's epoch bump stops batches computed against the old
+        pipeline from re-caching stale answers afterwards.
         """
         shard = self.shard(key)
-        shard.reload(path)
-        for cache_key in [k for k in self._cache if k[0] == key]:
-            del self._cache[cache_key]
+        fresh = VenueShard.load(path, key=key)
+        with self._lock:
+            shard._install(fresh)
+            for cache_key in [k for k in self._cache if k[0] == key]:
+                del self._cache[cache_key]
         return shard
 
     def shard(self, key: str) -> VenueShard:
@@ -381,9 +470,11 @@ class PositioningService:
         mix venues freely (and venues may differ in AP count, so the
         batch is a sequence of ``(D_venue,)`` vectors — a uniform
         ``(n, D)`` array works when all rows share a venue).  Cache
-        hits are answered immediately; misses are grouped per venue and
-        go through each shard's batched impute→estimate path in one
-        call.
+        hits are answered immediately; rows repeating an identical
+        (venue, cache key) within the batch are computed once and
+        fanned out (the repeats count as hits); the remaining misses
+        are grouped per venue and go through each shard's batched
+        impute→estimate path in one call.
         """
         start = time.perf_counter()
         n = len(venues)
@@ -392,7 +483,10 @@ class PositioningService:
         # Validate every row before touching stats or the cache, so a
         # bad row cannot leave the counters half-updated.
         rows_fp: List[np.ndarray] = []
-        for venue, fingerprint in zip(venues, fingerprints):
+        by_venue: Dict[str, List[int]] = {}
+        for i, (venue, fingerprint) in enumerate(
+            zip(venues, fingerprints)
+        ):
             shard = self.shard(venue)
             fp = np.asarray(fingerprint, dtype=float)
             if fp.shape != (shard.n_aps,):
@@ -401,59 +495,173 @@ class PositioningService:
                     "fingerprints"
                 )
             rows_fp.append(fp)
+            by_venue.setdefault(venue, []).append(i)
 
+        keys: List[Optional[CacheKey]] = [None] * n
+        stacks: Dict[str, np.ndarray] = {}
+        if self.cache_size:
+            for venue, rows in by_venue.items():
+                batch = np.stack([rows_fp[i] for i in rows])
+                stacks[venue] = batch
+                for i, key in zip(rows, self.cache_keys(venue, batch)):
+                    keys[i] = key
+        return self._serve_rows(venues, rows_fp, keys, start, stacks)
+
+    def _serve_rows(
+        self,
+        venues: Sequence[str],
+        rows_fp: Sequence[np.ndarray],
+        keys: Sequence[Optional[CacheKey]],
+        start: float,
+        stacks: Optional[Dict[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Serve pre-validated rows (the shared back half of
+        :meth:`query_batch` and the micro-batching pipeline's flush).
+
+        Three phases: cache lookup + duplicate coalescing under the
+        lock, per-venue shard compute outside it, then fan-out /
+        cache insertion / stats under the lock again.  ``stacks`` may
+        carry per-venue ``(n_venue, D)`` arrays already stacked by the
+        caller (for the cache keys); a venue whose rows all missed
+        reuses its stack instead of re-stacking.
+        """
+        n = len(venues)
         out = np.empty((n, 2))
-        keys: List[Optional[Tuple[str, bytes]]] = [None] * n
         misses: Dict[str, List[int]] = {}
-        for i, venue in enumerate(venues):
-            self.stats.per_venue[venue] = (
-                self.stats.per_venue.get(venue, 0) + 1
-            )
-            if self.cache_size:
-                key = self._cache_key(venue, rows_fp[i])
-                keys[i] = key
+        fanout: Dict[int, List[int]] = {}
+        leaders: Dict[CacheKey, int] = {}
+        epochs: Dict[str, int] = {}
+        with self._lock:
+            per_venue = self.stats.per_venue
+            for i, venue in enumerate(venues):
+                per_venue[venue] = per_venue.get(venue, 0) + 1
+                key = keys[i]
+                if key is not None:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        self._cache.move_to_end(key)
+                        self.stats.cache_hits += 1
+                        out[i] = cached
+                        continue
+                    leader = leaders.get(key)
+                    if leader is not None:
+                        # Repeat of an in-batch miss: compute once,
+                        # fan the answer out, count the repeat as a
+                        # hit — the shard never sees the duplicate.
+                        fanout[leader].append(i)
+                        self.stats.cache_hits += 1
+                        continue
+                    leaders[key] = i
+                    self.stats.cache_misses += 1
+                fanout[i] = []
+                misses.setdefault(venue, []).append(i)
+            for venue in misses:
+                epochs[venue] = self._shards[venue].epoch
+
+        computed: Dict[str, Tuple[List[int], np.ndarray]] = {}
+        for venue, rows in misses.items():
+            stack = stacks.get(venue) if stacks else None
+            if stack is not None and len(rows) == len(stack):
+                # Every row of the venue missed (cold cache): the
+                # miss list equals the stacked batch, in order.
+                batch = stack
+            else:
+                batch = np.stack([rows_fp[i] for i in rows])
+            computed[venue] = (rows, self._shards[venue].locate(batch))
+
+        with self._lock:
+            for venue, (rows, located) in computed.items():
+                # A reload between the phases means these answers came
+                # from the replaced pipeline: still correct for their
+                # requests (which arrived before the reload), but they
+                # must not repopulate the freshly-invalidated cache.
+                fresh = self._shards[venue].epoch == epochs[venue]
+                for i, loc in zip(rows, located):
+                    out[i] = loc
+                    for j in fanout[i]:
+                        out[j] = loc
+                    if fresh:
+                        self._cache_put(keys[i], loc)
+            self.stats.queries += n
+            self.stats.batches += 1
+            self.stats.seconds += time.perf_counter() - start
+        return out
+
+    def try_cached(
+        self, venue: str, batch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, List[Optional[CacheKey]]]:
+        """Answer whatever of a pre-validated ``(n, D)`` single-venue
+        batch the cache already holds.
+
+        Returns ``(locations, hit_mask, keys)``: rows with
+        ``hit_mask[i]`` set were answered (and counted as hits /
+        queries); the rest should be served through
+        :meth:`query_batch` or the pipeline, reusing ``keys`` to skip
+        re-quantization.  With caching disabled every row misses.
+        This is the submit-time fast path of the micro-batching
+        pipeline — hits never enqueue at all.
+        """
+        n = batch.shape[0]
+        out = np.empty((n, 2))
+        hit = np.zeros(n, dtype=bool)
+        if not self.cache_size:
+            return out, hit, [None] * n
+        start = time.perf_counter()
+        keys: List[Optional[CacheKey]] = list(
+            self.cache_keys(venue, batch)
+        )
+        with self._lock:
+            hits = 0
+            for i, key in enumerate(keys):
                 cached = self._cache.get(key)
                 if cached is not None:
                     self._cache.move_to_end(key)
-                    self.stats.cache_hits += 1
                     out[i] = cached
-                    continue
-                self.stats.cache_misses += 1
-            misses.setdefault(venue, []).append(i)
-
-        for venue, rows in misses.items():
-            batch = np.stack([rows_fp[i] for i in rows])
-            located = self._shards[venue].locate(batch)
-            for i, loc in zip(rows, located):
-                out[i] = loc
-                self._cache_put(keys[i], loc)
-
-        self.stats.queries += n
-        self.stats.batches += 1
-        self.stats.seconds += time.perf_counter() - start
-        return out
+                    hit[i] = True
+                    hits += 1
+            if hits:
+                self.stats.cache_hits += hits
+                self.stats.queries += hits
+                per_venue = self.stats.per_venue
+                per_venue[venue] = per_venue.get(venue, 0) + hits
+                self.stats.seconds += time.perf_counter() - start
+        return out, hit, keys
 
     def reset_stats(self) -> None:
-        self.stats = ServiceStats()
+        with self._lock:
+            self.stats = ServiceStats()
 
     # ------------------------------------------------------------------
     # LRU cache on quantized fingerprints
     # ------------------------------------------------------------------
-    def _cache_key(
-        self, venue: str, fingerprint: np.ndarray
-    ) -> Tuple[str, bytes]:
-        fp = np.asarray(fingerprint, dtype=float)
-        quantized = np.round(fp / self.cache_quantum)
+    def cache_keys(
+        self, venue: str, batch: np.ndarray
+    ) -> List[CacheKey]:
+        """Cache keys for a ``(n, D)`` batch, quantized in one pass.
+
+        Vectorizing the quantization over the batch is ~25x cheaper
+        than keying row by row, which matters because every cached
+        query pays this on the hot path.
+        """
+        quantized = np.round(batch / self.cache_quantum)
         # Missing readings get a sentinel far outside the RSSI range so
         # the observability pattern is part of the key; clipping keeps
         # tiny quanta from wrapping the integer cast into collisions.
         quantized = np.where(np.isfinite(quantized), quantized, 1e9)
         quantized = np.clip(quantized, -(2**31) + 1, 2**31 - 1)
-        return venue, quantized.astype(np.int32).tobytes()
+        ints = quantized.astype(np.int32)
+        return [(venue, ints[i].tobytes()) for i in range(len(ints))]
+
+    def _cache_key(
+        self, venue: str, fingerprint: np.ndarray
+    ) -> CacheKey:
+        fp = np.asarray(fingerprint, dtype=float)
+        return self.cache_keys(venue, fp[None, :])[0]
 
     def _cache_put(
-        self, key: Optional[Tuple[str, bytes]], location: np.ndarray
+        self, key: Optional[CacheKey], location: np.ndarray
     ) -> None:
+        # Caller holds self._lock.
         if not self.cache_size or key is None:
             return
         self._cache[key] = location.copy()

@@ -85,6 +85,61 @@ class TestOnlineImputer:
         batched = imputer.impute_batch(queries)
         np.testing.assert_allclose(batched, reference, atol=1e-8)
 
+    def test_blend_matches_per_dimension_loop(
+        self, online, kaide_smoke
+    ):
+        """The vectorized encoder/KNN blend tail == the per-dimension
+        loop it replaced, to 1e-8 (including NaN-KNN fallback dims)."""
+        from repro.bisim.features import time_lag_vectors
+        from repro.neuro import Tensor
+
+        imputer, _ = online
+        space = imputer.trainer.space
+        model = imputer.trainer.model
+        rng = np.random.default_rng(11)
+        pos = kaide_smoke.venue.reference_points[3]
+        fp = kaide_smoke.channel.measure(pos, rng).rssi.copy()
+        # Knock out extra dims so some have no KNN coverage.
+        fp[:: max(1, fp.size // 6)] = np.nan
+        out = imputer.impute_fingerprint(fp)
+
+        # Reference: the original algorithm with the per-dimension
+        # blend loop, rebuilt from the imputer's own components.
+        time_gap = 2.0
+        query_mask = np.isfinite(fp).astype(float)
+        query_norm = space.normalize_fp(fp) * query_mask
+        chunk = imputer._most_similar_chunk(query_norm, query_mask)
+        fp_seq = np.vstack([chunk.fingerprints, query_norm])
+        m_seq = np.vstack([chunk.fp_mask, query_mask])
+        times = np.concatenate(
+            [
+                chunk.times,
+                [chunk.times[-1] + time_gap / space.time_lag_scale],
+            ]
+        )
+        lags = time_lag_vectors(times, m_seq)
+        state = model.encoder.initial_state(1)
+        fc_last = None
+        for i in range(fp_seq.shape[0]):
+            _, fc_last, state = model.encoder.step(
+                Tensor(fp_seq[None, i]),
+                Tensor(m_seq[None, i]),
+                Tensor(lags[None, i]),
+                state,
+            )
+        imputed = space.denormalize_fp(fc_last.data[0])
+        knn = imputer._knn_estimate(query_norm, query_mask)
+        knn_dbm = space.denormalize_fp(knn)
+        reference = fp.copy()
+        for d in np.where(query_mask == 0)[0]:
+            if np.isfinite(knn[d]):
+                value = 0.5 * imputed[d] + 0.5 * knn_dbm[d]
+            else:
+                value = imputed[d]
+            reference[d] = np.clip(value, RSSI_MIN, RSSI_MAX)
+        assert (~np.isfinite(knn)).any()  # fallback dims exercised
+        np.testing.assert_allclose(out, reference, atol=1e-8)
+
     def test_empty_batch(self, online, kaide_smoke):
         imputer, _ = online
         d = kaide_smoke.radio_map.n_aps

@@ -37,6 +37,32 @@ class TestParser:
         assert args.mean_fill is False
         assert args.epochs is None
 
+    def test_load_test_registered_with_defaults(self):
+        args = build_parser().parse_args(["load-test"])
+        assert args.experiment == "load-test"
+        assert args.threads == 8
+        assert args.max_batch == 256
+        assert args.duplicate_rate is None
+
+    def test_load_test_flags(self):
+        args = build_parser().parse_args(
+            [
+                "load-test",
+                "--threads",
+                "4",
+                "--requests",
+                "64",
+                "--max-delay-ms",
+                "1.5",
+                "--duplicate-rate",
+                "0.5",
+            ]
+        )
+        assert args.threads == 4
+        assert args.requests == 64
+        assert args.max_delay_ms == 1.5
+        assert args.duplicate_rate == 0.5
+
     def test_invalid_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table99"])
@@ -62,3 +88,29 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Serving bench" in out
         assert "speedup" in out
+
+    def test_runs_load_test(self, capsys):
+        assert (
+            main(
+                [
+                    "load-test",
+                    "--preset",
+                    "smoke",
+                    "--threads",
+                    "2",
+                    "--requests",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Load test" in out
+        assert "p50=" in out
+        assert "single-caller batch-256" in out
+
+    def test_load_test_rejects_bad_flags(self):
+        with pytest.raises(SystemExit):
+            main(["load-test", "--threads", "0"])
+        with pytest.raises(SystemExit):
+            main(["load-test", "--duplicate-rate", "1.5"])

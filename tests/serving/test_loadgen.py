@@ -1,0 +1,230 @@
+"""Load generator: scenarios, schedules, reports, concurrent smoke."""
+
+import numpy as np
+import pytest
+
+from repro.core import MAROnlyDifferentiator
+from repro.exceptions import ServingError
+from repro.experiments import PRESETS
+from repro.positioning import WKNNEstimator
+from repro.serving import (
+    DEFAULT_MIX,
+    DEFAULT_SCENARIO,
+    PositioningService,
+    Scenario,
+    ServingPipeline,
+    run_scenario,
+    scan_pool,
+    zipf_weights,
+)
+from repro.serving.loadgen import _make_schedule, run
+
+
+class TestZipfWeights:
+    def test_uniform_at_zero_exponent(self):
+        np.testing.assert_allclose(zipf_weights(4, 0.0), [0.25] * 4)
+
+    def test_normalised_and_decreasing(self):
+        w = zipf_weights(5, 1.2)
+        assert w.sum() == pytest.approx(1.0)
+        assert (np.diff(w) < 0).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ServingError):
+            zipf_weights(0, 1.0)
+
+
+class TestScenario:
+    def test_defaults_valid(self):
+        for scenario in DEFAULT_MIX:
+            assert 0.0 <= scenario.duplicate_rate <= 1.0
+
+    def test_default_scenario_has_rescans(self):
+        assert DEFAULT_SCENARIO.duplicate_rate == 0.5
+
+    def test_bad_duplicate_rate_rejected(self):
+        with pytest.raises(ServingError):
+            Scenario("bad", duplicate_rate=1.5)
+
+    def test_bad_arrival_rejected(self):
+        with pytest.raises(ServingError):
+            Scenario("bad", arrival="poisson")
+
+    def test_bad_burst_rejected(self):
+        with pytest.raises(ServingError):
+            Scenario("bad", burst_size=0)
+
+
+class TestSchedule:
+    def make_pools(self):
+        rng = np.random.default_rng(0)
+        return {
+            "a": rng.normal(-70, 5, size=(32, 6)),
+            "b": rng.normal(-70, 5, size=(32, 9)),
+        }
+
+    def test_total_requests_preserved(self):
+        pools = self.make_pools()
+        schedule = _make_schedule(
+            pools,
+            Scenario("s", burst_size=7),
+            50,
+            np.random.default_rng(1),
+        )
+        assert sum(len(scans) for _, scans in schedule) == 50
+
+    def test_bursts_are_single_venue_with_right_width(self):
+        pools = self.make_pools()
+        schedule = _make_schedule(
+            pools,
+            Scenario("s", burst_size=8),
+            64,
+            np.random.default_rng(2),
+        )
+        for venue, scans in schedule:
+            assert scans.shape[1] == pools[venue].shape[1]
+
+    def test_duplicate_rate_repeats_rows_exactly(self):
+        pools = self.make_pools()
+        schedule = _make_schedule(
+            pools,
+            Scenario("s", burst_size=64, duplicate_rate=1.0),
+            64,
+            np.random.default_rng(3),
+        )
+        _, scans = schedule[0]
+        # dup rate 1: every row after the first repeats its predecessor.
+        np.testing.assert_array_equal(scans[1:], scans[:-1])
+
+    def test_steady_arrival_uses_single_scan_bursts(self):
+        pools = self.make_pools()
+        schedule = _make_schedule(
+            pools,
+            Scenario("s", arrival="steady", burst_size=32),
+            10,
+            np.random.default_rng(4),
+        )
+        assert all(len(scans) == 1 for _, scans in schedule)
+
+    def test_zipf_skew_prefers_first_venue(self):
+        pools = self.make_pools()
+        counts = {"a": 0, "b": 0}
+        for _ in range(30):
+            schedule = _make_schedule(
+                pools,
+                Scenario("s", zipf_exponent=3.0, burst_size=16),
+                16,
+                np.random.default_rng(_),
+            )
+            for venue, scans in schedule:
+                counts[venue] += len(scans)
+        assert counts["a"] > counts["b"]
+
+
+@pytest.fixture
+def two_venue_service(kaide_smoke, longhu_smoke):
+    svc = PositioningService(cache_size=1024)
+    pools = {}
+    rng = np.random.default_rng(0)
+    for name, ds in (("kaide", kaide_smoke), ("longhu", longhu_smoke)):
+        svc.deploy(
+            name,
+            ds.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=WKNNEstimator(),
+        )
+        pools[name] = scan_pool(ds, 64, rng)
+    return svc, pools
+
+
+class TestRunScenario:
+    def test_report_sane(self, two_venue_service):
+        svc, pools = two_venue_service
+        with ServingPipeline(svc, max_delay_ms=0.5) as pipeline:
+            report = run_scenario(
+                pipeline,
+                pools,
+                Scenario("quick", burst_size=8, zipf_exponent=1.0),
+                threads=3,
+                requests_per_thread=24,
+                seed=1,
+            )
+        assert report.requests == 3 * 24
+        assert report.errors == 0
+        assert report.throughput > 0
+        assert 0 <= report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert sum(report.per_venue.values()) == report.requests
+        assert "quick" in report.render()
+
+    def test_duplicates_answered_from_cache(self, two_venue_service):
+        """Duplicate-rate 0.5: repeated rows come back as cache hits."""
+        svc, pools = two_venue_service
+        with ServingPipeline(svc, max_delay_ms=0.5) as pipeline:
+            report = run_scenario(
+                pipeline,
+                pools,
+                Scenario("rescan", duplicate_rate=0.5, burst_size=16),
+                threads=2,
+                requests_per_thread=64,
+                seed=2,
+            )
+        assert report.errors == 0
+        assert report.hit_rate > 0
+
+    def test_steady_arrival_runs(self, two_venue_service):
+        svc, pools = two_venue_service
+        with ServingPipeline(svc, max_delay_ms=0.5) as pipeline:
+            report = run_scenario(
+                pipeline,
+                pools,
+                Scenario("steady", arrival="steady"),
+                threads=2,
+                requests_per_thread=8,
+                seed=3,
+            )
+        assert report.requests == 16
+        assert report.errors == 0
+
+
+@pytest.mark.slow
+class TestLoadSmoke:
+    """The CI smoke profile: a small multi-threaded scenario mix
+    against two deployed venues through the full `run()` entry point —
+    exercises the concurrent path end to end on every PR."""
+
+    def test_smoke_profile(self):
+        result = run(
+            PRESETS["smoke"],
+            threads=4,
+            requests_per_thread=64,
+            warmup_per_thread=16,
+            pool_size=64,
+        )
+        data = result.data
+        scenarios = data["scenarios"]
+        assert set(scenarios) == {s.name for s in DEFAULT_MIX}
+        for name, stats in scenarios.items():
+            assert stats["errors"] == 0, name
+            assert stats["throughput"] > 0, name
+            assert (
+                stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+            ), name
+        # Device re-scans must be answered from the cache.
+        assert scenarios["default"]["hit_rate"] > 0
+        assert scenarios["rescan-heavy"]["hit_rate"] > 0
+        assert data["baseline_throughput"] > 0
+        assert "p50" in result.rendered
+
+    def test_duplicate_rate_override(self):
+        result = run(
+            PRESETS["smoke"],
+            threads=2,
+            requests_per_thread=32,
+            warmup_per_thread=8,
+            pool_size=32,
+            duplicate_rate=0.5,
+            scenarios=[Scenario("only", burst_size=16)],
+        )
+        stats = result.data["scenarios"]["only"]
+        assert stats["errors"] == 0
+        assert stats["hit_rate"] > 0

@@ -1,4 +1,7 @@
-"""PositioningService: sharding, routing, caching, stats."""
+"""PositioningService: sharding, routing, caching, stats,
+duplicate coalescing, and thread safety under query/reload races."""
+
+import threading
 
 import numpy as np
 import pytest
@@ -112,6 +115,292 @@ class TestCache:
         svc.query("kaide", fp)
         assert svc.stats.cache_hits == 0
         assert len(svc._cache) == 0
+
+
+class TestDuplicateCoalescing:
+    """Identical (venue, cache key) rows inside one batch: compute
+    once, fan the answer out, count the repeats as hits."""
+
+    def make_service(self, kaide_smoke, cache_size=64):
+        svc = PositioningService(cache_size=cache_size)
+        svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        return svc
+
+    def test_repeats_counted_as_hits_not_misses(self, kaide_smoke):
+        svc = self.make_service(kaide_smoke)
+        fp = scans(kaide_smoke, 1, 20)[0]
+        batch = np.stack([fp, fp, fp, fp])
+        out = svc.query_batch(["kaide"] * 4, batch)
+        assert svc.stats.cache_misses == 1
+        assert svc.stats.cache_hits == 3
+        np.testing.assert_allclose(out, np.tile(out[0], (4, 1)))
+
+    def test_shard_sees_each_distinct_row_once(self, kaide_smoke):
+        svc = self.make_service(kaide_smoke)
+        shard = svc.shard("kaide")
+        served_rows = []
+        original = shard.locate
+
+        def counting_locate(queries):
+            served_rows.append(len(queries))
+            return original(queries)
+
+        shard.locate = counting_locate
+        a, b = scans(kaide_smoke, 2, 21)
+        svc.query_batch(
+            ["kaide"] * 6, np.stack([a, b, a, b, a, a])
+        )
+        shard.locate = original
+        assert served_rows == [2]  # two distinct rows, one shard call
+
+    def test_fanned_out_rows_match_direct_compute(self, kaide_smoke):
+        svc = self.make_service(kaide_smoke)
+        a, b = scans(kaide_smoke, 2, 22)
+        direct = svc.shard("kaide").locate(np.stack([a, b]))
+        out = svc.query_batch(["kaide"] * 4, np.stack([a, b, b, a]))
+        np.testing.assert_allclose(out[0], direct[0])
+        np.testing.assert_allclose(out[3], direct[0])
+        np.testing.assert_allclose(out[1], direct[1])
+        np.testing.assert_allclose(out[2], direct[1])
+
+    def test_no_dedup_when_cache_disabled(self, kaide_smoke):
+        """cache_size=0 turns off the quantized-key layer entirely —
+        duplicates recompute, and no hit/miss is counted."""
+        svc = self.make_service(kaide_smoke, cache_size=0)
+        fp = scans(kaide_smoke, 1, 23)[0]
+        svc.query_batch(["kaide"] * 3, np.stack([fp, fp, fp]))
+        assert svc.stats.cache_hits == 0
+        assert svc.stats.cache_misses == 0
+
+
+class TestShardValidation:
+    def test_impute_rejects_wrong_width(self, service):
+        """The public impute names the venue contract instead of
+        surfacing a deep imputation/broadcast error."""
+        shard = service.shard("kaide")
+        with pytest.raises(ServingError, match="kaide"):
+            shard.impute(np.zeros((2, shard.n_aps + 3)))
+
+    def test_impute_rejects_wrong_ndim(self, service):
+        shard = service.shard("kaide")
+        with pytest.raises(ServingError, match="expects"):
+            shard.impute(np.zeros(shard.n_aps))
+
+    def test_locate_rejects_wrong_width(self, service):
+        shard = service.shard("kaide")
+        with pytest.raises(ServingError, match="expects"):
+            shard.locate(np.zeros((2, shard.n_aps + 1)))
+
+
+class TestCacheInterleaving:
+    """Eviction order, per-venue invalidation, and torn-state races."""
+
+    def test_lru_eviction_order_at_boundary(self, kaide_smoke):
+        """At capacity, the least-recently-USED entry goes first: a
+        re-touched old entry survives, the untouched one is evicted."""
+        svc = PositioningService(cache_size=3)
+        svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        a, b, c, d = scans(kaide_smoke, 4, 24)
+        for fp in (a, b, c):
+            svc.query("kaide", fp)  # cache = [a, b, c]
+        svc.query("kaide", a)  # touch a -> LRU order [b, c, a]
+        assert svc.stats.cache_hits == 1
+        svc.query("kaide", d)  # evicts b -> [c, a, d]
+        hits_before = svc.stats.cache_hits
+        svc.query("kaide", a)
+        svc.query("kaide", c)
+        svc.query("kaide", d)
+        assert svc.stats.cache_hits == hits_before + 3
+        misses_before = svc.stats.cache_misses
+        svc.query("kaide", b)  # evicted: must miss
+        assert svc.stats.cache_misses == misses_before + 1
+
+    def test_reload_invalidates_only_reloaded_venue(
+        self, kaide_smoke, longhu_smoke, tmp_path
+    ):
+        svc = PositioningService(cache_size=64)
+        for name, ds in (
+            ("kaide", kaide_smoke),
+            ("longhu", longhu_smoke),
+        ):
+            svc.deploy(
+                name,
+                ds.radio_map,
+                MAROnlyDifferentiator(),
+                estimator=KNNEstimator(),
+            )
+        ka = scans(kaide_smoke, 2, 25)
+        lo = scans(longhu_smoke, 2, 26)
+        svc.query_batch(["kaide"] * 2, ka)
+        svc.query_batch(["longhu"] * 2, lo)
+        cached_venues = [k[0] for k in svc._cache]
+        assert cached_venues.count("kaide") == 2
+        assert cached_venues.count("longhu") == 2
+
+        path = tmp_path / "kaide.npz"
+        svc.shard("kaide").save(path)
+        svc.reload("kaide", path)
+        cached_venues = [k[0] for k in svc._cache]
+        assert cached_venues.count("kaide") == 0  # invalidated
+        assert cached_venues.count("longhu") == 2  # untouched
+        hits = svc.stats.cache_hits
+        svc.query_batch(["longhu"] * 2, lo)
+        assert svc.stats.cache_hits == hits + 2
+
+    def test_reload_bumps_epoch_and_keeps_results_fresh(
+        self, kaide_smoke, tmp_path
+    ):
+        svc = PositioningService(cache_size=64)
+        shard = svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        path = tmp_path / "kaide.npz"
+        shard.save(path)
+        epoch = shard.epoch
+        svc.reload("kaide", path)
+        assert shard.epoch == epoch + 1
+
+    def test_stale_epoch_result_not_cached(self, kaide_smoke, tmp_path):
+        """A batch computed against a pipeline that was reloaded
+        mid-flight must not repopulate the invalidated cache."""
+        svc = PositioningService(cache_size=64)
+        shard = svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        path = tmp_path / "kaide.npz"
+        shard.save(path)
+        fp = scans(kaide_smoke, 1, 27)[0]
+
+        original = shard.locate
+
+        def racing_locate(queries):
+            out = original(queries)
+            svc.reload("kaide", path)  # reload lands mid-query
+            return out
+
+        shard.locate = racing_locate
+        svc.query("kaide", fp)
+        shard.locate = original
+        assert len(svc._cache) == 0  # stale insert was dropped
+
+    def test_concurrent_queries_consistent(self, kaide_smoke):
+        """Many threads, shared service: every answer matches the
+        single-threaded reference and every query is counted."""
+        svc = PositioningService(cache_size=256)
+        svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        batch = scans(kaide_smoke, 16, 28)
+        expected = svc.shard("kaide").locate(batch)
+        n_threads, rounds = 4, 10
+        failures = []
+
+        def worker():
+            for _ in range(rounds):
+                out = svc.query_batch(["kaide"] * len(batch), batch)
+                if not np.allclose(out, expected, atol=1e-8):
+                    failures.append(out)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert (
+            svc.stats.queries == n_threads * rounds * len(batch)
+        )
+        assert (
+            svc.stats.cache_hits + svc.stats.cache_misses
+            == svc.stats.queries
+        )
+
+    def test_query_reload_stress_no_torn_results(
+        self, kaide_smoke, tmp_path
+    ):
+        """Readers hammer query_batch while a writer hot-swaps the
+        shard between two different pipelines: every observed answer
+        must exactly match one whole pipeline (A or B) — a mixture
+        would be a torn read — and no stale cache entry survives."""
+        svc = PositioningService(cache_size=128)
+        shard = svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(k=1),
+        )
+        path_a = tmp_path / "a.npz"
+        shard.save(path_a)
+        # Pipeline B: same venue, different estimator -> different
+        # answers for the same probes.
+        shard_b = PositioningService(cache_size=0).deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=WKNNEstimator(k=5),
+        )
+        path_b = tmp_path / "b.npz"
+        shard_b.save(path_b)
+
+        probes = scans(kaide_smoke, 8, 29)
+        out_a = shard.locate(probes)
+        out_b = shard_b.locate(probes)
+        assert not np.allclose(out_a, out_b)  # distinguishable
+
+        stop = threading.Event()
+        bad = []
+
+        def reader():
+            keys = ["kaide"] * len(probes)
+            while not stop.is_set():
+                got = svc.query_batch(keys, probes)
+                for row in range(len(probes)):
+                    ok_a = np.allclose(got[row], out_a[row], atol=1e-8)
+                    ok_b = np.allclose(got[row], out_b[row], atol=1e-8)
+                    if not (ok_a or ok_b):
+                        bad.append(got[row])
+
+        def writer():
+            for i in range(20):
+                svc.reload(
+                    "kaide", path_b if i % 2 == 0 else path_a
+                )
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for t in readers:
+            t.start()
+        w = threading.Thread(target=writer)
+        w.start()
+        w.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not bad, f"torn/stale results observed: {bad[:3]}"
+        # Final state is pipeline A (last reload): a fresh query must
+        # serve A's answers, not anything cached from B.
+        final = svc.query_batch(["kaide"] * len(probes), probes)
+        np.testing.assert_allclose(final, out_a, atol=1e-8)
 
 
 class TestStats:
