@@ -1,0 +1,88 @@
+"""Bench: streaming ingestion — delta hot-apply vs the batch path.
+
+Picking up a fresh survey drop the batch way means rebuilding the
+venue shard from the merged radio map, saving the bundle, and
+reloading it into the service; the streaming way folds the drop into
+a delta and hot-applies it.  Acceptance: the delta path is >= 5x
+faster (it re-differentiates only the dirty paths and refits the
+estimator, instead of re-running the whole offline pipeline).
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.core import TopoACDifferentiator
+from repro.experiments import get_dataset
+from repro.ingest import StreamIngestor, simulate_new_survey
+from repro.serving import PositioningService, VenueShard, scan_pool
+
+
+def _run(config, tmp_path):
+    dataset = get_dataset("kaide", config)
+    differentiator = TopoACDifferentiator(
+        entities=dataset.venue.plan.entities
+    )
+    service = PositioningService()
+    service.deploy("kaide", dataset.radio_map, differentiator)
+    pool = np.round(
+        scan_pool(dataset, 256, np.random.default_rng(17))
+    )
+    service.query_batch(["kaide"] * len(pool), pool)
+
+    # One fresh survey path per apply round.
+    tables = simulate_new_survey(dataset, n_passes=1, seed=23)
+    ingestor = StreamIngestor(dataset.radio_map.n_aps)
+    ingestor.ingest_table(tables[0])
+    delta = ingestor.drain()
+
+    t0 = time.perf_counter()
+    report = service.apply_delta("kaide", delta)
+    apply_seconds = time.perf_counter() - t0
+
+    # The batch alternative over the *same* merged map: rebuild the
+    # shard offline, write the bundle, hot-reload it.
+    merged = service.shard("kaide").radio_map
+    artifact = tmp_path / "kaide-rebuilt.npz"
+    t0 = time.perf_counter()
+    rebuilt = VenueShard.build(
+        "kaide",
+        merged,
+        TopoACDifferentiator(entities=dataset.venue.plan.entities),
+    )
+    rebuilt.save(artifact)
+    service.reload("kaide", artifact)
+    rebuild_seconds = time.perf_counter() - t0
+
+    speedup = rebuild_seconds / apply_seconds
+    rendered = "\n".join(
+        [
+            f"base map: {dataset.radio_map.n_records} rows, delta: "
+            f"{delta.n_rows} rows over {delta.n_paths} path(s)",
+            f"delta hot-apply: {1e3 * apply_seconds:.1f}ms "
+            f"(cache: {report.invalidated} invalidated, "
+            f"{report.kept} kept)",
+            f"batch rebuild + save + reload: "
+            f"{1e3 * rebuild_seconds:.1f}ms",
+            f"speedup: {speedup:.1f}x",
+        ]
+    )
+    return {
+        "rendered": rendered,
+        "apply_seconds": apply_seconds,
+        "rebuild_seconds": rebuild_seconds,
+        "speedup": speedup,
+    }
+
+
+def test_delta_apply_vs_rebuild(
+    benchmark, bench_config, results_dir, tmp_path
+):
+    result = benchmark.pedantic(
+        lambda: _run(bench_config, tmp_path), rounds=1, iterations=1
+    )
+    emit(results_dir, "Ingest bench", result["rendered"])
+    # Acceptance: picking up new records via a delta beats the batch
+    # rebuild-the-artifact-and-reload path by >= 5x.
+    assert result["speedup"] >= 5.0

@@ -23,6 +23,7 @@ from .io import (
     load_artifact,
     merge_prefixed,
     pack_ragged,
+    read_manifest,
     save_artifact,
     split_prefixed,
     unpack_ragged,
@@ -37,6 +38,7 @@ __all__ = [
     "load_artifact",
     "merge_prefixed",
     "pack_ragged",
+    "read_manifest",
     "save_artifact",
     "split_prefixed",
     "unpack_ragged",

@@ -139,6 +139,32 @@ def save_artifact(artifact: Artifact, path: PathLike) -> Path:
     return path
 
 
+def read_manifest(path: PathLike) -> Dict[str, Any]:
+    """Read just the embedded JSON manifest of an artifact file.
+
+    Cheap lineage/inventory probe: only the manifest entry is
+    decompressed, so chained deltas can verify parent content hashes
+    without loading (or hash-verifying) the tensor payloads.  Full
+    validation still happens in :func:`load_artifact`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"no such artifact: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if _MANIFEST_KEY not in data.files:
+                raise ArtifactError(
+                    f"{path} is not an artifact (no manifest)"
+                )
+            return json.loads(str(data[_MANIFEST_KEY][0]))
+    except ArtifactError:
+        raise
+    except Exception as exc:  # zip/json corruption
+        raise ArtifactError(
+            f"unreadable artifact {path}: {exc}"
+        ) from exc
+
+
 def load_artifact(
     path: PathLike, expected_kind: Optional[str] = None
 ) -> Artifact:

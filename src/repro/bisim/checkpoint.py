@@ -146,19 +146,26 @@ def online_payload(imputer: OnlineImputer) -> Payload:
         )
     arrays: Dict[str, np.ndarray] = {}
     merge_prefixed(arrays, "trainer.", arrays_t)
-    packed = pack_ragged(
-        [
-            {
-                "rows": np.asarray(c.rows, dtype=np.int64),
-                "fingerprints": c.fingerprints,
-                "fp_mask": c.fp_mask,
-                "rps": c.rps,
-                "rp_mask": c.rp_mask,
-                "times": c.times,
-            }
-            for c in chunks
-        ]
-    )
+    chunk_paths = imputer.chunk_paths
+    groups = []
+    for i, c in enumerate(chunks):
+        group = {
+            "rows": np.asarray(c.rows, dtype=np.int64),
+            "fingerprints": c.fingerprints,
+            "fp_mask": c.fp_mask,
+            "rps": c.rps,
+            "rp_mask": c.rp_mask,
+            "times": c.times,
+        }
+        if chunk_paths is not None:
+            # One id per row keeps the ragged-pack axis-0 contract;
+            # restore reads the first entry.  Absent on imputers
+            # restored from pre-path-metadata artifacts.
+            group["path_ids"] = np.full(
+                c.length, int(chunk_paths[i]), dtype=np.int64
+            )
+        groups.append(group)
+    packed = pack_ragged(groups)
     merge_prefixed(arrays, "chunks.", packed)
     metrics = dict(metrics, n_context_chunks=len(chunks))
     return config, arrays, metrics
@@ -172,8 +179,17 @@ def online_from_payload(
         config, split_prefixed(arrays, "trainer.")
     )
     groups = unpack_ragged(split_prefixed(arrays, "chunks."))
+    paths: Optional[list] = []
+    for g in groups:
+        pids = g.pop("path_ids", None)
+        if pids is None:
+            # Artifact predates chunk→path metadata: the index still
+            # serves, but incremental refresh falls back to re-index.
+            paths = None
+        elif paths is not None:
+            paths.append(int(pids[0]))
     imputer = OnlineImputer(trainer)
-    imputer._set_chunks([SequenceChunk(**g) for g in groups])
+    imputer._set_chunks([SequenceChunk(**g) for g in groups], paths)
     return imputer
 
 

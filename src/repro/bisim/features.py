@@ -20,7 +20,7 @@ order rather than an approximation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Collection, List, Optional, Tuple
 
 import numpy as np
 
@@ -136,33 +136,65 @@ def prepare_chunks(
     sequence_length: int,
 ) -> List[SequenceChunk]:
     """Slice every path sequence into model-ready chunks."""
+    chunks, _ = prepare_chunks_with_paths(
+        radio_map, amended_mask, space, sequence_length
+    )
+    if not chunks:
+        raise ImputationError("no sequences to impute")
+    return chunks
+
+
+def prepare_chunks_with_paths(
+    radio_map: RadioMap,
+    amended_mask: np.ndarray,
+    space: FeatureSpace,
+    sequence_length: int,
+    paths: Optional[Collection[int]] = None,
+) -> Tuple[List[SequenceChunk], List[int]]:
+    """Slice path sequences into chunks, tagged with their path ids.
+
+    ``paths`` restricts the slicing to the given survey paths (the
+    incremental-index refresh path); ``None`` slices every path.
+    Returns ``(chunks, path_ids)`` with one path id per chunk; an empty
+    result is legal here — the all-paths wrapper
+    :func:`prepare_chunks` is the one that raises on it.
+    """
     if amended_mask.shape != radio_map.fingerprints.shape:
         raise ImputationError("amended mask shape mismatch")
+    wanted = None if paths is None else {int(p) for p in paths}
     chunks: List[SequenceChunk] = []
-    fp_norm_all = space.normalize_fp(radio_map.fingerprints)
-    rp_norm_all = space.normalize_rp(radio_map.rps)
-    rp_mask_all = np.repeat(
-        radio_map.rp_observed_mask.astype(float)[:, None], 2, axis=1
-    )
+    path_ids: List[int] = []
 
-    for _, rows in radio_map.path_sequences():
+    # Normalisation is elementwise, so doing it per selected path is
+    # identical to normalising the whole map up front — and lets a
+    # restricted refresh skip the untouched rows entirely.
+    for pid, rows in radio_map.path_sequences():
+        if wanted is not None and pid not in wanted:
+            continue
+        fp_norm = space.normalize_fp(radio_map.fingerprints[rows])
+        rp_norm = space.normalize_rp(radio_map.rps[rows])
+        rp_mask = np.repeat(
+            radio_map.rp_observed_mask[rows].astype(float)[:, None],
+            2,
+            axis=1,
+        )
         for start in range(0, rows.size, sequence_length):
-            sel = rows[start : start + sequence_length]
+            stop = start + sequence_length
+            sel = rows[start:stop]
             m = (amended_mask[sel] == 1).astype(float)
-            k = rp_mask_all[sel]
+            k = rp_mask[start:stop]
             chunks.append(
                 SequenceChunk(
                     rows=sel,
-                    fingerprints=fp_norm_all[sel] * m,
+                    fingerprints=fp_norm[start:stop] * m,
                     fp_mask=m,
-                    rps=rp_norm_all[sel] * k,
+                    rps=rp_norm[start:stop] * k,
                     rp_mask=k,
                     times=radio_map.times[sel] / space.time_lag_scale,
                 )
             )
-    if not chunks:
-        raise ImputationError("no sequences to impute")
-    return chunks
+            path_ids.append(pid)
+    return chunks, path_ids
 
 
 def batch_chunks(

@@ -42,7 +42,7 @@ from ..radiomap import RadioMap
 from .config import BiSIMConfig
 from .features import (
     SequenceChunk,
-    prepare_chunks,
+    prepare_chunks_with_paths,
     time_lag_vectors,
     time_lag_vectors_batched,
 )
@@ -57,6 +57,7 @@ class OnlineImputer:
             raise ImputationError("trainer must be fitted first")
         self._trainer = trainer
         self._chunks: List[SequenceChunk] = []
+        self._chunk_paths: Optional[np.ndarray] = None
 
     @property
     def trainer(self) -> BiSIMTrainer:
@@ -81,24 +82,114 @@ class OnlineImputer:
     def index(
         self, radio_map: RadioMap, amended_mask: np.ndarray
     ) -> None:
-        """(Re)build the context index from a radio map."""
+        """(Re)build the full context index from a radio map."""
         assert self._trainer.space is not None
-        self._set_chunks(
-            prepare_chunks(
-                radio_map,
-                amended_mask,
-                self._trainer.space,
-                self._trainer.config.sequence_length,
-            )
+        chunks, paths = prepare_chunks_with_paths(
+            radio_map,
+            amended_mask,
+            self._trainer.space,
+            self._trainer.config.sequence_length,
         )
+        self._set_chunks(chunks, paths)
 
-    def _set_chunks(self, chunks: List[SequenceChunk]) -> None:
+    def refreshed(
+        self,
+        radio_map: RadioMap,
+        amended_mask: np.ndarray,
+        path_ids,
+    ) -> "OnlineImputer":
+        """A copy of this imputer with the given paths' chunks rebuilt.
+
+        The trainer (and its weights) is shared; only the context
+        chunks of the *dirty* paths are re-sliced from the updated
+        radio map — clean paths keep their existing chunks, and the
+        result is bit-identical to a full :meth:`index` over the
+        updated map (chunks are kept in canonical ascending-path
+        order).  Returns a **new** imputer so the serving layer can
+        swap it in atomically; the in-place variant is
+        :meth:`refresh_paths`.
+
+        Imputers restored from artifacts written before chunk→path
+        metadata existed fall back to a full re-index.
+        """
+        assert self._trainer.space is not None
+        fresh = OnlineImputer(self._trainer)
+        if self._chunk_paths is None:
+            # Legacy index without path metadata: full rebuild.
+            fresh.index(radio_map, amended_mask)
+            return fresh
+        dirty = {int(p) for p in np.asarray(path_ids).ravel()}
+        new_chunks, new_paths = prepare_chunks_with_paths(
+            radio_map,
+            amended_mask,
+            self._trainer.space,
+            self._trainer.config.sequence_length,
+            paths=dirty,
+        )
+        by_path: dict = {}
+        for chunk, pid in zip(new_chunks, new_paths):
+            by_path.setdefault(pid, []).append(chunk)
+        for chunk, pid in zip(self._chunks, self._chunk_paths):
+            if int(pid) not in dirty:
+                by_path.setdefault(int(pid), []).append(chunk)
+        chunks: List[SequenceChunk] = []
+        paths: List[int] = []
+        for pid in sorted(by_path):
+            chunks.extend(by_path[pid])
+            paths.extend([pid] * len(by_path[pid]))
+        fresh._set_chunks(chunks, paths)
+        return fresh
+
+    def refresh_paths(
+        self,
+        radio_map: RadioMap,
+        amended_mask: np.ndarray,
+        path_ids,
+    ) -> int:
+        """In-place :meth:`refreshed` (single-threaded use only).
+
+        Returns the number of context chunks now indexed.  Not safe
+        under concurrent :meth:`impute_batch` calls — a serving layer
+        should swap in the imputer returned by :meth:`refreshed`
+        instead.
+        """
+        fresh = self.refreshed(radio_map, amended_mask, path_ids)
+        self._adopt(fresh)
+        return len(self._chunks)
+
+    def _adopt(self, other: "OnlineImputer") -> None:
+        self._chunks = other._chunks
+        self._chunk_paths = other._chunk_paths
+        self._last_fp = other._last_fp
+        self._last_m = other._last_m
+        self._all_fp = other._all_fp
+        self._all_m = other._all_m
+        self._chunk_lengths = other._chunk_lengths
+
+    @property
+    def chunk_paths(self) -> Optional[np.ndarray]:
+        """Per-chunk survey-path ids (``None`` on legacy restores)."""
+        return self._chunk_paths
+
+    def _set_chunks(
+        self,
+        chunks: List[SequenceChunk],
+        paths: Optional[List[int]] = None,
+    ) -> None:
         """Install the context chunks and precompute the stacked views
         over the index, so the batched query path is pure matmuls at
-        serve time (also the restore path for checkpoint loading)."""
+        serve time (also the restore path for checkpoint loading).
+        ``paths`` tags each chunk with its survey path, enabling the
+        incremental :meth:`refreshed`; ``None`` (legacy checkpoints)
+        disables it."""
         if not chunks:
             raise ImputationError("no context chunks available")
+        if paths is not None and len(paths) != len(chunks):
+            raise ImputationError("chunk/path metadata length mismatch")
         self._chunks = chunks
+        self._chunk_paths = (
+            None if paths is None else np.asarray(paths, dtype=int)
+        )
         self._last_fp = np.stack([c.fingerprints[-1] for c in self._chunks])
         self._last_m = np.stack([c.fp_mask[-1] for c in self._chunks])
         self._all_fp = np.vstack([c.fingerprints for c in self._chunks])

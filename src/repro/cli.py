@@ -12,13 +12,19 @@ files (train once, serve many)::
     python -m repro train --venue kaide --preset smoke --out shard.npz
     python -m repro impute --venue kaide --model shard.npz --out map.npz
     python -m repro serve-bench --preset smoke --artifact shard.npz
-    python -m repro load-test --preset smoke --threads 8
+    python -m repro ingest --venue kaide --out delta.npz --apply
+    python -m repro load-test --preset smoke --threads 8 --drift
 
 ``load-test`` deploys two venues, replays a multi-threaded scenario
 mix (Zipf venue skew, device re-scan duplicates, burst vs steady
 arrival) through the micro-batching serving pipeline, and reports
 p50/p95/p99 latency plus throughput against the single-caller
-batch-256 baseline.
+batch-256 baseline; ``--seed`` replays identical request streams,
+``--drift`` interleaves ingestion-delta hot-applies with the traffic.
+
+``ingest`` is the streaming write path: fold a fresh survey drop into
+a delta artifact (chained on ``--base``'s content hash) and, with
+``--apply``, hot-apply it to a live deployment.
 
 ``train`` runs the offline half (differentiate → fit BiSIM → fit
 estimator) and writes a warm-start shard bundle;
@@ -36,7 +42,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .artifacts import load_artifact, split_prefixed
+from .artifacts import load_artifact, read_manifest, split_prefixed
 from .bisim import BiSIMConfig, BiSIMTrainer
 from .bisim.checkpoint import (
     ONLINE_KIND,
@@ -67,8 +73,14 @@ from .experiments import (
     table8,
 )
 from .imputers import fill_mnars
+from .ingest import (
+    DELTA_KIND,
+    StreamIngestor,
+    load_delta,
+    simulate_new_survey,
+)
 from .radiomap import RadioMap, save_radio_map
-from .serving import SHARD_KIND, VenueShard
+from .serving import SHARD_KIND, PositioningService, VenueShard
 from .serving import bench as serve_bench
 from .serving import loadgen
 
@@ -111,7 +123,7 @@ _ALL_ORDER = [
 ]
 
 #: Artifact-pipeline stages (everything else is an experiment name).
-PIPELINE_COMMANDS = ("train", "impute", "load-test")
+PIPELINE_COMMANDS = ("train", "impute", "ingest", "load-test")
 
 VENUES = ("kaide", "longhu")
 
@@ -182,6 +194,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="override the preset's BiSIM hidden size (train)",
     )
+    ingest = parser.add_argument_group(
+        "streaming ingestion (ingest)"
+    )
+    ingest.add_argument(
+        "--base",
+        help=(
+            "base artifact the delta chains on (shard bundle from "
+            "train); its content hash becomes the delta's parent"
+        ),
+    )
+    ingest.add_argument(
+        "--new-passes",
+        type=int,
+        default=1,
+        help=(
+            "corridor-coverage passes of fresh survey records to "
+            "ingest (default: 1)"
+        ),
+    )
+    ingest.add_argument(
+        "--apply",
+        action="store_true",
+        help=(
+            "after writing the delta, deploy the venue and hot-apply "
+            "it live (prints the apply report)"
+        ),
+    )
     load = parser.add_argument_group(
         "concurrent load test (load-test)"
     )
@@ -213,6 +252,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--duplicate-rate",
         type=float,
         help="override every scenario's device re-scan rate [0, 1]",
+    )
+    load.add_argument(
+        "--seed",
+        type=int,
+        help=(
+            "seed for every random choice downstream — scan pools, "
+            "worker schedules, arrivals, drift deltas — so runs "
+            "replay identically (default: the preset's dataset "
+            "seed; also seeds the ingest stage's survey simulation)"
+        ),
+    )
+    load.add_argument(
+        "--drift",
+        action="store_true",
+        help=(
+            "append the drift scenario: ingestion deltas hot-apply "
+            "to a live venue while query traffic runs"
+        ),
     )
     return parser
 
@@ -345,6 +402,81 @@ def _cmd_impute(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_ingest(args, parser: argparse.ArgumentParser) -> int:
+    """Streaming ingestion: records in → delta artifact out → apply.
+
+    Simulates a fresh crowdsourced survey drop for the venue, folds it
+    through a :class:`~repro.ingest.StreamIngestor`, and writes one
+    lineage-chained delta artifact.  With ``--base`` the delta chains
+    on an existing artifact's content hash; with ``--apply`` the venue
+    is deployed and the delta hot-applied live, printing the apply
+    report (rows, paths, cache keys invalidated/kept, latency).
+    """
+    if not args.out:
+        parser.error("ingest requires --out PATH for the delta artifact")
+    if args.new_passes < 1:
+        parser.error("--new-passes must be >= 1")
+    config = PRESETS[args.preset]
+    seed = config.dataset_seed if args.seed is None else args.seed
+    dataset = get_dataset(args.venue, config)
+    parent_hash = None
+    sequence = 0
+    start_path_id = None
+    if args.base:
+        manifest = read_manifest(args.base)
+        parent_hash = str(manifest["content_hash"])
+        if manifest.get("kind") == DELTA_KIND:
+            # Chaining on a previous delta resumes its sequence
+            # numbering AND its path numbering — a new drop reusing
+            # the parent delta's path ids would replace those paths
+            # on apply instead of extending the map.
+            sequence = (
+                int(manifest.get("config", {}).get("sequence", -1)) + 1
+            )
+            parent_delta, _ = load_delta(args.base)
+            start_path_id = max(
+                int(dataset.radio_map.path_ids.max()),
+                int(parent_delta.path_ids.max()),
+            ) + 1
+    tables = simulate_new_survey(
+        dataset,
+        n_passes=args.new_passes,
+        seed=seed + 101 + sequence,
+        start_path_id=start_path_id,
+    )
+    ingestor = StreamIngestor(
+        dataset.radio_map.n_aps,
+        parent_hash=parent_hash,
+        sequence=sequence,
+    )
+    start = time.perf_counter()
+    for table in tables:
+        ingestor.ingest_table(table)
+    published = ingestor.publish(args.out)
+    elapsed = time.perf_counter() - start
+    print(
+        f"ingested {args.venue}: {ingestor.stats.render()} "
+        f"in {elapsed:.2f}s -> {args.out}"
+    )
+    parent = published.parent_hash or "(unanchored)"
+    print(
+        f"  lineage: parent {parent[:12]} -> delta "
+        f"{published.content_hash[:12]} (sequence "
+        f"{published.sequence})"
+    )
+    if args.apply:
+        service = PositioningService()
+        service.deploy(
+            args.venue,
+            dataset.radio_map,
+            TopoACDifferentiator(entities=dataset.venue.plan.entities),
+        )
+        report = service.apply_delta(args.venue, published.delta)
+        print(f"  {report.describe()}")
+        print(f"  {service.shard(args.venue).radio_map.describe()}")
+    return 0
+
+
 def _cmd_load_test(args, parser: argparse.ArgumentParser) -> int:
     if args.threads < 1:
         parser.error("--threads must be >= 1")
@@ -367,6 +499,8 @@ def _cmd_load_test(args, parser: argparse.ArgumentParser) -> int:
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
         duplicate_rate=args.duplicate_rate,
+        seed=args.seed,
+        include_drift=args.drift,
     )
     elapsed = time.perf_counter() - start
     print(f"\n== {result.experiment_id} ({elapsed:.1f}s) ==")
@@ -382,6 +516,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_train(args, parser)
         if args.experiment == "impute":
             return _cmd_impute(args, parser)
+        if args.experiment == "ingest":
+            return _cmd_ingest(args, parser)
         if args.experiment == "load-test":
             return _cmd_load_test(args, parser)
     except ReproError as exc:

@@ -56,3 +56,8 @@ class ServingError(ReproError):
 class ArtifactError(ReproError):
     """Raised by the artifact store on missing, corrupted or
     version-mismatched artifacts."""
+
+
+class IngestError(ReproError):
+    """Raised by the streaming-ingestion layer on empty publishes or
+    broken delta lineage."""

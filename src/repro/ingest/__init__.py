@@ -1,0 +1,45 @@
+"""Streaming ingestion & incremental radio-map maintenance.
+
+The live-update data plane next to the batch pipeline:
+
+* :class:`~repro.radiomap.RadioMapBuilder` (in :mod:`repro.radiomap`)
+  folds survey record streams into mergeable per-cell running
+  statistics — batch creation is the one-chunk special case;
+* :class:`StreamIngestor` wraps a builder into an ingestion session
+  that publishes the accumulated changes as **delta artifacts**
+  (kind ``"radiomap.delta"``), each chained on its parent's content
+  hash so the full update history verifies against the base bundle;
+* the serving layer consumes deltas in place:
+  :meth:`~repro.serving.PositioningService.apply_delta` hot-updates a
+  live :class:`~repro.serving.VenueShard` under the epoch/atomic-swap
+  machinery with targeted cache invalidation.
+
+``python -m repro ingest`` runs the whole write path from the CLI:
+records in → delta artifact out → optional live apply.
+"""
+
+from .delta import (
+    DELTA_KIND,
+    delta_to_artifact,
+    load_delta,
+    save_delta,
+    verify_chain,
+)
+from .stream import (
+    IngestStats,
+    PublishedDelta,
+    StreamIngestor,
+    simulate_new_survey,
+)
+
+__all__ = [
+    "DELTA_KIND",
+    "IngestStats",
+    "PublishedDelta",
+    "StreamIngestor",
+    "delta_to_artifact",
+    "load_delta",
+    "save_delta",
+    "simulate_new_survey",
+    "verify_chain",
+]

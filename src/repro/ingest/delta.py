@@ -1,0 +1,168 @@
+"""Radio-map delta artifacts with manifest lineage.
+
+A delta artifact (kind ``"radiomap.delta"``) ships the refreshed rows
+of the survey paths touched by one ingestion window — typically a few
+kilobytes against a full radio map or shard bundle.  Its manifest
+config records *lineage*:
+
+* ``parent_hash`` — the content hash of the artifact this delta
+  applies on top of: the base radio map / shard bundle for the first
+  delta, the previous delta for every later one.  Content hashes are
+  the same SHA-256 digests :func:`repro.artifacts.load_artifact`
+  verifies, so a chain is tamper-evident end to end;
+* ``sequence`` — the delta's position in the chain, starting at 0.
+
+:func:`verify_chain` walks ``base → delta_0 → delta_1 → …`` and fails
+with a typed :class:`~repro.exceptions.ArtifactError` on any break —
+a missing link, a reordered file, or a delta grafted onto the wrong
+base.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..artifacts import (
+    Artifact,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+)
+from ..artifacts.io import PathLike
+from ..exceptions import ArtifactError
+from ..radiomap import RadioMap, RadioMapDelta, RadioMapTruth
+
+#: Artifact kind of a radio-map delta.
+DELTA_KIND = "radiomap.delta"
+
+_TRUTH_ARRAYS = ("missing_type", "positions", "clean_fingerprints")
+
+
+def delta_to_artifact(
+    delta: RadioMapDelta,
+    *,
+    parent_hash: Optional[str] = None,
+    sequence: int = 0,
+) -> Artifact:
+    """Pack a delta (rows + dirty-path set + lineage) as an artifact."""
+    records = delta.records
+    arrays: Dict[str, np.ndarray] = {
+        "dirty_paths": np.asarray(delta.path_ids, dtype=np.int64),
+        "fingerprints": records.fingerprints,
+        "rps": records.rps,
+        "times": records.times,
+        "path_ids": records.path_ids.astype(np.int64),
+    }
+    if records.truth is not None:
+        for name in _TRUTH_ARRAYS:
+            value = getattr(records.truth, name)
+            if value is not None:
+                arrays[f"truth.{name}"] = value
+    config: Dict[str, Any] = {
+        "n_aps": int(records.n_aps),
+        "parent_hash": parent_hash,
+        "sequence": int(sequence),
+    }
+    metrics = {
+        "rows": int(delta.n_rows),
+        "paths": int(delta.n_paths),
+    }
+    return Artifact(
+        kind=DELTA_KIND, arrays=arrays, config=config, metrics=metrics
+    )
+
+
+def save_delta(
+    delta: RadioMapDelta,
+    path: PathLike,
+    *,
+    parent_hash: Optional[str] = None,
+    sequence: int = 0,
+) -> str:
+    """Write a delta artifact; returns its content hash (the next
+    link's ``parent_hash``)."""
+    save_artifact(
+        delta_to_artifact(
+            delta, parent_hash=parent_hash, sequence=sequence
+        ),
+        path,
+    )
+    return str(read_manifest(path)["content_hash"])
+
+
+def load_delta(
+    path: PathLike, *, parent_hash: Optional[str] = None
+) -> Tuple[RadioMapDelta, Dict[str, Any]]:
+    """Load and validate a delta artifact → ``(delta, config)``.
+
+    ``parent_hash`` pins the expected lineage: a delta whose recorded
+    parent differs fails with an :class:`ArtifactError` instead of
+    silently applying on the wrong base.
+    """
+    artifact = load_artifact(path, expected_kind=DELTA_KIND)
+    config = artifact.config
+    if parent_hash is not None and config.get("parent_hash") != parent_hash:
+        raise ArtifactError(
+            f"delta {path} breaks lineage: expected parent "
+            f"{parent_hash[:12]}…, found "
+            f"{str(config.get('parent_hash'))[:12]}…"
+        )
+    truth = None
+    truth_values = {
+        name: artifact.arrays.get(f"truth.{name}")
+        for name in _TRUTH_ARRAYS
+    }
+    if any(v is not None for v in truth_values.values()):
+        truth = RadioMapTruth(**truth_values)
+    records = RadioMap(
+        fingerprints=artifact.arrays["fingerprints"],
+        rps=artifact.arrays["rps"],
+        times=artifact.arrays["times"],
+        path_ids=artifact.arrays["path_ids"],
+        truth=truth,
+    )
+    delta = RadioMapDelta(
+        path_ids=artifact.arrays["dirty_paths"], records=records
+    )
+    return delta, config
+
+
+def verify_chain(
+    base_path: PathLike, delta_paths: Sequence[PathLike]
+) -> List[Dict[str, Any]]:
+    """Verify a ``base → delta_0 → delta_1 → …`` lineage chain.
+
+    Walks the manifests only (no tensor loads) and returns each
+    delta's config, in order.  Raises :class:`ArtifactError` on a
+    kind mismatch, a parent-hash break, or out-of-order sequence
+    numbers.
+    """
+    parent = str(read_manifest(base_path)["content_hash"])
+    configs: List[Dict[str, Any]] = []
+    last_sequence = -1
+    for path in delta_paths:
+        manifest = read_manifest(path)
+        if manifest.get("kind") != DELTA_KIND:
+            raise ArtifactError(
+                f"{path} is not a radio-map delta "
+                f"(kind {manifest.get('kind')!r})"
+            )
+        config = manifest.get("config", {})
+        if config.get("parent_hash") != parent:
+            raise ArtifactError(
+                f"delta chain breaks at {path}: expected parent "
+                f"{parent[:12]}…, found "
+                f"{str(config.get('parent_hash'))[:12]}…"
+            )
+        sequence = int(config.get("sequence", -1))
+        if sequence <= last_sequence:
+            raise ArtifactError(
+                f"delta chain out of order at {path}: sequence "
+                f"{sequence} after {last_sequence}"
+            )
+        last_sequence = sequence
+        parent = str(manifest["content_hash"])
+        configs.append(config)
+    return configs

@@ -1,0 +1,224 @@
+"""Streaming ingestion sessions: records in → chained delta artifacts.
+
+:class:`StreamIngestor` is the write-side counterpart of the serving
+layer: it folds crowdsourced survey records into a
+:class:`~repro.radiomap.RadioMapBuilder` and periodically *publishes*
+the accumulated changes as a lineage-chained delta artifact
+(:mod:`repro.ingest.delta`).  The read side applies those deltas to a
+live deployment with
+:meth:`~repro.serving.PositioningService.apply_delta` — no full
+radio-map rebuild, no artifact reload::
+
+    ingestor = StreamIngestor(n_aps, parent_hash=base_hash)
+    ingestor.ingest_table(new_survey_table)
+    published = ingestor.publish("delta-000.npz")
+    service.apply_delta("kaide", published.delta)
+
+Each publish chains on the previous one (``sequence`` increments, the
+new artifact's content hash becomes the next ``parent_hash``), so a
+consumer can verify the whole update history against the base bundle
+with :func:`~repro.ingest.delta.verify_chain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Set
+
+import numpy as np
+
+from ..constants import DEFAULT_EPSILON
+from ..exceptions import IngestError
+from ..radiomap import RadioMapBuilder, RadioMapDelta
+from ..survey import (
+    SurveyConfig,
+    WalkingSurveyRecordTable,
+    simulate_survey,
+)
+from .delta import save_delta
+
+
+@dataclass
+class IngestStats:
+    """Counters of one ingestion session."""
+
+    records_in: int = 0
+    paths_touched: int = 0
+    deltas_published: int = 0
+    rows_shipped: int = 0
+    _seen_paths: Set[int] = field(default_factory=set, repr=False)
+
+    def note_records(self, path_id: int, n: int) -> None:
+        self.records_in += n
+        self._seen_paths.add(int(path_id))
+        self.paths_touched = len(self._seen_paths)
+
+    def render(self) -> str:
+        return (
+            f"ingested={self.records_in} records over "
+            f"{self.paths_touched} paths; "
+            f"published={self.deltas_published} deltas "
+            f"({self.rows_shipped} rows)"
+        )
+
+
+@dataclass(frozen=True)
+class PublishedDelta:
+    """One published link of a delta chain."""
+
+    path: Path
+    delta: RadioMapDelta
+    content_hash: str
+    parent_hash: Optional[str]
+    sequence: int
+
+
+class StreamIngestor:
+    """Folds survey record streams and publishes chained deltas.
+
+    Parameters
+    ----------
+    n_aps:
+        AP dimensionality of the venue's radio map.
+    epsilon:
+        Section II-B merge threshold (must match the base map's).
+    parent_hash:
+        Content hash of the artifact the *first* publish applies on
+        top of (base radio map or shard bundle); ``None`` starts an
+        unanchored chain.
+    sequence:
+        Sequence number of the first publish.  A fresh chain starts
+        at 0; a session *resuming* an existing chain (``parent_hash``
+        pointing at a previous delta) passes that delta's sequence
+        + 1 so :func:`~repro.ingest.delta.verify_chain`'s
+        monotonicity check keeps holding across sessions.
+    """
+
+    def __init__(
+        self,
+        n_aps: int,
+        *,
+        epsilon: float = DEFAULT_EPSILON,
+        parent_hash: Optional[str] = None,
+        sequence: int = 0,
+    ):
+        if sequence < 0:
+            raise IngestError("sequence must be non-negative")
+        self.builder = RadioMapBuilder(n_aps, epsilon=epsilon)
+        self.stats = IngestStats()
+        self._parent_hash = parent_hash
+        self._sequence = int(sequence)
+
+    @property
+    def parent_hash(self) -> Optional[str]:
+        """The hash the *next* publish will chain on."""
+        return self._parent_hash
+
+    @property
+    def sequence(self) -> int:
+        return self._sequence
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, path_id: int, records: Iterable) -> None:
+        """Fold a chunk of one path's survey records."""
+        count = 0
+        for record in records:
+            self.builder.add_record(path_id, record)
+            count += 1
+        self.stats.note_records(path_id, count)
+
+    def ingest_table(self, table: WalkingSurveyRecordTable) -> None:
+        self.builder.add_table(table)
+        self.stats.note_records(table.path_id, len(table))
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def drain(self) -> Optional[RadioMapDelta]:
+        """The pending delta without publishing it (``None`` if clean)."""
+        return self.builder.drain_delta()
+
+    def publish(self, path) -> PublishedDelta:
+        """Write the pending changes as the next delta artifact.
+
+        Raises :class:`IngestError` when nothing was ingested since the
+        last publish — an empty delta would be a pointless (and
+        lineage-consuming) link.
+        """
+        delta = self.builder.drain_delta()
+        if delta is None:
+            raise IngestError(
+                "nothing to publish: no records ingested since the "
+                "last publish"
+            )
+        parent = self._parent_hash
+        try:
+            digest = save_delta(
+                delta, path, parent_hash=parent, sequence=self._sequence
+            )
+        except Exception:
+            # The drain already cleared the dirty set; a failed write
+            # must not lose those rows from the chain — re-mark them
+            # so the next publish ships them.
+            self.builder.mark_dirty(delta.path_ids)
+            raise
+        published = PublishedDelta(
+            path=Path(path),
+            delta=delta,
+            content_hash=digest,
+            parent_hash=parent,
+            sequence=self._sequence,
+        )
+        self._parent_hash = digest
+        self._sequence += 1
+        self.stats.deltas_published += 1
+        self.stats.rows_shipped += delta.n_rows
+        return published
+
+
+def simulate_new_survey(
+    dataset,
+    *,
+    n_passes: int = 1,
+    seed: int = 0,
+    start_path_id: Optional[int] = None,
+) -> List[WalkingSurveyRecordTable]:
+    """Simulate a fresh crowdsourced survey drop for a dataset's venue.
+
+    Walks the venue's corridor network again (``n_passes`` coverage
+    repetitions) under the same survey regime the dataset was built
+    with, and renumbers the resulting paths *after* the dataset's
+    existing ones so ingesting them extends the radio map instead of
+    colliding with surveyed paths.
+
+    ``start_path_id`` overrides where the renumbering starts.  It
+    defaults to just past the *dataset's* paths, so a caller
+    producing several drops (chained deltas, drift rounds) must pass
+    the next free id each round — two drops sharing ids would fold
+    into the same paths and replace each other on apply.
+    """
+    rng = np.random.default_rng(seed)
+    # Same knobs as repro.datasets.make_dataset: scan clock just above
+    # epsilon, jittered RP passings, heavy pauses — so the new drop
+    # lands in the same sparsity regime as the base map.
+    config = SurveyConfig(
+        n_passes=n_passes,
+        scan_interval=1.5,
+        scan_jitter=0.3,
+        rp_time_jitter=1.2,
+        speed_jitter=0.35,
+        pause_probability=0.45,
+        pause_duration=5.0,
+    )
+    tables = simulate_survey(dataset.venue, dataset.channel, config, rng)
+    next_id = (
+        int(dataset.radio_map.path_ids.max()) + 1
+        if start_path_id is None
+        else int(start_path_id)
+    )
+    for offset, table in enumerate(tables):
+        table.path_id = next_id + offset
+    return tables

@@ -1,5 +1,11 @@
 """Radio-map creation, containers, perturbations, I/O and statistics."""
 
+from .builder import (
+    CellStats,
+    RadioMapBuilder,
+    RadioMapDelta,
+    apply_radio_map_delta,
+)
 from .creation import create_radio_map, create_radio_map_for_path
 from .interpolation import interpolate_rps_linear
 from .io import export_csv, load_radio_map, save_radio_map
@@ -13,10 +19,14 @@ from .radiomap import RadioMap, RadioMapTruth, concatenate_radio_maps
 from .stats import RadioMapStats, compute_stats
 
 __all__ = [
+    "CellStats",
     "RadioMap",
+    "RadioMapBuilder",
+    "RadioMapDelta",
     "RadioMapStats",
     "RadioMapTruth",
     "RemovedValues",
+    "apply_radio_map_delta",
     "compute_stats",
     "concatenate_radio_maps",
     "create_radio_map",

@@ -1,0 +1,586 @@
+"""Streaming radio-map construction with mergeable running cell stats.
+
+The Section II-B merge (see :mod:`repro.radiomap.creation` for the
+paper's two-step description) is implemented here as an *incremental*
+fold so radio maps can be grown from a live record stream instead of
+rebuilt from scratch on every survey drop:
+
+* every survey path accumulates **cells** — the output units of merge
+  Step 1.  A cell carries running statistics (start time, merged RSSI
+  vector under the paper's pairwise-average rule, records-merged
+  count, ground-truth aggregates), so appending an in-order record is
+  O(1): it either folds into the open tail cell or starts a new one;
+* Step 2 (attaching RP records to adjacent RSSI cells) is a cheap
+  linear pass that runs at materialisation time, per *dirty* path
+  only — clean paths reuse their cached row arrays;
+* out-of-order records (a late chunk from a crowdsourcing gateway)
+  re-fold just the affected path, never the whole map.
+
+The fold is exactly the batch merge: a :meth:`RadioMapBuilder.snapshot`
+over any chunking/interleaving of a record stream is bit-identical to
+:func:`~repro.radiomap.creation.create_radio_map` over the same
+records (the property tests shuffle chunk order and assert equality),
+and the batch functions are now thin wrappers over this builder.
+Records with *tied* timestamps keep arrival order (the same stable
+rule the batch sort uses), so within a path the guarantee holds for
+in-order delivery or distinct timestamps; across paths any
+interleaving goes.
+
+Deltas
+------
+:meth:`RadioMapBuilder.drain_delta` returns a :class:`RadioMapDelta`
+holding the refreshed rows of every path touched since the previous
+drain.  Applying a delta to an older snapshot
+(:func:`apply_radio_map_delta`) reproduces the current snapshot
+bit-for-bit, which is what lets the serving layer ship small
+versioned delta artifacts instead of whole radio maps.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import DEFAULT_EPSILON
+from ..exceptions import RadioMapError
+from ..survey import RPRecord, RSSIRecord, WalkingSurveyRecordTable
+from .radiomap import RadioMap, RadioMapTruth, concatenate_radio_maps
+
+
+@dataclass
+class CellStats:
+    """Running statistics of one merge cell (or one raw record).
+
+    A *cell* is what merge Step 1 produces: one or more RSSI records
+    folded together, or a lone RP record.  ``rssi`` holds the running
+    merged fingerprint under the paper's pairwise-average rule (each
+    newcomer is averaged against the accumulated value where both are
+    finite — for two records that is the plain mean), ``count`` the
+    number of records folded in, and ``time`` the earliest merged
+    record's timestamp, which is also the Step-1 merge anchor.
+    """
+
+    time: float
+    rssi: Optional[np.ndarray]  # (D,) with NaN, or None for a pure RP
+    rp: Optional[Tuple[float, float]]
+    true_position: Optional[np.ndarray] = None
+    missing_type: Optional[np.ndarray] = None
+    count: int = 1
+
+    def copy(self) -> "CellStats":
+        return CellStats(
+            time=self.time,
+            rssi=None if self.rssi is None else self.rssi.copy(),
+            rp=self.rp,
+            true_position=(
+                None
+                if self.true_position is None
+                else self.true_position.copy()
+            ),
+            missing_type=(
+                None
+                if self.missing_type is None
+                else self.missing_type.copy()
+            ),
+            count=self.count,
+        )
+
+
+def record_to_cell(record, d: int) -> CellStats:
+    """Convert one survey record into a single-record cell.
+
+    Validates the record against the builder's AP dimensionality so a
+    malformed stream fails with a typed :class:`RadioMapError` naming
+    the problem, not a downstream numpy index/broadcast error.
+    """
+    if isinstance(record, RSSIRecord):
+        rssi = np.full(d, np.nan)
+        for ap, val in record.readings.items():
+            if not 0 <= ap < d:
+                raise RadioMapError(
+                    f"RSSI record at t={record.time} reads AP {ap}, "
+                    f"but the radio map has {d} APs"
+                )
+            if not np.isfinite(val):
+                raise RadioMapError(
+                    f"RSSI record at t={record.time} has a non-finite "
+                    f"reading for AP {ap}"
+                )
+            rssi[ap] = val
+        truth_pos = None
+        missing_type = None
+        if record.truth is not None:
+            truth_pos = np.asarray(record.truth.position, dtype=float)
+            if record.truth.missing_type is not None:
+                missing_type = np.asarray(record.truth.missing_type)
+                if missing_type.shape != (d,):
+                    raise RadioMapError(
+                        f"record truth missing_type must be ({d},), "
+                        f"got {missing_type.shape}"
+                    )
+                missing_type = missing_type.copy()
+        return CellStats(
+            time=record.time,
+            rssi=rssi,
+            rp=None,
+            true_position=truth_pos,
+            missing_type=missing_type,
+        )
+    if isinstance(record, RPRecord):
+        truth_pos = (
+            np.asarray(record.truth.position, dtype=float)
+            if record.truth is not None
+            else None
+        )
+        return CellStats(
+            time=record.time,
+            rssi=None,
+            rp=record.location,
+            true_position=truth_pos,
+        )
+    raise RadioMapError(f"unknown record type {type(record).__name__}")
+
+
+def merge_rssi_cells(a: CellStats, b: CellStats) -> CellStats:
+    """Fold cell ``b`` into cell ``a`` (the paper's Step-1 rule).
+
+    Overlapping APs take the pairwise average of the accumulated value
+    and the newcomer, the rest are unioned; the earlier cell's time is
+    kept.  Observed (1) dominates MAR (0) dominates MNAR (-1) in the
+    ground-truth missing-type aggregate: a value present in either
+    scan was observable there.
+    """
+    assert a.rssi is not None and b.rssi is not None
+    rssi = np.where(
+        np.isfinite(a.rssi) & np.isfinite(b.rssi),
+        (a.rssi + b.rssi) / 2.0,
+        np.where(np.isfinite(a.rssi), a.rssi, b.rssi),
+    )
+    missing_type = None
+    if a.missing_type is not None and b.missing_type is not None:
+        missing_type = np.maximum(a.missing_type, b.missing_type)
+    true_position = None
+    if a.true_position is not None and b.true_position is not None:
+        true_position = (a.true_position + b.true_position) / 2.0
+    elif a.true_position is not None:
+        true_position = a.true_position
+    return CellStats(
+        time=a.time,  # keep the earlier time
+        rssi=rssi,
+        rp=None,
+        true_position=true_position,
+        missing_type=missing_type,
+        count=a.count + b.count,
+    )
+
+
+def _attach_rps(
+    cells: Sequence[CellStats], epsilon: float
+) -> List[CellStats]:
+    """Merge Step 2: attach RP cells to adjacent RSSI cells.
+
+    A pure function over the cell list — it never mutates the running
+    cells, so it can re-run on every materialisation of a dirty path.
+    """
+    out: List[CellStats] = []
+    i = 0
+    n = len(cells)
+    while i < n:
+        cur = cells[i]
+        nxt = cells[i + 1] if i + 1 < n else None
+        if (
+            nxt is not None
+            and abs(nxt.time - cur.time) <= epsilon
+            and _is_rp_only(cur) != _is_rp_only(nxt)
+            and (_is_rp_only(cur) or _is_rp_only(nxt))
+        ):
+            rssi_cell = nxt if _is_rp_only(cur) else cur
+            rp_cell = cur if _is_rp_only(cur) else nxt
+            out.append(
+                CellStats(
+                    time=rssi_cell.time,
+                    rssi=rssi_cell.rssi,
+                    rp=rp_cell.rp,
+                    true_position=rssi_cell.true_position,
+                    missing_type=rssi_cell.missing_type,
+                    count=rssi_cell.count + rp_cell.count,
+                )
+            )
+            i += 2
+        else:
+            out.append(cur)
+            i += 1
+    return out
+
+
+def _is_rp_only(cell: CellStats) -> bool:
+    return cell.rssi is None
+
+
+def cells_to_radio_map(
+    cells: Sequence[CellStats], d: int, path_id: int
+) -> RadioMap:
+    """Materialise finished cells into one path's radio-map rows."""
+    n = len(cells)
+    fingerprints = np.full((n, d), np.nan)
+    rps = np.full((n, 2), np.nan)
+    times = np.zeros(n)
+    missing_type = np.full((n, d), -1, dtype=int)
+    positions = np.full((n, 2), np.nan)
+    have_truth = True
+    for i, cell in enumerate(cells):
+        times[i] = cell.time
+        if cell.rssi is not None:
+            fingerprints[i] = cell.rssi
+        if cell.rp is not None:
+            rps[i] = cell.rp
+        if cell.missing_type is not None:
+            missing_type[i] = cell.missing_type
+        elif cell.rssi is not None:
+            have_truth = False
+        if cell.true_position is not None:
+            positions[i] = cell.true_position
+    truth = (
+        RadioMapTruth(missing_type=missing_type, positions=positions)
+        if have_truth and n > 0
+        else None
+    )
+    return RadioMap(
+        fingerprints=fingerprints,
+        rps=rps,
+        times=times,
+        path_ids=np.full(n, path_id, dtype=int),
+        truth=truth,
+    )
+
+
+def _empty_radio_map(d: int) -> RadioMap:
+    return RadioMap(
+        fingerprints=np.empty((0, d)),
+        rps=np.empty((0, 2)),
+        times=np.empty(0),
+        path_ids=np.empty(0, dtype=int),
+    )
+
+
+# ----------------------------------------------------------------------
+# Deltas
+# ----------------------------------------------------------------------
+@dataclass
+class RadioMapDelta:
+    """Refreshed rows for the paths touched since the last drain.
+
+    ``records`` holds the *complete* current rows of every path in
+    ``path_ids`` (a path's rows can change retroactively when a late
+    record folds into an existing cell, so deltas replace whole paths
+    rather than appending rows).  A path listed in ``path_ids`` with no
+    rows in ``records`` has vanished and is dropped on apply.
+    """
+
+    path_ids: np.ndarray  # (P,) sorted dirty path ids
+    records: RadioMap  # replacement rows, grouped by path
+
+    def __post_init__(self) -> None:
+        self.path_ids = np.asarray(self.path_ids, dtype=int)
+        extra = set(np.unique(self.records.path_ids)) - set(
+            self.path_ids
+        )
+        if extra:
+            raise RadioMapError(
+                f"delta rows reference undeclared paths {sorted(extra)}"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        return self.records.n_records
+
+    @property
+    def n_paths(self) -> int:
+        return int(self.path_ids.shape[0])
+
+    def apply_to(self, base: RadioMap) -> RadioMap:
+        return apply_radio_map_delta(base, self)
+
+    def describe(self) -> str:
+        return (
+            f"RadioMapDelta(paths={self.n_paths}, rows={self.n_rows}, "
+            f"D={self.records.n_aps})"
+        )
+
+
+def apply_radio_map_delta(
+    base: RadioMap, delta: RadioMapDelta
+) -> RadioMap:
+    """Apply a delta to a snapshot: replace dirty paths, keep the rest.
+
+    The result uses the builder's canonical order — paths ascending by
+    id, rows within a path in cell (time) order — so applying the
+    drained deltas to an old snapshot reproduces the current
+    :meth:`RadioMapBuilder.snapshot` bit-for-bit.
+    """
+    if base.n_aps != delta.records.n_aps:
+        raise RadioMapError(
+            f"delta has {delta.records.n_aps} APs, base map has "
+            f"{base.n_aps}"
+        )
+    dirty = set(int(p) for p in delta.path_ids)
+    parts: List[RadioMap] = []
+    base_paths = [int(p) for p in np.unique(base.path_ids)]
+    for pid in sorted(set(base_paths) | dirty):
+        source = delta.records if pid in dirty else base
+        rows = np.where(source.path_ids == pid)[0]
+        if rows.size:
+            parts.append(source.subset(rows))
+    if not parts:
+        return _empty_radio_map(base.n_aps)
+    return concatenate_radio_maps(parts)
+
+
+# ----------------------------------------------------------------------
+# The builder
+# ----------------------------------------------------------------------
+class _PathState:
+    """One survey path's stream state inside the builder."""
+
+    __slots__ = (
+        "path_id",
+        "records",
+        "times",
+        "cells",
+        "cache",
+        "stale",
+    )
+
+    def __init__(self, path_id: int):
+        self.path_id = path_id
+        self.records: List[CellStats] = []  # raw, time-sorted
+        self.times: List[float] = []  # parallel keys for bisect
+        self.cells: List[CellStats] = []  # running Step-1 cells
+        self.cache: Optional[RadioMap] = None  # materialised rows
+        self.stale = False  # cells need a re-fold (late record seen)
+
+
+class RadioMapBuilder:
+    """Incrementally folds survey record streams into a radio map.
+
+    Typical streaming use::
+
+        builder = RadioMapBuilder(n_aps)
+        builder.add_table(table)              # or add_records(pid, recs)
+        delta = builder.drain_delta()         # rows touched since last
+        snapshot = builder.snapshot()         # the full current map
+
+    ``snapshot()`` is bit-identical to running the batch
+    :func:`~repro.radiomap.creation.create_radio_map` over the same
+    records (with paths ordered by id), regardless of how the stream
+    was chunked or interleaved; two builders over disjoint slices of a
+    stream can be combined with :meth:`merge` to the same effect.
+    """
+
+    def __init__(
+        self, n_aps: int, *, epsilon: float = DEFAULT_EPSILON
+    ):
+        if n_aps < 0:
+            raise RadioMapError("n_aps must be non-negative")
+        if epsilon < 0:
+            raise RadioMapError("epsilon must be non-negative")
+        self.n_aps = int(n_aps)
+        self.epsilon = float(epsilon)
+        self._paths: Dict[int, _PathState] = {}
+        self._dirty: set = set()
+        self.records_ingested = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def add_record(self, path_id: int, record) -> None:
+        """Fold one survey record into the map (O(1) when in order)."""
+        cell = record_to_cell(record, self.n_aps)
+        state = self._paths.get(path_id)
+        if state is None:
+            state = self._paths[path_id] = _PathState(int(path_id))
+        self._insert(state, cell)
+        state.cache = None
+        self._dirty.add(int(path_id))
+        self.records_ingested += 1
+
+    def add_records(self, path_id: int, records: Iterable) -> None:
+        """Fold a chunk of one path's records (any time order)."""
+        for record in records:
+            self.add_record(path_id, record)
+
+    def add_table(self, table: WalkingSurveyRecordTable) -> None:
+        """Fold a whole survey record table."""
+        if table.n_aps != self.n_aps:
+            raise RadioMapError(
+                f"table for path {table.path_id} has {table.n_aps} "
+                f"APs, builder expects {self.n_aps}"
+            )
+        self.add_records(table.path_id, table.records)
+
+    def merge(self, other: "RadioMapBuilder") -> "RadioMapBuilder":
+        """Fold another builder's stream into this one (returns self).
+
+        Builders over disjoint chunks of a survey campaign (e.g. one
+        per ingestion worker) merge into the same state as one builder
+        that saw every record; overlapping paths re-fold from their
+        combined record sets.
+        """
+        if other.n_aps != self.n_aps:
+            raise RadioMapError(
+                f"cannot merge builders over {other.n_aps} and "
+                f"{self.n_aps} APs"
+            )
+        if other.epsilon != self.epsilon:
+            raise RadioMapError(
+                "cannot merge builders with different epsilons"
+            )
+        for pid, theirs in other._paths.items():
+            state = self._paths.get(pid)
+            if state is None:
+                state = self._paths[pid] = _PathState(int(pid))
+            for cell in theirs.records:
+                self._insert(state, cell.copy())
+            state.cache = None
+            self._dirty.add(int(pid))
+            self.records_ingested += len(theirs.records)
+        return self
+
+    def _insert(self, state: _PathState, cell: CellStats) -> None:
+        """Place a single-record cell into the path's sorted stream.
+
+        In-order records (the common streaming case) append and fold
+        into the open tail cell; a late record inserts into the sorted
+        stream and marks the path's cells *stale* — the re-fold is
+        deferred to the next materialisation, so a whole late chunk
+        costs one re-fold instead of one per record.  Ties keep
+        arrival order, matching the batch merge over a stable-sorted
+        table.
+        """
+        if not state.times or cell.time >= state.times[-1]:
+            state.records.append(cell)
+            state.times.append(cell.time)
+            if not state.stale:
+                self._fold(state.cells, cell)
+            return
+        i = bisect_right(state.times, cell.time)
+        state.records.insert(i, cell)
+        state.times.insert(i, cell.time)
+        state.stale = True
+
+    def _refold(self, state: _PathState) -> None:
+        """Rebuild a stale path's Step-1 cells from its sorted records."""
+        state.cells = []
+        for rec in state.records:
+            self._fold(state.cells, rec)
+        state.stale = False
+
+    def _fold(self, cells: List[CellStats], record: CellStats) -> None:
+        """Step 1 as a fold: merge into the tail cell or open a new one."""
+        prev = cells[-1] if cells else None
+        if (
+            prev is not None
+            and prev.rssi is not None
+            and prev.rp is None
+            and record.rssi is not None
+            and record.rp is None
+            and record.time - prev.time <= self.epsilon
+        ):
+            cells[-1] = merge_rssi_cells(prev, record.copy())
+        else:
+            cells.append(record.copy())
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    @property
+    def path_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._paths))
+
+    @property
+    def n_cells(self) -> int:
+        total = 0
+        for state in self._paths.values():
+            if state.stale:
+                self._refold(state)
+            total += len(state.cells)
+        return total
+
+    def dirty_paths(self) -> Tuple[int, ...]:
+        """Paths touched since the last :meth:`drain_delta`."""
+        return tuple(sorted(self._dirty))
+
+    def mark_dirty(self, path_ids) -> None:
+        """Re-flag paths as changed since the last drain.
+
+        The undo hook for a failed downstream hand-off: a publisher
+        that drained a delta but could not ship it re-marks the
+        delta's paths so the rows ride along with the next drain
+        instead of being lost.
+        """
+        for pid in np.asarray(path_ids, dtype=int).ravel():
+            if int(pid) in self._paths:
+                self._dirty.add(int(pid))
+
+    def path_map(self, path_id: int) -> RadioMap:
+        """The materialised rows of one path (empty map if unknown)."""
+        state = self._paths.get(int(path_id))
+        if state is None:
+            return _empty_radio_map(self.n_aps)
+        if state.cache is None:
+            if state.stale:
+                self._refold(state)
+            state.cache = cells_to_radio_map(
+                _attach_rps(state.cells, self.epsilon),
+                self.n_aps,
+                state.path_id,
+            )
+        return state.cache
+
+    def snapshot(self) -> RadioMap:
+        """The full current radio map (paths ordered by id).
+
+        Clean paths reuse their cached rows; only paths touched since
+        their last materialisation pay the Step-2 + array-building
+        cost.
+        """
+        if not self._paths:
+            raise RadioMapError("no records ingested")
+        maps = [self.path_map(pid) for pid in self.path_ids]
+        maps = [m for m in maps if m.n_records > 0]
+        if not maps:
+            raise RadioMapError("all paths produced empty radio maps")
+        return concatenate_radio_maps(maps)
+
+    def drain_delta(self) -> Optional[RadioMapDelta]:
+        """Refreshed rows of every path touched since the last drain.
+
+        Returns ``None`` when nothing changed.  Applying the returned
+        delta to the snapshot taken at the previous drain reproduces
+        the current snapshot bit-for-bit.
+        """
+        if not self._dirty:
+            return None
+        pids = sorted(self._dirty)
+        maps = [self.path_map(pid) for pid in pids]
+        maps = [m for m in maps if m.n_records > 0]
+        records = (
+            concatenate_radio_maps(maps)
+            if maps
+            else _empty_radio_map(self.n_aps)
+        )
+        self._dirty.clear()
+        return RadioMapDelta(
+            path_ids=np.asarray(pids, dtype=int), records=records
+        )
+
+    def describe(self) -> str:
+        return (
+            f"RadioMapBuilder(paths={len(self._paths)}, "
+            f"cells={self.n_cells}, "
+            f"records_ingested={self.records_ingested}, "
+            f"dirty={len(self._dirty)})"
+        )

@@ -1,6 +1,6 @@
 """Radio-map creation from walking-survey record tables (Section II-B).
 
-Implements the two merge steps verbatim:
+The paper's two merge steps:
 
 * **Step 1** merges consecutive RSSI records whose time difference is
   within a threshold ``epsilon`` (inclusive — the paper's worked
@@ -14,30 +14,25 @@ Implements the two merge steps verbatim:
 Every leftover record becomes a radio-map row with nulls filled in —
 an unmerged RP record yields an all-null fingerprint with an RP label
 (row 5 of the paper's Table III).
+
+Both functions are thin wrappers over the streaming
+:class:`~repro.radiomap.builder.RadioMapBuilder`, which implements the
+merge as an incremental fold; batch creation is the special case of
+ingesting each table in one chunk.  Malformed input — no tables,
+tables whose AP counts disagree, records reading out-of-range APs —
+fails with a typed :class:`~repro.exceptions.RadioMapError` before any
+array work starts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
-
-import numpy as np
+from typing import List
 
 from ..constants import DEFAULT_EPSILON
 from ..exceptions import RadioMapError
-from ..survey import RPRecord, RSSIRecord, WalkingSurveyRecordTable
-from .radiomap import RadioMap, RadioMapTruth, concatenate_radio_maps
-
-
-@dataclass
-class _PendingRecord:
-    """Intermediate record during merging."""
-
-    time: float
-    rssi: Optional[np.ndarray]  # (D,) with NaN, or None for a pure RP record
-    rp: Optional[Tuple[float, float]]
-    true_position: Optional[np.ndarray] = None
-    missing_type: Optional[np.ndarray] = None
+from ..survey import WalkingSurveyRecordTable
+from .builder import RadioMapBuilder, concatenate_radio_maps
+from .radiomap import RadioMap
 
 
 def create_radio_map(
@@ -47,6 +42,14 @@ def create_radio_map(
     """Create one radio map from all survey record tables."""
     if not tables:
         raise RadioMapError("no survey tables given")
+    d = tables[0].n_aps
+    for table in tables:
+        if table.n_aps != d:
+            raise RadioMapError(
+                f"survey tables disagree on AP count: path "
+                f"{table.path_id} has {table.n_aps} APs, path "
+                f"{tables[0].path_id} has {d}"
+            )
     maps = [create_radio_map_for_path(t, epsilon) for t in tables]
     maps = [m for m in maps if m.n_records > 0]
     if not maps:
@@ -59,168 +62,6 @@ def create_radio_map_for_path(
     epsilon: float = DEFAULT_EPSILON,
 ) -> RadioMap:
     """Apply merge Steps 1-2 to one path's record table."""
-    if epsilon < 0:
-        raise RadioMapError("epsilon must be non-negative")
-    d = table.n_aps
-    pending = [_to_pending(r, d) for r in table.records]
-    pending = _merge_step1(pending, epsilon)
-    pending = _merge_step2(pending, epsilon)
-    return _pending_to_radio_map(pending, d, table.path_id)
-
-
-# ----------------------------------------------------------------------
-# Conversion & merging
-# ----------------------------------------------------------------------
-def _to_pending(record, d: int) -> _PendingRecord:
-    if isinstance(record, RSSIRecord):
-        rssi = np.full(d, np.nan)
-        for ap, val in record.readings.items():
-            rssi[ap] = val
-        truth_pos = None
-        missing_type = None
-        if record.truth is not None:
-            truth_pos = np.asarray(record.truth.position, dtype=float)
-            if record.truth.missing_type is not None:
-                missing_type = record.truth.missing_type.copy()
-        return _PendingRecord(
-            time=record.time,
-            rssi=rssi,
-            rp=None,
-            true_position=truth_pos,
-            missing_type=missing_type,
-        )
-    if isinstance(record, RPRecord):
-        truth_pos = (
-            np.asarray(record.truth.position, dtype=float)
-            if record.truth is not None
-            else None
-        )
-        return _PendingRecord(
-            time=record.time,
-            rssi=None,
-            rp=record.location,
-            true_position=truth_pos,
-        )
-    raise RadioMapError(f"unknown record type {type(record).__name__}")
-
-
-def _merge_step1(
-    pending: List[_PendingRecord], epsilon: float
-) -> List[_PendingRecord]:
-    """Merge runs of consecutive RSSI records closer than epsilon."""
-    out: List[_PendingRecord] = []
-    for rec in pending:
-        prev = out[-1] if out else None
-        if (
-            prev is not None
-            and prev.rssi is not None
-            and prev.rp is None
-            and rec.rssi is not None
-            and rec.rp is None
-            and rec.time - prev.time <= epsilon
-        ):
-            out[-1] = _merge_rssi_pair(prev, rec)
-        else:
-            out.append(rec)
-    return out
-
-
-def _merge_rssi_pair(a: _PendingRecord, b: _PendingRecord) -> _PendingRecord:
-    """Combine two RSSI records: average overlaps, union the rest."""
-    assert a.rssi is not None and b.rssi is not None
-    rssi = np.where(
-        np.isfinite(a.rssi) & np.isfinite(b.rssi),
-        (a.rssi + b.rssi) / 2.0,
-        np.where(np.isfinite(a.rssi), a.rssi, b.rssi),
-    )
-    missing_type = None
-    if a.missing_type is not None and b.missing_type is not None:
-        # Observed (1) dominates MAR (0) dominates MNAR (-1): a value
-        # present in either scan was observable there.
-        missing_type = np.maximum(a.missing_type, b.missing_type)
-    true_position = None
-    if a.true_position is not None and b.true_position is not None:
-        true_position = (a.true_position + b.true_position) / 2.0
-    elif a.true_position is not None:
-        true_position = a.true_position
-    return _PendingRecord(
-        time=a.time,  # keep the earlier time
-        rssi=rssi,
-        rp=None,
-        true_position=true_position,
-        missing_type=missing_type,
-    )
-
-
-def _merge_step2(
-    pending: List[_PendingRecord], epsilon: float
-) -> List[_PendingRecord]:
-    """Attach RP records to adjacent RSSI records closer than epsilon."""
-    out: List[_PendingRecord] = []
-    i = 0
-    n = len(pending)
-    while i < n:
-        cur = pending[i]
-        nxt = pending[i + 1] if i + 1 < n else None
-        if (
-            nxt is not None
-            and abs(nxt.time - cur.time) <= epsilon
-            and _is_rp_only(cur) != _is_rp_only(nxt)
-            and (_is_rp_only(cur) or _is_rp_only(nxt))
-        ):
-            rssi_rec = nxt if _is_rp_only(cur) else cur
-            rp_rec = cur if _is_rp_only(cur) else nxt
-            out.append(
-                _PendingRecord(
-                    time=rssi_rec.time,
-                    rssi=rssi_rec.rssi,
-                    rp=rp_rec.rp,
-                    true_position=rssi_rec.true_position,
-                    missing_type=rssi_rec.missing_type,
-                )
-            )
-            i += 2
-        else:
-            out.append(cur)
-            i += 1
-    return out
-
-
-def _is_rp_only(rec: _PendingRecord) -> bool:
-    return rec.rssi is None
-
-
-def _pending_to_radio_map(
-    pending: List[_PendingRecord], d: int, path_id: int
-) -> RadioMap:
-    n = len(pending)
-    fingerprints = np.full((n, d), np.nan)
-    rps = np.full((n, 2), np.nan)
-    times = np.zeros(n)
-    missing_type = np.full((n, d), -1, dtype=int)
-    positions = np.full((n, 2), np.nan)
-    have_truth = True
-    for i, rec in enumerate(pending):
-        times[i] = rec.time
-        if rec.rssi is not None:
-            fingerprints[i] = rec.rssi
-        if rec.rp is not None:
-            rps[i] = rec.rp
-        if rec.missing_type is not None:
-            missing_type[i] = rec.missing_type
-        elif rec.rssi is not None:
-            have_truth = False
-        if rec.true_position is not None:
-            positions[i] = rec.true_position
-    truth = (
-        RadioMapTruth(missing_type=missing_type, positions=positions)
-        if have_truth and n > 0
-        else None
-    )
-    return RadioMap(
-        fingerprints=fingerprints,
-        rps=rps,
-        times=times,
-        path_ids=np.full(n, path_id, dtype=int),
-        truth=truth,
-    )
+    builder = RadioMapBuilder(table.n_aps, epsilon=epsilon)
+    builder.add_table(table)
+    return builder.path_map(table.path_id)

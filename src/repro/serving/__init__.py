@@ -35,6 +35,7 @@ multi-threaded load.
 from .loadgen import (
     DEFAULT_MIX,
     DEFAULT_SCENARIO,
+    DRIFT_SCENARIO,
     LoadReport,
     Scenario,
     run_scenario,
@@ -44,6 +45,7 @@ from .loadgen import (
 from .pipeline import PipelineStats, ServingPipeline, Ticket
 from .service import (
     SHARD_KIND,
+    DeltaApplyReport,
     PositioningService,
     ServiceStats,
     VenueShard,
@@ -52,6 +54,8 @@ from .service import (
 __all__ = [
     "DEFAULT_MIX",
     "DEFAULT_SCENARIO",
+    "DRIFT_SCENARIO",
+    "DeltaApplyReport",
     "LoadReport",
     "PipelineStats",
     "PositioningService",

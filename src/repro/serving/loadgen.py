@@ -36,7 +36,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,13 +56,21 @@ LOAD_VENUES = ("kaide", "longhu")
 
 @dataclass(frozen=True)
 class Scenario:
-    """One traffic shape for the load generator."""
+    """One traffic shape for the load generator.
+
+    ``drift_applies`` turns the scenario into a *drift* workload: that
+    many ingestion deltas are hot-applied to a venue while the query
+    traffic runs (see :func:`run_scenario`'s ``drift_fn``), exercising
+    the epoch/atomic-swap machinery and targeted cache invalidation
+    under fire.
+    """
 
     name: str
     duplicate_rate: float = 0.0
     zipf_exponent: float = 0.0
     arrival: str = "burst"
     burst_size: int = 32
+    drift_applies: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.duplicate_rate <= 1.0:
@@ -73,6 +81,8 @@ class Scenario:
             raise ServingError("arrival must be 'burst' or 'steady'")
         if self.burst_size < 1:
             raise ServingError("burst_size must be >= 1")
+        if self.drift_applies < 0:
+            raise ServingError("drift_applies must be >= 0")
 
 
 #: The default scenario: skewed venues, device re-scans, gateway
@@ -83,6 +93,18 @@ DEFAULT_SCENARIO = Scenario(
     zipf_exponent=1.1,
     arrival="burst",
     burst_size=64,
+)
+
+#: Signal drift under traffic: crowdsourced survey deltas hot-apply
+#: to a live venue while skewed re-scan-heavy queries keep coming.
+#: Opt-in via ``load-test --drift`` (it mutates the deployed shards).
+DRIFT_SCENARIO = Scenario(
+    "drift",
+    duplicate_rate=0.3,
+    zipf_exponent=1.1,
+    arrival="burst",
+    burst_size=32,
+    drift_applies=4,
 )
 
 #: The CLI's default scenario mix.
@@ -141,6 +163,8 @@ class LoadReport:
     max_ms: float
     hit_rate: float
     per_venue: Dict[str, int] = field(default_factory=dict)
+    applies: int = 0
+    apply_mean_ms: float = 0.0
 
     @property
     def throughput(self) -> float:
@@ -150,6 +174,11 @@ class LoadReport:
         venues = " ".join(
             f"{v}:{c}" for v, c in sorted(self.per_venue.items())
         )
+        drift = (
+            f" applies={self.applies}@{self.apply_mean_ms:.1f}ms"
+            if self.applies
+            else ""
+        )
         return (
             f"{self.scenario.name:>14} {self.threads:>3}thr "
             f"{self.requests:>6}req "
@@ -158,7 +187,7 @@ class LoadReport:
             f"p99={1e3 * self.p99_ms:.0f}us "
             f"{self.throughput:>8.0f}/s "
             f"hits={100 * self.hit_rate:.0f}% "
-            f"errors={self.errors} [{venues}]"
+            f"errors={self.errors}{drift} [{venues}]"
         )
 
 
@@ -203,12 +232,21 @@ def run_scenario(
     requests_per_thread: int = 256,
     seed: int = 0,
     timeout: float = 60.0,
+    drift_fn: Optional[Callable[[], object]] = None,
+    drift_interval: float = 0.01,
 ) -> LoadReport:
     """Replay one scenario from ``threads`` workers; measure latency.
 
     Per-request latency is ``ticket.done_at - submit time`` (the
     flusher stamps completion), so collecting a burst's results in
     order does not inflate later rows' latencies.
+
+    When the scenario carries ``drift_applies > 0`` and a ``drift_fn``
+    is given, a driver thread invokes it that many times during the
+    run (``drift_interval`` seconds apart) — each call is expected to
+    hot-apply one ingestion delta — and the report records the
+    successful apply count and mean apply latency; a call that raises
+    counts into the report's ``errors`` instead of dying silently.
     """
     if threads < 1:
         raise ServingError("need at least one worker thread")
@@ -259,10 +297,32 @@ def run_scenario(
         latencies[wid] = np.asarray(lats)
         errors[wid] = fails
 
+    apply_seconds: List[float] = []
+    apply_errors = [0]
+
+    def drift_driver() -> None:
+        start_gate.wait()
+        for _ in range(scenario.drift_applies):
+            t0 = time.perf_counter()
+            try:
+                drift_fn()
+            except Exception:
+                # A failed apply must not kill the driver silently —
+                # the remaining applies still run and the failure
+                # shows up in the report's error count.
+                apply_errors[0] += 1
+            else:
+                apply_seconds.append(time.perf_counter() - t0)
+            time.sleep(drift_interval)
+
     pool_threads = [
         threading.Thread(target=worker, args=(wid,), daemon=True)
         for wid in range(threads)
     ]
+    if scenario.drift_applies and drift_fn is not None:
+        pool_threads.append(
+            threading.Thread(target=drift_driver, daemon=True)
+        )
     stats0 = pipeline.service.stats
     hits0 = stats0.cache_hits
     misses0 = stats0.cache_misses
@@ -292,7 +352,7 @@ def run_scenario(
         scenario=scenario,
         threads=threads,
         requests=served,
-        errors=int(sum(errors)),
+        errors=int(sum(errors)) + apply_errors[0],
         elapsed=elapsed,
         p50_ms=float(np.percentile(lat_ms, 50)),
         p95_ms=float(np.percentile(lat_ms, 95)),
@@ -301,6 +361,10 @@ def run_scenario(
         max_ms=float(lat_ms.max()),
         hit_rate=d_hits / d_total if d_total else 0.0,
         per_venue=per_venue,
+        applies=len(apply_seconds),
+        apply_mean_ms=(
+            1e3 * float(np.mean(apply_seconds)) if apply_seconds else 0.0
+        ),
     )
 
 
@@ -324,6 +388,48 @@ def _baseline_throughput(
     return len(queries) / best
 
 
+def _make_drift_fn(
+    service: PositioningService,
+    venue: str,
+    dataset: Dataset,
+    applies: int,
+    seed: int,
+) -> Callable[[], object]:
+    """Pre-build ``applies`` one-path ingestion deltas for a venue.
+
+    All survey simulation happens here, before any clock starts; the
+    returned closure pops the next delta and hot-applies it, so the
+    measured drift window contains only apply work (and no-ops
+    gracefully if called more often than deltas were prepared).
+    """
+    from ..ingest import StreamIngestor, simulate_new_survey
+
+    tables = []
+    round_ = 0
+    while len(tables) < applies:
+        tables.extend(
+            simulate_new_survey(dataset, n_passes=1, seed=seed + round_)
+        )
+        round_ += 1
+    next_id = int(dataset.radio_map.path_ids.max()) + 1
+    deltas = []
+    ingestor = StreamIngestor(dataset.radio_map.n_aps)
+    for i, table in enumerate(tables[:applies]):
+        table.path_id = next_id + i  # unique across rounds
+        ingestor.ingest_table(table)
+        deltas.append(ingestor.drain())
+    lock = threading.Lock()
+
+    def drift_fn():
+        with lock:
+            if not deltas:
+                return None
+            delta = deltas.pop(0)
+        return service.apply_delta(venue, delta)
+
+    return drift_fn
+
+
 def run(
     config: ExperimentConfig,
     *,
@@ -337,6 +443,8 @@ def run(
     cache_size: int = 4096,
     pool_size: int = 512,
     warmup_per_thread: Optional[int] = None,
+    seed: Optional[int] = None,
+    include_drift: bool = False,
 ) -> ExperimentResult:
     """Deploy the preset's venues and replay a scenario mix.
 
@@ -346,6 +454,15 @@ def run(
     percentiles and throughput, plus the single-caller batch-256
     baseline for comparison.
 
+    ``seed`` drives *every* random choice downstream — scan pools,
+    each worker's schedule (venue picks, scan indices, duplicate
+    flags, burst arrivals), and the drift deltas — so two runs with
+    the same seed replay identical request streams
+    (``--seed`` on the CLI; defaults to the preset's dataset seed).
+
+    ``include_drift`` appends the :data:`DRIFT_SCENARIO`: ingestion
+    deltas hot-apply to the first venue while its query traffic runs.
+
     Each scenario is preceded by an untimed warm-up slice
     (``warmup_per_thread`` requests per worker, default half the
     timed count) so the timed window measures steady-state serving —
@@ -354,9 +471,10 @@ def run(
     """
     if len(venues) < 2:
         raise ServingError("load-test needs >= 2 venues")
+    base_seed = config.dataset_seed if seed is None else int(seed)
     service = PositioningService(cache_size=cache_size)
     pools: Dict[str, np.ndarray] = {}
-    rng = np.random.default_rng(config.dataset_seed)
+    rng = np.random.default_rng(base_seed)
     for venue in venues:
         dataset = get_dataset(venue, config)
         service.deploy(
@@ -372,14 +490,27 @@ def run(
     )
 
     mix = list(scenarios if scenarios is not None else DEFAULT_MIX)
+    if include_drift:
+        mix.append(DRIFT_SCENARIO)
     if duplicate_rate is not None:
         mix = [replace(s, duplicate_rate=duplicate_rate) for s in mix]
+
+    total_applies = sum(s.drift_applies for s in mix)
+    drift_fn = None
+    if total_applies:
+        drift_fn = _make_drift_fn(
+            service,
+            venues[0],
+            get_dataset(venues[0], config),
+            total_applies,
+            base_seed + 9000,
+        )
 
     reports: List[LoadReport] = []
     lines: List[str] = [
         f"venues: {', '.join(sorted(pools))} | {threads} threads x "
         f"{requests_per_thread} requests | micro-batch <= {max_batch} "
-        f"rows, flush after {max_delay_ms}ms"
+        f"rows, flush after {max_delay_ms}ms | seed {base_seed}"
     ]
     if warmup_per_thread is None:
         warmup_per_thread = max(1, requests_per_thread // 2)
@@ -388,13 +519,13 @@ def run(
     ) as pipeline:
         for i, scenario in enumerate(mix):
             if warmup_per_thread:
-                run_scenario(  # untimed warm-up slice
+                run_scenario(  # untimed warm-up slice, no drift
                     pipeline,
                     pools,
                     scenario,
                     threads=threads,
                     requests_per_thread=warmup_per_thread,
-                    seed=config.dataset_seed + 5000 + i,
+                    seed=base_seed + 5000 + i,
                 )
             report = run_scenario(
                 pipeline,
@@ -402,7 +533,8 @@ def run(
                 scenario,
                 threads=threads,
                 requests_per_thread=requests_per_thread,
-                seed=config.dataset_seed,
+                seed=base_seed,
+                drift_fn=drift_fn if scenario.drift_applies else None,
             )
             reports.append(report)
             lines.append(report.render())
@@ -430,6 +562,8 @@ def run(
                     "p99_ms": r.p99_ms,
                     "throughput": r.throughput,
                     "hit_rate": r.hit_rate,
+                    "applies": r.applies,
+                    "apply_mean_ms": r.apply_mean_ms,
                 }
                 for r in reports
             },
@@ -437,6 +571,8 @@ def run(
             "default_throughput": default.throughput,
             "default_vs_baseline": ratio,
             "threads": threads,
+            "seed": base_seed,
+            "deltas_applied": service.stats.deltas_applied,
             "fast_path_hits": pipeline.stats.fast_path_hits,
             "mean_batch": pipeline.stats.mean_batch,
         },

@@ -48,7 +48,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -64,11 +64,11 @@ from ..bisim import BiSIMConfig, OnlineImputer
 from ..bisim.checkpoint import online_from_payload, online_payload
 from ..constants import MNAR_FILL
 from ..core import Differentiator
-from ..exceptions import ServingError
+from ..exceptions import ReproError, ServingError
 from ..imputers import fill_mnars
 from ..positioning import LocationEstimator, WKNNEstimator
 from ..positioning.io import estimator_from_payload, estimator_payload
-from ..radiomap import RadioMap
+from ..radiomap import RadioMap, RadioMapDelta
 
 #: Artifact kind of a full warm-start shard bundle.
 SHARD_KIND = "serving.shard"
@@ -96,6 +96,10 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     seconds: float = 0.0
+    deltas_applied: int = 0
+    delta_rows: int = 0
+    keys_invalidated: int = 0
+    keys_kept: int = 0
     per_venue: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -114,9 +118,96 @@ class ServiceStats:
             f"throughput={self.throughput:.0f}/s "
             f"cache hit rate={100 * self.hit_rate:.0f}%",
         ]
+        if self.deltas_applied:
+            lines.append(
+                f"  deltas applied={self.deltas_applied} "
+                f"({self.delta_rows} rows); cache keys "
+                f"invalidated={self.keys_invalidated} "
+                f"kept={self.keys_kept}"
+            )
         for venue in sorted(self.per_venue):
             lines.append(f"  {venue}: {self.per_venue[venue]} queries")
         return "\n".join(lines)
+
+
+@dataclass
+class _ShardSource:
+    """Build inputs a shard retains to support incremental deltas.
+
+    ``mask`` caches the differentiator's output over ``radio_map`` and
+    ``imputed_fp`` / ``imputed_rps`` the trainer-imputed training set
+    (BiSIM shards only), so :meth:`VenueShard.prepare_delta` only
+    recomputes the rows of dirty paths and stitches the rest.
+    """
+
+    radio_map: RadioMap
+    differentiator: Differentiator
+    mask: np.ndarray
+    imputed_fp: Optional[np.ndarray] = None
+    imputed_rps: Optional[np.ndarray] = None
+
+
+@dataclass
+class _PreparedUpdate:
+    """A fully-built delta update, ready for one atomic install."""
+
+    pipeline: Tuple[
+        LocationEstimator,
+        Optional[OnlineImputer],
+        Optional[np.ndarray],
+    ]
+    source: _ShardSource
+    rows: int
+    paths: int
+
+
+@dataclass
+class DeltaApplyReport:
+    """What one :meth:`PositioningService.apply_delta` did."""
+
+    venue: str
+    epoch: int
+    rows: int
+    paths: int
+    invalidated: int
+    kept: int
+    seconds: float
+
+    def describe(self) -> str:
+        return (
+            f"applied delta to {self.venue!r}: {self.rows} rows over "
+            f"{self.paths} paths in {1e3 * self.seconds:.1f}ms "
+            f"(epoch {self.epoch}; cache: {self.invalidated} "
+            f"invalidated, {self.kept} kept)"
+        )
+
+
+def _clone_unfitted(
+    estimator: LocationEstimator,
+) -> LocationEstimator:
+    """A fresh estimator with the same hyperparameters, not yet fitted.
+
+    Delta application must never refit the live estimator in place —
+    the new one is fitted off to the side and swapped in atomically.
+    """
+    if not is_dataclass(estimator):
+        raise ServingError(
+            f"{type(estimator).__name__} cannot be cloned for delta "
+            "application"
+        )
+    config = {
+        f.name: getattr(estimator, f.name)
+        for f in fields(estimator)
+        if not f.name.startswith("_")
+    }
+    return type(estimator)(**config)
+
+
+def _rows_by_path(path_ids: np.ndarray) -> Dict[int, np.ndarray]:
+    return {
+        int(pid): np.where(path_ids == pid)[0]
+        for pid in np.unique(path_ids)
+    }
 
 
 class VenueShard:
@@ -129,6 +220,15 @@ class VenueShard:
     increments on every swap; the service uses it to drop cache
     insertions computed against a pipeline that has since been
     replaced.
+
+    Shards built from a radio map (:meth:`build`) additionally retain
+    their build inputs, which enables **incremental hot updates**:
+    :meth:`apply_delta` folds a
+    :class:`~repro.radiomap.RadioMapDelta` in by recomputing only the
+    dirty paths' differentiation/imputation and refitting the
+    estimator, then swaps the pipeline under the same epoch machinery
+    a reload uses.  Warm-started shards opt in via
+    :meth:`attach_source`.
     """
 
     def __init__(
@@ -146,6 +246,7 @@ class VenueShard:
             Optional[OnlineImputer],
             Optional[np.ndarray],
         ] = (estimator, online_imputer, fill_values)
+        self._source: Optional[_ShardSource] = None
         self.epoch = 0
 
     @property
@@ -180,11 +281,7 @@ class VenueShard:
         estimator = estimator or WKNNEstimator()
         mask = differentiator.differentiate(radio_map)
         filled, amended = fill_mnars(radio_map, mask)
-        observed = np.isfinite(filled.fingerprints)
-        counts = observed.sum(axis=0)
-        sums = np.where(observed, filled.fingerprints, 0.0).sum(axis=0)
-        means = sums / np.maximum(counts, 1)
-        fill_values = np.where(counts > 0, means, MNAR_FILL)
+        fill_values = cls._fill_values_from(filled.fingerprints)
 
         if bisim_config is not None:
             online = OnlineImputer.fit(filled, amended, bisim_config)
@@ -192,10 +289,42 @@ class VenueShard:
                 filled, amended
             )
             estimator.fit(fp_complete, rps_complete)
-            return cls(
+            shard = cls(
                 key, radio_map.n_aps, estimator, online, fill_values
             )
+            shard._source = _ShardSource(
+                radio_map,
+                differentiator,
+                mask,
+                fp_complete,
+                rps_complete,
+            )
+            return shard
 
+        cls._mean_fill_fit(key, estimator, radio_map, filled, fill_values)
+        shard = cls(key, radio_map.n_aps, estimator, None, fill_values)
+        shard._source = _ShardSource(radio_map, differentiator, mask)
+        return shard
+
+    @staticmethod
+    def _fill_values_from(filled_fp: np.ndarray) -> np.ndarray:
+        """Per-AP mean fill values over a MNAR-filled map."""
+        observed = np.isfinite(filled_fp)
+        counts = observed.sum(axis=0)
+        sums = np.where(observed, filled_fp, 0.0).sum(axis=0)
+        means = sums / np.maximum(counts, 1)
+        return np.where(counts > 0, means, MNAR_FILL)
+
+    @staticmethod
+    def _mean_fill_fit(
+        key: str,
+        estimator: LocationEstimator,
+        radio_map: RadioMap,
+        filled: RadioMap,
+        fill_values: np.ndarray,
+    ) -> None:
+        """Fit an estimator on the mean-filled labelled records."""
+        observed = np.isfinite(filled.fingerprints)
         train_fp = np.where(
             observed, filled.fingerprints, fill_values[None, :]
         )
@@ -203,7 +332,6 @@ class VenueShard:
         if not labelled.any():
             raise ServingError(f"venue {key!r} has no labelled records")
         estimator.fit(train_fp[labelled], radio_map.rps[labelled])
-        return cls(key, radio_map.n_aps, estimator, None, fill_values)
 
     # ------------------------------------------------------------------
     # Warm start: the whole shard as one artifact file
@@ -297,7 +425,192 @@ class VenueShard:
                 f"{fresh.n_aps} APs, shard expects {self.n_aps}"
             )
         self._pipeline = fresh._pipeline
+        # The old source described the replaced pipeline's radio map;
+        # a reloaded artifact carries none, so deltas need a fresh
+        # attach_source() after a reload.
+        self._source = fresh._source
         self.epoch += 1
+
+    # ------------------------------------------------------------------
+    # Incremental hot updates (streaming ingestion deltas)
+    # ------------------------------------------------------------------
+    @property
+    def supports_deltas(self) -> bool:
+        """Whether this shard retains the state deltas fold into."""
+        return self._source is not None
+
+    @property
+    def radio_map(self) -> Optional[RadioMap]:
+        """The retained source radio map (``None`` after warm start)."""
+        return None if self._source is None else self._source.radio_map
+
+    def attach_source(
+        self, radio_map: RadioMap, differentiator: Differentiator
+    ) -> None:
+        """Enable delta application on a warm-started shard.
+
+        Recomputes the cached differentiation mask (and, for BiSIM
+        shards, the imputed training set) the incremental update path
+        stitches against — a one-time cost that makes every later
+        :meth:`apply_delta` touch only dirty paths.
+        """
+        if radio_map.n_aps != self.n_aps:
+            raise ServingError(
+                f"venue {self.key!r} serves {self.n_aps} APs, source "
+                f"map has {radio_map.n_aps}"
+            )
+        mask = differentiator.differentiate(radio_map)
+        filled, amended = fill_mnars(radio_map, mask)
+        _, online, _ = self._pipeline
+        imputed_fp = imputed_rps = None
+        if online is not None:
+            imputed_fp, imputed_rps = online.trainer.impute(
+                filled, amended
+            )
+        self._source = _ShardSource(
+            radio_map, differentiator, mask, imputed_fp, imputed_rps
+        )
+
+    def detach_source(self) -> None:
+        """Drop the retained build inputs (frees memory, no deltas)."""
+        self._source = None
+
+    def prepare_delta(
+        self, delta: RadioMapDelta, *, refresh_mask: str = "dirty"
+    ) -> _PreparedUpdate:
+        """Build the post-delta pipeline without installing it.
+
+        All the heavy work happens here, off the serving path: merge
+        the delta into the retained radio map, re-differentiate the
+        *dirty* paths (``refresh_mask="dirty"``, the default — exact
+        for row-local differentiators like MAR/MNAR-only and a
+        documented per-path approximation for clustering ones;
+        ``"full"`` re-runs the differentiator over the whole merged
+        map for exact parity with a cold build), refresh the online
+        imputer's context index for the dirty paths, and refit a
+        *clone* of the estimator.  The result installs atomically via
+        :meth:`apply_delta` / the service's epoch machinery.
+        """
+        if refresh_mask not in ("dirty", "full"):
+            raise ServingError("refresh_mask must be 'dirty' or 'full'")
+        src = self._source
+        if src is None:
+            raise ServingError(
+                f"venue {self.key!r} cannot apply deltas: the shard "
+                "was warm-started without its radio map; call "
+                "attach_source() first"
+            )
+        if delta.records.n_aps != self.n_aps:
+            raise ServingError(
+                f"delta carries {delta.records.n_aps} APs, venue "
+                f"{self.key!r} serves {self.n_aps}"
+            )
+        merged = delta.apply_to(src.radio_map)
+        dirty = {int(p) for p in delta.path_ids}
+        new_rows = _rows_by_path(merged.path_ids)
+        old_rows = _rows_by_path(src.radio_map.path_ids)
+        dirty_idx = np.where(
+            np.isin(merged.path_ids, np.asarray(sorted(dirty), dtype=int))
+        )[0]
+
+        # Differentiation: stitch cached clean-path rows with a pass
+        # over the dirty sub-map, falling back to a full pass when the
+        # differentiator cannot handle the sub-map alone.
+        stitched = False
+        mask: Optional[np.ndarray] = None
+        if refresh_mask == "dirty":
+            mask = np.empty(merged.fingerprints.shape, dtype=src.mask.dtype)
+            for pid, rows in new_rows.items():
+                if pid not in dirty:
+                    mask[rows] = src.mask[old_rows[pid]]
+            if dirty_idx.size:
+                try:
+                    sub_mask = src.differentiator.differentiate(
+                        merged.subset(dirty_idx)
+                    )
+                except ReproError:
+                    mask = None
+                else:
+                    mask[dirty_idx] = sub_mask
+            stitched = mask is not None
+        if mask is None:
+            mask = src.differentiator.differentiate(merged)
+        filled, amended = fill_mnars(merged, mask)
+        fill_values = self._fill_values_from(filled.fingerprints)
+
+        estimator_old, online_old, _ = self._pipeline
+        estimator = _clone_unfitted(estimator_old)
+        if online_old is not None:
+            refresh_ids = (
+                delta.path_ids
+                if stitched
+                else np.unique(merged.path_ids)
+            )
+            online = online_old.refreshed(filled, amended, refresh_ids)
+            n = merged.n_records
+            if stitched and src.imputed_fp is not None:
+                fp_c = np.empty((n, self.n_aps))
+                rps_c = np.empty((n, 2))
+                for pid, rows in new_rows.items():
+                    if pid not in dirty:
+                        fp_c[rows] = src.imputed_fp[old_rows[pid]]
+                        rps_c[rows] = src.imputed_rps[old_rows[pid]]
+                if dirty_idx.size:
+                    sub_fp, sub_rps = online.trainer.impute(
+                        filled.subset(dirty_idx), amended[dirty_idx]
+                    )
+                    fp_c[dirty_idx] = sub_fp
+                    rps_c[dirty_idx] = sub_rps
+            else:
+                fp_c, rps_c = online.trainer.impute(filled, amended)
+            estimator.fit(fp_c, rps_c)
+            return _PreparedUpdate(
+                pipeline=(estimator, online, fill_values),
+                source=_ShardSource(
+                    merged, src.differentiator, mask, fp_c, rps_c
+                ),
+                rows=delta.n_rows,
+                paths=delta.n_paths,
+            )
+
+        self._mean_fill_fit(
+            self.key, estimator, merged, filled, fill_values
+        )
+        return _PreparedUpdate(
+            pipeline=(estimator, None, fill_values),
+            source=_ShardSource(merged, src.differentiator, mask),
+            rows=delta.n_rows,
+            paths=delta.n_paths,
+        )
+
+    def _install_update(self, prepared: _PreparedUpdate) -> None:
+        """Swap in a prepared delta update and bump the epoch."""
+        self._pipeline = prepared.pipeline
+        self._source = prepared.source
+        self.epoch += 1
+
+    def apply_delta(
+        self, delta: RadioMapDelta, *, refresh_mask: str = "dirty"
+    ) -> DeltaApplyReport:
+        """Fold a delta into this shard in place (atomic swap).
+
+        Standalone-shard variant; a shard registered in a
+        :class:`PositioningService` should go through
+        :meth:`PositioningService.apply_delta`, which also invalidates
+        the venue's affected cache entries.
+        """
+        start = time.perf_counter()
+        prepared = self.prepare_delta(delta, refresh_mask=refresh_mask)
+        self._install_update(prepared)
+        return DeltaApplyReport(
+            venue=self.key,
+            epoch=self.epoch,
+            rows=prepared.rows,
+            paths=prepared.paths,
+            invalidated=0,
+            kept=0,
+            seconds=time.perf_counter() - start,
+        )
 
     def _validate(self, queries: np.ndarray) -> np.ndarray:
         queries = np.asarray(queries, dtype=float)
@@ -332,13 +645,30 @@ class VenueShard:
         _, online_imputer, fill_values = self._pipeline
         return self._impute(queries, online_imputer, fill_values)
 
+    @staticmethod
+    def _locate_with(
+        pipeline: Tuple[
+            LocationEstimator,
+            Optional[OnlineImputer],
+            Optional[np.ndarray],
+        ],
+        queries: np.ndarray,
+    ) -> np.ndarray:
+        """Impute → estimate through an explicit pipeline tuple.
+
+        Lets the delta-apply path evaluate cached queries against both
+        the outgoing and the incoming pipeline for targeted cache
+        invalidation.
+        """
+        estimator, online_imputer, fill_values = pipeline
+        imputed = VenueShard._impute(queries, online_imputer, fill_values)
+        return estimator.predict(imputed, squeeze=False)
+
     def locate(self, queries: np.ndarray) -> np.ndarray:
         """Full online path: impute, then batched estimation → (n, 2)."""
         queries = self._validate(queries)
         # One tuple read = one consistent pipeline, even mid-reload.
-        estimator, online_imputer, fill_values = self._pipeline
-        imputed = self._impute(queries, online_imputer, fill_values)
-        return estimator.predict(imputed, squeeze=False)
+        return self._locate_with(self._pipeline, queries)
 
 
 class PositioningService:
@@ -442,6 +772,108 @@ class PositioningService:
             for cache_key in [k for k in self._cache if k[0] == key]:
                 del self._cache[cache_key]
         return shard
+
+    def apply_delta(
+        self,
+        key: str,
+        delta: RadioMapDelta,
+        *,
+        invalidate: str = "targeted",
+        refresh_mask: str = "dirty",
+    ) -> DeltaApplyReport:
+        """Hot-apply an ingestion delta to a deployed venue.
+
+        The post-delta pipeline is built entirely off the serving path
+        (:meth:`VenueShard.prepare_delta`), then installed under the
+        same lock cache reads take; the shard's epoch bump stops
+        batches computed against the outgoing pipeline from re-caching
+        stale answers, exactly as :meth:`reload` does.
+
+        ``invalidate`` picks the cache policy:
+
+        * ``"targeted"`` (default) — reconstruct each cached key's
+          quantized fingerprint and evaluate it through the outgoing
+          *and* incoming pipelines; only keys whose answer moved are
+          dropped.  Resolution matches the cache's own contract
+          (fingerprints within one ``cache_quantum`` share an entry),
+          so an unaffected hot venue keeps its hit rate through the
+          update.  Entries inserted while the update was being built
+          are dropped conservatively.
+        * ``"venue"`` — drop every entry of the venue (cheaper than
+          two evaluation passes when the shard runs a heavy BiSIM
+          imputer over a large cache).
+
+        Applies are optimistic about concurrency: if another reload
+        or apply swaps the venue's pipeline while this delta's update
+        is being built, the install is aborted with a
+        :class:`ServingError` (installing would silently discard the
+        winner's data) — serialize appliers, or catch and re-apply.
+        """
+        if invalidate not in ("targeted", "venue"):
+            raise ServingError(
+                "invalidate must be 'targeted' or 'venue'"
+            )
+        start = time.perf_counter()
+        shard = self.shard(key)
+        old_pipeline = shard._pipeline
+        old_epoch = shard.epoch
+        prepared = shard.prepare_delta(delta, refresh_mask=refresh_mask)
+
+        fresh_keys: set = set()
+        if invalidate == "targeted" and self.cache_size:
+            with self._lock:
+                snapshot = [k for k in self._cache if k[0] == key]
+            if snapshot:
+                fps = self._fingerprints_from_keys(
+                    [k[1] for k in snapshot]
+                )
+                old_loc = VenueShard._locate_with(old_pipeline, fps)
+                new_loc = VenueShard._locate_with(
+                    prepared.pipeline, fps
+                )
+                same = np.all(
+                    np.isclose(old_loc, new_loc, rtol=0.0, atol=1e-9),
+                    axis=1,
+                )
+                fresh_keys = {
+                    k for k, keep in zip(snapshot, same) if keep
+                }
+
+        invalidated = kept = 0
+        with self._lock:
+            if shard.epoch != old_epoch:
+                # Someone swapped the pipeline while we were building
+                # (a concurrent reload or apply won the race).  Our
+                # prepared update was built from the replaced source —
+                # installing it would silently discard the winner's
+                # data, so surface the conflict instead; the caller
+                # re-applies against the fresh state.
+                raise ServingError(
+                    f"venue {key!r} changed while the delta was "
+                    f"being prepared (epoch {old_epoch} -> "
+                    f"{shard.epoch}); re-apply against the current "
+                    "state"
+                )
+            shard._install_update(prepared)
+            for cache_key in [k for k in self._cache if k[0] == key]:
+                if cache_key in fresh_keys:
+                    kept += 1
+                else:
+                    del self._cache[cache_key]
+                    invalidated += 1
+            self.stats.deltas_applied += 1
+            self.stats.delta_rows += prepared.rows
+            self.stats.keys_invalidated += invalidated
+            self.stats.keys_kept += kept
+        return DeltaApplyReport(
+            venue=key,
+            epoch=shard.epoch,
+            rows=prepared.rows,
+            paths=prepared.paths,
+            invalidated=invalidated,
+            kept=kept,
+            seconds=time.perf_counter() - start,
+        )
 
     def shard(self, key: str) -> VenueShard:
         try:
@@ -651,6 +1083,26 @@ class PositioningService:
         quantized = np.clip(quantized, -(2**31) + 1, 2**31 - 1)
         ints = quantized.astype(np.int32)
         return [(venue, ints[i].tobytes()) for i in range(len(ints))]
+
+    def _fingerprints_from_keys(
+        self, key_bytes: Sequence[bytes]
+    ) -> np.ndarray:
+        """Reconstruct quantized fingerprints from cache-key bytes.
+
+        The inverse of :meth:`cache_keys` up to quantization: readings
+        come back on the ``cache_quantum`` grid and the missing-AP
+        sentinel maps back to NaN.  Good enough for delta-apply cache
+        triage, because entries within one quantum already share a key
+        (and an answer) by the cache's own design.
+        """
+        ints = np.stack(
+            [np.frombuffer(b, dtype=np.int32) for b in key_bytes]
+        )
+        fps = ints.astype(float) * self.cache_quantum
+        # The missing-reading sentinel (1e9, see cache_keys) sits far
+        # outside any quantized RSSI, so it maps back unambiguously.
+        fps[ints == 1_000_000_000] = np.nan
+        return fps
 
     def _cache_key(
         self, venue: str, fingerprint: np.ndarray

@@ -160,6 +160,41 @@ class TestOnlineCheckpoint:
             atol=0,
         )
 
+    def test_chunk_path_metadata_round_trips(self, toy_map, tmp_path):
+        """Chunk→path ids persist, keeping incremental refresh alive."""
+        filled, amended = toy_map
+        trainer = BiSIMTrainer(filled.n_aps, small_config())
+        trainer.fit(filled, amended)
+        imputer = OnlineImputer(trainer)
+        imputer.index(filled, amended)
+        path = tmp_path / "online.npz"
+        imputer.save(path)
+        loaded = OnlineImputer.load(path)
+        np.testing.assert_array_equal(
+            loaded.chunk_paths, imputer.chunk_paths
+        )
+
+    def test_legacy_artifact_without_paths_loads(
+        self, toy_map, tmp_path
+    ):
+        """Artifacts from before chunk→path metadata still load; the
+        restored index just reports no path metadata."""
+        filled, amended = toy_map
+        trainer = BiSIMTrainer(filled.n_aps, small_config())
+        trainer.fit(filled, amended)
+        imputer = OnlineImputer(trainer)
+        imputer.index(filled, amended)
+        imputer._chunk_paths = None  # simulate a legacy index
+        path = tmp_path / "legacy.npz"
+        imputer.save(path)
+        loaded = OnlineImputer.load(path)
+        assert loaded.chunk_paths is None
+        queries = filled.fingerprints[:3].copy()
+        queries[:, :2] = np.nan
+        np.testing.assert_array_equal(
+            loaded.impute_batch(queries), imputer.impute_batch(queries)
+        )
+
 
 class TestTrainerCache:
     def test_memory_hit_returns_same_object(self, toy_map):

@@ -171,3 +171,88 @@ class TestOnlineImputer:
         )
         with pytest.raises(ImputationError):
             OnlineImputer(trainer)
+
+
+class TestIncrementalIndex:
+    """refreshed()/refresh_paths(): incremental context-index updates."""
+
+    @pytest.fixture()
+    def indexed(self, online, kaide_smoke):
+        """The fitted imputer plus an extended map with one new path."""
+        from repro.radiomap import concatenate_radio_maps
+
+        imputer, filled = online
+        mask = TopoACDifferentiator(
+            entities=kaide_smoke.venue.plan.entities
+        ).differentiate(kaide_smoke.radio_map)
+        _, amended = fill_mnars(kaide_smoke.radio_map, mask)
+        # Fake crowdsourced drop: clone the first path under a new id
+        # with shifted times and slightly perturbed readings.
+        first_pid = int(filled.path_ids.min())
+        rows = np.where(filled.path_ids == first_pid)[0]
+        extra = filled.subset(rows)
+        extra.path_ids = np.full(
+            rows.size, int(filled.path_ids.max()) + 1, dtype=int
+        )
+        extra.times = extra.times + 3.0
+        obs = np.isfinite(extra.fingerprints)
+        extra.fingerprints[obs] += 0.5
+        new_map = concatenate_radio_maps([filled, extra])
+        new_amended = np.vstack([amended, amended[rows]])
+        new_pid = int(extra.path_ids[0])
+        return imputer, new_map, new_amended, new_pid
+
+    def test_refreshed_matches_full_reindex(self, indexed):
+        imputer, new_map, new_amended, new_pid = indexed
+        incremental = imputer.refreshed(new_map, new_amended, [new_pid])
+        full = OnlineImputer(imputer.trainer)
+        full.index(new_map, new_amended)
+        np.testing.assert_array_equal(
+            incremental.chunk_paths, full.chunk_paths
+        )
+        np.testing.assert_array_equal(
+            incremental._last_fp, full._last_fp
+        )
+        np.testing.assert_array_equal(
+            incremental._all_fp, full._all_fp
+        )
+        np.testing.assert_array_equal(
+            incremental._chunk_lengths, full._chunk_lengths
+        )
+        queries = np.where(
+            np.random.default_rng(4).random((6, new_map.n_aps)) < 0.8,
+            np.nan,
+            -60.0,
+        )
+        np.testing.assert_allclose(
+            incremental.impute_batch(queries),
+            full.impute_batch(queries),
+            atol=0,
+        )
+
+    def test_refreshed_leaves_original_untouched(self, indexed):
+        imputer, new_map, new_amended, new_pid = indexed
+        before = len(imputer._chunks)
+        imputer.refreshed(new_map, new_amended, [new_pid])
+        assert len(imputer._chunks) == before
+        assert new_pid not in set(imputer.chunk_paths)
+
+    def test_refresh_paths_in_place(self, indexed):
+        imputer, new_map, new_amended, new_pid = indexed
+        clone = OnlineImputer(imputer.trainer)
+        clone._set_chunks(
+            list(imputer._chunks), list(imputer.chunk_paths)
+        )
+        n = clone.refresh_paths(new_map, new_amended, [new_pid])
+        assert n == len(clone._chunks)
+        assert new_pid in set(clone.chunk_paths)
+
+    def test_legacy_index_falls_back_to_full(self, indexed):
+        imputer, new_map, new_amended, new_pid = indexed
+        legacy = OnlineImputer(imputer.trainer)
+        legacy._set_chunks(list(imputer._chunks), None)
+        assert legacy.chunk_paths is None
+        refreshed = legacy.refreshed(new_map, new_amended, [new_pid])
+        # Full rebuild: path metadata exists again afterwards.
+        assert refreshed.chunk_paths is not None
+        assert new_pid in set(refreshed.chunk_paths)

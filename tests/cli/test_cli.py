@@ -114,3 +114,183 @@ class TestMain:
             main(["load-test", "--threads", "0"])
         with pytest.raises(SystemExit):
             main(["load-test", "--duplicate-rate", "1.5"])
+
+
+class TestIngestStage:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            [
+                "ingest",
+                "--out",
+                "d.npz",
+                "--base",
+                "shard.npz",
+                "--new-passes",
+                "2",
+                "--apply",
+                "--seed",
+                "42",
+            ]
+        )
+        assert args.experiment == "ingest"
+        assert args.base == "shard.npz"
+        assert args.new_passes == 2
+        assert args.apply is True
+        assert args.seed == 42
+
+    def test_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["ingest", "--preset", "smoke"])
+
+    def test_rejects_bad_new_passes(self):
+        with pytest.raises(SystemExit):
+            main(["ingest", "--out", "d.npz", "--new-passes", "0"])
+
+    def test_writes_chained_delta(self, tmp_path, capsys):
+        base = tmp_path / "base.npz"
+        assert (
+            main(
+                [
+                    "train",
+                    "--preset",
+                    "smoke",
+                    "--mean-fill",
+                    "--out",
+                    str(base),
+                ]
+            )
+            == 0
+        )
+        delta = tmp_path / "delta.npz"
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--preset",
+                    "smoke",
+                    "--base",
+                    str(base),
+                    "--out",
+                    str(delta),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "lineage" in out
+        from repro.artifacts import read_manifest
+        from repro.ingest import load_delta
+
+        parent = str(read_manifest(base)["content_hash"])
+        loaded, config = load_delta(delta, parent_hash=parent)
+        assert loaded.n_rows > 0
+        assert config["sequence"] == 0
+
+        # Chaining a second ingest on the first delta resumes the
+        # sequence numbering, so the whole chain verifies.
+        delta2 = tmp_path / "delta2.npz"
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--preset",
+                    "smoke",
+                    "--base",
+                    str(delta),
+                    "--out",
+                    str(delta2),
+                    "--seed",
+                    "9",
+                ]
+            )
+            == 0
+        )
+        from repro.ingest import verify_chain
+
+        configs = verify_chain(base, [delta, delta2])
+        assert [c["sequence"] for c in configs] == [0, 1]
+        # The second drop's paths continue past the first's — a
+        # collision would make delta2 replace delta1's records.
+        d1, _ = load_delta(delta)
+        d2, _ = load_delta(delta2)
+        assert not set(d1.path_ids.tolist()) & set(
+            d2.path_ids.tolist()
+        )
+
+    def test_apply_reports_hot_update(self, tmp_path, capsys):
+        delta = tmp_path / "delta.npz"
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--preset",
+                    "smoke",
+                    "--out",
+                    str(delta),
+                    "--apply",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "applied delta to 'kaide'" in out
+        assert "epoch 1" in out
+
+    def test_missing_base_is_user_error(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--preset",
+                    "smoke",
+                    "--base",
+                    str(tmp_path / "nope.npz"),
+                    "--out",
+                    str(tmp_path / "d.npz"),
+                ]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLoadTestSeedAndDrift:
+    def test_parser_accepts_seed_and_drift(self):
+        args = build_parser().parse_args(
+            ["load-test", "--seed", "7", "--drift"]
+        )
+        assert args.seed == 7
+        assert args.drift is True
+        args = build_parser().parse_args(["load-test"])
+        assert args.seed is None
+        assert args.drift is False
+
+    def test_seed_threads_through_to_run(self, monkeypatch, capsys):
+        captured = {}
+
+        def fake_run(config, **kwargs):
+            captured.update(kwargs)
+            from repro.experiments.base import ExperimentResult
+
+            return ExperimentResult(
+                experiment_id="Load test", rendered="ok", data={}
+            )
+
+        from repro.serving import loadgen
+
+        monkeypatch.setattr(loadgen, "run", fake_run)
+        assert (
+            main(
+                [
+                    "load-test",
+                    "--preset",
+                    "smoke",
+                    "--seed",
+                    "31",
+                    "--drift",
+                ]
+            )
+            == 0
+        )
+        assert captured["seed"] == 31
+        assert captured["include_drift"] is True

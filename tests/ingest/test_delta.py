@@ -1,0 +1,172 @@
+"""Delta artifacts: round trips, lineage chains, typed failures."""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import Artifact, read_manifest, save_artifact
+from repro.exceptions import ArtifactError
+from repro.ingest import (
+    DELTA_KIND,
+    delta_to_artifact,
+    load_delta,
+    save_delta,
+    verify_chain,
+)
+from repro.radiomap import RadioMapBuilder
+from repro.survey import RecordTruth, RSSIRecord
+
+
+def make_delta(seed=0, path_id=0, n=5, d=4, truth=False):
+    rng = np.random.default_rng(seed)
+    builder = RadioMapBuilder(d)
+    t = 0.0
+    for _ in range(n):
+        t += float(rng.uniform(1.5, 3.0))
+        readings = {
+            int(a): float(rng.uniform(-95, -40))
+            for a in rng.choice(d, size=2, replace=False)
+        }
+        record_truth = (
+            RecordTruth(
+                position=(float(t), 0.0),
+                missing_type=rng.integers(-1, 2, size=d),
+            )
+            if truth
+            else None
+        )
+        builder.add_record(
+            path_id,
+            RSSIRecord(time=t, readings=readings, truth=record_truth),
+        )
+    return builder.drain_delta()
+
+
+class TestDeltaArtifact:
+    def test_round_trip(self, tmp_path):
+        delta = make_delta()
+        path = tmp_path / "d.npz"
+        digest = save_delta(delta, path, sequence=3)
+        loaded, config = load_delta(path)
+        assert config["sequence"] == 3
+        assert config["parent_hash"] is None
+        np.testing.assert_array_equal(
+            loaded.path_ids, delta.path_ids
+        )
+        np.testing.assert_array_equal(
+            loaded.records.fingerprints, delta.records.fingerprints
+        )
+        np.testing.assert_array_equal(
+            loaded.records.times, delta.records.times
+        )
+        assert digest == read_manifest(path)["content_hash"]
+
+    def test_truth_survives_round_trip(self, tmp_path):
+        delta = make_delta(truth=True)
+        path = tmp_path / "d.npz"
+        save_delta(delta, path)
+        loaded, _ = load_delta(path)
+        assert loaded.records.truth is not None
+        np.testing.assert_array_equal(
+            loaded.records.truth.missing_type,
+            delta.records.truth.missing_type,
+        )
+
+    def test_kind_tagged(self):
+        artifact = delta_to_artifact(make_delta())
+        assert artifact.kind == DELTA_KIND
+        assert artifact.metrics["rows"] == make_delta().n_rows
+
+    def test_parent_hash_pinning(self, tmp_path):
+        delta = make_delta()
+        path = tmp_path / "d.npz"
+        save_delta(delta, path, parent_hash="a" * 64)
+        loaded, config = load_delta(path, parent_hash="a" * 64)
+        assert config["parent_hash"] == "a" * 64
+        with pytest.raises(ArtifactError, match="lineage"):
+            load_delta(path, parent_hash="b" * 64)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "x.npz"
+        save_artifact(
+            Artifact(kind="other", arrays={"a": np.zeros(2)}), path
+        )
+        with pytest.raises(ArtifactError, match="kind"):
+            load_delta(path)
+
+
+class TestChain:
+    def make_chain(self, tmp_path, n=3):
+        base = tmp_path / "base.npz"
+        save_artifact(
+            Artifact(kind="serving.shard", arrays={"a": np.ones(3)}),
+            base,
+        )
+        parent = str(read_manifest(base)["content_hash"])
+        paths = []
+        for i in range(n):
+            path = tmp_path / f"d{i}.npz"
+            parent = save_delta(
+                make_delta(seed=i, path_id=10 + i),
+                path,
+                parent_hash=parent,
+                sequence=i,
+            )
+            paths.append(path)
+        return base, paths
+
+    def test_valid_chain_verifies(self, tmp_path):
+        base, paths = self.make_chain(tmp_path)
+        configs = verify_chain(base, paths)
+        assert [c["sequence"] for c in configs] == [0, 1, 2]
+
+    def test_reordered_chain_rejected(self, tmp_path):
+        base, paths = self.make_chain(tmp_path)
+        with pytest.raises(ArtifactError, match="chain breaks"):
+            verify_chain(base, [paths[1], paths[0], paths[2]])
+
+    def test_missing_link_rejected(self, tmp_path):
+        base, paths = self.make_chain(tmp_path)
+        with pytest.raises(ArtifactError, match="chain breaks"):
+            verify_chain(base, [paths[0], paths[2]])
+
+    def test_wrong_base_rejected(self, tmp_path):
+        base, paths = self.make_chain(tmp_path)
+        other = tmp_path / "other-base.npz"
+        save_artifact(
+            Artifact(kind="serving.shard", arrays={"a": np.zeros(3)}),
+            other,
+        )
+        with pytest.raises(ArtifactError, match="chain breaks"):
+            verify_chain(other, paths)
+
+    def test_non_delta_link_rejected(self, tmp_path):
+        base, paths = self.make_chain(tmp_path)
+        with pytest.raises(ArtifactError, match="not a radio-map delta"):
+            verify_chain(base, [base])
+
+
+class TestReadManifest:
+    def test_reads_without_loading_arrays(self, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(
+            Artifact(
+                kind="x.y",
+                arrays={"big": np.zeros((10, 10))},
+                config={"k": 1},
+            ),
+            path,
+        )
+        manifest = read_manifest(path)
+        assert manifest["kind"] == "x.y"
+        assert manifest["config"] == {"k": 1}
+        assert "content_hash" in manifest
+
+    def test_missing_file_typed(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no such artifact"):
+            read_manifest(tmp_path / "nope.npz")
+
+    def test_non_artifact_rejected(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, a=np.zeros(2))
+        with pytest.raises(ArtifactError, match="no manifest"):
+            read_manifest(path)

@@ -1,0 +1,155 @@
+"""StreamIngestor sessions: chaining, stats, survey simulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IngestError
+from repro.ingest import (
+    StreamIngestor,
+    load_delta,
+    simulate_new_survey,
+    verify_chain,
+)
+from repro.radiomap import apply_radio_map_delta
+from repro.survey import RSSIRecord
+
+
+def feed(ingestor, path_id, n, seed=0, t0=0.0):
+    rng = np.random.default_rng(seed)
+    t = t0
+    records = []
+    for _ in range(n):
+        t += float(rng.uniform(1.5, 3.0))
+        records.append(
+            RSSIRecord(
+                time=t,
+                readings={0: float(rng.uniform(-90, -50))},
+            )
+        )
+    ingestor.ingest(path_id, records)
+
+
+class TestStreamIngestor:
+    def test_publish_chains_sequences(self, tmp_path):
+        ingestor = StreamIngestor(2, parent_hash="c" * 64)
+        feed(ingestor, 0, 4, seed=1)
+        p0 = ingestor.publish(tmp_path / "d0.npz")
+        feed(ingestor, 1, 4, seed=2)
+        p1 = ingestor.publish(tmp_path / "d1.npz")
+        assert (p0.sequence, p1.sequence) == (0, 1)
+        assert p0.parent_hash == "c" * 64
+        assert p1.parent_hash == p0.content_hash
+        assert ingestor.parent_hash == p1.content_hash
+        # Loaded deltas honour the recorded lineage.
+        load_delta(tmp_path / "d0.npz", parent_hash="c" * 64)
+        load_delta(tmp_path / "d1.npz", parent_hash=p0.content_hash)
+
+    def test_resumed_session_continues_chain(self, tmp_path):
+        """A new ingestor chaining on a previous delta resumes the
+        sequence numbering, keeping verify_chain's monotonicity."""
+        first = StreamIngestor(2)
+        feed(first, 0, 3, seed=1)
+        p0 = first.publish(tmp_path / "d0.npz")
+        resumed = StreamIngestor(
+            2, parent_hash=p0.content_hash, sequence=p0.sequence + 1
+        )
+        feed(resumed, 1, 3, seed=2)
+        p1 = resumed.publish(tmp_path / "d1.npz")
+        assert p1.sequence == 1
+        assert (
+            verify_chain(tmp_path / "d0.npz", [tmp_path / "d1.npz"])
+            != []
+        )
+
+    def test_negative_sequence_rejected(self):
+        with pytest.raises(IngestError):
+            StreamIngestor(2, sequence=-1)
+
+    def test_failed_save_does_not_lose_the_delta(self, tmp_path):
+        """A failed write re-marks the drained paths; the retry ships
+        the same rows instead of raising 'nothing to publish'."""
+        ingestor = StreamIngestor(2)
+        feed(ingestor, 0, 4, seed=1)
+        with pytest.raises(Exception):
+            ingestor.publish(tmp_path)  # directory target: save fails
+        assert ingestor.sequence == 0  # no chain link consumed
+        published = ingestor.publish(tmp_path / "d0.npz")
+        assert published.sequence == 0
+        assert published.delta.n_rows > 0
+        assert 0 in published.delta.path_ids
+
+    def test_empty_publish_rejected(self, tmp_path):
+        ingestor = StreamIngestor(2)
+        with pytest.raises(IngestError, match="nothing to publish"):
+            ingestor.publish(tmp_path / "d.npz")
+        feed(ingestor, 0, 2)
+        ingestor.publish(tmp_path / "d.npz")
+        with pytest.raises(IngestError):
+            ingestor.publish(tmp_path / "d2.npz")
+
+    def test_stats_track_session(self, tmp_path):
+        ingestor = StreamIngestor(2)
+        feed(ingestor, 0, 3, seed=1)
+        feed(ingestor, 1, 2, seed=2)
+        ingestor.publish(tmp_path / "d.npz")
+        stats = ingestor.stats
+        assert stats.records_in == 5
+        assert stats.paths_touched == 2
+        assert stats.deltas_published == 1
+        assert stats.rows_shipped > 0
+        assert "ingested=5" in stats.render()
+
+    def test_drain_without_publish(self):
+        ingestor = StreamIngestor(2)
+        assert ingestor.drain() is None
+        feed(ingestor, 0, 2)
+        delta = ingestor.drain()
+        assert delta is not None
+        assert ingestor.sequence == 0  # drain does not consume a link
+
+
+class TestSimulateNewSurvey:
+    def test_paths_renumber_after_existing(self, kaide_smoke):
+        tables = simulate_new_survey(kaide_smoke, n_passes=1, seed=3)
+        assert tables
+        existing_max = int(kaide_smoke.radio_map.path_ids.max())
+        ids = [t.path_id for t in tables]
+        assert min(ids) == existing_max + 1
+        assert len(set(ids)) == len(ids)
+        for t in tables:
+            assert t.n_aps == kaide_smoke.radio_map.n_aps
+
+    def test_start_path_id_override(self, kaide_smoke):
+        """Successive drops must not reuse ids (replace-on-apply)."""
+        first = simulate_new_survey(kaide_smoke, n_passes=1, seed=3)
+        nxt = max(t.path_id for t in first) + 1
+        second = simulate_new_survey(
+            kaide_smoke, n_passes=1, seed=4, start_path_id=nxt
+        )
+        assert min(t.path_id for t in second) == nxt
+        assert not {t.path_id for t in first} & {
+            t.path_id for t in second
+        }
+
+    def test_deterministic_in_seed(self, kaide_smoke):
+        a = simulate_new_survey(kaide_smoke, n_passes=1, seed=5)
+        b = simulate_new_survey(kaide_smoke, n_passes=1, seed=5)
+        assert [len(t) for t in a] == [len(t) for t in b]
+        c = simulate_new_survey(kaide_smoke, n_passes=1, seed=6)
+        assert [len(t) for t in a] != [len(t) for t in c] or [
+            r.time for r in a[0].records
+        ] != [r.time for r in c[0].records]
+
+    def test_end_to_end_grows_map(self, kaide_smoke, tmp_path):
+        ingestor = StreamIngestor(kaide_smoke.radio_map.n_aps)
+        for table in simulate_new_survey(
+            kaide_smoke, n_passes=1, seed=9
+        ):
+            ingestor.ingest_table(table)
+        published = ingestor.publish(tmp_path / "drop.npz")
+        delta, _ = load_delta(published.path)
+        merged = apply_radio_map_delta(kaide_smoke.radio_map, delta)
+        assert merged.n_records > kaide_smoke.radio_map.n_records
+        assert merged.n_aps == kaide_smoke.radio_map.n_aps
+        # The chain verifies from the first published link.
+        assert verify_chain(published.path, []) == []

@@ -1,0 +1,352 @@
+"""Streaming RadioMapBuilder: batch parity, deltas, merging."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RadioMapError
+from repro.radiomap import (
+    RadioMapBuilder,
+    RadioMapDelta,
+    apply_radio_map_delta,
+    create_radio_map,
+)
+from repro.survey import RecordTruth, RPRecord, RSSIRecord, WalkingSurveyRecordTable
+
+
+def assert_maps_equal(a, b):
+    np.testing.assert_array_equal(a.fingerprints, b.fingerprints)
+    np.testing.assert_array_equal(a.rps, b.rps)
+    np.testing.assert_array_equal(a.times, b.times)
+    np.testing.assert_array_equal(a.path_ids, b.path_ids)
+    assert (a.truth is None) == (b.truth is None)
+    if a.truth is not None:
+        np.testing.assert_array_equal(
+            a.truth.missing_type, b.truth.missing_type
+        )
+        np.testing.assert_array_equal(
+            a.truth.positions, b.truth.positions
+        )
+
+
+def interleaved_chunks(tables, rng, max_chunk=5):
+    """Split each path's stream into chunks; interleave across paths.
+
+    Per-path order is preserved (each surveyor's gateway delivers in
+    order) while paths interleave arbitrarily — the realistic
+    streaming arrival.  Records with tied timestamps keep arrival
+    order, so only this interleaving is order-independent on real
+    survey data; full shuffles are exercised on distinct-timestamp
+    streams below.
+    """
+    per_path = []
+    for table in tables:
+        records = list(table.records)
+        chunks = []
+        i = 0
+        while i < len(records):
+            size = int(rng.integers(1, max_chunk + 1))
+            chunks.append((table.path_id, records[i : i + size]))
+            i += size
+        per_path.append(chunks)
+    merged = []
+    while any(per_path):
+        alive = [c for c in per_path if c]
+        merged.append(alive[rng.integers(0, len(alive))].pop(0))
+    return merged
+
+
+class TestBatchParity:
+    def test_wrapper_matches_dataset_map(self, kaide_smoke):
+        """create_radio_map (now builder-backed) is bit-compatible."""
+        rebuilt = create_radio_map(kaide_smoke.survey_tables)
+        assert_maps_equal(rebuilt, kaide_smoke.radio_map)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_interleaved_chunking_bit_identical(self, kaide_smoke, seed):
+        """Any chunking/interleaving of the streams → the batch map."""
+        tables = sorted(
+            kaide_smoke.survey_tables, key=lambda t: t.path_id
+        )
+        batch = create_radio_map(tables)
+        rng = np.random.default_rng(seed)
+        builder = RadioMapBuilder(tables[0].n_aps)
+        for path_id, records in interleaved_chunks(tables, rng):
+            builder.add_records(path_id, records)
+        assert_maps_equal(builder.snapshot(), batch)
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_full_shuffle_distinct_times(self, seed):
+        """Distinct timestamps: even fully shuffled record delivery
+        (chunks of one path out of order) matches the batch map."""
+        rng = np.random.default_rng(seed)
+        tables = []
+        for pid in range(3):
+            table = WalkingSurveyRecordTable(path_id=pid, n_aps=4)
+            t = 0.0
+            for _ in range(int(rng.integers(5, 15))):
+                t += float(rng.uniform(0.1, 3.0))
+                if rng.random() < 0.7:
+                    aps = rng.choice(4, size=rng.integers(1, 4), replace=False)
+                    table.add(
+                        RSSIRecord(
+                            time=t,
+                            readings={
+                                int(a): float(rng.uniform(-95, -40))
+                                for a in aps
+                            },
+                        )
+                    )
+                else:
+                    table.add(
+                        RPRecord(
+                            time=t,
+                            location=(
+                                float(rng.uniform(0, 50)),
+                                float(rng.uniform(0, 50)),
+                            ),
+                        )
+                    )
+            tables.append(table)
+        batch = create_radio_map(tables)
+        chunks = []
+        for table in tables:
+            records = list(table.records)
+            i = 0
+            while i < len(records):
+                size = int(rng.integers(1, 5))
+                chunks.append((table.path_id, records[i : i + size]))
+                i += size
+        rng.shuffle(chunks)
+        builder = RadioMapBuilder(4)
+        for path_id, records in chunks:
+            builder.add_records(path_id, records)
+        assert_maps_equal(builder.snapshot(), batch)
+
+    def test_merged_builders_match_single(self, kaide_smoke):
+        tables = sorted(
+            kaide_smoke.survey_tables, key=lambda t: t.path_id
+        )
+        one = RadioMapBuilder(tables[0].n_aps)
+        for t in tables:
+            one.add_table(t)
+        rng = np.random.default_rng(7)
+        left = RadioMapBuilder(tables[0].n_aps)
+        right = RadioMapBuilder(tables[0].n_aps)
+        # Whole paths go to one builder or the other (merging
+        # interleaves across paths; within-path order is preserved).
+        for table in tables:
+            target = left if rng.random() < 0.5 else right
+            target.add_table(table)
+        assert_maps_equal(
+            left.merge(right).snapshot(), one.snapshot()
+        )
+
+    def test_incremental_cells_match_rebuild(self):
+        """In-order folding equals the out-of-order re-fold path."""
+        records = [
+            RSSIRecord(time=t, readings={0: -70.0 - t})
+            for t in (0.0, 0.5, 1.2, 1.6, 4.0)
+        ]
+        forward = RadioMapBuilder(2)
+        forward.add_records(0, records)
+        backward = RadioMapBuilder(2)
+        backward.add_records(0, records[::-1])
+        assert_maps_equal(forward.snapshot(), backward.snapshot())
+
+
+class TestDeltas:
+    def test_drain_then_apply_reproduces_snapshot(self, kaide_smoke):
+        tables = sorted(
+            kaide_smoke.survey_tables, key=lambda t: t.path_id
+        )
+        builder = RadioMapBuilder(tables[0].n_aps)
+        builder.add_table(tables[0])
+        base = builder.snapshot()
+        assert builder.drain_delta() is not None
+        for t in tables[1:]:
+            builder.add_table(t)
+        delta = builder.drain_delta()
+        assert set(delta.path_ids) == {t.path_id for t in tables[1:]}
+        assert_maps_equal(
+            apply_radio_map_delta(base, delta), builder.snapshot()
+        )
+
+    def test_late_records_redeliver_whole_path(self, kaide_smoke):
+        """A late chunk re-dirties its path; apply stays bit-exact."""
+        tables = sorted(
+            kaide_smoke.survey_tables, key=lambda t: t.path_id
+        )
+        builder = RadioMapBuilder(tables[0].n_aps)
+        head = tables[0].records[: len(tables[0]) // 2]
+        tail = tables[0].records[len(tables[0]) // 2 :]
+        for t in tables[1:]:
+            builder.add_table(t)
+        builder.add_records(tables[0].path_id, tail)
+        base = builder.snapshot()
+        builder.drain_delta()
+        builder.add_records(tables[0].path_id, head)  # late chunk
+        delta = builder.drain_delta()
+        assert tuple(delta.path_ids) == (tables[0].path_id,)
+        assert_maps_equal(
+            apply_radio_map_delta(base, delta), builder.snapshot()
+        )
+
+    def test_mark_dirty_restores_drained_paths(self):
+        builder = RadioMapBuilder(3)
+        builder.add_record(0, RSSIRecord(time=0.0, readings={0: -60.0}))
+        delta = builder.drain_delta()
+        assert builder.drain_delta() is None
+        builder.mark_dirty(delta.path_ids)
+        redelivered = builder.drain_delta()
+        np.testing.assert_array_equal(
+            redelivered.records.fingerprints, delta.records.fingerprints
+        )
+        # Unknown paths are ignored rather than invented.
+        builder.mark_dirty([99])
+        assert builder.drain_delta() is None
+
+    def test_late_chunk_defers_refold(self, kaide_smoke):
+        """A whole late chunk triggers one re-fold at materialisation,
+        not one per record — and stays bit-exact."""
+        tables = sorted(
+            kaide_smoke.survey_tables, key=lambda t: t.path_id
+        )
+        table = tables[0]
+        half = len(table) // 2
+        builder = RadioMapBuilder(table.n_aps)
+        builder.add_records(table.path_id, table.records[half:])
+        builder.add_records(table.path_id, table.records[:half])  # late
+        state = builder._paths[table.path_id]
+        assert state.stale  # re-fold deferred until a read
+        expected = create_radio_map([table])
+        assert_maps_equal(builder.snapshot(), expected)
+        assert not state.stale
+
+    def test_drain_empty_returns_none(self):
+        builder = RadioMapBuilder(3)
+        assert builder.drain_delta() is None
+        builder.add_record(0, RSSIRecord(time=0.0, readings={0: -60.0}))
+        assert builder.drain_delta() is not None
+        assert builder.drain_delta() is None
+
+    def test_dirty_paths_tracking(self):
+        builder = RadioMapBuilder(3)
+        builder.add_record(4, RSSIRecord(time=0.0, readings={0: -60.0}))
+        builder.add_record(2, RSSIRecord(time=0.0, readings={1: -61.0}))
+        assert builder.dirty_paths() == (2, 4)
+        builder.drain_delta()
+        assert builder.dirty_paths() == ()
+
+    def test_delta_rejects_undeclared_paths(self):
+        builder = RadioMapBuilder(2)
+        builder.add_record(0, RSSIRecord(time=0.0, readings={0: -60.0}))
+        snap = builder.snapshot()
+        with pytest.raises(RadioMapError):
+            RadioMapDelta(path_ids=np.array([1]), records=snap)
+
+    def test_apply_rejects_ap_mismatch(self):
+        b2 = RadioMapBuilder(2)
+        b2.add_record(0, RSSIRecord(time=0.0, readings={0: -60.0}))
+        b3 = RadioMapBuilder(3)
+        b3.add_record(1, RSSIRecord(time=0.0, readings={0: -60.0}))
+        delta = b3.drain_delta()
+        with pytest.raises(RadioMapError):
+            apply_radio_map_delta(b2.snapshot(), delta)
+
+
+class TestRunningCells:
+    def test_pairwise_average_and_count(self):
+        builder = RadioMapBuilder(2, epsilon=1.0)
+        builder.add_record(
+            0, RSSIRecord(time=0.0, readings={0: -60.0, 1: -80.0})
+        )
+        builder.add_record(0, RSSIRecord(time=1.0, readings={0: -70.0}))
+        state = builder._paths[0]
+        assert len(state.cells) == 1
+        cell = state.cells[0]
+        assert cell.count == 2
+        np.testing.assert_allclose(cell.rssi, [-65.0, -80.0])
+        assert builder.n_cells == 1
+
+    def test_truth_survives_streaming(self):
+        truth = RecordTruth(
+            position=(1.0, 2.0),
+            missing_type=np.array([1, -1]),
+        )
+        builder = RadioMapBuilder(2)
+        builder.add_record(
+            0,
+            RSSIRecord(time=0.0, readings={0: -60.0}, truth=truth),
+        )
+        snap = builder.snapshot()
+        assert snap.truth is not None
+        np.testing.assert_array_equal(
+            snap.truth.missing_type, [[1, -1]]
+        )
+
+
+class TestValidation:
+    def test_ap_out_of_range_typed_error(self):
+        builder = RadioMapBuilder(2)
+        with pytest.raises(RadioMapError, match="AP 5"):
+            builder.add_record(
+                0, RSSIRecord(time=0.0, readings={5: -60.0})
+            )
+
+    def test_non_finite_reading_typed_error(self):
+        builder = RadioMapBuilder(2)
+        with pytest.raises(RadioMapError, match="non-finite"):
+            builder.add_record(
+                0, RSSIRecord(time=0.0, readings={0: np.nan})
+            )
+
+    def test_truth_shape_mismatch_typed_error(self):
+        builder = RadioMapBuilder(3)
+        truth = RecordTruth(
+            position=(0.0, 0.0), missing_type=np.array([1, 0])
+        )
+        with pytest.raises(RadioMapError, match="missing_type"):
+            builder.add_record(
+                0,
+                RSSIRecord(time=0.0, readings={0: -60.0}, truth=truth),
+            )
+
+    def test_unknown_record_type_rejected(self):
+        builder = RadioMapBuilder(2)
+        with pytest.raises(RadioMapError, match="unknown record"):
+            builder.add_record(0, object())
+
+    def test_table_ap_mismatch_rejected(self):
+        builder = RadioMapBuilder(2)
+        table = WalkingSurveyRecordTable(path_id=0, n_aps=3)
+        with pytest.raises(RadioMapError, match="APs"):
+            builder.add_table(table)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(RadioMapError):
+            RadioMapBuilder(2, epsilon=-0.1)
+
+    def test_empty_snapshot_rejected(self):
+        with pytest.raises(RadioMapError, match="no records"):
+            RadioMapBuilder(2).snapshot()
+
+    def test_merge_mismatched_builders_rejected(self):
+        with pytest.raises(RadioMapError):
+            RadioMapBuilder(2).merge(RadioMapBuilder(3))
+        with pytest.raises(RadioMapError):
+            RadioMapBuilder(2, epsilon=1.0).merge(
+                RadioMapBuilder(2, epsilon=2.0)
+            )
+
+    def test_rp_record_streams(self):
+        builder = RadioMapBuilder(2, epsilon=1.0)
+        builder.add_record(
+            0, RPRecord(time=0.0, location=(1.0, 1.0))
+        )
+        builder.add_record(
+            0, RSSIRecord(time=0.5, readings={0: -60.0})
+        )
+        snap = builder.snapshot()
+        # Step 2 attached the RP to the adjacent RSSI record.
+        assert snap.n_records == 1
+        np.testing.assert_allclose(snap.rps[0], [1.0, 1.0])

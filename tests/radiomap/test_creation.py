@@ -132,6 +132,46 @@ class TestMergeRules:
         with pytest.raises(RadioMapError):
             create_radio_map([])
 
+    def test_all_empty_paths_rejected(self):
+        tables = [
+            WalkingSurveyRecordTable(path_id=i, n_aps=2)
+            for i in range(2)
+        ]
+        with pytest.raises(RadioMapError, match="empty"):
+            create_radio_map(tables)
+
+    def test_ap_count_mismatch_typed_error(self, table_ii):
+        """Mixed-dimensionality tables fail up front, not in concat."""
+        other = WalkingSurveyRecordTable(path_id=1, n_aps=3)
+        other.add(RSSIRecord(time=0.0, readings={0: -60.0}))
+        with pytest.raises(RadioMapError, match="disagree on AP count"):
+            create_radio_map([table_ii, other])
+
+    def test_out_of_range_ap_typed_error(self):
+        """A record reading a non-existent AP raises RadioMapError,
+        not a numpy IndexError."""
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=2)
+        t.add(RSSIRecord(time=0.0, readings={7: -60.0}))
+        with pytest.raises(RadioMapError, match="AP 7"):
+            create_radio_map_for_path(t)
+
+    def test_bad_truth_shape_typed_error(self):
+        from repro.survey import RecordTruth
+
+        t = WalkingSurveyRecordTable(path_id=0, n_aps=3)
+        t.add(
+            RSSIRecord(
+                time=0.0,
+                readings={0: -60.0},
+                truth=RecordTruth(
+                    position=(0.0, 0.0),
+                    missing_type=np.array([1]),
+                ),
+            )
+        )
+        with pytest.raises(RadioMapError, match="missing_type"):
+            create_radio_map_for_path(t)
+
     def test_multi_path_concatenation(self, table_ii):
         other = WalkingSurveyRecordTable(path_id=1, n_aps=5)
         other.add(RSSIRecord(time=0.0, readings={0: -60.0}))

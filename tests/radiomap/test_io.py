@@ -5,6 +5,7 @@ import pytest
 
 from repro.exceptions import RadioMapError
 from repro.radiomap import (
+    RadioMap,
     RadioMapTruth,
     export_csv,
     load_radio_map,
@@ -99,6 +100,79 @@ class TestNpzRoundTrip:
     def test_missing_file(self, tmp_path):
         with pytest.raises(RadioMapError):
             load_radio_map(tmp_path / "nope.npz")
+
+
+class TestRoundTripEdgeCases:
+    """All-NaN cells, zero-AP maps, single-record maps."""
+
+    def test_all_nan_cells_round_trip(self, tmp_path):
+        """A map whose every reading and RP is null survives intact
+        (unmerged RP-less scans produce exactly this shape)."""
+        rm = RadioMap(
+            fingerprints=np.full((4, 3), np.nan),
+            rps=np.full((4, 2), np.nan),
+            times=np.arange(4.0),
+            path_ids=np.zeros(4, dtype=int),
+        )
+        path = tmp_path / "allnan.npz"
+        save_radio_map(rm, path)
+        loaded = load_radio_map(path)
+        assert np.isnan(loaded.fingerprints).all()
+        assert np.isnan(loaded.rps).all()
+        assert loaded.missing_rssi_rate == 1.0
+        assert loaded.missing_rp_rate == 1.0
+        np.testing.assert_array_equal(loaded.times, rm.times)
+
+    def test_zero_ap_map_round_trip(self, tmp_path):
+        """D=0 maps (venue with no audible APs yet) keep their shape."""
+        rm = RadioMap(
+            fingerprints=np.empty((3, 0)),
+            rps=np.array([[0.0, 1.0], [2.0, 3.0], [np.nan, np.nan]]),
+            times=np.arange(3.0),
+            path_ids=np.zeros(3, dtype=int),
+        )
+        path = tmp_path / "zeroap.npz"
+        save_radio_map(rm, path)
+        loaded = load_radio_map(path)
+        assert loaded.n_aps == 0
+        assert loaded.n_records == 3
+        np.testing.assert_array_equal(loaded.rps, rm.rps)
+
+    def test_zero_ap_csv_export(self, tmp_path):
+        rm = RadioMap(
+            fingerprints=np.empty((2, 0)),
+            rps=np.zeros((2, 2)),
+            times=np.arange(2.0),
+            path_ids=np.zeros(2, dtype=int),
+        )
+        path = tmp_path / "zeroap.csv"
+        export_csv(rm, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "time,path_id,x,y"
+        assert len(lines) == 3
+
+    def test_single_record_map_round_trip(self, tmp_path):
+        rm = RadioMap(
+            fingerprints=np.array([[np.nan, -72.5]]),
+            rps=np.array([[4.0, 5.0]]),
+            times=np.array([1.5]),
+            path_ids=np.array([3]),
+            truth=RadioMapTruth(
+                missing_type=np.array([[-1, 1]]),
+                positions=np.array([[4.1, 5.2]]),
+            ),
+        )
+        path = tmp_path / "single.npz"
+        save_radio_map(rm, path)
+        loaded = load_radio_map(path)
+        assert loaded.n_records == 1
+        np.testing.assert_array_equal(
+            loaded.fingerprints, rm.fingerprints
+        )
+        np.testing.assert_array_equal(
+            loaded.truth.missing_type, rm.truth.missing_type
+        )
+        assert loaded.path_ids[0] == 3
 
 
 class TestCsvExport:

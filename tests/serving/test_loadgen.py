@@ -228,3 +228,140 @@ class TestLoadSmoke:
         stats = result.data["scenarios"]["only"]
         assert stats["errors"] == 0
         assert stats["hit_rate"] > 0
+
+
+class TestSeedThreading:
+    """--seed → scenario → arrival: reproducible request streams."""
+
+    def make_pools(self):
+        rng = np.random.default_rng(0)
+        return {
+            "a": rng.normal(-70, 5, size=(32, 6)),
+            "b": rng.normal(-70, 5, size=(32, 9)),
+        }
+
+    def test_same_seed_same_schedule(self):
+        pools = self.make_pools()
+        scenario = Scenario(
+            "s", burst_size=8, zipf_exponent=1.1, duplicate_rate=0.3
+        )
+        a = _make_schedule(pools, scenario, 64, np.random.default_rng(9))
+        b = _make_schedule(pools, scenario, 64, np.random.default_rng(9))
+        assert [v for v, _ in a] == [v for v, _ in b]
+        for (_, sa), (_, sb) in zip(a, b):
+            np.testing.assert_array_equal(sa, sb)
+
+    def test_different_seed_different_schedule(self):
+        pools = self.make_pools()
+        scenario = Scenario(
+            "s", burst_size=8, zipf_exponent=1.1, duplicate_rate=0.3
+        )
+        a = _make_schedule(pools, scenario, 64, np.random.default_rng(1))
+        b = _make_schedule(pools, scenario, 64, np.random.default_rng(2))
+        assert any(
+            va != vb or not np.array_equal(sa, sb)
+            for (va, sa), (vb, sb) in zip(a, b)
+        )
+
+    def test_run_threads_seed_to_everything(self):
+        """run(seed=...) replays the exact same request mix."""
+        kwargs = dict(
+            threads=2,
+            requests_per_thread=16,
+            warmup_per_thread=0,
+            pool_size=16,
+            scenarios=[Scenario("only", burst_size=8)],
+        )
+        a = run(PRESETS["smoke"], seed=1234, **kwargs)
+        b = run(PRESETS["smoke"], seed=1234, **kwargs)
+        assert a.data["seed"] == b.data["seed"] == 1234
+        sa = a.data["scenarios"]["only"]
+        sb = b.data["scenarios"]["only"]
+        assert sa["requests"] == sb["requests"]
+        c = run(PRESETS["smoke"], seed=99, **kwargs)
+        assert c.data["seed"] == 99
+
+
+class TestDriftScenario:
+    def test_drift_fields_validated(self):
+        from repro.serving import DRIFT_SCENARIO
+
+        assert DRIFT_SCENARIO.drift_applies > 0
+        with pytest.raises(ServingError):
+            Scenario("bad", drift_applies=-1)
+
+    def test_run_scenario_invokes_drift_fn(self, two_venue_service):
+        svc, pools = two_venue_service
+        calls = []
+        with ServingPipeline(svc, max_delay_ms=0.5) as pipeline:
+            report = run_scenario(
+                pipeline,
+                pools,
+                Scenario("drifty", burst_size=8, drift_applies=3),
+                threads=2,
+                requests_per_thread=24,
+                seed=5,
+                drift_fn=lambda: calls.append(1),
+                drift_interval=0.0,
+            )
+        assert len(calls) == 3
+        assert report.applies == 3
+        assert report.errors == 0
+        assert "applies=3" in report.render()
+
+    def test_failing_drift_fn_counts_as_error(self, two_venue_service):
+        """A raising apply surfaces in errors; later applies still run."""
+        svc, pools = two_venue_service
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("apply blew up")
+
+        with ServingPipeline(svc, max_delay_ms=0.5) as pipeline:
+            report = run_scenario(
+                pipeline,
+                pools,
+                Scenario("drifty", burst_size=8, drift_applies=3),
+                threads=1,
+                requests_per_thread=16,
+                seed=8,
+                drift_fn=flaky,
+                drift_interval=0.0,
+            )
+        assert len(calls) == 3
+        assert report.applies == 2
+        assert report.errors == 1
+
+    def test_no_drift_fn_no_applies(self, two_venue_service):
+        svc, pools = two_venue_service
+        with ServingPipeline(svc, max_delay_ms=0.5) as pipeline:
+            report = run_scenario(
+                pipeline,
+                pools,
+                Scenario("plain", burst_size=8),
+                threads=1,
+                requests_per_thread=8,
+                seed=6,
+            )
+        assert report.applies == 0
+        assert "applies" not in report.render()
+
+    def test_run_with_drift_applies_deltas_live(self):
+        """End to end: deltas hot-apply while the mix runs."""
+        result = run(
+            PRESETS["smoke"],
+            threads=2,
+            requests_per_thread=32,
+            warmup_per_thread=4,
+            pool_size=32,
+            scenarios=[],
+            include_drift=True,
+            seed=7,
+        )
+        drift = result.data["scenarios"]["drift"]
+        assert drift["errors"] == 0
+        assert drift["applies"] > 0
+        assert drift["apply_mean_ms"] > 0
+        assert result.data["deltas_applied"] == drift["applies"]
