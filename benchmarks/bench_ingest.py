@@ -11,7 +11,7 @@ estimator, instead of re-running the whole offline pipeline).
 import time
 
 import numpy as np
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.core import TopoACDifferentiator
 from repro.experiments import get_dataset
@@ -83,6 +83,16 @@ def test_delta_apply_vs_rebuild(
         lambda: _run(bench_config, tmp_path), rounds=1, iterations=1
     )
     emit(results_dir, "Ingest bench", result["rendered"])
+    emit_json(
+        results_dir,
+        "ingest",
+        {
+            "preset": bench_config.name,
+            "apply_seconds": result["apply_seconds"],
+            "rebuild_seconds": result["rebuild_seconds"],
+            "speedup": result["speedup"],
+        },
+    )
     # Acceptance: picking up new records via a delta beats the batch
     # rebuild-the-artifact-and-reload path by >= 5x.
     assert result["speedup"] >= 5.0

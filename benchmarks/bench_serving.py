@@ -1,7 +1,7 @@
 """Bench: serving throughput — batched query path vs per-query loop,
 and cold-start (train + deploy) vs warm-start (load artifact)."""
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.serving import bench as serve_bench
 
@@ -11,6 +11,11 @@ def test_serving_throughput(benchmark, bench_config, results_dir):
         lambda: serve_bench.run(bench_config), rounds=1, iterations=1
     )
     emit(results_dir, "Serving bench", result.rendered)
+    emit_json(
+        results_dir,
+        "serving",
+        {"preset": bench_config.name, **result.data},
+    )
     # The batched estimator path must dominate the per-query loop at
     # the largest batch size (acceptance: >= 5x at 256).
     assert result.data["estimator_speedup"][256] >= 5.0

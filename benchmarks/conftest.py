@@ -10,9 +10,11 @@ rendered rows/series, and writes them to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.experiments import PRESETS
@@ -39,3 +41,44 @@ def emit(results_dir: Path, name: str, rendered: str) -> None:
     (results_dir / f"{name.replace(' ', '_').lower()}.txt").write_text(
         text
     )
+
+
+def _jsonable(obj):
+    """json.dump fallback for the numpy scalars/arrays bench data
+    carries (and for dict keys, which json requires to be strings)."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def _stringify_keys(obj):
+    if isinstance(obj, dict):
+        return {str(k): _stringify_keys(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_stringify_keys(v) for v in obj]
+    return obj
+
+
+def emit_json(results_dir: Path, name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` next to the human-readable output.
+
+    The machine-readable twin of :func:`emit`: every bench persists
+    its timings/speedups plus the preset it ran under, so the perf
+    trajectory is diffable across PRs (``git log -p
+    benchmarks/results/BENCH_*.json`` or any dashboard).
+    """
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(
+            _stringify_keys(payload),
+            indent=2,
+            sort_keys=True,
+            default=_jsonable,
+        )
+        + "\n"
+    )
+    return path

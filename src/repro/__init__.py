@@ -20,7 +20,10 @@ it depends on:
   batched mixed-venue query routing, LRU caching and
   latency/throughput stats (see its "Serving API" docstring);
 * :mod:`repro.artifacts` — the versioned on-disk artifact store the
-  pipeline stages communicate through (train once, serve many).
+  pipeline stages communicate through (train once, serve many);
+* :mod:`repro.tracking` — trajectory tracking: per-device sessions
+  fusing per-scan fixes with a constant-velocity Kalman filter,
+  vectorized across thousands of live sessions.
 
 Quickstart::
 
@@ -54,6 +57,7 @@ from . import (
     radiomap,
     serving,
     survey,
+    tracking,
     venue,
     viz,
 )
@@ -77,6 +81,7 @@ __all__ = [
     "radiomap",
     "serving",
     "survey",
+    "tracking",
     "venue",
     "viz",
 ]

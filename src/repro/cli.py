@@ -83,6 +83,8 @@ from .radiomap import RadioMap, save_radio_map
 from .serving import SHARD_KIND, PositioningService, VenueShard
 from .serving import bench as serve_bench
 from .serving import loadgen
+from .tracking import TrackingScenario
+from .tracking import loadgen as tracking_loadgen
 
 EXPERIMENTS = {
     "table5": table5,
@@ -123,7 +125,7 @@ _ALL_ORDER = [
 ]
 
 #: Artifact-pipeline stages (everything else is an experiment name).
-PIPELINE_COMMANDS = ("train", "impute", "ingest", "load-test")
+PIPELINE_COMMANDS = ("train", "impute", "ingest", "load-test", "track")
 
 VENUES = ("kaide", "longhu")
 
@@ -270,6 +272,25 @@ def build_parser() -> argparse.ArgumentParser:
             "append the drift scenario: ingestion deltas hot-apply "
             "to a live venue while query traffic runs"
         ),
+    )
+    track = parser.add_argument_group("trajectory tracking (track)")
+    track.add_argument(
+        "--devices",
+        type=int,
+        default=32,
+        help="simulated phones walking concurrently (default: 32)",
+    )
+    track.add_argument(
+        "--scan-interval",
+        type=float,
+        default=1.0,
+        help="seconds between a device's scans (default: 1.0)",
+    )
+    track.add_argument(
+        "--duration",
+        type=float,
+        default=45.0,
+        help="seconds each device walks (default: 45)",
     )
     return parser
 
@@ -508,6 +529,30 @@ def _cmd_load_test(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_track(args, parser: argparse.ArgumentParser) -> int:
+    """Trajectory tracking: replay a walking fleet, score the gain."""
+    if args.devices < 1:
+        parser.error("--devices must be >= 1")
+    if args.scan_interval <= 0:
+        parser.error("--scan-interval must be positive")
+    if args.duration <= args.scan_interval:
+        parser.error("--duration must exceed --scan-interval")
+    config = PRESETS[args.preset]
+    scenario = TrackingScenario(
+        devices=args.devices,
+        scan_interval=args.scan_interval,
+        duration=args.duration,
+    )
+    start = time.perf_counter()
+    result = tracking_loadgen.run(
+        config, venue=args.venue, scenario=scenario, seed=args.seed
+    )
+    elapsed = time.perf_counter() - start
+    print(f"\n== {result.experiment_id} ({elapsed:.1f}s) ==")
+    print(result.rendered)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -520,6 +565,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_ingest(args, parser)
         if args.experiment == "load-test":
             return _cmd_load_test(args, parser)
+        if args.experiment == "track":
+            return _cmd_track(args, parser)
     except ReproError as exc:
         # Expected pipeline failures (bad artifact kind, AP-count
         # mismatch, …) are user errors, not tracebacks.

@@ -61,3 +61,8 @@ class ArtifactError(ReproError):
 class IngestError(ReproError):
     """Raised by the streaming-ingestion layer on empty publishes or
     broken delta lineage."""
+
+
+class TrackingError(ReproError):
+    """Raised by the trajectory-tracking subsystem on bad motion
+    configs, unknown/expired sessions or invalid step batches."""

@@ -46,6 +46,30 @@ class MultiPolygon:
         """True if the point lies inside (or on) any member polygon."""
         return any(p.contains_point(point) for p in self.polygons)
 
+    def contains_points(
+        self, points: np.ndarray, *, boundary: bool = True
+    ) -> np.ndarray:
+        """Vectorised membership over all members: ``(n,)`` booleans.
+
+        A point counts as contained when any member polygon contains
+        it (same per-polygon ``boundary`` contract as
+        :meth:`Polygon.contains_points`).  Already-decided points are
+        skipped, so the cost is one polygon pass over the shrinking
+        undecided set.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts[None, :]
+        out = np.zeros(pts.shape[0], dtype=bool)
+        for polygon in self.polygons:
+            undecided = ~out
+            if not undecided.any():
+                break
+            out[undecided] = polygon.contains_points(
+                pts[undecided], boundary=boundary
+            )
+        return out
+
     def intersects_segment(self, p1: Point, p2: Point) -> bool:
         """True if the segment touches any member polygon."""
         return any(p.intersects_segment(p1, p2) for p in self.polygons)

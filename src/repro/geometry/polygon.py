@@ -113,8 +113,17 @@ class Polygon:
                     inside = not inside
         return inside
 
-    def contains_points(self, points: np.ndarray) -> np.ndarray:
-        """Vectorised ray-casting for an ``(n, 2)`` array of points."""
+    def contains_points(
+        self, points: np.ndarray, *, boundary: bool = True
+    ) -> np.ndarray:
+        """Vectorised ray-casting for an ``(n, 2)`` array of points.
+
+        Same contract as :meth:`contains_point`, row by row: strictly
+        interior points are inside, strictly exterior points are not,
+        and points on an edge or vertex return ``boundary`` (default
+        True) — including every point of a degenerate zero-area
+        polygon, which is all boundary.
+        """
         pts = np.asarray(points, dtype=float)
         if pts.ndim == 1:
             pts = pts[None, :]
@@ -124,11 +133,19 @@ class Polygon:
         v2 = np.roll(v1, -1, axis=0)
         y1, y2 = v1[None, :, 1], v2[None, :, 1]
         x1, x2 = v1[None, :, 0], v2[None, :, 0]
+        # On-edge test, mirroring _point_on_edge: zero cross product
+        # and the point between the endpoints.
+        cross = (x2 - x1) * (y - y1) - (y2 - y1) * (x - x1)
+        dot = (x - x1) * (x - x2) + (y - y1) * (y - y2)
+        on_boundary = ((np.abs(cross) <= 1e-9) & (dot <= 1e-9)).any(
+            axis=1
+        )
         straddle = (y1 > y) != (y2 > y)
         with np.errstate(divide="ignore", invalid="ignore"):
             x_int = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
         crossings = (straddle & (x < x_int)).sum(axis=1)
-        return (crossings % 2).astype(bool)
+        inside = (crossings % 2).astype(bool)
+        return np.where(on_boundary, boundary, inside)
 
     def intersects_segment(self, p1: Point, p2: Point) -> bool:
         """True if segment ``p1p2`` touches this polygon (edge or interior)."""

@@ -1,4 +1,5 @@
-"""Evaluation metrics: positioning, imputation, differentiation."""
+"""Evaluation metrics: positioning, imputation, differentiation,
+trajectory tracking."""
 
 from .differentiation import confusion_counts, differentiation_accuracy
 from .imputation import fingerprint_mae, rp_euclidean_error
@@ -8,6 +9,7 @@ from .positioning import (
     error_percentile,
     positioning_errors,
 )
+from .tracking import tracking_improvement, trajectory_rmse
 
 __all__ = [
     "average_positioning_error",
@@ -18,4 +20,6 @@ __all__ = [
     "fingerprint_mae",
     "positioning_errors",
     "rp_euclidean_error",
+    "tracking_improvement",
+    "trajectory_rmse",
 ]

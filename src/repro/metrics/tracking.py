@@ -1,0 +1,37 @@
+"""Trajectory-tracking metrics: RMSE along a track and tracking gain."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import PositioningError
+from .positioning import positioning_errors
+
+
+def trajectory_rmse(estimated: np.ndarray, truth: np.ndarray) -> float:
+    """Root-mean-square positioning error along a trajectory (metres).
+
+    RMSE (not the paper's APE mean) is the tracking headline because
+    it punishes the large per-scan outliers a motion model exists to
+    suppress.
+    """
+    errors = positioning_errors(estimated, truth)
+    if errors.size == 0:
+        raise PositioningError("no trajectory points to score")
+    return float(np.sqrt(np.mean(errors**2)))
+
+
+def tracking_improvement(
+    raw: np.ndarray, tracked: np.ndarray, truth: np.ndarray
+) -> float:
+    """Fractional RMSE reduction of tracked over per-scan positions.
+
+    ``0.25`` means the fused trajectory is 25 % more accurate than
+    answering every scan independently; negative values mean the
+    motion model hurt.
+    """
+    raw_rmse = trajectory_rmse(raw, truth)
+    tracked_rmse = trajectory_rmse(tracked, truth)
+    if raw_rmse == 0.0:
+        return 0.0
+    return (raw_rmse - tracked_rmse) / raw_rmse

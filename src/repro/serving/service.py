@@ -48,7 +48,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field, fields, is_dataclass
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -702,7 +702,26 @@ class PositioningService:
         self._lock = threading.RLock()
         self.cache_size = int(cache_size)
         self.cache_quantum = float(cache_quantum)
-        self.stats = ServiceStats()
+        self._stats = ServiceStats()
+
+    @property
+    def stats(self) -> ServiceStats:
+        """A consistent point-in-time snapshot of the counters.
+
+        Every internal counter mutation publishes its related fields
+        in one critical section (a batch's hits, misses, queries and
+        per-venue counts land together), and this property copies the
+        whole dataclass under the same lock — so a reader under
+        concurrent traffic always sees an atomic snapshot satisfying
+        the service's invariants (with caching enabled,
+        ``queries == cache_hits + cache_misses`` and
+        ``sum(per_venue) == queries``), never a torn mix of old and
+        new counters.
+        """
+        with self._lock:
+            return replace(
+                self._stats, per_venue=dict(self._stats.per_venue)
+            )
 
     # ------------------------------------------------------------------
     # Registry (sharding by venue/floor key)
@@ -861,10 +880,10 @@ class PositioningService:
                 else:
                     del self._cache[cache_key]
                     invalidated += 1
-            self.stats.deltas_applied += 1
-            self.stats.delta_rows += prepared.rows
-            self.stats.keys_invalidated += invalidated
-            self.stats.keys_kept += kept
+            self._stats.deltas_applied += 1
+            self._stats.delta_rows += prepared.rows
+            self._stats.keys_invalidated += invalidated
+            self._stats.keys_kept += kept
         return DeltaApplyReport(
             venue=key,
             epoch=shard.epoch,
@@ -963,16 +982,18 @@ class PositioningService:
         fanout: Dict[int, List[int]] = {}
         leaders: Dict[CacheKey, int] = {}
         epochs: Dict[str, int] = {}
+        # Counters accumulate locally and publish in ONE critical
+        # section at the end, so a concurrent stats snapshot never
+        # sees this batch's hits without its queries (or vice versa).
+        hits = misses_count = 0
         with self._lock:
-            per_venue = self.stats.per_venue
             for i, venue in enumerate(venues):
-                per_venue[venue] = per_venue.get(venue, 0) + 1
                 key = keys[i]
                 if key is not None:
                     cached = self._cache.get(key)
                     if cached is not None:
                         self._cache.move_to_end(key)
-                        self.stats.cache_hits += 1
+                        hits += 1
                         out[i] = cached
                         continue
                     leader = leaders.get(key)
@@ -981,10 +1002,10 @@ class PositioningService:
                         # fan the answer out, count the repeat as a
                         # hit — the shard never sees the duplicate.
                         fanout[leader].append(i)
-                        self.stats.cache_hits += 1
+                        hits += 1
                         continue
                     leaders[key] = i
-                    self.stats.cache_misses += 1
+                    misses_count += 1
                 fanout[i] = []
                 misses.setdefault(venue, []).append(i)
             for venue in misses:
@@ -1014,9 +1035,15 @@ class PositioningService:
                         out[j] = loc
                     if fresh:
                         self._cache_put(keys[i], loc)
-            self.stats.queries += n
-            self.stats.batches += 1
-            self.stats.seconds += time.perf_counter() - start
+            stats = self._stats
+            per_venue = stats.per_venue
+            for venue in venues:
+                per_venue[venue] = per_venue.get(venue, 0) + 1
+            stats.cache_hits += hits
+            stats.cache_misses += misses_count
+            stats.queries += n
+            stats.batches += 1
+            stats.seconds += time.perf_counter() - start
         return out
 
     def try_cached(
@@ -1052,16 +1079,16 @@ class PositioningService:
                     hit[i] = True
                     hits += 1
             if hits:
-                self.stats.cache_hits += hits
-                self.stats.queries += hits
-                per_venue = self.stats.per_venue
+                self._stats.cache_hits += hits
+                self._stats.queries += hits
+                per_venue = self._stats.per_venue
                 per_venue[venue] = per_venue.get(venue, 0) + hits
-                self.stats.seconds += time.perf_counter() - start
+                self._stats.seconds += time.perf_counter() - start
         return out, hit, keys
 
     def reset_stats(self) -> None:
         with self._lock:
-            self.stats = ServiceStats()
+            self._stats = ServiceStats()
 
     # ------------------------------------------------------------------
     # LRU cache on quantized fingerprints

@@ -1,0 +1,76 @@
+"""Trajectory tracking subsystem: stateful session positioning with
+motion-model fusion.
+
+Everything below the serving layer answers one-shot scans; production
+traffic is millions of phones each emitting a *sequence* of
+correlated scans while walking a venue.  This package fuses the
+per-scan fixes with a constant-velocity motion model:
+
+* :class:`Tracker` / :class:`TrackerBank` — the constant-velocity
+  Kalman filter, as a single-session object and as a vectorized bank
+  whose ``step_batch`` advances thousands of sessions with batched
+  numpy (bit-identical to stepping each session alone);
+* :class:`WalkableConstraint` — clamps (or rejects) fused positions
+  that leave the venue's walkable
+  :class:`~repro.geometry.Polygon`/:class:`~repro.geometry.MultiPolygon`;
+* :class:`TrackingService` — the session create/step/end API layered
+  on :class:`~repro.serving.PositioningService`, with a thread-safe
+  session store (TTL + max-sessions eviction) that survives shard
+  ``reload``/``apply_delta`` hot swaps;
+* :mod:`repro.tracking.loadgen` — the ``python -m repro track``
+  workload: correlated scan sequences generated from survey
+  kinematics, replayed in lockstep and scored as tracked-vs-per-scan
+  RMSE;
+* :func:`~repro.metrics.trajectory_rmse` /
+  :func:`~repro.metrics.tracking_improvement` (in
+  :mod:`repro.metrics`) — the headline accuracy numbers.
+
+See ``examples/trajectory_tracking.py`` for an end-to-end demo and
+``benchmarks/bench_tracking.py`` for the acceptance numbers.
+"""
+
+from .constraint import WalkableConstraint
+from .kalman import (
+    MotionConfig,
+    StepResult,
+    Tracker,
+    TrackerBank,
+    kalman_predict,
+    kalman_update,
+)
+from .loadgen import (
+    DEFAULT_TRACKING_SCENARIO,
+    TrackingReport,
+    TrackingScenario,
+    Walk,
+    replay_walks,
+    simulate_walks,
+)
+from .service import (
+    SessionSummary,
+    TrackedBatch,
+    TrackedFix,
+    TrackingService,
+    TrackingStats,
+)
+
+__all__ = [
+    "DEFAULT_TRACKING_SCENARIO",
+    "MotionConfig",
+    "SessionSummary",
+    "StepResult",
+    "TrackedBatch",
+    "TrackedFix",
+    "Tracker",
+    "TrackerBank",
+    "TrackingReport",
+    "TrackingScenario",
+    "TrackingService",
+    "TrackingStats",
+    "Walk",
+    "WalkableConstraint",
+    "kalman_predict",
+    "kalman_update",
+    "replay_walks",
+    "simulate_walks",
+]

@@ -1,0 +1,120 @@
+"""Walkable-area constraint for tracked positions.
+
+The venue's walkable area — corridor polygons, or any
+:class:`~repro.geometry.Polygon` / :class:`~repro.geometry.MultiPolygon`
+— is a hard prior the motion model should respect: phones do not walk
+through store walls.  :class:`WalkableConstraint` post-processes each
+Kalman step:
+
+* ``"clamp"`` (default) — a fused position landing outside the
+  walkable area is pulled to the nearest point of the walkable
+  boundary (velocity and covariance are kept, so the track keeps its
+  heading);
+* ``"reject"`` — the fix is discarded instead: the track reverts to
+  its motion prediction (``accepted`` comes back False), and only if
+  the prediction itself has drifted off the walkable area is *that*
+  clamped.
+
+All tests run through the vectorised
+:meth:`Polygon.contains_points` / :meth:`MultiPolygon.contains_points`
+(boundary points count as walkable), and the nearest-boundary
+projection is one batched pass over the walkable edge set — per-row
+independent arithmetic, preserving the tracker's step/step_batch
+bit-parity contract.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..exceptions import TrackingError
+from ..geometry import MultiPolygon, Polygon
+
+Walkable = Union[Polygon, MultiPolygon]
+
+#: Constraint policies for out-of-area positions.
+MODES = ("clamp", "reject")
+
+
+class WalkableConstraint:
+    """Keeps tracked positions on a venue's walkable geometry."""
+
+    def __init__(self, walkable: Walkable, mode: str = "clamp"):
+        if mode not in MODES:
+            raise TrackingError(
+                f"constraint mode must be one of {MODES}, got {mode!r}"
+            )
+        if isinstance(walkable, Polygon):
+            walkable = MultiPolygon([walkable])
+        if not isinstance(walkable, MultiPolygon) or not len(walkable):
+            raise TrackingError(
+                "walkable area must be a Polygon or a non-empty "
+                "MultiPolygon"
+            )
+        self.walkable = walkable
+        self.mode = mode
+        starts, ends = walkable.edge_arrays()
+        self._starts = starts
+        self._vecs = ends - starts
+        self._len2 = np.maximum(
+            (self._vecs**2).sum(axis=1), 1e-12
+        )
+
+    def inside(self, points: np.ndarray) -> np.ndarray:
+        """``(n,)`` booleans: on or within the walkable area."""
+        return self.walkable.contains_points(points, boundary=True)
+
+    def nearest(self, points: np.ndarray) -> np.ndarray:
+        """Nearest point of the walkable *boundary* to each point.
+
+        One batched projection of every point onto every walkable
+        edge; ``(n, 2)`` in → ``(n, 2)`` out.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts[None, :]
+        d = pts[:, None, :] - self._starts[None, :, :]
+        t = np.clip(
+            (d * self._vecs[None, :, :]).sum(axis=2) / self._len2,
+            0.0,
+            1.0,
+        )
+        proj = (
+            self._starts[None, :, :]
+            + t[:, :, None] * self._vecs[None, :, :]
+        )
+        dist2 = ((pts[:, None, :] - proj) ** 2).sum(axis=2)
+        best = np.argmin(dist2, axis=1)
+        return proj[np.arange(pts.shape[0]), best]
+
+    def constrain(
+        self,
+        x_pred: np.ndarray,
+        P_pred: np.ndarray,
+        x_fused: np.ndarray,
+        P_fused: np.ndarray,
+        accepted: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Apply the policy to one step's fused states.
+
+        Returns ``(x, P, accepted, clamped)``; rows already inside
+        pass through untouched.
+        """
+        outside = ~self.inside(x_fused[:, :2])
+        clamped = np.zeros(outside.shape[0], dtype=bool)
+        if not outside.any():
+            return x_fused, P_fused, accepted, clamped
+        if self.mode == "reject":
+            x = np.where(outside[:, None], x_pred, x_fused)
+            P = np.where(outside[:, None, None], P_pred, P_fused)
+            accepted = accepted & ~outside
+            stray = outside & ~self.inside(x[:, :2])
+            if stray.any():
+                x[stray, :2] = self.nearest(x[stray, :2])
+                clamped = stray
+            return x, P, accepted, clamped
+        x = x_fused.copy()
+        x[outside, :2] = self.nearest(x_fused[outside, :2])
+        return x, P_fused, accepted, outside

@@ -1,0 +1,386 @@
+"""Constant-velocity Kalman tracking over per-scan position fixes.
+
+A phone navigating a venue produces a *sequence* of correlated scans,
+not independent one-shot queries.  Each scan yields a noisy position
+fix from the fingerprint pipeline; fusing those fixes with a
+constant-velocity (CV) motion model filters the per-scan noise and
+keeps the track on the walkable area.
+
+State per session is ``[px, py, vx, vy]`` with covariance ``P``.
+Between scans the state advances under the CV transition with
+white-noise-acceleration process noise (spectral density
+``MotionConfig.process_noise``); each fix is fused through the
+standard Kalman update with measurement noise
+``measurement_sigma**2 * I``, an optional Mahalanobis innovation gate,
+and an optional walkable-geometry constraint
+(:class:`~repro.tracking.constraint.WalkableConstraint`).
+
+Vectorization contract
+----------------------
+Every kernel is written with elementwise array arithmetic and
+``np.einsum`` (never BLAS matmuls, whose kernel choice can depend on
+operand shape), so the arithmetic performed for one session is the
+same instruction sequence whether it runs in a batch of one
+(:meth:`TrackerBank.step`) or a batch of thousands
+(:meth:`TrackerBank.step_batch`).  The two paths are bit-identical —
+the tests pin this, and the serving layer relies on it to answer
+single-session steps and fleet-wide batch steps from the same math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TrackingError
+from .constraint import WalkableConstraint
+
+
+@dataclass(frozen=True)
+class MotionConfig:
+    """Motion-model knobs shared by every tracker in a bank.
+
+    Parameters
+    ----------
+    process_noise:
+        White-noise-acceleration spectral density ``q`` (m²/s³).
+        Larger values trust the fixes more (the model expects abrupt
+        manoeuvres); smaller values smooth harder.
+    measurement_sigma:
+        Standard deviation (m) of a per-scan position fix — roughly
+        the estimator's average positioning error on the venue.
+    init_position_sigma:
+        Position uncertainty (m) of a freshly started track.
+    init_velocity_sigma:
+        Velocity uncertainty (m/s) of a freshly started track
+        (trackers start at rest).
+    gate_sigma:
+        Innovation gate in sigmas: a fix whose squared Mahalanobis
+        distance exceeds ``gate_sigma**2`` is rejected (the track
+        coasts on its prediction).  0 disables gating.
+    max_dt:
+        Upper clamp (s) on the between-scan gap, so one stale session
+        cannot inflate its process noise into a useless prior.
+    """
+
+    process_noise: float = 0.1
+    measurement_sigma: float = 2.5
+    init_position_sigma: float = 3.0
+    init_velocity_sigma: float = 1.5
+    gate_sigma: float = 3.0
+    max_dt: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.process_noise <= 0:
+            raise TrackingError("process_noise must be positive")
+        for name in (
+            "measurement_sigma",
+            "init_position_sigma",
+            "init_velocity_sigma",
+        ):
+            if getattr(self, name) <= 0:
+                raise TrackingError(f"{name} must be positive")
+        if self.gate_sigma < 0:
+            raise TrackingError("gate_sigma must be >= 0")
+        if self.max_dt <= 0:
+            raise TrackingError("max_dt must be positive")
+
+
+def kalman_predict(
+    x: np.ndarray, P: np.ndarray, dt: np.ndarray, q: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance ``(x, P)`` by per-row gaps ``dt`` under the CV model.
+
+    ``x`` is ``(n, 4)``, ``P`` is ``(n, 4, 4)``, ``dt`` is ``(n,)``;
+    returns the predicted copies (inputs are not mutated).
+    """
+    dt = np.asarray(dt, dtype=float)
+    x2 = x.copy()
+    x2[:, 0] = x[:, 0] + dt * x[:, 2]
+    x2[:, 1] = x[:, 1] + dt * x[:, 3]
+    n = x.shape[0]
+    F = np.broadcast_to(np.eye(4), (n, 4, 4)).copy()
+    F[:, 0, 2] = dt
+    F[:, 1, 3] = dt
+    P2 = np.einsum("nij,njk,nlk->nil", F, P, F)
+    q3 = q * dt**3 / 3.0
+    q2 = q * dt**2 / 2.0
+    q1 = q * dt
+    P2[:, 0, 0] += q3
+    P2[:, 1, 1] += q3
+    P2[:, 0, 2] += q2
+    P2[:, 2, 0] += q2
+    P2[:, 1, 3] += q2
+    P2[:, 3, 1] += q2
+    P2[:, 2, 2] += q1
+    P2[:, 3, 3] += q1
+    return x2, P2
+
+
+def kalman_update(
+    x: np.ndarray,
+    P: np.ndarray,
+    z: np.ndarray,
+    r: float,
+    gate_sigma: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fuse position fixes ``z`` (``(n, 2)``) into ``(x, P)``.
+
+    Returns ``(x', P', accepted)``; rows failing the Mahalanobis gate
+    keep their prediction and come back with ``accepted=False``.  The
+    2×2 innovation covariance is inverted in closed form, so the whole
+    update is elementwise (see the module's vectorization contract).
+    """
+    y = z - x[:, :2]
+    s00 = P[:, 0, 0] + r * r
+    s01 = P[:, 0, 1]
+    s10 = P[:, 1, 0]
+    s11 = P[:, 1, 1] + r * r
+    det = s00 * s11 - s01 * s10
+    i00 = s11 / det
+    i01 = -s01 / det
+    i10 = -s10 / det
+    i11 = s00 / det
+    if gate_sigma > 0:
+        m2 = y[:, 0] * (i00 * y[:, 0] + i01 * y[:, 1]) + y[:, 1] * (
+            i10 * y[:, 0] + i11 * y[:, 1]
+        )
+        accepted = m2 <= gate_sigma * gate_sigma
+    else:
+        accepted = np.ones(x.shape[0], dtype=bool)
+    # Kalman gain K = P Hᵀ S⁻¹ with H = [I₂ 0]: two (n, 4) columns.
+    ph0 = P[:, :, 0]
+    ph1 = P[:, :, 1]
+    k0 = ph0 * i00[:, None] + ph1 * i10[:, None]
+    k1 = ph0 * i01[:, None] + ph1 * i11[:, None]
+    x2 = x + k0 * y[:, 0][:, None] + k1 * y[:, 1][:, None]
+    # P' = P - K (H P); (K H P)[n, i, j] = K₀ P[n,0,j] + K₁ P[n,1,j].
+    khp = (
+        k0[:, :, None] * P[:, 0, None, :]
+        + k1[:, :, None] * P[:, 1, None, :]
+    )
+    P2 = P - khp
+    x2 = np.where(accepted[:, None], x2, x)
+    P2 = np.where(accepted[:, None, None], P2, P)
+    return x2, P2, accepted
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """What one (batched) tracker step produced.
+
+    ``positions`` are the fused track positions after the motion
+    update, geometry constraint included; ``accepted`` flags rows
+    whose fix survived the innovation gate (and, in ``"reject"``
+    constraint mode, the walkable test); ``clamped`` flags rows whose
+    position was pulled back onto the walkable area.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    accepted: np.ndarray
+    clamped: np.ndarray
+
+
+class TrackerBank:
+    """A bank of CV-Kalman trackers stepping as batched numpy.
+
+    Slots are allocated by :meth:`start` and recycled by
+    :meth:`release`; all per-slot state lives in flat arrays so
+    :meth:`step_batch` advances any subset of sessions with a handful
+    of vectorized kernels — no per-session Python.  The bank itself is
+    not thread-safe; :class:`~repro.tracking.TrackingService` guards
+    it with the session-store lock.
+    """
+
+    def __init__(
+        self,
+        config: Optional[MotionConfig] = None,
+        constraint: Optional[WalkableConstraint] = None,
+        capacity: int = 64,
+    ):
+        if capacity < 1:
+            raise TrackingError("capacity must be >= 1")
+        self.config = config or MotionConfig()
+        self.constraint = constraint
+        n = int(capacity)
+        self._x = np.zeros((n, 4))
+        self._P = np.zeros((n, 4, 4))
+        self._t = np.zeros(n)
+        self._alive = np.zeros(n, dtype=bool)
+        self._free: List[int] = list(range(n - 1, -1, -1))
+
+    def __len__(self) -> int:
+        return int(self._alive.sum())
+
+    @property
+    def capacity(self) -> int:
+        return self._x.shape[0]
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = max(2 * old, 8)
+        for name, shape in (
+            ("_x", (new, 4)),
+            ("_P", (new, 4, 4)),
+            ("_t", (new,)),
+        ):
+            fresh = np.zeros(shape)
+            fresh[:old] = getattr(self, name)
+            setattr(self, name, fresh)
+        alive = np.zeros(new, dtype=bool)
+        alive[:old] = self._alive
+        self._alive = alive
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def start(self, position: np.ndarray, t: float) -> int:
+        """Open a track at ``position`` (a first fix) and return its slot."""
+        pos = np.asarray(position, dtype=float)
+        if pos.shape != (2,) or not np.isfinite(pos).all():
+            raise TrackingError(
+                "a track starts from a finite (2,) position fix"
+            )
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        cfg = self.config
+        self._x[slot] = (pos[0], pos[1], 0.0, 0.0)
+        self._P[slot] = np.diag(
+            [
+                cfg.init_position_sigma**2,
+                cfg.init_position_sigma**2,
+                cfg.init_velocity_sigma**2,
+                cfg.init_velocity_sigma**2,
+            ]
+        )
+        self._t[slot] = float(t)
+        self._alive[slot] = True
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Free a slot for reuse."""
+        self._check_slot(slot)
+        self._alive[slot] = False
+        self._free.append(int(slot))
+
+    def _check_slot(self, slot: int) -> None:
+        if not (0 <= slot < self.capacity) or not self._alive[slot]:
+            raise TrackingError(f"no live tracker in slot {slot}")
+
+    def position(self, slot: int) -> np.ndarray:
+        self._check_slot(slot)
+        return self._x[slot, :2].copy()
+
+    def velocity(self, slot: int) -> np.ndarray:
+        self._check_slot(slot)
+        return self._x[slot, 2:].copy()
+
+    def step(self, slot: int, fix: np.ndarray, t: float) -> StepResult:
+        """Advance one tracker — a batch of one, bit-identical to
+        the same slot inside a larger :meth:`step_batch`."""
+        return self.step_batch(
+            np.asarray([slot]),
+            np.asarray(fix, dtype=float)[None, :],
+            np.asarray([t], dtype=float),
+        )
+
+    def step_batch(
+        self,
+        slots: Sequence[int],
+        fixes: np.ndarray,
+        times: Sequence[float],
+    ) -> StepResult:
+        """Advance many trackers in one vectorized predict→update.
+
+        ``slots`` must be unique live slots; ``fixes`` is ``(n, 2)``
+        per-scan position fixes and ``times`` their timestamps.  A
+        tracker's clock never runs backwards: the per-row gap is
+        clamped to ``[0, max_dt]``, and a stale (out-of-order)
+        timestamp leaves the stored clock where it was.
+        """
+        slots = np.asarray(slots, dtype=int)
+        fixes = np.asarray(fixes, dtype=float)
+        times = np.asarray(times, dtype=float)
+        n = slots.shape[0]
+        if fixes.shape != (n, 2) or times.shape != (n,):
+            raise TrackingError(
+                f"step_batch wants ({n}, 2) fixes and ({n},) times, "
+                f"got {fixes.shape} and {times.shape}"
+            )
+        if not np.isfinite(fixes).all():
+            raise TrackingError("fixes must be finite")
+        if np.unique(slots).shape[0] != n:
+            raise TrackingError(
+                "step_batch slots must be unique — a session steps "
+                "once per batch"
+            )
+        if not self._alive[slots].all():
+            dead = sorted(int(s) for s in slots[~self._alive[slots]])
+            raise TrackingError(f"no live tracker in slots {dead}")
+
+        cfg = self.config
+        dt = np.clip(times - self._t[slots], 0.0, cfg.max_dt)
+        x, P = kalman_predict(
+            self._x[slots], self._P[slots], dt, cfg.process_noise
+        )
+        x2, P2, accepted = kalman_update(
+            x, P, fixes, cfg.measurement_sigma, cfg.gate_sigma
+        )
+        clamped = np.zeros(n, dtype=bool)
+        if self.constraint is not None:
+            x2, P2, accepted, clamped = self.constraint.constrain(
+                x, P, x2, P2, accepted
+            )
+        self._x[slots] = x2
+        self._P[slots] = P2
+        self._t[slots] = np.maximum(self._t[slots], times)
+        return StepResult(
+            positions=x2[:, :2].copy(),
+            velocities=x2[:, 2:].copy(),
+            accepted=accepted,
+            clamped=clamped,
+        )
+
+
+class Tracker:
+    """One device's track: the single-session face of the bank.
+
+    Convenience wrapper holding a one-slot :class:`TrackerBank`, so a
+    standalone tracker and a fleet of thousands run the exact same
+    kernels::
+
+        tracker = Tracker(first_fix, t=0.0, constraint=walkable)
+        for t, fix in fixes:
+            result = tracker.step(fix, t)
+    """
+
+    def __init__(
+        self,
+        position: np.ndarray,
+        t: float = 0.0,
+        config: Optional[MotionConfig] = None,
+        constraint: Optional[WalkableConstraint] = None,
+    ):
+        self._bank = TrackerBank(config, constraint, capacity=1)
+        self._slot = self._bank.start(position, t)
+
+    @property
+    def position(self) -> np.ndarray:
+        """Current fused position ``(2,)``."""
+        return self._bank.position(self._slot)
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """Current velocity estimate ``(2,)``."""
+        return self._bank.velocity(self._slot)
+
+    @property
+    def time(self) -> float:
+        """Timestamp of the last step (or start)."""
+        return float(self._bank._t[self._slot])
+
+    def step(self, fix: np.ndarray, t: float) -> StepResult:
+        """Fuse one position fix taken at time ``t``."""
+        return self._bank.step(self._slot, fix, t)

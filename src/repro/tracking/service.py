@@ -1,0 +1,571 @@
+"""Stateful session tracking layered on the positioning service.
+
+A :class:`TrackingService` turns the stateless per-scan
+:class:`~repro.serving.PositioningService` into per-device trajectory
+tracking: each navigating phone opens a *session*, every scan it
+submits is answered with a motion-model-fused position instead of the
+raw per-scan fix, and ending the session returns a summary.
+
+::
+
+    tracking = TrackingService(positioning)
+    tracking.register_walkable("kaide", MultiPolygon(plan.hallways))
+    sid = tracking.start("kaide", first_scan, t=0.0)
+    fix = tracking.step(sid, next_scan, t=1.0)    # fused position
+    batch = tracking.step_batch(sids, scans, ts)  # thousands at once
+    summary = tracking.end(sid)
+
+Sessions live in a thread-safe store with two eviction pressures:
+
+* **TTL** — a session idle longer than ``ttl_seconds`` (measured on
+  the service clock, which advances with the traffic's timestamps) is
+  evicted before any new work touches the store.  Timestamps are one
+  domain per service: omit ``t`` everywhere (wall clock) or supply it
+  everywhere (logical time) — mixing raises, because one wall-clock
+  default injected into a logically-timed fleet would ratchet the
+  clock ahead and evict every session;
+* **capacity** — when ``max_sessions`` is exceeded the
+  least-recently-active sessions are evicted first (TTL pruning
+  always runs before capacity eviction, so expired sessions never
+  out-compete live ones).
+
+Per-venue tracker state lives in vectorized
+:class:`~repro.tracking.TrackerBank` slabs, so
+:meth:`TrackingService.step_batch` advances any mix of sessions with
+one positioning ``query_batch`` plus a handful of numpy kernels — the
+batched mirror of the serving layer's query engine.
+
+Hot swaps: the tracking layer holds the *service*, not its pipelines,
+so :meth:`~repro.serving.PositioningService.reload` and
+:meth:`~repro.serving.PositioningService.apply_delta` swap a venue's
+estimator under live sessions without breaking them — the next step
+simply fuses fixes from the new pipeline.
+
+Thread safety: one lock guards the session store, the banks and the
+stats; it is held across the embedded positioning query too, so
+concurrent steppers serialize at the tracking layer (the positioning
+service below stays the dominant cost and is itself thread-safe).
+Steps for one session must be submitted in timestamp order by design
+— a session is a single device's clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TrackingError
+from ..serving import PositioningService
+from .constraint import Walkable, WalkableConstraint
+from .kalman import MotionConfig, TrackerBank
+
+
+@dataclass
+class TrackingStats:
+    """Counters of one :class:`TrackingService`.
+
+    ``seconds`` accumulates wall-clock time inside ``start*``/
+    ``step*`` calls (positioning query included); ``rejected_fixes``
+    counts fixes dropped by the innovation gate or the ``"reject"``
+    constraint, ``clamped_fixes`` positions pulled back onto the
+    walkable area.
+    """
+
+    sessions_started: int = 0
+    sessions_ended: int = 0
+    evicted_ttl: int = 0
+    evicted_capacity: int = 0
+    steps: int = 0
+    batches: int = 0
+    rejected_fixes: int = 0
+    clamped_fixes: int = 0
+    seconds: float = 0.0
+
+    @property
+    def active_hint(self) -> int:
+        """Sessions started minus ended/evicted (snapshot arithmetic)."""
+        return (
+            self.sessions_started
+            - self.sessions_ended
+            - self.evicted_ttl
+            - self.evicted_capacity
+        )
+
+    @property
+    def steps_per_second(self) -> float:
+        return self.steps / self.seconds if self.seconds > 0 else 0.0
+
+    def render(self) -> str:
+        return (
+            f"sessions started={self.sessions_started} "
+            f"ended={self.sessions_ended} "
+            f"evicted(ttl={self.evicted_ttl} "
+            f"cap={self.evicted_capacity}) | "
+            f"steps={self.steps} in {self.batches} batches "
+            f"({self.steps_per_second:.0f}/s) | "
+            f"fixes rejected={self.rejected_fixes} "
+            f"clamped={self.clamped_fixes}"
+        )
+
+
+@dataclass(frozen=True)
+class TrackedFix:
+    """One session's answer to one scan."""
+
+    session_id: str
+    venue: str
+    position: np.ndarray
+    velocity: np.ndarray
+    raw: np.ndarray
+    accepted: bool
+    clamped: bool
+
+
+@dataclass(frozen=True)
+class TrackedBatch:
+    """Aligned arrays answering one :meth:`TrackingService.step_batch`.
+
+    ``positions`` are the fused track positions, ``raw`` the per-scan
+    service fixes the tracker fused (the untracked baseline —
+    ``positions`` vs ``raw`` is exactly the tracking-gain comparison
+    the metrics layer scores).
+    """
+
+    session_ids: Tuple[str, ...]
+    venues: Tuple[str, ...]
+    positions: np.ndarray
+    velocities: np.ndarray
+    raw: np.ndarray
+    accepted: np.ndarray
+    clamped: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.session_ids)
+
+    def fix(self, i: int) -> TrackedFix:
+        """Row ``i`` as a :class:`TrackedFix`."""
+        return TrackedFix(
+            session_id=self.session_ids[i],
+            venue=self.venues[i],
+            position=self.positions[i].copy(),
+            velocity=self.velocities[i].copy(),
+            raw=self.raw[i].copy(),
+            accepted=bool(self.accepted[i]),
+            clamped=bool(self.clamped[i]),
+        )
+
+
+@dataclass(frozen=True)
+class SessionSummary:
+    """What :meth:`TrackingService.end` hands back."""
+
+    session_id: str
+    venue: str
+    steps: int
+    started_at: float
+    last_seen: float
+    position: np.ndarray
+
+    @property
+    def duration(self) -> float:
+        return self.last_seen - self.started_at
+
+
+class _Session:
+    __slots__ = ("sid", "venue", "slot", "created", "last_seen", "steps")
+
+    def __init__(
+        self, sid: str, venue: str, slot: int, t: float
+    ) -> None:
+        self.sid = sid
+        self.venue = venue
+        self.slot = slot
+        self.created = t
+        self.last_seen = t
+        self.steps = 0
+
+
+class TrackingService:
+    """Session create/step/end API over a positioning service.
+
+    Parameters
+    ----------
+    positioning:
+        The deployed :class:`~repro.serving.PositioningService`
+        answering per-scan fixes; venues are resolved through it, so
+        anything deployable there is trackable here.
+    motion:
+        Motion model shared by every session (see
+        :class:`~repro.tracking.MotionConfig`).
+    ttl_seconds:
+        Idle-session lifetime on the service clock.
+    max_sessions:
+        Hard cap on concurrently tracked sessions;
+        least-recently-active sessions are evicted beyond it.
+    constraint_mode:
+        ``"clamp"`` or ``"reject"`` — how registered walkable
+        geometry disciplines out-of-area fixes.
+    """
+
+    def __init__(
+        self,
+        positioning: PositioningService,
+        *,
+        motion: Optional[MotionConfig] = None,
+        ttl_seconds: float = 300.0,
+        max_sessions: int = 100_000,
+        constraint_mode: str = "clamp",
+    ):
+        if ttl_seconds <= 0:
+            raise TrackingError("ttl_seconds must be positive")
+        if max_sessions < 1:
+            raise TrackingError("max_sessions must be >= 1")
+        self.positioning = positioning
+        self.motion = motion or MotionConfig()
+        self.ttl_seconds = float(ttl_seconds)
+        self.max_sessions = int(max_sessions)
+        self.constraint_mode = constraint_mode
+        self._constraints: Dict[str, WalkableConstraint] = {}
+        self._banks: Dict[str, TrackerBank] = {}
+        self._sessions: "OrderedDict[str, _Session]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._ids = itertools.count()
+        self._clock = -np.inf
+        # "wall" (times omitted, monotonic clock) or "logical"
+        # (caller-supplied timestamps); set on first use.  The two
+        # cannot mix: one wall-clock default injected into a
+        # logically-timed fleet would ratchet the service clock ahead
+        # by the host uptime and TTL-evict every session.
+        self._time_domain: Optional[str] = None
+        self._stats = TrackingStats()
+        if constraint_mode not in ("clamp", "reject"):
+            raise TrackingError(
+                "constraint_mode must be 'clamp' or 'reject'"
+            )
+
+    # ------------------------------------------------------------------
+    # Venue geometry
+    # ------------------------------------------------------------------
+    def register_walkable(self, venue: str, walkable: Walkable) -> None:
+        """Constrain a venue's tracks to its walkable geometry.
+
+        Takes effect immediately, including for live sessions of the
+        venue.  Venues without registered geometry track
+        unconstrained.
+        """
+        constraint = WalkableConstraint(
+            walkable, mode=self.constraint_mode
+        )
+        with self._lock:
+            self._constraints[venue] = constraint
+            if venue in self._banks:
+                self._banks[venue].constraint = constraint
+
+    def _bank(self, venue: str) -> TrackerBank:
+        # Caller holds the lock.
+        bank = self._banks.get(venue)
+        if bank is None:
+            bank = TrackerBank(
+                self.motion, self._constraints.get(venue)
+            )
+            self._banks[venue] = bank
+        return bank
+
+    # ------------------------------------------------------------------
+    # Stats / introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> TrackingStats:
+        """A consistent point-in-time snapshot of the counters."""
+        with self._lock:
+            return replace(self._stats)
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats = TrackingStats()
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    @property
+    def session_ids(self) -> Tuple[str, ...]:
+        """Live session ids, least-recently-active first."""
+        with self._lock:
+            return tuple(self._sessions)
+
+    def position(self, session_id: str) -> np.ndarray:
+        """Current fused position of a live session (no step)."""
+        with self._lock:
+            session = self._resolve(session_id)
+            return self._banks[session.venue].position(session.slot)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        venue: str,
+        fingerprint: np.ndarray,
+        *,
+        t: Optional[float] = None,
+        session_id: Optional[str] = None,
+    ) -> str:
+        """Open a session from a first scan; returns the session id."""
+        ids = None if session_id is None else [session_id]
+        return self.start_batch(
+            [venue],
+            [fingerprint],
+            times=None if t is None else [t],
+            session_ids=ids,
+        )[0]
+
+    def start_batch(
+        self,
+        venues: Sequence[str],
+        fingerprints: Sequence[np.ndarray],
+        *,
+        times: Optional[Sequence[float]] = None,
+        session_ids: Optional[Sequence[str]] = None,
+    ) -> List[str]:
+        """Open many sessions from their first scans in one call.
+
+        The initial fixes come from one positioning ``query_batch``;
+        each tracker starts at its fix with at-rest velocity.  TTL
+        pruning and capacity eviction run before the new sessions are
+        admitted, so a full store sheds its stalest sessions rather
+        than rejecting fresh devices.
+        """
+        n = len(venues)
+        if len(fingerprints) != n:
+            raise TrackingError("venues/fingerprints length mismatch")
+        if n > self.max_sessions:
+            raise TrackingError(
+                f"cannot start {n} sessions at once: max_sessions is "
+                f"{self.max_sessions} (capacity eviction would kill "
+                "sessions from this very batch)"
+            )
+        if session_ids is not None and len(session_ids) != n:
+            raise TrackingError("session_ids length mismatch")
+        t0 = time.perf_counter()
+        with self._lock:
+            times = self._check_times(times, n)
+            # Prune before the id-collision check, so a device can
+            # restart under the same session id once its previous
+            # session has expired.
+            self._advance_clock(times)
+            self._prune_ttl()
+            if session_ids is None:
+                sids = [f"s{next(self._ids):08d}" for _ in range(n)]
+            else:
+                sids = [str(s) for s in session_ids]
+                for sid in sids:
+                    if sid in self._sessions:
+                        raise TrackingError(
+                            f"session {sid!r} already exists"
+                        )
+                if len(set(sids)) != n:
+                    raise TrackingError("duplicate session ids")
+            raw = self.positioning.query_batch(venues, fingerprints)
+            for i, sid in enumerate(sids):
+                bank = self._bank(venues[i])
+                slot = bank.start(raw[i], float(times[i]))
+                self._sessions[sid] = _Session(
+                    sid, venues[i], slot, float(times[i])
+                )
+                self._sessions.move_to_end(sid)
+            self._stats.sessions_started += n
+            self._evict_over_capacity()
+            self._stats.seconds += time.perf_counter() - t0
+        return sids
+
+    def step(
+        self,
+        session_id: str,
+        fingerprint: np.ndarray,
+        *,
+        t: Optional[float] = None,
+    ) -> TrackedFix:
+        """Fuse one scan into one session → its tracked fix."""
+        batch = self.step_batch(
+            [session_id],
+            [fingerprint],
+            times=None if t is None else [t],
+        )
+        return batch.fix(0)
+
+    def step_batch(
+        self,
+        session_ids: Sequence[str],
+        fingerprints: Sequence[np.ndarray],
+        *,
+        times: Optional[Sequence[float]] = None,
+    ) -> TrackedBatch:
+        """Advance many sessions with one scan each.
+
+        Rows may mix venues freely; the scans go through one
+        positioning ``query_batch`` and each venue's sessions advance
+        in one vectorized bank step.  A session id may appear at most
+        once per batch (a device's scans are ordered), and every id
+        must be live — unknown or expired ids raise
+        :class:`~repro.exceptions.TrackingError`.
+        """
+        n = len(session_ids)
+        if len(fingerprints) != n:
+            raise TrackingError(
+                "session_ids/fingerprints length mismatch"
+            )
+        if n == 0:
+            raise TrackingError("empty step batch")
+        if len(set(session_ids)) != n:
+            raise TrackingError(
+                "a session may step at most once per batch"
+            )
+        t0 = time.perf_counter()
+        with self._lock:
+            times = self._check_times(times, n)
+            self._advance_clock(times)
+            self._prune_ttl()
+            sessions = [self._resolve(sid) for sid in session_ids]
+            venues = [s.venue for s in sessions]
+            raw = self.positioning.query_batch(venues, fingerprints)
+            positions = np.empty((n, 2))
+            velocities = np.empty((n, 2))
+            accepted = np.empty(n, dtype=bool)
+            clamped = np.empty(n, dtype=bool)
+            by_venue: Dict[str, List[int]] = {}
+            for i, venue in enumerate(venues):
+                by_venue.setdefault(venue, []).append(i)
+            for venue, rows in by_venue.items():
+                bank = self._banks[venue]
+                result = bank.step_batch(
+                    [sessions[i].slot for i in rows],
+                    raw[rows],
+                    times[rows],
+                )
+                positions[rows] = result.positions
+                velocities[rows] = result.velocities
+                accepted[rows] = result.accepted
+                clamped[rows] = result.clamped
+            for i, session in enumerate(sessions):
+                # Ratchet: one stale device timestamp must not rewind
+                # the session into its own TTL window.
+                session.last_seen = max(
+                    session.last_seen, float(times[i])
+                )
+                session.steps += 1
+                self._sessions.move_to_end(session.sid)
+            self._stats.steps += n
+            self._stats.batches += 1
+            self._stats.rejected_fixes += int((~accepted).sum())
+            self._stats.clamped_fixes += int(clamped.sum())
+            self._stats.seconds += time.perf_counter() - t0
+        return TrackedBatch(
+            session_ids=tuple(session_ids),
+            venues=tuple(venues),
+            positions=positions,
+            velocities=velocities,
+            raw=raw,
+            accepted=accepted,
+            clamped=clamped,
+        )
+
+    def end(self, session_id: str) -> SessionSummary:
+        """Close a session and return its summary."""
+        with self._lock:
+            session = self._resolve(session_id)
+            summary = self._summary(session)
+            self._drop(session)
+            self._stats.sessions_ended += 1
+        return summary
+
+    # ------------------------------------------------------------------
+    # Internals (caller holds the lock)
+    # ------------------------------------------------------------------
+    def _check_times(
+        self, times: Optional[Sequence[float]], n: int
+    ) -> np.ndarray:
+        domain = "wall" if times is None else "logical"
+        if self._time_domain is None:
+            self._time_domain = domain
+        elif domain != self._time_domain:
+            raise TrackingError(
+                "cannot mix wall-clock and caller-supplied "
+                f"timestamps: this service runs on {self._time_domain} "
+                "time (the service clock only ratchets forward, so "
+                "one stray domain switch would TTL-evict every "
+                "session); pass explicit times everywhere or nowhere"
+            )
+        if times is None:
+            return np.full(n, time.monotonic())
+        out = np.asarray(times, dtype=float)
+        if out.shape != (n,):
+            raise TrackingError(f"times must be ({n},)")
+        if not np.isfinite(out).all():
+            raise TrackingError("times must be finite")
+        return out
+
+    def _advance_clock(self, times: np.ndarray) -> None:
+        clock = float(times.max())
+        if clock > self._clock:
+            self._clock = clock
+
+    def _resolve(self, session_id: str) -> _Session:
+        session = self._sessions.get(session_id)
+        if session is not None and self._expired(session):
+            # The lazy front-stop prune can leave an expired session
+            # behind a fresher one; expiry is still enforced here so
+            # it cannot be stepped back to life.
+            self._drop(session)
+            self._stats.evicted_ttl += 1
+            session = None
+        if session is None:
+            raise TrackingError(
+                f"unknown or expired session {session_id!r}"
+            )
+        return session
+
+    def _expired(self, session: _Session) -> bool:
+        return session.last_seen < self._clock - self.ttl_seconds
+
+    def _summary(self, session: _Session) -> SessionSummary:
+        return SessionSummary(
+            session_id=session.sid,
+            venue=session.venue,
+            steps=session.steps,
+            started_at=session.created,
+            last_seen=session.last_seen,
+            position=self._banks[session.venue].position(session.slot),
+        )
+
+    def _drop(self, session: _Session) -> None:
+        self._banks[session.venue].release(session.slot)
+        del self._sessions[session.sid]
+
+    def _prune_ttl(self) -> None:
+        # The store is kept least-recently-active first, so pruning
+        # pops from the front and stops at the first live entry —
+        # O(evicted), not O(sessions), on every start/step call.
+        # (_resolve still enforces expiry for any stale session a
+        # fresher neighbour shields from this early stop.)
+        evicted = 0
+        while self._sessions:
+            session = next(iter(self._sessions.values()))
+            if not self._expired(session):
+                break
+            self._drop(session)
+            evicted += 1
+        self._stats.evicted_ttl += evicted
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._sessions) > self.max_sessions:
+            _, session = self._sessions.popitem(last=False)
+            self._banks[session.venue].release(session.slot)
+            self._stats.evicted_capacity += 1

@@ -61,3 +61,32 @@ class TestMultiPolygon:
         empty = MultiPolygon()
         assert not empty.contains_point((0, 0))
         assert not empty.intersects_polygon(Polygon.rectangle(0, 0, 1, 1))
+
+
+class TestContainsPoints:
+    def test_vectorised_matches_scalar(self, two_rooms):
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(-1, 8, size=(200, 2))
+        vec = two_rooms.contains_points(pts)
+        for i, p in enumerate(pts):
+            assert vec[i] == two_rooms.contains_point(tuple(p))
+
+    def test_membership_in_any_polygon(self, two_rooms):
+        pts = np.array([(0.5, 0.5), (6.0, 6.0), (3.5, 3.5)])
+        np.testing.assert_array_equal(
+            two_rooms.contains_points(pts), [True, True, False]
+        )
+
+    def test_boundary_flag_passthrough(self, two_rooms):
+        corner = np.asarray(
+            [two_rooms.polygons[0].vertices[0]], dtype=float
+        )
+        assert two_rooms.contains_points(corner).all()
+        assert not two_rooms.contains_points(
+            corner, boundary=False
+        ).any()
+
+    def test_empty_multipolygon(self):
+        assert not MultiPolygon().contains_points(
+            np.zeros((3, 2))
+        ).any()

@@ -129,3 +129,78 @@ class TestSampling:
         for _ in range(10):
             p = poly.sample_interior_point(rng)
             assert poly.contains_point(tuple(p))
+
+
+class TestContainsPointsContract:
+    """The vectorised contains_points contract the tracking
+    constraint leans on: interior in, exterior out, boundary (edges,
+    vertices, collinear points) controlled by the ``boundary`` flag,
+    exactly like the scalar contains_point."""
+
+    def test_vertices_are_boundary(self):
+        verts = unit_square.vertices
+        assert unit_square.contains_points(verts).all()
+        assert not unit_square.contains_points(
+            verts, boundary=False
+        ).any()
+
+    def test_edge_midpoints_are_boundary(self):
+        mids = np.array(
+            [(0.5, 0.0), (1.0, 0.5), (0.5, 1.0), (0.0, 0.5)]
+        )
+        assert unit_square.contains_points(mids).all()
+        assert not unit_square.contains_points(
+            mids, boundary=False
+        ).any()
+
+    def test_collinear_boundary_points(self):
+        """Points on an edge's carrier line: on the segment they are
+        boundary; beyond its endpoints they are plain exterior."""
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        on_segment = np.array([(1.0, 0.0), (3.0, 0.0), (4.0, 2.0)])
+        beyond = np.array([(5.0, 0.0), (-1.0, 0.0), (4.0, 5.0)])
+        assert poly.contains_points(on_segment).all()
+        assert not poly.contains_points(
+            on_segment, boundary=False
+        ).any()
+        assert not poly.contains_points(beyond).any()
+        assert not poly.contains_points(beyond, boundary=False).any()
+
+    def test_degenerate_zero_area_polygon(self):
+        """A collinear 'polygon' is all boundary: only points on the
+        segment are ever contained, and only with boundary=True."""
+        sliver = Polygon([(0, 0), (2, 0), (4, 0)])
+        assert sliver.area == 0.0
+        pts = np.array(
+            [(1.0, 0.0), (4.0, 0.0), (5.0, 0.0), (1.0, 0.5)]
+        )
+        np.testing.assert_array_equal(
+            sliver.contains_points(pts),
+            [True, True, False, False],
+        )
+        assert not sliver.contains_points(pts, boundary=False).any()
+
+    def test_matches_scalar_on_boundary_cases(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 2), (2, 4), (0, 2)])
+        cases = np.array(
+            [
+                (0.0, 0.0),   # vertex
+                (2.0, 4.0),   # apex vertex
+                (2.0, 0.0),   # edge midpoint
+                (3.0, 3.0),   # diagonal edge point
+                (1.0, 1.0),   # interior
+                (5.0, 5.0),   # exterior
+                (2.0, -0.1),  # just outside an edge
+            ]
+        )
+        for boundary in (True, False):
+            vec = poly.contains_points(cases, boundary=boundary)
+            for i, p in enumerate(cases):
+                assert vec[i] == poly.contains_point(
+                    tuple(p), boundary=boundary
+                ), (p, boundary)
+
+    def test_single_point_shape(self):
+        assert unit_square.contains_points(
+            np.array([0.5, 0.5])
+        ).tolist() == [True]

@@ -423,6 +423,84 @@ class TestStats:
         svc.reset_stats()
         assert svc.stats.queries == 0
 
+    def test_stats_is_a_detached_snapshot(self, kaide_smoke):
+        svc = PositioningService()
+        svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        batch = scans(kaide_smoke, 3, 28)
+        before = svc.stats
+        svc.query_batch(["kaide"] * 3, batch)
+        after = svc.stats
+        # Old snapshots never move, and mutating a snapshot (incl.
+        # its per_venue dict) cannot corrupt the live counters.
+        assert before.queries == 0
+        after.queries = 999
+        after.per_venue["kaide"] = 999
+        assert svc.stats.queries == 3
+        assert svc.stats.per_venue == {"kaide": 3}
+
+    def test_stats_snapshot_atomic_under_concurrent_traffic(
+        self, kaide_smoke
+    ):
+        """A reader hammering ``stats`` during multi-threaded traffic
+        must only ever see consistent snapshots — with caching on,
+        ``queries == cache_hits + cache_misses`` and the per-venue
+        counts summing to ``queries`` — never a torn mix of a batch's
+        hits without its queries."""
+        svc = PositioningService(cache_size=256)
+        svc.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            MAROnlyDifferentiator(),
+            estimator=KNNEstimator(),
+        )
+        pool = np.round(scans(kaide_smoke, 16, 29))
+        stop = threading.Event()
+        torn: list = []
+
+        def reader():
+            while not stop.is_set():
+                snap = svc.stats
+                if snap.queries != snap.cache_hits + snap.cache_misses:
+                    torn.append(
+                        (
+                            snap.queries,
+                            snap.cache_hits,
+                            snap.cache_misses,
+                        )
+                    )
+                if sum(snap.per_venue.values()) != snap.queries:
+                    torn.append(("per_venue", dict(snap.per_venue)))
+
+        def writer(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(40):
+                picks = rng.integers(0, len(pool), size=8)
+                svc.query_batch(["kaide"] * 8, pool[picks])
+
+        readers = [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        writers = [
+            threading.Thread(target=writer, args=(s,))
+            for s in range(4)
+        ]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not torn, torn[:5]
+        final = svc.stats
+        assert final.queries == 4 * 40 * 8
+        assert final.queries == final.cache_hits + final.cache_misses
+
 
 @pytest.mark.slow
 class TestBiSIMServing:

@@ -1,0 +1,305 @@
+"""Tracker math: CV-Kalman kernels, the bank, and the geometry
+constraint — including the step/step_batch bit-parity contract."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrackingError
+from repro.geometry import MultiPolygon, Polygon
+from repro.tracking import (
+    MotionConfig,
+    Tracker,
+    TrackerBank,
+    WalkableConstraint,
+    kalman_predict,
+    kalman_update,
+)
+
+
+def make_states(n, rng):
+    x = rng.normal(0, 5, (n, 4))
+    a = rng.normal(0, 1, (n, 4, 4))
+    P = a @ a.transpose(0, 2, 1) + 0.5 * np.eye(4)
+    return x, P
+
+
+class TestKernels:
+    def test_predict_moves_position_by_velocity(self):
+        x = np.array([[1.0, 2.0, 0.5, -1.0]])
+        P = np.eye(4)[None]
+        x2, P2 = kalman_predict(x, P, np.array([2.0]), q=0.1)
+        np.testing.assert_allclose(x2[0], [2.0, 0.0, 0.5, -1.0])
+
+    def test_predict_inflates_covariance(self, rng):
+        # Velocity variance always grows by q*dt; with no
+        # position-velocity coupling the position variance grows too.
+        x = rng.normal(0, 5, (5, 4))
+        P = np.broadcast_to(np.diag([4.0, 4.0, 1.0, 1.0]), (5, 4, 4)).copy()
+        _, P2 = kalman_predict(x, P, np.full(5, 1.0), q=0.3)
+        assert (P2[:, 2, 2] > P[:, 2, 2]).all()
+        assert (P2[:, 3, 3] > P[:, 3, 3]).all()
+        assert (P2[:, 0, 0] > P[:, 0, 0]).all()
+        assert (P2[:, 1, 1] > P[:, 1, 1]).all()
+
+    def test_zero_dt_is_identity_prediction(self, rng):
+        x, P = make_states(3, rng)
+        x2, P2 = kalman_predict(x, P, np.zeros(3), q=0.3)
+        np.testing.assert_array_equal(x2, x)
+        np.testing.assert_allclose(P2, P)
+
+    def test_update_pulls_towards_measurement(self):
+        x = np.array([[0.0, 0.0, 0.0, 0.0]])
+        P = (4.0 * np.eye(4))[None]
+        z = np.array([[2.0, -2.0]])
+        x2, P2, accepted = kalman_update(x, P, z, r=1.0)
+        assert accepted.all()
+        assert 0 < x2[0, 0] < 2.0 and -2.0 < x2[0, 1] < 0
+        # Fusing a measurement reduces position uncertainty.
+        assert P2[0, 0, 0] < P[0, 0, 0]
+        assert P2[0, 1, 1] < P[0, 1, 1]
+
+    def test_update_matches_generic_linalg(self, rng):
+        """The closed-form 2x2 path equals the textbook matrix form."""
+        x, P = make_states(4, rng)
+        z = rng.normal(0, 5, (4, 2))
+        r = 1.7
+        x2, P2, _ = kalman_update(x, P, z, r=r)
+        H = np.zeros((2, 4))
+        H[0, 0] = H[1, 1] = 1.0
+        for i in range(4):
+            S = H @ P[i] @ H.T + r * r * np.eye(2)
+            K = P[i] @ H.T @ np.linalg.inv(S)
+            xe = x[i] + K @ (z[i] - H @ x[i])
+            Pe = P[i] - K @ H @ P[i]
+            np.testing.assert_allclose(x2[i], xe, atol=1e-9)
+            np.testing.assert_allclose(P2[i], Pe, atol=1e-9)
+
+    def test_gate_rejects_outlier_keeps_inliers(self):
+        x = np.zeros((2, 4))
+        P = np.broadcast_to(np.eye(4), (2, 4, 4)).copy()
+        z = np.array([[0.5, 0.5], [50.0, 50.0]])
+        x2, P2, accepted = kalman_update(x, P, z, r=1.0, gate_sigma=3.0)
+        assert accepted.tolist() == [True, False]
+        # The gated row coasts: state and covariance unchanged.
+        np.testing.assert_array_equal(x2[1], x[1])
+        np.testing.assert_array_equal(P2[1], P[1])
+        assert not np.array_equal(x2[0], x[0])
+
+
+class TestMotionConfig:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"process_noise": 0.0},
+            {"measurement_sigma": -1.0},
+            {"init_position_sigma": 0.0},
+            {"init_velocity_sigma": 0.0},
+            {"gate_sigma": -0.1},
+            {"max_dt": 0.0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(TrackingError):
+            MotionConfig(**bad)
+
+
+class TestBitParity:
+    """step (batch of one) vs step_batch (fleet) are bit-identical —
+    the contract that lets single-session and batched serving share
+    one set of kernels."""
+
+    def test_step_equals_step_batch_bitwise(self, rng):
+        cfg = MotionConfig(gate_sigma=3.0)
+        walkable = WalkableConstraint(
+            Polygon.rectangle(0.0, 0.0, 40.0, 40.0)
+        )
+        solo = TrackerBank(cfg, walkable, capacity=1)
+        fleet = TrackerBank(cfg, walkable, capacity=128)
+        starts = rng.uniform(5, 35, (64, 2))
+        solo_slots = [solo.start(p, 0.0) for p in starts]
+        fleet_slots = [fleet.start(p, 0.0) for p in starts]
+        for k in range(1, 6):
+            fixes = rng.uniform(-5, 45, (64, 2))  # some out of area
+            times = np.full(64, float(k)) + rng.uniform(0, 0.3, 64)
+            solo_out = [
+                solo.step(solo_slots[i], fixes[i], times[i])
+                for i in range(64)
+            ]
+            fleet_out = fleet.step_batch(fleet_slots, fixes, times)
+            for i in range(64):
+                assert np.array_equal(
+                    solo_out[i].positions[0], fleet_out.positions[i]
+                )
+                assert np.array_equal(
+                    solo_out[i].velocities[0], fleet_out.velocities[i]
+                )
+                assert solo_out[i].accepted[0] == fleet_out.accepted[i]
+                assert solo_out[i].clamped[0] == fleet_out.clamped[i]
+        for a, b in zip(solo_slots, fleet_slots):
+            assert np.array_equal(solo._x[a], fleet._x[b])
+            assert np.array_equal(solo._P[a], fleet._P[b])
+
+    def test_kernels_batch_of_one_vs_many(self, rng):
+        x, P = make_states(16, rng)
+        dt = rng.uniform(0, 3, 16)
+        z = rng.normal(0, 5, (16, 2))
+        xb, Pb = kalman_predict(x, P, dt, q=0.2)
+        xb2, Pb2, accb = kalman_update(xb, Pb, z, r=2.0, gate_sigma=3.0)
+        for i in range(16):
+            x1, P1 = kalman_predict(
+                x[i : i + 1], P[i : i + 1], dt[i : i + 1], q=0.2
+            )
+            x12, P12, acc1 = kalman_update(
+                x1, P1, z[i : i + 1], r=2.0, gate_sigma=3.0
+            )
+            assert np.array_equal(x12[0], xb2[i])
+            assert np.array_equal(P12[0], Pb2[i])
+            assert acc1[0] == accb[i]
+
+
+class TestTrackerBank:
+    def test_tracks_a_noisy_straight_walk(self, rng):
+        truth = np.stack(
+            [np.linspace(0, 30, 60), np.zeros(60)], axis=1
+        )
+        fixes = truth + rng.normal(0, 2.0, truth.shape)
+        tracker = Tracker(fixes[0], t=0.0)
+        tracked = [fixes[0]]
+        for k in range(1, 60):
+            tracked.append(
+                tracker.step(fixes[k], float(k)).positions[0]
+            )
+        tracked = np.stack(tracked)
+        raw_rmse = np.sqrt(((fixes - truth) ** 2).sum(1).mean())
+        trk_rmse = np.sqrt(((tracked - truth) ** 2).sum(1).mean())
+        assert trk_rmse < raw_rmse
+
+    def test_velocity_estimate_converges(self):
+        tracker = Tracker(np.zeros(2), t=0.0)
+        for k in range(1, 20):
+            tracker.step(np.array([1.0 * k, 0.0]), float(k))
+        vx, vy = tracker.velocity
+        assert vx == pytest.approx(1.0, abs=0.2)
+        assert vy == pytest.approx(0.0, abs=0.2)
+
+    def test_slot_recycling_and_growth(self):
+        bank = TrackerBank(capacity=2)
+        a = bank.start(np.zeros(2), 0.0)
+        b = bank.start(np.ones(2), 0.0)
+        assert len(bank) == 2
+        bank.release(a)
+        c = bank.start(np.full(2, 3.0), 1.0)
+        assert c == a  # freed slot reused
+        d = bank.start(np.full(2, 4.0), 1.0)  # forces growth
+        assert bank.capacity > 2
+        assert len(bank) == 3
+        np.testing.assert_array_equal(bank.position(b), np.ones(2))
+        np.testing.assert_array_equal(bank.position(d), np.full(2, 4.0))
+
+    def test_dead_slot_rejected(self):
+        bank = TrackerBank(capacity=2)
+        slot = bank.start(np.zeros(2), 0.0)
+        bank.release(slot)
+        with pytest.raises(TrackingError, match="no live tracker"):
+            bank.step(slot, np.zeros(2), 1.0)
+        with pytest.raises(TrackingError, match="no live tracker"):
+            bank.position(slot)
+
+    def test_duplicate_slots_rejected(self):
+        bank = TrackerBank(capacity=4)
+        slot = bank.start(np.zeros(2), 0.0)
+        with pytest.raises(TrackingError, match="unique"):
+            bank.step_batch(
+                [slot, slot], np.zeros((2, 2)), np.ones(2)
+            )
+
+    def test_non_finite_fix_rejected(self):
+        bank = TrackerBank(capacity=1)
+        slot = bank.start(np.zeros(2), 0.0)
+        with pytest.raises(TrackingError, match="finite"):
+            bank.step(slot, np.array([np.nan, 0.0]), 1.0)
+
+    def test_max_dt_clamps_stale_gaps(self):
+        cfg = MotionConfig(max_dt=5.0, gate_sigma=0.0)
+        a = TrackerBank(cfg, capacity=1)
+        b = TrackerBank(cfg, capacity=1)
+        sa = a.start(np.zeros(2), 0.0)
+        sb = b.start(np.zeros(2), 0.0)
+        fix = np.array([3.0, 3.0])
+        ra = a.step(sa, fix, 5.0)
+        rb = b.step(sb, fix, 5000.0)  # clamps to the same 5s gap
+        np.testing.assert_array_equal(ra.positions, rb.positions)
+
+
+class TestWalkableConstraint:
+    def test_clamp_pulls_to_boundary(self):
+        constraint = WalkableConstraint(
+            Polygon.rectangle(0.0, 0.0, 10.0, 10.0), mode="clamp"
+        )
+        bank = TrackerBank(
+            MotionConfig(gate_sigma=0.0), constraint, capacity=1
+        )
+        slot = bank.start(np.array([9.0, 5.0]), 0.0)
+        result = bank.step(slot, np.array([30.0, 5.0]), 1.0)
+        assert result.clamped[0]
+        x, y = result.positions[0]
+        assert x == pytest.approx(10.0)
+        assert 0.0 <= y <= 10.0
+
+    def test_reject_reverts_to_prediction(self):
+        constraint = WalkableConstraint(
+            Polygon.rectangle(0.0, 0.0, 10.0, 10.0), mode="reject"
+        )
+        bank = TrackerBank(
+            MotionConfig(gate_sigma=0.0), constraint, capacity=1
+        )
+        slot = bank.start(np.array([5.0, 5.0]), 0.0)
+        result = bank.step(slot, np.array([30.0, 5.0]), 1.0)
+        assert not result.accepted[0]
+        # Prediction from an at-rest start stays at the start.
+        np.testing.assert_allclose(
+            result.positions[0], [5.0, 5.0], atol=1e-9
+        )
+
+    def test_inside_positions_untouched(self):
+        constraint = WalkableConstraint(
+            MultiPolygon(
+                [
+                    Polygon.rectangle(0.0, 0.0, 10.0, 10.0),
+                    Polygon.rectangle(20.0, 0.0, 30.0, 10.0),
+                ]
+            )
+        )
+        bank = TrackerBank(
+            MotionConfig(gate_sigma=0.0), constraint, capacity=2
+        )
+        s1 = bank.start(np.array([5.0, 5.0]), 0.0)
+        s2 = bank.start(np.array([25.0, 5.0]), 0.0)
+        result = bank.step_batch(
+            [s1, s2],
+            np.array([[6.0, 5.0], [26.0, 5.0]]),
+            np.ones(2),
+        )
+        assert not result.clamped.any()
+        assert result.accepted.all()
+
+    def test_nearest_projects_onto_edges(self):
+        constraint = WalkableConstraint(
+            Polygon.rectangle(0.0, 0.0, 10.0, 10.0)
+        )
+        near = constraint.nearest(
+            np.array([[5.0, -3.0], [12.0, 12.0], [-1.0, 5.0]])
+        )
+        np.testing.assert_allclose(
+            near, [[5.0, 0.0], [10.0, 10.0], [0.0, 5.0]]
+        )
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(TrackingError, match="mode"):
+            WalkableConstraint(
+                Polygon.rectangle(0, 0, 1, 1), mode="teleport"
+            )
+
+    def test_empty_multipolygon_rejected(self):
+        with pytest.raises(TrackingError, match="non-empty"):
+            WalkableConstraint(MultiPolygon([]))

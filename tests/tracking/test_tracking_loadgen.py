@@ -1,0 +1,212 @@
+"""Tracking workload generator: correlated walks, fleet replay, the
+``track`` CLI stage, and the slow CI smoke."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.exceptions import TrackingError
+from repro.experiments import PRESETS
+from repro.tracking import (
+    TrackingScenario,
+    Walk,
+    replay_walks,
+    simulate_walks,
+)
+from repro.tracking import loadgen as tracking_loadgen
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return TrackingScenario(
+        devices=4, scan_interval=1.0, duration=10.0
+    )
+
+
+class TestScenario:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"devices": 0},
+            {"scan_interval": 0.0},
+            {"duration": 0.5, "scan_interval": 1.0},
+            {"base_speed": -1.0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(TrackingError):
+            TrackingScenario(**bad)
+
+
+class TestSimulateWalks:
+    def test_walk_shapes_and_lockstep_clock(
+        self, kaide_smoke, small_scenario
+    ):
+        walks = simulate_walks(kaide_smoke, small_scenario, seed=3)
+        assert len(walks) == 4
+        n_aps = kaide_smoke.radio_map.n_aps
+        for walk in walks:
+            k = len(walk)
+            assert walk.times.shape == (k,)
+            assert walk.positions.shape == (k, 2)
+            assert walk.scans.shape == (k, n_aps)
+            np.testing.assert_array_equal(
+                walk.times, walks[0].times
+            )  # lockstep
+            assert (np.diff(walk.times) > 0).all()
+
+    def test_trajectories_are_correlated(
+        self, kaide_smoke, small_scenario
+    ):
+        """Consecutive truth positions sit within walking distance —
+        these are trajectories, not independent samples."""
+        walks = simulate_walks(kaide_smoke, small_scenario, seed=4)
+        for walk in walks:
+            step_lengths = np.linalg.norm(
+                np.diff(walk.positions, axis=0), axis=1
+            )
+            # PathKinematics clamps segment speeds at 3 m/s.
+            assert (
+                step_lengths
+                <= 3.0 * small_scenario.scan_interval + 1e-9
+            ).all()
+
+    def test_truth_stays_in_hallways(
+        self, kaide_smoke, small_scenario
+    ):
+        walks = simulate_walks(kaide_smoke, small_scenario, seed=5)
+        hallways = kaide_smoke.venue.plan.hallways
+        for walk in walks:
+            for p in walk.positions:
+                assert any(
+                    h.contains_point(tuple(p)) for h in hallways
+                )
+
+    def test_same_seed_same_fleet(self, kaide_smoke, small_scenario):
+        a = simulate_walks(kaide_smoke, small_scenario, seed=6)
+        b = simulate_walks(kaide_smoke, small_scenario, seed=6)
+        for wa, wb in zip(a, b):
+            np.testing.assert_array_equal(wa.positions, wb.positions)
+            np.testing.assert_array_equal(wa.scans, wb.scans)
+
+
+class TestReplay:
+    def test_replay_scores_and_closes_sessions(
+        self, kaide_smoke, small_scenario
+    ):
+        from repro.core import TopoACDifferentiator
+        from repro.positioning import WKNNEstimator
+        from repro.serving import PositioningService
+        from repro.tracking import TrackingService
+
+        positioning = PositioningService(cache_size=0)
+        positioning.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            TopoACDifferentiator(
+                entities=kaide_smoke.venue.plan.entities
+            ),
+            estimator=WKNNEstimator(),
+        )
+        tracking = TrackingService(positioning)
+        walks = simulate_walks(kaide_smoke, small_scenario, seed=7)
+        report = replay_walks(tracking, walks, small_scenario)
+        assert report.devices == 4
+        assert report.steps == 4 * (len(walks[0]) - 1)
+        assert report.raw_rmse > 0
+        assert report.tracked_rmse > 0
+        assert np.isfinite(report.improvement)
+        assert tracking.session_count == 0  # all ended
+        assert "RMSE" in report.render()
+
+    def test_replay_rejects_empty_and_short(self, kaide_smoke):
+        from repro.serving import PositioningService
+        from repro.tracking import TrackingService
+
+        tracking = TrackingService(PositioningService())
+        scenario = TrackingScenario(devices=1, duration=10.0)
+        with pytest.raises(TrackingError, match="no walks"):
+            replay_walks(tracking, [], scenario)
+        stub = Walk(
+            venue="kaide",
+            times=np.zeros(1),
+            positions=np.zeros((1, 2)),
+            scans=np.zeros((1, 3)),
+        )
+        with pytest.raises(TrackingError, match="two scans"):
+            replay_walks(tracking, [stub], scenario)
+
+
+class TestCLI:
+    def test_track_registered_with_defaults(self):
+        args = build_parser().parse_args(["track"])
+        assert args.experiment == "track"
+        assert args.devices == 32
+        assert args.scan_interval == 1.0
+        assert args.duration == 45.0
+
+    def test_track_flags(self):
+        args = build_parser().parse_args(
+            [
+                "track",
+                "--devices",
+                "8",
+                "--scan-interval",
+                "0.5",
+                "--duration",
+                "20",
+                "--venue",
+                "longhu",
+                "--seed",
+                "9",
+            ]
+        )
+        assert args.devices == 8
+        assert args.scan_interval == 0.5
+        assert args.duration == 20.0
+        assert args.venue == "longhu"
+        assert args.seed == 9
+
+    def test_track_validates_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["track", "--devices", "0"])
+        with pytest.raises(SystemExit):
+            main(["track", "--duration", "0.5"])
+
+    def test_track_runs_end_to_end(self, capsys):
+        rc = main(
+            [
+                "track",
+                "--preset",
+                "smoke",
+                "--devices",
+                "3",
+                "--duration",
+                "8",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Trajectory tracking" in out
+        assert "tracked" in out
+
+
+@pytest.mark.slow
+class TestTrackingSmoke:
+    """CI smoke: a short correlated-scan load through a live
+    TrackingService must not position worse than answering every
+    scan independently."""
+
+    def test_tracked_rmse_beats_per_scan(self):
+        config = PRESETS["smoke"]
+        scenario = TrackingScenario(
+            devices=12, scan_interval=1.0, duration=30.0
+        )
+        result = tracking_loadgen.run(
+            config, scenario=scenario, seed=5
+        )
+        data = result.data
+        assert data["steps"] == 12 * 29
+        # Fusing the motion model must help, not hurt.
+        assert data["tracked_rmse"] <= data["raw_rmse"]
+        assert data["improvement"] > 0.0

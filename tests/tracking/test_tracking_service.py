@@ -1,0 +1,399 @@
+"""TrackingService: session lifecycle, TTL/capacity eviction,
+thread safety, and survival across serving hot swaps."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import TopoACDifferentiator
+from repro.exceptions import TrackingError
+from repro.geometry import Polygon
+from repro.positioning import WKNNEstimator
+from repro.serving import PositioningService
+from repro.tracking import MotionConfig, TrackingService
+
+
+@pytest.fixture(scope="module")
+def positioning(kaide_smoke, longhu_smoke):
+    svc = PositioningService(cache_size=64)
+    for name, ds in (("kaide", kaide_smoke), ("longhu", longhu_smoke)):
+        svc.deploy(
+            name,
+            ds.radio_map,
+            TopoACDifferentiator(entities=ds.venue.plan.entities),
+            estimator=WKNNEstimator(),
+        )
+    return svc
+
+
+@pytest.fixture
+def tracking(positioning):
+    return TrackingService(positioning)
+
+
+def scans(dataset, n, seed):
+    rng = np.random.default_rng(seed)
+    rps = dataset.venue.reference_points
+    return np.stack(
+        [
+            dataset.channel.measure(rps[i % len(rps)], rng).rssi
+            for i in range(n)
+        ]
+    )
+
+
+class TestLifecycle:
+    def test_start_step_end(self, tracking, kaide_smoke):
+        fps = scans(kaide_smoke, 3, 0)
+        sid = tracking.start("kaide", fps[0], t=0.0)
+        assert tracking.session_count == 1
+        fix = tracking.step(sid, fps[1], t=1.0)
+        assert fix.session_id == sid
+        assert fix.venue == "kaide"
+        assert fix.position.shape == (2,)
+        assert fix.raw.shape == (2,)
+        assert np.isfinite(fix.position).all()
+        summary = tracking.end(sid)
+        assert summary.steps == 1
+        assert summary.duration == pytest.approx(1.0)
+        assert tracking.session_count == 0
+
+    def test_first_fix_is_raw_fix(self, tracking, kaide_smoke):
+        fp = scans(kaide_smoke, 1, 1)[0]
+        raw = tracking.positioning.query("kaide", fp)
+        sid = tracking.start("kaide", fp, t=0.0)
+        np.testing.assert_allclose(tracking.position(sid), raw)
+
+    def test_custom_session_id(self, tracking, kaide_smoke):
+        fp = scans(kaide_smoke, 1, 2)[0]
+        sid = tracking.start(
+            "kaide", fp, t=0.0, session_id="device-42"
+        )
+        assert sid == "device-42"
+        with pytest.raises(TrackingError, match="already exists"):
+            tracking.start("kaide", fp, t=1.0, session_id="device-42")
+
+    def test_unknown_session_rejected(self, tracking, kaide_smoke):
+        fp = scans(kaide_smoke, 1, 3)[0]
+        with pytest.raises(TrackingError, match="unknown or expired"):
+            tracking.step("ghost", fp, t=0.0)
+        with pytest.raises(TrackingError, match="unknown or expired"):
+            tracking.end("ghost")
+
+    def test_step_after_end_rejected(self, tracking, kaide_smoke):
+        fps = scans(kaide_smoke, 2, 4)
+        sid = tracking.start("kaide", fps[0], t=0.0)
+        tracking.end(sid)
+        with pytest.raises(TrackingError, match="unknown or expired"):
+            tracking.step(sid, fps[1], t=1.0)
+
+    def test_mixed_venue_step_batch(
+        self, tracking, kaide_smoke, longhu_smoke
+    ):
+        ka = scans(kaide_smoke, 2, 5)
+        lo = scans(longhu_smoke, 2, 6)
+        sids = tracking.start_batch(
+            ["kaide", "longhu"], [ka[0], lo[0]], times=[0.0, 0.0]
+        )
+        batch = tracking.step_batch(
+            sids, [ka[1], lo[1]], times=[1.0, 1.0]
+        )
+        assert batch.venues == ("kaide", "longhu")
+        assert batch.positions.shape == (2, 2)
+        assert np.isfinite(batch.positions).all()
+        fix = batch.fix(1)
+        assert fix.venue == "longhu"
+
+    def test_duplicate_sid_in_batch_rejected(
+        self, tracking, kaide_smoke
+    ):
+        fps = scans(kaide_smoke, 2, 7)
+        sid = tracking.start("kaide", fps[0], t=0.0)
+        with pytest.raises(TrackingError, match="once per batch"):
+            tracking.step_batch(
+                [sid, sid], [fps[1], fps[1]], times=[1.0, 1.0]
+            )
+
+    def test_empty_batch_rejected(self, tracking):
+        with pytest.raises(TrackingError, match="empty"):
+            tracking.step_batch([], [], times=[])
+
+    def test_tracked_differs_from_raw_after_steps(
+        self, tracking, kaide_smoke
+    ):
+        """After fusing history, the track is no longer the raw fix."""
+        fps = scans(kaide_smoke, 4, 8)
+        sid = tracking.start("kaide", fps[0], t=0.0)
+        last = None
+        for k in range(1, 4):
+            last = tracking.step(sid, fps[k], t=float(k))
+        assert not np.allclose(last.position, last.raw)
+
+
+class TestEviction:
+    def test_ttl_evicts_idle_sessions(self, positioning, kaide_smoke):
+        tracking = TrackingService(positioning, ttl_seconds=100.0)
+        fps = scans(kaide_smoke, 3, 10)
+        stale = tracking.start("kaide", fps[0], t=0.0)
+        fresh = tracking.start("kaide", fps[1], t=90.0)
+        # Clock advances past stale's TTL but not fresh's.
+        tracking.step(fresh, fps[2], t=150.0)
+        assert tracking.session_count == 1
+        assert tracking.stats.evicted_ttl == 1
+        with pytest.raises(TrackingError, match="unknown or expired"):
+            tracking.step(stale, fps[2], t=151.0)
+
+    def test_capacity_evicts_least_recently_active(
+        self, positioning, kaide_smoke
+    ):
+        tracking = TrackingService(positioning, max_sessions=3)
+        fps = scans(kaide_smoke, 5, 11)
+        a = tracking.start("kaide", fps[0], t=0.0)
+        b = tracking.start("kaide", fps[1], t=1.0)
+        c = tracking.start("kaide", fps[2], t=2.0)
+        # Touch a, so b is now the least recently active.
+        tracking.step(a, fps[3], t=3.0)
+        d = tracking.start("kaide", fps[4], t=4.0)
+        assert tracking.session_count == 3
+        assert tracking.stats.evicted_capacity == 1
+        assert set(tracking.session_ids) == {a, c, d}
+        with pytest.raises(TrackingError, match="unknown or expired"):
+            tracking.step(b, fps[0], t=5.0)
+
+    def test_ttl_prunes_before_capacity(
+        self, positioning, kaide_smoke
+    ):
+        """An expired session is a TTL eviction, not a capacity one —
+        and its slot frees room so live sessions survive the cap."""
+        tracking = TrackingService(
+            positioning, ttl_seconds=10.0, max_sessions=2
+        )
+        fps = scans(kaide_smoke, 4, 12)
+        expired = tracking.start("kaide", fps[0], t=0.0)
+        live = tracking.start("kaide", fps[1], t=95.0)
+        tracking.start("kaide", fps[2], t=100.0)
+        stats = tracking.stats
+        assert stats.evicted_ttl == 1
+        assert stats.evicted_capacity == 0
+        assert expired not in tracking.session_ids
+        assert live in tracking.session_ids
+
+    def test_eviction_ordering_under_combined_pressure(
+        self, positioning, kaide_smoke
+    ):
+        """TTL prunes expired sessions first; capacity then drops
+        survivors strictly least-recently-active first — and room
+        freed by TTL spares sessions capacity would otherwise take."""
+        tracking = TrackingService(
+            positioning, ttl_seconds=50.0, max_sessions=2
+        )
+        fps = scans(kaide_smoke, 4, 13)
+        a = tracking.start("kaide", fps[0], t=0.0)
+        b = tracking.start("kaide", fps[1], t=30.0)
+        # Nothing expired at t=40 -> capacity evicts a (the LRU).
+        c = tracking.start("kaide", fps[2], t=40.0)
+        assert set(tracking.session_ids) == {b, c}
+        assert tracking.stats.evicted_capacity == 1
+        # At t=85, b (idle since 30) is past TTL; the freed room
+        # admits d without capacity-evicting the still-live c.
+        d = tracking.start("kaide", fps[3], t=85.0)
+        assert set(tracking.session_ids) == {c, d}
+        stats = tracking.stats
+        assert stats.evicted_ttl == 1
+        assert stats.evicted_capacity == 1
+
+    def test_stale_timestamp_does_not_rewind_session(
+        self, positioning, kaide_smoke
+    ):
+        """One out-of-order device timestamp must not pull a live
+        session back into its own TTL window."""
+        tracking = TrackingService(positioning, ttl_seconds=100.0)
+        fps = scans(kaide_smoke, 4, 14)
+        sid = tracking.start("kaide", fps[0], t=1000.0)
+        tracking.step(sid, fps[1], t=1001.0)
+        tracking.step(sid, fps[2], t=5.0)  # stale, clamped gap
+        fix = tracking.step(sid, fps[3], t=1002.0)  # still alive
+        assert np.isfinite(fix.position).all()
+        assert tracking.stats.evicted_ttl == 0
+
+    def test_expired_session_id_can_restart(
+        self, positioning, kaide_smoke
+    ):
+        tracking = TrackingService(positioning, ttl_seconds=10.0)
+        fps = scans(kaide_smoke, 2, 15)
+        tracking.start(
+            "kaide", fps[0], t=0.0, session_id="device-7"
+        )
+        # Long silence; the same device reconnects under its id.
+        sid = tracking.start(
+            "kaide", fps[1], t=100.0, session_id="device-7"
+        )
+        assert sid == "device-7"
+        assert tracking.session_count == 1
+        assert tracking.stats.evicted_ttl == 1
+
+    def test_oversized_start_batch_rejected(
+        self, positioning, kaide_smoke
+    ):
+        tracking = TrackingService(positioning, max_sessions=2)
+        fps = scans(kaide_smoke, 3, 16)
+        with pytest.raises(TrackingError, match="max_sessions"):
+            tracking.start_batch(
+                ["kaide"] * 3, list(fps), times=[0.0, 0.0, 0.0]
+            )
+        assert tracking.session_count == 0
+
+    def test_mixed_time_domains_rejected(
+        self, positioning, kaide_smoke
+    ):
+        fps = scans(kaide_smoke, 2, 17)
+        logical = TrackingService(positioning)
+        sid = logical.start("kaide", fps[0], t=0.0)
+        with pytest.raises(TrackingError, match="wall-clock"):
+            logical.step(sid, fps[1])  # t omitted on a logical fleet
+        wall = TrackingService(positioning)
+        sid = wall.start("kaide", fps[0])  # wall-clock fleet
+        with pytest.raises(TrackingError, match="wall-clock"):
+            wall.step(sid, fps[1], t=1.0)
+        wall.step(sid, fps[1])  # staying in-domain still works
+
+    def test_bad_config_rejected(self, positioning):
+        with pytest.raises(TrackingError, match="ttl_seconds"):
+            TrackingService(positioning, ttl_seconds=0.0)
+        with pytest.raises(TrackingError, match="max_sessions"):
+            TrackingService(positioning, max_sessions=0)
+        with pytest.raises(TrackingError, match="constraint_mode"):
+            TrackingService(positioning, constraint_mode="wander")
+
+
+class TestStats:
+    def test_counters_accumulate(self, tracking, kaide_smoke):
+        fps = scans(kaide_smoke, 3, 20)
+        sid = tracking.start("kaide", fps[0], t=0.0)
+        tracking.step(sid, fps[1], t=1.0)
+        tracking.step_batch([sid], [fps[2]], times=[2.0])
+        tracking.end(sid)
+        stats = tracking.stats
+        assert stats.sessions_started == 1
+        assert stats.sessions_ended == 1
+        assert stats.steps == 2
+        assert stats.batches == 2
+        assert stats.active_hint == 0
+        assert stats.seconds > 0
+        assert "steps=2" in stats.render()
+
+    def test_stats_is_a_snapshot(self, tracking, kaide_smoke):
+        fps = scans(kaide_smoke, 2, 21)
+        sid = tracking.start("kaide", fps[0], t=0.0)
+        before = tracking.stats
+        tracking.step(sid, fps[1], t=1.0)
+        assert before.steps == 0  # old snapshot unaffected
+        tracking.reset_stats()
+        assert tracking.stats.steps == 0
+
+    def test_constraint_counters_via_far_walkable(
+        self, positioning, kaide_smoke
+    ):
+        """A walkable area far from the venue forces every fused
+        position to clamp — proving the geometry is wired through
+        the service layer."""
+        tracking = TrackingService(positioning)
+        tracking.register_walkable(
+            "kaide", Polygon.rectangle(-1000.0, -1000.0, -990.0, -990.0)
+        )
+        fps = scans(kaide_smoke, 3, 22)
+        sid = tracking.start("kaide", fps[0], t=0.0)
+        for k in (1, 2):
+            fix = tracking.step(sid, fps[k], t=float(k))
+            assert fix.clamped
+            assert -1000.0 <= fix.position[0] <= -990.0
+        assert tracking.stats.clamped_fixes == 2
+
+
+class TestHotSwaps:
+    def test_sessions_survive_reload(
+        self, positioning, kaide_smoke, tmp_path
+    ):
+        tracking = TrackingService(positioning)
+        fps = scans(kaide_smoke, 3, 30)
+        sid = tracking.start("kaide", fps[0], t=0.0)
+        tracking.step(sid, fps[1], t=1.0)
+        artifact = tmp_path / "kaide.npz"
+        positioning.shard("kaide").save(artifact)
+        positioning.reload("kaide", artifact)
+        fix = tracking.step(sid, fps[2], t=2.0)
+        assert np.isfinite(fix.position).all()
+        assert tracking.end(sid).steps == 2
+
+    def test_sessions_survive_apply_delta(self, kaide_smoke):
+        from repro.ingest import StreamIngestor, simulate_new_survey
+
+        # Own deployment: the module-scoped service may have been
+        # warm-reloaded (which drops the delta source) by other tests.
+        positioning = PositioningService(cache_size=16)
+        positioning.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            TopoACDifferentiator(
+                entities=kaide_smoke.venue.plan.entities
+            ),
+            estimator=WKNNEstimator(),
+        )
+        tracking = TrackingService(positioning)
+        fps = scans(kaide_smoke, 3, 31)
+        sid = tracking.start("kaide", fps[0], t=0.0)
+        tracking.step(sid, fps[1], t=1.0)
+        shard = positioning.shard("kaide")
+        base_map = shard.radio_map
+        tables = simulate_new_survey(
+            kaide_smoke, n_passes=1, seed=77
+        )
+        table = tables[0]
+        table.path_id = int(base_map.path_ids.max()) + 1
+        ingestor = StreamIngestor(base_map.n_aps)
+        ingestor.ingest_table(table)
+        positioning.apply_delta("kaide", ingestor.drain())
+        fix = tracking.step(sid, fps[2], t=2.0)
+        assert np.isfinite(fix.position).all()
+        assert tracking.end(sid).steps == 2
+
+
+class TestThreadSafety:
+    def test_concurrent_sessions_step_cleanly(
+        self, positioning, kaide_smoke
+    ):
+        tracking = TrackingService(positioning)
+        n_workers, n_steps = 6, 10
+        pools = [
+            scans(kaide_smoke, n_steps + 1, 40 + w)
+            for w in range(n_workers)
+        ]
+        sids = tracking.start_batch(
+            ["kaide"] * n_workers,
+            [pool[0] for pool in pools],
+            times=[0.0] * n_workers,
+        )
+        errors = []
+
+        def worker(w):
+            try:
+                for k in range(1, n_steps + 1):
+                    tracking.step(
+                        sids[w], pools[w][k], t=float(k)
+                    )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,))
+            for w in range(n_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = tracking.stats
+        assert stats.steps == n_workers * n_steps
+        assert tracking.session_count == n_workers
