@@ -28,3 +28,13 @@ def test_serving_throughput(benchmark, bench_config, results_dir):
         < result.data["cold_start_seconds"]
     )
     assert result.data["warm_start_parity"] <= 1e-8
+    # The spatial index must beat the brute-force scan at fleet scale
+    # while answering within float noise of it (the index's own
+    # neighbour selection is exact; the residual is the brute path's
+    # matmul-expansion rounding).
+    assert result.data["fleet_speedup"] >= 1.5
+    assert result.data["fleet_parity"] <= 1e-8
+    # Build-time imputation precompute: serving a BiSIM venue no
+    # longer runs the encoder per batch (acceptance: >= 4x the PR-5
+    # serve path).
+    assert result.data["precompute_speedup"] >= 4.0

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -97,8 +98,18 @@ def _validate_arrays(arrays: Dict[str, np.ndarray]) -> None:
             )
 
 
-def save_artifact(artifact: Artifact, path: PathLike) -> Path:
-    """Write an artifact to ``path`` (.npz); returns the path."""
+def save_artifact(
+    artifact: Artifact, path: PathLike, *, compress: bool = True
+) -> Path:
+    """Write an artifact to ``path`` (.npz); returns the path.
+
+    ``compress=False`` stores the arrays raw (``ZIP_STORED``), which
+    lets :func:`load_artifact` hand big tensors back as read-only
+    memory maps (``mmap_arrays``) instead of resident copies — the
+    right trade for serving shards, whose precomputed radio-map tensor
+    is large, incompressible noise-like data read straight from the
+    page cache.
+    """
     path = Path(path)
     if not artifact.kind:
         raise ArtifactError("artifact kind must be non-empty")
@@ -127,8 +138,9 @@ def save_artifact(artifact: Artifact, path: PathLike) -> Path:
     # The temp name ends in .npz so np.savez cannot append its own
     # extension; the rename then lands on exactly the requested path.
     tmp = path.with_name(path.name + ".tmp.npz")
+    writer = np.savez_compressed if compress else np.savez
     try:
-        np.savez_compressed(
+        writer(
             tmp,
             **{_MANIFEST_KEY: np.array([payload])},
             **arrays,
@@ -137,6 +149,48 @@ def save_artifact(artifact: Artifact, path: PathLike) -> Path:
     finally:
         tmp.unlink(missing_ok=True)
     return path
+
+
+def _memmap_member(path: Path, name: str) -> Optional[np.ndarray]:
+    """Read-only memory map of one uncompressed npz member, or None.
+
+    Only ``ZIP_STORED`` members in C order qualify — the npy payload
+    then sits contiguously in the file, so the array data can be
+    mapped at ``local header + npy header`` without touching the rest
+    of the archive.
+    """
+    try:
+        with zipfile.ZipFile(path) as zf:
+            info = zf.getinfo(name + ".npy")
+        if info.compress_type != zipfile.ZIP_STORED:
+            return None
+        with open(path, "rb") as f:
+            f.seek(info.header_offset)
+            local = f.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                return None
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            f.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(f)
+            if version == (1, 0):
+                header = np.lib.format.read_array_header_1_0(f)
+            elif version == (2, 0):
+                header = np.lib.format.read_array_header_2_0(f)
+            else:
+                return None
+            shape, fortran, dtype = header
+            if fortran or dtype.hasobject:
+                return None
+            return np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=f.tell(),
+                shape=tuple(shape),
+            )
+    except (OSError, KeyError, ValueError):
+        return None
 
 
 def read_manifest(path: PathLike) -> Dict[str, Any]:
@@ -166,9 +220,18 @@ def read_manifest(path: PathLike) -> Dict[str, Any]:
 
 
 def load_artifact(
-    path: PathLike, expected_kind: Optional[str] = None
+    path: PathLike,
+    expected_kind: Optional[str] = None,
+    *,
+    mmap_arrays: Sequence[str] = (),
 ) -> Artifact:
     """Load and validate an artifact written by :func:`save_artifact`.
+
+    Arrays named in ``mmap_arrays`` are returned as read-only memory
+    maps when the file stores them uncompressed (best effort: a
+    compressed or missing member silently falls back to the in-memory
+    copy).  The content hash is verified against the file exactly
+    once, here — the maps alias the verified bytes.
 
     Raises
     ------
@@ -236,6 +299,15 @@ def load_artifact(
             f"artifact {path} failed content-hash verification "
             "(corrupted or tampered)"
         )
+    for name in mmap_arrays:
+        if name not in arrays:
+            continue
+        mapped = _memmap_member(path, name)
+        if mapped is not None and (
+            mapped.dtype == arrays[name].dtype
+            and mapped.shape == arrays[name].shape
+        ):
+            arrays[name] = mapped
     return Artifact(
         kind=kind,
         arrays=arrays,

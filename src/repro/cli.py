@@ -176,6 +176,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="where serve-bench keeps its warm-start shard bundle",
     )
     pipeline.add_argument(
+        "--spatial-index",
+        dest="spatial_index",
+        action="store_true",
+        default=True,
+        help="serve-bench: time the spatial-indexed KNN path (default)",
+    )
+    pipeline.add_argument(
+        "--no-spatial-index",
+        dest="spatial_index",
+        action="store_false",
+        help="serve-bench: brute-force KNN only (A/B baseline)",
+    )
+    pipeline.add_argument(
         "--estimator",
         default="wknn",
         choices=("knn", "wknn", "rf"),
@@ -578,8 +591,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         module = EXPERIMENTS[name]
         start = time.perf_counter()
-        if name == "serve-bench" and args.artifact:
-            result = module.run(config, artifact_path=args.artifact)
+        if name == "serve-bench":
+            result = module.run(
+                config,
+                artifact_path=args.artifact,
+                spatial_index=args.spatial_index,
+            )
         else:
             result = module.run(config)
         elapsed = time.perf_counter() - start

@@ -13,6 +13,11 @@ from .base import (
     NearestNeighbourEstimator,
     pairwise_sq_dists,
 )
+from .index import (
+    INDEX_MIN_RECORDS,
+    SpatialIndex,
+    canonical_k_smallest,
+)
 from .evaluate import (
     PipelineOutcome,
     evaluate_pipeline,
@@ -25,7 +30,10 @@ from .tree import RegressionTree
 
 __all__ = [
     "ESTIMATOR_KINDS",
+    "INDEX_MIN_RECORDS",
     "KNNEstimator",
+    "SpatialIndex",
+    "canonical_k_smallest",
     "LocationEstimator",
     "NearestNeighbourEstimator",
     "PipelineOutcome",

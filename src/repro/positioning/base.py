@@ -19,11 +19,20 @@ query returns ``(2,)`` by default, or ``(1, 2)`` with
 ``squeeze=False``.  An empty ``(0, D)`` batch returns ``(0, 2)``.
 
 :class:`NearestNeighbourEstimator` adds the shared vectorized
-neighbour search both KNN variants build on: the full pairwise
-squared-distance matrix is computed with the
-``‖a‖² + ‖b‖² − 2·a·b`` expansion (two reductions and one matmul
-instead of a per-query Python loop) and the k nearest records are
-selected with a single :func:`numpy.argpartition` call per batch.
+neighbour search both KNN variants build on.  Two interchangeable
+backends feed the same canonical selection
+(:func:`~repro.positioning.index.canonical_k_smallest`):
+
+* **brute force** — the full pairwise squared-distance matrix via the
+  ``‖a‖² + ‖b‖² − 2·a·b`` expansion (two reductions and one matmul),
+  or the slower cancellation-free exact path with
+  ``pairwise_sq_dists(..., exact=True)``;
+* **spatial index** — a :class:`~repro.positioning.index.SpatialIndex`
+  over the radio map, used when the ``spatial_index`` mode requests it
+  (``"auto"`` builds one at ``INDEX_MIN_RECORDS`` and above).  The
+  index evaluates exact distances, so its neighbours are bit-identical
+  to the brute *exact* path; against the default expansion path they
+  agree up to the expansion's cancellation error.
 """
 
 from __future__ import annotations
@@ -34,6 +43,14 @@ from typing import Tuple
 import numpy as np
 
 from ..exceptions import PositioningError
+from .index import (
+    INDEX_MIN_RECORDS,
+    SpatialIndex,
+    canonical_k_smallest,
+)
+
+#: Valid values of the ``spatial_index`` estimator field.
+INDEX_MODES = ("auto", "on", "off")
 
 
 def _validate_training(fingerprints: np.ndarray, locations: np.ndarray):
@@ -48,13 +65,39 @@ def _validate_training(fingerprints: np.ndarray, locations: np.ndarray):
     return fp, loc
 
 
-def pairwise_sq_dists(queries: np.ndarray, refs: np.ndarray) -> np.ndarray:
-    """``(n, m)`` squared Euclidean distances via ``‖a‖²+‖b‖²−2a·b``.
+def pairwise_sq_dists(
+    queries: np.ndarray,
+    refs: np.ndarray,
+    *,
+    exact: bool = False,
+    chunk_elems: int = 1 << 23,
+) -> np.ndarray:
+    """``(n, m)`` squared Euclidean distances.
 
-    One matmul replaces ``n`` row-wise norm computations; the result is
+    The default uses the ``‖a‖²+‖b‖²−2a·b`` expansion: one matmul
+    replaces ``n`` row-wise norm computations, and the result is
     clipped at zero because the expansion can go slightly negative for
-    near-identical rows.
+    near-identical rows.  For large-magnitude vectors (RSSI rows sit
+    around −90 dBm, so ``‖a‖² ≈ 10⁶``) the expansion loses up to half
+    the mantissa to catastrophic cancellation; ``exact=True`` computes
+    ``((a−b)²).sum`` instead, chunked over query rows so at most
+    ``chunk_elems`` difference elements are alive at a time.  The
+    exact path is the parity reference for the spatial index: both
+    reduce a materialised difference over the contiguous trailing
+    axis, so equal pairs produce bit-equal distances.
     """
+    queries = np.asarray(queries, dtype=float)
+    refs = np.asarray(refs, dtype=float)
+    if exact:
+        n, d = queries.shape
+        m = refs.shape[0]
+        out = np.empty((n, m))
+        rows = max(1, chunk_elems // max(1, m * d))
+        for s in range(0, n, rows):
+            e = min(s + rows, n)
+            diff = queries[s:e, None, :] - refs[None, :, :]
+            out[s:e] = (diff * diff).sum(axis=-1)
+        return out
     q2 = (queries**2).sum(axis=1)[:, None]
     r2 = (refs**2).sum(axis=1)[None, :]
     d2 = q2 + r2 - 2.0 * (queries @ refs.T)
@@ -138,10 +181,66 @@ class NearestNeighbourEstimator(LocationEstimator):
 
     Subclasses set ``k`` (a dataclass field) and implement
     :meth:`_combine`, which turns the selected neighbours' distances
-    and locations into position estimates.
+    and locations into position estimates.  Two optional dataclass
+    fields tune the search backend:
+
+    * ``spatial_index`` — ``"auto"`` (default; index maps with at
+      least ``INDEX_MIN_RECORDS`` records), ``"on"`` (always index),
+      or ``"off"`` (always brute force);
+    * ``exact_distances`` — brute-force with the cancellation-free
+      exact path instead of the matmul expansion (the indexed path is
+      always exact).
     """
 
     k: int = 3
+    spatial_index: str = "auto"
+    exact_distances: bool = False
+
+    @property
+    def index(self) -> "SpatialIndex | None":
+        """The fitted spatial index, if one is in use."""
+        return getattr(self, "_index", None)
+
+    def _fit(self, fingerprints: np.ndarray, locations: np.ndarray) -> None:
+        self._index = (
+            SpatialIndex.build(fingerprints)
+            if self._wants_index(fingerprints.shape[0])
+            else None
+        )
+
+    def _wants_index(self, n_records: int) -> bool:
+        mode = self.spatial_index
+        if mode not in INDEX_MODES:
+            raise PositioningError(
+                f"spatial_index must be one of {INDEX_MODES}, got {mode!r}"
+            )
+        return mode == "on" or (
+            mode == "auto" and n_records >= INDEX_MIN_RECORDS
+        )
+
+    def fit_incremental(
+        self,
+        fingerprints: np.ndarray,
+        locations: np.ndarray,
+        keep_old: np.ndarray,
+        keep_new: np.ndarray,
+    ) -> "NearestNeighbourEstimator":
+        """Refit after an ingestion delta, refreshing the index in place.
+
+        ``keep_old[i]``/``keep_new[i]`` pair up radio-map rows that
+        survived the delta unchanged (old row index → new row index);
+        the spatial index keeps its learned structure and only
+        reassigns the remaining rows.  Equivalent to :meth:`fit` in
+        results — the index stays exact under any bucket assignment —
+        just cheaper.
+        """
+        index = self.index
+        self._fp, self._loc = _validate_training(fingerprints, locations)
+        if index is not None and index.n_dims == self._fp.shape[1]:
+            self._index = index.refreshed(self._fp, keep_old, keep_new)
+        else:
+            self._fit(self._fp, self._loc)
+        return self
 
     def _neighbours(
         self, queries: np.ndarray
@@ -149,23 +248,48 @@ class NearestNeighbourEstimator(LocationEstimator):
         """``(dists, locs)`` of the k nearest records per query.
 
         ``dists`` is ``(n, k)`` Euclidean distances, ``locs`` is
-        ``(n, k, 2)``; neighbours are unordered within the k-subset
-        (argpartition semantics), which every aggregation here is
-        invariant to.
+        ``(n, k, 2)``; both are canonically ordered by ``(distance,
+        record index)`` regardless of the backend, so the indexed and
+        brute-force paths select identical neighbour sets.
         """
-        k = min(self.k, self._fp.shape[0])
-        d2 = pairwise_sq_dists(queries, self._fp)
-        if k < self._fp.shape[0]:
-            idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        n = self._fp.shape[0]
+        k = min(self.k, n)
+        index = self.index
+        if index is not None and k < n:
+            d2k, idx = index.query(queries, k)
         else:
-            idx = np.broadcast_to(
-                np.arange(k), (queries.shape[0], k)
-            ).copy()
-        dists = np.sqrt(np.take_along_axis(d2, idx, axis=1))
-        return dists, self._loc[idx]
+            d2 = pairwise_sq_dists(
+                queries, self._fp, exact=self.exact_distances
+            )
+            d2k, idx = canonical_k_smallest(d2, k)
+        return np.sqrt(d2k), self._loc[idx]
 
     def _predict_batch(self, queries: np.ndarray) -> np.ndarray:
         return self._combine(*self._neighbours(queries))
+
+    def _extra_state_arrays(self):
+        index = self.index
+        if index is None:
+            return {}
+        return {
+            f"index.{name}": arr
+            for name, arr in index.to_arrays().items()
+        }
+
+    def _restore_extra_state(self, arrays) -> None:
+        if "index.assign" in arrays:
+            self._index = SpatialIndex.from_arrays(
+                {
+                    name.split(".", 1)[1]: arr
+                    for name, arr in arrays.items()
+                    if name.startswith("index.")
+                },
+                self._fp,
+            )
+        else:
+            # Artifact predates the index (or was built with it off):
+            # honour this estimator's mode at load time.
+            self._fit(self._fp, self._loc)
 
     @abstractmethod
     def _combine(

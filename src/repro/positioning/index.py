@@ -1,0 +1,495 @@
+"""Exact spatial index over radio-map fingerprints (the serving hot path).
+
+Brute-force KNN pays a dense ``(batch, N)`` distance matrix per query
+batch — BLAS-fast, but O(N) per query in compute *and* memory traffic,
+which is what caps serve throughput on large maps.
+:class:`SpatialIndex` replaces it with a three-stage *exact* search:
+
+1. **Bucket pruning** — reference fingerprints are rotated into a
+   PCA basis and embedded into ``p+1`` dims (top-``p`` projection plus
+   the residual norm).  Distances in that augmented space lower-bound
+   true distances, so a per-bucket centroid/radius bound discards
+   whole buckets against a per-query upper bound obtained by probing
+   the nearest buckets.
+2. **Block filtering** — surviving buckets are stored row-contiguous,
+   so candidate distances come from small float32 GEMMs over
+   *centered* data (no per-row gathers).  The float32 expansion is
+   only a bound: a conservative error margin keeps every reference
+   whose true distance could reach the upper bound.
+3. **Exact finish** — the few finalists per query are re-evaluated
+   with per-pair exact float64 ``((a-b)**2).sum()`` arithmetic and fed
+   through :func:`canonical_k_smallest`.
+
+Because the final distances use the same exact primitive as
+:func:`~repro.positioning.base.pairwise_sq_dists` with ``exact=True``
+and both paths share :func:`canonical_k_smallest` (ties broken by
+reference index), the index returns **bit-identical** neighbours to
+the brute-force exact path — pinned by the parity tests.  Stages 1-2
+can only over-include candidates (pads + margins), never drop a true
+neighbour.
+
+The index persists as three small arrays (``mu``, ``basis``,
+``assign``); everything else is derived from the fingerprints at
+load time.  :meth:`refreshed` rebuilds incrementally after an
+ingestion delta: the learned rotation and bucket structure are kept,
+only changed rows are reassigned (falling back to a full rebuild when
+most of the map changed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import PositioningError
+
+__all__ = [
+    "INDEX_MIN_RECORDS",
+    "SpatialIndex",
+    "canonical_k_smallest",
+    "pair_exact_sq_dists",
+]
+
+#: Below this many reference records the dense brute-force path wins
+#: (the index's fixed per-batch overhead outweighs the pruning); the
+#: ``"auto"`` estimator mode only builds an index at or above it.
+INDEX_MIN_RECORDS = 4096
+
+#: Projection dims of the augmented embedding (clamped to the map's D).
+_N_DIMS = 32
+
+#: Target records per bucket of the 2-D quantile grid.  Large leaves
+#: keep the per-bucket loop overhead small; pruning granularity is
+#: already dominated by the augmented-space radii at this size.
+_LEAF_SIZE = 192
+
+#: Multiplicative pad applied to upper bounds (covers f64 rounding).
+_PAD_UB = 1.0 + 1e-9
+
+#: Multiplicative shrink applied to lower bounds before comparison.
+_PAD_LB = 1.0 - 1e-9
+
+#: Scale factor of the float32 filter margin: generous cover for sgemm
+#: accumulation error plus the f32 rounding of the centered inputs.
+_F32_MARGIN = 128.0 * float(np.finfo(np.float32).eps)
+
+#: If fewer than this fraction of rows survive a delta unchanged, an
+#: incremental refresh degenerates; rebuild from scratch instead.
+_REFRESH_MIN_KEPT = 0.5
+
+
+def pair_exact_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-pair exact squared distances: ``(n, D), (n, D) -> (n,)``.
+
+    The shared exact primitive: a materialised difference reduced over
+    the contiguous last axis, so its floating-point result depends
+    only on ``D`` — the brute exact path and the index's finish stage
+    produce bit-identical values for the same pair.
+    """
+    diff = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+    return (diff * diff).sum(axis=-1)
+
+
+def canonical_k_smallest(
+    d2: np.ndarray, k: int, ids: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The k smallest entries per row, canonically ordered.
+
+    ``d2`` is ``(n, w)`` (``np.inf`` padding allowed); ``ids`` maps
+    columns to reference indices (defaults to the column index; pad
+    columns carry ``-1`` and must be ``inf``).  Returns ``(values,
+    ids)`` of shape ``(n, k)`` sorted by ``(value, id)`` — ties at the
+    k-th value are resolved toward smaller reference indices, so two
+    callers that agree on the candidate *values* select identical
+    neighbour sets regardless of how the candidates were found.
+    """
+    d2 = np.asarray(d2)
+    n, w = d2.shape
+    if k <= 0 or k > w:
+        raise PositioningError(f"k={k} out of range for {w} candidates")
+    if k < w:
+        part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+    else:
+        part = np.broadcast_to(np.arange(w), (n, w)).copy()
+    pv = np.take_along_axis(d2, part, axis=1)
+    pid = part if ids is None else np.take_along_axis(ids, part, axis=1)
+    if ids is not None:
+        pid = pid.copy()
+        pv = pv.copy()
+    kth = pv.max(axis=1)
+    # argpartition breaks ties at the k-th value arbitrarily; rows
+    # where the tie group straddles the boundary are re-resolved
+    # toward smaller ids (rare, so a Python loop is fine).
+    full_ties = (d2 == kth[:, None]).sum(axis=1)
+    sel_ties = (pv == kth[:, None]).sum(axis=1)
+    for i in np.nonzero(full_ties > sel_ties)[0]:
+        v = kth[i]
+        row_ids = np.arange(w) if ids is None else ids[i]
+        below = d2[i] < v
+        n_below = int(below.sum())
+        tie_ids = np.sort(row_ids[d2[i] == v])
+        pid[i] = np.concatenate(
+            [row_ids[below], tie_ids[: k - n_below]]
+        )
+        pv[i] = np.concatenate(
+            [d2[i][below], np.full(k - n_below, v)]
+        )
+    order = np.lexsort((pid, pv), axis=-1)
+    return (
+        np.take_along_axis(pv, order, axis=1),
+        np.take_along_axis(pid, order, axis=1),
+    )
+
+
+class SpatialIndex:
+    """Bucketed PCA index with an exact-parity query path.
+
+    Construct with :meth:`build` (fresh) or :meth:`from_arrays`
+    (persisted state + the fingerprints it indexes).  The instance is
+    immutable after construction and safe for concurrent queries.
+    """
+
+    def __init__(
+        self,
+        fingerprints: np.ndarray,
+        mu: np.ndarray,
+        basis: np.ndarray,
+        assign: np.ndarray,
+    ):
+        fp = np.ascontiguousarray(fingerprints, dtype=float)
+        if fp.ndim != 2 or fp.shape[0] == 0:
+            raise PositioningError("index needs a (n, D) radio map")
+        n, d = fp.shape
+        mu = np.asarray(mu, dtype=float)
+        basis = np.asarray(basis, dtype=float)
+        assign = np.asarray(assign, dtype=np.int64)
+        if mu.shape != (d,) or basis.ndim != 2 or basis.shape[0] != d:
+            raise PositioningError("index basis does not match the map")
+        if assign.shape != (n,) or assign.min(initial=0) < 0:
+            raise PositioningError("index assignment does not match")
+        self._fp = fp
+        self.mu = mu
+        self.basis = basis
+        self.assign = assign
+        self._derive()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, fingerprints: np.ndarray) -> "SpatialIndex":
+        """Learn the rotation and bucket grid from the fingerprints."""
+        fp = np.ascontiguousarray(fingerprints, dtype=float)
+        if fp.ndim != 2 or fp.shape[0] == 0:
+            raise PositioningError("index needs a (n, D) radio map")
+        n, d = fp.shape
+        mu = fp.mean(axis=0)
+        centered = fp - mu
+        # Orthonormal rotation from the covariance eigenbasis, top
+        # variance first.  Validity of the bounds only needs
+        # orthonormality, so numerical eigh differences across
+        # platforms cannot break exactness.
+        _, vectors = np.linalg.eigh(centered.T @ centered)
+        basis = np.ascontiguousarray(
+            vectors[:, :: -1][:, : min(_N_DIMS, d)]
+        )
+        proj = centered @ basis
+        side = max(1, min(64, int(round(np.sqrt(n / _LEAF_SIZE)))))
+        quantiles = np.linspace(0.0, 1.0, side + 1)[1:-1]
+        edge0 = np.quantile(proj[:, 0], quantiles)
+        edge1 = (
+            np.quantile(proj[:, 1], quantiles)
+            if basis.shape[1] > 1
+            else np.empty(0)
+        )
+        col1 = proj[:, 1] if basis.shape[1] > 1 else np.zeros(n)
+        assign = np.searchsorted(edge0, proj[:, 0]) * side + (
+            np.searchsorted(edge1, col1)
+        )
+        return cls(fp, mu, basis, assign)
+
+    def _derive(self) -> None:
+        """Compute the query-time state from (fp, mu, basis, assign)."""
+        fp, assign = self._fp, self.assign
+        n = fp.shape[0]
+        self.n_buckets = int(assign.max()) + 1
+        centered = fp - self.mu
+        proj = centered @ self.basis
+        full2 = (centered * centered).sum(axis=1)
+        tail = np.sqrt(
+            np.maximum(full2 - (proj * proj).sum(axis=1), 0.0)
+        )
+        aug = np.concatenate([proj, tail[:, None]], axis=1)
+
+        self._order = np.argsort(assign, kind="stable")
+        self._counts = np.bincount(assign, minlength=self.n_buckets)
+        self._offsets = np.concatenate(
+            [[0], np.cumsum(self._counts)]
+        )
+        # Bucket-contiguous centered rows in f32: the block filter
+        # reads them with plain slices, no per-row gathers.
+        self._centered32 = np.ascontiguousarray(
+            centered[self._order], dtype=np.float32
+        )
+        self._c2_32 = (
+            (self._centered32.astype(np.float64) ** 2)
+            .sum(axis=1)
+            .astype(np.float32)
+        )
+        cent = np.zeros((self.n_buckets, aug.shape[1]))
+        np.add.at(cent, assign, aug)
+        cent /= np.maximum(self._counts, 1)[:, None]
+        delta = aug - cent[assign]
+        dist_c = np.sqrt((delta * delta).sum(axis=1))
+        radius = np.zeros(self.n_buckets)
+        np.maximum.at(radius, assign, dist_c)
+        self._centroids = cent
+        self._cent2 = (cent * cent).sum(axis=1)
+        self._radius = radius
+        self._scale = float(self._c2_32.max(initial=1.0)) + 1.0
+        self._n = n
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        return self._n
+
+    @property
+    def n_dims(self) -> int:
+        return self._fp.shape[1]
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The persisted state (rotation + bucket assignment)."""
+        return {
+            "mu": self.mu,
+            "basis": self.basis,
+            "assign": self.assign,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Dict[str, np.ndarray], fingerprints: np.ndarray
+    ) -> "SpatialIndex":
+        """Rebuild from :meth:`to_arrays` output + the fingerprints."""
+        return cls(
+            fingerprints,
+            arrays["mu"],
+            arrays["basis"],
+            arrays["assign"],
+        )
+
+    def refreshed(
+        self,
+        fingerprints: np.ndarray,
+        keep_old: np.ndarray,
+        keep_new: np.ndarray,
+    ) -> "SpatialIndex":
+        """Incrementally rebuilt index over a post-delta radio map.
+
+        ``keep_old[i]`` / ``keep_new[i]`` pair up rows that survived
+        the delta unchanged: they keep their bucket; every other row
+        of ``fingerprints`` is assigned to the nearest existing bucket
+        centroid in the augmented space.  The learned rotation and
+        grid are frozen (bucket radii are recomputed, so the bounds
+        stay exact regardless of drift); when less than half the map
+        survives, a from-scratch :meth:`build` is both cheaper to
+        reason about and tighter, so the refresh falls back to it.
+        """
+        fp = np.ascontiguousarray(fingerprints, dtype=float)
+        keep_old = np.asarray(keep_old, dtype=np.int64)
+        keep_new = np.asarray(keep_new, dtype=np.int64)
+        if fp.ndim != 2 or fp.shape[1] != self._fp.shape[1]:
+            raise PositioningError(
+                "refreshed map does not match the indexed AP count"
+            )
+        if keep_old.shape != keep_new.shape:
+            raise PositioningError("keep row maps must pair up")
+        n = fp.shape[0]
+        if keep_new.size < _REFRESH_MIN_KEPT * n:
+            return SpatialIndex.build(fp)
+        assign = np.full(n, -1, dtype=np.int64)
+        assign[keep_new] = self.assign[keep_old]
+        dirty = np.nonzero(assign < 0)[0]
+        if dirty.size:
+            centered = fp[dirty] - self.mu
+            proj = centered @ self.basis
+            full2 = (centered * centered).sum(axis=1)
+            tail = np.sqrt(
+                np.maximum(full2 - (proj * proj).sum(axis=1), 0.0)
+            )
+            aug = np.concatenate([proj, tail[:, None]], axis=1)
+            occupied = np.nonzero(self._counts > 0)[0]
+            cent = self._centroids[occupied]
+            d2 = (
+                (aug * aug).sum(axis=1)[:, None]
+                + (cent * cent).sum(axis=1)[None, :]
+                - 2.0 * (aug @ cent.T)
+            )
+            assign[dirty] = occupied[np.argmin(d2, axis=1)]
+        return SpatialIndex(fp, self.mu, self.basis, assign)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self, queries: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k-nearest references for a query batch.
+
+        Returns ``(d2, ids)`` of shape ``(n, k)``, canonically ordered
+        by ``(distance, reference index)`` — bit-identical to the
+        brute-force exact path through :func:`canonical_k_smallest`.
+        """
+        q = np.ascontiguousarray(queries, dtype=float)
+        if q.ndim != 2 or q.shape[1] != self._fp.shape[1]:
+            raise PositioningError(
+                f"queries must be (n, {self._fp.shape[1]})"
+            )
+        if not 0 < k <= self._n:
+            raise PositioningError(
+                f"k={k} out of range for {self._n} records"
+            )
+        b = q.shape[0]
+        if b == 0:
+            return np.empty((0, k)), np.empty((0, k), dtype=np.int64)
+
+        centered = q - self.mu
+        proj = centered @ self.basis
+        qfull2 = (centered * centered).sum(axis=1)
+        tail = np.sqrt(
+            np.maximum(qfull2 - (proj * proj).sum(axis=1), 0.0)
+        )
+        aug = np.concatenate([proj, tail[:, None]], axis=1)
+        centered32 = centered.astype(np.float32)
+        scale = max(self._scale, float(qfull2.max(initial=0.0)) + 1.0)
+        margin = _F32_MARGIN * scale + 1e-9
+
+        # Stage 1a: bucket-level lower bounds in the augmented space.
+        aug2 = (aug * aug).sum(axis=1)
+        d2_qb = (
+            aug2[:, None]
+            + self._cent2[None, :]
+            - 2.0 * (aug @ self._centroids.T)
+        )
+        err_b = 1e-12 * (aug2[:, None] + self._cent2[None, :] + 1.0)
+        d_qb = np.sqrt(np.maximum(d2_qb - err_b, 0.0))
+        lb_bucket = (
+            np.maximum(d_qb - self._radius[None, :], 0.0) ** 2
+        )
+        lb_bucket[:, self._counts == 0] = np.inf
+
+        # Stage 1b: probe the nearest buckets (cumulative count >= k)
+        # for a valid upper bound on each query's true k-th distance.
+        near = np.argsort(
+            np.where(self._counts[None, :] > 0, d_qb, np.inf), axis=1
+        )
+        cum = np.cumsum(self._counts[near], axis=1)
+        n_probe = np.minimum(
+            (cum < k).sum(axis=1) + 1, self.n_buckets
+        )
+        probe = np.zeros((b, self.n_buckets), dtype=bool)
+        np.put_along_axis(
+            probe,
+            near,
+            np.arange(self.n_buckets)[None, :] < n_probe[:, None],
+            axis=1,
+        )
+
+        qf32 = qfull2.astype(np.float32)
+        pool_qi, pool_ri, pool_v = self._filter_blocks(
+            probe, centered32, qf32, None
+        )
+        ub = self._pooled_kth(pool_qi, pool_v, b, k)
+        ub = ub * _PAD_UB + margin
+
+        # Stage 2: block-filter the remaining buckets against ub.
+        rest = lb_bucket * _PAD_LB <= ub[:, None]
+        rest &= ~probe
+        qi2, ri2, _ = self._filter_blocks(
+            rest, centered32, qf32, (ub + margin).astype(np.float32)
+        )
+        keep = pool_v <= ub[pool_qi]
+        qi = np.concatenate([pool_qi[keep], qi2])
+        ri = np.concatenate([pool_ri[keep], ri2])
+
+        # Stage 3: exact finish on the finalists, canonical selection.
+        order = np.argsort(qi, kind="stable")
+        qi, ri = qi[order], ri[order]
+        ref_ids = self._order[ri]
+        d2x = pair_exact_sq_dists(q[qi], self._fp[ref_ids])
+        counts = np.bincount(qi, minlength=b)
+        width = int(counts.max(initial=0))
+        starts = np.concatenate([[0], np.cumsum(counts)])
+        pos = np.arange(qi.size) - starts[qi]
+        vals = np.full((b, width), np.inf)
+        ids = np.full((b, width), -1, dtype=np.int64)
+        vals[qi, pos] = d2x
+        ids[qi, pos] = ref_ids
+        return canonical_k_smallest(vals, k, ids)
+
+    def _filter_blocks(
+        self,
+        mask: np.ndarray,
+        centered32: np.ndarray,
+        qf32: np.ndarray,
+        thresh32: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Evaluate the ``(query, bucket)`` pairs set in ``mask``.
+
+        Computes float32 expansion distances over each bucket's
+        contiguous block; with ``thresh32`` given only pairs at or
+        under the per-query threshold are kept, otherwise every pair
+        is returned (the probe pool).  Returns ``(query_idx,
+        sorted_row_idx, f32_distance)`` arrays.
+        """
+        qis, ris, vs = [], [], []
+        offsets = self._offsets
+        for bucket in np.nonzero(mask.any(axis=0))[0]:
+            rows = np.nonzero(mask[:, bucket])[0]
+            s, e = offsets[bucket], offsets[bucket + 1]
+            if e == s:
+                continue
+            gram = centered32[rows] @ self._centered32[s:e].T
+            gram *= -2.0
+            gram += self._c2_32[None, s:e]
+            gram += qf32[rows, None]
+            if thresh32 is None:
+                qis.append(np.repeat(rows, e - s))
+                ris.append(np.tile(np.arange(s, e), rows.size))
+                vs.append(gram.ravel().astype(np.float64))
+            else:
+                rr, cc = np.nonzero(gram <= thresh32[rows, None])
+                qis.append(rows[rr])
+                ris.append(cc + s)
+                vs.append(gram[rr, cc].astype(np.float64))
+        if not qis:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0)
+        return (
+            np.concatenate(qis),
+            np.concatenate(ris),
+            np.concatenate(vs),
+        )
+
+    @staticmethod
+    def _pooled_kth(
+        qi: np.ndarray, values: np.ndarray, b: int, k: int
+    ) -> np.ndarray:
+        """Per-query k-th smallest of a pooled ``(qi, value)`` set."""
+        order = np.argsort(qi, kind="stable")
+        qi, values = qi[order], values[order]
+        counts = np.bincount(qi, minlength=b)
+        width = int(counts.max(initial=0))
+        starts = np.concatenate([[0], np.cumsum(counts)])
+        pos = np.arange(qi.size) - starts[qi]
+        pool = np.full((b, width), np.inf)
+        pool[qi, pos] = values
+        if width <= k:
+            return pool.max(axis=1, initial=0.0)
+        kth = np.partition(pool, k - 1, axis=1)[:, k - 1]
+        # Queries whose probe pool came up short scan everything.
+        kth[counts < k] = np.inf
+        return np.maximum(kth, 0.0)

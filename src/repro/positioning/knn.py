@@ -4,12 +4,13 @@ Both estimators compare an online fingerprint against the radio map in
 signal space; KNN averages the K nearest records' RPs, WKNN weights
 them inversely to fingerprint distance.
 
-Serving API: ``predict`` is fully vectorized over the query batch —
-the pairwise-distance matrix and a single ``argpartition`` come from
-:class:`~repro.positioning.base.NearestNeighbourEstimator`, so a batch
-of ``n`` queries costs one matmul rather than ``n`` Python-loop
-iterations.  See :mod:`repro.positioning.base` for the shared
-return-shape contract (``(n, D)`` → ``(n, 2)``; ``(D,)`` → ``(2,)``).
+Serving API: ``predict`` is fully vectorized over the query batch;
+the neighbour search comes from
+:class:`~repro.positioning.base.NearestNeighbourEstimator` — brute
+force on small maps, a spatial index on large ones (the
+``spatial_index`` / ``exact_distances`` fields select the backend).
+See :mod:`repro.positioning.base` for the shared return-shape
+contract (``(n, D)`` → ``(n, 2)``; ``(D,)`` → ``(2,)``).
 """
 
 from __future__ import annotations
@@ -40,6 +41,8 @@ class KNNEstimator(NearestNeighbourEstimator):
 
     k: int = 3
     name: str = "KNN"
+    spatial_index: str = "auto"
+    exact_distances: bool = False
 
     def _combine(self, dists: np.ndarray, locs: np.ndarray) -> np.ndarray:
         return locs.mean(axis=1)
@@ -54,6 +57,8 @@ class WKNNEstimator(NearestNeighbourEstimator):
     k: int = 3
     eps: float = 1e-6
     name: str = "WKNN"
+    spatial_index: str = "auto"
+    exact_distances: bool = False
 
     def _combine(self, dists: np.ndarray, locs: np.ndarray) -> np.ndarray:
         w = 1.0 / (dists + self.eps)

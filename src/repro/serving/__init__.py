@@ -32,6 +32,11 @@ and ``examples/concurrent_serving.py`` for the pipeline under
 multi-threaded load.
 """
 
+from .completion import (
+    EncoderCompletion,
+    MapCompletion,
+    MeanFillCompletion,
+)
 from .loadgen import (
     DEFAULT_MIX,
     DEFAULT_SCENARIO,
@@ -56,7 +61,10 @@ __all__ = [
     "DEFAULT_SCENARIO",
     "DRIFT_SCENARIO",
     "DeltaApplyReport",
+    "EncoderCompletion",
     "LoadReport",
+    "MapCompletion",
+    "MeanFillCompletion",
     "PipelineStats",
     "PositioningService",
     "Scenario",

@@ -15,6 +15,21 @@ differentiate + fit) against **warm start** (load the same shard from
 a saved artifact) — the train-once/serve-many win.  Pass
 ``--artifact PATH`` on the CLI to keep the shard bundle for reuse.
 
+Two sections cover this PR's index-bound serving work:
+
+* **fleet scale** — a synthetic log-distance radio map with
+  ``int(81920 * venue_scale)`` records (32768 under the ``bench``
+  preset) served through identical shards whose estimators differ only
+  in ``spatial_index`` mode; reports brute/indexed throughput, their
+  speedup, and the max-abs parity between the two answers (the index
+  is exact, so this must be 0).  ``--no-spatial-index`` skips the
+  indexed side so CI can A/B the two CLI runs.
+* **precompute** — the kaide venue with a trained BiSIM, served once
+  through the PR-5 path (encoder imputation per batch,
+  :class:`EncoderCompletion`) and once through this PR's build-time
+  precomputed tensor (:class:`MapCompletion`); their ratio is the
+  serve-throughput speedup over the PR-5 baseline.
+
 Timing is best-of-``rounds`` wall clock; results render as a table and
 land in :attr:`ExperimentResult.data` for assertions.
 """
@@ -28,15 +43,22 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..bisim import BiSIMConfig
 from ..core import TopoACDifferentiator
 from ..experiments.base import ExperimentResult
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import get_dataset
 from ..positioning import WKNNEstimator
+from .completion import EncoderCompletion
 from .loadgen import scan_pool
-from .service import PositioningService
+from .service import PositioningService, VenueShard
 
 BATCH_SIZES = (1, 64, 256)
+
+#: Fleet-scale synthetic venue dimensions; the record count scales
+#: with the preset's ``venue_scale`` (32768 under ``bench``).
+FLEET_RECORDS = 81920
+FLEET_APS = 96
 
 
 def _best_of(fn: Callable[[], None], rounds: int) -> float:
@@ -48,17 +70,61 @@ def _best_of(fn: Callable[[], None], rounds: int) -> float:
     return best
 
 
+def _synthetic_fleet_map(
+    n_records: int, n_aps: int, rng: np.random.Generator
+):
+    """A log-distance-path-loss radio map big enough to need an index."""
+    side = 200.0
+    aps = rng.uniform(0.0, side, size=(n_aps, 2))
+    rps = rng.uniform(0.0, side, size=(n_records, 2))
+    dist = np.linalg.norm(rps[:, None, :] - aps[None, :, :], axis=2)
+    rssi = -30.0 - 30.0 * np.log10(np.maximum(dist, 1.0))
+    rssi += rng.normal(0.0, 3.0, size=rssi.shape)
+    return np.clip(rssi, -95.0, -20.0), rps
+
+
+def _fleet_qps(
+    fingerprints: np.ndarray,
+    locations: np.ndarray,
+    queries: np.ndarray,
+    mode: str,
+    rounds: int,
+):
+    estimator = WKNNEstimator(spatial_index=mode).fit(
+        fingerprints, locations
+    )
+    service = PositioningService(cache_size=0)
+    service.register(
+        VenueShard(
+            "fleet",
+            fingerprints.shape[1],
+            estimator,
+            None,
+            fingerprints.mean(axis=0),
+        )
+    )
+    keys = ["fleet"] * len(queries)
+    out = service.query_batch(keys, queries)  # warm-up + answers
+    best = _best_of(
+        lambda: service.query_batch(keys, queries), rounds
+    )
+    return len(queries) / best, out
+
+
 def run(
     config: ExperimentConfig,
     *,
     rounds: int = 3,
     artifact_path: Optional[str] = None,
+    spatial_index: bool = True,
 ) -> ExperimentResult:
     """Benchmark the serving path on the preset's kaide venue.
 
     ``artifact_path`` names where to keep the warm-start shard bundle;
     by default it lives in a temporary directory for the duration of
-    the benchmark.
+    the benchmark.  ``spatial_index=False`` skips the indexed side of
+    the fleet-scale section (the brute baseline still runs), matching
+    the CLI's ``--no-spatial-index``.
     """
     dataset = get_dataset("kaide", config)
     rng = np.random.default_rng(config.dataset_seed)
@@ -142,6 +208,80 @@ def run(
         f"({cold_s / warm_s:.1f}x faster, parity {warm_parity:.1e})"
     )
 
+    # Fleet scale: spatial-indexed KNN vs brute force on a venue big
+    # enough that the O(N·D) scan dominates the serve path.
+    fleet_n = int(FLEET_RECORDS * config.venue_scale)
+    fleet_fp, fleet_rps = _synthetic_fleet_map(fleet_n, FLEET_APS, rng)
+    picks = rng.integers(0, fleet_n, size=max(BATCH_SIZES))
+    fleet_q = fleet_fp[picks] + rng.normal(
+        0.0, 2.5, size=(max(BATCH_SIZES), FLEET_APS)
+    )
+    brute_qps, brute_out = _fleet_qps(
+        fleet_fp, fleet_rps, fleet_q, "off", rounds
+    )
+    indexed_qps = None
+    fleet_speedup = None
+    fleet_parity = None
+    if spatial_index:
+        indexed_qps, indexed_out = _fleet_qps(
+            fleet_fp, fleet_rps, fleet_q, "on", rounds
+        )
+        fleet_speedup = indexed_qps / brute_qps
+        fleet_parity = float(np.abs(indexed_out - brute_out).max())
+        lines.append(
+            f"fleet scale (N={fleet_n}, D={FLEET_APS}, batch "
+            f"{max(BATCH_SIZES)}): brute {brute_qps:.0f} q/s | "
+            f"indexed {indexed_qps:.0f} q/s "
+            f"({fleet_speedup:.1f}x, parity {fleet_parity:.1e})"
+        )
+    else:
+        lines.append(
+            f"fleet scale (N={fleet_n}, D={FLEET_APS}, batch "
+            f"{max(BATCH_SIZES)}): brute {brute_qps:.0f} q/s "
+            "(spatial index disabled)"
+        )
+
+    # Precompute: the PR-5 serve path ran the BiSIM encoder on every
+    # batch; the precomputed-tensor path never touches the encoder.
+    bisim_shard = VenueShard.build(
+        "kaide-bisim",
+        dataset.radio_map,
+        TopoACDifferentiator(entities=dataset.venue.plan.entities),
+        bisim_config=BiSIMConfig(
+            hidden_size=config.hidden_size,
+            epochs=min(config.epochs, 8),
+        ),
+    )
+    legacy_shard = VenueShard(
+        "kaide-bisim",
+        bisim_shard.n_aps,
+        bisim_shard.estimator,
+        bisim_shard.online_imputer,
+        bisim_shard.fill_values,
+        EncoderCompletion(bisim_shard.online_imputer),
+    )
+    keys = ["kaide-bisim"] * max(BATCH_SIZES)
+    before_svc = PositioningService(cache_size=0)
+    before_svc.register(legacy_shard)
+    before_svc.query_batch(keys, queries)
+    before_s = _best_of(
+        lambda: before_svc.query_batch(keys, queries), rounds
+    )
+    after_svc = PositioningService(cache_size=0)
+    after_svc.register(bisim_shard)
+    after_svc.query_batch(keys, queries)
+    after_s = _best_of(
+        lambda: after_svc.query_batch(keys, queries), rounds
+    )
+    before_qps = max(BATCH_SIZES) / before_s
+    after_qps = max(BATCH_SIZES) / after_s
+    precompute_speedup = after_qps / before_qps
+    lines.append(
+        f"precompute (kaide BiSIM, batch {max(BATCH_SIZES)}): "
+        f"encoder {before_qps:.0f} q/s | precomputed "
+        f"{after_qps:.0f} q/s ({precompute_speedup:.1f}x vs PR-5 path)"
+    )
+
     return ExperimentResult(
         experiment_id="Serving bench",
         rendered="\n".join(lines),
@@ -155,5 +295,17 @@ def run(
             "warm_start_seconds": warm_s,
             "warm_start_speedup": cold_s / warm_s,
             "warm_start_parity": warm_parity,
+            "fleet_records": fleet_n,
+            "fleet_aps": FLEET_APS,
+            "fleet_brute_throughput": brute_qps,
+            "fleet_indexed_throughput": indexed_qps,
+            "fleet_throughput": (
+                indexed_qps if spatial_index else brute_qps
+            ),
+            "fleet_speedup": fleet_speedup,
+            "fleet_parity": fleet_parity,
+            "bisim_before_throughput": before_qps,
+            "bisim_after_throughput": after_qps,
+            "precompute_speedup": precompute_speedup,
         },
     )

@@ -1,0 +1,166 @@
+"""Query completion strategies (filling a fingerprint's unheard APs).
+
+Every query reaching an estimator must be fully finite.  How the NaNs
+get filled is the *completion* step of a shard's pipeline, and it is
+where the PR-5 serving path spent most of its time on BiSIM venues:
+:meth:`~repro.bisim.OnlineImputer.impute_batch` ran the trained
+encoder over every batch.  The completers here make that a build-time
+decision instead:
+
+* :class:`MapCompletion` — the serving default for BiSIM shards.  The
+  fully-imputed radio-map tensor is precomputed once at artifact-build
+  time; at serve time a query's missing APs are filled from its
+  nearest map records *measured over the observed APs only* (masked
+  KNN against the precomputed tensor — two matmuls, no encoder).
+  Fully-missing queries fall back to the per-AP fill values.
+* :class:`MeanFillCompletion` — per-AP mean fill, the instant-deploy
+  path for venues without a trained BiSIM.
+* :class:`EncoderCompletion` — the PR-5 behaviour, kept for
+  ingest-time refresh and as the degraded fallback when a shard
+  artifact's precomputed tensor fails validation (``fallback=True``
+  marks that case so the service can count it).
+
+All completers are immutable after construction and safe to share
+across threads; ``complete`` never mutates its input.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bisim import OnlineImputer
+from ..exceptions import ServingError
+
+__all__ = [
+    "EncoderCompletion",
+    "MapCompletion",
+    "MeanFillCompletion",
+    "completion_from",
+]
+
+
+class MeanFillCompletion:
+    """Fill missing APs with the per-AP mean of the filled radio map."""
+
+    def __init__(self, fill_values: np.ndarray):
+        self.fill_values = np.asarray(fill_values, dtype=float)
+
+    def complete(self, queries: np.ndarray) -> np.ndarray:
+        return np.where(
+            np.isfinite(queries), queries, self.fill_values[None, :]
+        )
+
+
+class EncoderCompletion:
+    """Run the trained BiSIM encoder over the batch (PR-5 semantics)."""
+
+    def __init__(self, online: OnlineImputer, *, fallback: bool = False):
+        self.online = online
+        #: True when this completer stands in for a precomputed tensor
+        #: that failed validation — the service counts these.
+        self.fallback = fallback
+
+    def complete(self, queries: np.ndarray) -> np.ndarray:
+        return self.online.impute_batch(queries, squeeze=False)
+
+
+class MapCompletion:
+    """Masked-KNN completion against the precomputed imputed map.
+
+    ``precomputed`` is the fully-imputed ``(n_records, n_aps)``
+    radio-map tensor written at artifact-build time (it may be a
+    read-only memory map).  A query's missing APs are filled with the
+    mean of its ``k`` nearest map records, where nearness is measured
+    over the query's *observed* APs only — the masked expansion
+    ``‖q_obs‖² + Σ_obs m² − 2·Σ_obs q·m`` costs two matmuls for the
+    partially-observed rows and nothing for fully-observed ones.
+    """
+
+    def __init__(
+        self,
+        precomputed: np.ndarray,
+        fill_values: Optional[np.ndarray],
+        *,
+        k: int = 3,
+    ):
+        tensor = np.asarray(precomputed)
+        if tensor.ndim != 2 or tensor.shape[0] == 0:
+            raise ServingError(
+                "precomputed completion tensor must be (n, D)"
+            )
+        if not np.isfinite(tensor).all():
+            raise ServingError(
+                "precomputed completion tensor must be fully imputed"
+            )
+        self.precomputed = tensor
+        self.fill_values = (
+            None
+            if fill_values is None
+            else np.asarray(fill_values, dtype=float)
+        )
+        self.k = int(k)
+        self._lazy: Optional[tuple] = None
+
+    def _gram_state(self) -> tuple:
+        # (map^T, per-dim squared map^T) — built on the first
+        # partially-observed batch and cached; both are plain f64
+        # copies so later matmuls never touch the memory map again.
+        if self._lazy is None:
+            dense = np.asarray(self.precomputed, dtype=float)
+            self._lazy = (
+                np.ascontiguousarray(dense.T),
+                np.ascontiguousarray((dense * dense).T),
+            )
+        return self._lazy
+
+    def complete(self, queries: np.ndarray) -> np.ndarray:
+        q = np.asarray(queries, dtype=float)
+        observed = np.isfinite(q)
+        if observed.all():
+            return q
+        out = q.copy()
+        any_obs = observed.any(axis=1)
+        if not any_obs.all():
+            fill = self.fill_values
+            if fill is None:
+                raise ServingError(
+                    "fully-missing query and no fill values to complete it"
+                )
+            out[~any_obs] = fill
+        partial = np.nonzero(any_obs & ~observed.all(axis=1))[0]
+        if partial.size:
+            map_t, map_sq_t = self._gram_state()
+            qp = q[partial]
+            mask = observed[partial]
+            qz = np.where(mask, qp, 0.0)
+            d2 = (
+                (qz * qz).sum(axis=1)[:, None]
+                + mask.astype(float) @ map_sq_t
+                - 2.0 * (qz @ map_t)
+            )
+            k = min(self.k, self.precomputed.shape[0])
+            idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            fills = np.asarray(self.precomputed, dtype=float)[idx].mean(
+                axis=1
+            )
+            out[partial] = np.where(mask, qp, fills)
+        return out
+
+
+def completion_from(
+    online: Optional[OnlineImputer],
+    fill_values: Optional[np.ndarray],
+):
+    """The legacy completer for a pipeline without a precomputed map.
+
+    Mirrors the PR-5 dispatch: a trained online imputer runs the
+    encoder, otherwise per-AP mean fill; ``None`` when the pipeline
+    has neither (such a shard cannot complete queries).
+    """
+    if online is not None:
+        return EncoderCompletion(online)
+    if fill_values is not None:
+        return MeanFillCompletion(fill_values)
+    return None

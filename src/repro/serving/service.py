@@ -18,10 +18,16 @@ fingerprints, and keeps latency/throughput counters::
     locations = service.query_batch(keys, fingerprints)  # (n, 2)
     print(service.stats.render())
 
-Shards built with a :class:`~repro.bisim.BiSIMConfig` run the trained
-BiSIM encoder over each query batch
-(:meth:`~repro.bisim.OnlineImputer.impute_batch`); shards built
-without one fall back to per-AP mean imputation, which keeps
+The serve path never runs the BiSIM encoder.  Shards built with a
+:class:`~repro.bisim.BiSIMConfig` precompute the fully-imputed
+radio-map tensor at build time and complete queries against it with
+:class:`~repro.serving.completion.MapCompletion` (masked KNN over the
+observed APs); the trained :class:`~repro.bisim.OnlineImputer` is
+retained only for ingest-time refresh in
+:meth:`VenueShard.prepare_delta` — and as a degraded serve fallback
+when a warm-start artifact's precomputed tensor fails validation
+(counted in ``ServiceStats.precompute_fallbacks``).  Shards built
+without a BiSIM config use per-AP mean imputation, which keeps
 deployment instant for venues that cannot afford training.
 
 Thread safety
@@ -32,10 +38,10 @@ Thread safety
 * the LRU cache and :class:`ServiceStats` counters are guarded by one
   internal lock; shard compute (impute → estimate) runs outside it so
   concurrent batches only serialize on the cheap bookkeeping;
-* a shard's pipeline (estimator, online imputer, fill values) lives in
-  a single tuple that :meth:`VenueShard.reload` swaps with one
-  reference assignment — an in-flight batch reads the tuple once and
-  can never observe a torn half-old/half-new pipeline;
+* a shard's pipeline (estimator, online imputer, fill values,
+  completion) lives in a single tuple that :meth:`VenueShard.reload`
+  swaps with one reference assignment — an in-flight batch reads the
+  tuple once and can never observe a torn half-old/half-new pipeline;
 * :meth:`PositioningService.reload` swaps the shard and invalidates
   the venue's cache entries under the same lock that cache reads take,
   and every shard carries an ``epoch`` counter so a batch computed
@@ -45,11 +51,12 @@ Thread safety
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields, is_dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,14 +74,32 @@ from ..core import Differentiator
 from ..exceptions import ReproError, ServingError
 from ..imputers import fill_mnars
 from ..positioning import LocationEstimator, WKNNEstimator
+from ..positioning.base import NearestNeighbourEstimator
 from ..positioning.io import estimator_from_payload, estimator_payload
 from ..radiomap import RadioMap, RadioMapDelta
+from .completion import (
+    EncoderCompletion,
+    MapCompletion,
+    MeanFillCompletion,
+    completion_from,
+)
 
 #: Artifact kind of a full warm-start shard bundle.
 SHARD_KIND = "serving.shard"
 
 #: Cache key: (venue, quantized-fingerprint bytes).
 CacheKey = Tuple[str, bytes]
+
+#: A shard's atomically-swappable pipeline: (estimator, online
+#: imputer, fill values, completion).  The online imputer no longer
+#: serves queries — it is retained for ingest-time refresh only; the
+#: completion object owns the serve-path NaN filling.
+Pipeline = Tuple[
+    LocationEstimator,
+    Optional[OnlineImputer],
+    Optional[np.ndarray],
+    Any,
+]
 
 
 @dataclass
@@ -100,6 +125,11 @@ class ServiceStats:
     delta_rows: int = 0
     keys_invalidated: int = 0
     keys_kept: int = 0
+    #: Shards serving through a degraded completion because their
+    #: artifact's precomputed tensor failed validation (old artifact,
+    #: manifest drift) — each one pays encoder/mean-fill costs the
+    #: precompute was supposed to remove, so alert on this going up.
+    precompute_fallbacks: int = 0
     per_venue: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -124,6 +154,11 @@ class ServiceStats:
                 f"({self.delta_rows} rows); cache keys "
                 f"invalidated={self.keys_invalidated} "
                 f"kept={self.keys_kept}"
+            )
+        if self.precompute_fallbacks:
+            lines.append(
+                f"  precompute fallbacks={self.precompute_fallbacks} "
+                "(shards serving without their precomputed tensor)"
             )
         for venue in sorted(self.per_venue):
             lines.append(f"  {venue}: {self.per_venue[venue]} queries")
@@ -151,11 +186,7 @@ class _ShardSource:
 class _PreparedUpdate:
     """A fully-built delta update, ready for one atomic install."""
 
-    pipeline: Tuple[
-        LocationEstimator,
-        Optional[OnlineImputer],
-        Optional[np.ndarray],
-    ]
+    pipeline: Pipeline
     source: _ShardSource
     rows: int
     paths: int
@@ -238,15 +269,22 @@ class VenueShard:
         estimator: LocationEstimator,
         online_imputer: Optional[OnlineImputer] = None,
         fill_values: Optional[np.ndarray] = None,
+        completion: Any = None,
     ):
         self.key = key
         self.n_aps = int(n_aps)
-        self._pipeline: Tuple[
-            LocationEstimator,
-            Optional[OnlineImputer],
-            Optional[np.ndarray],
-        ] = (estimator, online_imputer, fill_values)
+        if completion is None:
+            completion = completion_from(online_imputer, fill_values)
+        self._pipeline: Pipeline = (
+            estimator,
+            online_imputer,
+            fill_values,
+            completion,
+        )
         self._source: Optional[_ShardSource] = None
+        #: True when a warm start could not validate its precomputed
+        #: tensor and serves through a degraded completion instead.
+        self.precompute_fallback = False
         self.epoch = 0
 
     @property
@@ -261,6 +299,12 @@ class VenueShard:
     def fill_values(self) -> Optional[np.ndarray]:
         return self._pipeline[2]
 
+    @property
+    def completion(self) -> Any:
+        """The serve-path NaN-filling strategy (see
+        :mod:`repro.serving.completion`)."""
+        return self._pipeline[3]
+
     @classmethod
     def build(
         cls,
@@ -274,9 +318,10 @@ class VenueShard:
         """Run the offline half of the pipeline and fit the estimator.
 
         Differentiates the radio map, MNAR-fills it, then either trains
-        a BiSIM (``bisim_config`` given) — whose encoder both imputes
-        the map the estimator trains on and serves the online queries —
-        or falls back to per-AP mean imputation for instant deploys.
+        a BiSIM (``bisim_config`` given) — whose encoder imputes the
+        map once, at build time; the resulting precomputed tensor both
+        trains the estimator and completes online queries — or falls
+        back to per-AP mean imputation for instant deploys.
         """
         estimator = estimator or WKNNEstimator()
         mask = differentiator.differentiate(radio_map)
@@ -290,7 +335,12 @@ class VenueShard:
             )
             estimator.fit(fp_complete, rps_complete)
             shard = cls(
-                key, radio_map.n_aps, estimator, online, fill_values
+                key,
+                radio_map.n_aps,
+                estimator,
+                online,
+                fill_values,
+                MapCompletion(fp_complete, fill_values),
             )
             shard._source = _ShardSource(
                 radio_map,
@@ -340,15 +390,21 @@ class VenueShard:
         """Persist the deployed shard as one warm-start artifact.
 
         The bundle (kind ``"serving.shard"``) embeds the fitted
-        estimator, the trained online imputer (when present) and the
-        per-AP fill values, so :meth:`load` boots an identical shard
-        in a fresh process without touching the radio map or training.
+        estimator, the trained online imputer (when present), the
+        per-AP fill values and — for shards completing against a
+        precomputed map — the precomputed tensor itself, so
+        :meth:`load` boots an identical shard in a fresh process
+        without touching the radio map or training.  Shard artifacts
+        are written uncompressed so the precomputed tensor can be
+        memory-mapped straight out of the file at load time.
         """
-        estimator, online_imputer, fill_values = self._pipeline
+        estimator, online_imputer, fill_values, completion = (
+            self._pipeline
+        )
         est_kind, est_config, est_arrays = estimator_payload(estimator)
         arrays: Dict[str, np.ndarray] = {}
         merge_prefixed(arrays, "estimator.", est_arrays)
-        config = {
+        config: Dict[str, Any] = {
             "key": self.key,
             "n_aps": self.n_aps,
             "estimator": {"kind": est_kind, "config": est_config},
@@ -364,6 +420,16 @@ class VenueShard:
             metrics.update(imp_metrics)
         if fill_values is not None:
             arrays["fill_values"] = np.asarray(fill_values, dtype=float)
+        if isinstance(completion, MapCompletion):
+            tensor = np.ascontiguousarray(
+                completion.precomputed, dtype=float
+            )
+            arrays["precomputed"] = tensor
+            config["precomputed"] = {
+                "shape": list(tensor.shape),
+                "sha256": hashlib.sha256(tensor.tobytes()).hexdigest(),
+                "k": completion.k,
+            }
         save_artifact(
             Artifact(
                 kind=SHARD_KIND,
@@ -372,6 +438,7 @@ class VenueShard:
                 metrics=metrics,
             ),
             path,
+            compress=False,
         )
 
     @classmethod
@@ -380,8 +447,19 @@ class VenueShard:
 
         ``key`` overrides the venue key stored in the artifact, so one
         trained bundle can be deployed under several venue names.
+
+        The precomputed completion tensor (when the artifact declares
+        one) is memory-mapped rather than copied, and validated
+        against the manifest's recorded shape and SHA-256 before use.
+        A tensor that is missing, misshapen or hash-mismatched does
+        **not** fail the load: the shard falls back to on-the-fly
+        completion (encoder or mean fill, whatever the bundle carries)
+        with :attr:`precompute_fallback` set, so old artifacts stay
+        servable and the service can count the degradation.
         """
-        artifact = load_artifact(path, expected_kind=SHARD_KIND)
+        artifact = load_artifact(
+            path, expected_kind=SHARD_KIND, mmap_arrays=("precomputed",)
+        )
         config = artifact.config
         est_spec = config["estimator"]
         estimator = estimator_from_payload(
@@ -396,12 +474,58 @@ class VenueShard:
                 split_prefixed(artifact.arrays, "imputer."),
             )
         fill_values = artifact.arrays.get("fill_values")
-        return cls(
+        completion, fallback = cls._completion_from_artifact(
+            artifact, online, fill_values
+        )
+        shard = cls(
             key or config["key"],
             int(config["n_aps"]),
             estimator,
             online,
             fill_values,
+            completion,
+        )
+        shard.precompute_fallback = fallback
+        return shard
+
+    @staticmethod
+    def _completion_from_artifact(
+        artifact: Artifact,
+        online: Optional[OnlineImputer],
+        fill_values: Optional[np.ndarray],
+    ) -> Tuple[Any, bool]:
+        """``(completion, is_fallback)`` for a loaded shard artifact.
+
+        Validates the precomputed tensor against the manifest's
+        declared shape and SHA-256; any mismatch degrades to the
+        legacy on-the-fly completion instead of raising.
+        """
+        spec = artifact.config.get("precomputed")
+        if spec is None:
+            # Pre-precompute artifact (or a mean-fill shard, which
+            # never carries a tensor): legacy completion, and only a
+            # *fallback* when an encoder is being pressed into the
+            # serve path the precompute was meant to retire.
+            return completion_from(online, fill_values), online is not None
+        tensor = artifact.arrays.get("precomputed")
+        valid = (
+            tensor is not None
+            and list(tensor.shape) == list(spec.get("shape", []))
+            and hashlib.sha256(
+                np.ascontiguousarray(tensor, dtype=float).tobytes()
+            ).hexdigest()
+            == spec.get("sha256")
+        )
+        if not valid:
+            fallback = completion_from(online, fill_values)
+            if isinstance(fallback, EncoderCompletion):
+                fallback.fallback = True
+            return fallback, True
+        return (
+            MapCompletion(
+                tensor, fill_values, k=int(spec.get("k", 3))
+            ),
+            False,
         )
 
     def reload(self, path) -> None:
@@ -429,6 +553,7 @@ class VenueShard:
         # a reloaded artifact carries none, so deltas need a fresh
         # attach_source() after a reload.
         self._source = fresh._source
+        self.precompute_fallback = fresh.precompute_fallback
         self.epoch += 1
 
     # ------------------------------------------------------------------
@@ -461,7 +586,7 @@ class VenueShard:
             )
         mask = differentiator.differentiate(radio_map)
         filled, amended = fill_mnars(radio_map, mask)
-        _, online, _ = self._pipeline
+        online = self._pipeline[1]
         imputed_fp = imputed_rps = None
         if online is not None:
             imputed_fp, imputed_rps = online.trainer.impute(
@@ -538,7 +663,7 @@ class VenueShard:
         filled, amended = fill_mnars(merged, mask)
         fill_values = self._fill_values_from(filled.fingerprints)
 
-        estimator_old, online_old, _ = self._pipeline
+        estimator_old, online_old = self._pipeline[0], self._pipeline[1]
         estimator = _clone_unfitted(estimator_old)
         if online_old is not None:
             refresh_ids = (
@@ -549,6 +674,9 @@ class VenueShard:
             online = online_old.refreshed(filled, amended, refresh_ids)
             n = merged.n_records
             if stitched and src.imputed_fp is not None:
+                # Patch the precomputed tensor in place of a full
+                # re-imputation: clean paths keep their rows, only the
+                # dirty paths go back through the trainer.
                 fp_c = np.empty((n, self.n_aps))
                 rps_c = np.empty((n, 2))
                 for pid, rows in new_rows.items():
@@ -563,9 +691,17 @@ class VenueShard:
                     rps_c[dirty_idx] = sub_rps
             else:
                 fp_c, rps_c = online.trainer.impute(filled, amended)
-            estimator.fit(fp_c, rps_c)
+            self._refit(
+                estimator, estimator_old, fp_c, rps_c,
+                dirty, new_rows, old_rows,
+            )
             return _PreparedUpdate(
-                pipeline=(estimator, online, fill_values),
+                pipeline=(
+                    estimator,
+                    online,
+                    fill_values,
+                    MapCompletion(fp_c, fill_values),
+                ),
                 source=_ShardSource(
                     merged, src.differentiator, mask, fp_c, rps_c
                 ),
@@ -577,10 +713,60 @@ class VenueShard:
             self.key, estimator, merged, filled, fill_values
         )
         return _PreparedUpdate(
-            pipeline=(estimator, None, fill_values),
+            pipeline=(
+                estimator,
+                None,
+                fill_values,
+                MeanFillCompletion(fill_values),
+            ),
             source=_ShardSource(merged, src.differentiator, mask),
             rows=delta.n_rows,
             paths=delta.n_paths,
+        )
+
+    @staticmethod
+    def _refit(
+        estimator: LocationEstimator,
+        estimator_old: LocationEstimator,
+        fingerprints: np.ndarray,
+        locations: np.ndarray,
+        dirty: set,
+        new_rows: Dict[int, np.ndarray],
+        old_rows: Dict[int, np.ndarray],
+    ) -> None:
+        """Fit the cloned estimator, reusing the old spatial index.
+
+        When the outgoing estimator carries a spatial index, the rows
+        of clean (non-dirty) paths keep their bucket assignment and
+        only dirty-path rows are re-placed
+        (:meth:`~repro.positioning.base.NearestNeighbourEstimator.fit_incremental`);
+        otherwise this is a plain :meth:`fit`.  Results are identical
+        either way — the index is exact under any bucket assignment.
+        """
+        old_index = (
+            estimator_old.index
+            if isinstance(estimator_old, NearestNeighbourEstimator)
+            and estimator_old.fitted
+            else None
+        )
+        if old_index is None or not isinstance(
+            estimator, NearestNeighbourEstimator
+        ):
+            estimator.fit(fingerprints, locations)
+            return
+        clean = [
+            pid
+            for pid in new_rows
+            if pid not in dirty and pid in old_rows
+        ]
+        if clean:
+            keep_old = np.concatenate([old_rows[p] for p in clean])
+            keep_new = np.concatenate([new_rows[p] for p in clean])
+        else:
+            keep_old = keep_new = np.empty(0, dtype=np.int64)
+        estimator._index = old_index
+        estimator.fit_incremental(
+            fingerprints, locations, keep_old, keep_new
         )
 
     def _install_update(self, prepared: _PreparedUpdate) -> None:
@@ -621,51 +807,41 @@ class VenueShard:
             )
         return queries
 
-    @staticmethod
-    def _impute(
-        queries: np.ndarray,
-        online_imputer: Optional[OnlineImputer],
-        fill_values: Optional[np.ndarray],
-    ) -> np.ndarray:
-        if online_imputer is not None:
-            return online_imputer.impute_batch(queries, squeeze=False)
-        assert fill_values is not None
-        return np.where(
-            np.isfinite(queries), queries, fill_values[None, :]
-        )
-
     def impute(self, queries: np.ndarray) -> np.ndarray:
         """Complete a ``(n, D)`` query batch (NaN = missing).
 
-        Wrong-width batches fail with a :class:`ServingError` naming
-        the venue contract, the same check :meth:`locate` performs —
-        not a deep imputer/broadcast error.
+        Runs the pipeline's completion strategy — masked KNN against
+        the precomputed tensor, mean fill, or (fallback only) the
+        BiSIM encoder.  Wrong-width batches fail with a
+        :class:`ServingError` naming the venue contract, the same
+        check :meth:`locate` performs — not a deep imputer/broadcast
+        error.
         """
         queries = self._validate(queries)
-        _, online_imputer, fill_values = self._pipeline
-        return self._impute(queries, online_imputer, fill_values)
+        completion = self._pipeline[3]
+        if completion is None:
+            raise ServingError(
+                f"venue {self.key!r} has no completion strategy"
+            )
+        return completion.complete(queries)
 
     @staticmethod
     def _locate_with(
-        pipeline: Tuple[
-            LocationEstimator,
-            Optional[OnlineImputer],
-            Optional[np.ndarray],
-        ],
-        queries: np.ndarray,
+        pipeline: Pipeline, queries: np.ndarray
     ) -> np.ndarray:
-        """Impute → estimate through an explicit pipeline tuple.
+        """Complete → estimate through an explicit pipeline tuple.
 
         Lets the delta-apply path evaluate cached queries against both
         the outgoing and the incoming pipeline for targeted cache
         invalidation.
         """
-        estimator, online_imputer, fill_values = pipeline
-        imputed = VenueShard._impute(queries, online_imputer, fill_values)
-        return estimator.predict(imputed, squeeze=False)
+        estimator, _, _, completion = pipeline
+        if completion is not None:
+            queries = completion.complete(queries)
+        return estimator.predict(queries, squeeze=False)
 
     def locate(self, queries: np.ndarray) -> np.ndarray:
-        """Full online path: impute, then batched estimation → (n, 2)."""
+        """Full online path: complete, then batched estimation → (n, 2)."""
         queries = self._validate(queries)
         # One tuple read = one consistent pipeline, even mid-reload.
         return self._locate_with(self._pipeline, queries)
@@ -738,6 +914,8 @@ class PositioningService:
                     f"venue {shard.key!r} already registered"
                 )
             self._shards[shard.key] = shard
+            if shard.precompute_fallback:
+                self._stats.precompute_fallbacks += 1
         return shard
 
     def deploy(
@@ -788,6 +966,8 @@ class PositioningService:
         fresh = VenueShard.load(path, key=key)
         with self._lock:
             shard._install(fresh)
+            if fresh.precompute_fallback:
+                self._stats.precompute_fallbacks += 1
             for cache_key in [k for k in self._cache if k[0] == key]:
                 del self._cache[cache_key]
         return shard
@@ -925,12 +1105,35 @@ class PositioningService:
         (venue, cache key) within the batch are computed once and
         fanned out (the repeats count as hits); the remaining misses
         are grouped per venue and go through each shard's batched
-        impute→estimate path in one call.
+        complete→estimate path in one call.
+
+        A uniform batch — one venue, ``(n, D)`` ndarray — skips the
+        per-row Python validation loop entirely, and with caching
+        disabled goes straight to the shard with no key machinery at
+        all; large single-venue batches stay matmul-bound.
         """
         start = time.perf_counter()
         n = len(venues)
         if n != len(fingerprints):
             raise ServingError("venues/fingerprints length mismatch")
+
+        uniform = (
+            n > 0
+            and isinstance(fingerprints, np.ndarray)
+            and fingerprints.ndim == 2
+            and len(set(venues)) == 1
+        )
+        if uniform:
+            venue = venues[0]
+            shard = self.shard(venue)
+            batch = shard._validate(fingerprints)
+            if not self.cache_size:
+                return self._serve_uniform(venue, shard, batch, start)
+            keys = self.cache_keys(venue, batch)
+            return self._serve_rows(
+                venues, batch, keys, start, {venue: batch}
+            )
+
         # Validate every row before touching stats or the cache, so a
         # bad row cannot leave the counters half-updated.
         rows_fp: List[np.ndarray] = []
@@ -957,6 +1160,25 @@ class PositioningService:
                 for i, key in zip(rows, self.cache_keys(venue, batch)):
                     keys[i] = key
         return self._serve_rows(venues, rows_fp, keys, start, stacks)
+
+    def _serve_uniform(
+        self,
+        venue: str,
+        shard: VenueShard,
+        batch: np.ndarray,
+        start: float,
+    ) -> np.ndarray:
+        """Cache-off single-venue fast path: one locate, one stats
+        publish, no per-row bookkeeping."""
+        out = shard.locate(batch)
+        n = batch.shape[0]
+        with self._lock:
+            stats = self._stats
+            stats.per_venue[venue] = stats.per_venue.get(venue, 0) + n
+            stats.queries += n
+            stats.batches += 1
+            stats.seconds += time.perf_counter() - start
+        return out
 
     def _serve_rows(
         self,

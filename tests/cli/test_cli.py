@@ -18,6 +18,17 @@ class TestParser:
         assert "serve-bench" in EXPERIMENTS
         args = build_parser().parse_args(["serve-bench"])
         assert args.experiment == "serve-bench"
+        assert args.spatial_index is True
+
+    def test_serve_bench_spatial_index_flags(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--no-spatial-index"]
+        )
+        assert args.spatial_index is False
+        args = build_parser().parse_args(
+            ["serve-bench", "--spatial-index"]
+        )
+        assert args.spatial_index is True
 
     def test_pipeline_commands_registered(self):
         args = build_parser().parse_args(

@@ -108,8 +108,9 @@ class TestShardParity:
         )
 
     def test_bisim_shard_apply_matches_manual_recompute(self, base):
-        """BiSIM shards keep the trained encoder; the index refresh
-        and estimator refit must equal a full recompute with the same
+        """BiSIM shards keep the trained encoder for ingest-time
+        refresh; the refreshed precomputed map, index refresh and
+        estimator refit must equal a full recompute with the same
         trainer."""
         dataset, base_map, delta = base
         shard = VenueShard.build(
@@ -125,15 +126,26 @@ class TestShardParity:
         mask = MNAROnlyDifferentiator().differentiate(merged)
         filled, amended = fill_mnars(merged, mask)
         from repro.bisim import OnlineImputer
+        from repro.serving import MapCompletion
 
         online = OnlineImputer(trainer)
         online.index(filled, amended)
         fp_c, rps_c = trainer.impute(filled, amended)
         estimator = WKNNEstimator().fit(fp_c, rps_c)
 
+        # Serving completes queries against the precomputed imputed
+        # map (masked KNN), not the encoder — mirror that here.
+        fills = np.nanmean(
+            np.where(np.isfinite(fp_c), fp_c, np.nan), axis=0
+        )
+        completion = MapCompletion(fp_c, fills)
+        np.testing.assert_array_equal(
+            np.asarray(shard.completion.precomputed), fp_c
+        )
+
         pool = aligned_pool(dataset, 24, seed=3)
         expected = estimator.predict(
-            online.impute_batch(pool, squeeze=False), squeeze=False
+            completion.complete(pool), squeeze=False
         )
         np.testing.assert_array_equal(shard.locate(pool), expected)
 

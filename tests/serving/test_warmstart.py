@@ -196,6 +196,123 @@ class TestArtifactSafety:
             VenueShard.load(path)
 
 
+class TestPrecomputeFallback:
+    """Shard artifacts carry the build-time imputed tensor; a shard
+    that cannot validate it serves through the encoder instead of
+    refusing to boot, and the service counts the degradation."""
+
+    @pytest.fixture(scope="class")
+    def bisim_artifact(self, kaide_smoke, tmp_path_factory):
+        shard = VenueShard.build(
+            "kaide",
+            kaide_smoke.radio_map,
+            TopoACDifferentiator(
+                entities=kaide_smoke.venue.plan.entities
+            ),
+            estimator=WKNNEstimator(),
+            bisim_config=BiSIMConfig(hidden_size=8, epochs=2),
+        )
+        path = tmp_path_factory.mktemp("shards") / "bisim.npz"
+        shard.save(path)
+        return shard, path
+
+    @staticmethod
+    def resave(path, out, *, drop=(), config_update=None):
+        from repro.artifacts import load_artifact, save_artifact
+
+        artifact = load_artifact(path)
+        for name in drop:
+            artifact.arrays.pop(name, None)
+            artifact.config.pop(name, None)
+        if config_update:
+            artifact.config["precomputed"].update(config_update)
+        save_artifact(artifact, out)
+        return out
+
+    def test_valid_artifact_uses_precomputed_tensor(
+        self, bisim_artifact
+    ):
+        from repro.serving import MapCompletion
+
+        shard, path = bisim_artifact
+        loaded = VenueShard.load(path)
+        assert isinstance(loaded.completion, MapCompletion)
+        assert not loaded.precompute_fallback
+        service = PositioningService()
+        service.register(loaded)
+        assert service.stats.precompute_fallbacks == 0
+
+    def test_hash_mismatch_falls_back_to_encoder(
+        self, bisim_artifact, kaide_smoke, tmp_path
+    ):
+        from repro.serving import EncoderCompletion
+
+        shard, path = bisim_artifact
+        bad = self.resave(
+            path,
+            tmp_path / "bad-hash.npz",
+            config_update={"sha256": "0" * 64},
+        )
+        service = PositioningService()
+        loaded = service.deploy_from_artifact(bad)
+        assert loaded.precompute_fallback
+        assert isinstance(loaded.completion, EncoderCompletion)
+        assert loaded.completion.fallback
+        assert service.stats.precompute_fallbacks == 1
+        # Degraded but serving: the encoder path is the PR-5 pipeline.
+        queries = scans(kaide_smoke, 5, 7)
+        out = service.query_batch(["kaide"] * 5, queries)
+        assert np.isfinite(out).all()
+
+    def test_shape_mismatch_falls_back(self, bisim_artifact, tmp_path):
+        shard, path = bisim_artifact
+        bad = self.resave(
+            path,
+            tmp_path / "bad-shape.npz",
+            config_update={"shape": [1, 1]},
+        )
+        loaded = VenueShard.load(bad)
+        assert loaded.precompute_fallback
+
+    def test_legacy_bisim_artifact_counts_as_fallback(
+        self, bisim_artifact, tmp_path
+    ):
+        shard, path = bisim_artifact
+        legacy = self.resave(
+            path, tmp_path / "legacy.npz", drop=("precomputed",)
+        )
+        service = PositioningService()
+        loaded = service.deploy_from_artifact(legacy)
+        assert loaded.precompute_fallback
+        assert service.stats.precompute_fallbacks == 1
+
+    def test_mean_fill_artifact_is_not_a_fallback(
+        self, mean_fill_shard, tmp_path
+    ):
+        path = tmp_path / "mean.npz"
+        mean_fill_shard.save(path)
+        service = PositioningService()
+        loaded = service.deploy_from_artifact(path)
+        assert not loaded.precompute_fallback
+        assert service.stats.precompute_fallbacks == 0
+
+    def test_reload_counts_fallback(
+        self, bisim_artifact, mean_fill_shard, tmp_path
+    ):
+        shard, path = bisim_artifact
+        bad = self.resave(
+            path,
+            tmp_path / "bad-reload.npz",
+            config_update={"sha256": "f" * 64},
+        )
+        service = PositioningService()
+        service.register(mean_fill_shard)
+        assert service.stats.precompute_fallbacks == 0
+        service.reload("kaide", bad)
+        assert service.stats.precompute_fallbacks == 1
+        assert "precompute fallbacks" in service.stats.render()
+
+
 class TestCliTrainRoundTrip:
     """The acceptance path: CLI-trained artifact == in-process pipeline."""
 
