@@ -19,8 +19,13 @@ Producers/consumers across the library:
 from .io import (
     SCHEMA_VERSION,
     Artifact,
+    MemberSpec,
+    attach_member,
+    attach_members,
+    backed_by_memmap,
     content_hash,
     load_artifact,
+    mappable_members,
     merge_prefixed,
     pack_ragged,
     read_manifest,
@@ -33,9 +38,14 @@ from .store import ArtifactStore
 __all__ = [
     "Artifact",
     "ArtifactStore",
+    "MemberSpec",
     "SCHEMA_VERSION",
+    "attach_member",
+    "attach_members",
+    "backed_by_memmap",
     "content_hash",
     "load_artifact",
+    "mappable_members",
     "merge_prefixed",
     "pack_ragged",
     "read_manifest",

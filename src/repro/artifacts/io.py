@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -151,44 +152,149 @@ def save_artifact(
     return path
 
 
-def _memmap_member(path: Path, name: str) -> Optional[np.ndarray]:
-    """Read-only memory map of one uncompressed npz member, or None.
+#: Where one mappable npz member's payload lives in the file:
+#: ``(dtype string, shape tuple, byte offset of the array data)``.
+MemberSpec = Tuple[str, Tuple[int, ...], int]
 
-    Only ``ZIP_STORED`` members in C order qualify — the npy payload
+
+def _stored_member_spec(
+    f, info: zipfile.ZipInfo
+) -> Optional[MemberSpec]:
+    """Parse one ``ZIP_STORED`` member's npy header → spec, or None.
+
+    Only uncompressed members in C order qualify — the npy payload
     then sits contiguously in the file, so the array data can be
     mapped at ``local header + npy header`` without touching the rest
     of the archive.
     """
+    f.seek(info.header_offset)
+    local = f.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        return None
+    name_len = int.from_bytes(local[26:28], "little")
+    extra_len = int.from_bytes(local[28:30], "little")
+    f.seek(info.header_offset + 30 + name_len + extra_len)
+    version = np.lib.format.read_magic(f)
+    if version == (1, 0):
+        header = np.lib.format.read_array_header_1_0(f)
+    elif version == (2, 0):
+        header = np.lib.format.read_array_header_2_0(f)
+    else:
+        return None
+    shape, fortran, dtype = header
+    if fortran or dtype.hasobject:
+        return None
+    return (
+        str(dtype),
+        tuple(int(s) for s in shape),
+        int(f.tell()),
+    )
+
+
+def mappable_members(path: PathLike) -> Dict[str, MemberSpec]:
+    """Specs of every array member that can be memory-mapped in place.
+
+    The specs are the cheap-reload currency of the shard registry: a
+    caller that has already validated an artifact once (content hash
+    and all) can stash these and later re-attach the arrays with
+    :func:`attach_member` at memmap cost — no zip walk, no JSON, no
+    re-hash.  Compressed, Fortran-order or object members are simply
+    absent from the result; an unreadable file yields ``{}``.
+    """
+    path = Path(path)
+    specs: Dict[str, MemberSpec] = {}
+    try:
+        with zipfile.ZipFile(path) as zf:
+            infos = zf.infolist()
+        with open(path, "rb") as f:
+            for info in infos:
+                name = info.filename
+                if (
+                    not name.endswith(".npy")
+                    or info.compress_type != zipfile.ZIP_STORED
+                ):
+                    continue
+                member = name[: -len(".npy")]
+                if member == _MANIFEST_KEY:
+                    continue
+                spec = _stored_member_spec(f, info)
+                if spec is not None:
+                    specs[member] = spec
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return {}
+    return specs
+
+
+def attach_member(path: PathLike, spec: MemberSpec) -> np.ndarray:
+    """Read-only memory map of one member from its cached spec.
+
+    The inverse of a :func:`mappable_members` lookup.  No validation
+    happens here — the caller owns checking that the file has not
+    changed since the spec was taken (mtime/size), which is what makes
+    this the fast path.
+    """
+    dtype, shape, offset = spec
+    return np.memmap(
+        Path(path),
+        dtype=np.dtype(dtype),
+        mode="r",
+        offset=int(offset),
+        shape=tuple(shape),
+    )
+
+
+def attach_members(
+    path: PathLike, specs: Dict[str, MemberSpec]
+) -> Dict[str, np.ndarray]:
+    """Read-only maps of many members through **one** file mapping.
+
+    :func:`attach_member` costs an open + mmap syscall pair per
+    array; a shard re-attach touches several arrays per venue at
+    registry-miss frequency, so this variant maps the file once and
+    carves every member out of the shared buffer with zero-copy
+    views.  The views keep the mapping alive; same no-validation
+    contract as :func:`attach_member`.
+    """
+    with open(Path(path), "rb") as f:
+        buf = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    out: Dict[str, np.ndarray] = {}
+    for name, (dtype_str, shape, offset) in specs.items():
+        dt = np.dtype(dtype_str)
+        count = 1
+        for s in shape:
+            count *= int(s)
+        out[name] = np.frombuffer(
+            buf, dtype=dt, count=count, offset=int(offset)
+        ).reshape(shape)
+    return out
+
+
+def backed_by_memmap(a: np.ndarray) -> bool:
+    """Whether an array's storage is file-backed (walks views).
+
+    Recognises both :class:`numpy.memmap` and arrays carved out of a
+    raw :class:`mmap.mmap` buffer (:func:`attach_members`).
+    """
+    node = a
+    while isinstance(node, np.ndarray):
+        if isinstance(node, np.memmap):
+            return True
+        if isinstance(node.base, mmap.mmap):
+            return True
+        node = node.base
+    return False
+
+
+def _memmap_member(path: Path, name: str) -> Optional[np.ndarray]:
+    """Read-only memory map of one uncompressed npz member, or None."""
     try:
         with zipfile.ZipFile(path) as zf:
             info = zf.getinfo(name + ".npy")
         if info.compress_type != zipfile.ZIP_STORED:
             return None
         with open(path, "rb") as f:
-            f.seek(info.header_offset)
-            local = f.read(30)
-            if len(local) != 30 or local[:4] != b"PK\x03\x04":
-                return None
-            name_len = int.from_bytes(local[26:28], "little")
-            extra_len = int.from_bytes(local[28:30], "little")
-            f.seek(info.header_offset + 30 + name_len + extra_len)
-            version = np.lib.format.read_magic(f)
-            if version == (1, 0):
-                header = np.lib.format.read_array_header_1_0(f)
-            elif version == (2, 0):
-                header = np.lib.format.read_array_header_2_0(f)
-            else:
-                return None
-            shape, fortran, dtype = header
-            if fortran or dtype.hasobject:
-                return None
-            return np.memmap(
-                path,
-                dtype=dtype,
-                mode="r",
-                offset=f.tell(),
-                shape=tuple(shape),
-            )
+            spec = _stored_member_spec(f, info)
+        return None if spec is None else attach_member(path, spec)
     except (OSError, KeyError, ValueError):
         return None
 

@@ -32,7 +32,13 @@ estimator) and writes a warm-start shard bundle;
 from it in a fresh process without retraining.  ``impute`` completes a
 venue's radio map with a trained model and writes the imputed map.
 ``serve-bench`` benchmarks the serving subsystem, including cold-start
-(train + deploy) versus warm-start (load artifact) timings.
+(train + deploy) versus warm-start (load artifact) timings.  With
+``--workers N`` it instead runs the city-scale shard-fleet benchmark:
+N worker processes serving a Zipf-skewed stream over ``--fleet-venues``
+synthetic venues under a ``--memory-budget-mb`` LRU eviction budget,
+compared head-to-head (and bit-for-bit) against one process::
+
+    python -m repro serve-bench --workers 4 --fleet-venues 500
 """
 
 from __future__ import annotations
@@ -82,7 +88,7 @@ from .ingest import (
 from .radiomap import RadioMap, save_radio_map
 from .serving import SHARD_KIND, PositioningService, VenueShard
 from .serving import bench as serve_bench
-from .serving import loadgen
+from .serving import fleetbench, loadgen
 from .tracking import TrackingScenario
 from .tracking import loadgen as tracking_loadgen
 
@@ -208,6 +214,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--hidden-size",
         type=int,
         help="override the preset's BiSIM hidden size (train)",
+    )
+    fleet = parser.add_argument_group(
+        "shard fleet (serve-bench --workers N)"
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        help=(
+            "serve-bench: run the multi-process shard-fleet benchmark "
+            "with this many worker processes instead of the "
+            "single-shard bench (try 4)"
+        ),
+    )
+    fleet.add_argument(
+        "--memory-budget-mb",
+        dest="memory_budget_mb",
+        type=float,
+        help=(
+            "per-registry memory budget in MiB; shards above it are "
+            "LRU-evicted (default: sized to keep ~40%% of the venue "
+            "pool resident)"
+        ),
+    )
+    fleet.add_argument(
+        "--fleet-venues",
+        dest="fleet_venues",
+        type=int,
+        default=500,
+        help="synthetic venues in the city pool (default: 500)",
     )
     ingest = parser.add_argument_group(
         "streaming ingestion (ingest)"
@@ -591,7 +626,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         module = EXPERIMENTS[name]
         start = time.perf_counter()
-        if name == "serve-bench":
+        if name == "serve-bench" and args.workers is not None:
+            result = fleetbench.run(
+                config,
+                n_venues=args.fleet_venues,
+                workers=args.workers,
+                memory_budget_mb=args.memory_budget_mb,
+                seed=args.seed,
+            )
+        elif name == "serve-bench":
             result = module.run(
                 config,
                 artifact_path=args.artifact,

@@ -443,7 +443,11 @@ class SpatialIndex:
         contiguous block; with ``thresh32`` given only pairs at or
         under the per-query threshold are kept, otherwise every pair
         is returned (the probe pool).  Returns ``(query_idx,
-        sorted_row_idx, f32_distance)`` arrays.
+        sorted_row_idx, f32_distance)`` arrays — the distances stay
+        float32 end to end (they are only ever *bounds*; widening
+        them to f64 per bucket bought nothing but copies, and the
+        f32→f64 conversion is value-exact wherever a caller needs the
+        wide type).
         """
         qis, ris, vs = [], [], []
         offsets = self._offsets
@@ -459,15 +463,15 @@ class SpatialIndex:
             if thresh32 is None:
                 qis.append(np.repeat(rows, e - s))
                 ris.append(np.tile(np.arange(s, e), rows.size))
-                vs.append(gram.ravel().astype(np.float64))
+                vs.append(gram.ravel())
             else:
                 rr, cc = np.nonzero(gram <= thresh32[rows, None])
                 qis.append(rows[rr])
                 ris.append(cc + s)
-                vs.append(gram[rr, cc].astype(np.float64))
+                vs.append(gram[rr, cc])
         if not qis:
             empty = np.empty(0, dtype=np.int64)
-            return empty, empty.copy(), np.empty(0)
+            return empty, empty.copy(), np.empty(0, dtype=np.float32)
         return (
             np.concatenate(qis),
             np.concatenate(ris),
@@ -478,18 +482,26 @@ class SpatialIndex:
     def _pooled_kth(
         qi: np.ndarray, values: np.ndarray, b: int, k: int
     ) -> np.ndarray:
-        """Per-query k-th smallest of a pooled ``(qi, value)`` set."""
+        """Per-query k-th smallest of a pooled ``(qi, value)`` set.
+
+        ``values`` arrives float32 from the block filter; the scatter,
+        partition and selection run at that width (half the memory
+        traffic of the old f64 pool) and only the chosen per-query
+        bound widens to f64 — an exact conversion, so the padded upper
+        bounds downstream are bit-identical to the all-f64 pool.
+        """
         order = np.argsort(qi, kind="stable")
         qi, values = qi[order], values[order]
         counts = np.bincount(qi, minlength=b)
         width = int(counts.max(initial=0))
         starts = np.concatenate([[0], np.cumsum(counts)])
         pos = np.arange(qi.size) - starts[qi]
-        pool = np.full((b, width), np.inf)
+        pool = np.full((b, width), np.inf, dtype=values.dtype)
         pool[qi, pos] = values
         if width <= k:
-            return pool.max(axis=1, initial=0.0)
-        kth = np.partition(pool, k - 1, axis=1)[:, k - 1]
-        # Queries whose probe pool came up short scan everything.
-        kth[counts < k] = np.inf
-        return np.maximum(kth, 0.0)
+            kth = pool.max(axis=1, initial=0.0)
+        else:
+            kth = np.partition(pool, k - 1, axis=1)[:, k - 1]
+            # Queries whose probe pool came up short scan everything.
+            kth[counts < k] = np.inf
+        return np.maximum(kth.astype(np.float64), 0.0)

@@ -27,6 +27,26 @@ Serving API
   throughput benchmark comparing the batched path against the old
   per-query loop.
 
+Fleet API (city scale)
+----------------------
+* :class:`ShardRegistry` — venue → artifact-key registry that lazily
+  loads shards from an :class:`~repro.artifacts.ArtifactStore` on
+  first query (memory-mapping the precomputed tensors), keeps an LRU
+  over resident venues, and evicts the coldest when a configurable
+  memory budget is exceeded; :class:`RegistryStats` counts lazy
+  loads, fast (mmap re-attach) reloads, evictions and bytes.
+* :class:`ShardFleet` — multi-process serving: venues are
+  hash-partitioned (:func:`partition_venue`) across worker processes,
+  each owning a private registry; requests are bundled over pipes,
+  served batched per venue per tick (bit-identical to per-request
+  serving), and crashed workers are respawned with their in-flight
+  work resubmitted.  :class:`FleetStats` /
+  :class:`WorkerStats` aggregate per-worker counters.
+* :mod:`repro.serving.fleetbench` — the
+  ``python -m repro serve-bench --workers N`` fleet-vs-single-process
+  benchmark over a synthetic city venue pool
+  (:func:`~repro.serving.loadgen.synthetic_venue_pool`).
+
 See ``examples/serving_demo.py`` for an end-to-end mixed-venue demo
 and ``examples/concurrent_serving.py`` for the pipeline under
 multi-threaded load.
@@ -37,14 +57,24 @@ from .completion import (
     MapCompletion,
     MeanFillCompletion,
 )
+from .fleet import (
+    FleetStats,
+    RegistryStats,
+    ShardFleet,
+    ShardRegistry,
+    WorkerStats,
+    partition_venue,
+)
 from .loadgen import (
     DEFAULT_MIX,
     DEFAULT_SCENARIO,
     DRIFT_SCENARIO,
     LoadReport,
     Scenario,
+    fleet_schedule,
     run_scenario,
     scan_pool,
+    synthetic_venue_pool,
     zipf_weights,
 )
 from .pipeline import PipelineStats, ServingPipeline, Ticket
@@ -62,18 +92,26 @@ __all__ = [
     "DRIFT_SCENARIO",
     "DeltaApplyReport",
     "EncoderCompletion",
+    "FleetStats",
     "LoadReport",
     "MapCompletion",
     "MeanFillCompletion",
     "PipelineStats",
     "PositioningService",
+    "RegistryStats",
     "Scenario",
     "ServingPipeline",
     "SHARD_KIND",
     "ServiceStats",
+    "ShardFleet",
+    "ShardRegistry",
     "Ticket",
     "VenueShard",
+    "WorkerStats",
+    "fleet_schedule",
+    "partition_venue",
     "run_scenario",
     "scan_pool",
+    "synthetic_venue_pool",
     "zipf_weights",
 ]

@@ -30,6 +30,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..artifacts import backed_by_memmap
 from ..bisim import OnlineImputer
 from ..exceptions import ServingError
 
@@ -52,6 +53,12 @@ class MeanFillCompletion:
             np.isfinite(queries), queries, self.fill_values[None, :]
         )
 
+    def resident_nbytes(self) -> int:
+        return int(self.fill_values.nbytes)
+
+    def mapped_nbytes(self) -> int:
+        return 0
+
 
 class EncoderCompletion:
     """Run the trained BiSIM encoder over the batch (PR-5 semantics)."""
@@ -61,9 +68,29 @@ class EncoderCompletion:
         #: True when this completer stands in for a precomputed tensor
         #: that failed validation — the service counts these.
         self.fallback = fallback
+        self._nbytes: Optional[int] = None
 
     def complete(self, queries: np.ndarray) -> np.ndarray:
         return self.online.impute_batch(queries, squeeze=False)
+
+    def resident_nbytes(self) -> int:
+        # Best effort via the checkpoint payload (model weights +
+        # context index); computed once — the registry only asks at
+        # load/evict frequency.
+        if self._nbytes is None:
+            try:
+                from ..bisim.checkpoint import online_payload
+
+                _, arrays, _ = online_payload(self.online)
+                self._nbytes = int(
+                    sum(np.asarray(a).nbytes for a in arrays.values())
+                )
+            except Exception:
+                self._nbytes = 0
+        return self._nbytes
+
+    def mapped_nbytes(self) -> int:
+        return 0
 
 
 class MapCompletion:
@@ -76,6 +103,14 @@ class MapCompletion:
     over the query's *observed* APs only — the masked expansion
     ``‖q_obs‖² + Σ_obs m² − 2·Σ_obs q·m`` costs two matmuls for the
     partially-observed rows and nothing for fully-observed ones.
+
+    A memory-mapped tensor is served *in place*: the cross-term GEMM
+    reads the map through a transposed view, so the only derived state
+    ever materialised is the per-dim squared matrix the mask term
+    needs (built on the first partially-observed batch).  Evicting the
+    completer therefore releases everything but that one matrix, and a
+    shard whose queries arrive fully observed touches no tensor pages
+    at all after the construction-time validation pass.
     """
 
     def __init__(
@@ -85,35 +120,36 @@ class MapCompletion:
         *,
         k: int = 3,
     ):
-        tensor = np.asarray(precomputed)
-        if tensor.ndim != 2 or tensor.shape[0] == 0:
+        if not isinstance(precomputed, np.ndarray):
+            precomputed = np.asarray(precomputed)
+        if precomputed.ndim != 2 or precomputed.shape[0] == 0:
             raise ServingError(
                 "precomputed completion tensor must be (n, D)"
             )
-        if not np.isfinite(tensor).all():
+        if not np.isfinite(precomputed).all():
             raise ServingError(
                 "precomputed completion tensor must be fully imputed"
             )
-        self.precomputed = tensor
+        if precomputed.dtype != np.float64:
+            # One resident copy beats a per-batch upcast; shard
+            # artifacts store float64, so this is the exotic case.
+            precomputed = np.ascontiguousarray(precomputed, dtype=float)
+        self.precomputed = precomputed
         self.fill_values = (
             None
             if fill_values is None
             else np.asarray(fill_values, dtype=float)
         )
         self.k = int(k)
-        self._lazy: Optional[tuple] = None
+        self._map_sq_t: Optional[np.ndarray] = None
 
-    def _gram_state(self) -> tuple:
-        # (map^T, per-dim squared map^T) — built on the first
-        # partially-observed batch and cached; both are plain f64
-        # copies so later matmuls never touch the memory map again.
-        if self._lazy is None:
-            dense = np.asarray(self.precomputed, dtype=float)
-            self._lazy = (
-                np.ascontiguousarray(dense.T),
-                np.ascontiguousarray((dense * dense).T),
-            )
-        return self._lazy
+    def _sq_state(self) -> np.ndarray:
+        # Per-dim squared map, (D, N) — the one derived matrix the
+        # masked expansion cannot read straight off the tensor.
+        if self._map_sq_t is None:
+            t = self.precomputed
+            self._map_sq_t = np.ascontiguousarray((t * t).T)
+        return self._map_sq_t
 
     def complete(self, queries: np.ndarray) -> np.ndarray:
         q = np.asarray(queries, dtype=float)
@@ -131,22 +167,44 @@ class MapCompletion:
             out[~any_obs] = fill
         partial = np.nonzero(any_obs & ~observed.all(axis=1))[0]
         if partial.size:
-            map_t, map_sq_t = self._gram_state()
-            qp = q[partial]
+            map_sq_t = self._sq_state()
             mask = observed[partial]
-            qz = np.where(mask, qp, 0.0)
+            # The gathered block doubles as the zero-filled query
+            # matrix: fancy indexing already copied it out of ``out``,
+            # so zeroing the missing slots in place saves the old
+            # ``np.where`` allocation per batch.
+            qz = out[partial]
+            qz[~mask] = 0.0
             d2 = (
                 (qz * qz).sum(axis=1)[:, None]
                 + mask.astype(float) @ map_sq_t
-                - 2.0 * (qz @ map_t)
+                - 2.0 * (qz @ self.precomputed.T)
             )
             k = min(self.k, self.precomputed.shape[0])
             idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
-            fills = np.asarray(self.precomputed, dtype=float)[idx].mean(
-                axis=1
-            )
-            out[partial] = np.where(mask, qp, fills)
+            fills = self.precomputed[idx].mean(axis=1)
+            # Observed slots still hold the query values — only the
+            # zeroed missing slots take the KNN fills.
+            np.copyto(qz, fills, where=~mask)
+            out[partial] = qz
         return out
+
+    def resident_nbytes(self) -> int:
+        """Bytes of completion state living in anonymous memory."""
+        n = 0
+        if not backed_by_memmap(self.precomputed):
+            n += int(self.precomputed.nbytes)
+        if self._map_sq_t is not None:
+            n += int(self._map_sq_t.nbytes)
+        if self.fill_values is not None:
+            n += int(self.fill_values.nbytes)
+        return n
+
+    def mapped_nbytes(self) -> int:
+        """Bytes of completion state served through a memory map."""
+        if backed_by_memmap(self.precomputed):
+            return int(self.precomputed.nbytes)
+        return 0
 
 
 def completion_from(

@@ -47,8 +47,9 @@ from ..experiments.base import ExperimentResult
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import get_dataset
 from ..positioning import WKNNEstimator
+from .completion import MapCompletion
 from .pipeline import ServingPipeline, Ticket
-from .service import PositioningService
+from .service import PositioningService, VenueShard
 
 #: Venues the CLI stage deploys (mixed AP counts: WiFi + Bluetooth).
 LOAD_VENUES = ("kaide", "longhu")
@@ -145,6 +146,108 @@ def scan_pool(
     return np.stack(
         [dataset.channel.measure(rps[i], rng).rssi for i in picks]
     )
+
+
+def synthetic_venue_pool(
+    n_venues: int,
+    rng: np.random.Generator,
+    *,
+    n_records: int = 96,
+    n_aps: int = 24,
+    scans_per_venue: int = 32,
+    missing_rate: float = 0.25,
+) -> Tuple[Dict[str, VenueShard], Dict[str, np.ndarray]]:
+    """A city-scale venue pool: ``n_venues`` small shards + scan pools.
+
+    Each venue is an independent log-distance-path-loss radio map
+    (its own AP layout), fitted with a
+    :class:`~repro.positioning.WKNNEstimator` built with
+    ``exact_distances=True`` — the batch-shape-invariant distance
+    kernel, so a fleet worker answering a venue's requests as one
+    per-tick batch returns **bit-identical** locations to a
+    single-process service answering them one at a time.  Alternate
+    venues complete queries against a precomputed
+    :class:`~repro.serving.MapCompletion` tensor (the memory-mapped
+    artifact path) vs plain per-AP mean fill, so a fleet over the pool
+    exercises both completion strategies.
+
+    Scan pools carry NaN holes at ``missing_rate`` to exercise the
+    completion step.  Returns ``(shards, pools)`` keyed by venue name;
+    save the shards into an :class:`~repro.artifacts.ArtifactStore`
+    to serve them through a lazy
+    :class:`~repro.serving.ShardRegistry`.
+    """
+    if n_venues < 1:
+        raise ServingError("need at least one venue")
+    side = 150.0
+    shards: Dict[str, VenueShard] = {}
+    pools: Dict[str, np.ndarray] = {}
+    for i in range(n_venues):
+        venue = f"venue-{i:04d}"
+        aps = rng.uniform(0.0, side, size=(n_aps, 2))
+        rps = rng.uniform(0.0, side, size=(n_records, 2))
+        dist = np.linalg.norm(
+            rps[:, None, :] - aps[None, :, :], axis=2
+        )
+        rssi = -30.0 - 30.0 * np.log10(np.maximum(dist, 1.0))
+        rssi += rng.normal(0.0, 3.0, size=rssi.shape)
+        fp = np.clip(rssi, -95.0, -20.0)
+        estimator = WKNNEstimator(exact_distances=True).fit(fp, rps)
+        fill_values = fp.mean(axis=0)
+        completion = (
+            MapCompletion(fp, fill_values) if i % 2 else None
+        )
+        shards[venue] = VenueShard(
+            venue, n_aps, estimator, None, fill_values, completion
+        )
+        scan_rps = rps[
+            rng.integers(0, n_records, size=scans_per_venue)
+        ]
+        sdist = np.linalg.norm(
+            scan_rps[:, None, :] - aps[None, :, :], axis=2
+        )
+        scans = np.clip(
+            -30.0
+            - 30.0 * np.log10(np.maximum(sdist, 1.0))
+            + rng.normal(0.0, 3.0, size=sdist.shape),
+            -95.0,
+            -20.0,
+        )
+        scans[rng.random(scans.shape) < missing_rate] = np.nan
+        pools[venue] = scans
+    return shards, pools
+
+
+def fleet_schedule(
+    pools: Dict[str, np.ndarray],
+    requests: int,
+    rng: np.random.Generator,
+    *,
+    zipf_exponent: float = 1.1,
+) -> List[Tuple[str, np.ndarray]]:
+    """A flat Zipf-skewed request stream over the whole venue pool.
+
+    Unlike :func:`_make_schedule` (per-thread device bursts against a
+    handful of venues), this draws the venue **per request** from a
+    Zipf distribution over all of ``pools`` — hundreds of venues — so
+    replaying it against a memory-budgeted fleet produces the real
+    mix: a hot head that stays resident and batches well, and a long
+    cold tail that forces lazy loads and evictions.  Pre-generated so
+    the measured window is submit → serve → collect only.
+    """
+    if requests < 1:
+        raise ServingError("need at least one request")
+    venues = sorted(pools)
+    weights = zipf_weights(len(venues), zipf_exponent)
+    venue_picks = rng.choice(len(venues), size=requests, p=weights)
+    schedule: List[Tuple[str, np.ndarray]] = []
+    for vi in venue_picks:
+        venue = venues[vi]
+        pool = pools[venue]
+        schedule.append(
+            (venue, pool[int(rng.integers(0, len(pool)))])
+        )
+    return schedule
 
 
 @dataclass

@@ -62,6 +62,7 @@ import numpy as np
 
 from ..artifacts import (
     Artifact,
+    backed_by_memmap,
     load_artifact,
     merge_prefixed,
     save_artifact,
@@ -460,6 +461,27 @@ class VenueShard:
         artifact = load_artifact(
             path, expected_kind=SHARD_KIND, mmap_arrays=("precomputed",)
         )
+        return cls.from_artifact(artifact, key=key)
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: Artifact,
+        *,
+        key: Optional[str] = None,
+        verify_precompute: bool = True,
+    ) -> "VenueShard":
+        """Build a shard from an already-loaded shard :class:`Artifact`.
+
+        The back half of :meth:`load`, split out so callers that manage
+        artifact bytes themselves (the shard-fleet registry re-attaching
+        an evicted venue from cached member offsets) can skip the file
+        walk.  ``verify_precompute=False`` trusts the precomputed
+        tensor's bytes and checks only its declared shape — correct
+        exactly when the same file already passed a fully-verified load
+        and is known unchanged (the registry pins mtime+size); anything
+        less re-verifies.
+        """
         config = artifact.config
         est_spec = config["estimator"]
         estimator = estimator_from_payload(
@@ -475,7 +497,7 @@ class VenueShard:
             )
         fill_values = artifact.arrays.get("fill_values")
         completion, fallback = cls._completion_from_artifact(
-            artifact, online, fill_values
+            artifact, online, fill_values, verify=verify_precompute
         )
         shard = cls(
             key or config["key"],
@@ -493,12 +515,15 @@ class VenueShard:
         artifact: Artifact,
         online: Optional[OnlineImputer],
         fill_values: Optional[np.ndarray],
+        *,
+        verify: bool = True,
     ) -> Tuple[Any, bool]:
         """``(completion, is_fallback)`` for a loaded shard artifact.
 
         Validates the precomputed tensor against the manifest's
-        declared shape and SHA-256; any mismatch degrades to the
-        legacy on-the-fly completion instead of raising.
+        declared shape and (with ``verify``) SHA-256; any mismatch
+        degrades to the legacy on-the-fly completion instead of
+        raising.
         """
         spec = artifact.config.get("precomputed")
         if spec is None:
@@ -508,14 +533,16 @@ class VenueShard:
             # serve path the precompute was meant to retire.
             return completion_from(online, fill_values), online is not None
         tensor = artifact.arrays.get("precomputed")
-        valid = (
-            tensor is not None
-            and list(tensor.shape) == list(spec.get("shape", []))
-            and hashlib.sha256(
-                np.ascontiguousarray(tensor, dtype=float).tobytes()
-            ).hexdigest()
-            == spec.get("sha256")
+        valid = tensor is not None and list(tensor.shape) == list(
+            spec.get("shape", [])
         )
+        if valid and verify:
+            valid = (
+                hashlib.sha256(
+                    np.ascontiguousarray(tensor, dtype=float).tobytes()
+                ).hexdigest()
+                == spec.get("sha256")
+            )
         if not valid:
             fallback = completion_from(online, fill_values)
             if isinstance(fallback, EncoderCompletion):
@@ -846,6 +873,60 @@ class VenueShard:
         # One tuple read = one consistent pipeline, even mid-reload.
         return self._locate_with(self._pipeline, queries)
 
+    def footprint(self) -> Tuple[int, int]:
+        """``(resident_bytes, mapped_bytes)`` of this shard's pipeline.
+
+        Best-effort accounting for memory-budgeted registries:
+        estimator state (including a spatial index's derived bucket
+        blocks), fill values, completion state and — when the shard
+        retains a trained online imputer for ingest refresh — the
+        imputer's checkpoint payload.  Memory-mapped arrays count as
+        *mapped* (they release to the page cache on eviction) and
+        everything else as *resident*.
+        """
+        estimator, online, fill_values, completion = self._pipeline
+        resident = mapped = 0
+
+        def tally(array) -> None:
+            nonlocal resident, mapped
+            a = np.asarray(array)
+            if backed_by_memmap(a):
+                mapped += int(a.nbytes)
+            else:
+                resident += int(a.nbytes)
+
+        try:
+            _, _, est_arrays = estimator_payload(estimator)
+        except (ReproError, TypeError, AttributeError):
+            est_arrays = {}
+        for a in est_arrays.values():
+            tally(a)
+        if isinstance(estimator, NearestNeighbourEstimator):
+            index = estimator.index
+            if index is not None:
+                # The persisted arrays above miss the derived
+                # bucket-contiguous blocks, which dominate the index.
+                tally(index._centered32)
+                tally(index._c2_32)
+        if fill_values is not None:
+            tally(fill_values)
+        if completion is not None and hasattr(
+            completion, "resident_nbytes"
+        ):
+            resident += int(completion.resident_nbytes())
+            mapped += int(completion.mapped_nbytes())
+        if online is not None and not isinstance(
+            completion, EncoderCompletion
+        ):
+            # EncoderCompletion already counted the imputer payload.
+            try:
+                _, imp_arrays, _ = online_payload(online)
+            except (ReproError, TypeError, AttributeError):
+                imp_arrays = {}
+            for a in imp_arrays.values():
+                tally(a)
+        return resident, mapped
+
 
 class PositioningService:
     """Routes mixed-venue fingerprint batches through venue shards.
@@ -916,6 +997,26 @@ class PositioningService:
             self._shards[shard.key] = shard
             if shard.precompute_fallback:
                 self._stats.precompute_fallbacks += 1
+        return shard
+
+    def unregister(self, key: str) -> Optional[VenueShard]:
+        """Remove a venue and drop its cached answers (LRU eviction
+        hook for memory-budgeted registries).
+
+        Returns the removed shard, or ``None`` when the venue was not
+        registered — eviction races with nothing.  In-flight
+        :meth:`query_batch` calls that already resolved the shard
+        finish against it; new queries for the venue fail with the
+        usual unknown-venue :class:`ServingError` until it is
+        registered again.
+        """
+        with self._lock:
+            shard = self._shards.pop(key, None)
+            if shard is not None:
+                for cache_key in [
+                    k for k in self._cache if k[0] == key
+                ]:
+                    del self._cache[cache_key]
         return shard
 
     def deploy(

@@ -1,0 +1,275 @@
+"""Shard fleet: lazy mmap loading, memory-budgeted LRU eviction,
+hash-partitioned multi-process routing, and crash recovery."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.exceptions import ServingError
+from repro.serving import (
+    PositioningService,
+    ShardFleet,
+    ShardRegistry,
+    partition_venue,
+)
+from repro.serving.loadgen import fleet_schedule, synthetic_venue_pool
+
+
+N_VENUES = 12
+
+
+@pytest.fixture(scope="module")
+def city(tmp_path_factory):
+    """A small saved city pool: (store, mapping, scan pools)."""
+    rng = np.random.default_rng(11)
+    shards, pools = synthetic_venue_pool(
+        N_VENUES, rng, n_records=48, n_aps=12, scans_per_venue=8
+    )
+    root = tmp_path_factory.mktemp("fleet-store")
+    store = ArtifactStore(root)
+    mapping = {}
+    for venue, shard in shards.items():
+        shard.save(store.path_for(venue))
+        mapping[venue] = venue
+    return store, mapping, pools, shards
+
+
+def baseline_answers(shards, schedule):
+    return np.stack(
+        [shards[venue].locate(row[None])[0] for venue, row in schedule]
+    )
+
+
+# ----------------------------------------------------------------------
+# ShardRegistry: lazy loading and eviction
+# ----------------------------------------------------------------------
+def test_registry_loads_lazily_on_first_query(city):
+    store, mapping, pools, _ = city
+    registry = ShardRegistry(store, mapping)
+    assert registry.stats.lazy_loads == 0
+    assert registry.resident == ()
+
+    venue = sorted(mapping)[0]
+    shard = registry.get(venue)
+    out = shard.locate(pools[venue][:1])
+    assert out.shape == (1, 2)
+    assert registry.stats.lazy_loads == 1
+    assert registry.resident == (venue,)
+    # Only the touched venue is resident; byte accounting is live.
+    assert registry.stats.resident_venues == 1
+    assert registry.stats.total_bytes > 0
+
+    # Second touch is a pure hit: no loads, LRU position refreshed.
+    assert registry.get(venue) is shard
+    assert registry.stats.lazy_loads == 1
+    assert registry.stats.hits == 1
+
+
+def test_registry_unknown_venue_raises(city):
+    store, mapping, _, _ = city
+    registry = ShardRegistry(store, mapping)
+    with pytest.raises(ServingError, match="unknown venue"):
+        registry.get("venue-none")
+
+
+def test_registry_evicts_in_lru_order(city):
+    store, mapping, _, _ = city
+    venues = sorted(mapping)[:4]
+    registry = ShardRegistry(store, mapping)
+    for venue in venues:
+        registry.get(venue)
+    footprints = {
+        v: registry._entries[v].resident + registry._entries[v].mapped
+        for v in venues
+    }
+    # Touch venue 0 so venue 1 becomes the LRU candidate.
+    registry.get(venues[0])
+    assert registry.resident == (
+        venues[1],
+        venues[2],
+        venues[3],
+        venues[0],
+    )
+
+    # Shrink the budget to exactly two shards: the two least recently
+    # used (1 then 2) must go, in that order, immediately.
+    keep = footprints[venues[3]] + footprints[venues[0]]
+    registry.memory_budget_bytes = keep
+    assert registry.resident == (venues[3], venues[0])
+    assert registry.stats.evictions == 2
+    assert registry.stats.resident_venues == 2
+    assert registry.stats.total_bytes <= keep
+
+    # A reload after eviction is served by the mmap fast path and is
+    # bit-identical to the originally loaded shard.
+    again = registry.get(venues[1])
+    assert registry.stats.fast_reloads >= 1
+    first = ShardRegistry(store, mapping).get(venues[1])
+    probe = np.linspace(-90.0, -30.0, first.n_aps)[None]
+    np.testing.assert_array_equal(
+        again.locate(probe), first.locate(probe)
+    )
+
+
+def test_registry_never_evicts_the_venue_just_loaded(city):
+    store, mapping, _, _ = city
+    # A budget below a single shard still serves: the MRU survives.
+    registry = ShardRegistry(store, mapping, memory_budget_mb=1e-6)
+    a, b = sorted(mapping)[:2]
+    registry.get(a)
+    assert registry.resident == (a,)
+    registry.get(b)
+    assert registry.resident == (b,)
+    assert registry.stats.evictions == 1
+
+
+def test_registry_syncs_attached_service(city):
+    store, mapping, pools, _ = city
+    service = PositioningService(cache_size=0)
+    registry = ShardRegistry(
+        store, mapping, memory_budget_mb=1e-6, service=service
+    )
+    a, b = sorted(mapping)[:2]
+    registry.get(a)
+    assert service.venues == (a,)
+    registry.get(b)  # evicts a, registers b
+    assert service.venues == (b,)
+    out = service.query(b, pools[b][0])
+    assert out.shape == (2,)
+
+
+# ----------------------------------------------------------------------
+# Fleet: routing, parity, crash recovery
+# ----------------------------------------------------------------------
+def test_partitioning_is_stable_and_total():
+    venues = [f"venue-{i:04d}" for i in range(100)]
+    owners = {v: partition_venue(v, 4) for v in venues}
+    # Deterministic across calls (and processes — crc32, not hash()).
+    assert owners == {v: partition_venue(v, 4) for v in venues}
+    assert set(owners.values()) <= set(range(4))
+    assert len(set(owners.values())) == 4  # all workers get venues
+
+
+def test_fleet_routes_each_venue_to_exactly_one_worker(city):
+    store, mapping, pools, _ = city
+    with ShardFleet(store, mapping, workers=3) as fleet:
+        owned = [0, 0, 0]
+        for venue in sorted(mapping):
+            owned[fleet.partition(venue)] += 1
+            fleet.locate(venue, pools[venue][0])
+            fleet.locate(venue, pools[venue][1])  # revisit: no reload
+        stats = fleet.stats()
+    # Each worker lazily loaded exactly the venues it owns — once —
+    # so every venue was served by exactly one worker, and revisits
+    # hit that worker's resident shard.
+    for w, expected in zip(stats.workers, owned):
+        assert w.registry.lazy_loads == expected
+        assert w.venues_served == expected
+    assert sum(owned) == len(mapping)
+    assert stats.requests == 2 * len(mapping)
+    assert stats.errors == 0
+
+
+def test_fleet_matches_single_process_bit_for_bit(city):
+    store, mapping, pools, shards = city
+    schedule = fleet_schedule(
+        pools, 200, np.random.default_rng(5), zipf_exponent=1.1
+    )
+    expected = baseline_answers(shards, schedule)
+    with ShardFleet(
+        store, mapping, workers=2, bundle_size=32
+    ) as fleet:
+        tickets = fleet.submit_many(schedule)
+        fleet.flush()
+        got = np.stack([t.result(timeout=60.0) for t in tickets])
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_fleet_unknown_venue_fails_in_caller(city):
+    store, mapping, pools, _ = city
+    with ShardFleet(store, mapping, workers=2) as fleet:
+        with pytest.raises(ServingError, match="unknown venue"):
+            fleet.submit("venue-none", np.zeros(12))
+
+
+def test_fleet_respawns_crashed_worker_bit_identical(city):
+    store, mapping, pools, shards = city
+    venue = sorted(mapping)[0]
+    row = pools[venue][0]
+    expected = shards[venue].locate(row[None])[0]
+    with ShardFleet(store, mapping, workers=2) as fleet:
+        first = fleet.locate(venue, row)
+        victim = fleet.partition(venue)
+        pid = fleet._workers[victim].proc.pid
+        os.kill(pid, signal.SIGKILL)
+        # The dead worker is detected, respawned, and the venue
+        # re-loaded from the store on the next query for it.
+        deadline = time.monotonic() + 30.0
+        while fleet._workers[victim].proc.pid == pid:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        second = fleet.locate(venue, row, timeout=60.0)
+        stats = fleet.stats()
+    np.testing.assert_array_equal(first, expected)
+    np.testing.assert_array_equal(second, expected)
+    assert stats.respawns == 1
+
+
+def test_fleet_resubmits_inflight_requests_after_crash(city):
+    store, mapping, pools, shards = city
+    schedule = fleet_schedule(
+        pools, 64, np.random.default_rng(9), zipf_exponent=1.1
+    )
+    expected = baseline_answers(shards, schedule)
+    # Huge bundle: everything sits buffered/in-flight when the worker
+    # owning venue 0 dies; the fleet must resubmit, not drop.
+    with ShardFleet(
+        store, mapping, workers=2, bundle_size=10_000
+    ) as fleet:
+        victim = fleet.partition(sorted(mapping)[0])
+        tickets = fleet.submit_many(schedule)
+        os.kill(fleet._workers[victim].proc.pid, signal.SIGKILL)
+        fleet.flush()
+        got = np.stack([t.result(timeout=60.0) for t in tickets])
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_fleet_close_fails_leftover_tickets(city):
+    store, mapping, pools, _ = city
+    fleet = ShardFleet(store, mapping, workers=2, bundle_size=10_000)
+    fleet.start()
+    venue = sorted(mapping)[0]
+    ticket = fleet.submit(venue, pools[venue][0])
+    fleet.flush()
+    fleet.wait_outstanding(0, timeout=60.0)
+    assert ticket.error is None
+    fleet.close()
+    # After close, new work is refused.
+    with pytest.raises(ServingError):
+        fleet.submit(venue, pools[venue][0])
+
+
+# ----------------------------------------------------------------------
+# Slow smoke: small city, 2 workers, throughput sanity
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_fleet_smoke_two_workers_beats_baseline():
+    from repro.serving import fleetbench
+
+    result = fleetbench.run(
+        n_venues=32,
+        workers=2,
+        requests=4096,
+        seed=2,
+    )
+    data = result.data
+    assert data["errors"] == 0
+    assert data["parity_exact"] is True
+    assert data["fleet"]["lazy_loads"] > 0
+    assert (
+        data["fleet"]["throughput"] >= data["baseline"]["throughput"]
+    )
