@@ -1,0 +1,67 @@
+"""Bench: multi-floor venues — floor classification plus portal-aware
+tracking across an elevator/stairs transition.
+
+Two acceptance bars:
+
+* **floor classification** — scans from walks through a stacked
+  two-floor venue (held out from the survey that built the radio
+  maps) are routed onto the correct floor >= 95 % of the time (the
+  ~18 dB slab attenuation separates the floors' AP signatures);
+* **portal handoff** — the tracked trajectory RMSE stays at or below
+  independent per-scan positioning *across the portal transition*:
+  the elevator jump hands every track to the next floor's bank
+  (``floor_switches`` >= one per device) instead of tripping the
+  Mahalanobis gate and re-anchoring or dropping the session.
+
+Results also land machine-readable in ``BENCH_multifloor.json``.
+"""
+
+from dataclasses import asdict
+
+from conftest import emit, emit_json
+
+from repro.tracking import TrackingScenario
+from repro.tracking import loadgen as tracking_loadgen
+
+N_FLOORS = 2
+
+
+def test_multifloor(benchmark, bench_config, results_dir):
+    scenario = TrackingScenario(
+        name="multifloor", devices=12, duration=90.0
+    )
+
+    def _run():
+        return tracking_loadgen.run_multifloor(
+            bench_config, n_floors=N_FLOORS, scenario=scenario
+        )
+
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(results_dir, "Multi-floor bench", result.rendered)
+    emit_json(
+        results_dir,
+        "multifloor",
+        {
+            "preset": bench_config.name,
+            "scenario": asdict(scenario),
+            "n_floors": result.data["n_floors"],
+            "devices": result.data["devices"],
+            "raw_rmse": result.data["raw_rmse"],
+            "tracked_rmse": result.data["tracked_rmse"],
+            "improvement": result.data["improvement"],
+            "floor_accuracy": result.data["floor_accuracy"],
+            "floor_switches": result.data["floor_switches"],
+            "floor_rejections": result.data["floor_rejections"],
+            "floor_reanchors": result.data["floor_reanchors"],
+            "steps_per_second": result.data["steps_per_second"],
+        },
+    )
+    # Acceptance: held-out walk scans land on the right floor...
+    assert result.data["floor_accuracy"] >= 0.95
+    # ...fusion never does worse than answering each scan alone, even
+    # with a portal transition mid-trajectory...
+    assert result.data["tracked_rmse"] <= result.data["raw_rmse"]
+    # ...and every device's elevator jump is an explicit portal
+    # handoff, not a gate failure that drops or re-anchors the track.
+    assert result.data["floor_switches"] >= result.data["devices"]
+    assert result.data["floor_reanchors"] == 0

@@ -4,14 +4,22 @@ Each bench module regenerates one of the paper's tables/figures: it
 runs the corresponding :mod:`repro.experiments` module under a preset
 (default ``bench`` — big enough for the paper's orderings to
 emerge, small enough for a laptop; set ``REPRO_BENCH_PRESET`` to
-``smoke``/``quick``/``full`` to rescale), prints the
-rendered rows/series, and writes them to ``benchmarks/results/``.
+``smoke``/``quick``/``full`` to rescale) and prints the rendered
+rows/series.
+
+The only files a bench persists are the machine-readable
+``BENCH_<name>.json`` blobs written by :func:`emit_json` into
+``benchmarks/results/`` — schema-checked before writing, so a bench
+cannot land a blob CI dashboards and cross-PR diffs choke on.
+:func:`emit` is display-only.
 """
 
 from __future__ import annotations
 
 import json
+import numbers
 import os
+import re
 from pathlib import Path
 
 import numpy as np
@@ -20,6 +28,9 @@ import pytest
 from repro.experiments import PRESETS
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: BENCH_<name>.json names: one word, no spaces/dots to escape.
+_BENCH_NAME = re.compile(r"^[A-Za-z0-9_]+$")
 
 
 @pytest.fixture(scope="session")
@@ -35,12 +46,14 @@ def results_dir() -> Path:
 
 
 def emit(results_dir: Path, name: str, rendered: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
-    text = f"== {name} ==\n{rendered}\n"
-    print("\n" + text)
-    (results_dir / f"{name.replace(' ', '_').lower()}.txt").write_text(
-        text
-    )
+    """Print a result block (display only — nothing is persisted).
+
+    The ``results_dir`` parameter is kept so every bench call site
+    reads the same; the persisted artifact is :func:`emit_json`'s
+    validated ``BENCH_<name>.json``, never free-form text.
+    """
+    del results_dir
+    print(f"\n== {name} ==\n{rendered}\n")
 
 
 def _jsonable(obj):
@@ -63,22 +76,68 @@ def _stringify_keys(obj):
     return obj
 
 
-def emit_json(results_dir: Path, name: str, payload: dict) -> Path:
-    """Write ``BENCH_<name>.json`` next to the human-readable output.
+def _has_numeric_leaf(obj) -> bool:
+    if isinstance(obj, bool):
+        return False
+    if isinstance(obj, (numbers.Real, np.integer, np.floating)):
+        return True
+    if isinstance(obj, np.ndarray):
+        return obj.size > 0 and np.issubdtype(obj.dtype, np.number)
+    if isinstance(obj, dict):
+        return any(_has_numeric_leaf(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return any(_has_numeric_leaf(v) for v in obj)
+    return False
 
-    The machine-readable twin of :func:`emit`: every bench persists
+
+def validate_bench_payload(name: str, payload) -> None:
+    """The ``BENCH_<name>.json`` schema every bench must satisfy.
+
+    A blob is a dict carrying the ``preset`` it ran under (strings —
+    results are meaningless without knowing the scale) and at least
+    one numeric metric; the name must be a single
+    ``[A-Za-z0-9_]`` word so ``BENCH_*.json`` globs, dashboards and
+    workflow-artifact uploads never meet a surprising filename.
+    """
+    if not _BENCH_NAME.match(name):
+        raise ValueError(
+            f"bench name {name!r} must match {_BENCH_NAME.pattern}"
+        )
+    if not isinstance(payload, dict) or not payload:
+        raise ValueError(
+            f"BENCH_{name}: payload must be a non-empty dict"
+        )
+    preset = payload.get("preset")
+    if not isinstance(preset, str) or not preset:
+        raise ValueError(
+            f"BENCH_{name}: payload needs a 'preset' string "
+            "(which preset produced these numbers?)"
+        )
+    if not _has_numeric_leaf(payload):
+        raise ValueError(
+            f"BENCH_{name}: payload carries no numeric metric"
+        )
+
+
+def emit_json(results_dir: Path, name: str, payload: dict) -> Path:
+    """Validate and write ``BENCH_<name>.json``.
+
+    The machine-readable record of a bench run: every bench persists
     its timings/speedups plus the preset it ran under, so the perf
     trajectory is diffable across PRs (``git log -p
-    benchmarks/results/BENCH_*.json`` or any dashboard).
+    benchmarks/results/BENCH_*.json`` or any dashboard).  The payload
+    is schema-checked first (:func:`validate_bench_payload`) and the
+    final JSON round-trip-parsed, so nothing unreadable can land in
+    ``benchmarks/results/``.
     """
-    path = results_dir / f"BENCH_{name}.json"
-    path.write_text(
-        json.dumps(
-            _stringify_keys(payload),
-            indent=2,
-            sort_keys=True,
-            default=_jsonable,
-        )
-        + "\n"
+    validate_bench_payload(name, payload)
+    text = json.dumps(
+        _stringify_keys(payload),
+        indent=2,
+        sort_keys=True,
+        default=_jsonable,
     )
+    json.loads(text)  # every written blob must parse back
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(text + "\n")
     return path

@@ -340,6 +340,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=45.0,
         help="seconds each device walks (default: 45)",
     )
+    track.add_argument(
+        "--floors",
+        type=int,
+        default=1,
+        help=(
+            "stack the venue this many floors high and route every "
+            "device through the portals (floor-classified shards, "
+            "portal hand-off tracking); 1 = the single-floor path "
+            "(default: 1)"
+        ),
+    )
     return parser
 
 
@@ -585,16 +596,33 @@ def _cmd_track(args, parser: argparse.ArgumentParser) -> int:
         parser.error("--scan-interval must be positive")
     if args.duration <= args.scan_interval:
         parser.error("--duration must exceed --scan-interval")
+    if args.floors < 1:
+        parser.error("--floors must be >= 1")
     config = PRESETS[args.preset]
-    scenario = TrackingScenario(
-        devices=args.devices,
-        scan_interval=args.scan_interval,
-        duration=args.duration,
-    )
     start = time.perf_counter()
-    result = tracking_loadgen.run(
-        config, venue=args.venue, scenario=scenario, seed=args.seed
-    )
+    if args.floors > 1:
+        scenario = TrackingScenario(
+            name="multifloor",
+            devices=args.devices,
+            scan_interval=args.scan_interval,
+            duration=args.duration,
+        )
+        result = tracking_loadgen.run_multifloor(
+            config,
+            venue=args.venue,
+            n_floors=args.floors,
+            scenario=scenario,
+            seed=args.seed,
+        )
+    else:
+        scenario = TrackingScenario(
+            devices=args.devices,
+            scan_interval=args.scan_interval,
+            duration=args.duration,
+        )
+        result = tracking_loadgen.run(
+            config, venue=args.venue, scenario=scenario, seed=args.seed
+        )
     elapsed = time.perf_counter() - start
     print(f"\n== {result.experiment_id} ({elapsed:.1f}s) ==")
     print(result.rendered)

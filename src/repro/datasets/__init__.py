@@ -1,11 +1,14 @@
 """Synthetic dataset factory and evaluation splits."""
 
+from .multifloor import MultiFloorDataset, make_multifloor_dataset
 from .splits import EvaluationSplit, make_evaluation_split
 from .synthetic import Dataset, make_dataset
 
 __all__ = [
     "Dataset",
     "EvaluationSplit",
+    "MultiFloorDataset",
     "make_dataset",
     "make_evaluation_split",
+    "make_multifloor_dataset",
 ]

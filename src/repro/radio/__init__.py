@@ -6,6 +6,11 @@ from .channel import (
     calibrate_detection_floor,
     make_channel,
 )
+from .multifloor import (
+    DEFAULT_FLOOR_LOSS_DB,
+    floor_attenuated_aps,
+    make_floor_channels,
+)
 from .propagation import (
     BLUETOOTH_PROPAGATION,
     WIFI_PROPAGATION,
@@ -14,10 +19,13 @@ from .propagation import (
 
 __all__ = [
     "BLUETOOTH_PROPAGATION",
+    "DEFAULT_FLOOR_LOSS_DB",
     "WIFI_PROPAGATION",
     "ChannelModel",
     "calibrate_detection_floor",
+    "floor_attenuated_aps",
     "Measurement",
     "PropagationModel",
     "make_channel",
+    "make_floor_channels",
 ]

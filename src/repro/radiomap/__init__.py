@@ -9,6 +9,7 @@ from .builder import (
 from .creation import create_radio_map, create_radio_map_for_path
 from .interpolation import interpolate_rps_linear
 from .io import export_csv, load_radio_map, save_radio_map
+from .multifloor import FloorRadioMaps, build_floor_radio_maps
 from .perturb import (
     RemovedValues,
     remove_for_imputation_eval,
@@ -20,6 +21,7 @@ from .stats import RadioMapStats, compute_stats
 
 __all__ = [
     "CellStats",
+    "FloorRadioMaps",
     "RadioMap",
     "RadioMapBuilder",
     "RadioMapDelta",
@@ -27,6 +29,7 @@ __all__ = [
     "RadioMapTruth",
     "RemovedValues",
     "apply_radio_map_delta",
+    "build_floor_radio_maps",
     "compute_stats",
     "concatenate_radio_maps",
     "create_radio_map",

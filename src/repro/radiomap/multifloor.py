@@ -1,0 +1,111 @@
+"""Floor-partitioned radio maps: one map per floor, one AP axis.
+
+A stacked venue's radio data is *partitioned by floor* — every
+fingerprint is surveyed on exactly one slab — but all floors share the
+venue's global AP id space, so the per-floor maps are slices of one
+tensor family: same ``D``, disjoint record sets.  Keeping them as
+separate :class:`~repro.radiomap.RadioMap` objects (rather than one
+concatenated map with a floor column) means the whole existing
+machinery — builders, deltas, lineage, shard build/save/reload —
+applies per floor unchanged; the only new object is this thin ordered
+container plus :func:`build_floor_radio_maps`, which runs the paper's
+Section II-B creation per floor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..constants import DEFAULT_EPSILON
+from ..exceptions import RadioMapError
+from ..survey import WalkingSurveyRecordTable
+from .creation import create_radio_map
+from .radiomap import RadioMap
+
+
+class FloorRadioMaps:
+    """Ordered ``floor_id -> RadioMap`` partition of one venue.
+
+    All floors must share the fingerprint dimension ``D`` (the global
+    AP axis); iteration order is the floor stacking order.
+    """
+
+    def __init__(
+        self, venue: str, floors: Sequence[Tuple[str, RadioMap]]
+    ):
+        if not floors:
+            raise RadioMapError(f"venue {venue!r}: no floor maps")
+        ids = [fid for fid, _ in floors]
+        if len(set(ids)) != len(ids):
+            raise RadioMapError(
+                f"venue {venue!r}: duplicate floor ids in {ids}"
+            )
+        d = floors[0][1].n_aps
+        for fid, rmap in floors:
+            if rmap.n_aps != d:
+                raise RadioMapError(
+                    f"venue {venue!r}: floor {fid!r} has {rmap.n_aps} "
+                    f"APs, expected the shared axis {d}"
+                )
+        self.venue = venue
+        self._maps: Dict[str, RadioMap] = dict(floors)
+        self._order: Tuple[str, ...] = tuple(ids)
+
+    @property
+    def n_aps(self) -> int:
+        return self._maps[self._order[0]].n_aps
+
+    @property
+    def floor_ids(self) -> Tuple[str, ...]:
+        return self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)
+
+    def __getitem__(self, floor_id: str) -> RadioMap:
+        try:
+            return self._maps[floor_id]
+        except KeyError:
+            raise RadioMapError(
+                f"venue {self.venue!r} has no floor {floor_id!r}; "
+                f"floors: {list(self._order)}"
+            ) from None
+
+    def items(self) -> List[Tuple[str, RadioMap]]:
+        return [(fid, self._maps[fid]) for fid in self._order]
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.venue}: {len(self)} floor radio maps, "
+            f"D={self.n_aps}"
+        ]
+        lines += [
+            f"  {fid}: {self._maps[fid].describe()}"
+            for fid in self._order
+        ]
+        return "\n".join(lines)
+
+
+def build_floor_radio_maps(
+    venue: str,
+    tables_by_floor: Mapping[
+        str, Sequence[WalkingSurveyRecordTable]
+    ],
+    *,
+    epsilon: float = DEFAULT_EPSILON,
+) -> FloorRadioMaps:
+    """Run radio-map creation per floor over partitioned survey tables.
+
+    ``tables_by_floor`` preserves its insertion order as the floor
+    stacking order.  Each floor goes through the same Steps 1-2 merge
+    as a single-floor venue — the delta/lineage machinery downstream
+    sees ordinary per-floor maps.
+    """
+    floors = [
+        (fid, create_radio_map(list(tables), epsilon=epsilon))
+        for fid, tables in tables_by_floor.items()
+    ]
+    return FloorRadioMaps(venue, floors)

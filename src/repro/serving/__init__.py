@@ -47,6 +47,21 @@ Fleet API (city scale)
   benchmark over a synthetic city venue pool
   (:func:`~repro.serving.loadgen.synthetic_venue_pool`).
 
+Floor routing (stacked venues)
+------------------------------
+* :class:`ShardKey` — parsed ``"venue/floor"`` shard address;
+  :func:`coerce_key` is the deprecation shim keeping bare venue
+  strings first-class everywhere a key is accepted.
+* :class:`FloorClassifier` / :class:`FloorRouter` — fingerprint →
+  floor classification ahead of 2D positioning, so a query addressed
+  to a bare stacked venue is routed to the right per-floor shard
+  (``PositioningService.attach_floor_router``), not rejected.
+* :func:`deploy_floors` / :func:`save_floor_deployment` /
+  :func:`load_floor_deployment` — deploy every floor of a
+  :class:`~repro.venue.Venue` as per-floor shards plus one
+  ``serving.floors`` classifier artifact, and warm-start the whole
+  stack from an :class:`~repro.artifacts.ArtifactStore`.
+
 See ``examples/serving_demo.py`` for an end-to-end mixed-venue demo
 and ``examples/concurrent_serving.py`` for the pipeline under
 multi-threaded load.
@@ -65,6 +80,15 @@ from .fleet import (
     WorkerStats,
     partition_venue,
 )
+from .floors import (
+    FLOORS_KIND,
+    FloorClassifier,
+    FloorRouter,
+    deploy_floors,
+    load_floor_deployment,
+    save_floor_deployment,
+)
+from .keys import KEY_SEPARATOR, ShardKey, coerce_key
 from .loadgen import (
     DEFAULT_MIX,
     DEFAULT_SCENARIO,
@@ -92,7 +116,11 @@ __all__ = [
     "DRIFT_SCENARIO",
     "DeltaApplyReport",
     "EncoderCompletion",
+    "FLOORS_KIND",
     "FleetStats",
+    "FloorClassifier",
+    "FloorRouter",
+    "KEY_SEPARATOR",
     "LoadReport",
     "MapCompletion",
     "MeanFillCompletion",
@@ -104,13 +132,18 @@ __all__ = [
     "SHARD_KIND",
     "ServiceStats",
     "ShardFleet",
+    "ShardKey",
     "ShardRegistry",
     "Ticket",
     "VenueShard",
     "WorkerStats",
+    "coerce_key",
+    "deploy_floors",
     "fleet_schedule",
+    "load_floor_deployment",
     "partition_venue",
     "run_scenario",
+    "save_floor_deployment",
     "scan_pool",
     "synthetic_venue_pool",
     "zipf_weights",

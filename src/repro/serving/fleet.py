@@ -66,7 +66,7 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -79,6 +79,7 @@ from ..artifacts import (
     mappable_members,
 )
 from ..exceptions import ArtifactError, ServingError
+from .keys import ShardKey, coerce_key
 from .pipeline import Ticket
 from .service import SHARD_KIND, PositioningService, VenueShard
 
@@ -92,17 +93,25 @@ __all__ = [
 ]
 
 
-def partition_venue(venue: str, n_workers: int) -> int:
+def partition_venue(
+    venue: Union[str, ShardKey], n_workers: int
+) -> int:
     """Worker index owning ``venue`` (stable across processes/runs).
 
     CRC-32 rather than :func:`hash`, which Python salts per process —
     a respawned worker must claim exactly the venues its predecessor
     owned, and the parent must route to the same worker the shard
     lives in.
+
+    Hashes the *venue component* of the key only: every floor of a
+    stacked venue (``"kaide/f1"``, ``"kaide/f2"``) lands on the same
+    worker, so a device hopping floors mid-walk keeps talking to one
+    process.  Bare single-floor keys hash exactly as before.
     """
     if n_workers < 1:
         raise ServingError("need at least one worker")
-    return zlib.crc32(venue.encode("utf-8")) % n_workers
+    name = ShardKey.parse(venue).venue
+    return zlib.crc32(name.encode("utf-8")) % n_workers
 
 
 @dataclass
@@ -262,15 +271,16 @@ class ShardRegistry:
                 known_venues=len(self._mapping),
             )
 
-    def add(self, venue: str, key: str) -> None:
+    def add(self, venue: Union[str, ShardKey], key: str) -> None:
         """Register (or re-point) a venue's artifact key."""
+        venue = coerce_key(venue)
         with self._lock:
             self._mapping[venue] = key
 
     # ------------------------------------------------------------------
     # The hot path
     # ------------------------------------------------------------------
-    def get(self, venue: str) -> VenueShard:
+    def get(self, venue: Union[str, ShardKey]) -> VenueShard:
         """The venue's shard, loading it on first touch.
 
         A resident venue is a dict hit plus an LRU touch.  A miss
@@ -278,6 +288,8 @@ class ShardRegistry:
         memory-map re-attach afterwards — then enforces the budget
         (evicting other venues, never the one just loaded).
         """
+        if not isinstance(venue, str):
+            venue = coerce_key(venue)
         with self._lock:
             entry = self._entries.get(venue)
             if entry is not None:

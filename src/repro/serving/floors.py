@@ -1,0 +1,382 @@
+"""Floor classification and routing ahead of 2D positioning.
+
+A stacked venue deploys one :class:`~repro.serving.VenueShard` per
+floor (keys ``"venue/f1"``, ``"venue/f2"``, …), but online scans
+arrive with no floor tag — the phone knows its fingerprint, not its
+slab.  :class:`FloorClassifier` answers that from the fingerprint
+alone, and :class:`FloorRouter` turns the answer into the floor shard
+key the positioning service should serve the scan from, so a query
+addressed to the bare venue is *routed*, not rejected.
+
+Two classification modes, both floor-partition-native:
+
+* ``"strongest-ap"`` (default) — every AP has a home floor
+  (:meth:`~repro.venue.Venue.ap_floor_index`); a scan's evidence for
+  a floor is the summed above-noise signal margin of that floor's
+  observed APs.  O(D) per scan, no training data at query time.
+* ``"nearest-map"`` — per-floor 1-NN likelihood over the floors'
+  radio-map tensors (the same precomputed fingerprints the shards
+  serve from): a scan belongs to the floor whose map contains the
+  closest fingerprint under the masked distance.  Heavier, but robust
+  when AP deployments overlap floors unevenly.
+
+The classifier round-trips through a small ``serving.floors`` artifact
+so a warm-started fleet recovers routing without the venue object, and
+:func:`save_floor_deployment` / :func:`load_floor_deployment` bundle
+the per-floor shard artifacts plus the classifier under one venue in
+an :class:`~repro.artifacts.ArtifactStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..artifacts import Artifact, ArtifactStore
+from ..constants import RSSI_MIN
+from ..exceptions import ServingError
+from .keys import ShardKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..radiomap.multifloor import FloorRadioMaps
+    from ..venue.multifloor import Venue
+    from .service import PositioningService, VenueShard
+
+#: Artifact kind of a persisted floor classifier.
+FLOORS_KIND = "serving.floors"
+
+_MODES = ("strongest-ap", "nearest-map")
+
+
+@dataclass
+class FloorClassifier:
+    """Fingerprint → floor index over one venue's floor stack.
+
+    Parameters
+    ----------
+    floors:
+        Ordered floor ids (the stacking order).
+    ap_floor:
+        ``(D,)`` int array mapping each global AP index to its home
+        floor's position in ``floors``.
+    mode:
+        ``"strongest-ap"`` or ``"nearest-map"``.
+    maps:
+        Per-floor dense ``(N_f, D)`` reference tensors (NaN-free),
+        required by ``"nearest-map"``.
+    """
+
+    floors: Tuple[str, ...]
+    ap_floor: np.ndarray
+    mode: str = "strongest-ap"
+    maps: Optional[List[np.ndarray]] = None
+
+    def __post_init__(self) -> None:
+        if not self.floors:
+            raise ServingError("classifier needs at least one floor")
+        if self.mode not in _MODES:
+            raise ServingError(
+                f"mode {self.mode!r} not in {list(_MODES)}"
+            )
+        self.ap_floor = np.asarray(self.ap_floor, dtype=np.int64)
+        if self.ap_floor.ndim != 1:
+            raise ServingError("ap_floor must be (D,)")
+        n = len(self.floors)
+        if self.ap_floor.size and not (
+            0 <= self.ap_floor.min() and self.ap_floor.max() < n
+        ):
+            raise ServingError(
+                "ap_floor indexes outside the floor list"
+            )
+        if self.mode == "nearest-map":
+            if not self.maps or len(self.maps) != n:
+                raise ServingError(
+                    "nearest-map mode needs one map per floor"
+                )
+            self.maps = [
+                np.ascontiguousarray(m, dtype=float) for m in self.maps
+            ]
+            for fid, m in zip(self.floors, self.maps):
+                if m.ndim != 2 or m.shape[1] != self.n_aps:
+                    raise ServingError(
+                        f"floor {fid!r} map must be (N, {self.n_aps})"
+                    )
+                if np.isnan(m).any():
+                    raise ServingError(
+                        f"floor {fid!r} map must be NaN-free "
+                        "(fill before classifying)"
+                    )
+
+    @property
+    def n_aps(self) -> int:
+        return int(self.ap_floor.shape[0])
+
+    @property
+    def n_floors(self) -> int:
+        return len(self.floors)
+
+    # ------------------------------------------------------------------
+    def scores(self, batch: np.ndarray) -> np.ndarray:
+        """Per-floor evidence ``(n, n_floors)``; argmax is the floor.
+
+        Rows with no observed AP score 0 everywhere and fall back to
+        floor 0 in :meth:`classify` (the ground floor — where a
+        device that hears nothing most plausibly is).
+        """
+        fps = np.asarray(batch, dtype=float)
+        if fps.ndim == 1:
+            fps = fps[None, :]
+        if fps.ndim != 2 or fps.shape[1] != self.n_aps:
+            raise ServingError(
+                f"classifier expects (n, {self.n_aps}) fingerprints, "
+                f"got {fps.shape}"
+            )
+        observed = np.isfinite(fps)
+        if self.mode == "strongest-ap":
+            # Above-noise margin of every observed reading, summed
+            # into its AP's home floor: one masked matmul against the
+            # floor one-hot, no per-row Python.
+            weights = np.where(
+                observed, fps - (RSSI_MIN - 1.0), 0.0
+            )
+            onehot = np.zeros(
+                (self.n_aps, self.n_floors), dtype=float
+            )
+            onehot[np.arange(self.n_aps), self.ap_floor] = 1.0
+            return weights @ onehot
+        # nearest-map: negative masked 1-NN squared distance per floor,
+        # normalised by the number of observed APs.
+        fps_z = np.where(observed, fps, 0.0)
+        obs_f = observed.astype(float)
+        counts = np.maximum(obs_f.sum(axis=1), 1.0)
+        out = np.empty((fps.shape[0], self.n_floors))
+        row_sq = (fps_z * fps_z).sum(axis=1)
+        for f, ref in enumerate(self.maps):
+            # d2[i, r] = sum_d obs[i,d] (fps[i,d] - ref[r,d])^2
+            d2 = (
+                row_sq[:, None]
+                - 2.0 * (fps_z @ ref.T)
+                + obs_f @ (ref * ref).T
+            )
+            out[:, f] = -np.min(d2, axis=1) / counts
+        return out
+
+    def classify(self, batch: np.ndarray) -> np.ndarray:
+        """Floor indices ``(n,)`` for a fingerprint batch."""
+        scores = self.scores(batch)
+        out = np.argmax(scores, axis=1)
+        fps = np.asarray(batch, dtype=float)
+        if fps.ndim == 1:
+            fps = fps[None, :]
+        blank = ~np.isfinite(fps).any(axis=1)
+        out[blank] = 0
+        return out
+
+    def classify_one(self, fingerprint: np.ndarray) -> int:
+        return int(self.classify(np.asarray(fingerprint)[None, :])[0])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_venue(
+        cls, venue: "Venue", mode: str = "strongest-ap"
+    ) -> "FloorClassifier":
+        """Build from a stacked venue's AP homing (strongest-ap)."""
+        return cls(
+            floors=venue.floor_ids,
+            ap_floor=venue.ap_floor_index(),
+            mode=mode,
+        )
+
+    @classmethod
+    def from_radio_maps(
+        cls,
+        radio_maps: "FloorRadioMaps",
+        ap_floor: np.ndarray,
+        *,
+        mode: str = "nearest-map",
+    ) -> "FloorClassifier":
+        """Build the likelihood mode over per-floor radio-map tensors.
+
+        NaN entries fill with ``RSSI_MIN`` (an unobserved AP reads as
+        noise-floor), which keeps the masked distance honest: a scan
+        observing an AP a floor's map never saw is pushed away from
+        that floor.
+        """
+        maps = [
+            np.where(
+                np.isfinite(rmap.fingerprints),
+                rmap.fingerprints,
+                float(RSSI_MIN),
+            )
+            for _, rmap in radio_maps.items()
+        ]
+        return cls(
+            floors=radio_maps.floor_ids,
+            ap_floor=ap_floor,
+            mode=mode,
+            maps=maps,
+        )
+
+    # ------------------------------------------------------------------
+    def to_artifact(self, venue: str) -> Artifact:
+        arrays = {"ap_floor": self.ap_floor.astype(np.int64)}
+        if self.maps is not None:
+            for i, m in enumerate(self.maps):
+                arrays[f"map_{i:03d}"] = m
+        return Artifact(
+            kind=FLOORS_KIND,
+            config={
+                "venue": venue,
+                "floors": list(self.floors),
+                "mode": self.mode,
+            },
+            arrays=arrays,
+        )
+
+    @classmethod
+    def from_artifact(cls, artifact: Artifact) -> "FloorClassifier":
+        if artifact.kind != FLOORS_KIND:
+            raise ServingError(
+                f"expected a {FLOORS_KIND!r} artifact, got "
+                f"{artifact.kind!r}"
+            )
+        config = artifact.config
+        floors = tuple(config["floors"])
+        maps = None
+        if config["mode"] == "nearest-map":
+            maps = [
+                artifact.arrays[f"map_{i:03d}"]
+                for i in range(len(floors))
+            ]
+        return cls(
+            floors=floors,
+            ap_floor=artifact.arrays["ap_floor"],
+            mode=config["mode"],
+            maps=maps,
+        )
+
+
+@dataclass
+class FloorRouter:
+    """Routes a bare-venue query row to its floor's shard key."""
+
+    venue: str
+    classifier: FloorClassifier
+
+    @property
+    def floor_keys(self) -> Tuple[str, ...]:
+        return tuple(
+            str(ShardKey(self.venue, fid))
+            for fid in self.classifier.floors
+        )
+
+    def route(self, batch: np.ndarray) -> List[str]:
+        """Floor shard keys ``(n,)`` for a fingerprint batch."""
+        keys = self.floor_keys
+        return [keys[i] for i in self.classifier.classify(batch)]
+
+
+# ----------------------------------------------------------------------
+# Deployment helpers
+# ----------------------------------------------------------------------
+def deploy_floors(
+    service: "PositioningService",
+    venue: "Venue",
+    radio_maps: "FloorRadioMaps",
+    differentiator_factory,
+    *,
+    estimator_factory=None,
+    bisim_config=None,
+    classifier: Optional[FloorClassifier] = None,
+) -> List[str]:
+    """Deploy every floor of a stacked venue and attach its router.
+
+    One shard builds per floor (``differentiator_factory(floor)`` and
+    ``estimator_factory()`` make the per-floor pipeline pieces), keyed
+    ``"venue/floor"``; the classifier (default: strongest-AP from the
+    venue's AP homing) registers on the service so bare-venue queries
+    route.  Returns the deployed floor shard keys.
+    """
+    keys: List[str] = []
+    for floor in venue.floors:
+        key = str(ShardKey(venue.name, floor.floor_id))
+        service.deploy(
+            key,
+            radio_maps[floor.floor_id],
+            differentiator_factory(floor),
+            estimator=(
+                None if estimator_factory is None else estimator_factory()
+            ),
+            bisim_config=bisim_config,
+        )
+        keys.append(key)
+    service.attach_floor_router(
+        venue.name,
+        FloorRouter(
+            venue=venue.name,
+            classifier=(
+                classifier
+                if classifier is not None
+                else FloorClassifier.from_venue(venue)
+            ),
+        ),
+    )
+    return keys
+
+
+def save_floor_deployment(
+    store: ArtifactStore,
+    venue: str,
+    service: "PositioningService",
+) -> List[str]:
+    """Persist a deployed stacked venue: per-floor shards + classifier.
+
+    Floor shards save under their own ``"venue/floor"`` store keys
+    (each a plain ``serving.shard`` artifact — a legacy single-floor
+    loader reads any one of them unchanged) and the classifier under
+    ``"venue/floors"``.  Returns the written store keys.
+    """
+    router = service.floor_router(venue)
+    if router is None:
+        raise ServingError(
+            f"venue {venue!r} has no floor router attached"
+        )
+    written: List[str] = []
+    for key in router.floor_keys:
+        shard = service.shard(key)
+        shard.save(store.path_for(key))
+        written.append(key)
+    meta_key = f"{venue}/floors"
+    store.save(meta_key, router.classifier.to_artifact(venue))
+    written.append(meta_key)
+    return written
+
+
+def load_floor_deployment(
+    store: ArtifactStore,
+    venue: str,
+    service: "PositioningService",
+) -> List[str]:
+    """Warm-start a stacked venue from its store keys.
+
+    Reads the ``"venue/floors"`` classifier artifact for the floor
+    list, deploys each floor shard from its artifact (no retraining),
+    and attaches the router.  Returns the deployed floor shard keys.
+    """
+    from .service import VenueShard  # local: avoid a module cycle
+
+    artifact = store.load(f"{venue}/floors", expected_kind=FLOORS_KIND)
+    classifier = FloorClassifier.from_artifact(artifact)
+    keys: List[str] = []
+    for fid in classifier.floors:
+        key = str(ShardKey(venue, fid))
+        service.register(
+            VenueShard.load(store.path_for(key), key=key)
+        )
+        keys.append(key)
+    service.attach_floor_router(
+        venue, FloorRouter(venue=venue, classifier=classifier)
+    )
+    return keys

@@ -1,0 +1,103 @@
+"""Parsed shard keys: the ``"venue/floor"`` convention, made real.
+
+Since the serving layer first shipped, floors have been a *naming
+trick*: ``"kaide/f1"`` was just a string the service, registry and
+fleet all hashed and compared opaquely.  :class:`ShardKey` parses the
+convention once so every layer can reason about it — most importantly
+the fleet's partitioner, which must route **all floors of a venue to
+the same worker** (one device's scans hop floors mid-walk; splitting a
+venue's floors across workers would bounce its traffic between
+processes).
+
+Bare venue strings remain first-class (``floor=None``) — the
+single-floor world is the compatibility baseline, and every API that
+takes a key keeps accepting plain strings via :func:`coerce_key`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..exceptions import ServingError
+
+#: The separator between venue and floor in rendered keys.
+KEY_SEPARATOR = "/"
+
+
+@dataclass(frozen=True)
+class ShardKey:
+    """One shard address: a venue, optionally a floor within it.
+
+    ``ShardKey("kaide")`` is a whole single-floor venue;
+    ``ShardKey("kaide", "f2")`` is one slab of a stacked venue.  The
+    rendered form round-trips through :meth:`parse`.
+    """
+
+    venue: str
+    floor: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.venue:
+            raise ServingError("shard key needs a non-empty venue")
+        if KEY_SEPARATOR in self.venue:
+            raise ServingError(
+                f"venue {self.venue!r} must not contain "
+                f"{KEY_SEPARATOR!r} (use the floor field)"
+            )
+        if self.floor is not None and (
+            not self.floor
+            or any(
+                not seg for seg in self.floor.split(KEY_SEPARATOR)
+            )
+        ):
+            raise ServingError(
+                f"malformed shard key floor {self.floor!r}"
+            )
+
+    @classmethod
+    def parse(cls, key: Union[str, "ShardKey"]) -> "ShardKey":
+        """Parse ``"venue"`` / ``"venue/floor"`` (or pass through).
+
+        The *first* separator splits venue from floor; anything after
+        it belongs to the floor id (artifact-style dotted/dashed floor
+        ids survive).
+        """
+        if isinstance(key, ShardKey):
+            return key
+        if not isinstance(key, str):
+            raise ServingError(
+                f"shard key must be a str or ShardKey, got "
+                f"{type(key).__name__}"
+            )
+        if KEY_SEPARATOR not in key:
+            return cls(venue=key)
+        venue, floor = key.split(KEY_SEPARATOR, 1)
+        if not venue or not floor:
+            raise ServingError(
+                f"malformed shard key {key!r}: expected "
+                "'venue' or 'venue/floor'"
+            )
+        return cls(venue=venue, floor=floor)
+
+    def render(self) -> str:
+        if self.floor is None:
+            return self.venue
+        return f"{self.venue}{KEY_SEPARATOR}{self.floor}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def with_floor(self, floor: Optional[str]) -> "ShardKey":
+        return ShardKey(venue=self.venue, floor=floor)
+
+
+def coerce_key(key: Union[str, "ShardKey"]) -> str:
+    """Canonical string form of any accepted key spelling.
+
+    The deprecation shim for the stringly-typed era: plain strings
+    pass through *validated* (so ``"a//b"`` fails loudly instead of
+    routing nowhere), and :class:`ShardKey` instances render to the
+    same canonical string the registries index on.
+    """
+    return ShardKey.parse(key).render()

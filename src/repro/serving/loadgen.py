@@ -156,6 +156,7 @@ def synthetic_venue_pool(
     n_aps: int = 24,
     scans_per_venue: int = 32,
     missing_rate: float = 0.25,
+    floors_per_venue: int = 1,
 ) -> Tuple[Dict[str, VenueShard], Dict[str, np.ndarray]]:
     """A city-scale venue pool: ``n_venues`` small shards + scan pools.
 
@@ -176,45 +177,59 @@ def synthetic_venue_pool(
     save the shards into an :class:`~repro.artifacts.ArtifactStore`
     to serve them through a lazy
     :class:`~repro.serving.ShardRegistry`.
+
+    ``floors_per_venue > 1`` turns every venue into a stack: keys
+    become ``"venue-0000/f1"``, ``"venue-0000/f2"``, … with an
+    independent shard per floor.  All floors of a venue hash to the
+    same fleet worker (:func:`~repro.serving.partition_venue` hashes
+    the venue component), so the fleet benchmarks can measure
+    co-located stacked-venue traffic without any other change.
     """
     if n_venues < 1:
         raise ServingError("need at least one venue")
+    if floors_per_venue < 1:
+        raise ServingError("need at least one floor per venue")
     side = 150.0
     shards: Dict[str, VenueShard] = {}
     pools: Dict[str, np.ndarray] = {}
     for i in range(n_venues):
-        venue = f"venue-{i:04d}"
-        aps = rng.uniform(0.0, side, size=(n_aps, 2))
-        rps = rng.uniform(0.0, side, size=(n_records, 2))
-        dist = np.linalg.norm(
-            rps[:, None, :] - aps[None, :, :], axis=2
-        )
-        rssi = -30.0 - 30.0 * np.log10(np.maximum(dist, 1.0))
-        rssi += rng.normal(0.0, 3.0, size=rssi.shape)
-        fp = np.clip(rssi, -95.0, -20.0)
-        estimator = WKNNEstimator(exact_distances=True).fit(fp, rps)
-        fill_values = fp.mean(axis=0)
-        completion = (
-            MapCompletion(fp, fill_values) if i % 2 else None
-        )
-        shards[venue] = VenueShard(
-            venue, n_aps, estimator, None, fill_values, completion
-        )
-        scan_rps = rps[
-            rng.integers(0, n_records, size=scans_per_venue)
-        ]
-        sdist = np.linalg.norm(
-            scan_rps[:, None, :] - aps[None, :, :], axis=2
-        )
-        scans = np.clip(
-            -30.0
-            - 30.0 * np.log10(np.maximum(sdist, 1.0))
-            + rng.normal(0.0, 3.0, size=sdist.shape),
-            -95.0,
-            -20.0,
-        )
-        scans[rng.random(scans.shape) < missing_rate] = np.nan
-        pools[venue] = scans
+        for j in range(floors_per_venue):
+            venue = f"venue-{i:04d}"
+            if floors_per_venue > 1:
+                venue = f"{venue}/f{j + 1}"
+            aps = rng.uniform(0.0, side, size=(n_aps, 2))
+            rps = rng.uniform(0.0, side, size=(n_records, 2))
+            dist = np.linalg.norm(
+                rps[:, None, :] - aps[None, :, :], axis=2
+            )
+            rssi = -30.0 - 30.0 * np.log10(np.maximum(dist, 1.0))
+            rssi += rng.normal(0.0, 3.0, size=rssi.shape)
+            fp = np.clip(rssi, -95.0, -20.0)
+            estimator = WKNNEstimator(exact_distances=True).fit(
+                fp, rps
+            )
+            fill_values = fp.mean(axis=0)
+            completion = (
+                MapCompletion(fp, fill_values) if i % 2 else None
+            )
+            shards[venue] = VenueShard(
+                venue, n_aps, estimator, None, fill_values, completion
+            )
+            scan_rps = rps[
+                rng.integers(0, n_records, size=scans_per_venue)
+            ]
+            sdist = np.linalg.norm(
+                scan_rps[:, None, :] - aps[None, :, :], axis=2
+            )
+            scans = np.clip(
+                -30.0
+                - 30.0 * np.log10(np.maximum(sdist, 1.0))
+                + rng.normal(0.0, 3.0, size=sdist.shape),
+                -95.0,
+                -20.0,
+            )
+            scans[rng.random(scans.shape) < missing_rate] = np.nan
+            pools[venue] = scans
     return shards, pools
 
 

@@ -56,7 +56,16 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields, is_dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -84,6 +93,10 @@ from .completion import (
     MeanFillCompletion,
     completion_from,
 )
+from .keys import ShardKey, coerce_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .floors import FloorRouter
 
 #: Artifact kind of a full warm-start shard bundle.
 SHARD_KIND = "serving.shard"
@@ -131,6 +144,9 @@ class ServiceStats:
     #: manifest drift) — each one pays encoder/mean-fill costs the
     #: precompute was supposed to remove, so alert on this going up.
     precompute_fallbacks: int = 0
+    #: Queries that arrived addressed to a bare stacked venue and were
+    #: rewritten to a per-floor shard key by its floor classifier.
+    floor_routed: int = 0
     per_venue: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -160,6 +176,11 @@ class ServiceStats:
             lines.append(
                 f"  precompute fallbacks={self.precompute_fallbacks} "
                 "(shards serving without their precomputed tensor)"
+            )
+        if self.floor_routed:
+            lines.append(
+                f"  floor routed={self.floor_routed} "
+                "(bare-venue queries classified onto a floor shard)"
             )
         for venue in sorted(self.per_venue):
             lines.append(f"  {venue}: {self.per_venue[venue]} queries")
@@ -955,6 +976,7 @@ class PositioningService:
         if cache_quantum <= 0:
             raise ServingError("cache_quantum must be positive")
         self._shards: Dict[str, VenueShard] = {}
+        self._floor_routers: Dict[str, "FloorRouter"] = {}
         self._cache: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
         self._lock = threading.RLock()
         self.cache_size = int(cache_size)
@@ -999,7 +1021,9 @@ class PositioningService:
                 self._stats.precompute_fallbacks += 1
         return shard
 
-    def unregister(self, key: str) -> Optional[VenueShard]:
+    def unregister(
+        self, key: Union[str, ShardKey]
+    ) -> Optional[VenueShard]:
         """Remove a venue and drop its cached answers (LRU eviction
         hook for memory-budgeted registries).
 
@@ -1010,6 +1034,7 @@ class PositioningService:
         usual unknown-venue :class:`ServingError` until it is
         registered again.
         """
+        key = coerce_key(key)
         with self._lock:
             shard = self._shards.pop(key, None)
             if shard is not None:
@@ -1019,9 +1044,72 @@ class PositioningService:
                     del self._cache[cache_key]
         return shard
 
+    # ------------------------------------------------------------------
+    # Floor routing (stacked venues)
+    # ------------------------------------------------------------------
+    def attach_floor_router(
+        self, venue: str, router: "FloorRouter"
+    ) -> "FloorRouter":
+        """Route bare-``venue`` queries onto its per-floor shards.
+
+        Once attached, a :meth:`query_batch` row addressed to the bare
+        venue name is classified by the router and rewritten to the
+        winning ``"venue/floor"`` shard key before serving — stacked
+        venues never register a shard under the bare name, so without
+        a router those rows would be rejected as unknown.  Venues with
+        no router attached are untouched: the single-floor path stays
+        bit-identical.
+        """
+        with self._lock:
+            self._floor_routers[venue] = router
+        return router
+
+    def detach_floor_router(self, venue: str) -> Optional["FloorRouter"]:
+        """Remove a venue's floor router (floor shards stay)."""
+        with self._lock:
+            return self._floor_routers.pop(venue, None)
+
+    def floor_router(self, venue: str) -> Optional["FloorRouter"]:
+        """The router attached for ``venue``, or ``None``."""
+        return self._floor_routers.get(venue)
+
+    def _route_floors(
+        self,
+        venues: Sequence[str],
+        fingerprints: Sequence[np.ndarray],
+    ) -> Sequence[str]:
+        """Rewrite bare stacked-venue rows to their floor shard keys.
+
+        Rows naming a venue with an attached router are grouped,
+        batch-classified, and re-addressed; all other rows (including
+        explicit ``"venue/floor"`` keys) pass through untouched.
+        """
+        routers = self._floor_routers
+        by_venue: Dict[str, List[int]] = {}
+        for i, venue in enumerate(venues):
+            if venue in routers:
+                by_venue.setdefault(venue, []).append(i)
+        if not by_venue:
+            return venues
+        routed = list(venues)
+        n_routed = 0
+        for venue, rows in by_venue.items():
+            batch = np.stack(
+                [
+                    np.asarray(fingerprints[i], dtype=float)
+                    for i in rows
+                ]
+            )
+            for i, key in zip(rows, routers[venue].route(batch)):
+                routed[i] = key
+            n_routed += len(rows)
+        with self._lock:
+            self._stats.floor_routed += n_routed
+        return routed
+
     def deploy(
         self,
-        key: str,
+        key: Union[str, ShardKey],
         radio_map: RadioMap,
         differentiator: Differentiator,
         *,
@@ -1031,7 +1119,7 @@ class PositioningService:
         """Build a shard from a raw radio map and register it."""
         return self.register(
             VenueShard.build(
-                key,
+                coerce_key(key),
                 radio_map,
                 differentiator,
                 estimator=estimator,
@@ -1050,7 +1138,7 @@ class PositioningService:
         """
         return self.register(VenueShard.load(path, key=key))
 
-    def reload(self, key: str, path) -> VenueShard:
+    def reload(self, key: Union[str, ShardKey], path) -> VenueShard:
         """Hot-swap a deployed venue's pipeline from a shard artifact.
 
         The shard object (and thus any reference held by callers)
@@ -1063,6 +1151,7 @@ class PositioningService:
         the shard's epoch bump stops batches computed against the old
         pipeline from re-caching stale answers afterwards.
         """
+        key = coerce_key(key)
         shard = self.shard(key)
         fresh = VenueShard.load(path, key=key)
         with self._lock:
@@ -1175,7 +1264,11 @@ class PositioningService:
             seconds=time.perf_counter() - start,
         )
 
-    def shard(self, key: str) -> VenueShard:
+    def shard(self, key: Union[str, ShardKey]) -> VenueShard:
+        if not isinstance(key, str):
+            # Hot path: plain-string keys skip parsing entirely;
+            # ShardKey instances render to their canonical string.
+            key = coerce_key(key)
         try:
             return self._shards[key]
         except KeyError:
@@ -1217,6 +1310,13 @@ class PositioningService:
         n = len(venues)
         if n != len(fingerprints):
             raise ServingError("venues/fingerprints length mismatch")
+
+        if self._floor_routers and n:
+            # Stacked venues: classify bare-venue rows onto their
+            # floor shards before any shard is resolved.  Guarded so
+            # a service with no routers attached takes the exact
+            # single-floor code path.
+            venues = self._route_floors(venues, fingerprints)
 
         uniform = (
             n > 0

@@ -1,6 +1,13 @@
-"""Walking-survey simulation: paths, surveyor kinematics, record tables."""
+"""Walking-survey simulation: paths, surveyor kinematics, record
+tables, and multi-floor walks through portals."""
 
 from .kinematics import PathKinematics
+from .multifloor import (
+    FloorLeg,
+    MultiFloorKinematics,
+    PortalHop,
+    plan_multifloor_walk,
+)
 from .paths import plan_survey_paths, rps_on_path
 from .records import (
     RecordTruth,
@@ -11,12 +18,16 @@ from .records import (
 from .simulator import SurveyConfig, simulate_survey
 
 __all__ = [
+    "FloorLeg",
+    "MultiFloorKinematics",
     "PathKinematics",
+    "PortalHop",
     "RPRecord",
     "RSSIRecord",
     "RecordTruth",
     "SurveyConfig",
     "WalkingSurveyRecordTable",
+    "plan_multifloor_walk",
     "plan_survey_paths",
     "rps_on_path",
     "simulate_survey",

@@ -1,0 +1,237 @@
+"""Multi-floor walks: per-floor kinematics stitched through portals.
+
+A walk in a stacked venue is a sequence of single-floor *legs* — each
+an ordinary :class:`~repro.survey.PathKinematics` over that floor's
+corridor graph — joined by portal *hops*: the device dwells inside the
+stairwell/elevator for the portal's traversal time, entering on one
+floor and emerging on the next.  :class:`MultiFloorKinematics` exposes
+the same ``position``-style query as the single-floor kinematics but
+returns ``(floor_id, xy)``, which is exactly what the tracking loadgen
+needs to score floor classification and portal hand-offs against
+ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import SurveyError
+from ..venue.multifloor import Portal, Venue
+from .kinematics import PathKinematics
+
+
+@dataclass
+class FloorLeg:
+    """One single-floor stretch of a multi-floor walk."""
+
+    floor_id: str
+    kinematics: PathKinematics
+    t_start: float
+
+    @property
+    def t_end(self) -> float:
+        return self.t_start + self.kinematics.duration
+
+
+@dataclass
+class PortalHop:
+    """The dwell between two legs while traversing a portal."""
+
+    portal: Portal
+    from_floor: str
+    to_floor: str
+    t_start: float
+    t_end: float
+
+
+class MultiFloorKinematics:
+    """Time → ``(floor_id, position)`` for one multi-floor walk.
+
+    During a portal hop the device sits at the portal's entry point
+    for the first half of the traversal and at its exit point for the
+    second half — the floor label flips at the midpoint, mirroring how
+    a phone's scans migrate to the destination floor's APs mid-ride.
+    """
+
+    def __init__(
+        self, legs: Sequence[FloorLeg], hops: Sequence[PortalHop]
+    ):
+        if not legs:
+            raise SurveyError("a walk needs at least one leg")
+        if len(hops) != len(legs) - 1:
+            raise SurveyError(
+                f"{len(legs)} legs need {len(legs) - 1} hops, "
+                f"got {len(hops)}"
+            )
+        self.legs = list(legs)
+        self.hops = list(hops)
+
+    @property
+    def duration(self) -> float:
+        return self.legs[-1].t_end
+
+    @property
+    def floor_ids(self) -> Tuple[str, ...]:
+        return tuple(leg.floor_id for leg in self.legs)
+
+    def locate(self, t: float) -> Tuple[str, np.ndarray]:
+        """Floor id and xy at time ``t`` (clamped to the walk's span)."""
+        t = float(t)
+        for leg, hop in zip(self.legs, self.hops + [None]):
+            if t <= leg.t_end or hop is None:
+                return (
+                    leg.floor_id,
+                    leg.kinematics.position(t - leg.t_start),
+                )
+            if t < hop.t_end:
+                mid = 0.5 * (hop.t_start + hop.t_end)
+                if t < mid:
+                    return (
+                        hop.from_floor,
+                        hop.portal.endpoint(hop.from_floor),
+                    )
+                return hop.to_floor, hop.portal.endpoint(hop.to_floor)
+        raise SurveyError("unreachable")  # pragma: no cover
+
+
+def _nearest_node(
+    pos: Dict[int, np.ndarray], point: np.ndarray
+) -> int:
+    return min(
+        pos,
+        key=lambda n: (
+            float(np.linalg.norm(pos[n] - point)),
+            n,
+        ),
+    )
+
+
+def _random_walk_nodes(
+    graph: nx.Graph,
+    pos: Dict[int, np.ndarray],
+    rng: np.random.Generator,
+    min_length: float,
+    start: Optional[int] = None,
+) -> List[int]:
+    """A corridor node walk of at least ``min_length`` metres,
+    avoiding immediate backtracks where the junction allows."""
+    nodes = sorted(graph.nodes())
+    current = (
+        nodes[int(rng.integers(len(nodes)))] if start is None else start
+    )
+    walk = [current]
+    previous = None
+    length = 0.0
+    while length < min_length:
+        neighbours = list(graph.neighbors(current))
+        if not neighbours:  # pragma: no cover - validated venues
+            break
+        choices = [n for n in neighbours if n != previous]
+        if not choices:
+            choices = neighbours
+        nxt = choices[int(rng.integers(len(choices)))]
+        length += float(np.linalg.norm(pos[nxt] - pos[current]))
+        walk.append(nxt)
+        previous, current = current, nxt
+    return walk
+
+
+def plan_multifloor_walk(
+    venue: Venue,
+    rng: np.random.Generator,
+    *,
+    floor_sequence: Optional[Sequence[str]] = None,
+    leg_length: float = 60.0,
+    base_speed: float = 1.0,
+    speed_jitter: float = 0.25,
+    pause_probability: float = 0.25,
+    pause_duration: float = 3.0,
+) -> MultiFloorKinematics:
+    """Plan one walk visiting ``floor_sequence`` through portals.
+
+    Each leg random-walks its floor's corridor graph for about
+    ``leg_length`` metres, then heads (shortest corridor path) to a
+    portal connecting to the next floor in the sequence; the next leg
+    starts at that portal's exit.  Defaults to a bottom-to-top pass
+    over all floors, which makes every walk cross every portal level —
+    the hardest tracking scenario the venue offers.
+    """
+    floor_ids = (
+        list(venue.floor_ids)
+        if floor_sequence is None
+        else list(floor_sequence)
+    )
+    if not floor_ids:
+        raise SurveyError("empty floor sequence")
+    for fid in floor_ids:
+        venue.floor(fid)  # raises on unknown floors
+
+    legs: List[FloorLeg] = []
+    hops: List[PortalHop] = []
+    t = 0.0
+    start_node: Optional[int] = None
+    for k, fid in enumerate(floor_ids):
+        floor = venue.floor(fid)
+        graph = floor.plan.hallway_graph
+        pos = floor.plan.node_positions()
+        nodes = _random_walk_nodes(
+            graph, pos, rng, leg_length, start=start_node
+        )
+        portal: Optional[Portal] = None
+        if k + 1 < len(floor_ids):
+            nxt = floor_ids[k + 1]
+            options = venue.portals_between(fid, nxt)
+            if not options:
+                raise SurveyError(
+                    f"no portal connects {fid!r} to {nxt!r}"
+                )
+            portal = options[int(rng.integers(len(options)))]
+            target = _nearest_node(pos, portal.endpoint(fid))
+            tail = nx.shortest_path(
+                graph, nodes[-1], target, weight="length"
+            )
+            nodes.extend(tail[1:])
+            if nodes[-1] != target:  # pragma: no cover - path ends there
+                nodes.append(target)
+        waypoints = np.array([pos[n] for n in nodes], dtype=float)
+        if waypoints.shape[0] < 2:
+            # A leg that starts on its portal node still needs a
+            # polyline: pace to a neighbour and back.
+            neighbour = next(iter(graph.neighbors(nodes[0])))
+            waypoints = np.array(
+                [pos[nodes[0]], pos[neighbour], pos[nodes[0]]],
+                dtype=float,
+            )
+        kinematics = PathKinematics(
+            waypoints,
+            rng,
+            base_speed=base_speed,
+            speed_jitter=speed_jitter,
+            pause_probability=pause_probability,
+            pause_duration=pause_duration,
+        )
+        leg = FloorLeg(floor_id=fid, kinematics=kinematics, t_start=t)
+        legs.append(leg)
+        t = leg.t_end
+        if portal is not None:
+            hop = PortalHop(
+                portal=portal,
+                from_floor=fid,
+                to_floor=floor_ids[k + 1],
+                t_start=t,
+                t_end=t + portal.traversal_seconds,
+            )
+            hops.append(hop)
+            t = hop.t_end
+            next_pos = venue.floor(floor_ids[k + 1]).plan
+            start_node = _nearest_node(
+                next_pos.node_positions(),
+                portal.endpoint(floor_ids[k + 1]),
+            )
+        else:
+            start_node = None
+    return MultiFloorKinematics(legs, hops)

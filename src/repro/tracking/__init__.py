@@ -44,8 +44,10 @@ from .loadgen import (
     TrackingScenario,
     Walk,
     replay_walks,
+    simulate_multifloor_walks,
     simulate_walks,
 )
+from .portals import PortalMap
 from .service import (
     SessionSummary,
     TrackedBatch,
@@ -57,6 +59,7 @@ from .service import (
 __all__ = [
     "DEFAULT_TRACKING_SCENARIO",
     "MotionConfig",
+    "PortalMap",
     "SessionSummary",
     "StepResult",
     "TrackedBatch",
@@ -72,5 +75,6 @@ __all__ = [
     "kalman_predict",
     "kalman_update",
     "replay_walks",
+    "simulate_multifloor_walks",
     "simulate_walks",
 ]

@@ -29,6 +29,10 @@ import numpy as np
 
 from ..core import TopoACDifferentiator
 from ..datasets import Dataset
+from ..datasets.multifloor import (
+    MultiFloorDataset,
+    make_multifloor_dataset,
+)
 from ..exceptions import TrackingError
 from ..experiments.base import ExperimentResult
 from ..experiments.config import ExperimentConfig
@@ -36,8 +40,8 @@ from ..experiments.runner import get_dataset
 from ..geometry import MultiPolygon
 from ..metrics import tracking_improvement, trajectory_rmse
 from ..positioning import WKNNEstimator
-from ..serving import PositioningService
-from ..survey import PathKinematics
+from ..serving import PositioningService, deploy_floors
+from ..survey import PathKinematics, plan_multifloor_walk
 from .kalman import MotionConfig
 from .service import TrackingService
 
@@ -76,12 +80,17 @@ DEFAULT_TRACKING_SCENARIO = TrackingScenario()
 
 @dataclass
 class Walk:
-    """One device's simulated trip: truth trajectory plus its scans."""
+    """One device's simulated trip: truth trajectory plus its scans.
+
+    ``floors`` labels each tick's ground-truth floor for multi-floor
+    walks (``None`` on single-floor venues).
+    """
 
     venue: str
     times: np.ndarray
     positions: np.ndarray
     scans: np.ndarray
+    floors: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.times)
@@ -168,9 +177,72 @@ def simulate_walks(
     return walks
 
 
+def simulate_multifloor_walks(
+    dataset: "MultiFloorDataset",
+    scenario: TrackingScenario,
+    seed: int,
+) -> List[Walk]:
+    """Simulate the fleet on a stacked venue, portals included.
+
+    Every device walks the full floor stack bottom to top
+    (:func:`~repro.survey.plan_multifloor_walk`), so each walk crosses
+    every portal level; each tick's scan is measured by the
+    ground-truth floor's channel — the fingerprints genuinely migrate
+    to the next floor's APs mid-ride, which is what the tracking
+    layer's classifier and portal hand-off have to follow.  Leg
+    lengths are sized so the portal crossings land inside the
+    scenario's duration.
+    """
+    rng = np.random.default_rng(seed)
+    times = np.arange(
+        0.0, scenario.duration, scenario.scan_interval, dtype=float
+    )
+    n_floors = dataset.venue.n_floors
+    hop_time = sum(
+        p.traversal_seconds for p in dataset.venue.portals[: n_floors - 1]
+    )
+    leg_length = max(
+        10.0,
+        scenario.base_speed
+        * (scenario.duration - hop_time)
+        / (2.0 * max(n_floors, 1)),
+    )
+    walks: List[Walk] = []
+    for _ in range(scenario.devices):
+        plan = plan_multifloor_walk(
+            dataset.venue,
+            rng,
+            leg_length=leg_length,
+            base_speed=scenario.base_speed,
+        )
+        floors: List[str] = []
+        positions: List[np.ndarray] = []
+        scans: List[np.ndarray] = []
+        for t in times:
+            fid, xy = plan.locate(float(t))
+            floors.append(fid)
+            positions.append(xy)
+            scans.append(dataset.channels[fid].measure(xy, rng).rssi)
+        walks.append(
+            Walk(
+                venue=dataset.name,
+                times=times.copy(),
+                positions=np.stack(positions),
+                scans=np.stack(scans),
+                floors=np.array(floors, dtype=object),
+            )
+        )
+    return walks
+
+
 @dataclass
 class TrackingReport:
-    """Accuracy/throughput summary of one tracked fleet replay."""
+    """Accuracy/throughput summary of one tracked fleet replay.
+
+    ``floor_accuracy`` is the fraction of stepped scans whose
+    session sat on the ground-truth floor (``None`` on single-floor
+    replays — floors aren't in play).
+    """
 
     scenario: TrackingScenario
     venue: str
@@ -182,13 +254,14 @@ class TrackingReport:
     elapsed: float
     rejected: int
     clamped: int
+    floor_accuracy: Optional[float] = None
 
     @property
     def steps_per_second(self) -> float:
         return self.steps / self.elapsed if self.elapsed > 0 else 0.0
 
     def render(self) -> str:
-        return (
+        out = (
             f"{self.scenario.name:>10} {self.venue}: "
             f"{self.devices} devices x "
             f"{self.steps // max(self.devices, 1)} scans | "
@@ -198,6 +271,9 @@ class TrackingReport:
             f"{self.steps_per_second:.0f} steps/s | "
             f"fixes rejected={self.rejected} clamped={self.clamped}"
         )
+        if self.floor_accuracy is not None:
+            out += f" | floor accuracy {100 * self.floor_accuracy:.1f}%"
+        return out
 
 
 def replay_walks(
@@ -228,6 +304,7 @@ def replay_walks(
     tracked_rows: List[np.ndarray] = []
     truth_rows: List[np.ndarray] = []
     rejected = clamped = 0
+    floor_hits = floor_total = 0
     for k in range(1, n_steps):
         batch = tracking.step_batch(
             sids,
@@ -239,6 +316,13 @@ def replay_walks(
         truth_rows.append(np.stack([w.positions[k] for w in walks]))
         rejected += int((~batch.accepted).sum())
         clamped += int(batch.clamped.sum())
+        if batch.floors:
+            for j, walk in enumerate(walks):
+                if walk.floors is not None:
+                    floor_total += 1
+                    floor_hits += int(
+                        batch.floors[j] == walk.floors[k]
+                    )
     elapsed = time.perf_counter() - t_start
     for sid in sids:
         tracking.end(sid)
@@ -256,6 +340,9 @@ def replay_walks(
         elapsed=elapsed,
         rejected=rejected,
         clamped=clamped,
+        floor_accuracy=(
+            floor_hits / floor_total if floor_total else None
+        ),
     )
 
 
@@ -309,6 +396,82 @@ def run(
             "raw_rmse": report.raw_rmse,
             "tracked_rmse": report.tracked_rmse,
             "improvement": report.improvement,
+            "steps_per_second": report.steps_per_second,
+            "rejected": report.rejected,
+            "clamped": report.clamped,
+            "seed": base_seed,
+        },
+    )
+
+
+def run_multifloor(
+    config: ExperimentConfig,
+    *,
+    venue: str = "kaide",
+    n_floors: int = 2,
+    scale: float = 0.35,
+    scenario: Optional[TrackingScenario] = None,
+    motion: Optional[MotionConfig] = None,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Deploy a stacked venue, replay a portal-crossing fleet, score.
+
+    The full floor-aware stack in one run: per-floor shards behind a
+    floor classifier (:func:`~repro.serving.deploy_floors`), per-floor
+    walkable constraints plus the portal hand-off model
+    (:meth:`~repro.tracking.TrackingService.register_floors`), and a
+    fleet whose every device rides a portal mid-walk.  Scores floor
+    accuracy and tracked-vs-per-scan RMSE across the transitions —
+    the numbers ``BENCH_multifloor.json`` gates on.
+    """
+    scenario = scenario or TrackingScenario(
+        name="multifloor", duration=90.0
+    )
+    base_seed = config.dataset_seed if seed is None else int(seed)
+    dataset = make_multifloor_dataset(
+        venue, n_floors=n_floors, scale=scale, seed=base_seed
+    )
+    positioning = PositioningService(cache_size=0)
+    deploy_floors(
+        positioning,
+        dataset.venue,
+        dataset.radio_maps,
+        lambda floor: TopoACDifferentiator(
+            entities=floor.plan.entities
+        ),
+        estimator_factory=WKNNEstimator,
+    )
+    tracking = TrackingService(positioning, motion=motion)
+    tracking.register_floors(dataset.venue)
+    walks = simulate_multifloor_walks(
+        dataset, scenario, base_seed + 31
+    )
+    report = replay_walks(tracking, walks, scenario)
+    stats = tracking.stats
+    lines = [
+        f"venue: {venue} x {n_floors} floors | "
+        f"{scenario.devices} devices, scan every "
+        f"{scenario.scan_interval}s for {scenario.duration}s | "
+        f"seed {base_seed}",
+        dataset.venue.describe(),
+        report.render(),
+        stats.render(),
+    ]
+    return ExperimentResult(
+        experiment_id="Multi-floor tracking",
+        rendered="\n".join(lines),
+        data={
+            "venue": venue,
+            "n_floors": n_floors,
+            "devices": report.devices,
+            "steps": report.steps,
+            "raw_rmse": report.raw_rmse,
+            "tracked_rmse": report.tracked_rmse,
+            "improvement": report.improvement,
+            "floor_accuracy": report.floor_accuracy,
+            "floor_switches": stats.floor_switches,
+            "floor_rejections": stats.floor_rejections,
+            "floor_reanchors": stats.floor_reanchors,
             "steps_per_second": report.steps_per_second,
             "rejected": report.rejected,
             "clamped": report.clamped,

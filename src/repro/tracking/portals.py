@@ -1,0 +1,125 @@
+"""Portal-aware floor transitions for tracked sessions.
+
+A stacked venue's floors are disjoint 2D worlds — a track living on
+``"kaide/f1"`` cannot smoothly Kalman-step onto ``"kaide/f2"``,
+because the 40-metre "jump" from the elevator lobby on one floor to
+the same lobby on the next would fail the innovation gate and the
+track would coast forever while the device rides upward.  The venue
+model knows better: floors connect only at
+:class:`~repro.venue.Portal` footprints (stairs, elevators), so a
+floor change is legal exactly when the track is standing at a portal
+that reaches the classified floor.
+
+:class:`PortalMap` is the tracking layer's index over a venue's
+portals: given *where the track is* and *which floor the scans now
+say*, :meth:`PortalMap.handoff` answers with the matching portal's
+exit point on the new floor — the position the track re-anchors at —
+or ``None`` when no portal is in reach (an off-floor misclassification
+to reject, not a traversal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..venue.multifloor import Portal, Venue
+
+__all__ = ["PortalMap"]
+
+
+class PortalMap:
+    """Floor-pair → portals index of one stacked venue.
+
+    Built once per venue at registration time
+    (:meth:`~repro.tracking.TrackingService.register_floors`); lookup
+    is a dict hit plus a few norms over the handful of portals
+    connecting a floor pair.
+    """
+
+    def __init__(self, portals: Sequence[Portal]):
+        self._by_pair: Dict[
+            Tuple[str, str], List[Portal]
+        ] = {}
+        for portal in portals:
+            for a, b in (
+                (portal.floor_a, portal.floor_b),
+                (portal.floor_b, portal.floor_a),
+            ):
+                self._by_pair.setdefault((a, b), []).append(portal)
+
+    @classmethod
+    def from_venue(cls, venue: Venue) -> "PortalMap":
+        return cls(venue.portals)
+
+    def __len__(self) -> int:
+        # Each portal indexes under both directions.
+        return sum(len(v) for v in self._by_pair.values()) // 2
+
+    def connects(self, floor_a: str, floor_b: str) -> bool:
+        """Whether any portal directly joins the two floors."""
+        return (floor_a, floor_b) in self._by_pair
+
+    def portals_between(
+        self, floor_a: str, floor_b: str
+    ) -> List[Portal]:
+        return list(self._by_pair.get((floor_a, floor_b), []))
+
+    def handoff(
+        self,
+        from_floor: str,
+        to_floor: str,
+        position: np.ndarray,
+        *,
+        radius: float,
+    ) -> Optional[np.ndarray]:
+        """Exit point on ``to_floor`` if a portal is within reach.
+
+        Scans the portals joining the floor pair for the one whose
+        entry point on ``from_floor`` lies within ``radius`` metres of
+        the track ``position``; returns that portal's exit point on
+        ``to_floor`` (the position the handed-off track starts from),
+        or ``None`` when the track is nowhere near a way up or down.
+        """
+        pos = np.asarray(position, dtype=float)
+        best: Optional[np.ndarray] = None
+        best_d = float(radius)
+        for portal in self._by_pair.get((from_floor, to_floor), ()):
+            entry = portal.endpoint(from_floor)
+            d = float(np.linalg.norm(pos - entry))
+            if d <= best_d:
+                best = portal.endpoint(to_floor)
+                best_d = d
+        return best
+
+    def arrival(
+        self,
+        from_floor: str,
+        to_floor: str,
+        fix: np.ndarray,
+        *,
+        radius: float,
+    ) -> Optional[np.ndarray]:
+        """Exit point on ``to_floor`` if a *fix there* is within reach.
+
+        The complement of :meth:`handoff` for when the track side is
+        ambiguous: a Kalman track lags the device by its smoothing
+        horizon, so at the moment the first next-floor scan arrives
+        the track may still sit several metres short of the portal
+        entry.  The scan's own position fix — already resolved on
+        ``to_floor`` — is independent evidence: a device that just
+        stepped out of an elevator fixes right at its exit.  Returns
+        the closest joining portal's exit point on ``to_floor`` within
+        ``radius`` metres of ``fix``, or ``None``.
+        """
+        pos = np.asarray(fix, dtype=float)
+        best: Optional[np.ndarray] = None
+        best_d = float(radius)
+        for portal in self._by_pair.get((from_floor, to_floor), ()):
+            exit_xy = portal.endpoint(to_floor)
+            d = float(np.linalg.norm(pos - exit_xy))
+            if d <= best_d:
+                best = exit_xy
+                best_d = d
+        return best

@@ -62,8 +62,11 @@ import numpy as np
 
 from ..exceptions import TrackingError
 from ..serving import PositioningService
+from ..serving.floors import FloorClassifier
+from ..venue.multifloor import Venue
 from .constraint import Walkable, WalkableConstraint
 from .kalman import MotionConfig, TrackerBank
+from .portals import PortalMap
 
 
 @dataclass
@@ -85,6 +88,17 @@ class TrackingStats:
     batches: int = 0
     rejected_fixes: int = 0
     clamped_fixes: int = 0
+    #: Tracks handed across a portal to the classified floor (the
+    #: elevator/stairs case: the scan's floor changed while the track
+    #: stood at a portal entry).
+    floor_switches: int = 0
+    #: Off-floor scans coasted through because no portal was in reach
+    #: (isolated floor misclassifications the hysteresis absorbs).
+    floor_rejections: int = 0
+    #: Tracks force-restarted on the scans' floor after persistent
+    #: off-floor evidence with no portal nearby (classifier and track
+    #: disagreed long enough that the track was the wrong one).
+    floor_reanchors: int = 0
     seconds: float = 0.0
 
     @property
@@ -102,7 +116,7 @@ class TrackingStats:
         return self.steps / self.seconds if self.seconds > 0 else 0.0
 
     def render(self) -> str:
-        return (
+        out = (
             f"sessions started={self.sessions_started} "
             f"ended={self.sessions_ended} "
             f"evicted(ttl={self.evicted_ttl} "
@@ -112,11 +126,27 @@ class TrackingStats:
             f"fixes rejected={self.rejected_fixes} "
             f"clamped={self.clamped_fixes}"
         )
+        if (
+            self.floor_switches
+            or self.floor_rejections
+            or self.floor_reanchors
+        ):
+            out += (
+                f" | floors switched={self.floor_switches} "
+                f"rejected={self.floor_rejections} "
+                f"re-anchored={self.floor_reanchors}"
+            )
+        return out
 
 
 @dataclass(frozen=True)
 class TrackedFix:
-    """One session's answer to one scan."""
+    """One session's answer to one scan.
+
+    ``floor`` is the session's floor *after* this scan (portal
+    hand-offs land on the new floor); ``None`` for single-floor
+    venues.
+    """
 
     session_id: str
     venue: str
@@ -125,6 +155,7 @@ class TrackedFix:
     raw: np.ndarray
     accepted: bool
     clamped: bool
+    floor: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -144,6 +175,9 @@ class TrackedBatch:
     raw: np.ndarray
     accepted: np.ndarray
     clamped: np.ndarray
+    #: Per-row post-step floor ids; ``None`` entries are single-floor
+    #: sessions.  Empty tuple on batches predating floor awareness.
+    floors: Tuple[Optional[str], ...] = ()
 
     def __len__(self) -> int:
         return len(self.session_ids)
@@ -158,6 +192,7 @@ class TrackedBatch:
             raw=self.raw[i].copy(),
             accepted=bool(self.accepted[i]),
             clamped=bool(self.clamped[i]),
+            floor=self.floors[i] if self.floors else None,
         )
 
 
@@ -171,6 +206,7 @@ class SessionSummary:
     started_at: float
     last_seen: float
     position: np.ndarray
+    floor: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -178,10 +214,25 @@ class SessionSummary:
 
 
 class _Session:
-    __slots__ = ("sid", "venue", "slot", "created", "last_seen", "steps")
+    __slots__ = (
+        "sid",
+        "venue",
+        "slot",
+        "created",
+        "last_seen",
+        "steps",
+        "floor",
+        "pending_floor",
+        "pending_count",
+    )
 
     def __init__(
-        self, sid: str, venue: str, slot: int, t: float
+        self,
+        sid: str,
+        venue: str,
+        slot: int,
+        t: float,
+        floor: Optional[str] = None,
     ) -> None:
         self.sid = sid
         self.venue = venue
@@ -189,6 +240,24 @@ class _Session:
         self.created = t
         self.last_seen = t
         self.steps = 0
+        #: Current floor id for stacked venues; None on single-floor.
+        self.floor = floor
+        #: Off-floor hysteresis: the floor recent scans keep claiming
+        #: (with no portal in reach) and how many in a row claimed it.
+        self.pending_floor: Optional[str] = None
+        self.pending_count = 0
+
+
+@dataclass
+class _FloorState:
+    """What the tracking layer keeps per registered stacked venue."""
+
+    classifier: FloorClassifier
+    portals: PortalMap
+    portal_radius: float
+    #: Consecutive same-floor off-floor scans (with no portal in
+    #: reach) before the track force-re-anchors on the scans' floor.
+    reanchor_after: int
 
 
 class TrackingService:
@@ -232,6 +301,7 @@ class TrackingService:
         self.max_sessions = int(max_sessions)
         self.constraint_mode = constraint_mode
         self._constraints: Dict[str, WalkableConstraint] = {}
+        self._floors: Dict[str, _FloorState] = {}
         self._banks: Dict[str, TrackerBank] = {}
         self._sessions: "OrderedDict[str, _Session]" = OrderedDict()
         self._lock = threading.RLock()
@@ -266,6 +336,60 @@ class TrackingService:
             self._constraints[venue] = constraint
             if venue in self._banks:
                 self._banks[venue].constraint = constraint
+
+    def register_floors(
+        self,
+        venue: Venue,
+        classifier: Optional[FloorClassifier] = None,
+        *,
+        portal_radius: float = 5.0,
+        reanchor_after: int = 2,
+    ) -> None:
+        """Make a stacked venue trackable across its floors.
+
+        Registers every floor's walkable geometry under its
+        ``"venue/floor"`` bank key, builds the portal index, and keeps
+        the floor classifier (default: strongest-AP from the venue's
+        AP homing — match whatever the positioning service routes
+        with) so each scan is floor-classified before positioning.
+        From then on sessions of this venue carry a floor, their fixes
+        come from the classified floor's shard, and a floor change
+        hands the track through a portal instead of failing the
+        innovation gate.
+
+        ``portal_radius`` is how close (metres) the track must stand
+        to a portal entry for the hand-off to fire;
+        ``reanchor_after`` is the hysteresis — that many consecutive
+        off-floor scans (same new floor, no portal in reach) force a
+        re-anchor on the scans' floor.
+        """
+        if portal_radius <= 0:
+            raise TrackingError("portal_radius must be positive")
+        if reanchor_after < 1:
+            raise TrackingError("reanchor_after must be >= 1")
+        state = _FloorState(
+            classifier=(
+                classifier
+                if classifier is not None
+                else FloorClassifier.from_venue(venue)
+            ),
+            portals=PortalMap.from_venue(venue),
+            portal_radius=float(portal_radius),
+            reanchor_after=int(reanchor_after),
+        )
+        with self._lock:
+            for floor in venue.floors:
+                self.register_walkable(
+                    f"{venue.name}/{floor.floor_id}", floor.walkable
+                )
+            self._floors[venue.name] = state
+
+    def _bank_key(self, session: _Session) -> str:
+        return (
+            session.venue
+            if session.floor is None
+            else f"{session.venue}/{session.floor}"
+        )
 
     def _bank(self, venue: str) -> TrackerBank:
         # Caller holds the lock.
@@ -305,7 +429,9 @@ class TrackingService:
         """Current fused position of a live session (no step)."""
         with self._lock:
             session = self._resolve(session_id)
-            return self._banks[session.venue].position(session.slot)
+            return self._banks[self._bank_key(session)].position(
+                session.slot
+            )
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -373,12 +499,26 @@ class TrackingService:
                         )
                 if len(set(sids)) != n:
                     raise TrackingError("duplicate session ids")
-            raw = self.positioning.query_batch(venues, fingerprints)
+            if self._floors:
+                query_keys, floors = self._classify_floors(
+                    venues, fingerprints
+                )
+            else:
+                query_keys, floors = venues, [None] * n
+            raw = self.positioning.query_batch(
+                query_keys, fingerprints
+            )
             for i, sid in enumerate(sids):
-                bank = self._bank(venues[i])
+                # For stacked venues the query key *is* the bank key
+                # ("venue/floor"); bare venues keep their own bank.
+                bank = self._bank(query_keys[i])
                 slot = bank.start(raw[i], float(times[i]))
                 self._sessions[sid] = _Session(
-                    sid, venues[i], slot, float(times[i])
+                    sid,
+                    venues[i],
+                    slot,
+                    float(times[i]),
+                    floor=floors[i],
                 )
                 self._sessions.move_to_end(sid)
             self._stats.sessions_started += n
@@ -435,16 +575,38 @@ class TrackingService:
             self._prune_ttl()
             sessions = [self._resolve(sid) for sid in session_ids]
             venues = [s.venue for s in sessions]
-            raw = self.positioning.query_batch(venues, fingerprints)
+            if self._floors:
+                query_keys, targets = self._classify_floors(
+                    venues, fingerprints
+                )
+            else:
+                query_keys, targets = venues, None
+            raw = self.positioning.query_batch(
+                query_keys, fingerprints
+            )
             positions = np.empty((n, 2))
             velocities = np.empty((n, 2))
             accepted = np.empty(n, dtype=bool)
             clamped = np.empty(n, dtype=bool)
-            by_venue: Dict[str, List[int]] = {}
-            for i, venue in enumerate(venues):
-                by_venue.setdefault(venue, []).append(i)
-            for venue, rows in by_venue.items():
-                bank = self._banks[venue]
+            by_bank: Dict[str, List[int]] = {}
+            transitions: List[int] = []
+            for i, session in enumerate(sessions):
+                target = None if targets is None else targets[i]
+                if target is not None and target != session.floor:
+                    # The scans moved floors while the track stayed:
+                    # portal hand-off / hysteresis, handled per row.
+                    transitions.append(i)
+                    continue
+                if session.pending_count:
+                    # Back on the track's floor: off-floor evidence
+                    # was an isolated misclassification after all.
+                    session.pending_floor = None
+                    session.pending_count = 0
+                by_bank.setdefault(
+                    self._bank_key(session), []
+                ).append(i)
+            for key, rows in by_bank.items():
+                bank = self._banks[key]
                 result = bank.step_batch(
                     [sessions[i].slot for i in rows],
                     raw[rows],
@@ -454,6 +616,18 @@ class TrackingService:
                 velocities[rows] = result.velocities
                 accepted[rows] = result.accepted
                 clamped[rows] = result.clamped
+            for i in transitions:
+                self._transition(
+                    sessions[i],
+                    targets[i],
+                    raw[i],
+                    float(times[i]),
+                    i,
+                    positions,
+                    velocities,
+                    accepted,
+                    clamped,
+                )
             for i, session in enumerate(sessions):
                 # Ratchet: one stale device timestamp must not rewind
                 # the session into its own TTL window.
@@ -475,6 +649,11 @@ class TrackingService:
             raw=raw,
             accepted=accepted,
             clamped=clamped,
+            floors=(
+                tuple(s.floor for s in sessions)
+                if self._floors
+                else ()
+            ),
         )
 
     def end(self, session_id: str) -> SessionSummary:
@@ -489,6 +668,115 @@ class TrackingService:
     # ------------------------------------------------------------------
     # Internals (caller holds the lock)
     # ------------------------------------------------------------------
+    def _classify_floors(
+        self,
+        venues: Sequence[str],
+        fingerprints: Sequence[np.ndarray],
+    ) -> Tuple[List[str], List[Optional[str]]]:
+        """Per-row (positioning query key, classified floor id).
+
+        Rows of venues registered via :meth:`register_floors` are
+        batch-classified per venue; everything else passes through
+        with its bare key and a ``None`` floor.
+        """
+        floors: List[Optional[str]] = [None] * len(venues)
+        keys: List[str] = list(venues)
+        grouped: Dict[str, List[int]] = {}
+        for i, venue in enumerate(venues):
+            if venue in self._floors:
+                grouped.setdefault(venue, []).append(i)
+        for venue, rows in grouped.items():
+            classifier = self._floors[venue].classifier
+            batch = np.stack(
+                [
+                    np.asarray(fingerprints[i], dtype=float)
+                    for i in rows
+                ]
+            )
+            for i, fi in zip(rows, classifier.classify(batch)):
+                fid = classifier.floors[int(fi)]
+                floors[i] = fid
+                keys[i] = f"{venue}/{fid}"
+        return keys, floors
+
+    def _transition(
+        self,
+        session: _Session,
+        target: str,
+        raw_fix: np.ndarray,
+        t: float,
+        i: int,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        accepted: np.ndarray,
+        clamped: np.ndarray,
+    ) -> None:
+        """Resolve one scan that classified off the session's floor.
+
+        Three outcomes, in priority order: the transition looks like a
+        portal traversal → hand off through it (start on the exit
+        point, fuse the scan's fix at the same timestamp — a zero-dt
+        step through the ordinary bit-identical kernels); no portal in
+        reach but the off-floor evidence has persisted → re-anchor the
+        track at the raw fix on the scans' floor; else coast on the
+        current floor and reject the fix (an isolated
+        misclassification the hysteresis absorbs).
+
+        The portal test is two-sided: the track standing within
+        ``portal_radius`` of a portal entry (:meth:`PortalMap.handoff`)
+        *or* the scan's own fix landing within ``portal_radius`` of
+        its exit on the new floor (:meth:`PortalMap.arrival`).  The
+        track lags the device by the filter's smoothing horizon, so
+        at the moment the first next-floor scan arrives it can sit
+        short of the entry while the fix — measured on the new floor —
+        already pins the device to the exit.
+        """
+        state = self._floors[session.venue]
+        old_bank = self._banks[self._bank_key(session)]
+        here = old_bank.position(session.slot)
+        exit_xy = state.portals.handoff(
+            session.floor,
+            target,
+            here,
+            radius=state.portal_radius,
+        )
+        if exit_xy is None:
+            exit_xy = state.portals.arrival(
+                session.floor,
+                target,
+                raw_fix,
+                radius=state.portal_radius,
+            )
+        if exit_xy is None:
+            if target == session.pending_floor:
+                session.pending_count += 1
+            else:
+                session.pending_floor = target
+                session.pending_count = 1
+            if session.pending_count < state.reanchor_after:
+                positions[i] = here
+                velocities[i] = old_bank.velocity(session.slot)
+                accepted[i] = False
+                clamped[i] = False
+                self._stats.floor_rejections += 1
+                return
+        old_bank.release(session.slot)
+        session.floor = target
+        session.pending_floor = None
+        session.pending_count = 0
+        new_bank = self._bank(self._bank_key(session))
+        if exit_xy is not None:
+            session.slot = new_bank.start(exit_xy, t)
+            self._stats.floor_switches += 1
+        else:
+            session.slot = new_bank.start(raw_fix, t)
+            self._stats.floor_reanchors += 1
+        result = new_bank.step(session.slot, raw_fix, t)
+        positions[i] = result.positions[0]
+        velocities[i] = result.velocities[0]
+        accepted[i] = result.accepted[0]
+        clamped[i] = result.clamped[0]
+
     def _check_times(
         self, times: Optional[Sequence[float]], n: int
     ) -> np.ndarray:
@@ -542,11 +830,14 @@ class TrackingService:
             steps=session.steps,
             started_at=session.created,
             last_seen=session.last_seen,
-            position=self._banks[session.venue].position(session.slot),
+            position=self._banks[self._bank_key(session)].position(
+                session.slot
+            ),
+            floor=session.floor,
         )
 
     def _drop(self, session: _Session) -> None:
-        self._banks[session.venue].release(session.slot)
+        self._banks[self._bank_key(session)].release(session.slot)
         del self._sessions[session.sid]
 
     def _prune_ttl(self) -> None:
@@ -567,5 +858,5 @@ class TrackingService:
     def _evict_over_capacity(self) -> None:
         while len(self._sessions) > self.max_sessions:
             _, session = self._sessions.popitem(last=False)
-            self._banks[session.venue].release(session.slot)
+            self._banks[self._bank_key(session)].release(session.slot)
             self._stats.evicted_capacity += 1

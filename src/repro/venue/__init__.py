@@ -1,4 +1,5 @@
-"""Indoor venue model: floor plans, access points, reference points."""
+"""Indoor venue model: floor plans, access points, reference points,
+and stacked multi-floor venues connected by portals."""
 
 from .access_points import (
     AccessPoint,
@@ -8,6 +9,13 @@ from .access_points import (
 )
 from .builders import PRESETS, VenuePreset, VenueSpec, build_venue
 from .floorplan import FloorPlan, build_grid_mall
+from .multifloor import (
+    PORTAL_KINDS,
+    Floor,
+    Portal,
+    Venue,
+    build_multifloor_venue,
+)
 from .reference_points import (
     contiguous_rp_patch,
     nearest_rp_index,
@@ -17,14 +25,19 @@ from .reference_points import (
 )
 
 __all__ = [
+    "PORTAL_KINDS",
     "PRESETS",
     "AccessPoint",
+    "Floor",
     "FloorPlan",
+    "Portal",
+    "Venue",
     "VenuePreset",
     "VenueSpec",
     "ap_positions",
     "ap_powers",
     "build_grid_mall",
+    "build_multifloor_venue",
     "build_venue",
     "contiguous_rp_patch",
     "deploy_access_points",

@@ -1,0 +1,426 @@
+"""Stacked-floor venues: ordered floors connected by portals.
+
+The paper's venues are single floors, but the ROADMAP's north star is
+towers and malls — venues where ``"kaide/f1"`` is a real place three
+slabs above ``"kaide/f4"``.  This module makes floors first-class:
+
+* :class:`Floor` — one slab: a :class:`~repro.venue.FloorPlan`, the
+  APs homed on it (with *globally unique* ap ids, so every floor's
+  radio map shares one fingerprint dimension ``D``), its reference
+  points, and its height ``z``.
+* :class:`Portal` — a stairwell or elevator connecting two floors,
+  with an entry/exit point and a walkable footprint polygon on each
+  side.  Portals are where tracks change floors: a session whose
+  scans jump floors mid-walk is handed across the portal instead of
+  failing the motion model's innovation gate.
+* :class:`Venue` — the stack: ordered floors plus portals, with
+  structural validation (contiguous global AP ids, increasing levels,
+  portal footprints on their floors' walkable area, every floor
+  reachable through the portal graph).
+
+:func:`build_multifloor_venue` instantiates an aligned tower from the
+paper's venue presets: every floor shares the preset's plate geometry
+(real towers stack one plate) while AP deployment re-rolls per floor,
+and an elevator plus a stairwell connect consecutive floors at two
+corridor intersections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import VenueError
+from ..geometry import MultiPolygon, Polygon
+from .access_points import AccessPoint, deploy_access_points
+from .builders import PRESETS, VenueSpec, build_venue
+from .floorplan import FloorPlan
+
+#: Portal kinds with their default traversal times (seconds a device
+#: dwells inside the portal while changing floors).
+PORTAL_KINDS = {"stairs": 12.0, "elevator": 8.0}
+
+
+@dataclass(frozen=True)
+class Portal:
+    """A stairwell or elevator connecting two floors.
+
+    ``point_a``/``point_b`` are the entry/exit locations on
+    ``floor_a``/``floor_b`` (same xy for an aligned elevator shaft);
+    ``footprint_a``/``footprint_b`` the walkable patches a track must
+    be near for a floor hand-off to be believable.
+    """
+
+    name: str
+    kind: str
+    floor_a: str
+    floor_b: str
+    point_a: Tuple[float, float]
+    point_b: Tuple[float, float]
+    footprint_a: Polygon
+    footprint_b: Polygon
+    traversal_seconds: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PORTAL_KINDS:
+            raise VenueError(
+                f"portal kind {self.kind!r} not in {sorted(PORTAL_KINDS)}"
+            )
+        if self.floor_a == self.floor_b:
+            raise VenueError(
+                f"portal {self.name!r} connects {self.floor_a!r} to itself"
+            )
+        if self.traversal_seconds <= 0:
+            raise VenueError("traversal_seconds must be positive")
+        for point, footprint, floor in (
+            (self.point_a, self.footprint_a, self.floor_a),
+            (self.point_b, self.footprint_b, self.floor_b),
+        ):
+            if len(point) != 2:
+                raise VenueError("portal points must be 2-D")
+            if not footprint.contains_point(point):
+                raise VenueError(
+                    f"portal {self.name!r}: point {tuple(point)} outside "
+                    f"its footprint on floor {floor!r}"
+                )
+
+    def endpoint(self, floor_id: str) -> np.ndarray:
+        """The portal's xy on ``floor_id`` (must be one of its floors)."""
+        if floor_id == self.floor_a:
+            return np.asarray(self.point_a, dtype=float)
+        if floor_id == self.floor_b:
+            return np.asarray(self.point_b, dtype=float)
+        raise VenueError(
+            f"portal {self.name!r} does not touch floor {floor_id!r}"
+        )
+
+    def footprint(self, floor_id: str) -> Polygon:
+        if floor_id == self.floor_a:
+            return self.footprint_a
+        if floor_id == self.floor_b:
+            return self.footprint_b
+        raise VenueError(
+            f"portal {self.name!r} does not touch floor {floor_id!r}"
+        )
+
+    def connects(self, floor_a: str, floor_b: str) -> bool:
+        """True when the portal joins the two floors (either direction)."""
+        return {floor_a, floor_b} == {self.floor_a, self.floor_b}
+
+
+@dataclass
+class Floor:
+    """One slab of a stacked venue."""
+
+    floor_id: str
+    level: int
+    z: float
+    plan: FloorPlan
+    access_points: List[AccessPoint]
+    reference_points: np.ndarray
+
+    @property
+    def n_aps(self) -> int:
+        return len(self.access_points)
+
+    @property
+    def walkable(self) -> MultiPolygon:
+        """The floor's walkable area (its corridor polygons)."""
+        return MultiPolygon(self.plan.hallways)
+
+    def describe(self) -> str:
+        return (
+            f"{self.floor_id} (level {self.level}, z={self.z:.1f}m): "
+            f"{self.plan.describe()}, {self.n_aps} APs, "
+            f"{len(self.reference_points)} RPs"
+        )
+
+
+@dataclass
+class Venue:
+    """A stacked-floor venue: ordered floors plus connecting portals.
+
+    Floors are ordered by ``level`` and share one global AP id space:
+    floor ``k``'s ap ids continue where floor ``k-1``'s stopped, so a
+    fingerprint over the whole venue is a single ``(D,)`` vector and
+    per-floor radio maps are partitions of one tensor family.
+    """
+
+    name: str
+    floors: List[Floor] = field(default_factory=list)
+    portals: List[Portal] = field(default_factory=list)
+    channel_kind: str = "wifi"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- structure -----------------------------------------------------
+    @property
+    def n_floors(self) -> int:
+        return len(self.floors)
+
+    @property
+    def floor_ids(self) -> Tuple[str, ...]:
+        return tuple(f.floor_id for f in self.floors)
+
+    @property
+    def n_aps(self) -> int:
+        """Global fingerprint dimension ``D`` (all floors' APs)."""
+        return sum(f.n_aps for f in self.floors)
+
+    @property
+    def access_points(self) -> List[AccessPoint]:
+        """All APs in global ap-id order."""
+        return [ap for f in self.floors for ap in f.access_points]
+
+    def floor(self, floor_id: str) -> Floor:
+        for f in self.floors:
+            if f.floor_id == floor_id:
+                return f
+        raise VenueError(
+            f"venue {self.name!r} has no floor {floor_id!r}; "
+            f"floors: {list(self.floor_ids)}"
+        )
+
+    def floor_index(self, floor_id: str) -> int:
+        for i, f in enumerate(self.floors):
+            if f.floor_id == floor_id:
+                return i
+        raise VenueError(
+            f"venue {self.name!r} has no floor {floor_id!r}"
+        )
+
+    def ap_floor_index(self) -> np.ndarray:
+        """``(D,)`` int array mapping each global AP id to its floor's
+        position in :attr:`floors` — the strongest-AP floor
+        classifier's lookup table."""
+        out = np.empty(self.n_aps, dtype=np.int64)
+        offset = 0
+        for i, f in enumerate(self.floors):
+            out[offset : offset + f.n_aps] = i
+            offset += f.n_aps
+        return out
+
+    def portals_between(
+        self, floor_a: str, floor_b: str
+    ) -> List[Portal]:
+        return [p for p in self.portals if p.connects(floor_a, floor_b)]
+
+    def portals_on(self, floor_id: str) -> List[Portal]:
+        return [
+            p
+            for p in self.portals
+            if floor_id in (p.floor_a, p.floor_b)
+        ]
+
+    # -- validation ----------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`VenueError` on structural inconsistencies."""
+        if not self.floors:
+            raise VenueError(f"venue {self.name!r}: no floors")
+        ids = [f.floor_id for f in self.floors]
+        if len(set(ids)) != len(ids):
+            raise VenueError(f"venue {self.name!r}: duplicate floor ids")
+        levels = [f.level for f in self.floors]
+        zs = [f.z for f in self.floors]
+        if levels != sorted(levels) or len(set(levels)) != len(levels):
+            raise VenueError(
+                f"venue {self.name!r}: floor levels must strictly increase"
+            )
+        if zs != sorted(zs) or len(set(zs)) != len(zs):
+            raise VenueError(
+                f"venue {self.name!r}: floor heights must strictly increase"
+            )
+        expected = 0
+        for f in self.floors:
+            f.plan.validate()
+            for ap in f.access_points:
+                if ap.ap_id != expected:
+                    raise VenueError(
+                        f"venue {self.name!r}: floor {f.floor_id!r} AP id "
+                        f"{ap.ap_id} breaks the contiguous global id "
+                        f"space (expected {expected})"
+                    )
+                expected += 1
+        known = set(ids)
+        for portal in self.portals:
+            for fid in (portal.floor_a, portal.floor_b):
+                if fid not in known:
+                    raise VenueError(
+                        f"portal {portal.name!r} references unknown "
+                        f"floor {fid!r}"
+                    )
+                floor = self.floor(fid)
+                if not floor.walkable.contains_point(
+                    portal.endpoint(fid)
+                ):
+                    raise VenueError(
+                        f"portal {portal.name!r}: endpoint on floor "
+                        f"{fid!r} is off the walkable area"
+                    )
+        if self.n_floors > 1:
+            # Every floor must be reachable: union-find over portals.
+            parent = {fid: fid for fid in ids}
+
+            def find(a: str) -> str:
+                while parent[a] != a:
+                    parent[a] = parent[parent[a]]
+                    a = parent[a]
+                return a
+
+            for portal in self.portals:
+                parent[find(portal.floor_a)] = find(portal.floor_b)
+            roots = {find(fid) for fid in ids}
+            if len(roots) > 1:
+                raise VenueError(
+                    f"venue {self.name!r}: floors not connected by "
+                    f"portals ({len(roots)} components)"
+                )
+
+    # -- views ---------------------------------------------------------
+    def floor_spec(self, floor_id: str) -> VenueSpec:
+        """A single-floor :class:`~repro.venue.VenueSpec` view of one
+        floor, carrying the *global* AP list — the survey simulator and
+        channel factory consume this unchanged, which is what keeps the
+        per-floor radio maps dimension-aligned."""
+        floor = self.floor(floor_id)
+        return VenueSpec(
+            name=f"{self.name}/{floor_id}",
+            plan=floor.plan,
+            access_points=self.access_points,
+            reference_points=floor.reference_points,
+            channel_kind=self.channel_kind,
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.name}: {self.n_floors} floors, {self.n_aps} APs, "
+            f"{len(self.portals)} portals, channel={self.channel_kind}"
+        ]
+        lines += [f"  {f.describe()}" for f in self.floors]
+        lines += [
+            f"  portal {p.name} ({p.kind}): {p.floor_a} <-> {p.floor_b}"
+            for p in self.portals
+        ]
+        return "\n".join(lines)
+
+
+def _portal_footprint(
+    center: np.ndarray, half: float, walkable: MultiPolygon
+) -> Polygon:
+    """A square footprint around ``center``, shrunk until it sits on
+    the walkable area (corridor intersections are at least a corridor
+    wide, so this terminates well above degeneracy)."""
+    x, y = float(center[0]), float(center[1])
+    for shrink in (1.0, 0.5, 0.25):
+        h = half * shrink
+        footprint = Polygon.rectangle(x - h, y - h, x + h, y + h)
+        corners = np.asarray(footprint.vertices, dtype=float)
+        if walkable.contains_points(corners).all():
+            return footprint
+    return Polygon.rectangle(x - 0.1, y - 0.1, x + 0.1, y + 0.1)
+
+
+def _portal_nodes(plan: FloorPlan) -> Tuple[int, int]:
+    """Two far-apart hallway-graph nodes to host the portals."""
+    pos = plan.node_positions()
+    nodes = sorted(pos)
+    if len(nodes) == 1:
+        return nodes[0], nodes[0]
+    lo = min(nodes, key=lambda n: (pos[n][0] + pos[n][1], n))
+    hi = max(nodes, key=lambda n: (pos[n][0] + pos[n][1], n))
+    if lo == hi:  # pragma: no cover - distinct grid corners
+        hi = nodes[-1]
+    return lo, hi
+
+
+def build_multifloor_venue(
+    name: str,
+    *,
+    n_floors: int = 2,
+    scale: float = 0.35,
+    seed: int = 7,
+    floor_height: float = 4.0,
+    min_aps: int = 24,
+    portal_half_width: float = 0.8,
+) -> Venue:
+    """Stack ``n_floors`` copies of a preset venue into a tower.
+
+    Every floor reuses the preset's plate geometry (an aligned tower),
+    AP deployment re-rolls per floor (store churn differs per floor),
+    and consecutive floors are joined by an elevator at one corridor
+    intersection and a stairwell at another — so every multi-floor
+    walk has two distinct hand-off sites.
+    """
+    if name not in PRESETS:
+        raise VenueError(
+            f"unknown venue {name!r}; options: {sorted(PRESETS)}"
+        )
+    if n_floors < 1:
+        raise VenueError("n_floors must be >= 1")
+    base = build_venue(name, scale=scale, seed=seed, min_aps=min_aps)
+    floors: List[Floor] = []
+    offset = 0
+    for level in range(n_floors):
+        spec = (
+            base
+            if level == 0
+            else build_venue(
+                name, scale=scale, seed=seed + 101 * level, min_aps=min_aps
+            )
+        )
+        aps = [
+            AccessPoint(
+                ap_id=offset + i,
+                position=ap.position,
+                tx_power_dbm=ap.tx_power_dbm,
+            )
+            for i, ap in enumerate(spec.access_points)
+        ]
+        offset += len(aps)
+        floors.append(
+            Floor(
+                floor_id=f"f{level + 1}",
+                level=level,
+                z=level * floor_height,
+                plan=spec.plan,
+                access_points=aps,
+                reference_points=spec.reference_points,
+            )
+        )
+
+    portals: List[Portal] = []
+    node_lo, node_hi = _portal_nodes(base.plan)
+    pos = base.plan.node_positions()
+    sites = [("elevator", pos[node_lo]), ("stairs", pos[node_hi])]
+    for lower, upper in zip(floors, floors[1:]):
+        for kind, center in sites:
+            foot_lo = _portal_footprint(
+                center, portal_half_width, lower.walkable
+            )
+            foot_hi = _portal_footprint(
+                center, portal_half_width, upper.walkable
+            )
+            portals.append(
+                Portal(
+                    name=(
+                        f"{kind}-{lower.floor_id}-{upper.floor_id}"
+                    ),
+                    kind=kind,
+                    floor_a=lower.floor_id,
+                    floor_b=upper.floor_id,
+                    point_a=(float(center[0]), float(center[1])),
+                    point_b=(float(center[0]), float(center[1])),
+                    footprint_a=foot_lo,
+                    footprint_b=foot_hi,
+                    traversal_seconds=PORTAL_KINDS[kind],
+                )
+            )
+    return Venue(
+        name=name,
+        floors=floors,
+        portals=portals,
+        channel_kind=base.channel_kind,
+    )

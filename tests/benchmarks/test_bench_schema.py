@@ -1,0 +1,128 @@
+"""BENCH_<name>.json schema enforcement in the bench harness.
+
+``benchmarks/conftest.py`` is the only writer of files under
+``benchmarks/results/``; these tests pin its contract — every emitted
+blob is named ``BENCH_<word>.json``, parses back, and carries the
+preset plus at least one numeric metric.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _load_bench_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_harness", _BENCH_DIR / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return _load_bench_conftest()
+
+
+GOOD = {"preset": "bench", "rmse": 2.5}
+
+
+class TestValidatePayload:
+    def test_good_payload_passes(self, harness):
+        harness.validate_bench_payload("tracking", GOOD)
+
+    @pytest.mark.parametrize(
+        "name", ["", "multi floor", "bench.json", "a/b", "ü"]
+    )
+    def test_bad_names_rejected(self, harness, name):
+        with pytest.raises(ValueError, match="must match"):
+            harness.validate_bench_payload(name, GOOD)
+
+    @pytest.mark.parametrize("payload", [{}, [], "x", None])
+    def test_non_dict_or_empty_rejected(self, harness, payload):
+        with pytest.raises(ValueError, match="non-empty dict"):
+            harness.validate_bench_payload("x", payload)
+
+    def test_missing_preset_rejected(self, harness):
+        with pytest.raises(ValueError, match="preset"):
+            harness.validate_bench_payload("x", {"rmse": 2.5})
+
+    def test_non_string_preset_rejected(self, harness):
+        with pytest.raises(ValueError, match="preset"):
+            harness.validate_bench_payload(
+                "x", {"preset": 3, "rmse": 2.5}
+            )
+
+    def test_no_numeric_metric_rejected(self, harness):
+        with pytest.raises(ValueError, match="numeric"):
+            harness.validate_bench_payload(
+                "x", {"preset": "bench", "note": "fast!"}
+            )
+
+    def test_bool_is_not_a_metric(self, harness):
+        with pytest.raises(ValueError, match="numeric"):
+            harness.validate_bench_payload(
+                "x", {"preset": "bench", "passed": True}
+            )
+
+    def test_nested_numerics_count(self, harness):
+        harness.validate_bench_payload(
+            "x",
+            {"preset": "bench", "series": {"rmse": [1.0, 2.0]}},
+        )
+        harness.validate_bench_payload(
+            "x",
+            {"preset": "bench", "arr": np.arange(3)},
+        )
+
+
+class TestEmitJson:
+    def test_writes_validated_blob(self, harness, tmp_path):
+        payload = {
+            "preset": "bench",
+            "rmse": np.float64(2.5),
+            "counts": np.arange(3),
+            "by_k": {np.int64(3): 1.0},
+        }
+        path = harness.emit_json(tmp_path, "sample", payload)
+        assert path == tmp_path / "BENCH_sample.json"
+        back = json.loads(path.read_text())
+        assert back["preset"] == "bench"
+        assert back["rmse"] == 2.5
+        assert back["counts"] == [0, 1, 2]
+        assert back["by_k"] == {"3": 1.0}
+
+    def test_rejects_before_writing(self, harness, tmp_path):
+        with pytest.raises(ValueError):
+            harness.emit_json(tmp_path, "sample", {"preset": "bench"})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_unserializable_payload_rejected(self, harness, tmp_path):
+        payload = {"preset": "bench", "n": 1, "obj": object()}
+        with pytest.raises(TypeError):
+            harness.emit_json(tmp_path, "sample", payload)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_emit_is_display_only(self, harness, tmp_path, capsys):
+        harness.emit(tmp_path, "Sample bench", "rendered text")
+        assert "rendered text" in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestRepoResults:
+    def test_only_validated_bench_blobs(self):
+        """No stale free-form .txt dumps ride along in results/ —
+        everything there is a parseable BENCH_<name>.json."""
+        results = _BENCH_DIR / "results"
+        if not results.exists():
+            pytest.skip("no results directory yet")
+        for path in results.iterdir():
+            assert path.name.startswith("BENCH_"), path
+            assert path.suffix == ".json", path
+            json.loads(path.read_text())

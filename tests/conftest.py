@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets import make_dataset
+from repro.datasets import make_dataset, make_multifloor_dataset
 from repro.radiomap import RadioMap
 
 
@@ -24,6 +24,14 @@ def kaide_smoke():
 def longhu_smoke():
     """Bluetooth venue dataset for generalisability tests."""
     return make_dataset("longhu", scale=0.28, seed=5, n_passes=2)
+
+
+@pytest.fixture(scope="session")
+def multifloor_smoke():
+    """A small two-floor kaide tower (built once)."""
+    return make_multifloor_dataset(
+        "kaide", n_floors=2, scale=0.28, seed=5, n_passes=2
+    )
 
 
 @pytest.fixture

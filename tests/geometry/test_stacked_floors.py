@@ -1,0 +1,202 @@
+"""contains_points boundary contracts under stacked-floor composition.
+
+Stacking floors composes geometry in ways a single floor plan never
+does: two floors' walkable MultiPolygons share wall segments (aligned
+towers stack one plate), portal footprints sit flush against — and
+straddle — those walls, and degenerate portals can collapse to
+zero-area slivers.  The floor hand-off logic keys off
+``contains_points`` over exactly these shapes, so the boundary
+conventions must hold through the composition, not just per polygon.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MultiPolygon, Polygon
+
+# Two corridor plates meeting at the shared wall x = 4 — the cross
+# section of an aligned tower's hallway on consecutive floors.
+west = Polygon.rectangle(0, 0, 4, 2)
+east = Polygon.rectangle(4, 0, 8, 2)
+plate = MultiPolygon([west, east])
+
+
+class TestSharedWalls:
+    """Points on a wall two member polygons share."""
+
+    wall = np.array([(4.0, 0.0), (4.0, 1.0), (4.0, 2.0)])
+
+    def test_wall_is_boundary_of_both_members(self):
+        assert west.contains_points(self.wall).all()
+        assert east.contains_points(self.wall).all()
+        assert not west.contains_points(
+            self.wall, boundary=False
+        ).any()
+        assert not east.contains_points(
+            self.wall, boundary=False
+        ).any()
+
+    def test_union_keeps_wall_with_boundary(self):
+        """The union contains the shared wall exactly when either
+        member does: boundary=True keeps it, boundary=False drops it
+        even though the wall is interior to the *union's* extent —
+        contains_points composes per member, it does not dissolve
+        shared walls."""
+        assert plate.contains_points(self.wall).all()
+        assert not plate.contains_points(
+            self.wall, boundary=False
+        ).any()
+
+    def test_interior_near_wall_is_both_sided(self):
+        near = np.array([(3.999, 1.0), (4.001, 1.0)])
+        strict = plate.contains_points(near, boundary=False)
+        assert strict.all()
+        assert west.contains_points(near, boundary=False).tolist() == [
+            True,
+            False,
+        ]
+
+    def test_scalar_agrees_on_wall(self):
+        for p in map(tuple, self.wall):
+            assert plate.contains_point(p)
+            assert west.contains_point(p) and east.contains_point(p)
+
+
+class TestPortalFootprintStraddle:
+    """A portal footprint centred on the shared wall: half its area
+    lies on each plate, its wall-parallel midline is boundary of both
+    plates' members."""
+
+    footprint = Polygon.rectangle(3.5, 0.5, 4.5, 1.5)
+
+    def test_footprint_corners_split_across_members(self):
+        corners = np.asarray(self.footprint.vertices, dtype=float)
+        assert plate.contains_points(corners).all()
+        # Two corners per side, none on the shared wall itself.
+        assert west.contains_points(corners).sum() == 2
+        assert east.contains_points(corners).sum() == 2
+
+    def test_footprint_centre_is_wall_boundary(self):
+        centre = np.array([(4.0, 1.0)])
+        assert self.footprint.contains_points(
+            centre, boundary=False
+        ).all()
+        assert plate.contains_points(centre).all()
+        assert not plate.contains_points(
+            centre, boundary=False
+        ).any()
+
+    def test_footprint_edge_on_wall_of_one_member(self):
+        """A footprint flush against the wall from one side: its
+        wall-side edge is that member's boundary and the other
+        member's boundary too."""
+        flush = Polygon.rectangle(3.0, 0.5, 4.0, 1.5)
+        edge = np.array([(4.0, 0.5), (4.0, 1.0), (4.0, 1.5)])
+        assert flush.contains_points(edge).all()
+        assert not flush.contains_points(edge, boundary=False).any()
+        assert east.contains_points(edge).all()
+        assert not east.contains_points(edge, boundary=False).any()
+
+    def test_vectorised_matches_scalar_across_members(self):
+        pts = np.array(
+            [
+                (3.5, 0.5),  # footprint corner, west interior
+                (4.5, 1.5),  # footprint corner, east interior
+                (4.0, 1.0),  # shared-wall midpoint
+                (4.0, 2.0),  # shared-wall top vertex
+                (8.0, 2.0),  # outer corner of the union
+                (9.0, 1.0),  # exterior
+            ]
+        )
+        for boundary in (True, False):
+            vec = plate.contains_points(pts, boundary=boundary)
+            for i, p in enumerate(pts):
+                want = west.contains_point(
+                    tuple(p), boundary=boundary
+                ) or east.contains_point(tuple(p), boundary=boundary)
+                assert vec[i] == want, (p, boundary)
+
+
+class TestDegeneratePortals:
+    """Zero-area portal footprints: Polygon.rectangle refuses a zero
+    extent, but raw vertex lists can still produce collinear slivers
+    (a doorway collapsed to its threshold segment).  The containment
+    contract must stay sane: all boundary, nothing strictly inside."""
+
+    sliver = Polygon([(4.0, 0.5), (4.0, 1.0), (4.0, 1.5)])
+
+    def test_rectangle_refuses_zero_extent(self):
+        from repro.exceptions import GeometryError
+
+        with pytest.raises(GeometryError):
+            Polygon.rectangle(4.0, 0.5, 4.0, 1.5)
+
+    def test_sliver_is_all_boundary(self):
+        assert self.sliver.area == 0.0
+        pts = np.array(
+            [(4.0, 1.0), (4.0, 1.5), (4.0, 2.0), (4.1, 1.0)]
+        )
+        np.testing.assert_array_equal(
+            self.sliver.contains_points(pts),
+            [True, True, False, False],
+        )
+        assert not self.sliver.contains_points(
+            pts, boundary=False
+        ).any()
+
+    def test_sliver_composes_into_multipolygon(self):
+        """A walkable area with a degenerate member: the sliver
+        contributes only its segment, and only with boundary=True —
+        it can never make a strict-interior claim."""
+        walk = MultiPolygon([west, self.sliver])
+        on_sliver = np.array([(4.0, 1.0)])
+        assert walk.contains_points(on_sliver).all()
+        # boundary=False: the sliver claims nothing; the point also
+        # sits on west's wall, so strict containment stays False.
+        assert not walk.contains_points(
+            on_sliver, boundary=False
+        ).any()
+        assert walk.total_area == west.area
+
+    def test_sliver_off_wall_strict_is_empty(self):
+        lone = Polygon([(10.0, 0.0), (10.0, 1.0), (10.0, 2.0)])
+        walk = MultiPolygon([lone])
+        pts = np.array([(10.0, 0.5), (10.0, 1.7)])
+        assert walk.contains_points(pts).all()
+        assert not walk.contains_points(pts, boundary=False).any()
+
+
+class TestVenuePortalGeometry:
+    """The generated tower's portals satisfy the composition contract
+    the tracker relies on: every endpoint is walkable and inside its
+    footprint, and every footprint overlaps the walkable area — even
+    when the portal lands at an L-junction and its square footprint
+    straddles the corridor wall."""
+
+    def test_portal_footprints_reach_walkable(self, multifloor_smoke):
+        venue = multifloor_smoke.venue
+        for portal in venue.portals:
+            for fid in (portal.floor_a, portal.floor_b):
+                walkable = venue.floor(fid).walkable
+                foot = portal.footprint(fid)
+                assert walkable.contains_points(
+                    portal.endpoint(fid)[None, :]
+                ).all()
+                assert foot.contains_point(
+                    tuple(portal.endpoint(fid))
+                )
+                assert walkable.intersects_polygon(foot)
+                # The walkable slice of the footprint is exactly the
+                # straddle composition above: corners may hang past
+                # the wall, but never all of them.
+                corners = np.asarray(foot.vertices, dtype=float)
+                assert walkable.contains_points(corners).any()
+
+    def test_footprints_agree_across_floors(self, multifloor_smoke):
+        """An aligned tower: the same xy is walkable on both sides of
+        every portal (that's what makes the hand-off geometric)."""
+        venue = multifloor_smoke.venue
+        for portal in venue.portals:
+            a = portal.endpoint(portal.floor_a)
+            b = portal.endpoint(portal.floor_b)
+            np.testing.assert_allclose(a, b)

@@ -1,0 +1,260 @@
+"""Floor classification and routing: bare-venue queries onto per-floor
+shards, artifact round trips, and the legacy single-floor path."""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.core import TopoACDifferentiator
+from repro.exceptions import ServingError
+from repro.positioning import WKNNEstimator
+from repro.serving import (
+    FLOORS_KIND,
+    FloorClassifier,
+    FloorRouter,
+    PositioningService,
+    VenueShard,
+    deploy_floors,
+    load_floor_deployment,
+    save_floor_deployment,
+)
+from repro.serving.fleet import ShardRegistry, partition_venue
+
+
+def floor_scans(dataset, floor_id, n, seed):
+    """Fresh scans measured on one floor's reference points."""
+    rng = np.random.default_rng(seed)
+    rps = dataset.venue.floor(floor_id).reference_points
+    return np.stack(
+        [
+            dataset.channels[floor_id]
+            .measure(rps[i % len(rps)], rng)
+            .rssi
+            for i in range(n)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def deployed(multifloor_smoke):
+    service = PositioningService(cache_size=0)
+    keys = deploy_floors(
+        service,
+        multifloor_smoke.venue,
+        multifloor_smoke.radio_maps,
+        lambda floor: TopoACDifferentiator(
+            entities=floor.plan.entities
+        ),
+        estimator_factory=WKNNEstimator,
+    )
+    return service, keys
+
+
+class TestFloorClassifier:
+    def test_strongest_ap_separates_floors(self, multifloor_smoke):
+        clf = FloorClassifier.from_venue(multifloor_smoke.venue)
+        for idx, fid in enumerate(multifloor_smoke.venue.floor_ids):
+            scans = floor_scans(multifloor_smoke, fid, 12, seed=idx)
+            got = clf.classify(scans)
+            assert (got == idx).mean() >= 0.9
+
+    def test_nearest_map_separates_floors(self, multifloor_smoke):
+        clf = FloorClassifier.from_radio_maps(
+            multifloor_smoke.radio_maps,
+            multifloor_smoke.venue.ap_floor_index(),
+        )
+        assert clf.mode == "nearest-map"
+        for idx, fid in enumerate(multifloor_smoke.venue.floor_ids):
+            scans = floor_scans(multifloor_smoke, fid, 12, seed=idx)
+            got = clf.classify(scans)
+            assert (got == idx).mean() >= 0.9
+
+    def test_blank_scan_falls_back_to_ground_floor(
+        self, multifloor_smoke
+    ):
+        clf = FloorClassifier.from_venue(multifloor_smoke.venue)
+        blank = np.full((2, clf.n_aps), np.nan)
+        np.testing.assert_array_equal(clf.classify(blank), [0, 0])
+
+    def test_classify_one(self, multifloor_smoke):
+        clf = FloorClassifier.from_venue(multifloor_smoke.venue)
+        scan = floor_scans(multifloor_smoke, "f2", 1, seed=3)[0]
+        assert clf.classify_one(scan) == 1
+
+    def test_wrong_width_rejected(self, multifloor_smoke):
+        clf = FloorClassifier.from_venue(multifloor_smoke.venue)
+        with pytest.raises(ServingError, match="fingerprints"):
+            clf.classify(np.zeros((2, clf.n_aps + 1)))
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ServingError, match="mode"):
+            FloorClassifier(
+                floors=("f1",), ap_floor=np.zeros(3), mode="psychic"
+            )
+
+    def test_nearest_map_needs_maps(self):
+        with pytest.raises(ServingError, match="one map per floor"):
+            FloorClassifier(
+                floors=("f1", "f2"),
+                ap_floor=np.zeros(3),
+                mode="nearest-map",
+            )
+
+    def test_artifact_round_trip(self, multifloor_smoke, tmp_path):
+        from repro.artifacts import load_artifact, save_artifact
+
+        clf = FloorClassifier.from_radio_maps(
+            multifloor_smoke.radio_maps,
+            multifloor_smoke.venue.ap_floor_index(),
+        )
+        artifact = clf.to_artifact("kaide")
+        assert artifact.kind == FLOORS_KIND
+        path = tmp_path / "floors.npz"
+        save_artifact(artifact, path)
+        back = FloorClassifier.from_artifact(load_artifact(path))
+        assert back.floors == clf.floors
+        assert back.mode == clf.mode
+        np.testing.assert_array_equal(back.ap_floor, clf.ap_floor)
+        scans = floor_scans(multifloor_smoke, "f1", 6, seed=9)
+        np.testing.assert_array_equal(
+            back.classify(scans), clf.classify(scans)
+        )
+
+
+class TestFloorRouting:
+    def test_deploy_keys(self, deployed):
+        _, keys = deployed
+        assert keys == ["kaide/f1", "kaide/f2"]
+
+    def test_bare_venue_routes(self, deployed, multifloor_smoke):
+        service, _ = deployed
+        router = service.floor_router("kaide")
+        assert isinstance(router, FloorRouter)
+        before = service.stats.floor_routed
+        scans = floor_scans(multifloor_smoke, "f2", 6, seed=21)
+        positions = service.query_batch(["kaide"] * len(scans), scans)
+        assert positions.shape == (len(scans), 2)
+        assert np.isfinite(positions).all()
+        assert service.stats.floor_routed == before + len(scans)
+
+    def test_bare_query_matches_explicit_floor_query(
+        self, deployed, multifloor_smoke
+    ):
+        """Routing is a key rewrite, nothing more: the routed answer
+        is bit-identical to addressing the floor shard directly."""
+        service, _ = deployed
+        scans = floor_scans(multifloor_smoke, "f1", 5, seed=22)
+        routed = service.query_batch(["kaide"] * len(scans), scans)
+        keys = service.floor_router("kaide").route(scans)
+        direct = service.query_batch(keys, scans)
+        np.testing.assert_array_equal(routed, direct)
+
+    def test_explicit_floor_key_skips_router(
+        self, deployed, multifloor_smoke
+    ):
+        service, _ = deployed
+        before = service.stats.floor_routed
+        scans = floor_scans(multifloor_smoke, "f1", 4, seed=23)
+        service.query_batch(["kaide/f1"] * len(scans), scans)
+        assert service.stats.floor_routed == before
+
+    def test_unrouted_venue_still_rejected(
+        self, deployed, multifloor_smoke
+    ):
+        service, _ = deployed
+        scans = floor_scans(multifloor_smoke, "f1", 1, seed=24)
+        with pytest.raises(ServingError, match="unknown venue"):
+            service.query_batch(["atlantis"], scans)
+
+    def test_detach_restores_rejection(self, multifloor_smoke):
+        service = PositioningService(cache_size=0)
+        deploy_floors(
+            service,
+            multifloor_smoke.venue,
+            multifloor_smoke.radio_maps,
+            lambda floor: TopoACDifferentiator(
+                entities=floor.plan.entities
+            ),
+            estimator_factory=WKNNEstimator,
+        )
+        scans = floor_scans(multifloor_smoke, "f1", 2, seed=25)
+        service.query_batch(["kaide"] * 2, scans)
+        assert service.detach_floor_router("kaide") is not None
+        with pytest.raises(ServingError, match="unknown venue"):
+            service.query_batch(["kaide"] * 2, scans)
+
+    def test_stats_render_mentions_routing(
+        self, deployed, multifloor_smoke
+    ):
+        service, _ = deployed
+        scans = floor_scans(multifloor_smoke, "f1", 1, seed=26)
+        service.query_batch(["kaide"], scans)
+        assert "floor routed=" in service.stats.render()
+
+
+class TestFloorDeploymentRoundTrip:
+    def test_save_load_bit_identical(
+        self, deployed, multifloor_smoke, tmp_path
+    ):
+        service, keys = deployed
+        store = ArtifactStore(tmp_path / "store")
+        written = save_floor_deployment(store, "kaide", service)
+        assert set(written) == set(keys) | {"kaide/floors"}
+
+        fresh = PositioningService(cache_size=0)
+        loaded_keys = load_floor_deployment(store, "kaide", fresh)
+        assert loaded_keys == keys
+        scans = np.concatenate(
+            [
+                floor_scans(multifloor_smoke, fid, 5, seed=31 + i)
+                for i, fid in enumerate(("f1", "f2"))
+            ]
+        )
+        venues = ["kaide"] * len(scans)
+        np.testing.assert_array_equal(
+            fresh.query_batch(venues, scans),
+            service.query_batch(venues, scans),
+        )
+
+    def test_save_without_router_rejected(self, tmp_path):
+        service = PositioningService(cache_size=0)
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(ServingError, match="no floor router"):
+            save_floor_deployment(store, "kaide", service)
+
+    def test_floor_shard_loads_as_legacy_single_floor(
+        self, deployed, multifloor_smoke, tmp_path
+    ):
+        """A floor shard artifact is a plain ``serving.shard``: the
+        pre-floor loader deploys it under any bare key, no retraining,
+        same answers."""
+        service, _ = deployed
+        store = ArtifactStore(tmp_path / "store")
+        save_floor_deployment(store, "kaide", service)
+
+        legacy = PositioningService(cache_size=0)
+        shard = VenueShard.load(
+            store.path_for("kaide/f1"), key="kaide"
+        )
+        legacy.register(shard)
+        scans = floor_scans(multifloor_smoke, "f1", 6, seed=41)
+        np.testing.assert_array_equal(
+            legacy.query_batch(["kaide"] * len(scans), scans),
+            service.query_batch(["kaide/f1"] * len(scans), scans),
+        )
+
+
+class TestFleetKeyAwareness:
+    def test_floors_co_locate_on_one_worker(self):
+        for n_workers in (2, 3, 7):
+            home = partition_venue("kaide", n_workers)
+            assert partition_venue("kaide/f1", n_workers) == home
+            assert partition_venue("kaide/f2", n_workers) == home
+
+    def test_registry_canonicalizes_added_keys(self, tmp_path):
+        from repro.serving import ShardKey
+
+        registry = ShardRegistry(tmp_path, {})
+        registry.add(ShardKey("kaide", "f1"), "kaide/f1")
+        registry.add("kaide/f2", "kaide/f2")
+        assert registry.venues == ("kaide/f1", "kaide/f2")

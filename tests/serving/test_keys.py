@@ -1,0 +1,79 @@
+"""ShardKey: the ``"venue/floor"`` addressing scheme."""
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import KEY_SEPARATOR, ShardKey, coerce_key
+
+
+class TestShardKey:
+    def test_bare_venue(self):
+        key = ShardKey("kaide")
+        assert key.venue == "kaide"
+        assert key.floor is None
+        assert str(key) == "kaide"
+
+    def test_floor_key(self):
+        key = ShardKey("kaide", "f2")
+        assert str(key) == "kaide/f2"
+        assert key.render() == f"kaide{KEY_SEPARATOR}f2"
+
+    def test_parse_bare(self):
+        assert ShardKey.parse("kaide") == ShardKey("kaide")
+
+    def test_parse_floor(self):
+        assert ShardKey.parse("kaide/f2") == ShardKey("kaide", "f2")
+
+    def test_parse_splits_on_first_separator(self):
+        """Nested floor paths stay in the floor part: the venue name
+        can never contain the separator."""
+        key = ShardKey.parse("mall/wing-b/f3")
+        assert key.venue == "mall"
+        assert key.floor == "wing-b/f3"
+        assert str(key) == "mall/wing-b/f3"
+
+    def test_parse_round_trips(self):
+        for text in ("kaide", "kaide/f1", "mall/wing-b/f3"):
+            assert str(ShardKey.parse(text)) == text
+
+    def test_with_floor(self):
+        key = ShardKey("kaide").with_floor("f1")
+        assert key == ShardKey("kaide", "f1")
+
+    def test_empty_venue_rejected(self):
+        with pytest.raises(ServingError):
+            ShardKey("")
+
+    def test_separator_in_venue_rejected(self):
+        with pytest.raises(ServingError):
+            ShardKey("kaide/f1")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "/f1", "kaide/", "kaide//f1", "/"]
+    )
+    def test_parse_malformed_rejected(self, bad):
+        with pytest.raises(ServingError):
+            ShardKey.parse(bad)
+
+    def test_keys_are_hashable_and_frozen(self):
+        key = ShardKey("kaide", "f1")
+        assert key in {ShardKey("kaide", "f1")}
+        with pytest.raises(Exception):
+            key.venue = "other"
+
+
+class TestCoerceKey:
+    def test_plain_string_passes_through(self):
+        assert coerce_key("kaide") == "kaide"
+        assert coerce_key("kaide/f2") == "kaide/f2"
+
+    def test_shard_key_renders(self):
+        assert coerce_key(ShardKey("kaide", "f2")) == "kaide/f2"
+
+    def test_malformed_string_rejected(self):
+        with pytest.raises(ServingError):
+            coerce_key("kaide//f1")
+
+    def test_non_key_rejected(self):
+        with pytest.raises(ServingError):
+            coerce_key(7)

@@ -1,0 +1,139 @@
+"""Multi-floor tracking workload: portal-crossing walks, the
+floor-accuracy scoring, the ``track --floors`` CLI, and the slow
+multi-floor CI smoke."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import PRESETS
+from repro.tracking import (
+    TrackingScenario,
+    simulate_multifloor_walks,
+)
+from repro.tracking import loadgen as tracking_loadgen
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    # Long enough that every device finishes its first leg and rides
+    # a portal, pauses and speed jitter included.
+    return TrackingScenario(
+        name="multifloor", devices=3, scan_interval=1.0, duration=90.0
+    )
+
+
+class TestSimulateMultifloorWalks:
+    def test_walks_carry_floor_truth(
+        self, multifloor_smoke, small_scenario
+    ):
+        walks = simulate_multifloor_walks(
+            multifloor_smoke, small_scenario, seed=3
+        )
+        assert len(walks) == 3
+        floor_ids = set(multifloor_smoke.venue.floor_ids)
+        for walk in walks:
+            k = len(walk)
+            assert walk.floors is not None
+            assert walk.floors.shape == (k,)
+            assert set(walk.floors) <= floor_ids
+            assert walk.scans.shape == (k, multifloor_smoke.n_aps)
+            np.testing.assert_array_equal(
+                walk.times, walks[0].times
+            )
+
+    def test_every_device_rides_a_portal(
+        self, multifloor_smoke, small_scenario
+    ):
+        walks = simulate_multifloor_walks(
+            multifloor_smoke, small_scenario, seed=4
+        )
+        for walk in walks:
+            assert len(set(walk.floors)) > 1
+
+    def test_truth_stays_on_its_floors_walkable(
+        self, multifloor_smoke, small_scenario
+    ):
+        walks = simulate_multifloor_walks(
+            multifloor_smoke, small_scenario, seed=5
+        )
+        venue = multifloor_smoke.venue
+        for walk in walks:
+            for fid, p in zip(walk.floors, walk.positions):
+                assert venue.floor(fid).walkable.contains_point(
+                    tuple(p)
+                )
+
+    def test_same_seed_same_fleet(
+        self, multifloor_smoke, small_scenario
+    ):
+        a = simulate_multifloor_walks(
+            multifloor_smoke, small_scenario, seed=6
+        )
+        b = simulate_multifloor_walks(
+            multifloor_smoke, small_scenario, seed=6
+        )
+        for wa, wb in zip(a, b):
+            np.testing.assert_array_equal(wa.positions, wb.positions)
+            np.testing.assert_array_equal(wa.scans, wb.scans)
+            np.testing.assert_array_equal(wa.floors, wb.floors)
+
+
+class TestCLI:
+    def test_floors_flag_registered(self):
+        args = build_parser().parse_args(["track"])
+        assert args.floors == 1
+        args = build_parser().parse_args(["track", "--floors", "2"])
+        assert args.floors == 2
+
+    def test_floors_validated(self):
+        with pytest.raises(SystemExit):
+            main(["track", "--floors", "0"])
+
+    def test_track_multifloor_runs_end_to_end(self, capsys):
+        rc = main(
+            [
+                "track",
+                "--preset",
+                "smoke",
+                "--floors",
+                "2",
+                "--devices",
+                "2",
+                "--duration",
+                "40",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Multi-floor tracking" in out
+        assert "floor accuracy" in out
+
+
+@pytest.mark.slow
+class TestMultifloorSmoke:
+    """CI smoke: a two-floor venue with every device crossing a
+    portal mid-walk.  The floor classifier must route >= 95 % of
+    scans correctly and fused tracking must not do worse than
+    per-scan positioning across the transition, with no track lost
+    to a gate failure at the jump."""
+
+    def test_floor_routing_and_portal_handoff(self):
+        config = PRESETS["smoke"]
+        scenario = TrackingScenario(
+            name="multifloor",
+            devices=8,
+            scan_interval=1.0,
+            duration=90.0,
+        )
+        result = tracking_loadgen.run_multifloor(
+            config, scenario=scenario, seed=5
+        )
+        data = result.data
+        assert data["floor_accuracy"] >= 0.95
+        assert data["tracked_rmse"] <= data["raw_rmse"]
+        # Every device changes floors through a portal hand-off (or,
+        # at worst, hysteresis re-anchoring) — never by losing its
+        # session: all sessions end normally.
+        assert data["floor_switches"] >= data["devices"]
+        assert data["floor_reanchors"] == 0

@@ -1,0 +1,313 @@
+"""Portal-aware floor transitions: PortalMap lookups and the tracking
+service's hand-off / hysteresis / re-anchor protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import TopoACDifferentiator
+from repro.exceptions import TrackingError
+from repro.geometry import Polygon
+from repro.positioning import WKNNEstimator
+from repro.serving import PositioningService, deploy_floors
+from repro.tracking import PortalMap, TrackingService
+from repro.venue import Portal
+
+lobby = Polygon.rectangle(0, 0, 3, 3)
+stairwell = Polygon.rectangle(10, 0, 13, 3)
+
+lift = Portal(
+    name="lift",
+    kind="elevator",
+    floor_a="f1",
+    floor_b="f2",
+    point_a=(1.0, 1.0),
+    point_b=(2.0, 2.0),
+    footprint_a=lobby,
+    footprint_b=lobby,
+)
+stairs = Portal(
+    name="stairs",
+    kind="stairs",
+    floor_a="f1",
+    floor_b="f2",
+    point_a=(11.0, 1.0),
+    point_b=(11.0, 1.0),
+    footprint_a=stairwell,
+    footprint_b=stairwell,
+)
+
+
+class TestPortalMap:
+    def test_indexing(self):
+        pm = PortalMap([lift, stairs])
+        assert len(pm) == 2
+        assert pm.connects("f1", "f2")
+        assert pm.connects("f2", "f1")
+        assert not pm.connects("f1", "f3")
+        assert len(pm.portals_between("f1", "f2")) == 2
+        assert pm.portals_between("f1", "f3") == []
+
+    def test_handoff_returns_exit_on_target_floor(self):
+        pm = PortalMap([lift])
+        exit_xy = pm.handoff("f1", "f2", (1.2, 1.0), radius=2.0)
+        np.testing.assert_allclose(exit_xy, [2.0, 2.0])
+        # The reverse direction exits on f1's side.
+        back = pm.handoff("f2", "f1", (2.0, 2.0), radius=2.0)
+        np.testing.assert_allclose(back, [1.0, 1.0])
+
+    def test_handoff_outside_radius_is_none(self):
+        pm = PortalMap([lift])
+        assert pm.handoff("f1", "f2", (6.0, 1.0), radius=2.0) is None
+
+    def test_handoff_picks_closest_portal(self):
+        pm = PortalMap([lift, stairs])
+        near_stairs = pm.handoff(
+            "f1", "f2", (9.0, 1.0), radius=20.0
+        )
+        np.testing.assert_allclose(near_stairs, [11.0, 1.0])
+
+    def test_handoff_unknown_pair_is_none(self):
+        pm = PortalMap([lift])
+        assert pm.handoff("f1", "f3", (1.0, 1.0), radius=5.0) is None
+
+    def test_arrival_checks_the_target_side(self):
+        pm = PortalMap([lift])
+        # A fix near the f2 exit: arrival fires even though the same
+        # point is out of reach of the f1 entry test.
+        exit_xy = pm.arrival("f1", "f2", (2.4, 2.0), radius=1.0)
+        np.testing.assert_allclose(exit_xy, [2.0, 2.0])
+        assert pm.handoff("f1", "f2", (2.4, 2.0), radius=1.0) is None
+        assert (
+            pm.arrival("f1", "f2", (6.0, 6.0), radius=1.0) is None
+        )
+
+    def test_from_venue(self, multifloor_smoke):
+        pm = PortalMap.from_venue(multifloor_smoke.venue)
+        assert len(pm) == len(multifloor_smoke.venue.portals)
+        assert pm.connects("f1", "f2")
+
+
+@pytest.fixture(scope="module")
+def floor_positioning(multifloor_smoke):
+    service = PositioningService(cache_size=0)
+    deploy_floors(
+        service,
+        multifloor_smoke.venue,
+        multifloor_smoke.radio_maps,
+        lambda floor: TopoACDifferentiator(
+            entities=floor.plan.entities
+        ),
+        estimator_factory=WKNNEstimator,
+    )
+    return service
+
+
+def scan_at(dataset, floor_id, xy, seed):
+    rng = np.random.default_rng(seed)
+    return dataset.channels[floor_id].measure(
+        np.asarray(xy, dtype=float), rng
+    ).rssi
+
+
+class TestRegisterFloors:
+    def test_parameter_validation(
+        self, floor_positioning, multifloor_smoke
+    ):
+        tracking = TrackingService(floor_positioning)
+        with pytest.raises(TrackingError, match="portal_radius"):
+            tracking.register_floors(
+                multifloor_smoke.venue, portal_radius=0.0
+            )
+        with pytest.raises(TrackingError, match="reanchor_after"):
+            tracking.register_floors(
+                multifloor_smoke.venue, reanchor_after=0
+            )
+
+    def test_sessions_get_floors(
+        self, floor_positioning, multifloor_smoke
+    ):
+        tracking = TrackingService(floor_positioning)
+        tracking.register_floors(multifloor_smoke.venue)
+        rp1 = multifloor_smoke.venue.floor("f1").reference_points[0]
+        rp2 = multifloor_smoke.venue.floor("f2").reference_points[0]
+        sids = tracking.start_batch(
+            ["kaide", "kaide"],
+            [
+                scan_at(multifloor_smoke, "f1", rp1, seed=1),
+                scan_at(multifloor_smoke, "f2", rp2, seed=2),
+            ],
+            times=[0.0, 0.0],
+        )
+        batch = tracking.step_batch(
+            sids,
+            [
+                scan_at(multifloor_smoke, "f1", rp1, seed=3),
+                scan_at(multifloor_smoke, "f2", rp2, seed=4),
+            ],
+            times=[1.0, 1.0],
+        )
+        assert batch.floors == ("f1", "f2")
+        assert batch.fix(0).floor == "f1"
+        assert tracking.end(sids[0]).floor == "f1"
+        assert tracking.end(sids[1]).floor == "f2"
+
+    def test_flat_venue_has_no_floor_column(
+        self, multifloor_smoke, kaide_smoke
+    ):
+        """A service with no stacked venues is byte-for-byte the
+        pre-floor world: no floors tuple, fix.floor None."""
+        service = PositioningService(cache_size=0)
+        service.deploy(
+            "kaide",
+            kaide_smoke.radio_map,
+            TopoACDifferentiator(
+                entities=kaide_smoke.venue.plan.entities
+            ),
+            estimator=WKNNEstimator(),
+        )
+        tracking = TrackingService(service)
+        rng = np.random.default_rng(0)
+        scan = kaide_smoke.channel.measure(
+            kaide_smoke.venue.reference_points[0], rng
+        ).rssi
+        sid = tracking.start("kaide", scan, t=0.0)
+        fix = tracking.step(sid, scan, t=1.0)
+        assert fix.floor is None
+
+
+class TestTransitions:
+    def _tracking(self, positioning, venue, **kwargs):
+        tracking = TrackingService(positioning)
+        tracking.register_floors(venue, **kwargs)
+        return tracking
+
+    def test_portal_handoff(self, floor_positioning, multifloor_smoke):
+        """A device rides the elevator: the track changes banks at the
+        portal instead of failing the gate."""
+        venue = multifloor_smoke.venue
+        tracking = self._tracking(
+            floor_positioning, venue, portal_radius=8.0
+        )
+        portal = venue.portals_between("f1", "f2")[0]
+        entry = portal.endpoint("f1")
+        sid = tracking.start(
+            "kaide",
+            scan_at(multifloor_smoke, "f1", entry, seed=11),
+            t=0.0,
+        )
+        fix = tracking.step(
+            sid,
+            scan_at(multifloor_smoke, "f2", portal.endpoint("f2"), seed=12),
+            t=portal.traversal_seconds,
+        )
+        assert fix.floor == "f2"
+        stats = tracking.stats
+        assert stats.floor_switches == 1
+        assert stats.floor_rejections == 0
+        assert stats.floor_reanchors == 0
+        assert tracking.end(sid).floor == "f2"
+        assert "floors switched=1" in stats.render()
+
+    def test_isolated_misclassification_rejected(
+        self, floor_positioning, multifloor_smoke
+    ):
+        """Off-floor scans with no portal in reach coast the track on
+        its floor; a same-floor scan clears the suspicion."""
+        venue = multifloor_smoke.venue
+        tracking = self._tracking(
+            floor_positioning,
+            venue,
+            portal_radius=0.05,
+            reanchor_after=3,
+        )
+        rp = venue.floor("f1").reference_points[3]
+        sid = tracking.start(
+            "kaide",
+            scan_at(multifloor_smoke, "f1", rp, seed=21),
+            t=0.0,
+        )
+        fix = tracking.step(
+            sid,
+            scan_at(multifloor_smoke, "f2", rp, seed=22),
+            t=1.0,
+        )
+        assert fix.floor == "f1"
+        assert not fix.accepted
+        assert tracking.stats.floor_rejections == 1
+        # Back on f1: the track keeps its floor and accepts again.
+        fix = tracking.step(
+            sid,
+            scan_at(multifloor_smoke, "f1", rp, seed=23),
+            t=2.0,
+        )
+        assert fix.floor == "f1"
+        assert tracking.stats.floor_switches == 0
+        assert tracking.stats.floor_reanchors == 0
+
+    def test_persistent_off_floor_reanchors(
+        self, floor_positioning, multifloor_smoke
+    ):
+        """Consecutive off-floor scans past the hysteresis force a
+        re-anchor on the scans' floor (the classifier outvotes the
+        motion model, portal or not)."""
+        venue = multifloor_smoke.venue
+        tracking = self._tracking(
+            floor_positioning,
+            venue,
+            portal_radius=0.05,
+            reanchor_after=2,
+        )
+        rp = venue.floor("f1").reference_points[3]
+        sid = tracking.start(
+            "kaide",
+            scan_at(multifloor_smoke, "f1", rp, seed=31),
+            t=0.0,
+        )
+        tracking.step(
+            sid,
+            scan_at(multifloor_smoke, "f2", rp, seed=32),
+            t=1.0,
+        )
+        fix = tracking.step(
+            sid,
+            scan_at(multifloor_smoke, "f2", rp, seed=33),
+            t=2.0,
+        )
+        assert fix.floor == "f2"
+        stats = tracking.stats
+        assert stats.floor_rejections == 1
+        assert stats.floor_reanchors == 1
+        assert stats.floor_switches == 0
+        np.testing.assert_allclose(fix.position, fix.raw)
+
+    def test_mixed_floor_batch_steps_every_bank(
+        self, floor_positioning, multifloor_smoke
+    ):
+        venue = multifloor_smoke.venue
+        tracking = self._tracking(floor_positioning, venue)
+        rp1 = venue.floor("f1").reference_points[1]
+        rp2 = venue.floor("f2").reference_points[1]
+        sids = tracking.start_batch(
+            ["kaide"] * 4,
+            [
+                scan_at(multifloor_smoke, "f1", rp1, seed=41),
+                scan_at(multifloor_smoke, "f2", rp2, seed=42),
+                scan_at(multifloor_smoke, "f1", rp1, seed=43),
+                scan_at(multifloor_smoke, "f2", rp2, seed=44),
+            ],
+            times=[0.0] * 4,
+        )
+        batch = tracking.step_batch(
+            sids,
+            [
+                scan_at(multifloor_smoke, "f1", rp1, seed=45),
+                scan_at(multifloor_smoke, "f2", rp2, seed=46),
+                scan_at(multifloor_smoke, "f1", rp1, seed=47),
+                scan_at(multifloor_smoke, "f2", rp2, seed=48),
+            ],
+            times=[1.0] * 4,
+        )
+        assert batch.floors == ("f1", "f2", "f1", "f2")
+        assert np.isfinite(batch.positions).all()
+        for sid in sids:
+            assert tracking.position(sid).shape == (2,)

@@ -1,0 +1,222 @@
+"""Stacked-floor venue model: portals, validation, global AP space."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VenueError
+from repro.geometry import Polygon
+from repro.venue import (
+    PORTAL_KINDS,
+    Floor,
+    Portal,
+    Venue,
+    build_multifloor_venue,
+)
+
+foot = Polygon.rectangle(0, 0, 2, 2)
+
+
+def make_portal(**overrides):
+    kwargs = dict(
+        name="lift",
+        kind="elevator",
+        floor_a="f1",
+        floor_b="f2",
+        point_a=(1.0, 1.0),
+        point_b=(1.0, 1.0),
+        footprint_a=foot,
+        footprint_b=foot,
+    )
+    kwargs.update(overrides)
+    return Portal(**kwargs)
+
+
+class TestPortal:
+    def test_kinds_have_traversal_times(self):
+        assert set(PORTAL_KINDS) == {"stairs", "elevator"}
+        assert all(t > 0 for t in PORTAL_KINDS.values())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(VenueError, match="kind"):
+            make_portal(kind="wormhole")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(VenueError, match="itself"):
+            make_portal(floor_b="f1")
+
+    def test_point_outside_footprint_rejected(self):
+        with pytest.raises(VenueError, match="outside"):
+            make_portal(point_a=(5.0, 5.0))
+
+    def test_endpoint_per_floor(self):
+        p = make_portal(point_b=(0.5, 0.5))
+        np.testing.assert_allclose(p.endpoint("f1"), [1.0, 1.0])
+        np.testing.assert_allclose(p.endpoint("f2"), [0.5, 0.5])
+        with pytest.raises(VenueError, match="does not touch"):
+            p.endpoint("f3")
+
+    def test_connects_either_direction(self):
+        p = make_portal()
+        assert p.connects("f1", "f2")
+        assert p.connects("f2", "f1")
+        assert not p.connects("f1", "f3")
+
+
+class TestBuildMultifloor:
+    def test_two_floor_tower(self, multifloor_smoke):
+        venue = multifloor_smoke.venue
+        assert venue.n_floors == 2
+        assert venue.floor_ids == ("f1", "f2")
+        # One elevator + one stairwell per consecutive pair.
+        assert len(venue.portals) == 2
+        assert {p.kind for p in venue.portals} == {
+            "elevator",
+            "stairs",
+        }
+        assert len(venue.portals_between("f1", "f2")) == 2
+        assert venue.portals_on("f1") == venue.portals
+
+    def test_global_ap_ids_contiguous(self, multifloor_smoke):
+        venue = multifloor_smoke.venue
+        ids = [ap.ap_id for ap in venue.access_points]
+        assert ids == list(range(venue.n_aps))
+        assert venue.n_aps == sum(f.n_aps for f in venue.floors)
+
+    def test_ap_floor_index_partitions(self, multifloor_smoke):
+        venue = multifloor_smoke.venue
+        idx = venue.ap_floor_index()
+        assert idx.shape == (venue.n_aps,)
+        f1 = venue.floors[0]
+        assert (idx[: f1.n_aps] == 0).all()
+        assert (idx[f1.n_aps :] == 1).all()
+
+    def test_floor_levels_and_heights(self):
+        venue = build_multifloor_venue(
+            "kaide", n_floors=3, scale=0.28, floor_height=3.5
+        )
+        assert [f.level for f in venue.floors] == [0, 1, 2]
+        assert [f.z for f in venue.floors] == [0.0, 3.5, 7.0]
+        # A 3-floor tower chains portals pairwise, never skips.
+        assert venue.portals_between("f1", "f3") == []
+        assert len(venue.portals_between("f2", "f3")) == 2
+
+    def test_floor_spec_carries_global_aps(self, multifloor_smoke):
+        venue = multifloor_smoke.venue
+        spec = venue.floor_spec("f2")
+        assert spec.name == "kaide/f2"
+        assert len(spec.access_points) == venue.n_aps
+        assert spec.plan is venue.floor("f2").plan
+
+    def test_unknown_floor_rejected(self, multifloor_smoke):
+        with pytest.raises(VenueError, match="no floor"):
+            multifloor_smoke.venue.floor("f9")
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(VenueError, match="unknown venue"):
+            build_multifloor_venue("atlantis")
+
+    def test_single_floor_tower_has_no_portals(self):
+        venue = build_multifloor_venue(
+            "kaide", n_floors=1, scale=0.28
+        )
+        assert venue.n_floors == 1
+        assert venue.portals == []
+
+
+class TestValidation:
+    def _floor(self, base, floor_id, level, z, ap_offset):
+        from repro.venue import AccessPoint
+
+        src = base.floors[0]
+        aps = [
+            AccessPoint(
+                ap_id=ap_offset + i,
+                position=ap.position,
+                tx_power_dbm=ap.tx_power_dbm,
+            )
+            for i, ap in enumerate(src.access_points)
+        ]
+        return Floor(
+            floor_id=floor_id,
+            level=level,
+            z=z,
+            plan=src.plan,
+            access_points=aps,
+            reference_points=src.reference_points,
+        )
+
+    @pytest.fixture(scope="class")
+    def base(self):
+        return build_multifloor_venue("kaide", n_floors=1, scale=0.28)
+
+    def test_no_floors_rejected(self):
+        with pytest.raises(VenueError, match="no floors"):
+            Venue(name="empty")
+
+    def test_duplicate_floor_ids_rejected(self, base):
+        n = base.floors[0].n_aps
+        with pytest.raises(VenueError, match="duplicate"):
+            Venue(
+                name="dup",
+                floors=[
+                    self._floor(base, "f1", 0, 0.0, 0),
+                    self._floor(base, "f1", 1, 4.0, n),
+                ],
+            )
+
+    def test_nonincreasing_levels_rejected(self, base):
+        n = base.floors[0].n_aps
+        with pytest.raises(VenueError, match="levels"):
+            Venue(
+                name="bad",
+                floors=[
+                    self._floor(base, "f1", 1, 0.0, 0),
+                    self._floor(base, "f2", 0, 4.0, n),
+                ],
+            )
+
+    def test_broken_ap_id_space_rejected(self, base):
+        n = base.floors[0].n_aps
+        with pytest.raises(VenueError, match="contiguous"):
+            Venue(
+                name="bad",
+                floors=[
+                    self._floor(base, "f1", 0, 0.0, 0),
+                    # Second floor restarts ids at 0 instead of n.
+                    self._floor(base, "f2", 1, 4.0, 0),
+                ],
+            )
+
+    def test_disconnected_floors_rejected(self, base):
+        n = base.floors[0].n_aps
+        with pytest.raises(VenueError, match="not connected"):
+            Venue(
+                name="bad",
+                floors=[
+                    self._floor(base, "f1", 0, 0.0, 0),
+                    self._floor(base, "f2", 1, 4.0, n),
+                ],
+                portals=[],
+            )
+
+    def test_portal_to_unknown_floor_rejected(self, base):
+        with pytest.raises(VenueError, match="unknown"):
+            Venue(
+                name="bad",
+                floors=[self._floor(base, "f1", 0, 0.0, 0)],
+                portals=[make_portal(floor_a="f9", floor_b="f1")],
+            )
+
+    def test_portal_endpoint_off_walkable_rejected(self, base):
+        """An endpoint inside its footprint but off the corridors:
+        Portal construction accepts it, venue validation does not."""
+        n = base.floors[0].n_aps
+        with pytest.raises(VenueError, match="off the walkable"):
+            Venue(
+                name="bad",
+                floors=[
+                    self._floor(base, "f1", 0, 0.0, 0),
+                    self._floor(base, "f2", 1, 4.0, n),
+                ],
+                portals=[make_portal()],
+            )
