@@ -34,6 +34,25 @@ def test_serving_throughput(benchmark, bench_config, results_dir):
     # matmul-expansion rounding).
     assert result.data["fleet_speedup"] >= 1.5
     assert result.data["fleet_parity"] <= 1e-8
+    # The grouped CSR-GEMM kernel must beat the PR-7 per-bucket loop
+    # (measured in-run, rounds interleaved) while agreeing
+    # bit-for-bit — both kernels share the same exact f64 finish.
+    assert result.data["kernel_speedup"] >= 1.5
+    assert result.data["kernel_parity"] <= 1e-12
+    # Stage attribution for the grouped kernel landed in the data.
+    stages = result.data["kernel_stages"]
+    for field in (
+        "probe_ms",
+        "select_ms",
+        "bound_ms",
+        "gemm_ms",
+        "finish_ms",
+        "busy_ms",
+        "candidates",
+        "gemm_rows",
+    ):
+        assert field in stages
+    assert stages["busy_ms"] > 0.0
     # Build-time imputation precompute: serving a BiSIM venue no
     # longer runs the encoder per batch (acceptance: >= 4x the PR-5
     # serve path).

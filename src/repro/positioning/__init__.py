@@ -15,6 +15,8 @@ from .base import (
 )
 from .index import (
     INDEX_MIN_RECORDS,
+    KERNEL_STATS,
+    KERNELS,
     SpatialIndex,
     canonical_k_smallest,
 )
@@ -31,6 +33,8 @@ from .tree import RegressionTree
 __all__ = [
     "ESTIMATOR_KINDS",
     "INDEX_MIN_RECORDS",
+    "KERNEL_STATS",
+    "KERNELS",
     "KNNEstimator",
     "SpatialIndex",
     "canonical_k_smallest",

@@ -45,6 +45,7 @@ import numpy as np
 from ..exceptions import PositioningError
 from .index import (
     INDEX_MIN_RECORDS,
+    KERNELS,
     SpatialIndex,
     canonical_k_smallest,
 )
@@ -187,6 +188,11 @@ class NearestNeighbourEstimator(LocationEstimator):
     * ``spatial_index`` — ``"auto"`` (default; index maps with at
       least ``INDEX_MIN_RECORDS`` records), ``"on"`` (always index),
       or ``"off"`` (always brute force);
+    * ``spatial_kernel`` — which indexed query kernel to run
+      (:data:`~repro.positioning.index.KERNELS`): ``"grouped"``
+      (default; the banded CSR grouped-GEMM path) or ``"bucket"``
+      (the per-bucket loop).  Both return bit-identical neighbours;
+      the field exists for A/B benchmarking;
     * ``exact_distances`` — brute-force with the cancellation-free
       exact path instead of the matmul expansion (the indexed path is
       always exact).
@@ -194,6 +200,7 @@ class NearestNeighbourEstimator(LocationEstimator):
 
     k: int = 3
     spatial_index: str = "auto"
+    spatial_kernel: str = "grouped"
     exact_distances: bool = False
 
     @property
@@ -213,6 +220,11 @@ class NearestNeighbourEstimator(LocationEstimator):
         if mode not in INDEX_MODES:
             raise PositioningError(
                 f"spatial_index must be one of {INDEX_MODES}, got {mode!r}"
+            )
+        if self.spatial_kernel not in KERNELS:
+            raise PositioningError(
+                f"spatial_kernel must be one of {KERNELS}, "
+                f"got {self.spatial_kernel!r}"
             )
         return mode == "on" or (
             mode == "auto" and n_records >= INDEX_MIN_RECORDS
@@ -256,7 +268,7 @@ class NearestNeighbourEstimator(LocationEstimator):
         k = min(self.k, n)
         index = self.index
         if index is not None and k < n:
-            d2k, idx = index.query(queries, k)
+            d2k, idx = index.query(queries, k, kernel=self.spatial_kernel)
         else:
             d2 = pairwise_sq_dists(
                 queries, self._fp, exact=self.exact_distances

@@ -38,7 +38,9 @@ most of the map changed).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,10 +48,20 @@ from ..exceptions import PositioningError
 
 __all__ = [
     "INDEX_MIN_RECORDS",
+    "KERNELS",
+    "KERNEL_STATS",
+    "KernelStats",
     "SpatialIndex",
     "canonical_k_smallest",
     "pair_exact_sq_dists",
 ]
+
+#: Query kernels: ``"grouped"`` (default) evaluates stage 1b and
+#: stage 2 with one GEMM per size-capped band of buckets; ``"bucket"``
+#: is the previous per-bucket loop, kept selectable so benchmarks and
+#: CI can A/B the two in the same process.  Both are exact and return
+#: bit-identical results.
+KERNELS = ("grouped", "bucket")
 
 #: Below this many reference records the dense brute-force path wins
 #: (the index's fixed per-batch overhead outweighs the pruning); the
@@ -77,6 +89,105 @@ _F32_MARGIN = 128.0 * float(np.finfo(np.float32).eps)
 #: If fewer than this fraction of rows survive a delta unchanged, an
 #: incremental refresh degenerates; rebuild from scratch instead.
 _REFRESH_MIN_KEPT = 0.5
+
+#: Row cap per stage-2 band.  Bucket ids are spatially ordered (the
+#: grid code is row-major), so a run of consecutive ids is a cluster
+#: of neighbouring cells whose active-query sets overlap heavily —
+#: that keeps the band rectangles dense.  Bigger bands mean fewer
+#: Python iterations but more wasted GEMM rows.
+_BAND_ROWS = 768
+
+#: Row cap per probe band (stage 1b); probe pools are small, so the
+#: cap mostly bounds the per-band rectangle width.
+_PROBE_BAND_ROWS = 1024
+
+#: Above this many elements a dense per-query scatter for pool/finish
+#: selection is refused in favour of the O(candidates) segment path —
+#: one query with a huge pool would otherwise pad every row to its
+#: width (the ``(b, width)`` blow-up).
+_DENSE_SELECT_CAP = 1 << 20
+
+
+class KernelStats:
+    """Per-process accumulator of query-kernel stage timings.
+
+    Disabled by default (the hot path pays nothing but a flag check);
+    the serve benchmark and fleet workers enable it to attribute
+    serve time to the bucket kernel.  ``snapshot()`` returns plain
+    floats (seconds / counts) so the numbers survive a pickle across
+    the fleet's worker pipes.
+    """
+
+    _FIELDS = (
+        "probe_s",      # stage 1b: banded probe-pool GEMMs + extraction
+        "select_s",     # pooled k-th + final canonical selection
+        "bound_s",      # stage 1a/2a: centroid + box bucket bounds
+        "gemm_s",       # stage 2: banded block-filter GEMMs + compaction
+        "finish_s",     # stage 3: exact f64 per-pair re-evaluation
+    )
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            for name in self._FIELDS:
+                setattr(self, name, 0.0)
+            self.candidates = 0
+            self.gemm_rows = 0
+            self.queries = 0
+            self.calls = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def add(self, stages: Dict[str, float], candidates: int,
+            gemm_rows: int, queries: int) -> None:
+        with self._lock:
+            for name, value in stages.items():
+                setattr(self, name, getattr(self, name) + value)
+            self.candidates += candidates
+            self.gemm_rows += gemm_rows
+            self.queries += queries
+            self.calls += 1
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total wall-clock spent inside the query kernel."""
+        return sum(getattr(self, name) for name in self._FIELDS)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            out = {name: getattr(self, name) for name in self._FIELDS}
+            out.update(
+                busy_s=sum(out.values()),
+                candidates=float(self.candidates),
+                gemm_rows=float(self.gemm_rows),
+                queries=float(self.queries),
+                calls=float(self.calls),
+            )
+            return out
+
+
+#: Module singleton read by the serve bench and the fleet workers.
+KERNEL_STATS = KernelStats()
+
+
+def _ramp(lens: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(l) for l in lens])`` without the loop."""
+    lens = np.asarray(lens, dtype=np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, np.int64)
+    ends = np.cumsum(lens)
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(ends - lens, lens)
+    return out
 
 
 def pair_exact_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -237,6 +348,16 @@ class SpatialIndex:
             .sum(axis=1)
             .astype(np.float32)
         )
+        # Extended reference rows [C_r, 1, c2] for the grouped kernel:
+        # against query rows [-2*C_q, qf - t, 1] a single GEMM yields
+        # d2 - t (or d2 itself with t=0) fused — no per-rectangle
+        # elementwise passes for the -2g + c2 + qf expansion.
+        d = self._centered32.shape[1]
+        ext = np.empty((n, d + 2), dtype=np.float32)
+        ext[:, :d] = self._centered32
+        ext[:, d] = 1.0
+        ext[:, d + 1] = self._c2_32
+        self._ext32 = ext
         cent = np.zeros((self.n_buckets, aug.shape[1]))
         np.add.at(cent, assign, aug)
         cent /= np.maximum(self._counts, 1)[:, None]
@@ -249,6 +370,47 @@ class SpatialIndex:
         self._radius = radius
         self._scale = float(self._c2_32.max(initial=1.0)) + 1.0
         self._n = n
+
+        # Per-bucket axis-aligned bounding boxes in the augmented
+        # space.  Distance-to-box lower-bounds the distance to every
+        # row of the bucket and is much tighter than centroid-radius:
+        # the radius is dominated by spread along the un-bucketed
+        # dims, which the per-dim box simply doesn't pay for.
+        aug_sorted = aug[self._order]
+        starts = np.minimum(self._offsets[:-1], max(n - 1, 0))
+        box_lo = np.minimum.reduceat(aug_sorted, starts, axis=0)
+        box_hi = np.maximum.reduceat(aug_sorted, starts, axis=0)
+        empty = self._counts == 0
+        # reduceat yields a stray row for zero-length segments; empty
+        # buckets must never pass a bound check.
+        box_lo[empty] = np.inf
+        box_hi[empty] = -np.inf
+        self._box_lo = box_lo
+        self._box_hi = box_hi
+        # Contiguous 2-dim copies for the cheap bound peek — slicing
+        # columns out of the wide boxes per query batch would gather
+        # full rows.
+        w2 = min(2, box_lo.shape[1])
+        self._box2_lo = np.ascontiguousarray(box_lo[:, :w2])
+        self._box2_hi = np.ascontiguousarray(box_hi[:, :w2])
+
+        # Stage-2 band boundaries: bucket-id runs capped at
+        # ``_BAND_ROWS`` rows.  Empty buckets occupy zero rows, so a
+        # run of consecutive ids is always one contiguous slice of
+        # ``_centered32`` — each band is evaluated with a single GEMM
+        # over that slice, no gathers, no extra copy of the map.
+        band_of_bucket = (np.cumsum(self._counts) - 1) // _BAND_ROWS
+        np.maximum(band_of_bucket, 0, out=band_of_bucket)
+        n_bands = int(band_of_bucket.max(initial=0)) + 1
+        # bucket-id boundary of each band (band bd covers ids
+        # [_band_bounds[bd], _band_bounds[bd+1]))
+        bounds = np.searchsorted(
+            band_of_bucket, np.arange(n_bands + 1)
+        )
+        self._band_of_bucket = band_of_bucket
+        self._band_bounds = bounds
+        self._band_rows = self._offsets[bounds]
+        self._n_bands = n_bands
 
     # ------------------------------------------------------------------
     # Introspection / persistence
@@ -335,14 +497,19 @@ class SpatialIndex:
     # Queries
     # ------------------------------------------------------------------
     def query(
-        self, queries: np.ndarray, k: int
+        self, queries: np.ndarray, k: int, kernel: str = "grouped"
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Exact k-nearest references for a query batch.
 
         Returns ``(d2, ids)`` of shape ``(n, k)``, canonically ordered
         by ``(distance, reference index)`` — bit-identical to the
-        brute-force exact path through :func:`canonical_k_smallest`.
+        brute-force exact path through :func:`canonical_k_smallest`,
+        whichever ``kernel`` (see :data:`KERNELS`) evaluates it.
         """
+        if kernel not in KERNELS:
+            raise PositioningError(
+                f"kernel must be one of {KERNELS}, got {kernel!r}"
+            )
         q = np.ascontiguousarray(queries, dtype=float)
         if q.ndim != 2 or q.shape[1] != self._fp.shape[1]:
             raise PositioningError(
@@ -363,7 +530,7 @@ class SpatialIndex:
             np.maximum(qfull2 - (proj * proj).sum(axis=1), 0.0)
         )
         aug = np.concatenate([proj, tail[:, None]], axis=1)
-        centered32 = centered.astype(np.float32)
+        centered32 = np.ascontiguousarray(centered, dtype=np.float32)
         scale = max(self._scale, float(qfull2.max(initial=0.0)) + 1.0)
         margin = _F32_MARGIN * scale + 1e-9
 
@@ -381,8 +548,9 @@ class SpatialIndex:
         )
         lb_bucket[:, self._counts == 0] = np.inf
 
-        # Stage 1b: probe the nearest buckets (cumulative count >= k)
-        # for a valid upper bound on each query's true k-th distance.
+        # Probe selection: the nearest buckets until the cumulative
+        # count reaches k, giving a valid upper bound on each query's
+        # true k-th distance once their rows are evaluated.
         near = np.argsort(
             np.where(self._counts[None, :] > 0, d_qb, np.inf), axis=1
         )
@@ -390,6 +558,31 @@ class SpatialIndex:
         n_probe = np.minimum(
             (cum < k).sum(axis=1) + 1, self.n_buckets
         )
+
+        if kernel == "grouped":
+            return self._query_grouped(
+                q, k, b, centered32, qfull2, aug, margin,
+                lb_bucket, near, n_probe,
+            )
+        return self._query_bucket(
+            q, k, b, centered32, qfull2, margin, lb_bucket, near,
+            n_probe,
+        )
+
+    def _query_bucket(
+        self,
+        q: np.ndarray,
+        k: int,
+        b: int,
+        centered32: np.ndarray,
+        qfull2: np.ndarray,
+        margin: float,
+        lb_bucket: np.ndarray,
+        near: np.ndarray,
+        n_probe: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The per-bucket-loop kernel (the pre-grouped serving path,
+        kept selectable for in-process A/B benchmarking)."""
         probe = np.zeros((b, self.n_buckets), dtype=bool)
         np.put_along_axis(
             probe,
@@ -414,21 +607,320 @@ class SpatialIndex:
         keep = pool_v <= ub[pool_qi]
         qi = np.concatenate([pool_qi[keep], qi2])
         ri = np.concatenate([pool_ri[keep], ri2])
+        return self._finish(q, k, b, qi, ri)
 
-        # Stage 3: exact finish on the finalists, canonical selection.
-        order = np.argsort(qi, kind="stable")
-        qi, ri = qi[order], ri[order]
+    def _query_grouped(
+        self,
+        q: np.ndarray,
+        k: int,
+        b: int,
+        centered32: np.ndarray,
+        qfull2: np.ndarray,
+        aug: np.ndarray,
+        margin: float,
+        lb_bucket: np.ndarray,
+        near: np.ndarray,
+        n_probe: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The CSR grouped-GEMM kernel.
+
+        Both GEMM stages run over *bands* — runs of consecutive bucket
+        ids capped at a row budget — so the Python iteration count is
+        O(bands), not O(buckets).  The probe pool extracts exactly the
+        probed ``(query, bucket)`` pair values from each band
+        rectangle through one flat CSR gather; stage 2 thresholds the
+        whole band rectangle first and compacts with a single
+        ``flatnonzero`` (over-inclusion is free: every kept pair is
+        re-evaluated exactly in stage 3, and each bucket lives in
+        exactly one band so no pair can appear twice).  Unlike the
+        bucket kernel, probe buckets are *not* excluded from stage 2 —
+        re-filtering their few rows costs less than masking them out
+        of the rectangles, and the probe pool is used only for the
+        upper bound.  Candidate sets therefore differ between kernels,
+        but both contain every true neighbour (same pads and margins),
+        so the exact finish returns bit-identical results.
+        """
+        stats = KERNEL_STATS
+        timed = stats.enabled
+        tick = time.perf_counter if timed else (lambda: 0.0)
+        qf32 = qfull2.astype(np.float32)
+        # Extended query rows [-2*C_q, qf, 1]: one GEMM against the
+        # extended reference rows [C_r, 1, c2] evaluates the full f32
+        # expansion d2 = -2g + qf + c2 fused (the *2 scaling is exact
+        # in binary floating point).  Stage 2 later overwrites the qf
+        # slot with qf - t so its rectangles compare against zero.
+        dq = centered32.shape[1]
+        qext = np.empty((b, dq + 2), dtype=np.float32)
+        np.multiply(centered32, np.float32(-2.0), out=qext[:, :dq])
+        qext[:, dq] = qf32
+        qext[:, dq + 1] = 1.0
+        t0 = tick()
+
+        # ---- stage 1b: banded probe pool ---------------------------
+        # Probe pairs sorted by bucket id; bands chunk the distinct
+        # probed buckets at ~_PROBE_BAND_ROWS probed rows.  Each band
+        # GEMMs the contiguous id-range slice (interleaved un-probed
+        # rows ride along in the GEMM but are never extracted).
+        pq = np.repeat(np.arange(b), n_probe)
+        pb = near[pq, _ramp(n_probe)]
+        order = np.argsort(pb, kind="stable")
+        pq, pb = pq[order], pb[order]
+        ubuck, bucket_pos = np.unique(pb, return_inverse=True)
+        bsz = self._counts[ubuck]
+        pband_of_bucket = (np.cumsum(bsz) - 1) // _PROBE_BAND_ROWS
+        n_pbands = int(pband_of_bucket[-1]) + 1 if bsz.size else 0
+        pband = pband_of_bucket[bucket_pos]
+        # band -> contiguous bucket-id range [lo, hi)
+        pb_seg = np.searchsorted(
+            pband_of_bucket, np.arange(n_pbands + 1)
+        )
+        offsets = self._offsets
+        lens_p = bsz[bucket_pos]
+        pair_seg = np.searchsorted(pband, np.arange(n_pbands + 1))
+        # element ramp + per-pair output offsets, shared across bands
+        pos_ramp = _ramp(lens_p)
+        lens_cum = np.concatenate([[0], np.cumsum(lens_p)])
+        pool_qi = np.repeat(pq, lens_p)
+        pool_parts: List[np.ndarray] = []
+        for bd in range(n_pbands):
+            blo = ubuck[pb_seg[bd]]
+            bhi = ubuck[pb_seg[bd + 1] - 1] + 1
+            s, e = offsets[blo], offsets[bhi]
+            ps, pe = pair_seg[bd], pair_seg[bd + 1]
+            qrows = np.unique(pq[ps:pe])
+            qpos = np.empty(b, np.int64)
+            qpos[qrows] = np.arange(qrows.size)
+            gram = qext[qrows] @ self._ext32[s:e].T
+            # flat CSR extraction of the probed pair values
+            width = e - s
+            head = qpos[pq[ps:pe]] * width + (offsets[pb[ps:pe]] - s)
+            flat = np.repeat(head, lens_p[ps:pe])
+            flat += pos_ramp[lens_cum[ps]:lens_cum[pe]]
+            pool_parts.append(gram.ravel()[flat])
+        pool_v = (
+            np.concatenate(pool_parts)
+            if pool_parts
+            else np.empty(0, np.float32)
+        )
+        t1 = tick()
+
+        # ---- pooled k-th -> upper bound ----------------------------
+        ub = self._csr_kth(pool_qi, pool_v, lens_p, pq, b, k)
+        ub = ub * _PAD_UB + margin
+        thresh32 = (ub + margin).astype(np.float32)
+        t2 = tick()
+
+        # ---- bucket bounds: centroid-radius, then per-pair box -----
+        # The box bound is evaluated twice: a 2-dim peek at the grid
+        # axes first (those carry most of the separation between a
+        # query and a far bucket), then the full-width distance-to-box
+        # only on what survives — roughly halving the wide gather.
+        active = lb_bucket * _PAD_LB <= ub[:, None]
+        aqi, abi = np.nonzero(active)
+        w2 = self._box2_lo.shape[1]
+        aug2d = np.ascontiguousarray(aug[:, :w2])
+        pt2 = aug2d[aqi]
+        gap2 = pt2 - np.clip(pt2, self._box2_lo[abi], self._box2_hi[abi])
+        lb_box2 = np.einsum("ij,ij->i", gap2, gap2)
+        keep = lb_box2 * _PAD_LB <= ub[aqi]
+        aqi, abi = aqi[keep], abi[keep]
+        pt = aug[aqi]
+        gap = pt - np.clip(pt, self._box_lo[abi], self._box_hi[abi])
+        lb_box = np.einsum("ij,ij->i", gap, gap)
+        keep = lb_box * _PAD_LB <= ub[aqi]
+        aqi, abi = aqi[keep], abi[keep]
+        t3 = tick()
+
+        # ---- stage 2: banded rectangles, threshold-first compaction
+        # With the qf slot rewritten to qf - t, each fused rectangle
+        # holds d2 - t directly and survivors are just gram <= 0 — one
+        # GEMM and one scan per band, nothing elementwise in between.
+        # The fused accumulation rounds differently from the legacy
+        # three-pass expansion, but both stay within the shared f32
+        # margin, which is all stage 2 ever promises.
+        qext[:, dq] = qf32 - thresh32
+        pair_band = self._band_of_bucket[abi]
+        code = pair_band * np.int64(b) + aqi
+        code = np.unique(code)
+        act_q = (code % b).astype(np.int64)
+        band_seg = np.searchsorted(
+            code // b, np.arange(self._n_bands + 1)
+        )
+        # active-bucket id range per band: trims each rectangle's
+        # columns to the rows its surviving buckets actually occupy
+        # instead of paying the full band slice.
+        bord = np.argsort(pair_band, kind="stable")
+        abi_bb = abi[bord]
+        bband_seg = np.searchsorted(
+            pair_band[bord], np.arange(self._n_bands + 1)
+        )
+        qi_parts: List[np.ndarray] = []
+        ri_parts: List[np.ndarray] = []
+        v_parts: List[np.ndarray] = []
+        gemm_rows = 0
+        for bd in range(self._n_bands):
+            clo, chi = band_seg[bd], band_seg[bd + 1]
+            if clo == chi:
+                continue
+            rows = act_q[clo:chi]
+            bks = abi_bb[bband_seg[bd]:bband_seg[bd + 1]]
+            s = offsets[int(bks.min())]
+            e = offsets[int(bks.max()) + 1]
+            gram = qext[rows] @ self._ext32[s:e].T
+            gflat = gram.ravel()
+            flat = np.flatnonzero(gflat <= 0.0)
+            width = e - s
+            gemm_rows += rows.size * width
+            qi_parts.append(rows[flat // width])
+            ri_parts.append(s + flat % width)
+            v_parts.append(gflat[flat])
+        qi = (
+            np.concatenate(qi_parts)
+            if qi_parts
+            else np.empty(0, np.int64)
+        )
+        ri = (
+            np.concatenate(ri_parts)
+            if ri_parts
+            else np.empty(0, np.int64)
+        )
+        t4 = tick()
+
+        # ---- f32 refine: shrink the exact finish ------------------
+        # The rectangles already evaluated every candidate's f32
+        # ``d2 - t``; adding ``t`` back (exactly, in f64) recovers an
+        # estimate within the f32 margin of the true distance.  Its
+        # per-query k-th is at most ``margin`` below the k-th true
+        # candidate distance, so keeping ``est <= kth + 4*margin``
+        # (double the two-sided error, doubled again for slack — the
+        # superset stays exact no matter how loose) provably retains
+        # every true neighbour, ties included, while cutting the f64
+        # gather/lexsort to near-k candidates.
+        if qi.size:
+            est = np.concatenate(v_parts).astype(np.float64)
+            est += thresh32.astype(np.float64)[qi]
+            kth = self._pooled_kth(qi, est.astype(np.float32), b, k)
+            keep = est <= kth[qi] * _PAD_UB + 4.0 * margin
+            qi, ri = qi[keep], ri[keep]
+
+        out = self._finish(q, k, b, qi, ri)
+        if timed:
+            t5 = time.perf_counter()
+            stats.add(
+                {
+                    "probe_s": t1 - t0,
+                    "select_s": t2 - t1,
+                    "bound_s": t3 - t2,
+                    "gemm_s": t4 - t3,
+                    "finish_s": t5 - t4,
+                },
+                candidates=int(qi.size),
+                gemm_rows=int(gemm_rows),
+                queries=b,
+            )
+        return out
+
+    def _csr_kth(
+        self,
+        pool_qi: np.ndarray,
+        pool_v: np.ndarray,
+        lens_p: np.ndarray,
+        pair_q: np.ndarray,
+        b: int,
+        k: int,
+    ) -> np.ndarray:
+        """Per-query k-th smallest of the banded probe pool.
+
+        The pool arrives as per-``(query, bucket)`` blocks of
+        contiguous values (``lens_p[i]`` values for the pair whose
+        query is ``pair_q[i]``), so each block's scatter position
+        inside its query's row follows from the block lengths alone —
+        no per-element sort.  When one query's pool would blow the
+        dense ``(b, width)`` scatter past :data:`_DENSE_SELECT_CAP`,
+        selection falls back to the O(candidates) segment path.
+        """
+        counts = np.bincount(pool_qi, minlength=b)
+        width = int(counts.max(initial=0))
+        if b * width <= max(4 * pool_v.size, _DENSE_SELECT_CAP):
+            border = np.argsort(pair_q, kind="stable")
+            lens_sorted = lens_p[border]
+            ends = np.cumsum(lens_sorted)
+            block_start = ends - lens_sorted
+            qseg = np.searchsorted(
+                pair_q[border], np.arange(b + 1)
+            )
+            first = np.repeat(
+                block_start[
+                    np.minimum(qseg[:-1], max(lens_sorted.size - 1, 0))
+                ],
+                np.diff(qseg),
+            )
+            start_in_q = np.empty(lens_p.size, np.int64)
+            start_in_q[border] = block_start - first
+            pos = np.repeat(start_in_q, lens_p) + _ramp(lens_p)
+            pool = np.full((b, width), np.inf, dtype=pool_v.dtype)
+            pool[pool_qi, pos] = pool_v
+            if width <= k:
+                kth = pool.max(axis=1, initial=0.0)
+            else:
+                kth = np.partition(pool, k - 1, axis=1)[:, k - 1]
+                kth[counts < k] = np.inf
+        else:
+            order = np.lexsort((pool_v, pool_qi))
+            seg = np.searchsorted(
+                pool_qi[order], np.arange(b + 1)
+            )
+            kth = np.full(b, np.inf)
+            ok = counts >= k
+            picks = np.minimum(
+                seg[:-1] + k - 1, max(pool_v.size - 1, 0)
+            )
+            kth[ok] = pool_v[order][picks[ok]]
+        return np.maximum(np.asarray(kth, dtype=np.float64), 0.0)
+
+    def _finish(
+        self,
+        q: np.ndarray,
+        k: int,
+        b: int,
+        qi: np.ndarray,
+        ri: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stage 3: exact f64 finish + canonical selection.
+
+        Selection runs on lexsorted ``(query, distance, id)`` segments
+        — the first k entries of a query's segment *are* its
+        canonically-ordered neighbours — so memory stays
+        O(candidates) instead of the old dense ``(b, width)`` scatter,
+        which one fat candidate pool could blow up to ``b`` times the
+        candidate count.  Should any query end up with fewer than k
+        candidates (impossible while the stage-1/2 margins hold, but
+        cheap to guard), those queries fall back to the brute exact
+        scan, preserving the parity contract unconditionally.
+        """
         ref_ids = self._order[ri]
         d2x = pair_exact_sq_dists(q[qi], self._fp[ref_ids])
-        counts = np.bincount(qi, minlength=b)
-        width = int(counts.max(initial=0))
-        starts = np.concatenate([[0], np.cumsum(counts)])
-        pos = np.arange(qi.size) - starts[qi]
-        vals = np.full((b, width), np.inf)
-        ids = np.full((b, width), -1, dtype=np.int64)
-        vals[qi, pos] = d2x
-        ids[qi, pos] = ref_ids
-        return canonical_k_smallest(vals, k, ids)
+        order = np.lexsort((ref_ids, d2x, qi))
+        sq, sd, si = qi[order], d2x[order], ref_ids[order]
+        seg = np.searchsorted(sq, np.arange(b + 1))
+        short = np.diff(seg) < k
+        if short.any():
+            rows = np.nonzero(short)[0]
+            d2 = pair_exact_sq_dists(
+                q[rows][:, None, :], self._fp[None, :, :]
+            )
+            sv, sids = canonical_k_smallest(d2, k)
+            vals = np.empty((b, k))
+            ids = np.empty((b, k), dtype=np.int64)
+            good = np.nonzero(~short)[0]
+            pick = seg[:-1][good, None] + np.arange(k)[None, :]
+            vals[good] = sd[pick]
+            ids[good] = si[pick]
+            vals[rows] = sv
+            ids[rows] = sids
+            return vals, ids
+        pick = seg[:-1][:, None] + np.arange(k)[None, :]
+        return sd[pick], si[pick]
 
     def _filter_blocks(
         self,
@@ -489,11 +981,30 @@ class SpatialIndex:
         traffic of the old f64 pool) and only the chosen per-query
         bound widens to f64 — an exact conversion, so the padded upper
         bounds downstream are bit-identical to the all-f64 pool.
+
+        One query with a huge pool used to pad *every* row of the
+        dense ``(b, width)`` scatter to its width; past
+        :data:`_DENSE_SELECT_CAP` the selection now switches to a
+        lexsort over the candidates themselves, keeping peak memory
+        O(candidates).  The k-th smallest of a set does not depend on
+        how it is selected, so the bound — and everything downstream —
+        is unchanged.
         """
-        order = np.argsort(qi, kind="stable")
-        qi, values = qi[order], values[order]
         counts = np.bincount(qi, minlength=b)
         width = int(counts.max(initial=0))
+        if b * width > max(4 * values.size, _DENSE_SELECT_CAP):
+            order = np.lexsort((values, qi))
+            sq, sv = qi[order], values[order]
+            seg = np.searchsorted(sq, np.arange(b + 1))
+            kth = np.full(b, np.inf, dtype=values.dtype)
+            ok = counts >= k
+            picks = np.minimum(
+                seg[:-1] + k - 1, max(values.size - 1, 0)
+            )
+            kth[ok] = sv[picks[ok]]
+            return np.maximum(kth.astype(np.float64), 0.0)
+        order = np.argsort(qi, kind="stable")
+        qi, values = qi[order], values[order]
         starts = np.concatenate([[0], np.cumsum(counts)])
         pos = np.arange(qi.size) - starts[qi]
         pool = np.full((b, width), np.inf, dtype=values.dtype)

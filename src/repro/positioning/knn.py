@@ -42,6 +42,7 @@ class KNNEstimator(NearestNeighbourEstimator):
     k: int = 3
     name: str = "KNN"
     spatial_index: str = "auto"
+    spatial_kernel: str = "grouped"
     exact_distances: bool = False
 
     def _combine(self, dists: np.ndarray, locs: np.ndarray) -> np.ndarray:
@@ -58,6 +59,7 @@ class WKNNEstimator(NearestNeighbourEstimator):
     eps: float = 1e-6
     name: str = "WKNN"
     spatial_index: str = "auto"
+    spatial_kernel: str = "grouped"
     exact_distances: bool = False
 
     def _combine(self, dists: np.ndarray, locs: np.ndarray) -> np.ndarray:

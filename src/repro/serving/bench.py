@@ -22,8 +22,15 @@ Two sections cover this PR's index-bound serving work:
   preset) served through identical shards whose estimators differ only
   in ``spatial_index`` mode; reports brute/indexed throughput, their
   speedup, and the max-abs parity between the two answers (the index
-  is exact, so this must be 0).  ``--no-spatial-index`` skips the
-  indexed side so CI can A/B the two CLI runs.
+  is exact, so this must be 0).  The indexed side additionally A/Bs
+  the two query kernels — the grouped CSR-GEMM path against the
+  legacy per-bucket loop, rounds interleaved — and attributes one
+  instrumented grouped batch to its pipeline stages
+  (probe/select/bound/gemm/finish, via
+  :data:`~repro.positioning.index.KERNEL_STATS`); the stage
+  breakdown, ``kernel_speedup`` and ``kernel_parity`` land in the
+  result data.  ``--no-spatial-index`` skips the indexed side so CI
+  can A/B the two CLI runs.
 * **precompute** — the kaide venue with a trained BiSIM, served once
   through the PR-5 path (encoder imputation per batch,
   :class:`EncoderCompletion`) and once through this PR's build-time
@@ -48,7 +55,7 @@ from ..core import TopoACDifferentiator
 from ..experiments.base import ExperimentResult
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import get_dataset
-from ..positioning import WKNNEstimator
+from ..positioning import KERNEL_STATS, WKNNEstimator
 from .completion import EncoderCompletion
 from .loadgen import scan_pool
 from .service import PositioningService, VenueShard
@@ -83,16 +90,15 @@ def _synthetic_fleet_map(
     return np.clip(rssi, -95.0, -20.0), rps
 
 
-def _fleet_qps(
+def _fleet_service(
     fingerprints: np.ndarray,
     locations: np.ndarray,
-    queries: np.ndarray,
     mode: str,
-    rounds: int,
-):
-    estimator = WKNNEstimator(spatial_index=mode).fit(
-        fingerprints, locations
-    )
+    kernel: str = "grouped",
+) -> PositioningService:
+    estimator = WKNNEstimator(
+        spatial_index=mode, spatial_kernel=kernel
+    ).fit(fingerprints, locations)
     service = PositioningService(cache_size=0)
     service.register(
         VenueShard(
@@ -103,6 +109,18 @@ def _fleet_qps(
             fingerprints.mean(axis=0),
         )
     )
+    return service
+
+
+def _fleet_qps(
+    fingerprints: np.ndarray,
+    locations: np.ndarray,
+    queries: np.ndarray,
+    mode: str,
+    rounds: int,
+    kernel: str = "grouped",
+):
+    service = _fleet_service(fingerprints, locations, mode, kernel)
     keys = ["fleet"] * len(queries)
     out = service.query_batch(keys, queries)  # warm-up + answers
     best = _best_of(
@@ -117,6 +135,7 @@ def run(
     rounds: int = 3,
     artifact_path: Optional[str] = None,
     spatial_index: bool = True,
+    kernel: str = "grouped",
 ) -> ExperimentResult:
     """Benchmark the serving path on the preset's kaide venue.
 
@@ -124,7 +143,9 @@ def run(
     by default it lives in a temporary directory for the duration of
     the benchmark.  ``spatial_index=False`` skips the indexed side of
     the fleet-scale section (the brute baseline still runs), matching
-    the CLI's ``--no-spatial-index``.
+    the CLI's ``--no-spatial-index``.  ``kernel`` picks the headline
+    indexed query kernel (``--kernel``); the fleet section A/Bs it
+    against the per-bucket loop either way.
     """
     dataset = get_dataset("kaide", config)
     rng = np.random.default_rng(config.dataset_seed)
@@ -222,17 +243,79 @@ def run(
     indexed_qps = None
     fleet_speedup = None
     fleet_parity = None
+    bucket_qps = None
+    kernel_speedup = None
+    kernel_parity = None
+    kernel_stages: Optional[Dict[str, float]] = None
     if spatial_index:
-        indexed_qps, indexed_out = _fleet_qps(
-            fleet_fp, fleet_rps, fleet_q, "on", rounds
+        # Kernel A/B over identical indexed shards: grouped CSR
+        # GEMM vs the legacy per-bucket loop, rounds interleaved so
+        # both kernels see the same thermal/turbo conditions.
+        grouped_svc = _fleet_service(
+            fleet_fp, fleet_rps, "on", kernel=kernel
         )
+        bucket_svc = _fleet_service(
+            fleet_fp, fleet_rps, "on", kernel="bucket"
+        )
+        fleet_keys = ["fleet"] * len(fleet_q)
+        indexed_out = grouped_svc.query_batch(fleet_keys, fleet_q)
+        bucket_out = bucket_svc.query_batch(fleet_keys, fleet_q)
+        grouped_s = bucket_s = np.inf
+        for _ in range(max(rounds, 3)):
+            start = time.perf_counter()
+            grouped_svc.query_batch(fleet_keys, fleet_q)
+            grouped_s = min(grouped_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            bucket_svc.query_batch(fleet_keys, fleet_q)
+            bucket_s = min(bucket_s, time.perf_counter() - start)
+        indexed_qps = len(fleet_q) / grouped_s
+        bucket_qps = len(fleet_q) / bucket_s
+        kernel_speedup = bucket_s / grouped_s
+        kernel_parity = float(np.abs(indexed_out - bucket_out).max())
         fleet_speedup = indexed_qps / brute_qps
         fleet_parity = float(np.abs(indexed_out - brute_out).max())
+
+        # Stage attribution: one instrumented batch through the
+        # grouped kernel (timing gates on the enabled flag, so the
+        # A/B rounds above paid nothing for it).
+        KERNEL_STATS.reset()
+        KERNEL_STATS.enable()
+        try:
+            grouped_svc.query_batch(fleet_keys, fleet_q)
+        finally:
+            KERNEL_STATS.disable()
+        snap = KERNEL_STATS.snapshot()
+        KERNEL_STATS.reset()
+        kernel_stages = {
+            "probe_ms": 1e3 * snap["probe_s"],
+            "select_ms": 1e3 * snap["select_s"],
+            "bound_ms": 1e3 * snap["bound_s"],
+            "gemm_ms": 1e3 * snap["gemm_s"],
+            "finish_ms": 1e3 * snap["finish_s"],
+            "busy_ms": 1e3 * snap["busy_s"],
+            "candidates": snap["candidates"],
+            "gemm_rows": snap["gemm_rows"],
+        }
         lines.append(
             f"fleet scale (N={fleet_n}, D={FLEET_APS}, batch "
             f"{max(BATCH_SIZES)}): brute {brute_qps:.0f} q/s | "
             f"indexed {indexed_qps:.0f} q/s "
             f"({fleet_speedup:.1f}x, parity {fleet_parity:.1e})"
+        )
+        lines.append(
+            f"bucket kernel: {kernel} {indexed_qps:.0f} q/s | "
+            f"per-bucket loop {bucket_qps:.0f} q/s "
+            f"({kernel_speedup:.2f}x, parity {kernel_parity:.1e})"
+        )
+        lines.append(
+            "kernel stages (ms): "
+            f"probe {kernel_stages['probe_ms']:.1f} | "
+            f"select {kernel_stages['select_ms']:.1f} | "
+            f"bound {kernel_stages['bound_ms']:.1f} | "
+            f"gemm {kernel_stages['gemm_ms']:.1f} | "
+            f"finish {kernel_stages['finish_ms']:.1f}; "
+            f"candidates {kernel_stages['candidates']:.0f}, "
+            f"gemm rows {kernel_stages['gemm_rows']:.0f}"
         )
     else:
         lines.append(
@@ -304,6 +387,11 @@ def run(
             ),
             "fleet_speedup": fleet_speedup,
             "fleet_parity": fleet_parity,
+            "fleet_bucket_throughput": bucket_qps,
+            "kernel": kernel,
+            "kernel_speedup": kernel_speedup,
+            "kernel_parity": kernel_parity,
+            "kernel_stages": kernel_stages,
             "bisim_before_throughput": before_qps,
             "bisim_after_throughput": after_qps,
             "precompute_speedup": precompute_speedup,

@@ -79,6 +79,7 @@ from ..artifacts import (
     mappable_members,
 )
 from ..exceptions import ArtifactError, ServingError
+from ..positioning import KERNEL_STATS
 from .keys import ShardKey, coerce_key
 from .pipeline import Ticket
 from .service import SHARD_KIND, PositioningService, VenueShard
@@ -442,6 +443,7 @@ class WorkerStats:
     ticks: int = 0
     batches: int = 0
     busy_seconds: float = 0.0
+    kernel_busy_seconds: float = 0.0
     wall_seconds: float = 0.0
     venues_served: int = 0
     registry: RegistryStats = field(default_factory=RegistryStats)
@@ -454,6 +456,21 @@ class WorkerStats:
         return self.busy_seconds / self.wall_seconds
 
     @property
+    def kernel_utilization(self) -> float:
+        """Fraction of serve time spent inside the bucket kernel.
+
+        The worker enables :data:`~repro.positioning.index.
+        KERNEL_STATS` for its lifetime; this ratio attributes its
+        busy seconds to the indexed query kernel versus everything
+        else on the serve path (imputation, routing, bookkeeping).
+        Zero for fleets whose shards are small enough to serve brute
+        force — the kernel never runs there.
+        """
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.kernel_busy_seconds / self.busy_seconds
+
+    @property
     def mean_tick(self) -> float:
         """Mean requests served per tick (the batching win)."""
         return self.requests / self.ticks if self.ticks else 0.0
@@ -464,7 +481,8 @@ class WorkerStats:
             f"{self.ticks} ticks (mean {self.mean_tick:.1f}/tick, "
             f"{self.batches} venue batches, "
             f"{self.venues_served} venues) "
-            f"util={100 * self.utilization:.0f}% | "
+            f"util={100 * self.utilization:.0f}% "
+            f"kernel={100 * self.kernel_utilization:.0f}% | "
             f"{self.registry.render()}"
         )
 
@@ -519,6 +537,18 @@ class FleetStats:
     def resident_venues(self) -> int:
         return self._sum("resident_venues")
 
+    @property
+    def kernel_busy_seconds(self) -> float:
+        return sum(w.kernel_busy_seconds for w in self.workers)
+
+    @property
+    def kernel_utilization(self) -> float:
+        """Fleet-wide share of serve time inside the bucket kernel."""
+        busy = sum(w.busy_seconds for w in self.workers)
+        if busy <= 0:
+            return 0.0
+        return self.kernel_busy_seconds / busy
+
     def render(self) -> str:
         lines = [
             f"fleet: {self.requests} requests "
@@ -528,7 +558,8 @@ class FleetStats:
             f"loads={self.lazy_loads} (fast {self.fast_reloads}) "
             f"evictions={self.evictions} "
             f"resident={self.resident_venues} venues "
-            f"{(self.resident_bytes + self.mapped_bytes) / 1e6:.1f}MB"
+            f"{(self.resident_bytes + self.mapped_bytes) / 1e6:.1f}MB "
+            f"kernel={100 * self.kernel_utilization:.0f}%"
         ]
         for w in self.workers:
             lines.append("  " + w.render())
@@ -558,6 +589,11 @@ def _worker_main(
         mapping,
         memory_budget_mb=budget_mb,
     )
+    # Attribute this worker's serve time to the indexed query kernel
+    # (each worker is its own process, so the module singleton is
+    # private to it and the accumulation races with nobody).
+    KERNEL_STATS.reset()
+    KERNEL_STATS.enable()
     started = time.perf_counter()
     requests = ticks = batches = 0
     busy = 0.0
@@ -570,6 +606,7 @@ def _worker_main(
             ticks=ticks,
             batches=batches,
             busy_seconds=busy,
+            kernel_busy_seconds=KERNEL_STATS.busy_seconds,
             wall_seconds=time.perf_counter() - started,
             venues_served=len(venues_served),
             registry=registry.stats,

@@ -54,7 +54,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field, fields, is_dataclass, replace
 from typing import (
     TYPE_CHECKING,
@@ -1292,19 +1292,20 @@ class PositioningService:
         """Locate a batch of raw fingerprints → ``(n, 2)``.
 
         ``venues[i]`` names the shard for ``fingerprints[i]``; rows may
-        mix venues freely (and venues may differ in AP count, so the
-        batch is a sequence of ``(D_venue,)`` vectors — a uniform
-        ``(n, D)`` array works when all rows share a venue).  Cache
-        hits are answered immediately; rows repeating an identical
-        (venue, cache key) within the batch are computed once and
-        fanned out (the repeats count as hits); the remaining misses
-        are grouped per venue and go through each shard's batched
-        complete→estimate path in one call.
+        mix venues freely.  ``fingerprints`` is either an ``(n, D)``
+        ndarray — served zero-copy, whatever the venue mix, as long as
+        every named shard expects ``D`` APs — or a sequence of
+        ``(D_venue,)`` vectors, which also lets rows differ in AP
+        count.  Cache hits are answered immediately; rows repeating an
+        identical (venue, cache key) within the batch are computed
+        once and fanned out (the repeats count as hits); the remaining
+        misses are grouped per venue and go through each shard's
+        batched complete→estimate path in one call.
 
-        A uniform batch — one venue, ``(n, D)`` ndarray — skips the
-        per-row Python validation loop entirely, and with caching
-        disabled goes straight to the shard with no key machinery at
-        all; large single-venue batches stay matmul-bound.
+        An ndarray batch never round-trips through per-row Python
+        lists: rows are grouped into one contiguous stack per venue,
+        and with caching disabled a batch goes straight to the shards
+        with no key machinery at all (one venue: no grouping either).
         """
         start = time.perf_counter()
         n = len(venues)
@@ -1318,25 +1319,52 @@ class PositioningService:
             # single-floor code path.
             venues = self._route_floors(venues, fingerprints)
 
-        uniform = (
+        if (
             n > 0
             and isinstance(fingerprints, np.ndarray)
             and fingerprints.ndim == 2
-            and len(set(venues)) == 1
-        )
-        if uniform:
-            venue = venues[0]
-            shard = self.shard(venue)
-            batch = shard._validate(fingerprints)
+        ):
+            distinct = set(venues)
+            if len(distinct) == 1:
+                venue = next(iter(distinct))
+                shard = self.shard(venue)
+                batch = shard._validate(fingerprints)
+                if not self.cache_size:
+                    return self._serve_uniform(
+                        venue, shard, batch, start
+                    )
+                keys = self.cache_keys(venue, batch)
+                return self._serve_rows(
+                    venues, batch, keys, start, {venue: batch}
+                )
+            # Mixed venues over one (n, D) array: group rows into a
+            # contiguous per-venue stack each — no per-row round trip.
+            batch = np.asarray(fingerprints, dtype=float)
+            varr = np.asarray(venues, dtype=object)
+            groups: Dict[str, np.ndarray] = {}
+            stacks = {}
+            for venue in distinct:
+                shard = self.shard(venue)
+                if batch.shape[1] != shard.n_aps:
+                    raise ServingError(
+                        f"venue {venue!r} expects (n, {shard.n_aps}) "
+                        f"queries, got {batch.shape}"
+                    )
+                rows = np.flatnonzero(varr == venue)
+                groups[venue] = rows
+                stacks[venue] = np.ascontiguousarray(batch[rows])
             if not self.cache_size:
-                return self._serve_uniform(venue, shard, batch, start)
-            keys = self.cache_keys(venue, batch)
-            return self._serve_rows(
-                venues, batch, keys, start, {venue: batch}
-            )
+                return self._serve_grouped(groups, stacks, n, start)
+            keys = [None] * n
+            for venue, rows in groups.items():
+                venue_keys = self.cache_keys(venue, stacks[venue])
+                for i, key in zip(rows.tolist(), venue_keys):
+                    keys[i] = key
+            return self._serve_rows(venues, batch, keys, start, stacks)
 
-        # Validate every row before touching stats or the cache, so a
-        # bad row cannot leave the counters half-updated.
+        # Ragged sequence batch (possibly mixed AP counts): validate
+        # every row before touching stats or the cache, so a bad row
+        # cannot leave the counters half-updated.
         rows_fp: List[np.ndarray] = []
         by_venue: Dict[str, List[int]] = {}
         for i, (venue, fingerprint) in enumerate(
@@ -1361,6 +1389,30 @@ class PositioningService:
                 for i, key in zip(rows, self.cache_keys(venue, batch)):
                     keys[i] = key
         return self._serve_rows(venues, rows_fp, keys, start, stacks)
+
+    def _serve_grouped(
+        self,
+        groups: Dict[str, np.ndarray],
+        stacks: Dict[str, np.ndarray],
+        n: int,
+        start: float,
+    ) -> np.ndarray:
+        """Cache-off mixed-venue fast path: one locate per venue
+        stack, vectorized fan-in, one stats publish."""
+        out = np.empty((n, 2))
+        for venue, rows in groups.items():
+            out[rows] = self._shards[venue].locate(stacks[venue])
+        with self._lock:
+            stats = self._stats
+            per_venue = stats.per_venue
+            for venue, rows in groups.items():
+                per_venue[venue] = (
+                    per_venue.get(venue, 0) + int(rows.size)
+                )
+            stats.queries += n
+            stats.batches += 1
+            stats.seconds += time.perf_counter() - start
+        return out
 
     def _serve_uniform(
         self,
@@ -1434,6 +1486,9 @@ class PositioningService:
             for venue in misses:
                 epochs[venue] = self._shards[venue].epoch
 
+        # Per-venue tallies fold outside the lock; the critical
+        # section below just merges one small dict.
+        venue_counts = Counter(venues)
         computed: Dict[str, Tuple[List[int], np.ndarray]] = {}
         for venue, rows in misses.items():
             stack = stacks.get(venue) if stacks else None
@@ -1460,8 +1515,8 @@ class PositioningService:
                         self._cache_put(keys[i], loc)
             stats = self._stats
             per_venue = stats.per_venue
-            for venue in venues:
-                per_venue[venue] = per_venue.get(venue, 0) + 1
+            for venue, count in venue_counts.items():
+                per_venue[venue] = per_venue.get(venue, 0) + count
             stats.cache_hits += hits
             stats.cache_misses += misses_count
             stats.queries += n

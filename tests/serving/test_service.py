@@ -74,7 +74,89 @@ class TestRouting:
             service.register(shard)
 
 
-class TestCache:
+class TestMixedArrayBatch:
+    """Mixed-venue (n, D) ndarray batches: the group-by-venue path."""
+
+    @pytest.fixture(scope="class")
+    def twin_service(self, kaide_smoke):
+        """Two same-width venues, caching off: the grouped path."""
+        svc = PositioningService(cache_size=0)
+        for name in ("north", "south"):
+            svc.deploy(
+                name,
+                kaide_smoke.radio_map,
+                TopoACDifferentiator(
+                    entities=kaide_smoke.venue.plan.entities
+                ),
+                estimator=WKNNEstimator(),
+            )
+        return svc
+
+    def test_array_matches_row_sequence(self, twin_service, kaide_smoke):
+        batch = scans(kaide_smoke, 8, 60)
+        venues = ["north", "south"] * 4
+        via_array = twin_service.query_batch(venues, batch)
+        via_rows = twin_service.query_batch(venues, list(batch))
+        np.testing.assert_array_equal(via_array, via_rows)
+
+    def test_rows_route_to_their_venue(self, twin_service, kaide_smoke):
+        batch = scans(kaide_smoke, 6, 61)
+        venues = ["south", "north", "north", "south", "north", "south"]
+        out = twin_service.query_batch(venues, batch)
+        for venue in ("north", "south"):
+            rows = [i for i, v in enumerate(venues) if v == venue]
+            direct = twin_service.shard(venue).locate(batch[rows])
+            np.testing.assert_array_equal(out[rows], direct)
+
+    def test_wrong_width_rejected(self, twin_service, kaide_smoke):
+        batch = scans(kaide_smoke, 4, 62)[:, :-1]
+        with pytest.raises(ServingError, match="expects"):
+            twin_service.query_batch(
+                ["north", "south", "north", "south"], batch
+            )
+
+    def test_stats_count_rows_per_venue(self, kaide_smoke):
+        svc = PositioningService(cache_size=0)
+        for name in ("north", "south"):
+            svc.deploy(
+                name,
+                kaide_smoke.radio_map,
+                TopoACDifferentiator(
+                    entities=kaide_smoke.venue.plan.entities
+                ),
+                estimator=WKNNEstimator(),
+            )
+        batch = scans(kaide_smoke, 5, 63)
+        svc.query_batch(
+            ["north", "south", "north", "north", "south"], batch
+        )
+        stats = svc.stats
+        assert stats.per_venue == {"north": 3, "south": 2}
+        assert stats.queries == 5
+        assert stats.batches == 1
+        # Cache disabled: the grouped path never touched key
+        # machinery, so no hit/miss counters moved.
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 0
+
+    def test_mixed_array_with_cache_coalesces(self, kaide_smoke):
+        svc = PositioningService(cache_size=64)
+        for name in ("north", "south"):
+            svc.deploy(
+                name,
+                kaide_smoke.radio_map,
+                TopoACDifferentiator(
+                    entities=kaide_smoke.venue.plan.entities
+                ),
+                estimator=WKNNEstimator(),
+            )
+        base = scans(kaide_smoke, 2, 64)
+        batch = np.vstack([base, base])  # every row repeats once
+        venues = ["north", "south", "north", "south"]
+        out = svc.query_batch(venues, batch)
+        np.testing.assert_array_equal(out[:2], out[2:])
+        assert svc.stats.cache_hits == 2  # in-batch repeats fan out
+        assert svc.stats.cache_misses == 2
     def test_repeat_query_hits_cache(self, kaide_smoke):
         svc = PositioningService(cache_size=16)
         svc.deploy(
