@@ -8,14 +8,18 @@ from repro.serving import bench as serve_bench
 
 def test_serving_throughput(benchmark, bench_config, results_dir):
     result = benchmark.pedantic(
-        lambda: serve_bench.run(bench_config), rounds=1, iterations=1
+        lambda: serve_bench.run(bench_config, telemetry=True),
+        rounds=1,
+        iterations=1,
     )
     emit(results_dir, "Serving bench", result.rendered)
-    emit_json(
-        results_dir,
-        "serving",
-        {"preset": bench_config.name, **result.data},
-    )
+    payload = {"preset": bench_config.name, **result.data}
+    # Keep the committed results file lean: record the overhead number
+    # and the covered stages, not the full export blob.
+    tel = payload.pop("telemetry", None)
+    if tel is not None:
+        payload["telemetry_span_stages"] = tel["span_stages"]
+    emit_json(results_dir, "serving", payload)
     # The batched estimator path must dominate the per-query loop at
     # the largest batch size (acceptance: >= 5x at 256).
     assert result.data["estimator_speedup"][256] >= 5.0
@@ -57,3 +61,16 @@ def test_serving_throughput(benchmark, bench_config, results_dir):
     # longer runs the encoder per batch (acceptance: >= 4x the PR-5
     # serve path).
     assert result.data["precompute_speedup"] >= 4.0
+    # Telemetry: the instrumented serve path (registry counters +
+    # sampled spans) stays within 3% of the uninstrumented one, and
+    # the sampled span tree covers every kernel stage.
+    overhead = result.data["telemetry_overhead_pct"]
+    assert overhead is not None
+    assert overhead <= 3.0
+    assert {
+        "kernel.probe",
+        "kernel.select",
+        "kernel.bound",
+        "kernel.gemm",
+        "kernel.finish",
+    } <= set(result.data["telemetry"]["span_stages"])

@@ -39,6 +39,18 @@ synthetic venues under a ``--memory-budget-mb`` LRU eviction budget,
 compared head-to-head (and bit-for-bit) against one process::
 
     python -m repro serve-bench --workers 4 --fleet-venues 500
+
+``obs`` exercises the unified telemetry layer end-to-end: it runs a
+telemetry-instrumented load test and dumps the merged metric registry
+(counters, gauges, streaming latency histograms) plus sampled trace
+spans in Prometheus text or JSON snapshot form::
+
+    python -m repro obs --preset smoke --format prometheus
+    python -m repro obs --format json --out snapshot.json
+
+``serve-bench --telemetry`` additionally measures the instrumentation
+overhead (instrumented vs plain serve, reported as a percentage) and
+verifies span coverage of every kernel stage.
 """
 
 from __future__ import annotations
@@ -58,6 +70,7 @@ from .bisim.checkpoint import (
 )
 from .core import TopoACDifferentiator
 from .exceptions import ArtifactError, ReproError
+from .obs import Telemetry, render_json, render_prometheus
 from .experiments import (
     PRESETS,
     ablation_bidir,
@@ -132,7 +145,14 @@ _ALL_ORDER = [
 ]
 
 #: Artifact-pipeline stages (everything else is an experiment name).
-PIPELINE_COMMANDS = ("train", "impute", "ingest", "load-test", "track")
+PIPELINE_COMMANDS = (
+    "train",
+    "impute",
+    "ingest",
+    "load-test",
+    "track",
+    "obs",
+)
 
 VENUES = ("kaide", "longhu")
 
@@ -203,6 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
             "serve-bench: indexed query kernel to headline (default: "
             "grouped); the fleet section always A/Bs it against the "
             "per-bucket loop"
+        ),
+    )
+    pipeline.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "serve-bench: measure instrumentation overhead "
+            "(instrumented vs plain serve) and trace span coverage "
+            "of every kernel stage"
         ),
     )
     pipeline.add_argument(
@@ -330,6 +359,36 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "append the drift scenario: ingestion deltas hot-apply "
             "to a live venue while query traffic runs"
+        ),
+    )
+    obs = parser.add_argument_group("telemetry dump (obs)")
+    obs.add_argument(
+        "--format",
+        dest="obs_format",
+        default="prometheus",
+        choices=("prometheus", "json"),
+        help=(
+            "obs: export format for the merged metric/span snapshot "
+            "(default: prometheus)"
+        ),
+    )
+    obs.add_argument(
+        "--sample-every",
+        dest="sample_every",
+        type=int,
+        default=1,
+        help=(
+            "obs: keep one traced request in every N sampled "
+            "(default: 1, trace everything)"
+        ),
+    )
+    obs.add_argument(
+        "--slow-ms",
+        dest="slow_ms",
+        type=float,
+        help=(
+            "obs: also log any span slower than this many ms to the "
+            "slow-query log, regardless of sampling"
         ),
     )
     track = parser.add_argument_group("trajectory tracking (track)")
@@ -599,6 +658,65 @@ def _cmd_load_test(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_obs(args, parser: argparse.ArgumentParser) -> int:
+    """Telemetry dump: instrumented load test → metric/span export.
+
+    Runs the concurrent load test with a :class:`~repro.obs.Telemetry`
+    bundle attached, then exports the merged registry (counters,
+    gauges, streaming latency histograms) and sampled spans in the
+    requested format.  The rendered load-test report (including live
+    histogram percentiles) goes to stderr so stdout stays parseable;
+    ``--out`` writes the export to a file instead.
+    """
+    if args.sample_every < 0:
+        parser.error("--sample-every must be >= 0")
+    if args.slow_ms is not None and args.slow_ms < 0:
+        parser.error("--slow-ms must be >= 0")
+    if args.threads < 1:
+        parser.error("--threads must be >= 1")
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    config = PRESETS[args.preset]
+    telemetry = Telemetry(
+        sample_every=args.sample_every, slow_ms=args.slow_ms
+    )
+    start = time.perf_counter()
+    result = loadgen.run(
+        config,
+        threads=args.threads,
+        requests_per_thread=args.requests,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        duplicate_rate=args.duplicate_rate,
+        seed=args.seed,
+        include_drift=args.drift,
+        telemetry=telemetry,
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"\n== {result.experiment_id} ({elapsed:.1f}s) ==",
+        file=sys.stderr,
+    )
+    print(result.rendered, file=sys.stderr)
+    snapshot = telemetry.snapshot()
+    if args.obs_format == "prometheus":
+        rendered = render_prometheus(snapshot)
+    else:
+        rendered = render_json(snapshot)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+            if not rendered.endswith("\n"):
+                fh.write("\n")
+        print(
+            f"wrote {args.obs_format} telemetry export -> {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        print(rendered)
+    return 0
+
+
 def _cmd_track(args, parser: argparse.ArgumentParser) -> int:
     """Trajectory tracking: replay a walking fleet, score the gain."""
     if args.devices < 1:
@@ -654,6 +772,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_load_test(args, parser)
         if args.experiment == "track":
             return _cmd_track(args, parser)
+        if args.experiment == "obs":
+            return _cmd_obs(args, parser)
     except ReproError as exc:
         # Expected pipeline failures (bad artifact kind, AP-count
         # mismatch, …) are user errors, not tracebacks.
@@ -679,6 +799,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 artifact_path=args.artifact,
                 spatial_index=args.spatial_index,
                 kernel=args.kernel,
+                telemetry=args.telemetry,
             )
         else:
             result = module.run(config)

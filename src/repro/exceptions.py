@@ -66,3 +66,8 @@ class IngestError(ReproError):
 class TrackingError(ReproError):
     """Raised by the trajectory-tracking subsystem on bad motion
     configs, unknown/expired sessions or invalid step batches."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the telemetry layer on metric type/shape conflicts
+    or malformed exports."""

@@ -1,0 +1,129 @@
+"""Exporters: registry snapshots → JSON text / Prometheus text.
+
+Both exporters consume the plain dict produced by
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (or a
+:meth:`Telemetry.snapshot` bundle, which nests one under
+``"metrics"``), so a snapshot taken on a fleet parent after merging
+worker deltas renders the whole fleet in one shot.
+
+The Prometheus rendering follows the text exposition format:
+
+* counters  → ``repro_<name>_total{labels} value``
+* gauges    → ``repro_<name>{labels} value``
+* histograms → cumulative ``_bucket{le="…"}`` series plus ``_sum``
+  and ``_count``, with the overflow bucket as ``le="+Inf"``.
+
+Metric names are sanitised (``.`` → ``_``); a minimal
+:func:`parse_prometheus` validates the output line-by-line so CI can
+assert the export parses without a prometheus client dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Tuple
+
+from ..exceptions import ObservabilityError
+from .metrics import parse_key
+
+__all__ = [
+    "render_json",
+    "render_prometheus",
+    "parse_prometheus",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: ``name{labels} value`` — the only sample shape we emit.
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(\{[^{}]*\})?"
+    r" ([0-9eE+.\-]+|[+-]?Inf|NaN)$"
+)
+
+
+def _prom_name(name: str, prefix: str = "repro") -> str:
+    return f"{prefix}_{_NAME_OK.sub('_', name)}"
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_NAME_OK.sub("_", k)}="{v}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_json(snapshot: Dict, *, indent: int = 2) -> str:
+    """A registry (or telemetry) snapshot as deterministic JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def render_prometheus(snapshot: Dict) -> str:
+    """Render a snapshot in Prometheus text exposition format.
+
+    Accepts either a bare registry snapshot or a telemetry bundle
+    carrying one under ``"metrics"``.
+    """
+    if "metrics" in snapshot and "counters" not in snapshot:
+        snapshot = snapshot["metrics"]
+    lines: List[str] = []
+
+    for key in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][key]
+        name, labels = parse_key(key)
+        pname = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname}{_prom_labels(labels)} {value}")
+
+    for key in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][key]
+        name, labels = parse_key(key)
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname}{_prom_labels(labels)} {value}")
+
+    for key in sorted(snapshot.get("histograms", {})):
+        payload = snapshot["histograms"][key]
+        name, labels = parse_key(key)
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        cum = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cum += int(count)
+            le = _prom_labels(labels, f'le="{bound}"')
+            lines.append(f"{pname}_bucket{le} {cum}")
+        cum += int(payload["counts"][-1])
+        le = _prom_labels(labels, 'le="+Inf"')
+        lines.append(f"{pname}_bucket{le} {cum}")
+        lab = _prom_labels(labels)
+        lines.append(f"{pname}_sum{lab} {payload['total']}")
+        lines.append(f"{pname}_count{lab} {cum}")
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> List[Tuple[str, str, float]]:
+    """Validate Prometheus text format, returning
+    ``(name, labels_text, value)`` samples.
+
+    Raises :class:`~repro.exceptions.ObservabilityError` on any line
+    that is neither a comment nor a well-formed sample — the CI
+    smoke's "does the export parse" assert.
+    """
+    samples: List[Tuple[str, str, float]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ObservabilityError(
+                f"prometheus line {lineno} does not parse: {line!r}"
+            )
+        name, labels, value = m.groups()
+        samples.append((name, labels or "", float(value)))
+    return samples

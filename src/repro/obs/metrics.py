@@ -1,0 +1,540 @@
+"""Streaming metrics: counters, gauges, and log-bucket histograms.
+
+The serving stack's stats objects (``ServiceStats``, ``WorkerStats``,
+…) all follow the same discipline: accumulate locally while computing,
+publish in one critical section, snapshot under that same lock.  This
+module factors that discipline into reusable metric primitives so the
+legacy dataclasses can become thin *views* over one shared
+:class:`MetricsRegistry` — and so live latency distributions exist on
+the server, not just in the offline load generator.
+
+Write-path design (the part that must stay off the profile):
+
+* :class:`Counter` and :class:`Histogram` accumulate into
+  **per-thread cells** — plain objects owned by exactly one writer
+  thread, appended to the metric's cell list (under the registry
+  lock) only on each thread's first touch.  The hot ``add``/``record``
+  is then an unsynchronised read-modify-write of thread-private state:
+  no lock, no contention, no false sharing.
+* Readers merge the cells.  A merge can miss a write that is still
+  in flight (the value is *stale*, bounded by one increment) but can
+  never observe a torn multi-field invariant **within** one metric:
+  a histogram's count is *derived* from its bucket counts
+  (``counts.sum()``), so "sum of buckets == records observed" holds
+  by construction in every snapshot.
+* Cross-**metric** atomicity (e.g. ``queries == hits + misses``) is
+  the caller's contract, exactly as before: services mutate their
+  counters under their existing service lock and build their stats
+  view under that same lock.  The registry does not impose a global
+  ordering it cannot cheaply provide.
+
+``reset()`` and ``drain()`` are watermark-based: cells are never
+zeroed from a foreign thread (that would race the owner's
+read-modify-write); instead the metric records the merged value at
+reset/drain time and subtracts it.  Handles stay valid across resets.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ObservabilityError
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "BUCKET_FACTOR",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Log-spaced latency bucket upper edges, in seconds: 8 buckets per
+#: decade from 1 µs to 10 s (factor ``10 ** (1/8) ≈ 1.334`` between
+#: adjacent edges).  Quantiles read from these buckets are therefore
+#: within one bucket width (~33%) of the exact order statistic — tight
+#: enough to rank p50/p95/p99 regressions, cheap enough to keep on the
+#: serve path.  Values above 10 s land in a final overflow bucket.
+LATENCY_BUCKETS = tuple(
+    float(v) for v in 10.0 ** (np.arange(-48, 9) / 8.0)
+)
+
+#: Multiplicative width of one latency bucket.
+BUCKET_FACTOR = float(10.0 ** (1.0 / 8.0))
+
+
+def render_key(name: str, labels: Dict[str, str]) -> str:
+    """``name{k="v",…}`` with sorted label keys — the registry key."""
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{k}="{labels[k]}"' for k in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`render_key` (labels must not contain ``","``)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        if not pair:
+            continue
+        k, _, v = pair.partition("=")
+        labels[k] = v.strip('"')
+    return name, labels
+
+
+class _CounterCell:
+    """One thread's private accumulator for one counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class _HistogramCell:
+    """One thread's private bucket counts + value sum."""
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = np.zeros(n_buckets, dtype=np.int64)
+        self.total = 0.0
+
+
+class Counter:
+    """Monotone sum with per-thread accumulation cells.
+
+    ``add`` is wait-free after a thread's first touch; ``value``
+    merges the cells (stale by at most the writes still in flight,
+    never torn below the float level).  Created via
+    :meth:`MetricsRegistry.counter`.
+    """
+
+    __slots__ = (
+        "name", "labels", "_lock", "_tls", "_cells",
+        "_offset", "_drained",
+    )
+
+    def __init__(
+        self, name: str, labels: Dict[str, str], lock: threading.RLock
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = lock
+        self._tls = threading.local()
+        self._cells: List[_CounterCell] = []
+        self._offset = 0.0   # merged value at last reset()
+        self._drained = 0.0  # merged value at last drain()
+
+    def add(self, n: float = 1.0) -> None:
+        tls = self._tls
+        cell = getattr(tls, "cell", None)
+        if cell is None:
+            cell = _CounterCell()
+            with self._lock:
+                self._cells.append(cell)
+            tls.cell = cell
+        cell.value += n
+
+    def _raw(self) -> float:
+        return sum(cell.value for cell in self._cells)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._raw() - self._offset
+
+    def reset(self) -> None:
+        with self._lock:
+            raw = self._raw()
+            self._offset = raw
+            self._drained = raw
+
+    def drain(self) -> float:
+        """Value accumulated since the last drain (for delta export)."""
+        with self._lock:
+            raw = self._raw()
+            delta = raw - self._drained
+            self._drained = raw
+            return delta
+
+
+class Gauge:
+    """A point-in-time value (bytes resident, venues known, …).
+
+    Gauge updates are rare (load/evict events, snapshot syncs), so
+    they simply take the registry lock — no cell machinery.
+    """
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(
+        self, name: str, labels: Dict[str, str], lock: threading.RLock
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    def set_max(self, value: float) -> None:
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        self.set(0.0)
+
+    def drain(self) -> float:
+        """Gauges export their *current* value, not a delta."""
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket streaming histogram with per-thread cells.
+
+    ``bounds`` are ascending bucket *upper* edges; a value ``v`` lands
+    in the first bucket with ``v <= bound`` (one trailing overflow
+    bucket catches the rest), so ``record`` is one ``searchsorted``
+    plus two thread-private increments.  ``count`` is derived from the
+    bucket counts, so no snapshot can ever show a count that
+    disagrees with its buckets.
+    """
+
+    __slots__ = (
+        "name", "labels", "_lock", "_tls", "_cells",
+        "_bounds", "_nb",
+        "_offset_counts", "_offset_total",
+        "_drained_counts", "_drained_total",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        lock: threading.RLock,
+        bounds: Iterable[float],
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = lock
+        self._tls = threading.local()
+        self._cells: List[_HistogramCell] = []
+        self._bounds = np.asarray(tuple(bounds), dtype=np.float64)
+        if self._bounds.ndim != 1 or self._bounds.size == 0:
+            raise ObservabilityError(
+                f"histogram {name!r}: bounds must be a non-empty "
+                "1-D sequence"
+            )
+        if np.any(np.diff(self._bounds) <= 0):
+            raise ObservabilityError(
+                f"histogram {name!r}: bounds must be strictly "
+                "increasing"
+            )
+        self._nb = self._bounds.size + 1  # + overflow bucket
+        self._offset_counts = np.zeros(self._nb, dtype=np.int64)
+        self._offset_total = 0.0
+        self._drained_counts = np.zeros(self._nb, dtype=np.int64)
+        self._drained_total = 0.0
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self._bounds.copy()
+
+    def _cell(self) -> _HistogramCell:
+        tls = self._tls
+        cell = getattr(tls, "cell", None)
+        if cell is None:
+            cell = _HistogramCell(self._nb)
+            with self._lock:
+                self._cells.append(cell)
+            tls.cell = cell
+        return cell
+
+    def record(self, value: float) -> None:
+        cell = self._cell()
+        idx = int(self._bounds.searchsorted(value, side="left"))
+        cell.counts[idx] += 1
+        cell.total += value
+
+    def record_n(self, value: float, n: int) -> None:
+        """``n`` observations of the same value in one bump — for
+        batch paths where every request in the batch saw the same
+        wall-clock latency."""
+        cell = self._cell()
+        idx = int(self._bounds.searchsorted(value, side="left"))
+        cell.counts[idx] += n
+        cell.total += value * n
+
+    def record_many(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        cell = self._cell()
+        idx = self._bounds.searchsorted(values, side="left")
+        np.add.at(cell.counts, idx, 1)
+        cell.total += float(values.sum())
+
+    def _raw(self) -> Tuple[np.ndarray, float]:
+        counts = np.zeros(self._nb, dtype=np.int64)
+        total = 0.0
+        for cell in self._cells:
+            counts += cell.counts
+            total += cell.total
+        return counts, total
+
+    @property
+    def counts(self) -> np.ndarray:
+        with self._lock:
+            counts, _ = self._raw()
+            return counts - self._offset_counts
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            _, total = self._raw()
+            return total - self._offset_total
+
+    def quantile(self, q: float) -> float:
+        """Upper edge of the bucket holding the ``q``-quantile
+        (``q`` in [0, 1]) — within one bucket width of exact."""
+        return histogram_quantile(self._bounds, self.counts, q)
+
+    def reset(self) -> None:
+        with self._lock:
+            counts, total = self._raw()
+            self._offset_counts = counts
+            self._offset_total = total
+            self._drained_counts = counts.copy()
+            self._drained_total = total
+
+    def drain(self) -> Optional[Dict[str, object]]:
+        """Bucket-count delta since the last drain, or ``None`` if
+        nothing was recorded in the interval."""
+        with self._lock:
+            counts, total = self._raw()
+            delta = counts - self._drained_counts
+            dtotal = total - self._drained_total
+            self._drained_counts = counts
+            self._drained_total = total
+            if not delta.any():
+                return None
+            return {
+                "bounds": self._bounds.tolist(),
+                "counts": delta.tolist(),
+                "total": float(dtotal),
+            }
+
+    def merge_counts(self, counts: np.ndarray, total: float) -> None:
+        """Fold a drained delta from another registry (e.g. a fleet
+        worker) into the calling thread's cell."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.size != self._nb:
+            raise ObservabilityError(
+                f"histogram {self.name!r}: cannot merge "
+                f"{counts.size} buckets into {self._nb}"
+            )
+        cell = self._cell()
+        cell.counts += counts
+        cell.total += float(total)
+
+    def snapshot_dict(self) -> Dict[str, object]:
+        with self._lock:
+            counts, total = self._raw()
+            return {
+                "bounds": self._bounds.tolist(),
+                "counts": (counts - self._offset_counts).tolist(),
+                "total": float(total - self._offset_total),
+            }
+
+
+def histogram_quantile(
+    bounds: np.ndarray, counts: np.ndarray, q: float
+) -> float:
+    """Prometheus-style quantile: the upper edge of the bucket where
+    the cumulative count first reaches ``q * total``.
+
+    Returns 0.0 for an empty histogram and clamps the overflow bucket
+    to the top edge (the histogram cannot see past its last bound).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    cum = np.cumsum(counts)
+    idx = int(cum.searchsorted(q * total, side="left"))
+    bounds = np.asarray(bounds, dtype=np.float64)
+    if idx >= bounds.size:
+        return float(bounds[-1])
+    return float(bounds[idx])
+
+
+class MetricsRegistry:
+    """Named metrics, keyed by ``name{labels}``, with atomic-enough
+    snapshot / delta-drain / merge / reset.
+
+    One registry per service (or per fleet worker); fleet workers
+    :meth:`drain` deltas over their pipes each tick and the parent
+    :meth:`merge`\\ s them into one fleet view.  ``snapshot()``
+    returns a plain JSON-able dict — the input shape the exporters in
+    :mod:`repro.obs.export` render.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, object] = {}
+
+    @property
+    def lock(self) -> threading.RLock:
+        return self._lock
+
+    def _get(self, cls, name: str, labels: Dict[str, str], **kw):
+        key = render_key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, labels, self._lock, **kw)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise ObservabilityError(
+                    f"metric {key!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Iterable[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        if bounds is None:
+            bounds = LATENCY_BUCKETS
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    def get(self, key: str):
+        """Look up an existing metric by rendered key, or ``None``."""
+        with self._lock:
+            return self._metrics.get(key)
+
+    def labelled(
+        self, name: str
+    ) -> List[Tuple[Dict[str, str], object]]:
+        """All metrics sharing ``name`` (any labels)."""
+        with self._lock:
+            return [
+                (m.labels, m)
+                for m in self._metrics.values()
+                if m.name == name
+            ]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-able snapshot of every metric.
+
+        Per-metric consistency is guaranteed (a histogram's count is
+        its bucket sum); cross-metric consistency holds exactly when
+        the mutators serialise under one external lock, as the
+        serving stats views do.
+        """
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        with self._lock:
+            for key, metric in sorted(self._metrics.items()):
+                if isinstance(metric, Counter):
+                    out["counters"][key] = metric.value
+                elif isinstance(metric, Gauge):
+                    out["gauges"][key] = metric.value
+                else:
+                    out["histograms"][key] = metric.snapshot_dict()
+        return out
+
+    def drain(
+        self, gauge_labels: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Dict[str, object]]:
+        """Everything accumulated since the last drain, as a
+        picklable delta dict for :meth:`merge`.
+
+        Counters and histograms ship deltas (summable across
+        sources); gauges ship absolute values, optionally re-labelled
+        with ``gauge_labels`` (e.g. ``{"worker": "3"}``) so gauges
+        from different sources never clobber each other last-wins.
+        """
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        with self._lock:
+            for key, metric in self._metrics.items():
+                if isinstance(metric, Counter):
+                    delta = metric.drain()
+                    if delta:
+                        out["counters"][key] = delta
+                elif isinstance(metric, Gauge):
+                    if gauge_labels:
+                        labels = dict(metric.labels)
+                        labels.update(gauge_labels)
+                        key = render_key(metric.name, labels)
+                    out["gauges"][key] = metric.value
+                else:
+                    delta = metric.drain()
+                    if delta is not None:
+                        out["histograms"][key] = delta
+        return out
+
+    def merge(self, delta: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`drain` payload into this registry."""
+        for key, value in delta.get("counters", {}).items():
+            name, labels = parse_key(key)
+            self.counter(name, **labels).add(float(value))
+        for key, value in delta.get("gauges", {}).items():
+            name, labels = parse_key(key)
+            self.gauge(name, **labels).set(float(value))
+        for key, payload in delta.get("histograms", {}).items():
+            name, labels = parse_key(key)
+            hist = self.histogram(
+                name, bounds=payload["bounds"], **labels
+            )
+            hist.merge_counts(
+                np.asarray(payload["counts"], dtype=np.int64),
+                float(payload["total"]),
+            )
+
+    def reset(self) -> None:
+        """Zero every metric in place; existing handles stay valid."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()

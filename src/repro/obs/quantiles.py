@@ -1,0 +1,54 @@
+"""Shared latency-percentile helpers.
+
+``serving/fleetbench.py`` and ``serving/loadgen.py`` each used to
+hand-roll p50/p95/p99 from raw latency arrays; this is the one
+implementation both now call.  Where a registry histogram is present,
+:func:`histogram_percentiles_ms` derives the same percentiles from
+live bucket counts — within one bucket width
+(:data:`~repro.obs.metrics.BUCKET_FACTOR`) of the exact order
+statistic, which is the acceptance contract the telemetry tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .metrics import Histogram, histogram_quantile
+
+__all__ = ["percentiles_ms", "histogram_percentiles_ms"]
+
+#: The percentiles every serving report quotes.
+PERCENTILES = (50, 95, 99)
+
+
+def percentiles_ms(
+    latencies_s: Sequence[float],
+    percentiles: Sequence[int] = PERCENTILES,
+) -> Dict[str, float]:
+    """Exact percentiles of raw latencies (seconds in, ms out).
+
+    Empty input yields all-zero percentiles, matching the legacy
+    behaviour of both former call sites.
+    """
+    lat_ms = 1e3 * np.asarray(
+        latencies_s if len(latencies_s) else [0.0], dtype=np.float64
+    )
+    return {
+        f"p{p}_ms": float(np.percentile(lat_ms, p))
+        for p in percentiles
+    }
+
+
+def histogram_percentiles_ms(
+    hist: Histogram,
+    percentiles: Sequence[int] = PERCENTILES,
+) -> Dict[str, float]:
+    """Live percentiles from a latency histogram's bucket counts."""
+    bounds = hist.bounds
+    counts = hist.counts
+    return {
+        f"p{p}_ms": 1e3 * histogram_quantile(bounds, counts, p / 100)
+        for p in percentiles
+    }

@@ -1,0 +1,82 @@
+"""The telemetry bundle services attach: one registry + one tracer.
+
+A :class:`Telemetry` is what flows through constructor keywords
+(``PositioningService(telemetry=…)``, ``ShardFleet(telemetry=…)``,
+``loadgen.run(telemetry=…)``): the metrics registry the service binds
+its counters/histograms to, the tracer that samples request spans,
+and — on a fleet parent — the landing zone for span payloads shipped
+back from worker processes (:meth:`ingest`).
+
+:meth:`snapshot` bundles everything an exporter needs:
+``{"metrics": …, "spans": […], "slow_queries": […]}``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from threading import RLock
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """One registry + one tracer + remote-span intake."""
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        *,
+        sample_every: int = 64,
+        slow_ms: Optional[float] = None,
+        keep_remote: int = 256,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else (
+            MetricsRegistry()
+        )
+        self.tracer = tracer if tracer is not None else Tracer(
+            sample_every=sample_every, slow_ms=slow_ms
+        )
+        self._lock = RLock()
+        self._remote_spans: deque = deque(maxlen=keep_remote)
+        self._remote_slow: deque = deque(maxlen=keep_remote)
+
+    def ingest(self, payload: Dict[str, object]) -> None:
+        """Fold one worker delta (metrics + span dicts) into the
+        fleet view — called by the parent's collector threads."""
+        metrics = payload.get("metrics")
+        if metrics:
+            self.metrics.merge(metrics)
+        spans = payload.get("spans")
+        slow = payload.get("slow")
+        if spans or slow:
+            with self._lock:
+                if spans:
+                    self._remote_spans.extend(spans)
+                if slow:
+                    self._remote_slow.extend(slow)
+
+    def spans(self) -> List[Dict[str, object]]:
+        """Retained span trees as dicts: local tracer + remote."""
+        out = [s.to_dict() for s in self.tracer.traces()]
+        with self._lock:
+            out.extend(self._remote_spans)
+        return out
+
+    def slow_queries(self) -> List[Dict[str, object]]:
+        out = [s.to_dict() for s in self.tracer.slow_queries()]
+        with self._lock:
+            out.extend(self._remote_slow)
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able bundle for the exporters."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.spans(),
+            "slow_queries": self.slow_queries(),
+        }

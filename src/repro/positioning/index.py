@@ -173,6 +173,27 @@ class KernelStats:
             )
             return out
 
+    def to_metrics(self, metrics, prefix: str = "kernel") -> None:
+        """Sync this accumulator into an obs
+        :class:`~repro.obs.MetricsRegistry` as counters.
+
+        Idempotent: each counter is topped up by the difference
+        between the current snapshot and its present value, so
+        repeated syncs (the fleet workers call this every tick, the
+        bench once per section) never double-count.  This is how the
+        legacy per-process accumulator joins the unified registry
+        without touching its lock-per-``add`` hot path.
+        """
+        snap = self.snapshot()
+        for stage in self._FIELDS:
+            counter = metrics.counter(f"{prefix}.{stage[:-2]}_seconds")
+            counter.add(snap[stage] - counter.value)
+        counter = metrics.counter(f"{prefix}.busy_seconds")
+        counter.add(snap["busy_s"] - counter.value)
+        for name in ("candidates", "gemm_rows", "queries", "calls"):
+            counter = metrics.counter(f"{prefix}.{name}")
+            counter.add(snap[name] - counter.value)
+
 
 #: Module singleton read by the serve bench and the fleet workers.
 KERNEL_STATS = KernelStats()

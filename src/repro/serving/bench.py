@@ -55,6 +55,7 @@ from ..core import TopoACDifferentiator
 from ..experiments.base import ExperimentResult
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import get_dataset
+from ..obs import Telemetry, render_prometheus
 from ..positioning import KERNEL_STATS, WKNNEstimator
 from .completion import EncoderCompletion
 from .loadgen import scan_pool
@@ -95,11 +96,12 @@ def _fleet_service(
     locations: np.ndarray,
     mode: str,
     kernel: str = "grouped",
+    telemetry: Optional[Telemetry] = None,
 ) -> PositioningService:
     estimator = WKNNEstimator(
         spatial_index=mode, spatial_kernel=kernel
     ).fit(fingerprints, locations)
-    service = PositioningService(cache_size=0)
+    service = PositioningService(cache_size=0, telemetry=telemetry)
     service.register(
         VenueShard(
             "fleet",
@@ -136,6 +138,7 @@ def run(
     artifact_path: Optional[str] = None,
     spatial_index: bool = True,
     kernel: str = "grouped",
+    telemetry: bool = False,
 ) -> ExperimentResult:
     """Benchmark the serving path on the preset's kaide venue.
 
@@ -146,6 +149,15 @@ def run(
     the CLI's ``--no-spatial-index``.  ``kernel`` picks the headline
     indexed query kernel (``--kernel``); the fleet section A/Bs it
     against the per-bucket loop either way.
+
+    ``telemetry`` (``--telemetry``) appends the observability
+    section: the fleet-scale service is re-run twice, interleaved —
+    once plain, once with a :class:`~repro.obs.Telemetry` attached
+    (span sampling at 1-in-8 plus live kernel-stage accounting) — and
+    the throughput delta lands in ``telemetry_overhead_pct`` (the
+    acceptance bar holds it under 3%).  A fully-traced batch then
+    contributes the covered span stages, a Prometheus text export and
+    a JSON snapshot under the ``telemetry`` data key.
     """
     dataset = get_dataset("kaide", config)
     rng = np.random.default_rng(config.dataset_seed)
@@ -365,6 +377,80 @@ def run(
         f"{after_qps:.0f} q/s ({precompute_speedup:.1f}x vs PR-5 path)"
     )
 
+    # Observability: what does carrying the telemetry layer cost, and
+    # does a traced request cover every kernel stage?
+    telemetry_overhead_pct = None
+    telemetry_data = None
+    if telemetry:
+        fleet_mode = "on" if spatial_index else "off"
+        plain_svc = _fleet_service(
+            fleet_fp, fleet_rps, fleet_mode, kernel=kernel
+        )
+        instr_svc = _fleet_service(
+            fleet_fp,
+            fleet_rps,
+            fleet_mode,
+            kernel=kernel,
+            telemetry=Telemetry(sample_every=8),
+        )
+        fleet_keys = ["fleet"] * len(fleet_q)
+        plain_svc.query_batch(fleet_keys, fleet_q)  # warm-up
+        instr_svc.query_batch(fleet_keys, fleet_q)
+        plain_s = instr_s = np.inf
+        # Interleaved best-of, like the kernel A/B above.  The
+        # KERNEL_STATS toggle is part of the instrumented
+        # configuration (it is what prices the per-stage timers), so
+        # it flips around the instrumented rounds only.
+        for _ in range(max(rounds, 5)):
+            start = time.perf_counter()
+            plain_svc.query_batch(fleet_keys, fleet_q)
+            plain_s = min(plain_s, time.perf_counter() - start)
+            KERNEL_STATS.enable()
+            try:
+                start = time.perf_counter()
+                instr_svc.query_batch(fleet_keys, fleet_q)
+                instr_s = min(
+                    instr_s, time.perf_counter() - start
+                )
+            finally:
+                KERNEL_STATS.disable()
+        telemetry_overhead_pct = 1e2 * (instr_s - plain_s) / plain_s
+
+        # Span coverage: one fully-traced batch (sample_every=1)
+        # must reach every kernel stage.
+        smoke_tel = Telemetry(sample_every=1)
+        smoke_svc = _fleet_service(
+            fleet_fp,
+            fleet_rps,
+            fleet_mode,
+            kernel=kernel,
+            telemetry=smoke_tel,
+        )
+        KERNEL_STATS.reset()
+        KERNEL_STATS.enable()
+        try:
+            smoke_svc.query_batch(fleet_keys, fleet_q)
+        finally:
+            KERNEL_STATS.disable()
+        KERNEL_STATS.to_metrics(smoke_tel.metrics)
+        KERNEL_STATS.reset()
+        span_stages: set = set()
+        for root in smoke_tel.tracer.traces():
+            span_stages |= root.stage_names()
+        snapshot = smoke_tel.snapshot()
+        telemetry_data = {
+            "overhead_pct": telemetry_overhead_pct,
+            "span_stages": sorted(span_stages),
+            "prometheus": render_prometheus(snapshot),
+            "snapshot": snapshot,
+        }
+        lines.append(
+            f"telemetry: plain {len(fleet_q) / plain_s:.0f} q/s | "
+            f"instrumented {len(fleet_q) / instr_s:.0f} q/s "
+            f"({telemetry_overhead_pct:+.2f}% overhead) | "
+            f"{len(span_stages)} span stages covered"
+        )
+
     return ExperimentResult(
         experiment_id="Serving bench",
         rendered="\n".join(lines),
@@ -395,5 +481,7 @@ def run(
             "bisim_before_throughput": before_qps,
             "bisim_after_throughput": after_qps,
             "precompute_speedup": precompute_speedup,
+            "telemetry_overhead_pct": telemetry_overhead_pct,
+            "telemetry": telemetry_data,
         },
     )

@@ -55,8 +55,12 @@ errors.
 The request protocol is deliberately tiny — tuples over
 ``multiprocessing.Pipe``: parent sends ``("batch", [(rid, venue,
 row), ...])``, worker answers ``("done", rids, (n, 2) locations,
-errors)``; ``("stats", token)`` / ``("stop",)`` round out the set.
-Bundles keep the pickle overhead per request to a few microseconds.
+errors, telemetry)`` where ``telemetry`` is the worker's metric/span
+delta since its last answer (:meth:`~repro.obs.MetricsRegistry.
+drain`), folded by the parent into one fleet-wide
+:class:`~repro.obs.Telemetry` view; ``("stats", token)`` /
+``("stop",)`` round out the set.  Bundles keep the pickle overhead
+per request to a few microseconds.
 """
 
 from __future__ import annotations
@@ -65,7 +69,7 @@ import os
 import threading
 import time
 import zlib
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -79,6 +83,7 @@ from ..artifacts import (
     mappable_members,
 )
 from ..exceptions import ArtifactError, ServingError
+from ..obs import MetricsRegistry, Telemetry, Tracer
 from ..positioning import KERNEL_STATS
 from .keys import ShardKey, coerce_key
 from .pipeline import Ticket
@@ -126,6 +131,12 @@ class RegistryStats:
     shard's footprint into anonymous memory vs read-only maps —
     eviction returns both, but mapped pages were only ever page cache.
     ``peak_bytes`` tracks the high-water total against the budget.
+
+    Since the telemetry layer landed this is a *view*: the registry
+    keeps its counters in ``registry.*`` metrics on a
+    :class:`~repro.obs.MetricsRegistry` and builds this dataclass on
+    demand, so fleet workers can drain the same numbers over their
+    pipes as metric deltas.
     """
 
     lazy_loads: int = 0
@@ -206,6 +217,12 @@ class ShardRegistry:
         cached answers).  This turns the existing single-process
         service into a lazy, memory-budgeted deployment — the fleet
         benchmark's baseline.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` to bind the
+        ``registry.*`` counters and byte gauges to (fleet workers
+        pass their per-process registry so one pipe drain ships
+        load/evict counters next to the serve counters).  A private
+        registry is created when omitted.
 
     Thread-safe; loads serialize on the registry lock.
     """
@@ -217,6 +234,7 @@ class ShardRegistry:
         *,
         memory_budget_mb: Optional[float] = None,
         service: Optional[PositioningService] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self._store = (
             store
@@ -236,7 +254,18 @@ class ShardRegistry:
         self._order: List[str] = []  # LRU … MRU
         self._specs: Dict[str, _LoadSpec] = {}
         self._lock = threading.RLock()
-        self._stats = RegistryStats()
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        m = self.metrics
+        self._c_lazy = m.counter("registry.lazy_loads")
+        self._c_fast = m.counter("registry.fast_reloads")
+        self._c_evict = m.counter("registry.evictions")
+        self._c_hits = m.counter("registry.hits")
+        self._c_load_s = m.counter("registry.load_seconds")
+        self._g_resident = m.gauge("registry.resident_bytes")
+        self._g_mapped = m.gauge("registry.mapped_bytes")
+        self._g_peak = m.gauge("registry.peak_bytes")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -266,11 +295,21 @@ class ShardRegistry:
     @property
     def stats(self) -> RegistryStats:
         with self._lock:
-            return replace(
-                self._stats,
+            return RegistryStats(
+                lazy_loads=int(self._c_lazy.value),
+                fast_reloads=int(self._c_fast.value),
+                evictions=int(self._c_evict.value),
+                hits=int(self._c_hits.value),
+                load_seconds=self._c_load_s.value,
+                resident_bytes=int(self._g_resident.value),
+                mapped_bytes=int(self._g_mapped.value),
+                peak_bytes=int(self._g_peak.value),
                 resident_venues=len(self._entries),
                 known_venues=len(self._mapping),
             )
+
+    def _total_bytes(self) -> int:
+        return int(self._g_resident.value + self._g_mapped.value)
 
     def add(self, venue: Union[str, ShardKey], key: str) -> None:
         """Register (or re-point) a venue's artifact key."""
@@ -298,7 +337,7 @@ class ShardRegistry:
                 if self._order[-1] != venue:
                     self._order.remove(venue)
                     self._order.append(venue)
-                self._stats.hits += 1
+                self._c_hits.add(1)
                 return entry.shard
             key = self._mapping.get(venue)
             if key is None:
@@ -319,15 +358,14 @@ class ShardRegistry:
                     spec.footprint = (resident, mapped)
             self._entries[venue] = _Resident(shard, resident, mapped)
             self._order.append(venue)
-            stats = self._stats
-            stats.lazy_loads += 1
-            stats.load_seconds += time.perf_counter() - t0
-            stats.resident_bytes += resident
-            stats.mapped_bytes += mapped
+            self._c_lazy.add(1)
+            self._c_load_s.add(time.perf_counter() - t0)
+            self._g_resident.add(resident)
+            self._g_mapped.add(mapped)
             if self._service is not None:
                 self._service.register(shard)
             self._enforce_budget()
-            stats.peak_bytes = max(stats.peak_bytes, stats.total_bytes)
+            self._g_peak.set_max(self._total_bytes())
             return shard
 
     def _load(self, venue: str, key: str) -> Tuple[VenueShard, bool]:
@@ -337,7 +375,7 @@ class ShardRegistry:
         if spec is not None:
             shard = self._try_fast_load(venue, spec)
             if shard is not None:
-                self._stats.fast_reloads += 1
+                self._c_fast.add(1)
                 return shard, True
             # Spec went stale (file replaced/retouched): fall through
             # to a full verified load, which refreshes it.
@@ -400,7 +438,7 @@ class ShardRegistry:
         if self._budget is None:
             return
         while (
-            self._stats.total_bytes > self._budget
+            self._total_bytes() > self._budget
             and len(self._order) > 1
         ):
             self._evict_locked(self._order[0])
@@ -408,9 +446,9 @@ class ShardRegistry:
     def _evict_locked(self, venue: str) -> None:
         entry = self._entries.pop(venue)
         self._order.remove(venue)
-        self._stats.evictions += 1
-        self._stats.resident_bytes -= entry.resident
-        self._stats.mapped_bytes -= entry.mapped
+        self._c_evict.add(1)
+        self._g_resident.add(-entry.resident)
+        self._g_mapped.add(-entry.mapped)
         if self._service is not None:
             self._service.unregister(venue)
 
@@ -575,6 +613,8 @@ def _worker_main(
     mapping: Dict[str, str],
     budget_mb: Optional[float],
     worker_id: int,
+    trace_sample_every: int = 0,
+    slow_ms: Optional[float] = None,
 ) -> None:
     """One fleet worker: drain the pipe, serve per-venue batches.
 
@@ -583,11 +623,24 @@ def _worker_main(
     many bundles, and each venue in the tick costs one ``locate()``
     regardless of how many requests it received.  Module-level (not a
     closure) so the ``spawn`` start method can import it.
+
+    The worker keeps its counters in a per-process
+    :class:`~repro.obs.MetricsRegistry` (shared with its shard
+    registry) and ships the delta since its last answer inside every
+    ``"done"`` message; when ``trace_sample_every`` is positive it
+    also samples span trees per venue batch and ships those alongside.
     """
+    metrics = MetricsRegistry()
     registry = ShardRegistry(
         ArtifactStore(store_root),
         mapping,
         memory_budget_mb=budget_mb,
+        metrics=metrics,
+    )
+    tracer = (
+        Tracer(sample_every=trace_sample_every, slow_ms=slow_ms)
+        if trace_sample_every > 0
+        else None
     )
     # Attribute this worker's serve time to the indexed query kernel
     # (each worker is its own process, so the module singleton is
@@ -595,22 +648,37 @@ def _worker_main(
     KERNEL_STATS.reset()
     KERNEL_STATS.enable()
     started = time.perf_counter()
-    requests = ticks = batches = 0
-    busy = 0.0
+    c_requests = metrics.counter("worker.requests")
+    c_ticks = metrics.counter("worker.ticks")
+    c_batches = metrics.counter("worker.batches")
+    c_busy = metrics.counter("worker.busy_seconds")
     venues_served: set = set()
 
     def stats_payload() -> WorkerStats:
         return WorkerStats(
             worker=worker_id,
-            requests=requests,
-            ticks=ticks,
-            batches=batches,
-            busy_seconds=busy,
+            requests=int(c_requests.value),
+            ticks=int(c_ticks.value),
+            batches=int(c_batches.value),
+            busy_seconds=c_busy.value,
             kernel_busy_seconds=KERNEL_STATS.busy_seconds,
             wall_seconds=time.perf_counter() - started,
             venues_served=len(venues_served),
             registry=registry.stats,
         )
+
+    def telemetry_payload() -> Dict[str, Any]:
+        # Top the kernel.* counters up to the KERNEL_STATS snapshot
+        # so the drained delta carries per-stage kernel seconds too.
+        KERNEL_STATS.to_metrics(metrics)
+        payload: Dict[str, Any] = {
+            "metrics": metrics.drain(
+                gauge_labels={"worker": str(worker_id)}
+            )
+        }
+        if tracer is not None:
+            payload.update(tracer.drain())
+        return payload
 
     while True:
         try:
@@ -633,8 +701,8 @@ def _worker_main(
         try:
             if reqs:
                 t0 = time.perf_counter()
-                ticks += 1
-                requests += len(reqs)
+                c_ticks.add(1)
+                c_requests.add(len(reqs))
                 groups: "Dict[str, List[Tuple[int, np.ndarray]]]" = {}
                 for rid, venue, row in reqs:
                     groups.setdefault(venue, []).append((rid, row))
@@ -646,12 +714,25 @@ def _worker_main(
                     try:
                         rows = np.stack([row for _, row in items])
                         shard = registry.get(venue)
-                        located = shard.locate(rows)
+                        if tracer is not None and tracer.sample():
+                            with tracer.trace(
+                                "worker.serve",
+                                meta={
+                                    "venue": venue,
+                                    "rows": len(items),
+                                    "worker": worker_id,
+                                },
+                            ):
+                                located = shard.locate(
+                                    rows, tracer=tracer
+                                )
+                        else:
+                            located = shard.locate(rows)
                     except Exception as exc:
                         reason = f"{type(exc).__name__}: {exc}"
                         errors.extend((rid, reason) for rid in rids)
                     else:
-                        batches += 1
+                        c_batches.add(1)
                         venues_served.add(venue)
                         done_rids.extend(rids)
                         done_locs.append(located)
@@ -660,8 +741,16 @@ def _worker_main(
                     if done_locs
                     else np.empty((0, 2))
                 )
-                busy += time.perf_counter() - t0
-                conn.send(("done", done_rids, locations, errors))
+                c_busy.add(time.perf_counter() - t0)
+                conn.send(
+                    (
+                        "done",
+                        done_rids,
+                        locations,
+                        errors,
+                        telemetry_payload(),
+                    )
+                )
             for token in stat_tokens:
                 conn.send(("stats", token, stats_payload()))
             if stop:
@@ -721,6 +810,16 @@ class ShardFleet:
         ``multiprocessing`` start method; default ``"fork"`` where
         available (fast, inherits the warmed import state), else
         ``"spawn"``.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` to aggregate into.
+        The fleet always keeps an internal telemetry view (worker
+        metric deltas merge into it every ``"done"`` message, and the
+        parent records the end-to-end ``fleet.request_seconds``
+        histogram there); passing one explicitly additionally turns
+        on worker-side span sampling, configured by the telemetry
+        tracer's ``sample_every`` / ``slow_ms``, with the sampled
+        span trees shipped back and retained for
+        :meth:`Telemetry.spans`.
 
     Use as a context manager (or :meth:`start` / :meth:`close`).
     Submission is thread-safe.
@@ -736,6 +835,7 @@ class ShardFleet:
         bundle_size: int = 256,
         flush_interval_ms: float = 2.0,
         start_method: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if workers < 1:
             raise ServingError("fleet needs at least one worker")
@@ -774,17 +874,34 @@ class ShardFleet:
             )
             for wid in range(workers)
         ]
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry()
+        )
+        # Worker-side tracing costs a pipe payload per tick, so it is
+        # armed only when the caller handed us a telemetry bundle.
+        self._worker_sample_every = (
+            self.telemetry.tracer.sample_every
+            if telemetry is not None
+            else 0
+        )
+        self._worker_slow_ms = (
+            self.telemetry.tracer.slow_ms
+            if telemetry is not None
+            else None
+        )
+        m = self.telemetry.metrics
+        self._c_requests = m.counter("fleet.requests")
+        self._c_resolved = m.counter("fleet.resolved")
+        self._c_errors = m.counter("fleet.errors")
+        self._c_respawns = m.counter("fleet.respawns")
+        self._h_latency = m.histogram("fleet.request_seconds")
         self._mu = threading.Lock()
         self._done_cv = threading.Condition()
         self._pending: Dict[
-            int, Tuple[str, np.ndarray, Ticket, int]
+            int, Tuple[str, np.ndarray, Ticket, int, float]
         ] = {}
         self._next_rid = 0
         self._outstanding = 0
-        self._requests = 0
-        self._resolved = 0
-        self._errors = 0
-        self._respawns = 0
         self._stats_replies: Dict[int, WorkerStats] = {}
         self._stats_cv = threading.Condition()
         self._next_token = 0
@@ -824,6 +941,8 @@ class ShardFleet:
                 worker.mapping,
                 self._worker_budget_mb,
                 worker.index,
+                self._worker_sample_every,
+                self._worker_slow_ms,
             ),
             name=f"fleet-worker-{worker.index}",
             daemon=True,
@@ -876,7 +995,7 @@ class ShardFleet:
         if leftovers:
             now = time.perf_counter()
             with self._done_cv:
-                for _, _, ticket, _ in leftovers:
+                for _, _, ticket, _, _ in leftovers:
                     ticket.error = ServingError("fleet closed")
                     ticket.done_at = now
                     ticket.done = True
@@ -923,9 +1042,11 @@ class ShardFleet:
         with self._mu:
             rid = self._next_rid
             self._next_rid += 1
-            self._pending[rid] = (venue, row, ticket, worker.index)
+            self._pending[rid] = (
+                venue, row, ticket, worker.index, time.perf_counter()
+            )
             self._outstanding += 1
-            self._requests += 1
+            self._c_requests.add(1)
             worker.buffer.append((rid, venue, row))
             if len(worker.buffer) >= self.bundle_size:
                 bundle = worker.buffer
@@ -966,14 +1087,15 @@ class ShardFleet:
         tickets: List[Ticket] = []
         bundles: List[Tuple[_Worker, list]] = []
         with self._mu:
+            now = time.perf_counter()
+            self._c_requests.add(len(prepared))
             for venue, row, wid in prepared:
                 worker = self._workers[wid]
                 ticket = Ticket(self._done_cv)
                 rid = self._next_rid
                 self._next_rid += 1
-                self._pending[rid] = (venue, row, ticket, wid)
+                self._pending[rid] = (venue, row, ticket, wid, now)
                 self._outstanding += 1
-                self._requests += 1
                 worker.buffer.append((rid, venue, row))
                 if len(worker.buffer) >= self.bundle_size:
                     bundles.append((worker, worker.buffer))
@@ -1066,6 +1188,8 @@ class ShardFleet:
             kind = msg[0]
             if kind == "done":
                 self._resolve(msg[1], msg[2], msg[3])
+                if len(msg) > 4 and msg[4]:
+                    self.telemetry.ingest(msg[4])
             elif kind == "stats":
                 with self._stats_cv:
                     self._stats_replies[msg[1]] = msg[2]
@@ -1082,20 +1206,28 @@ class ShardFleet:
     ) -> None:
         now = time.perf_counter()
         settled: List[Tuple[Ticket, Optional[np.ndarray], Optional[BaseException]]] = []
+        latencies: List[float] = []
         with self._mu:
             for i, rid in enumerate(rids):
                 entry = self._pending.pop(rid, None)
                 if entry is not None:
                     settled.append((entry[2], locations[i], None))
+                    latencies.append(now - entry[4])
             for rid, reason in errors:
                 entry = self._pending.pop(rid, None)
                 if entry is not None:
                     settled.append(
                         (entry[2], None, ServingError(reason))
                     )
-                    self._errors += 1
+                    latencies.append(now - entry[4])
+                    self._c_errors.add(1)
             self._outstanding -= len(settled)
-            self._resolved += len(settled)
+            self._c_resolved.add(len(settled))
+            if latencies:
+                # End-to-end submit → resolution latency, including
+                # the pipe hops — the live distribution the fleet
+                # benchmark checks against loadgen's percentiles.
+                self._h_latency.record_many(np.asarray(latencies))
         if settled:
             with self._done_cv:
                 for ticket, value, error in settled:
@@ -1116,10 +1248,11 @@ class ShardFleet:
             if worker.generation != generation or self._closed:
                 return
             worker.generation += 1
-            self._respawns += 1
+            self._c_respawns.add(1)
             redo = [
                 (rid, venue, row)
-                for rid, (venue, row, _, wid) in self._pending.items()
+                for rid, (venue, row, _, wid, _)
+                in self._pending.items()
                 if wid == worker.index
             ]
             redo.extend(worker.buffer)
@@ -1180,9 +1313,9 @@ class ShardFleet:
         with self._mu:
             return FleetStats(
                 workers=collected,
-                requests=self._requests,
-                resolved=self._resolved,
-                errors=self._errors,
-                respawns=self._respawns,
+                requests=int(self._c_requests.value),
+                resolved=int(self._c_resolved.value),
+                errors=int(self._c_errors.value),
+                respawns=int(self._c_respawns.value),
                 outstanding=self._outstanding,
             )

@@ -37,18 +37,10 @@ import numpy as np
 from ..artifacts import ArtifactStore
 from ..experiments.base import ExperimentResult
 from ..experiments.config import ExperimentConfig
+from ..obs import histogram_percentiles_ms, percentiles_ms
 from .fleet import ShardFleet, ShardRegistry
 from .loadgen import fleet_schedule, synthetic_venue_pool
 from .service import PositioningService
-
-
-def _percentiles_ms(latencies: List[float]) -> Dict[str, float]:
-    lat_ms = 1e3 * np.asarray(latencies if latencies else [0.0])
-    return {
-        "p50_ms": float(np.percentile(lat_ms, 50)),
-        "p95_ms": float(np.percentile(lat_ms, 95)),
-        "p99_ms": float(np.percentile(lat_ms, 99)),
-    }
 
 
 def _auto_budget_mb(
@@ -191,6 +183,12 @@ def run(
                     fleet.wait_outstanding(window // 2, timeout=60.0)
             fleet.flush()
             fleet.wait_outstanding(0, timeout=120.0)
+            # Re-baseline the live latency histogram so it spans
+            # exactly the timed pass — the same requests the
+            # ticket-derived percentiles below are computed from.
+            fleet.telemetry.metrics.histogram(
+                "fleet.request_seconds"
+            ).reset()
             tickets = []
             submit_at = np.empty(len(schedule))
             t0 = time.perf_counter()
@@ -206,6 +204,14 @@ def run(
             fleet.wait_outstanding(0, timeout=120.0)
             fleet_elapsed = time.perf_counter() - t0
             fleet_stats = fleet.stats()
+            # Live percentiles straight off the server-side histogram
+            # (submit → resolution, both passes) — the fleet's own
+            # view of the latency distribution, no loadgen needed.
+            live_pct = histogram_percentiles_ms(
+                fleet.telemetry.metrics.histogram(
+                    "fleet.request_seconds"
+                )
+            )
 
         parity_exact = True
         errors = 0
@@ -224,8 +230,8 @@ def run(
     base_tput = len(schedule) / base_elapsed
     fleet_tput = len(schedule) / fleet_elapsed
     speedup = fleet_tput / base_tput if base_tput > 0 else 0.0
-    base_pct = _percentiles_ms(base_lat)
-    fleet_pct = _percentiles_ms(fleet_lat)
+    base_pct = percentiles_ms(base_lat)
+    fleet_pct = percentiles_ms(fleet_lat)
     per_worker = [
         {
             "worker": w.worker,
@@ -253,7 +259,10 @@ def run(
         f"fleet {workers}-proc:  {fleet_tput:>7.0f}/s "
         f"p50={fleet_pct['p50_ms']:.2f}ms "
         f"p95={fleet_pct['p95_ms']:.2f}ms "
-        f"p99={fleet_pct['p99_ms']:.2f}ms",
+        f"p99={fleet_pct['p99_ms']:.2f}ms "
+        f"(live hist p50={live_pct['p50_ms']:.2f}ms "
+        f"p95={live_pct['p95_ms']:.2f}ms "
+        f"p99={live_pct['p99_ms']:.2f}ms)",
         fleet_stats.render(),
         f"speedup {speedup:.2f}x | parity "
         f"{'bit-exact' if parity_exact else 'MISMATCH'} | "
@@ -295,6 +304,7 @@ def run(
                 "respawns": fleet_stats.respawns,
                 "kernel_utilization": fleet_stats.kernel_utilization,
                 "per_worker": per_worker,
+                "live_histogram": live_pct,
             },
         },
     )

@@ -46,6 +46,7 @@ from ..exceptions import ServingError
 from ..experiments.base import ExperimentResult
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import get_dataset
+from ..obs import Telemetry, histogram_percentiles_ms, percentiles_ms
 from ..positioning import WKNNEstimator
 from .completion import MapCompletion
 from .pipeline import ServingPipeline, Ticket
@@ -466,15 +467,16 @@ def run_scenario(
     for schedule in schedules:
         for venue, scans in schedule:
             per_venue[venue] = per_venue.get(venue, 0) + len(scans)
+    pct = percentiles_ms(lat)
     return LoadReport(
         scenario=scenario,
         threads=threads,
         requests=served,
         errors=int(sum(errors)) + apply_errors[0],
         elapsed=elapsed,
-        p50_ms=float(np.percentile(lat_ms, 50)),
-        p95_ms=float(np.percentile(lat_ms, 95)),
-        p99_ms=float(np.percentile(lat_ms, 99)),
+        p50_ms=pct["p50_ms"],
+        p95_ms=pct["p95_ms"],
+        p99_ms=pct["p99_ms"],
         mean_ms=float(lat_ms.mean()),
         max_ms=float(lat_ms.max()),
         hit_rate=d_hits / d_total if d_total else 0.0,
@@ -563,6 +565,7 @@ def run(
     warmup_per_thread: Optional[int] = None,
     seed: Optional[int] = None,
     include_drift: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentResult:
     """Deploy the preset's venues and replay a scenario mix.
 
@@ -581,6 +584,13 @@ def run(
     ``include_drift`` appends the :data:`DRIFT_SCENARIO`: ingestion
     deltas hot-apply to the first venue while its query traffic runs.
 
+    ``telemetry`` attaches an :class:`~repro.obs.Telemetry` bundle to
+    the deployed service: request spans sample through the pipeline,
+    and the returned data gains ``live_histogram`` — p50/p95/p99 read
+    from the server-side ``pipeline.request_seconds`` histogram over
+    the whole run, the live counterpart of the loadgen-computed
+    percentiles (the two agree within one histogram bucket width).
+
     Each scenario is preceded by an untimed warm-up slice
     (``warmup_per_thread`` requests per worker, default half the
     timed count) so the timed window measures steady-state serving —
@@ -590,7 +600,9 @@ def run(
     if len(venues) < 2:
         raise ServingError("load-test needs >= 2 venues")
     base_seed = config.dataset_seed if seed is None else int(seed)
-    service = PositioningService(cache_size=cache_size)
+    service = PositioningService(
+        cache_size=cache_size, telemetry=telemetry
+    )
     pools: Dict[str, np.ndarray] = {}
     rng = np.random.default_rng(base_seed)
     for venue in venues:
@@ -667,6 +679,19 @@ def run(
         f"single-caller batch-256 {baseline:.0f}/s ({ratio:.2f}x)"
     )
 
+    live_pct = None
+    if telemetry is not None:
+        live_pct = histogram_percentiles_ms(
+            telemetry.metrics.histogram("pipeline.request_seconds")
+        )
+        lines.append(
+            f"live histogram (all scenarios): "
+            f"p50={live_pct['p50_ms']:.2f}ms "
+            f"p95={live_pct['p95_ms']:.2f}ms "
+            f"p99={live_pct['p99_ms']:.2f}ms | "
+            f"{len(telemetry.spans())} spans retained"
+        )
+
     return ExperimentResult(
         experiment_id="Load test",
         rendered="\n".join(lines),
@@ -693,5 +718,10 @@ def run(
             "deltas_applied": service.stats.deltas_applied,
             "fast_path_hits": pipeline.stats.fast_path_hits,
             "mean_batch": pipeline.stats.mean_batch,
+            **(
+                {"live_histogram": live_pct}
+                if live_pct is not None
+                else {}
+            ),
         },
     )

@@ -137,8 +137,13 @@ class Ticket:
 
 
 #: One queued request: (venue, fingerprint, cache key, ticket,
-#: enqueue time) — the enqueue stamp anchors the flush deadline.
-_Entry = Tuple[str, np.ndarray, Optional[CacheKey], Ticket, float]
+#: enqueue time, span) — the enqueue stamp anchors the flush
+#: deadline; ``span`` is the sampled request's root trace span (or
+#: ``None``), opened in the submitting thread and finished by the
+#: flusher when the answer lands.
+_Entry = Tuple[
+    str, np.ndarray, Optional[CacheKey], Ticket, float, object
+]
 
 
 class ServingPipeline:
@@ -175,6 +180,13 @@ class ServingPipeline:
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay_ms) / 1e3
         self.stats = PipelineStats()
+        #: Queue-inclusive per-request latency (submit → ticket
+        #: resolution), recorded into the service's registry — this
+        #: is the histogram whose live p50/p95/p99 must agree with
+        #: loadgen-measured percentiles, since both span queueing.
+        self._h_latency = service.metrics.histogram(
+            "pipeline.request_seconds"
+        )
         self._queue: List[_Entry] = []
         self._mu = threading.Condition()
         self._done_cv = threading.Condition()
@@ -245,9 +257,11 @@ class ServingPipeline:
             # cache probe keeps a dead pipeline from mutating the
             # service stats for answers it will never deliver.
             raise ServingError("pipeline is not running")
+        t0 = time.perf_counter()
         shard = self.service.shard(venue)
         rows = shard._validate(batch)
         out, hit, keys = self.service.try_cached(venue, rows)
+        tracer = self.service.tracer
         tickets: List[Ticket] = []
         entries: List[_Entry] = []
         n_hits = 0
@@ -259,7 +273,20 @@ class ServingPipeline:
             else:
                 ticket = Ticket(self._done_cv)
                 tickets.append(ticket)
-                entries.append((venue, rows[i], keys[i], ticket, now))
+                span = (
+                    tracer.start("pipeline.request", {"venue": venue})
+                    if tracer is not None and tracer.sample()
+                    else None
+                )
+                entries.append(
+                    (venue, rows[i], keys[i], ticket, now, span)
+                )
+        if n_hits:
+            # Fast-path hits resolve in the submitting thread; their
+            # queue-inclusive latency is just the probe time.
+            self._h_latency.record_n(
+                time.perf_counter() - t0, n_hits
+            )
         with self._mu:
             if not self._started or self._stopping:
                 raise ServingError("pipeline is not running")
@@ -324,10 +351,25 @@ class ServingPipeline:
         venues = [entry[0] for entry in batch]
         rows = [entry[1] for entry in batch]
         keys = [entry[2] for entry in batch]
+        tracer = self.service.tracer
+        spans = [entry[5] for entry in batch if entry[5] is not None]
+        serve_span = None
         try:
-            out = self.service._serve_rows(
-                venues, rows, keys, time.perf_counter()
-            )
+            start = time.perf_counter()
+            if spans and tracer is not None:
+                # One serve span is shared by every sampled request
+                # in the batch — the flusher serves them together, so
+                # their trees share the batched stage breakdown.
+                serve_span = tracer.start(
+                    "serve", {"batch": len(batch)}
+                )
+                with tracer.activate(serve_span):
+                    out = self.service._serve_rows(
+                        venues, rows, keys, start
+                    )
+                serve_span.duration = time.perf_counter() - start
+            else:
+                out = self.service._serve_rows(venues, rows, keys, start)
         except BaseException as exc:  # resolve tickets, never die silent
             now = time.perf_counter()
             with self._done_cv:
@@ -337,6 +379,10 @@ class ServingPipeline:
                     ticket.done_at = now
                     ticket.done = True
                 self._done_cv.notify_all()
+            for entry in batch:
+                if entry[5] is not None and tracer is not None:
+                    entry[5].meta = {"error": type(exc).__name__}
+                    tracer.finish(entry[5])
             self.stats.failed += len(batch)
             self.stats.batches += 1
             return
@@ -348,6 +394,22 @@ class ServingPipeline:
                 ticket.done_at = now
                 ticket.done = True
             self._done_cv.notify_all()
+        # Queue-inclusive per-request latency, vectorized over the
+        # batch (one searchsorted, one scatter-add).
+        self._h_latency.record_many(
+            now - np.asarray([entry[4] for entry in batch])
+        )
+        if spans and tracer is not None:
+            for entry in batch:
+                root = entry[5]
+                if root is None:
+                    continue
+                root.child(
+                    "queue", duration=max(0.0, start - entry[4])
+                )
+                root.children.append(serve_span)
+                root.duration = now - root.start
+                tracer.finish(root)
         self.stats.flushed += len(batch)
         self.stats.batches += 1
         self.stats.largest_batch = max(

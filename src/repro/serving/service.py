@@ -55,7 +55,8 @@ import hashlib
 import threading
 import time
 from collections import Counter, OrderedDict
-from dataclasses import dataclass, field, fields, is_dataclass, replace
+from contextlib import nullcontext
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -83,8 +84,10 @@ from ..constants import MNAR_FILL
 from ..core import Differentiator
 from ..exceptions import ReproError, ServingError
 from ..imputers import fill_mnars
+from ..obs import MetricsRegistry, Telemetry
 from ..positioning import LocationEstimator, WKNNEstimator
 from ..positioning.base import NearestNeighbourEstimator
+from ..positioning.index import KERNEL_STATS
 from ..positioning.io import estimator_from_payload, estimator_payload
 from ..radiomap import RadioMap, RadioMapDelta
 from .completion import (
@@ -128,6 +131,13 @@ class ServiceStats:
     answered from the LRU cache *or* when it repeats an identical
     ``(venue, cache key)`` row earlier in the same batch — either way
     the shard computed it once and the repeat was free.
+
+    Since the unified telemetry layer landed this dataclass is a
+    *view*: the service keeps its counters in a
+    :class:`~repro.obs.MetricsRegistry` (names ``serving.*``) and
+    :attr:`PositioningService.stats` materialises this snapshot from
+    the registry under the service lock — same fields, same atomic
+    invariants, one metrics substrate.
     """
 
     queries: int = 0
@@ -888,11 +898,57 @@ class VenueShard:
             queries = completion.complete(queries)
         return estimator.predict(queries, squeeze=False)
 
-    def locate(self, queries: np.ndarray) -> np.ndarray:
-        """Full online path: complete, then batched estimation → (n, 2)."""
+    def locate(
+        self, queries: np.ndarray, *, tracer=None
+    ) -> np.ndarray:
+        """Full online path: complete, then batched estimation → (n, 2).
+
+        ``tracer`` (a :class:`~repro.obs.Tracer` with an active span)
+        opt-ins stage spans: a ``shard:<key>`` span with ``complete``
+        and ``estimate`` children, plus per-stage kernel children
+        reconstructed from ``KERNEL_STATS`` deltas when the spatial
+        index's stage timers are enabled.
+        """
         queries = self._validate(queries)
         # One tuple read = one consistent pipeline, even mid-reload.
-        return self._locate_with(self._pipeline, queries)
+        if tracer is None or tracer.current() is None:
+            return self._locate_with(self._pipeline, queries)
+        return self._locate_traced(self._pipeline, queries, tracer)
+
+    def _locate_traced(
+        self, pipeline: Pipeline, queries: np.ndarray, tracer
+    ) -> np.ndarray:
+        """:meth:`_locate_with`, with stage spans under ``tracer``.
+
+        Kernel stage durations come from ``KERNEL_STATS`` snapshot
+        deltas around the estimate — per-process, so attribution is
+        exact only while one traced batch runs the kernel at a time
+        (the pipeline's single flusher, a fleet worker's single loop).
+        """
+        estimator, _, _, completion = pipeline
+        with tracer.span(
+            f"shard:{self.key}",
+            meta={"rows": int(queries.shape[0]), "epoch": self.epoch},
+        ):
+            if completion is not None:
+                with tracer.span("complete"):
+                    queries = completion.complete(queries)
+            with tracer.span("estimate") as est_span:
+                before = (
+                    KERNEL_STATS.snapshot()
+                    if KERNEL_STATS.enabled
+                    else None
+                )
+                out = estimator.predict(queries, squeeze=False)
+                if before is not None and est_span is not None:
+                    after = KERNEL_STATS.snapshot()
+                    if after["calls"] > before["calls"]:
+                        for stage in KERNEL_STATS._FIELDS:
+                            est_span.child(
+                                f"kernel.{stage[:-2]}",
+                                duration=after[stage] - before[stage],
+                            )
+        return out
 
     def footprint(self) -> Tuple[int, int]:
         """``(resident_bytes, mapped_bytes)`` of this shard's pipeline.
@@ -971,7 +1027,11 @@ class PositioningService:
     """
 
     def __init__(
-        self, *, cache_size: int = 4096, cache_quantum: float = 1.0
+        self,
+        *,
+        cache_size: int = 4096,
+        cache_quantum: float = 1.0,
+        telemetry: Optional[Telemetry] = None,
     ):
         if cache_quantum <= 0:
             raise ServingError("cache_quantum must be positive")
@@ -981,7 +1041,44 @@ class PositioningService:
         self._lock = threading.RLock()
         self.cache_size = int(cache_size)
         self.cache_quantum = float(cache_quantum)
-        self._stats = ServiceStats()
+        #: The unified telemetry registry backing :attr:`stats`.  A
+        #: service without an attached :class:`~repro.obs.Telemetry`
+        #: still gets a private registry (the counters must live
+        #: somewhere); attaching one additionally enables sampled
+        #: request tracing via its tracer.
+        self.telemetry = telemetry
+        self.metrics: MetricsRegistry = (
+            telemetry.metrics if telemetry is not None
+            else MetricsRegistry()
+        )
+        self.tracer = telemetry.tracer if telemetry is not None else None
+        m = self.metrics
+        self._c_queries = m.counter("serving.queries")
+        self._c_batches = m.counter("serving.batches")
+        self._c_hits = m.counter("serving.cache_hits")
+        self._c_misses = m.counter("serving.cache_misses")
+        self._c_seconds = m.counter("serving.seconds")
+        self._c_deltas = m.counter("serving.deltas_applied")
+        self._c_delta_rows = m.counter("serving.delta_rows")
+        self._c_invalidated = m.counter("serving.keys_invalidated")
+        self._c_kept = m.counter("serving.keys_kept")
+        self._c_fallbacks = m.counter("serving.precompute_fallbacks")
+        self._c_floor_routed = m.counter("serving.floor_routed")
+        #: Per-request serve latency (batch wall-clock attributed to
+        #: every request in the batch) — the live p50/p95/p99 source.
+        self._h_latency = m.histogram("serving.request_seconds")
+        self._venue_counters: Dict[str, Any] = {}
+
+    def _venue_counter(self, venue: str):
+        # Caller holds self._lock (the dict doubles as the per-venue
+        # label cache, so lookups on the publish path stay O(1)).
+        counter = self._venue_counters.get(venue)
+        if counter is None:
+            counter = self.metrics.counter(
+                "serving.venue_queries", venue=venue
+            )
+            self._venue_counters[venue] = counter
+        return counter
 
     @property
     def stats(self) -> ServiceStats:
@@ -989,17 +1086,34 @@ class PositioningService:
 
         Every internal counter mutation publishes its related fields
         in one critical section (a batch's hits, misses, queries and
-        per-venue counts land together), and this property copies the
-        whole dataclass under the same lock — so a reader under
-        concurrent traffic always sees an atomic snapshot satisfying
-        the service's invariants (with caching enabled,
-        ``queries == cache_hits + cache_misses`` and
+        per-venue counts land together), and this property builds the
+        :class:`ServiceStats` view from the registry under the same
+        lock — so a reader under concurrent traffic always sees an
+        atomic snapshot satisfying the service's invariants (with
+        caching enabled, ``queries == cache_hits + cache_misses`` and
         ``sum(per_venue) == queries``), never a torn mix of old and
-        new counters.
+        new counters.  The returned object (including ``per_venue``)
+        is detached: mutating it cannot corrupt the live registry.
         """
         with self._lock:
-            return replace(
-                self._stats, per_venue=dict(self._stats.per_venue)
+            per_venue: Dict[str, int] = {}
+            for venue, counter in self._venue_counters.items():
+                count = int(counter.value)
+                if count:
+                    per_venue[venue] = count
+            return ServiceStats(
+                queries=int(self._c_queries.value),
+                batches=int(self._c_batches.value),
+                cache_hits=int(self._c_hits.value),
+                cache_misses=int(self._c_misses.value),
+                seconds=self._c_seconds.value,
+                deltas_applied=int(self._c_deltas.value),
+                delta_rows=int(self._c_delta_rows.value),
+                keys_invalidated=int(self._c_invalidated.value),
+                keys_kept=int(self._c_kept.value),
+                precompute_fallbacks=int(self._c_fallbacks.value),
+                floor_routed=int(self._c_floor_routed.value),
+                per_venue=per_venue,
             )
 
     # ------------------------------------------------------------------
@@ -1018,7 +1132,7 @@ class PositioningService:
                 )
             self._shards[shard.key] = shard
             if shard.precompute_fallback:
-                self._stats.precompute_fallbacks += 1
+                self._c_fallbacks.add(1)
         return shard
 
     def unregister(
@@ -1104,7 +1218,7 @@ class PositioningService:
                 routed[i] = key
             n_routed += len(rows)
         with self._lock:
-            self._stats.floor_routed += n_routed
+            self._c_floor_routed.add(n_routed)
         return routed
 
     def deploy(
@@ -1157,7 +1271,7 @@ class PositioningService:
         with self._lock:
             shard._install(fresh)
             if fresh.precompute_fallback:
-                self._stats.precompute_fallbacks += 1
+                self._c_fallbacks.add(1)
             for cache_key in [k for k in self._cache if k[0] == key]:
                 del self._cache[cache_key]
         return shard
@@ -1250,10 +1364,10 @@ class PositioningService:
                 else:
                     del self._cache[cache_key]
                     invalidated += 1
-            self._stats.deltas_applied += 1
-            self._stats.delta_rows += prepared.rows
-            self._stats.keys_invalidated += invalidated
-            self._stats.keys_kept += kept
+            self._c_deltas.add(1)
+            self._c_delta_rows.add(prepared.rows)
+            self._c_invalidated.add(invalidated)
+            self._c_kept.add(kept)
         return DeltaApplyReport(
             venue=key,
             epoch=shard.epoch,
@@ -1306,7 +1420,30 @@ class PositioningService:
         lists: rows are grouped into one contiguous stack per venue,
         and with caching disabled a batch goes straight to the shards
         with no key machinery at all (one venue: no grouping either).
+
+        With a :class:`~repro.obs.Telemetry` attached, a sampled call
+        opens a ``service.query_batch`` root span whose children
+        cover the cache probe and each shard's complete→estimate
+        stages (down to the spatial-index kernel stages when their
+        timers are on); unsampled calls pay one counter read.
         """
+        tracer = self.tracer
+        if (
+            tracer is not None
+            and tracer.current() is None
+            and tracer.sample()
+        ):
+            with tracer.trace(
+                "service.query_batch", meta={"rows": len(venues)}
+            ):
+                return self._query_batch(venues, fingerprints)
+        return self._query_batch(venues, fingerprints)
+
+    def _query_batch(
+        self,
+        venues: Sequence[str],
+        fingerprints: Sequence[np.ndarray],
+    ) -> np.ndarray:
         start = time.perf_counter()
         n = len(venues)
         if n != len(fingerprints):
@@ -1399,19 +1536,24 @@ class PositioningService:
     ) -> np.ndarray:
         """Cache-off mixed-venue fast path: one locate per venue
         stack, vectorized fan-in, one stats publish."""
+        tracer = self.tracer
+        if tracer is not None and tracer.current() is None:
+            tracer = None
         out = np.empty((n, 2))
         for venue, rows in groups.items():
-            out[rows] = self._shards[venue].locate(stacks[venue])
+            shard = self._shards[venue]
+            out[rows] = (
+                shard.locate(stacks[venue]) if tracer is None
+                else shard.locate(stacks[venue], tracer=tracer)
+            )
         with self._lock:
-            stats = self._stats
-            per_venue = stats.per_venue
             for venue, rows in groups.items():
-                per_venue[venue] = (
-                    per_venue.get(venue, 0) + int(rows.size)
-                )
-            stats.queries += n
-            stats.batches += 1
-            stats.seconds += time.perf_counter() - start
+                self._venue_counter(venue).add(int(rows.size))
+            elapsed = time.perf_counter() - start
+            self._c_queries.add(n)
+            self._c_batches.add(1)
+            self._c_seconds.add(elapsed)
+            self._h_latency.record_n(elapsed, n)
         return out
 
     def _serve_uniform(
@@ -1423,14 +1565,21 @@ class PositioningService:
     ) -> np.ndarray:
         """Cache-off single-venue fast path: one locate, one stats
         publish, no per-row bookkeeping."""
-        out = shard.locate(batch)
+        tracer = self.tracer
+        if tracer is not None and tracer.current() is None:
+            tracer = None
+        out = (
+            shard.locate(batch) if tracer is None
+            else shard.locate(batch, tracer=tracer)
+        )
         n = batch.shape[0]
         with self._lock:
-            stats = self._stats
-            stats.per_venue[venue] = stats.per_venue.get(venue, 0) + n
-            stats.queries += n
-            stats.batches += 1
-            stats.seconds += time.perf_counter() - start
+            self._venue_counter(venue).add(n)
+            elapsed = time.perf_counter() - start
+            self._c_queries.add(n)
+            self._c_batches.add(1)
+            self._c_seconds.add(elapsed)
+            self._h_latency.record_n(elapsed, n)
         return out
 
     def _serve_rows(
@@ -1452,6 +1601,9 @@ class PositioningService:
         reuses its stack instead of re-stacking.
         """
         n = len(venues)
+        tracer = self.tracer
+        if tracer is not None and tracer.current() is None:
+            tracer = None
         out = np.empty((n, 2))
         misses: Dict[str, List[int]] = {}
         fanout: Dict[int, List[int]] = {}
@@ -1461,30 +1613,35 @@ class PositioningService:
         # section at the end, so a concurrent stats snapshot never
         # sees this batch's hits without its queries (or vice versa).
         hits = misses_count = 0
-        with self._lock:
-            for i, venue in enumerate(venues):
-                key = keys[i]
-                if key is not None:
-                    cached = self._cache.get(key)
-                    if cached is not None:
-                        self._cache.move_to_end(key)
-                        hits += 1
-                        out[i] = cached
-                        continue
-                    leader = leaders.get(key)
-                    if leader is not None:
-                        # Repeat of an in-batch miss: compute once,
-                        # fan the answer out, count the repeat as a
-                        # hit — the shard never sees the duplicate.
-                        fanout[leader].append(i)
-                        hits += 1
-                        continue
-                    leaders[key] = i
-                    misses_count += 1
-                fanout[i] = []
-                misses.setdefault(venue, []).append(i)
-            for venue in misses:
-                epochs[venue] = self._shards[venue].epoch
+        with (
+            tracer.span("cache") if tracer is not None
+            else nullcontext()
+        ):
+            with self._lock:
+                for i, venue in enumerate(venues):
+                    key = keys[i]
+                    if key is not None:
+                        cached = self._cache.get(key)
+                        if cached is not None:
+                            self._cache.move_to_end(key)
+                            hits += 1
+                            out[i] = cached
+                            continue
+                        leader = leaders.get(key)
+                        if leader is not None:
+                            # Repeat of an in-batch miss: compute
+                            # once, fan the answer out, count the
+                            # repeat as a hit — the shard never sees
+                            # the duplicate.
+                            fanout[leader].append(i)
+                            hits += 1
+                            continue
+                        leaders[key] = i
+                        misses_count += 1
+                    fanout[i] = []
+                    misses.setdefault(venue, []).append(i)
+                for venue in misses:
+                    epochs[venue] = self._shards[venue].epoch
 
         # Per-venue tallies fold outside the lock; the critical
         # section below just merges one small dict.
@@ -1498,7 +1655,12 @@ class PositioningService:
                 batch = stack
             else:
                 batch = np.stack([rows_fp[i] for i in rows])
-            computed[venue] = (rows, self._shards[venue].locate(batch))
+            shard = self._shards[venue]
+            located = (
+                shard.locate(batch) if tracer is None
+                else shard.locate(batch, tracer=tracer)
+            )
+            computed[venue] = (rows, located)
 
         with self._lock:
             for venue, (rows, located) in computed.items():
@@ -1513,15 +1675,15 @@ class PositioningService:
                         out[j] = loc
                     if fresh:
                         self._cache_put(keys[i], loc)
-            stats = self._stats
-            per_venue = stats.per_venue
             for venue, count in venue_counts.items():
-                per_venue[venue] = per_venue.get(venue, 0) + count
-            stats.cache_hits += hits
-            stats.cache_misses += misses_count
-            stats.queries += n
-            stats.batches += 1
-            stats.seconds += time.perf_counter() - start
+                self._venue_counter(venue).add(count)
+            elapsed = time.perf_counter() - start
+            self._c_hits.add(hits)
+            self._c_misses.add(misses_count)
+            self._c_queries.add(n)
+            self._c_batches.add(1)
+            self._c_seconds.add(elapsed)
+            self._h_latency.record_n(elapsed, n)
         return out
 
     def try_cached(
@@ -1557,16 +1719,19 @@ class PositioningService:
                     hit[i] = True
                     hits += 1
             if hits:
-                self._stats.cache_hits += hits
-                self._stats.queries += hits
-                per_venue = self._stats.per_venue
-                per_venue[venue] = per_venue.get(venue, 0) + hits
-                self._stats.seconds += time.perf_counter() - start
+                elapsed = time.perf_counter() - start
+                self._c_hits.add(hits)
+                self._c_queries.add(hits)
+                self._venue_counter(venue).add(hits)
+                self._c_seconds.add(elapsed)
+                self._h_latency.record_n(elapsed, hits)
         return out, hit, keys
 
     def reset_stats(self) -> None:
+        """Zero every ``serving.*`` metric (and anything else living
+        in this service's registry); counter handles stay valid."""
         with self._lock:
-            self._stats = ServiceStats()
+            self.metrics.reset()
 
     # ------------------------------------------------------------------
     # LRU cache on quantized fingerprints

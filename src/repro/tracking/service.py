@@ -55,12 +55,13 @@ import itertools
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import TrackingError
+from ..obs import MetricsRegistry, Telemetry
 from ..serving import PositioningService
 from ..serving.floors import FloorClassifier
 from ..venue.multifloor import Venue
@@ -78,6 +79,13 @@ class TrackingStats:
     counts fixes dropped by the innovation gate or the ``"reject"``
     constraint, ``clamped_fixes`` positions pulled back onto the
     walkable area.
+
+    Since the telemetry layer landed this is a *view*: the service
+    keeps its counters in ``tracking.*`` metrics on a
+    :class:`~repro.obs.MetricsRegistry` and builds this dataclass on
+    demand under the service lock, so the snapshot invariants
+    (``steps`` vs ``batches`` vs the fix counters) hold exactly as
+    they always did.
     """
 
     sessions_started: int = 0
@@ -280,7 +288,20 @@ class TrackingService:
     constraint_mode:
         ``"clamp"`` or ``"reject"`` — how registered walkable
         geometry disciplines out-of-area fixes.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` whose metrics registry
+        the ``tracking.*`` counters bind to (sharing the positioning
+        service's bundle puts the whole request path in one export).
+        A private registry is created when omitted.
     """
+
+    #: The three floor-routing counters, named once — reset together
+    #: by :meth:`reset_floor_stats` and on floor re-registration.
+    _FLOOR_COUNTERS = (
+        "tracking.floor_switches",
+        "tracking.floor_rejections",
+        "tracking.floor_reanchors",
+    )
 
     def __init__(
         self,
@@ -290,6 +311,7 @@ class TrackingService:
         ttl_seconds: float = 300.0,
         max_sessions: int = 100_000,
         constraint_mode: str = "clamp",
+        telemetry: Optional[Telemetry] = None,
     ):
         if ttl_seconds <= 0:
             raise TrackingError("ttl_seconds must be positive")
@@ -313,7 +335,32 @@ class TrackingService:
         # logically-timed fleet would ratchet the service clock ahead
         # by the host uptime and TTL-evict every session.
         self._time_domain: Optional[str] = None
-        self._stats = TrackingStats()
+        self.telemetry = telemetry
+        self.metrics = (
+            telemetry.metrics
+            if telemetry is not None
+            else MetricsRegistry()
+        )
+        m = self.metrics
+        self._c_started = m.counter("tracking.sessions_started")
+        self._c_ended = m.counter("tracking.sessions_ended")
+        self._c_evicted_ttl = m.counter("tracking.evicted_ttl")
+        self._c_evicted_cap = m.counter("tracking.evicted_capacity")
+        self._c_steps = m.counter("tracking.steps")
+        self._c_batches = m.counter("tracking.batches")
+        self._c_rejected = m.counter("tracking.rejected_fixes")
+        self._c_clamped = m.counter("tracking.clamped_fixes")
+        self._c_floor_switch = m.counter("tracking.floor_switches")
+        self._c_floor_reject = m.counter("tracking.floor_rejections")
+        self._c_floor_reanchor = m.counter("tracking.floor_reanchors")
+        self._c_seconds = m.counter("tracking.seconds")
+        self._all_counters = (
+            self._c_started, self._c_ended, self._c_evicted_ttl,
+            self._c_evicted_cap, self._c_steps, self._c_batches,
+            self._c_rejected, self._c_clamped, self._c_floor_switch,
+            self._c_floor_reject, self._c_floor_reanchor,
+            self._c_seconds,
+        )
         if constraint_mode not in ("clamp", "reject"):
             raise TrackingError(
                 "constraint_mode must be 'clamp' or 'reject'"
@@ -344,6 +391,7 @@ class TrackingService:
         *,
         portal_radius: float = 5.0,
         reanchor_after: int = 2,
+        reset_floor_stats: bool = True,
     ) -> None:
         """Make a stacked venue trackable across its floors.
 
@@ -362,6 +410,15 @@ class TrackingService:
         ``reanchor_after`` is the hysteresis — that many consecutive
         off-floor scans (same new floor, no portal in reach) force a
         re-anchor on the scans' floor.
+
+        **Re-registering** an already-registered venue (the reload
+        path: new geometry or a retuned classifier for a live
+        service) zeroes the three floor-routing counters
+        (``floor_switches`` / ``floor_rejections`` /
+        ``floor_reanchors``) by default — they describe the routing
+        configuration that just got replaced.  Pass
+        ``reset_floor_stats=False`` to keep them cumulative across
+        reloads; first-time registration never resets anything.
         """
         if portal_radius <= 0:
             raise TrackingError("portal_radius must be positive")
@@ -378,11 +435,14 @@ class TrackingService:
             reanchor_after=int(reanchor_after),
         )
         with self._lock:
+            reregistration = venue.name in self._floors
             for floor in venue.floors:
                 self.register_walkable(
                     f"{venue.name}/{floor.floor_id}", floor.walkable
                 )
             self._floors[venue.name] = state
+            if reregistration and reset_floor_stats:
+                self.reset_floor_stats()
 
     def _bank_key(self, session: _Session) -> str:
         return (
@@ -408,11 +468,43 @@ class TrackingService:
     def stats(self) -> TrackingStats:
         """A consistent point-in-time snapshot of the counters."""
         with self._lock:
-            return replace(self._stats)
+            return TrackingStats(
+                sessions_started=int(self._c_started.value),
+                sessions_ended=int(self._c_ended.value),
+                evicted_ttl=int(self._c_evicted_ttl.value),
+                evicted_capacity=int(self._c_evicted_cap.value),
+                steps=int(self._c_steps.value),
+                batches=int(self._c_batches.value),
+                rejected_fixes=int(self._c_rejected.value),
+                clamped_fixes=int(self._c_clamped.value),
+                floor_switches=int(self._c_floor_switch.value),
+                floor_rejections=int(self._c_floor_reject.value),
+                floor_reanchors=int(self._c_floor_reanchor.value),
+                seconds=self._c_seconds.value,
+            )
 
     def reset_stats(self) -> None:
+        """Zero every ``tracking.*`` counter, floor routing included.
+
+        Resets only this service's own metrics — a shared telemetry
+        registry's other metrics are untouched.
+        """
         with self._lock:
-            self._stats = TrackingStats()
+            for counter in self._all_counters:
+                counter.reset()
+
+    def reset_floor_stats(self) -> None:
+        """Zero just the three floor-routing counters.
+
+        Floor routing stats describe one registered floor
+        configuration; :meth:`register_floors` calls this on
+        re-registration by default so counters from the replaced
+        configuration don't pollute the new one's.  Call it directly
+        to re-baseline without reloading.
+        """
+        with self._lock:
+            for name in self._FLOOR_COUNTERS:
+                self.metrics.counter(name).reset()
 
     @property
     def session_count(self) -> int:
@@ -521,9 +613,9 @@ class TrackingService:
                     floor=floors[i],
                 )
                 self._sessions.move_to_end(sid)
-            self._stats.sessions_started += n
+            self._c_started.add(n)
             self._evict_over_capacity()
-            self._stats.seconds += time.perf_counter() - t0
+            self._c_seconds.add(time.perf_counter() - t0)
         return sids
 
     def step(
@@ -636,11 +728,11 @@ class TrackingService:
                 )
                 session.steps += 1
                 self._sessions.move_to_end(session.sid)
-            self._stats.steps += n
-            self._stats.batches += 1
-            self._stats.rejected_fixes += int((~accepted).sum())
-            self._stats.clamped_fixes += int(clamped.sum())
-            self._stats.seconds += time.perf_counter() - t0
+            self._c_steps.add(n)
+            self._c_batches.add(1)
+            self._c_rejected.add(int((~accepted).sum()))
+            self._c_clamped.add(int(clamped.sum()))
+            self._c_seconds.add(time.perf_counter() - t0)
         return TrackedBatch(
             session_ids=tuple(session_ids),
             venues=tuple(venues),
@@ -662,7 +754,7 @@ class TrackingService:
             session = self._resolve(session_id)
             summary = self._summary(session)
             self._drop(session)
-            self._stats.sessions_ended += 1
+            self._c_ended.add(1)
         return summary
 
     # ------------------------------------------------------------------
@@ -758,7 +850,7 @@ class TrackingService:
                 velocities[i] = old_bank.velocity(session.slot)
                 accepted[i] = False
                 clamped[i] = False
-                self._stats.floor_rejections += 1
+                self._c_floor_reject.add(1)
                 return
         old_bank.release(session.slot)
         session.floor = target
@@ -767,10 +859,10 @@ class TrackingService:
         new_bank = self._bank(self._bank_key(session))
         if exit_xy is not None:
             session.slot = new_bank.start(exit_xy, t)
-            self._stats.floor_switches += 1
+            self._c_floor_switch.add(1)
         else:
             session.slot = new_bank.start(raw_fix, t)
-            self._stats.floor_reanchors += 1
+            self._c_floor_reanchor.add(1)
         result = new_bank.step(session.slot, raw_fix, t)
         positions[i] = result.positions[0]
         velocities[i] = result.velocities[0]
@@ -812,7 +904,7 @@ class TrackingService:
             # behind a fresher one; expiry is still enforced here so
             # it cannot be stepped back to life.
             self._drop(session)
-            self._stats.evicted_ttl += 1
+            self._c_evicted_ttl.add(1)
             session = None
         if session is None:
             raise TrackingError(
@@ -853,10 +945,11 @@ class TrackingService:
                 break
             self._drop(session)
             evicted += 1
-        self._stats.evicted_ttl += evicted
+        if evicted:
+            self._c_evicted_ttl.add(evicted)
 
     def _evict_over_capacity(self) -> None:
         while len(self._sessions) > self.max_sessions:
             _, session = self._sessions.popitem(last=False)
             self._banks[self._bank_key(session)].release(session.slot)
-            self._stats.evicted_capacity += 1
+            self._c_evicted_cap.add(1)

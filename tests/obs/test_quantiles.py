@@ -1,0 +1,52 @@
+"""Shared percentile helpers: exact and histogram-derived."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    BUCKET_FACTOR,
+    MetricsRegistry,
+    histogram_percentiles_ms,
+    percentiles_ms,
+)
+
+
+def test_percentiles_ms_exact():
+    lat_s = [0.001, 0.002, 0.003, 0.004, 0.100]
+    pct = percentiles_ms(lat_s)
+    assert set(pct) == {"p50_ms", "p95_ms", "p99_ms"}
+    assert pct["p50_ms"] == pytest.approx(3.0)
+    assert pct["p95_ms"] == pytest.approx(
+        float(np.percentile(1e3 * np.asarray(lat_s), 95))
+    )
+
+
+def test_percentiles_ms_empty_is_zero():
+    assert percentiles_ms([]) == {
+        "p50_ms": 0.0,
+        "p95_ms": 0.0,
+        "p99_ms": 0.0,
+    }
+
+
+def test_percentiles_ms_custom_percentiles():
+    pct = percentiles_ms([0.010], percentiles=(25, 75))
+    assert pct == {"p25_ms": 10.0, "p75_ms": 10.0}
+
+
+def test_histogram_percentiles_match_exact_within_one_bucket():
+    """The acceptance contract: live histogram percentiles stay within
+    one multiplicative bucket width of the loadgen-style exact ones."""
+    rng = np.random.default_rng(3)
+    lat_s = rng.lognormal(mean=-7.0, sigma=0.8, size=8192)
+    m = MetricsRegistry()
+    h = m.histogram("lat")
+    h.record_many(lat_s)
+    live = histogram_percentiles_ms(h)
+    exact = percentiles_ms(lat_s)
+    for key in ("p50_ms", "p95_ms", "p99_ms"):
+        # The histogram quotes the bucket's upper edge: at or above
+        # the exact value, by at most one bucket factor.
+        assert exact[key] <= live[key] <= exact[key] * BUCKET_FACTOR * (
+            1.0 + 1e-9
+        )

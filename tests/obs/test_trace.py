@@ -1,0 +1,127 @@
+"""Tracing: deterministic sampling, span trees, cross-thread
+activation, slow-query log, and the worker drain payload."""
+
+import threading
+
+from repro.obs import Span, Tracer
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+def test_sampling_is_deterministic_one_in_n():
+    tracer = Tracer(sample_every=4)
+    decisions = [tracer.sample() for _ in range(12)]
+    assert decisions == [True, False, False, False] * 3
+
+
+def test_sampling_edge_settings():
+    assert all(Tracer(sample_every=1).sample() for _ in range(5))
+    assert not any(Tracer(sample_every=0).sample() for _ in range(5))
+    assert not any(Tracer(sample_every=-3).sample() for _ in range(5))
+
+
+# ----------------------------------------------------------------------
+# Span trees
+# ----------------------------------------------------------------------
+def test_trace_retains_root_with_children():
+    tracer = Tracer(sample_every=1)
+    with tracer.trace("root", meta={"venue": "kaide"}) as root:
+        with tracer.span("serve"):
+            with tracer.span("kernel.gemm"):
+                pass
+        root.child("kernel.probe", duration=0.001)
+    traces = tracer.traces()
+    assert len(traces) == 1
+    tree = traces[0]
+    assert tree.name == "root"
+    assert tree.duration > 0.0
+    assert tree.stage_names() == {
+        "root", "serve", "kernel.gemm", "kernel.probe"
+    }
+    serve = tree.children[0]
+    assert serve.name == "serve"
+    assert serve.children[0].name == "kernel.gemm"
+    assert serve.children[0].trace_id == tree.trace_id
+
+
+def test_span_without_active_root_is_noop():
+    tracer = Tracer(sample_every=1)
+    with tracer.span("orphan") as span:
+        assert span is None
+    assert tracer.traces() == []
+
+
+def test_span_to_dict_and_render():
+    span = Span("t00000001", "root", meta={"rows": 3})
+    span.duration = 0.002
+    span.child("stage", duration=0.001)
+    d = span.to_dict()
+    assert d["trace_id"] == "t00000001"
+    assert d["duration_ms"] == 2.0
+    assert d["meta"] == {"rows": 3}
+    assert d["children"][0]["name"] == "stage"
+    rendered = span.render()
+    assert "root" in rendered and "stage" in rendered
+
+
+def test_activate_hands_span_across_threads():
+    """The pipeline pattern: the submit thread opens the root, the
+    flusher thread serves under it from another thread."""
+    tracer = Tracer(sample_every=1)
+    root = tracer.start("pipeline.submit")
+
+    def flusher():
+        with tracer.activate(root):
+            with tracer.span("serve"):
+                pass
+
+    t = threading.Thread(target=flusher)
+    t.start()
+    t.join()
+    tracer.finish(root)
+    assert root.children[0].name == "serve"
+    # The submit thread's own active-span stack was never touched.
+    assert tracer.current() is None
+
+
+def test_trace_ids_are_unique_and_ordered():
+    tracer = Tracer(sample_every=1)
+    ids = [tracer.start(f"r{i}").trace_id for i in range(3)]
+    assert len(set(ids)) == 3
+    assert ids == sorted(ids)
+
+
+# ----------------------------------------------------------------------
+# Retention: bounded deques, slow log, drain
+# ----------------------------------------------------------------------
+def test_retention_is_bounded():
+    tracer = Tracer(sample_every=1, keep=4)
+    for i in range(10):
+        with tracer.trace(f"r{i}"):
+            pass
+    names = [s.name for s in tracer.traces()]
+    assert names == ["r6", "r7", "r8", "r9"]
+
+
+def test_slow_query_log_threshold():
+    tracer = Tracer(sample_every=1, slow_ms=5.0)
+    fast = tracer.start("fast")
+    fast.duration = 0.001  # 1 ms — under the threshold
+    tracer.finish(fast)
+    slow = tracer.start("slow")
+    slow.duration = 0.050  # 50 ms — over
+    tracer.finish(slow)
+    assert [s.name for s in tracer.slow_queries()] == ["slow"]
+    assert len(tracer.traces()) == 2
+
+
+def test_drain_ships_dicts_and_clears():
+    tracer = Tracer(sample_every=1, slow_ms=0.0)
+    with tracer.trace("req"):
+        pass
+    payload = tracer.drain()
+    assert [s["name"] for s in payload["spans"]] == ["req"]
+    assert [s["name"] for s in payload["slow"]] == ["req"]
+    assert tracer.drain() == {"spans": [], "slow": []}
+    assert tracer.traces() == []

@@ -10,6 +10,7 @@ import pytest
 
 from repro.artifacts import ArtifactStore
 from repro.exceptions import ServingError
+from repro.obs import BUCKET_FACTOR, Telemetry
 from repro.serving import (
     PositioningService,
     ShardFleet,
@@ -254,6 +255,64 @@ def test_fleet_close_fails_leftover_tickets(city):
 
 
 # ----------------------------------------------------------------------
+# Telemetry: worker deltas merge into one fleet view
+# ----------------------------------------------------------------------
+def test_fleet_merges_worker_telemetry(city):
+    store, mapping, pools, _ = city
+    telemetry = Telemetry(sample_every=1, slow_ms=0.0)
+    schedule = fleet_schedule(
+        pools, 200, np.random.default_rng(21), zipf_exponent=1.1
+    )
+    with ShardFleet(
+        store, mapping, workers=2, bundle_size=32, telemetry=telemetry
+    ) as fleet:
+        fleet.submit_many(schedule)
+        fleet.flush()
+        fleet.wait_outstanding(0, timeout=60.0)
+        stats = fleet.stats()
+    # close() joined the collectors, so every shipped delta is merged.
+    m = telemetry.metrics
+    # Parent-side counters + the end-to-end latency histogram.
+    assert m.counter("fleet.requests").value == len(schedule)
+    assert m.counter("fleet.resolved").value == len(schedule)
+    assert m.counter("fleet.errors").value == 0
+    assert m.histogram("fleet.request_seconds").count == len(schedule)
+    # Worker deltas shipped over the pipes sum to the fleet totals.
+    assert m.counter("worker.requests").value == len(schedule)
+    assert (
+        m.counter("registry.lazy_loads").value == stats.lazy_loads
+    )
+    # Gauges arrive relabelled per worker so sources never clobber.
+    workers_seen = {
+        labels.get("worker")
+        for labels, _ in m.labelled("registry.resident_bytes")
+        if labels
+    }
+    assert workers_seen == {"0", "1"}
+    # Sampled worker serve spans were ingested into the fleet view.
+    spans = telemetry.spans()
+    assert any(s["name"] == "worker.serve" for s in spans)
+    # The FleetStats view stayed faithful to the same registry.
+    assert stats.requests == len(schedule)
+    assert stats.errors == 0
+
+
+def test_fleet_internal_telemetry_still_aggregates(city):
+    """Without an explicit telemetry bundle the fleet builds its own:
+    metric aggregation works (stats views), tracing stays disarmed."""
+    store, mapping, pools, _ = city
+    venue = sorted(mapping)[0]
+    with ShardFleet(store, mapping, workers=2) as fleet:
+        fleet.locate(venue, pools[venue][0])
+        stats = fleet.stats()
+        m = fleet.telemetry.metrics
+        assert m.counter("fleet.requests").value == 1
+        assert fleet._worker_sample_every == 0
+    assert stats.requests == 1
+    assert fleet.telemetry.spans() == []
+
+
+# ----------------------------------------------------------------------
 # Slow smoke: small city, 2 workers, throughput sanity
 # ----------------------------------------------------------------------
 @pytest.mark.slow
@@ -273,3 +332,14 @@ def test_fleet_smoke_two_workers_beats_baseline():
     assert (
         data["fleet"]["throughput"] >= data["baseline"]["throughput"]
     )
+    # Acceptance: live percentiles off the fleet's own histogram
+    # track the ticket-derived (loadgen-style) percentiles of the
+    # same timed pass to within one bucket width.
+    live = data["fleet"]["live_histogram"]
+    for key in ("p50_ms", "p95_ms", "p99_ms"):
+        exact = data["fleet"][key]
+        assert (
+            exact / BUCKET_FACTOR
+            <= live[key]
+            <= exact * BUCKET_FACTOR ** 2
+        ), (key, exact, live[key])

@@ -1,0 +1,108 @@
+"""Floor-routing counter reset semantics.
+
+``register_floors`` replaces a venue's floor configuration, so by
+default a *re*-registration re-baselines the three floor-routing
+counters (switches / rejections / re-anchors) — stats from the old
+configuration would be misleading under the new one.  First-time
+registration must never reset anything, and ``reset_floor_stats=False``
+keeps the counters cumulative across reloads.
+"""
+
+import pytest
+
+from repro.core import TopoACDifferentiator
+from repro.obs import MetricsRegistry, Telemetry
+from repro.positioning import WKNNEstimator
+from repro.serving import PositioningService, deploy_floors
+from repro.tracking import TrackingService
+
+
+@pytest.fixture
+def floor_service(multifloor_smoke):
+    service = PositioningService(cache_size=0)
+    deploy_floors(
+        service,
+        multifloor_smoke.venue,
+        multifloor_smoke.radio_maps,
+        lambda floor: TopoACDifferentiator(
+            entities=floor.plan.entities
+        ),
+        estimator_factory=WKNNEstimator,
+    )
+    return service
+
+
+def bump_floor_counters(tracking, n=3):
+    """Simulate routing traffic through the same handles the
+    service's transition path mutates."""
+    for name in TrackingService._FLOOR_COUNTERS:
+        tracking.metrics.counter(name).add(n)
+
+
+def floor_counts(tracking):
+    stats = tracking.stats
+    return (
+        stats.floor_switches,
+        stats.floor_rejections,
+        stats.floor_reanchors,
+    )
+
+
+def test_first_registration_never_resets(
+    floor_service, multifloor_smoke
+):
+    tracking = TrackingService(floor_service)
+    bump_floor_counters(tracking)
+    tracking.register_floors(multifloor_smoke.venue)
+    assert floor_counts(tracking) == (3, 3, 3)
+
+
+def test_reregistration_resets_by_default(
+    floor_service, multifloor_smoke
+):
+    tracking = TrackingService(floor_service)
+    tracking.register_floors(multifloor_smoke.venue)
+    bump_floor_counters(tracking)
+    tracking._c_steps.add(5)
+    assert floor_counts(tracking) == (3, 3, 3)
+    tracking.register_floors(multifloor_smoke.venue)
+    assert floor_counts(tracking) == (0, 0, 0)
+    # Only the floor counters re-baseline — the rest survive.
+    assert tracking.stats.steps == 5
+
+
+def test_reregistration_opt_out_keeps_counters(
+    floor_service, multifloor_smoke
+):
+    tracking = TrackingService(floor_service)
+    tracking.register_floors(multifloor_smoke.venue)
+    bump_floor_counters(tracking)
+    tracking.register_floors(
+        multifloor_smoke.venue, reset_floor_stats=False
+    )
+    assert floor_counts(tracking) == (3, 3, 3)
+
+
+def test_manual_reset_floor_stats(floor_service, multifloor_smoke):
+    tracking = TrackingService(floor_service)
+    tracking.register_floors(multifloor_smoke.venue)
+    bump_floor_counters(tracking)
+    tracking._c_steps.add(2)
+    tracking.reset_floor_stats()
+    assert floor_counts(tracking) == (0, 0, 0)
+    assert tracking.stats.steps == 2
+
+
+def test_reset_stats_spares_shared_registry(floor_service):
+    """reset_stats zeroes every tracking.* counter but leaves other
+    metrics on a shared telemetry registry alone."""
+    telemetry = Telemetry(metrics=MetricsRegistry(), sample_every=0)
+    foreign = telemetry.metrics.counter("serving.queries")
+    foreign.add(7)
+    tracking = TrackingService(floor_service, telemetry=telemetry)
+    bump_floor_counters(tracking)
+    tracking._c_steps.add(4)
+    tracking.reset_stats()
+    assert floor_counts(tracking) == (0, 0, 0)
+    assert tracking.stats.steps == 0
+    assert foreign.value == 7.0
